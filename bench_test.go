@@ -1,0 +1,224 @@
+// Benchmarks regenerating the paper's evaluation, one per figure plus the
+// ablations from DESIGN.md, and micro-benchmarks for the hot substrates.
+//
+// Each figure benchmark runs a complete simulated trial per iteration on
+// virtual time (wall time is just simulation overhead) and reports the
+// paper's metric as a custom benchmark metric:
+//
+//	go test -bench BenchmarkFig -benchmem
+//
+// Larger, paper-scale parameterizations (100 entries/trial, five 3-minute
+// trials per point) run via cmd/hraft-bench.
+package hraft_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/bench"
+	"github.com/hraft-io/hraft/internal/logstore"
+	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// --- Figure 3: commit latency vs message loss ------------------------------
+
+func BenchmarkFig3CommitLatency(b *testing.B) {
+	for _, loss := range []float64{0, 1, 2.5, 5, 7.5, 10} {
+		b.Run(fmt.Sprintf("loss=%g%%", loss), func(b *testing.B) {
+			var raftMean, fastMean time.Duration
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.Fig3CommitLatency(bench.Fig3Options{
+					LossPercents: []float64{loss},
+					Entries:      50,
+					Trials:       1,
+					Seed:         int64(1 + i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				raftMean += rows[0].Raft.Mean
+				fastMean += rows[0].FastRaft.Mean
+			}
+			b.ReportMetric(float64(raftMean.Milliseconds())/float64(b.N), "raft-ms/commit")
+			b.ReportMetric(float64(fastMean.Milliseconds())/float64(b.N), "fast-ms/commit")
+			b.ReportMetric(float64(raftMean)/float64(fastMean), "speedup")
+		})
+	}
+}
+
+// --- Figure 4: silent leave latency timeline --------------------------------
+
+func BenchmarkFig4SilentLeave(b *testing.B) {
+	var before, during, after time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig4SilentLeave(bench.Fig4Options{Seed: int64(1 + i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		before += res.Before.Mean
+		during += res.During.Mean
+		after += res.After.Mean
+	}
+	b.ReportMetric(float64(before.Milliseconds())/float64(b.N), "before-ms")
+	b.ReportMetric(float64(during.Milliseconds())/float64(b.N), "during-ms")
+	b.ReportMetric(float64(after.Milliseconds())/float64(b.N), "after-ms")
+}
+
+// --- Figure 5: throughput vs cluster count ----------------------------------
+
+func BenchmarkFig5Throughput(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 5, 10} {
+		b.Run(fmt.Sprintf("clusters=%d", n), func(b *testing.B) {
+			var raft, craft float64
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.Fig5Throughput(bench.Fig5Options{
+					ClusterCounts: []int{n},
+					TrialDuration: time.Minute,
+					Trials:        1,
+					Seed:          int64(1 + i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				raft += rows[0].RaftPerSec
+				craft += rows[0].CraftPerSec
+			}
+			b.ReportMetric(raft/float64(b.N), "raft-entries/s")
+			b.ReportMetric(craft/float64(b.N), "craft-entries/s")
+			b.ReportMetric(craft/raft, "speedup")
+		})
+	}
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+func BenchmarkAblationFastTrack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AblationFastTrack(bench.Fig3Options{
+			Entries: 50, Trials: 1, Seed: int64(1 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Latency.Mean.Milliseconds()), "on-ms")
+		b.ReportMetric(float64(rows[1].Latency.Mean.Milliseconds()), "off-ms")
+	}
+}
+
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, size := range []int{1, 5, 10, 20, 50} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.AblationBatchSize(bench.Fig5Options{
+					TrialDuration: time.Minute,
+					Trials:        1,
+					Seed:          int64(1 + i),
+				}, 10, []int{size})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rows[0].PerSec
+			}
+			b.ReportMetric(total/float64(b.N), "entries/s")
+		})
+	}
+}
+
+func BenchmarkAblationHeartbeat(b *testing.B) {
+	for _, hb := range []time.Duration{25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond} {
+		b.Run(fmt.Sprintf("hb=%s", hb), func(b *testing.B) {
+			var raft, fast time.Duration
+			for i := 0; i < b.N; i++ {
+				rows, err := bench.AblationHeartbeat(bench.Fig3Options{
+					Entries: 30, Trials: 1, Seed: int64(1 + i),
+				}, []time.Duration{hb})
+				if err != nil {
+					b.Fatal(err)
+				}
+				raft += rows[0].Raft.Mean
+				fast += rows[0].FastRaft.Mean
+			}
+			b.ReportMetric(float64(raft.Milliseconds())/float64(b.N), "raft-ms")
+			b.ReportMetric(float64(fast.Milliseconds())/float64(b.N), "fast-ms")
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ----------------------------------------------
+
+func BenchmarkCodecEncodeAppendEntries(b *testing.B) {
+	env := sampleAppendEntries()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := types.EncodeEnvelope(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecDecodeAppendEntries(b *testing.B) {
+	env := sampleAppendEntries()
+	buf, err := types.EncodeEnvelope(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := types.DecodeEnvelope(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sampleAppendEntries() types.Envelope {
+	entries := make([]types.Entry, 10)
+	for i := range entries {
+		entries[i] = types.Entry{
+			Index:    types.Index(i + 1),
+			Term:     3,
+			Kind:     types.KindNormal,
+			Approval: types.ApprovedLeader,
+			PID:      types.ProposalID{Proposer: "n2", Seq: uint64(i + 1)},
+			Data:     []byte("payload-payload-payload"),
+		}
+	}
+	return types.Envelope{
+		From: "n1", To: "n2", Layer: types.LayerLocal,
+		Msg: types.AppendEntries{
+			Term: 3, LeaderID: "n1", PrevLogIndex: 10, PrevLogTerm: 3,
+			Entries: entries, LeaderCommit: 9, Round: 77,
+		},
+	}
+}
+
+func BenchmarkLogstoreAppendLeader(b *testing.B) {
+	b.ReportAllocs()
+	cfg := types.NewConfig("a", "b", "c")
+	log := logstore.New(cfg)
+	for i := 0; i < b.N; i++ {
+		idx := types.Index(i + 1)
+		e := types.Entry{Kind: types.KindNormal, Data: []byte("x")}
+		if err := log.AppendLeader(idx, e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTallyDecide(b *testing.B) {
+	cfg := types.NewConfig("a", "b", "c", "d", "e")
+	voters := cfg.Members
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := quorum.NewTally()
+		e := types.Entry{Kind: types.KindNormal, PID: types.ProposalID{Proposer: "a", Seq: uint64(i)}}
+		for _, v := range voters {
+			t.AddVote(1, v, e)
+		}
+		if _, ok := t.Decide(1, cfg, nil); !ok {
+			b.Fatal("no decision")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command hraft-node runs a single Fast Raft site over UDP with
+// file-backed stable storage — the deployment shape of the paper's
+// experiments (one process per EC2 instance, UDP sockets).
+//
+// Start a three-node group on one machine:
+//
+//	hraft-node -id n1 -listen 127.0.0.1:7101 -peers n1=127.0.0.1:7101,n2=127.0.0.1:7102,n3=127.0.0.1:7103 -wal /tmp/n1.wal
+//	hraft-node -id n2 -listen 127.0.0.1:7102 -peers ...            -wal /tmp/n2.wal
+//	hraft-node -id n3 -listen 127.0.0.1:7103 -peers ...            -wal /tmp/n3.wal
+//
+// Lines typed on stdin are proposed to the group; committed entries are
+// printed as they apply. A node started with -join sends a join request
+// instead of bootstrapping membership from -peers. Use -loss to inject
+// message loss like the paper's tc experiments.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	hraft "github.com/hraft-io/hraft"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hraft-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.String("id", "", "node ID (required)")
+		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers   = flag.String("peers", "", "comma-separated id=addr pairs (including this node)")
+		join    = flag.Bool("join", false, "join an existing group instead of bootstrapping")
+		walPath = flag.String("wal", "", "write-ahead log path (default: in-memory)")
+		loss    = flag.Float64("loss", 0, "injected send-side message loss probability [0,1)")
+		hb      = flag.Duration("heartbeat", 100*time.Millisecond, "leader heartbeat interval")
+		quiet   = flag.Bool("quiet", false, "suppress per-commit output")
+	)
+	flag.Parse()
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+
+	tr, err := hraft.ListenUDP(hraft.NodeID(*id), *listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %s listening on %s\n", *id, tr.LocalAddr())
+	tr.SetLoss(*loss)
+
+	var members []hraft.NodeID
+	for _, pair := range strings.Split(*peers, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return fmt.Errorf("bad peer %q (want id=addr)", pair)
+		}
+		if name != *id {
+			if err := tr.AddPeer(hraft.NodeID(name), addr); err != nil {
+				return err
+			}
+		}
+		members = append(members, hraft.NodeID(name))
+	}
+
+	store := hraft.NewMemoryStorage()
+	if *walPath != "" {
+		store, err = hraft.OpenWAL(*walPath)
+		if err != nil {
+			return err
+		}
+	}
+
+	bootstrap := members
+	if *join {
+		bootstrap = nil
+	}
+	node, err := hraft.NewNode(hraft.Options{
+		ID:                hraft.NodeID(*id),
+		Peers:             bootstrap,
+		Transport:         tr,
+		Storage:           store,
+		HeartbeatInterval: *hb,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Stop()
+
+	go func() {
+		for e := range node.Commits() {
+			if *quiet {
+				continue
+			}
+			switch e.Kind {
+			case hraft.EntryNormal:
+				fmt.Printf("[commit %d] %s\n", e.Index, e.Data)
+			case hraft.EntryConfig:
+				fmt.Printf("[config %d] members=%v\n", e.Index, e.Config)
+			}
+		}
+	}()
+
+	if *join {
+		var contacts []hraft.NodeID
+		for _, m := range members {
+			if m != hraft.NodeID(*id) {
+				contacts = append(contacts, m)
+			}
+		}
+		fmt.Printf("joining via %v ...\n", contacts)
+		node.Join(contacts)
+	}
+
+	fmt.Println("type a line to propose it; ctrl-d to exit")
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		start := time.Now()
+		idx, err := node.Propose(ctx, []byte(line))
+		cancel()
+		if err != nil {
+			fmt.Printf("propose failed: %v\n", err)
+			continue
+		}
+		fmt.Printf("committed at index %d in %v (leader %s, term %d)\n",
+			idx, time.Since(start).Round(time.Millisecond), node.Leader(), node.Term())
+	}
+	return scanner.Err()
+}

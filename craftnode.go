@@ -1,0 +1,238 @@
+package hraft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/core/craft"
+	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// CRaftOptions configures a C-Raft site.
+type CRaftOptions struct {
+	// ID is this site's identity (required).
+	ID NodeID
+	// Cluster is the cluster this site belongs to (required); it is also
+	// the cluster's member name at the global level and must be routable
+	// by the transport.
+	Cluster NodeID
+	// ClusterPeers is the cluster's initial local membership.
+	ClusterPeers []NodeID
+	// GlobalClusters is the initial set of clusters. Leave empty for a
+	// cluster that joins the global configuration later via JoinGlobal.
+	GlobalClusters []NodeID
+	// Transport connects the site (required). It must route messages
+	// addressed to the Cluster ID to whichever site currently leads the
+	// cluster; the in-process network does this automatically when the
+	// leading site's endpoint is registered under the cluster ID via
+	// RegisterClusterEndpoint.
+	Transport Transport
+	// Storage is the local log's stable storage (default: in-memory).
+	Storage Storage
+	// BatchSize is entries per global batch (default 10).
+	BatchSize int
+	// BatchDelay flushes partial batches after this long (0 = off).
+	BatchDelay time.Duration
+	// LocalHeartbeat is the intra-cluster tick period (default 100 ms).
+	LocalHeartbeat time.Duration
+	// GlobalHeartbeat is the inter-cluster tick period (default 500 ms).
+	GlobalHeartbeat time.Duration
+	// Seed drives randomized timeouts (0 = time-based).
+	Seed int64
+	// OnCommit observes locally committed entries.
+	OnCommit func(Entry)
+	// OnGlobalCommit observes entries committed to the global log (learned
+	// through replicated global state, hence locally durable).
+	OnGlobalCommit func(Entry)
+	// CommitBuffer sizes the commit channels (default 1024).
+	CommitBuffer int
+}
+
+// CRaftNode is a C-Raft site running on real time: a Fast Raft member of
+// its cluster that, while leading the cluster, also represents it in
+// inter-cluster consensus.
+type CRaftNode struct {
+	host          *runtime.Host
+	cn            *craft.Node
+	commits       chan Entry
+	globalCommits chan Entry
+
+	mu      sync.Mutex
+	waiters map[ProposalID]chan Index
+	stopped bool
+}
+
+// NewCRaftNode builds and starts a C-Raft site.
+func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
+	if opts.ID == types.None || opts.Cluster == types.None {
+		return nil, errors.New("hraft: CRaftOptions.ID and Cluster are required")
+	}
+	if opts.Transport == nil {
+		return nil, errors.New("hraft: CRaftOptions.Transport is required")
+	}
+	if opts.Storage == nil {
+		opts.Storage = NewMemoryStorage()
+	}
+	seed := mixSeed(opts.Seed, opts.ID)
+	cn, err := craft.New(craft.Config{
+		ID:               opts.ID,
+		Cluster:          opts.Cluster,
+		ClusterBootstrap: types.NewConfig(opts.ClusterPeers...),
+		GlobalBootstrap:  types.NewConfig(opts.GlobalClusters...),
+		Storage:          opts.Storage,
+		BatchSize:        opts.BatchSize,
+		BatchDelay:       opts.BatchDelay,
+		LocalHeartbeat:   opts.LocalHeartbeat,
+		GlobalHeartbeat:  opts.GlobalHeartbeat,
+		Rand:             rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hraft: %w", err)
+	}
+	buf := opts.CommitBuffer
+	if buf <= 0 {
+		buf = 1024
+	}
+	n := &CRaftNode{
+		cn:            cn,
+		commits:       make(chan Entry, buf),
+		globalCommits: make(chan Entry, buf),
+		waiters:       make(map[ProposalID]chan Index),
+	}
+	n.host = runtime.NewHost(cn, opts.Transport, runtime.Callbacks{
+		OnCommit: func(e Entry) {
+			if opts.OnCommit != nil {
+				opts.OnCommit(e)
+			}
+			n.commits <- e
+		},
+		OnGlobalCommit: func(e Entry) {
+			if opts.OnGlobalCommit != nil {
+				opts.OnGlobalCommit(e)
+			}
+			n.globalCommits <- e
+		},
+		OnResolve: func(r types.Resolution) {
+			n.mu.Lock()
+			ch, ok := n.waiters[r.PID]
+			if ok {
+				delete(n.waiters, r.PID)
+			}
+			n.mu.Unlock()
+			if ok {
+				ch <- r.Index
+			}
+		},
+	})
+	return n, nil
+}
+
+// ID returns the site identity.
+func (n *CRaftNode) ID() NodeID { return n.cn.ID() }
+
+// ClusterID returns the cluster identity.
+func (n *CRaftNode) ClusterID() NodeID { return n.cn.ClusterID() }
+
+// Role returns the site's local-consensus role.
+func (n *CRaftNode) Role() Role {
+	var r Role
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { r = n.cn.Role() })
+	return r
+}
+
+// IsClusterLeader reports whether this site currently leads its cluster
+// (and therefore represents it globally).
+func (n *CRaftNode) IsClusterLeader() bool {
+	var ok bool
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { ok = n.cn.IsGlobalMember() })
+	return ok
+}
+
+// GlobalCommitIndex returns the highest global-log index this site knows
+// committed.
+func (n *CRaftNode) GlobalCommitIndex() Index {
+	var i Index
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { i = n.cn.GlobalCommitIndex() })
+	return i
+}
+
+// Commits streams locally committed entries; it must be consumed.
+func (n *CRaftNode) Commits() <-chan Entry { return n.commits }
+
+// GlobalCommits streams entries committed to the global log; it must be
+// consumed.
+func (n *CRaftNode) GlobalCommits() <-chan Entry { return n.globalCommits }
+
+// Propose submits an application entry to intra-cluster consensus and
+// waits for the local commit (the paper's closed-loop semantics); the
+// cluster leader later batches it into the global log.
+func (n *CRaftNode) Propose(ctx context.Context, data []byte) (Index, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return 0, ErrStopped
+	}
+	n.mu.Unlock()
+	ch := make(chan Index, 1)
+	var pid ProposalID
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		pid = n.cn.Propose(now, data)
+		n.mu.Lock()
+		n.waiters[pid] = ch
+		n.mu.Unlock()
+	})
+	select {
+	case idx := <-ch:
+		return idx, nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.waiters, pid)
+		n.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// ProposeAsync submits an application entry without waiting.
+func (n *CRaftNode) ProposeAsync(data []byte) ProposalID {
+	var pid ProposalID
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		pid = n.cn.Propose(now, data)
+	})
+	return pid
+}
+
+// JoinGlobal requests that this cluster join the global configuration (a
+// new cluster forming, paper Section V-C). It takes effect once this site
+// leads its cluster.
+func (n *CRaftNode) JoinGlobal(contacts []NodeID) {
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		n.cn.JoinGlobal(now, contacts)
+	})
+}
+
+// Stop halts the site (a crash; storage remains for restart).
+func (n *CRaftNode) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+	n.host.Stop()
+}
+
+// RegisterClusterEndpoint wires an in-process network so messages
+// addressed to a cluster ID reach the given site (call it for the site
+// expected to lead, or refresh it after failovers). Deployments with real
+// transports solve this with their own routing (e.g. a shared UDP address
+// list per cluster).
+func RegisterClusterEndpoint(net *InProcNetwork, cluster NodeID, node *CRaftNode) {
+	ep := net.Endpoint(cluster)
+	ep.SetHandler(func(env Envelope) {
+		node.host.Do(func(now time.Duration, m runtime.Machine) {
+			m.Step(now, env)
+		})
+	})
+}

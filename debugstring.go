@@ -1,0 +1,4 @@
+package hraft
+
+// DebugString renders a diagnostic summary of a C-Raft node's state.
+func (n *CRaftNode) DebugString() string { return n.cn.DebugString() }

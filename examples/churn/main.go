@@ -1,0 +1,129 @@
+// Dynamic membership: announced joins, graceful leaves and silent leaves.
+//
+// Fast Raft handles membership changes without an administrator: sites
+// send join/leave requests to the leader, which serializes configuration
+// changes one member at a time; a site that vanishes silently is detected
+// through missed heartbeat responses and removed (the paper's member
+// timeout). Run it with:
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	hraft "github.com/hraft-io/hraft"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitMembers(nodes map[hraft.NodeID]*hraft.Node, probe hraft.NodeID, want int, timeout time.Duration) (hraft.Membership, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		m := nodes[probe].Members()
+		if m.Size() == want {
+			return m, nil
+		}
+		if time.Now().After(deadline) {
+			return m, fmt.Errorf("membership stuck at %v (want %d members)", m, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func run() error {
+	net := hraft.NewInProcNetwork(23)
+	defer net.Close()
+
+	newNode := func(id hraft.NodeID, peers []hraft.NodeID, seed int64) (*hraft.Node, error) {
+		node, err := hraft.NewNode(hraft.Options{
+			ID:                  id,
+			Peers:               peers,
+			Transport:           net.Endpoint(id),
+			HeartbeatInterval:   20 * time.Millisecond,
+			ElectionTimeoutMin:  80 * time.Millisecond,
+			ElectionTimeoutMax:  160 * time.Millisecond,
+			MemberTimeoutRounds: 5,
+			Seed:                seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		go func() {
+			for range node.Commits() {
+			}
+		}()
+		return node, nil
+	}
+
+	peers := []hraft.NodeID{"n1", "n2", "n3"}
+	nodes := make(map[hraft.NodeID]*hraft.Node)
+	for i, id := range peers {
+		n, err := newNode(id, peers, int64(i+1))
+		if err != nil {
+			return err
+		}
+		nodes[id] = n
+		defer n.Stop()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := nodes["n1"].Propose(ctx, []byte("bootstrap")); err != nil {
+		return err
+	}
+	fmt.Printf("initial membership: %v\n", nodes["n1"].Members())
+
+	// 1. A new site joins: the leader catches it up, then commits a
+	//    configuration including it.
+	fmt.Println("\n[1] n4 sends a join request ...")
+	n4, err := newNode("n4", nil, 44)
+	if err != nil {
+		return err
+	}
+	nodes["n4"] = n4
+	defer n4.Stop()
+	n4.Join(peers)
+	m, err := waitMembers(nodes, "n1", 4, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    joined: membership is now %v\n", m)
+
+	// 2. A site leaves gracefully: it announces the leave and the leader
+	//    commits a configuration without it.
+	fmt.Println("\n[2] n2 announces it is leaving ...")
+	nodes["n2"].Leave()
+	if m, err = waitMembers(nodes, "n1", 3, 10*time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("    left: membership is now %v\n", m)
+	nodes["n2"].Stop()
+
+	// 3. A site vanishes silently: the leader notices the missed
+	//    heartbeat responses and removes it on its own.
+	fmt.Println("\n[3] n3 crashes silently (no leave request) ...")
+	nodes["n3"].Stop()
+	probe := hraft.NodeID("n1")
+	if nodes["n1"].Members().Contains("n3") && nodes["n1"].Role() != hraft.Leader {
+		probe = "n4"
+	}
+	if m, err = waitMembers(nodes, probe, 2, 15*time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("    silent leave detected: membership is now %v\n", m)
+
+	// Consensus still works with the two survivors.
+	if _, err := nodes["n1"].Propose(ctx, []byte("after churn")); err != nil {
+		return fmt.Errorf("post-churn propose: %w", err)
+	}
+	fmt.Println("\nproposals still commit after all the churn ✓")
+	return nil
+}

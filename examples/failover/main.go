@@ -1,0 +1,105 @@
+// Leader failover and Fast Raft recovery.
+//
+// Fast Raft elections consider only leader-approved entries, so after a
+// leader crash the new leader runs the paper's recovery algorithm: voters
+// ship their self-approved entries, and anything a fast quorum had
+// inserted — i.e., anything the dead leader might have committed on the
+// fast track — is re-decided identically. This demo kills the leader
+// mid-stream and shows no committed entry is lost. Run it with:
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	hraft "github.com/hraft-io/hraft"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := hraft.NewInProcNetwork(17)
+	defer net.Close()
+
+	peers := []hraft.NodeID{"n1", "n2", "n3", "n4", "n5"}
+	nodes := make(map[hraft.NodeID]*hraft.Node, len(peers))
+	var mu sync.Mutex
+	committed := make(map[string]hraft.Index) // payload -> index, across all nodes
+	for i, id := range peers {
+		node, err := hraft.NewNode(hraft.Options{
+			ID:                 id,
+			Peers:              peers,
+			Transport:          net.Endpoint(id),
+			HeartbeatInterval:  20 * time.Millisecond,
+			ElectionTimeoutMin: 80 * time.Millisecond,
+			ElectionTimeoutMax: 160 * time.Millisecond,
+			Seed:               int64(i + 1),
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Stop()
+		nodes[id] = node
+		go func(n *hraft.Node) {
+			for e := range n.Commits() {
+				if e.Kind != hraft.EntryNormal {
+					continue
+				}
+				mu.Lock()
+				if prev, ok := committed[string(e.Data)]; ok && prev != e.Index {
+					log.Fatalf("SAFETY VIOLATION: %q at both %d and %d",
+						e.Data, prev, e.Index)
+				}
+				committed[string(e.Data)] = e.Index
+				mu.Unlock()
+			}
+		}(node)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	proposer := nodes["n3"]
+	fmt.Println("committing entries 1-5 ...")
+	for i := 1; i <= 5; i++ {
+		if _, err := proposer.Propose(ctx, []byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			return err
+		}
+	}
+	leader := proposer.Leader()
+	fmt.Printf("leader is %s (term %d)\n", leader, proposer.Term())
+
+	fmt.Printf("\nkilling leader %s ...\n", leader)
+	nodes[leader].Stop()
+
+	// Pick a surviving proposer and keep committing; the election and
+	// recovery happen underneath.
+	survivor := proposer
+	if leader == survivor.ID() {
+		survivor = nodes["n4"]
+	}
+	fmt.Println("committing entries 6-10 through the new leader ...")
+	start := time.Now()
+	for i := 6; i <= 10; i++ {
+		if _, err := survivor.Propose(ctx, []byte(fmt.Sprintf("post-%d", i))); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("new leader %s elected (term %d); 5 more entries committed in %v\n",
+		survivor.Leader(), survivor.Term(), time.Since(start).Round(time.Millisecond))
+
+	mu.Lock()
+	n := len(committed)
+	mu.Unlock()
+	fmt.Printf("\n%d distinct entries committed, no index conflicts across nodes ✓\n", n)
+	return nil
+}

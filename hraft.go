@@ -1,0 +1,128 @@
+// Package hraft is a Go implementation of Fast Raft and C-Raft, the
+// consensus algorithms of Castiglia, Goldberg and Patterson, "A
+// Hierarchical Model for Fast Distributed Consensus in Dynamic Networks"
+// (ICDCS 2020).
+//
+// Fast Raft is a Raft variant for dynamic networks that commits in two
+// message rounds on a fast track (proposers broadcast directly to all
+// sites) and falls back to a classic Raft track under conflict or loss.
+// C-Raft arranges sites into clusters: each cluster runs Fast Raft over a
+// local log, and cluster leaders run Fast Raft among themselves over a
+// global log of batches, multiplying throughput in geo-distributed
+// deployments.
+//
+// # Quick start
+//
+//	net := hraft.NewInProcNetwork(1)
+//	peers := []hraft.NodeID{"n1", "n2", "n3", "n4", "n5"}
+//	var nodes []*hraft.Node
+//	for _, id := range peers {
+//		n, err := hraft.NewNode(hraft.Options{
+//			ID:        id,
+//			Peers:     peers,
+//			Transport: net.Endpoint(id),
+//		})
+//		// handle err
+//		nodes = append(nodes, n)
+//	}
+//	idx, err := nodes[0].Propose(ctx, []byte("hello"))
+//
+// Proposals submitted on any node are replicated to every member; the
+// committed entry stream is available through Node.Commits or the OnCommit
+// callback. See the examples directory for a replicated key-value store, a
+// geo-replicated C-Raft deployment, dynamic membership and leader
+// failover.
+//
+// The deterministic discrete-event simulator and the experiment harness
+// that regenerate the paper's figures live under internal/ and are driven
+// by `go test -bench .` and cmd/hraft-bench.
+package hraft
+
+import (
+	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+	"github.com/hraft-io/hraft/internal/udpnet"
+)
+
+// Core protocol types, re-exported for the public API surface.
+type (
+	// NodeID identifies a site (or, at the C-Raft global level, a
+	// cluster).
+	NodeID = types.NodeID
+	// Index is a log position (1-based; 0 means none).
+	Index = types.Index
+	// Term is a Raft term number.
+	Term = types.Term
+	// Entry is one slot of the replicated log.
+	Entry = types.Entry
+	// ProposalID identifies a proposal across re-proposals.
+	ProposalID = types.ProposalID
+	// Role is a site's role in the current term.
+	Role = types.Role
+	// Membership is a voting-member configuration.
+	Membership = types.Config
+	// Envelope is a routed protocol message.
+	Envelope = types.Envelope
+	// Batch is the payload of a C-Raft global-log batch entry.
+	Batch = types.Batch
+)
+
+// Role values.
+const (
+	// Follower participates in consensus on leader-decided entries.
+	Follower = types.RoleFollower
+	// Candidate is running an election.
+	Candidate = types.RoleCandidate
+	// Leader coordinates consensus for the term.
+	Leader = types.RoleLeader
+)
+
+// Entry kinds relevant to API users.
+const (
+	// EntryNormal is an application entry.
+	EntryNormal = types.KindNormal
+	// EntryConfig is a membership configuration entry.
+	EntryConfig = types.KindConfig
+	// EntryNoop is a leader-internal empty entry.
+	EntryNoop = types.KindNoop
+	// EntryBatch is a C-Raft global-log batch.
+	EntryBatch = types.KindBatch
+)
+
+// Transport moves envelopes between nodes; implementations include the
+// in-process network and the UDP transport.
+type Transport = runtime.Transport
+
+// Storage is a site's stable storage.
+type Storage = storage.Storage
+
+// InProcNetwork connects nodes within one process, with optional latency
+// and loss injection for realistic demos.
+type InProcNetwork = runtime.InProcNetwork
+
+// NewInProcNetwork returns an in-process network; seed drives loss
+// sampling.
+func NewInProcNetwork(seed int64) *InProcNetwork {
+	return runtime.NewInProcNetwork(seed)
+}
+
+// UDPTransport is a transport over UDP datagrams (the paper's deployment
+// medium).
+type UDPTransport = udpnet.Transport
+
+// ListenUDP opens a UDP transport for node id bound to addr.
+func ListenUDP(id NodeID, addr string) (*UDPTransport, error) {
+	return udpnet.Listen(id, addr)
+}
+
+// NewMemoryStorage returns volatile stable storage, suitable for tests and
+// examples.
+func NewMemoryStorage() Storage { return storage.NewMemory() }
+
+// OpenWAL opens (or creates) file-backed stable storage at path, with
+// CRC-framed records and torn-tail recovery.
+func OpenWAL(path string) (Storage, error) { return storage.OpenWAL(path) }
+
+// DecodeBatch parses a Batch from an EntryBatch entry's Data.
+func DecodeBatch(data []byte) (Batch, error) { return types.DecodeBatch(data) }

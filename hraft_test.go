@@ -1,0 +1,297 @@
+package hraft_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	hraft "github.com/hraft-io/hraft"
+)
+
+// fastOptions returns aggressive timers so real-time tests finish quickly.
+func fastOptions(id hraft.NodeID, peers []hraft.NodeID, tr hraft.Transport, seed int64) hraft.Options {
+	return hraft.Options{
+		ID:                 id,
+		Peers:              peers,
+		Transport:          tr,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeoutMin: 40 * time.Millisecond,
+		ElectionTimeoutMax: 80 * time.Millisecond,
+		ProposalTimeout:    100 * time.Millisecond,
+		Seed:               seed,
+	}
+}
+
+func startCluster(t *testing.T, n int, seed int64) (*hraft.InProcNetwork, []*hraft.Node, []hraft.NodeID) {
+	t.Helper()
+	net := hraft.NewInProcNetwork(seed)
+	peers := make([]hraft.NodeID, n)
+	for i := range peers {
+		peers[i] = hraft.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	nodes := make([]*hraft.Node, n)
+	for i, id := range peers {
+		node, err := hraft.NewNode(fastOptions(id, peers, net.Endpoint(id), seed+int64(i)))
+		if err != nil {
+			t.Fatalf("NewNode(%s): %v", id, err)
+		}
+		nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		net.Close()
+	})
+	return net, nodes, peers
+}
+
+func TestPublicAPIProposeCommit(t *testing.T) {
+	_, nodes, _ := startCluster(t, 5, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	idx, err := nodes[1].Propose(ctx, []byte("hello"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	if idx == 0 {
+		t.Fatal("committed at index 0")
+	}
+	// The entry must surface on every node's commit stream.
+	for i, n := range nodes {
+		deadline := time.After(5 * time.Second)
+		for {
+			var e hraft.Entry
+			select {
+			case e = <-n.Commits():
+			case <-deadline:
+				t.Fatalf("node %d never saw the committed entry", i)
+			}
+			if e.Kind == hraft.EntryNormal && string(e.Data) == "hello" {
+				break
+			}
+		}
+	}
+}
+
+func TestPublicAPIPipelinedProposals(t *testing.T) {
+	_, nodes, _ := startCluster(t, 3, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		if _, err := nodes[0].Propose(ctx, []byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+	}
+	if ci := nodes[0].CommitIndex(); ci < 10 {
+		t.Fatalf("commit index %d after 10 proposals", ci)
+	}
+	go func() {
+		for range nodes[0].Commits() {
+		}
+	}()
+}
+
+func TestPublicAPILeaderFailover(t *testing.T) {
+	_, nodes, peers := startCluster(t, 5, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := nodes[2].Propose(ctx, []byte("before")); err != nil {
+		t.Fatalf("pre-failover propose: %v", err)
+	}
+	// Find and stop the leader.
+	var leader hraft.NodeID
+	for waited := 0; waited < 100; waited++ {
+		leader = nodes[2].Leader()
+		if leader != "" {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leader == "" {
+		t.Fatal("no leader discovered")
+	}
+	var survivor *hraft.Node
+	for i, id := range peers {
+		if id == leader {
+			nodes[i].Stop()
+		} else if survivor == nil || id == nodes[2].ID() {
+			survivor = nodes[i]
+		}
+	}
+	if _, err := survivor.Propose(ctx, []byte("after")); err != nil {
+		t.Fatalf("post-failover propose: %v", err)
+	}
+	// Drain commit channels so Stop in cleanup doesn't block dispatchers.
+	for _, n := range nodes {
+		go func(n *hraft.Node) {
+			for range n.Commits() {
+			}
+		}(n)
+	}
+}
+
+func TestPublicAPIMembershipJoin(t *testing.T) {
+	net, nodes, peers := startCluster(t, 3, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := nodes[0].Propose(ctx, []byte("warmup")); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	joiner, err := hraft.NewNode(fastOptions("n4", nil, net.Endpoint("n4"), 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Stop()
+	joiner.Join(peers)
+	deadline := time.After(10 * time.Second)
+	for {
+		if joiner.Members().Contains("n4") && nodes[0].Members().Contains("n4") {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("join never completed: joiner=%v n1=%v",
+				joiner.Members(), nodes[0].Members())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	for _, n := range append(nodes, joiner) {
+		go func(n *hraft.Node) {
+			for range n.Commits() {
+			}
+		}(n)
+	}
+	if _, err := joiner.Propose(ctx, []byte("from joiner")); err != nil {
+		t.Fatalf("joiner propose: %v", err)
+	}
+}
+
+func TestPublicAPICRaftGlobalCommit(t *testing.T) {
+	net := hraft.NewInProcNetwork(7)
+	specs := map[hraft.NodeID][]hraft.NodeID{
+		"cA": {"a1", "a2", "a3"},
+		"cB": {"b1", "b2", "b3"},
+	}
+	clusters := []hraft.NodeID{"cA", "cB"}
+	var all []*hraft.CRaftNode
+	byID := make(map[hraft.NodeID]*hraft.CRaftNode)
+	for _, cid := range clusters {
+		for i, sid := range specs[cid] {
+			node, err := hraft.NewCRaftNode(hraft.CRaftOptions{
+				ID:              sid,
+				Cluster:         cid,
+				ClusterPeers:    specs[cid],
+				GlobalClusters:  clusters,
+				Transport:       net.Endpoint(sid),
+				BatchSize:       5,
+				LocalHeartbeat:  10 * time.Millisecond,
+				GlobalHeartbeat: 40 * time.Millisecond,
+				Seed:            int64(100 + i),
+			})
+			if err != nil {
+				t.Fatalf("NewCRaftNode(%s): %v", sid, err)
+			}
+			all = append(all, node)
+			byID[sid] = node
+		}
+	}
+	defer func() {
+		for _, n := range all {
+			n.Stop()
+		}
+		net.Close()
+	}()
+	for _, n := range all {
+		go func(n *hraft.CRaftNode) {
+			for range n.Commits() {
+			}
+		}(n)
+		go func(n *hraft.CRaftNode) {
+			for range n.GlobalCommits() {
+			}
+		}(n)
+	}
+	// Keep the cluster endpoints pointed at the current local leaders.
+	stopRouting := make(chan struct{})
+	defer close(stopRouting)
+	go func() {
+		for {
+			select {
+			case <-stopRouting:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			for _, cid := range clusters {
+				for _, sid := range specs[cid] {
+					if byID[sid].IsClusterLeader() {
+						hraft.RegisterClusterEndpoint(net, cid, byID[sid])
+						break
+					}
+				}
+			}
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Propose 12 entries in cluster A: at batch size 5 at least two batches
+	// must commit globally and be visible in cluster B.
+	for i := 0; i < 12; i++ {
+		if _, err := byID["a1"].Propose(ctx, []byte(fmt.Sprintf("a-%d", i))); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+	}
+	deadline := time.After(20 * time.Second)
+	for {
+		if byID["b1"].GlobalCommitIndex() >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("cluster B never learned global commits (b1 gCommit=%d)",
+				byID["b1"].GlobalCommitIndex())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func TestPublicAPIRaftBaseline(t *testing.T) {
+	net := hraft.NewInProcNetwork(9)
+	defer net.Close()
+	peers := []hraft.NodeID{"r1", "r2", "r3"}
+	var nodes []*hraft.RaftNode
+	for i, id := range peers {
+		n, err := hraft.NewRaftNode(hraft.Options{
+			ID:                 id,
+			Peers:              peers,
+			Transport:          net.Endpoint(id),
+			HeartbeatInterval:  10 * time.Millisecond,
+			ElectionTimeoutMin: 40 * time.Millisecond,
+			ElectionTimeoutMax: 80 * time.Millisecond,
+			Seed:               int64(i + 1),
+		})
+		if err != nil {
+			t.Fatalf("NewRaftNode(%s): %v", id, err)
+		}
+		defer n.Stop()
+		nodes = append(nodes, n)
+		go func(n *hraft.RaftNode) {
+			for range n.Commits() {
+			}
+		}(n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if _, err := nodes[1].Propose(ctx, []byte(fmt.Sprintf("r-%d", i))); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+	}
+	if nodes[1].CommitIndex() < 5 {
+		t.Fatalf("commit index = %d", nodes[1].CommitIndex())
+	}
+	if nodes[1].Leader() == "" {
+		t.Fatal("no leader known")
+	}
+}

@@ -1,0 +1,97 @@
+package craft
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// commitLocalApp drives the single-site cluster's local consensus far
+// enough to commit one application entry (single-member group: propose,
+// then tick).
+func commitLocalApp(t *testing.T, n *Node, now time.Duration, payload string) time.Duration {
+	t.Helper()
+	n.Propose(now, []byte(payload))
+	now += 250 * time.Millisecond
+	n.Tick(now)
+	return now
+}
+
+// newSoloNode builds a single-site cluster (local quorum of one) so local
+// commits and batching can be driven without a network.
+func newSoloNode(t *testing.T, batchSize int, batchDelay time.Duration) *Node {
+	t.Helper()
+	cfg := Config{
+		ID:               "s1",
+		Cluster:          "c1",
+		ClusterBootstrap: types.NewConfig("s1"),
+		GlobalBootstrap:  types.NewConfig("c1", "c2"),
+		Storage:          newReplayNode(t).cfg.Storage, // fresh memory store
+		BatchSize:        batchSize,
+		BatchDelay:       batchDelay,
+		Rand:             newReplayNode(t).cfg.Rand,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elect the solo local leader.
+	n.Tick(time.Second)
+	if n.Role() != types.RoleLeader {
+		t.Fatalf("solo site not leader: %v", n.Role())
+	}
+	if !n.IsGlobalMember() {
+		t.Fatal("global instance not started")
+	}
+	return n
+}
+
+func TestBatchCreatedAtBatchSize(t *testing.T) {
+	n := newSoloNode(t, 3, 0)
+	now := 2 * time.Second
+	for i := 0; i < 2; i++ {
+		now = commitLocalApp(t, n, now, "x")
+	}
+	if n.GlobalNode().PendingProposals() != 0 {
+		t.Fatal("batch proposed before reaching BatchSize")
+	}
+	now = commitLocalApp(t, n, now, "x")
+	if got := n.GlobalNode().PendingProposals(); got != 1 {
+		t.Fatalf("pending global batches = %d, want 1", got)
+	}
+	if n.nextBatchSeq != 2 {
+		t.Fatalf("nextBatchSeq = %d", n.nextBatchSeq)
+	}
+}
+
+func TestBatchDelayFlushesPartialBatch(t *testing.T) {
+	n := newSoloNode(t, 10, time.Second)
+	now := commitLocalApp(t, n, 2*time.Second, "only-one")
+	if n.GlobalNode().PendingProposals() != 0 {
+		t.Fatal("partial batch flushed before the delay")
+	}
+	// The node must schedule a wake-up for the flush deadline.
+	d := n.NextDeadline()
+	if d == 0 {
+		t.Fatal("no deadline scheduled for the batch delay")
+	}
+	n.Tick(now + 2*time.Second)
+	if got := n.GlobalNode().PendingProposals(); got != 1 {
+		t.Fatalf("partial batch not flushed after delay (pending=%d)", got)
+	}
+}
+
+func TestBatchPIDsAreDeterministic(t *testing.T) {
+	n := newSoloNode(t, 2, 0)
+	now := 2 * time.Second
+	for i := 0; i < 4; i++ {
+		now = commitLocalApp(t, n, now, "x")
+	}
+	// Two batches must exist with PIDs (c1,1) and (c1,2).
+	for seq := uint64(1); seq <= 2; seq++ {
+		if _, ok := n.ourBatches[seq]; !ok {
+			t.Fatalf("batch seq %d missing (have %v)", seq, len(n.ourBatches))
+		}
+	}
+}

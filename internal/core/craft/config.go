@@ -1,0 +1,104 @@
+package craft
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Config parametrizes a C-Raft site.
+type Config struct {
+	// ID is this site's identity.
+	ID types.NodeID
+	// Cluster is the cluster this site belongs to; it doubles as the
+	// site's member identity at the inter-cluster (global) level.
+	Cluster types.NodeID
+	// ClusterBootstrap is the cluster's initial local membership.
+	ClusterBootstrap types.Config
+	// GlobalBootstrap is the initial set of clusters (global membership).
+	// A cluster formed later uses an empty bootstrap and joins through the
+	// global join protocol.
+	GlobalBootstrap types.Config
+	// Storage is the site's stable storage for the local log. The global
+	// instance needs no separate storage: its durable state is exactly the
+	// global-state entries replicated in the local log.
+	Storage storage.Storage
+	// BatchSize is how many locally committed application entries form one
+	// global-log batch (paper experiments: 10).
+	BatchSize int
+	// BatchDelay, when non-zero, flushes a partial batch whose oldest
+	// entry has waited this long (the paper's "amount of time passing"
+	// batch trigger).
+	BatchDelay time.Duration
+	// LocalHeartbeat is the intra-cluster leader tick period (paper:
+	// 100 ms).
+	LocalHeartbeat time.Duration
+	// GlobalHeartbeat is the inter-cluster leader tick period (paper:
+	// 500 ms).
+	GlobalHeartbeat time.Duration
+	// LocalElectionMin/Max bound local election timeouts (0 = derived).
+	LocalElectionMin time.Duration
+	// LocalElectionMax must exceed LocalElectionMin when set.
+	LocalElectionMax time.Duration
+	// GlobalElectionMin/Max bound global election timeouts (0 = derived;
+	// the default exceeds the largest inter-region round trip).
+	GlobalElectionMin time.Duration
+	// GlobalElectionMax must exceed GlobalElectionMin when set.
+	GlobalElectionMax time.Duration
+	// LocalProposalTimeout is the local re-propose period (0 = derived).
+	LocalProposalTimeout time.Duration
+	// GlobalProposalTimeout is the global re-propose period (0 = derived).
+	GlobalProposalTimeout time.Duration
+	// MemberTimeoutRounds configures silent-leave detection at both
+	// levels.
+	MemberTimeoutRounds int
+	// DisableFastTrack forces the classic track at both levels (ablation).
+	DisableFastTrack bool
+	// Rand drives randomized timeouts; required for deterministic
+	// simulation.
+	Rand *rand.Rand
+}
+
+// Defaults fills unset values with the paper's experimental settings.
+func (c *Config) Defaults() {
+	if c.BatchSize == 0 {
+		c.BatchSize = 10
+	}
+	if c.LocalHeartbeat == 0 {
+		c.LocalHeartbeat = 100 * time.Millisecond
+	}
+	if c.GlobalHeartbeat == 0 {
+		c.GlobalHeartbeat = 500 * time.Millisecond
+	}
+	if c.GlobalElectionMin == 0 {
+		c.GlobalElectionMin = 4 * c.GlobalHeartbeat
+	}
+	if c.GlobalElectionMax == 0 {
+		c.GlobalElectionMax = 2 * c.GlobalElectionMin
+	}
+	if c.GlobalProposalTimeout == 0 {
+		c.GlobalProposalTimeout = 6 * c.GlobalHeartbeat
+	}
+	if c.MemberTimeoutRounds == 0 {
+		c.MemberTimeoutRounds = 5
+	}
+}
+
+func (c *Config) validate() error {
+	if c.ID == types.None {
+		return errors.New("craft: config needs an ID")
+	}
+	if c.Cluster == types.None {
+		return errors.New("craft: config needs a Cluster")
+	}
+	if c.Storage == nil {
+		return errors.New("craft: config needs Storage")
+	}
+	if c.Rand == nil {
+		return errors.New("craft: config needs Rand")
+	}
+	return nil
+}

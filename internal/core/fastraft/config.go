@@ -1,0 +1,102 @@
+package fastraft
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Config parametrizes a Fast Raft node.
+type Config struct {
+	// ID is this site's identity.
+	ID types.NodeID
+	// Bootstrap is the initial configuration used when storage is empty. A
+	// joining site uses an empty bootstrap and learns membership from the
+	// leader's catch-up.
+	Bootstrap types.Config
+	// Storage is the site's stable storage (required).
+	Storage storage.Storage
+	// HeartbeatInterval is the leader tick period (paper: 100 ms
+	// intra-cluster, 500 ms inter-cluster).
+	HeartbeatInterval time.Duration
+	// ElectionTimeoutMin/Max bound the randomized election timeout; the
+	// minimum must exceed typical message delays.
+	ElectionTimeoutMin time.Duration
+	// ElectionTimeoutMax must be > ElectionTimeoutMin.
+	ElectionTimeoutMax time.Duration
+	// ProposalTimeout is the paper's proposal timeout: how long a proposer
+	// waits for its entry to commit before re-proposing it at a fresh
+	// index.
+	ProposalTimeout time.Duration
+	// JoinTimeout is the paper's join timeout: how long a joiner waits for
+	// acceptance before re-sending its join request.
+	JoinTimeout time.Duration
+	// MemberTimeoutRounds is the paper's member timeout: the number of
+	// consecutive missed AppendEntries responses after which the leader
+	// proposes a configuration excluding the silent follower (paper
+	// experiments: 5).
+	MemberTimeoutRounds int
+	// DisableFastTrack forces every decided entry onto the classic track;
+	// used by the ablation benchmarks.
+	DisableFastTrack bool
+	// AutoRejoin makes a live site that discovers it was removed from the
+	// configuration (e.g. a mistaken silent-leave detection) send join
+	// requests to return. Enabled by default through Defaults.
+	AutoRejoin bool
+	// noAutoRejoin records an explicit opt-out (Defaults would otherwise
+	// re-enable).
+	NoAutoRejoin bool
+	// Rand drives randomized timeouts; required for deterministic
+	// simulation.
+	Rand *rand.Rand
+	// Layer tags outgoing envelopes; C-Raft's inter-cluster instance runs
+	// at types.LayerGlobal. Defaults to types.LayerLocal.
+	Layer types.Layer
+}
+
+// Defaults fills unset values with the paper's experimental settings.
+func (c *Config) Defaults() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.ElectionTimeoutMin == 0 {
+		c.ElectionTimeoutMin = 3 * c.HeartbeatInterval
+	}
+	if c.ElectionTimeoutMax == 0 {
+		c.ElectionTimeoutMax = 2 * c.ElectionTimeoutMin
+	}
+	if c.ProposalTimeout == 0 {
+		c.ProposalTimeout = 6 * c.HeartbeatInterval
+	}
+	if c.JoinTimeout == 0 {
+		c.JoinTimeout = 10 * c.HeartbeatInterval
+	}
+	if c.MemberTimeoutRounds == 0 {
+		c.MemberTimeoutRounds = 5
+	}
+	if !c.NoAutoRejoin {
+		c.AutoRejoin = true
+	}
+	if c.Layer == 0 {
+		c.Layer = types.LayerLocal
+	}
+}
+
+func (c *Config) validate() error {
+	if c.ID == types.None {
+		return errors.New("fastraft: config needs an ID")
+	}
+	if c.Storage == nil {
+		return errors.New("fastraft: config needs Storage")
+	}
+	if c.Rand == nil {
+		return errors.New("fastraft: config needs Rand")
+	}
+	if c.ElectionTimeoutMax <= c.ElectionTimeoutMin {
+		return errors.New("fastraft: ElectionTimeoutMax must exceed ElectionTimeoutMin")
+	}
+	return nil
+}

@@ -1,0 +1,514 @@
+package fastraft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// --- Proposing -----------------------------------------------------------
+
+// Propose submits an application entry from this site: the proposer
+// broadcasts it to every configuration member at a chosen index and tracks
+// it until resolution (the paper's proposal-timeout retry loop).
+func (n *Node) Propose(now time.Duration, data []byte) types.ProposalID {
+	return n.ProposeEntry(now, types.Entry{
+		Kind: types.KindNormal,
+		Data: append([]byte(nil), data...),
+	})
+}
+
+// ProposeEntry submits an arbitrary entry (used by C-Raft to propose
+// global-state entries). The entry's PID is assigned here.
+func (n *Node) ProposeEntry(now time.Duration, e types.Entry) types.ProposalID {
+	n.now = now
+	n.proposalSeq++
+	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
+	return n.ProposeEntryPID(now, e, pid)
+}
+
+// ProposeEntryPID submits an entry under a caller-chosen ProposalID. C-Raft
+// uses deterministic batch PIDs (cluster, batch sequence) so a successor
+// local leader re-proposing a batch de-duplicates against the original.
+// Proposing an already-pending PID is a no-op.
+func (n *Node) ProposeEntryPID(now time.Duration, e types.Entry, pid types.ProposalID) types.ProposalID {
+	n.now = now
+	if _, exists := n.pending[pid]; exists {
+		return pid
+	}
+	e.PID = pid
+	p := &pendingProposal{entry: e.Clone(), deadline: now + n.cfg.ProposalTimeout}
+	n.pending[pid] = p
+	n.broadcastProposal(p)
+	return pid
+}
+
+// broadcastProposal picks a fresh index and sends the proposal to all
+// members, handling the local insert + vote inline.
+//
+// The index is the first slot past the leader-approved prefix that this
+// proposer's own log does not already hold a different entry for. Anchoring
+// at the prefix (rather than the end of the sparse log) keeps concurrent
+// proposers converging on decidable indices — self-approved entries above
+// the prefix are unsettled, and chasing them lets the index race ahead of
+// the decide loop indefinitely. Skipping occupied slots lets proposal
+// bursts pipeline instead of colliding with their own predecessors.
+func (n *Node) broadcastProposal(p *pendingProposal) {
+	cfg := n.Config()
+	if cfg.Size() == 0 {
+		return // not part of any group yet; retry later
+	}
+	idx := n.log.LastLeaderIndex() + 1
+	if idx <= n.commitIndex {
+		idx = n.commitIndex + 1
+	}
+	for {
+		e, ok := n.log.Get(idx)
+		if !ok || e.PID == p.entry.PID {
+			break
+		}
+		idx++
+	}
+	p.index = idx
+	msg := types.ProposeEntry{Index: idx, Entry: p.entry.Clone()}
+	for _, peer := range cfg.Others(n.cfg.ID) {
+		n.send(peer, msg)
+	}
+	if cfg.Contains(n.cfg.ID) {
+		n.handleProposeLocally(msg)
+	}
+}
+
+func (n *Node) retryProposals(now time.Duration) {
+	var due []types.ProposalID
+	for pid, p := range n.pending {
+		if now >= p.deadline {
+			due = append(due, pid)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].Less(due[j]) })
+	for _, pid := range due {
+		p := n.pending[pid]
+		p.deadline = now + n.cfg.ProposalTimeout
+		// Re-propose at a fresh index: the old slot may have been decided
+		// for a different entry. De-duplication (leader pid map + commit
+		// notifications) keeps the proposal single-commit.
+		n.broadcastProposal(p)
+	}
+}
+
+// --- Receiving proposals (follower and leader alike) ----------------------
+
+func (n *Node) onProposeEntry(from types.NodeID, m types.ProposeEntry) {
+	n.handleProposeLocally(m)
+	_ = from
+}
+
+// handleProposeLocally implements the paper's "when follower receives a
+// proposed entry" steps, also used by the leader (which is "treated as a
+// follower in this scenario").
+func (n *Node) handleProposeLocally(m types.ProposeEntry) {
+	pid := m.Entry.PID
+	// Duplicate handling.
+	if existing := n.log.FindProposal(pid); existing != 0 {
+		if existing <= n.commitIndex {
+			// Already committed: notify the proposer directly.
+			n.send(pid.Proposer, types.CommitNotify{PID: pid, Index: existing})
+			return
+		}
+		// Already inserted but uncommitted: re-vote for its current slot
+		// (handles lost vote messages on re-proposals).
+		n.voteFor(existing)
+		return
+	}
+	idx := m.Index
+	if idx <= n.commitIndex {
+		// The slot is burned; the proposer will re-propose. Vote for the
+		// occupant anyway so the leader's tally sees us.
+		return
+	}
+	if !n.log.Has(idx) {
+		e := m.Entry.Clone()
+		e.Term = n.term
+		if err := n.log.InsertSelf(idx, e); err != nil {
+			panic(fmt.Sprintf("fastraft %s: insert self: %v", n.cfg.ID, err))
+		}
+		n.persistEntry(idx)
+	}
+	n.voteFor(idx)
+}
+
+// voteFor sends (or locally applies, on the leader) a vote for the current
+// occupant of idx.
+func (n *Node) voteFor(idx types.Index) {
+	e, ok := n.log.Get(idx)
+	if !ok {
+		return
+	}
+	if n.role == types.RoleLeader {
+		n.recordVote(n.cfg.ID, types.VoteEntry{
+			Term: n.term, Index: idx, Entry: e, CommitIndex: n.commitIndex,
+		})
+		return
+	}
+	if n.leaderID == types.None {
+		return // no leader known; proposal timeout will recover
+	}
+	n.send(n.leaderID, types.VoteEntry{
+		Term: n.term, Index: idx, Entry: e, CommitIndex: n.commitIndex,
+	})
+}
+
+// --- Leader: vote intake and the decide loop ------------------------------
+
+func (n *Node) onVoteEntry(from types.NodeID, m types.VoteEntry) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+		return
+	}
+	if n.role != types.RoleLeader || m.Term < n.term {
+		return
+	}
+	n.recordVote(from, m)
+}
+
+func (n *Node) recordVote(from types.NodeID, m types.VoteEntry) {
+	pid := m.Entry.PID
+	if idx := n.log.FindProposal(pid); idx != 0 && idx <= n.commitIndex {
+		// Voted-for proposal already committed elsewhere: tell its
+		// proposer, don't tally.
+		n.send(pid.Proposer, types.CommitNotify{PID: pid, Index: idx})
+		return
+	}
+	if m.Index <= n.commitIndex {
+		return // stale index
+	}
+	n.tally.AddVote(m.Index, from, m.Entry)
+	// Paper: reset the voter's nextIndex from its reported commit index so
+	// AppendEntries re-converges its log with the (possibly new) leader.
+	if from != n.cfg.ID {
+		n.nextIndex[from] = m.CommitIndex + 1
+	}
+}
+
+// decideLoop is the paper's "periodically run by the leader" procedure:
+// while a classic quorum has voted on the next undecided index, decide the
+// most-voted entry. An entry commits immediately on a fast quorum — but,
+// per the paper, the fast track applies only when every earlier index has
+// already committed — otherwise the entry rides the classic track
+// (AppendEntries replication + matchIndex commit). Decisions pipeline ahead
+// of the commit point exactly as appends do in classic Raft; the losing
+// candidates at each index are re-sequenced at subsequent indices (the
+// leader's free choice) so their proposers don't stall.
+func (n *Node) decideLoop() {
+	cfg := n.Config()
+	classicQ := quorum.ClassicSize(cfg.Size())
+	fastQ := quorum.FastSize(cfg.Size())
+	for {
+		k := n.log.LastLeaderIndex() + 1
+		if n.tally.Voters(k, cfg) < classicQ {
+			return
+		}
+		d, ok := n.tally.Decide(k, cfg, n.skipDecidedAt(k))
+		if !ok {
+			// Every candidate was a duplicate of an already decided
+			// proposal; fill the slot with a no-op to keep the log dense.
+			n.appendLeaderEntryAt(k, types.Entry{Kind: types.KindNoop})
+			continue
+		}
+		n.appendLeaderEntryAt(k, d.Winner)
+		n.tally.NullProposal(d.Winner, k)
+		for _, v := range d.WinnerVoters {
+			if n.fastMatch[v] < k {
+				n.fastMatch[v] = k
+			}
+		}
+		n.fastMatch[n.cfg.ID] = n.log.LastLeaderIndex()
+		n.matchIndex[n.cfg.ID] = n.log.LastLeaderIndex()
+		// Re-sequence losers on the classic track.
+		for _, loser := range d.Losers {
+			if !loser.PID.IsZero() && n.proposalDecided(loser.PID) {
+				continue
+			}
+			n.appendLeaderEntry(loser)
+			n.tally.NullProposal(loser, 0)
+		}
+		if !n.cfg.DisableFastTrack &&
+			k == n.commitIndex+1 &&
+			n.log.Term(k) == n.term &&
+			quorum.MatchQuorum(cfg, n.fastMatch, k, fastQ) {
+			n.commitTo(k)
+			if n.role != types.RoleLeader {
+				return // committing a config entry removed this leader
+			}
+			n.tally.Clear(k)
+			cfg = n.Config()
+			classicQ = quorum.ClassicSize(cfg.Size())
+			fastQ = quorum.FastSize(cfg.Size())
+		}
+	}
+}
+
+// appendLeaderEntry appends e at the end of the leader-approved prefix.
+func (n *Node) appendLeaderEntry(e types.Entry) {
+	n.appendLeaderEntryAt(n.log.LastLeaderIndex()+1, e)
+}
+
+// appendLeaderEntryAt stamps e with the current term and leader-approves it
+// at idx (which must extend the prefix by exactly one; any self-approved
+// occupant is replaced).
+func (n *Node) appendLeaderEntryAt(idx types.Index, e types.Entry) {
+	e = e.Clone()
+	e.Term = n.term
+	if err := n.log.AppendLeader(idx, e); err != nil {
+		panic(fmt.Sprintf("fastraft %s: append leader: %v", n.cfg.ID, err))
+	}
+	n.persistEntry(idx)
+	n.matchIndex[n.cfg.ID] = n.log.LastLeaderIndex()
+	if e.Kind == types.KindConfig {
+		n.onConfigChangedAsLeader()
+	}
+}
+
+// --- Leader tick -----------------------------------------------------------
+
+// leaderTick performs all periodic leader duties in the paper's order:
+// decide/commit evaluation, membership processing, then AppendEntries
+// dispatch. Any phase can demote the node (committing a configuration that
+// excludes it), so leadership is re-checked between phases.
+func (n *Node) leaderTick() {
+	n.decideLoop()
+	if n.role != types.RoleLeader {
+		return
+	}
+	n.advanceClassicCommit()
+	if n.role != types.RoleLeader {
+		return
+	}
+	n.processMembership()
+	if n.role != types.RoleLeader {
+		return
+	}
+	n.broadcastAppend()
+}
+
+// advanceClassicCommit applies the classic-track commit rule over
+// matchIndex.
+func (n *Node) advanceClassicCommit() {
+	cfg := n.Config()
+	classicQ := quorum.ClassicSize(cfg.Size())
+	for k := n.commitIndex + 1; k <= n.log.LastLeaderIndex(); k++ {
+		if n.log.Term(k) != n.term {
+			// Entries from earlier terms commit transitively once a
+			// current-term entry commits.
+			continue
+		}
+		if !quorum.MatchQuorum(cfg, n.matchIndex, k, classicQ) {
+			break
+		}
+		n.commitTo(k)
+		if n.role != types.RoleLeader {
+			return // committing a config entry removed this leader
+		}
+		n.tally.Clear(k)
+		// A committed configuration entry changes quorum sizes from here
+		// on.
+		cfg = n.Config()
+		classicQ = quorum.ClassicSize(cfg.Size())
+	}
+}
+
+func (n *Node) commitTo(k types.Index) {
+	if k > n.log.LastLeaderIndex() {
+		panic(fmt.Sprintf("fastraft %s: commit %d beyond leader prefix %d",
+			n.cfg.ID, k, n.log.LastLeaderIndex()))
+	}
+	for i := n.commitIndex + 1; i <= k; i++ {
+		e, ok := n.log.Get(i)
+		if !ok {
+			panic(fmt.Sprintf("fastraft %s: commit hole at %d", n.cfg.ID, i))
+		}
+		n.committed = append(n.committed, e)
+		n.observeCommitted(e)
+		if n.role == types.RoleLeader {
+			if !e.PID.IsZero() && e.PID.Proposer != n.cfg.ID {
+				n.send(e.PID.Proposer, types.CommitNotify{PID: e.PID, Index: i})
+			}
+			if e.Kind == types.KindConfig {
+				n.onConfigCommittedAsLeader(e)
+			}
+		}
+	}
+	n.commitIndex = k
+}
+
+// observeCommitted resolves local proposals and reacts to configuration
+// entries that affect this site.
+func (n *Node) observeCommitted(e types.Entry) {
+	if e.PID.Proposer == n.cfg.ID {
+		if _, ok := n.pending[e.PID]; ok {
+			delete(n.pending, e.PID)
+			n.resolved = append(n.resolved, types.Resolution{PID: e.PID, Index: e.Index})
+		}
+	}
+}
+
+// --- Replication (AppendEntries) -------------------------------------------
+
+func (n *Node) broadcastAppend() {
+	cfg := n.Config()
+	n.aeRound++
+	targets := cfg.Others(n.cfg.ID)
+	targets = append(targets, sortedKeys(n.nonvoting)...)
+	for _, peer := range targets {
+		// Silent-leave accounting: count rounds a voting member has left
+		// unanswered.
+		if cfg.Contains(peer) {
+			if n.responded[peer] {
+				n.missed[peer] = 0
+			} else {
+				n.missed[peer]++
+			}
+			n.responded[peer] = false
+		}
+		next := n.nextIndex[peer]
+		if next == 0 {
+			next = n.commitIndex + 1
+			n.nextIndex[peer] = next
+		}
+		prev := next - 1
+		msg := types.AppendEntries{
+			Term:         n.term,
+			LeaderID:     n.cfg.ID,
+			PrevLogIndex: prev,
+			PrevLogTerm:  n.log.Term(prev),
+			Entries:      n.log.LeaderRange(next, n.log.LastLeaderIndex()),
+			LeaderCommit: n.commitIndex,
+			Round:        n.aeRound,
+		}
+		n.send(peer, msg)
+	}
+}
+
+func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
+	if m.Term > n.term || (m.Term == n.term && n.role != types.RoleFollower) {
+		n.becomeFollower(m.Term, m.LeaderID)
+	}
+	resp := types.AppendEntriesResp{
+		Term: n.term, Round: m.Round, LastLogIndex: n.log.LastLeaderIndex(),
+	}
+	if m.Term < n.term {
+		n.send(from, resp)
+		return
+	}
+	n.leaderID = m.LeaderID
+	n.lonelyElections = 0
+	n.resetElectionTimer()
+	if m.PrevLogIndex > 0 &&
+		(m.PrevLogIndex > n.log.LastLeaderIndex() || n.log.Term(m.PrevLogIndex) != m.PrevLogTerm) {
+		// Consistency check failed; hint the leader with our prefix top.
+		n.send(from, resp)
+		return
+	}
+	for _, e := range m.Entries {
+		n.applyLeaderEntry(e)
+	}
+	// Fast Raft commit-prefix refinement: only commit over leader-approved
+	// entries (see DESIGN.md).
+	if m.LeaderCommit > n.commitIndex {
+		k := m.LeaderCommit
+		if top := n.log.LastLeaderIndex(); k > top {
+			k = top
+		}
+		if k > n.commitIndex {
+			n.commitTo(k)
+		}
+	}
+	resp.Success = true
+	resp.MatchIndex = m.PrevLogIndex + types.Index(len(m.Entries))
+	resp.LastLogIndex = n.log.LastLeaderIndex()
+	n.send(from, resp)
+	n.reactToConfig()
+}
+
+// applyLeaderEntry installs one leader-approved entry from AppendEntries,
+// overwriting conflicting slots (Fast Raft never truncates: self-approved
+// entries at other indices must survive).
+func (n *Node) applyLeaderEntry(e types.Entry) {
+	idx := e.Index
+	if existing, ok := n.log.Get(idx); ok {
+		if existing.Approval == types.ApprovedLeader && existing.Term == e.Term &&
+			existing.SameProposal(e) {
+			return // already applied
+		}
+		if existing.Approval == types.ApprovedSelf && existing.Term == e.Term &&
+			existing.SameProposal(e) && idx == n.log.LastLeaderIndex()+1 {
+			// Same entry we self-inserted: promote in place.
+			if err := n.log.PromoteToLeader(idx, e.Term); err != nil {
+				panic(fmt.Sprintf("fastraft %s: promote: %v", n.cfg.ID, err))
+			}
+			n.persistEntry(idx)
+			return
+		}
+		if idx <= n.commitIndex {
+			// Never overwrite a committed slot; the leader cannot be
+			// sending a conflicting committed entry unless the run is
+			// already unsafe — surface it.
+			if !existing.SameProposal(e) {
+				panic(fmt.Sprintf("fastraft %s: leader overwrote committed index %d", n.cfg.ID, idx))
+			}
+			return
+		}
+		if err := n.log.OverwriteLeader(idx, e); err != nil {
+			panic(fmt.Sprintf("fastraft %s: overwrite: %v", n.cfg.ID, err))
+		}
+		n.persistEntry(idx)
+		return
+	}
+	if err := n.log.AppendLeader(idx, e); err != nil {
+		panic(fmt.Sprintf("fastraft %s: follower append: %v", n.cfg.ID, err))
+	}
+	n.persistEntry(idx)
+}
+
+func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+		return
+	}
+	if n.role != types.RoleLeader || m.Term < n.term {
+		return
+	}
+	n.responded[from] = true
+	n.missed[from] = 0
+	if !m.Success {
+		next := n.nextIndex[from]
+		if next > m.LastLogIndex+1 {
+			next = m.LastLogIndex + 1
+		} else if next > 1 {
+			next--
+		}
+		if next == 0 {
+			next = 1
+		}
+		n.nextIndex[from] = next
+		return
+	}
+	if m.MatchIndex > n.matchIndex[from] {
+		n.matchIndex[from] = m.MatchIndex
+	}
+	if n.nextIndex[from] <= m.MatchIndex {
+		n.nextIndex[from] = m.MatchIndex + 1
+	}
+	// Commit evaluation happens at the next leader tick (timing model).
+}
+
+func (n *Node) onCommitNotify(m types.CommitNotify) {
+	if _, ok := n.pending[m.PID]; ok {
+		delete(n.pending, m.PID)
+		n.resolved = append(n.resolved, types.Resolution{PID: m.PID, Index: m.Index})
+	}
+}

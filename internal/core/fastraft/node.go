@@ -1,0 +1,581 @@
+// Package fastraft implements Fast Raft, the paper's primary contribution:
+// a Raft variant that commits in two message rounds on a fast track when
+// there are no concurrent proposals, falls back to a classic track on
+// conflict or loss, and handles dynamic membership including silent leaves.
+//
+// Protocol summary (Section IV of the paper):
+//
+//   - Proposers broadcast entries directly to all sites at a chosen index.
+//     Sites insert into the free slot (self-approved) and forward a vote —
+//     the slot's occupant — to the leader.
+//   - The leader tallies votes per index in possibleEntries. At each
+//     heartbeat tick it runs the decide loop for k = commitIndex+1: once a
+//     classic quorum has voted, the most-voted entry is decided
+//     (leader-approved); if a fast quorum voted for it, it commits
+//     immediately (fast track), otherwise AppendEntries replicates it and
+//     it commits on a classic quorum of matchIndex (classic track).
+//   - Elections compare only leader-approved log positions; granted votes
+//     carry the voter's self-approved entries so the new leader re-decides
+//     (and re-commits) anything a previous leader may have committed on the
+//     fast track.
+//   - Membership is dynamic: join/leave requests go to the leader, which
+//     serializes configuration changes one member at a time, and silent
+//     leaves are detected by missed heartbeat responses.
+//
+// See DESIGN.md for the spec refinements this implementation pins down
+// (proposer index selection, commit-prefix restriction, recovery no-ops,
+// loser re-sequencing).
+package fastraft
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/logstore"
+	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// pendingProposal tracks a locally originated proposal until it resolves.
+type pendingProposal struct {
+	entry    types.Entry
+	index    types.Index
+	deadline time.Duration
+}
+
+// Node is a Fast Raft site: a sans-io state machine driven by Step/Tick.
+// It is not safe for concurrent use; hosts serialize all calls.
+type Node struct {
+	cfg Config
+
+	term     types.Term
+	votedFor types.NodeID
+	log      *logstore.Log
+
+	role        types.Role
+	leaderID    types.NodeID
+	commitIndex types.Index
+
+	electionDeadline time.Duration
+	tickDeadline     time.Duration
+
+	// candidate state.
+	votes         map[types.NodeID]bool
+	recoveryVotes map[types.NodeID][]types.Entry
+	// sawVoteResp notes whether the current candidacy received any
+	// RequestVote response at all; lonelyElections counts consecutive
+	// candidacies that received none. A site removed from the
+	// configuration while absent cannot learn of its removal from its own
+	// log — everyone simply ignores it — so after lonelyElectionLimit
+	// silent candidacies it stops campaigning and sends join requests
+	// instead (the paper: a silently removed follower "will need to send a
+	// join request to return").
+	sawVoteResp     bool
+	lonelyElections int
+	rejoining       bool
+
+	// leader state.
+	tally      *quorum.Tally
+	nextIndex  map[types.NodeID]types.Index
+	matchIndex map[types.NodeID]types.Index
+	fastMatch  map[types.NodeID]types.Index
+	aeRound    uint64
+	// responded marks peers that answered since the last broadcast round;
+	// missed counts consecutive unanswered rounds (silent-leave detection).
+	responded map[types.NodeID]bool
+	missed    map[types.NodeID]int
+	// nonvoting tracks joining sites being caught up, with pendingJoin
+	// recording who to notify once their configuration entry commits.
+	nonvoting   map[types.NodeID]bool
+	pendingJoin map[types.NodeID]bool
+	// removeQueue holds members awaiting a removal configuration entry.
+	removeQueue []types.NodeID
+
+	// proposer state.
+	proposalSeq uint64
+	pending     map[types.ProposalID]*pendingProposal
+
+	// joiner state (site not yet in the configuration).
+	joinDeadline time.Duration
+	joinTargets  []types.NodeID
+
+	outbox    []types.Envelope
+	committed []types.Entry
+	resolved  []types.Resolution
+	// changed accumulates entries inserted/overwritten since the last
+	// TakeChangedEntries, for C-Raft's global state replication.
+	changed []types.Entry
+
+	now time.Duration
+}
+
+// New builds a node, recovering persistent state from cfg.Storage.
+func New(cfg Config) (*Node, error) {
+	cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	hs, entries, err := cfg.Storage.Load()
+	if err != nil {
+		return nil, fmt.Errorf("fastraft: load storage: %w", err)
+	}
+	log, err := logstore.Restore(cfg.Bootstrap, entries)
+	if err != nil {
+		return nil, fmt.Errorf("fastraft: restore log: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		term:     hs.Term,
+		votedFor: hs.VotedFor,
+		log:      log,
+		role:     types.RoleFollower,
+		pending:  make(map[types.ProposalID]*pendingProposal),
+	}
+	n.resetElectionTimer()
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.cfg.ID }
+
+// Role returns the node's current role.
+func (n *Node) Role() types.Role { return n.role }
+
+// Term returns the node's current term.
+func (n *Node) Term() types.Term { return n.term }
+
+// LeaderID returns the current known leader (None if unknown).
+func (n *Node) LeaderID() types.NodeID { return n.leaderID }
+
+// CommitIndex returns the node's commit index.
+func (n *Node) CommitIndex() types.Index { return n.commitIndex }
+
+// Config returns the node's active membership configuration.
+func (n *Node) Config() types.Config {
+	cfg, _ := n.log.Config()
+	return cfg
+}
+
+// IsMember reports whether this site is a voting member of its own
+// configuration.
+func (n *Node) IsMember() bool { return n.Config().Contains(n.cfg.ID) }
+
+// LastIndex returns the last occupied log index.
+func (n *Node) LastIndex() types.Index { return n.log.LastIndex() }
+
+// LastLeaderIndex returns the top of the leader-approved prefix.
+func (n *Node) LastLeaderIndex() types.Index { return n.log.LastLeaderIndex() }
+
+// PendingProposals returns the number of unresolved local proposals.
+func (n *Node) PendingProposals() int { return len(n.pending) }
+
+// Entry returns a copy of the log entry at idx.
+func (n *Node) Entry(idx types.Index) (types.Entry, bool) { return n.log.Get(idx) }
+
+// TakeOutbox drains messages to send.
+func (n *Node) TakeOutbox() []types.Envelope {
+	out := n.outbox
+	n.outbox = nil
+	return out
+}
+
+// TakeCommitted drains newly committed entries, in log order.
+func (n *Node) TakeCommitted() []types.Entry {
+	out := n.committed
+	n.committed = nil
+	return out
+}
+
+// TakeResolved drains resolutions of locally originated proposals.
+func (n *Node) TakeResolved() []types.Resolution {
+	out := n.resolved
+	n.resolved = nil
+	return out
+}
+
+// TakeChangedEntries drains the entries inserted or overwritten since the
+// last call, used by C-Raft to build global state deltas.
+func (n *Node) TakeChangedEntries() []types.Entry {
+	out := n.changed
+	n.changed = nil
+	return out
+}
+
+// HardState returns the node's persistent term and vote (C-Raft replicates
+// them in global state deltas).
+func (n *Node) HardState() (types.Term, types.NodeID) { return n.term, n.votedFor }
+
+// NextDeadline returns the earliest future instant at which the node needs
+// Tick. Zero means no pending deadline.
+func (n *Node) NextDeadline() time.Duration {
+	var d time.Duration
+	add := func(t time.Duration) {
+		if t > 0 && (d == 0 || t < d) {
+			d = t
+		}
+	}
+	switch n.role {
+	case types.RoleLeader:
+		add(n.tickDeadline)
+	default:
+		add(n.electionDeadline)
+	}
+	for _, p := range n.pending {
+		add(p.deadline)
+	}
+	add(n.joinDeadline)
+	return d
+}
+
+// Tick advances time; expired deadlines fire.
+func (n *Node) Tick(now time.Duration) {
+	n.now = now
+	switch n.role {
+	case types.RoleLeader:
+		if n.tickDeadline != 0 && now >= n.tickDeadline {
+			n.leaderTick()
+			n.tickDeadline = now + n.cfg.HeartbeatInterval
+		}
+	default:
+		if n.electionDeadline != 0 && now >= n.electionDeadline {
+			n.startElection()
+		}
+	}
+	n.retryProposals(now)
+	n.tickJoiner(now)
+}
+
+// Step delivers one message.
+func (n *Node) Step(now time.Duration, env types.Envelope) {
+	n.now = now
+	if !n.acceptFrom(env.From, env.Msg) {
+		return
+	}
+	switch m := env.Msg.(type) {
+	case types.ProposeEntry:
+		n.onProposeEntry(env.From, m)
+	case types.VoteEntry:
+		n.onVoteEntry(env.From, m)
+	case types.AppendEntries:
+		n.onAppendEntries(env.From, m)
+	case types.AppendEntriesResp:
+		n.onAppendEntriesResp(env.From, m)
+	case types.RequestVote:
+		n.onRequestVote(env.From, m)
+	case types.RequestVoteResp:
+		n.onRequestVoteResp(env.From, m)
+	case types.CommitNotify:
+		n.onCommitNotify(m)
+	case types.JoinRequest:
+		n.onJoinRequest(env.From, m)
+	case types.JoinRedirect:
+		n.onJoinRedirect(m)
+	case types.JoinAccepted:
+		n.onJoinAccepted(m)
+	case types.LeaveRequest:
+		n.onLeaveRequest(m)
+	default:
+		// Ignore unknown message types.
+	}
+}
+
+// acceptFrom applies the paper's membership filter: consensus messages from
+// sites outside the configuration are ignored. Join/leave traffic and
+// commit notifications are exempt, as is everything while this site itself
+// is not (yet) a member — a joiner must accept the leader's catch-up.
+func (n *Node) acceptFrom(from types.NodeID, msg types.Message) bool {
+	switch msg.(type) {
+	case types.JoinRequest, types.JoinRedirect, types.JoinAccepted,
+		types.LeaveRequest, types.CommitNotify:
+		return true
+	}
+	cfg := n.Config()
+	if cfg.Size() == 0 || !cfg.Contains(n.cfg.ID) {
+		return true
+	}
+	if cfg.Contains(from) {
+		return true
+	}
+	// The leader additionally accepts AppendEntries responses and votes
+	// from sites it is catching up (non-voting members).
+	if n.role == types.RoleLeader && n.nonvoting[from] {
+		return true
+	}
+	return false
+}
+
+func (n *Node) send(to types.NodeID, msg types.Message) {
+	if to == n.cfg.ID || to == types.None {
+		return
+	}
+	n.outbox = append(n.outbox, types.Envelope{
+		From: n.cfg.ID, To: to, Layer: n.cfg.Layer, Msg: msg,
+	})
+}
+
+func (n *Node) persistHardState() {
+	err := n.cfg.Storage.SetHardState(storage.HardState{Term: n.term, VotedFor: n.votedFor})
+	if err != nil {
+		panic(fmt.Sprintf("fastraft %s: persist hard state: %v", n.cfg.ID, err))
+	}
+}
+
+// persistEntry records the stored form of index idx and tracks it in the
+// changed-entry stream for C-Raft.
+func (n *Node) persistEntry(idx types.Index) {
+	e, ok := n.log.Get(idx)
+	if !ok {
+		panic(fmt.Sprintf("fastraft %s: persist hole %d", n.cfg.ID, idx))
+	}
+	if err := n.cfg.Storage.AppendEntry(e); err != nil {
+		panic(fmt.Sprintf("fastraft %s: persist entry: %v", n.cfg.ID, err))
+	}
+	n.changed = append(n.changed, e)
+}
+
+func (n *Node) resetElectionTimer() {
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin + time.Duration(n.cfg.Rand.Int63n(int64(span)))
+	n.electionDeadline = n.now + d
+}
+
+func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
+	changedTerm := term > n.term
+	if changedTerm {
+		n.term = term
+		n.votedFor = types.None
+		n.persistHardState()
+	}
+	n.role = types.RoleFollower
+	if leader != types.None {
+		n.leaderID = leader
+	} else if changedTerm {
+		n.leaderID = types.None
+	}
+	n.votes = nil
+	n.recoveryVotes = nil
+	n.tally = nil
+	n.nextIndex = nil
+	n.matchIndex = nil
+	n.fastMatch = nil
+	n.responded = nil
+	n.missed = nil
+	n.nonvoting = nil
+	n.pendingJoin = nil
+	n.removeQueue = nil
+	n.tickDeadline = 0
+	n.resetElectionTimer()
+}
+
+// --- Elections -----------------------------------------------------------
+
+// lonelyElectionLimit is how many consecutive response-less candidacies a
+// site tolerates before suspecting it was removed from the configuration.
+const lonelyElectionLimit = 3
+
+func (n *Node) startElection() {
+	cfg := n.Config()
+	if !cfg.Contains(n.cfg.ID) {
+		n.resetElectionTimer()
+		return
+	}
+	// Account for the previous candidacy's silence.
+	if n.role == types.RoleCandidate {
+		if n.sawVoteResp {
+			n.lonelyElections = 0
+		} else {
+			n.lonelyElections++
+		}
+	}
+	if n.cfg.AutoRejoin && n.lonelyElections >= lonelyElectionLimit {
+		n.rejoining = true
+	}
+	if n.rejoining {
+		// Suspected removal: stop disrupting the group with candidacies
+		// and ask to be let back in. JoinAccepted clears this state.
+		n.role = types.RoleFollower
+		n.resetElectionTimer()
+		if n.joinDeadline == 0 || n.now >= n.joinDeadline {
+			n.sendJoinRequest()
+		}
+		return
+	}
+	n.sawVoteResp = false
+	n.role = types.RoleCandidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.persistHardState()
+	n.leaderID = types.None
+	n.votes = map[types.NodeID]bool{n.cfg.ID: true}
+	n.recoveryVotes = map[types.NodeID][]types.Entry{
+		n.cfg.ID: n.log.SelfApproved(),
+	}
+	n.resetElectionTimer()
+	req := types.RequestVote{
+		Term:        n.term,
+		CandidateID: n.cfg.ID,
+		// Fast Raft: only leader-approved entries count for up-to-dateness.
+		LastLogIndex: n.log.LastLeaderIndex(),
+		LastLogTerm:  n.log.LastLeaderTerm(),
+	}
+	for _, peer := range cfg.Others(n.cfg.ID) {
+		n.send(peer, req)
+	}
+	n.maybeWinElection()
+}
+
+func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
+	if m.Term > n.term {
+		// Sites that receive RequestVote immediately move to the new term.
+		n.becomeFollower(m.Term, types.None)
+	}
+	resp := types.RequestVoteResp{Term: n.term}
+	if m.Term < n.term {
+		n.send(from, resp)
+		return
+	}
+	upToDate := m.LastLogTerm > n.log.LastLeaderTerm() ||
+		(m.LastLogTerm == n.log.LastLeaderTerm() && m.LastLogIndex >= n.log.LastLeaderIndex())
+	if (n.votedFor == types.None || n.votedFor == m.CandidateID) && upToDate {
+		n.votedFor = m.CandidateID
+		n.persistHardState()
+		n.resetElectionTimer()
+		resp.Granted = true
+		// Ship self-approved entries for the recovery algorithm.
+		resp.SelfApproved = n.log.SelfApproved()
+	}
+	n.send(from, resp)
+}
+
+func (n *Node) onRequestVoteResp(from types.NodeID, m types.RequestVoteResp) {
+	n.sawVoteResp = true
+	n.lonelyElections = 0
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+		return
+	}
+	if n.role != types.RoleCandidate || m.Term < n.term || !m.Granted {
+		return
+	}
+	n.votes[from] = true
+	n.recoveryVotes[from] = types.CloneEntries(m.SelfApproved)
+	n.maybeWinElection()
+}
+
+func (n *Node) maybeWinElection() {
+	cfg := n.Config()
+	if !quorum.CountReached(cfg, n.votes, quorum.ClassicSize(cfg.Size())) {
+		return
+	}
+	n.becomeLeader()
+}
+
+// becomeLeader installs leader state and runs the paper's recovery
+// algorithm over the self-approved entries gathered during the election.
+func (n *Node) becomeLeader() {
+	n.role = types.RoleLeader
+	n.leaderID = n.cfg.ID
+	cfg := n.Config()
+	n.tally = quorum.NewTally()
+	n.nextIndex = make(map[types.NodeID]types.Index)
+	n.matchIndex = make(map[types.NodeID]types.Index)
+	n.fastMatch = make(map[types.NodeID]types.Index)
+	n.responded = make(map[types.NodeID]bool)
+	n.missed = make(map[types.NodeID]int)
+	n.nonvoting = make(map[types.NodeID]bool)
+	n.pendingJoin = make(map[types.NodeID]bool)
+	for _, peer := range cfg.Members {
+		// Paper: nextIndex initialized to the leader's last committed
+		// entry + 1.
+		n.nextIndex[peer] = n.commitIndex + 1
+	}
+	// Recovery: seed possibleEntries with the received self-approved
+	// entries (only indices beyond the leader-approved prefix matter).
+	for voter, entries := range n.recoveryVotes {
+		for _, e := range entries {
+			if e.Index > n.log.LastLeaderIndex() {
+				n.tally.AddVote(e.Index, voter, e)
+			}
+		}
+	}
+	n.recoveryVotes = nil
+	n.votes = nil
+	n.recoverDecide()
+	// Establish a commit point in the new term.
+	n.appendLeaderEntry(types.Entry{Kind: types.KindNoop})
+	n.matchIndex[n.cfg.ID] = n.log.LastLeaderIndex()
+	// First heartbeat immediately; then periodic.
+	n.leaderTick()
+	n.tickDeadline = n.now + n.cfg.HeartbeatInterval
+}
+
+// recoverDecide re-decides every index covered by recovered self-approved
+// entries: the most-voted entry wins (any entry a fast quorum inserted is
+// guaranteed to have a majority in our vote set), vote-free gaps become
+// no-ops, and decided entries are re-stamped with the new term. If a fast
+// quorum of recovery voters had inserted the winner at the next commit
+// index, the entry commits immediately — this re-commits anything a failed
+// leader committed on the fast track.
+func (n *Node) recoverDecide() {
+	cfg := n.Config()
+	fastQ := quorum.FastSize(cfg.Size())
+	maxIdx := n.tally.MaxIndex()
+	for k := n.log.LastLeaderIndex() + 1; k <= maxIdx; k++ {
+		d, ok := n.tally.Decide(k, cfg, n.skipDecidedAt(k))
+		var e types.Entry
+		if ok {
+			e = d.Winner
+		} else {
+			e = types.Entry{Kind: types.KindNoop}
+		}
+		n.appendLeaderEntryAt(k, e)
+		if ok {
+			n.tally.NullProposal(d.Winner, k)
+			for _, v := range d.WinnerVoters {
+				if n.fastMatch[v] < k {
+					n.fastMatch[v] = k
+				}
+			}
+		}
+		n.fastMatch[n.cfg.ID] = n.log.LastLeaderIndex()
+		if !n.cfg.DisableFastTrack &&
+			k == n.commitIndex+1 &&
+			n.log.Term(k) == n.term &&
+			quorum.MatchQuorum(cfg, n.fastMatch, k, fastQ) {
+			n.commitTo(k)
+		}
+	}
+	n.tally.Clear(n.commitIndex)
+}
+
+// proposalDecided reports whether the proposal is already leader-approved
+// (or committed) somewhere in the log. Self-approved copies do not count:
+// they are mere insertions awaiting a decision.
+func (n *Node) proposalDecided(pid types.ProposalID) bool {
+	idx := n.log.FindProposal(pid)
+	if idx == 0 {
+		return false
+	}
+	if idx <= n.commitIndex {
+		return true
+	}
+	e, ok := n.log.Get(idx)
+	return ok && e.Approval == types.ApprovedLeader
+}
+
+// skipDecidedAt excludes, from the decision at index k, candidates whose
+// proposal was already decided at a different index (the paper's
+// duplicate-avoidance rule).
+func (n *Node) skipDecidedAt(k types.Index) func(types.Entry) bool {
+	return func(e types.Entry) bool {
+		if e.PID.IsZero() {
+			return false
+		}
+		idx := n.log.FindProposal(e.PID)
+		if idx == 0 || idx == k {
+			return false
+		}
+		return n.proposalDecided(e.PID)
+	}
+}

@@ -1,0 +1,409 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/core/fastraft"
+	"github.com/hraft-io/hraft/internal/raft"
+	"github.com/hraft-io/hraft/internal/simnet"
+	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Kind selects the consensus implementation a cluster runs.
+type Kind int
+
+const (
+	// KindRaft runs the classic Raft baseline.
+	KindRaft Kind = iota + 1
+	// KindFastRaft runs Fast Raft.
+	KindFastRaft
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindRaft:
+		return "raft"
+	case KindFastRaft:
+		return "fastraft"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Options configures a simulated flat cluster.
+type Options struct {
+	// Kind selects the protocol.
+	Kind Kind
+	// Nodes are the initial voting members.
+	Nodes []types.NodeID
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Topology is the latency model (nil = single region).
+	Topology *simnet.Topology
+	// LossProb is the per-message drop probability.
+	LossProb float64
+	// DupProb is the per-message duplication probability.
+	DupProb float64
+	// HeartbeatInterval is the leader tick period (0 = paper default).
+	HeartbeatInterval time.Duration
+	// ElectionTimeoutMin/Max bound election timeouts (0 = derived).
+	ElectionTimeoutMin time.Duration
+	// ElectionTimeoutMax must exceed ElectionTimeoutMin when set.
+	ElectionTimeoutMax time.Duration
+	// ProposalTimeout is the proposer retry period (0 = derived).
+	ProposalTimeout time.Duration
+	// MemberTimeoutRounds is Fast Raft's silent-leave threshold.
+	MemberTimeoutRounds int
+	// DisableFastTrack forces Fast Raft onto the classic track (ablation).
+	DisableFastTrack bool
+}
+
+// Host binds one consensus node to the simulated network, keeping its
+// stable storage across restarts.
+type Host struct {
+	c       *Cluster
+	id      types.NodeID
+	machine Machine
+	store   *storage.Memory
+	// bootstrap is the node's static initial configuration, reused on
+	// restarts (the stable-storage log takes precedence once it contains
+	// configuration entries).
+	bootstrap types.Config
+	alive     bool
+	wake      *simnet.Timer
+
+	proposeStart map[types.ProposalID]time.Duration
+	// OnResolve, when set, observes each local proposal resolution.
+	OnResolve func(pid types.ProposalID, at, latency time.Duration)
+}
+
+// ID returns the hosted node's identity.
+func (h *Host) ID() types.NodeID { return h.id }
+
+// Machine returns the hosted state machine.
+func (h *Host) Machine() Machine { return h.machine }
+
+// Alive reports whether the host is running.
+func (h *Host) Alive() bool { return h.alive }
+
+// Cluster simulates a flat Raft or Fast Raft cluster.
+type Cluster struct {
+	opts Options
+	// Sched is the virtual-time scheduler.
+	Sched *simnet.Scheduler
+	// Net is the simulated network.
+	Net *simnet.Network
+	// Safety accumulates invariant violations.
+	Safety *SafetyChecker
+	// Latencies collects every proposal resolution in the run.
+	Latencies *stats.Series
+	// Timeline records leadership changes, configuration changes and
+	// churn events for scenario output.
+	Timeline *Timeline
+
+	hosts map[types.NodeID]*Host
+	rng   *rand.Rand
+}
+
+// NewCluster builds and starts a cluster (nodes begin as followers with
+// randomized election timers).
+func NewCluster(opts Options) (*Cluster, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("harness: cluster needs nodes")
+	}
+	sched := simnet.NewScheduler()
+	net := simnet.NewNetwork(sched, opts.Topology, opts.Seed)
+	net.LossProb = opts.LossProb
+	net.DupProb = opts.DupProb
+	c := &Cluster{
+		opts:      opts,
+		Sched:     sched,
+		Net:       net,
+		Safety:    NewSafetyChecker(),
+		Latencies: &stats.Series{},
+		Timeline:  NewTimeline(),
+		hosts:     make(map[types.NodeID]*Host),
+		rng:       rand.New(rand.NewSource(opts.Seed + 1)),
+	}
+	bootstrap := types.NewConfig(opts.Nodes...)
+	for _, id := range opts.Nodes {
+		if _, err := c.addHost(id, bootstrap); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// addHost creates, registers and schedules a host.
+func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error) {
+	h := &Host{
+		c:            c,
+		id:           id,
+		store:        storage.NewMemory(),
+		bootstrap:    bootstrap.Clone(),
+		proposeStart: make(map[types.ProposalID]time.Duration),
+	}
+	m, err := c.makeMachine(id, bootstrap, h.store)
+	if err != nil {
+		return nil, err
+	}
+	h.machine = m
+	h.alive = true
+	c.hosts[id] = h
+	c.Net.Register(id, func(env types.Envelope) {
+		if !h.alive {
+			return
+		}
+		h.machine.Step(c.Sched.Now(), env)
+		c.drain(h)
+	})
+	c.drain(h)
+	return h, nil
+}
+
+func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store storage.Storage) (Machine, error) {
+	nodeRand := rand.New(rand.NewSource(c.rng.Int63()))
+	switch c.opts.Kind {
+	case KindRaft:
+		return raft.New(raft.Config{
+			ID:                 id,
+			Bootstrap:          bootstrap,
+			Storage:            store,
+			HeartbeatInterval:  c.opts.HeartbeatInterval,
+			ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
+			ElectionTimeoutMax: c.opts.ElectionTimeoutMax,
+			ProposalTimeout:    c.opts.ProposalTimeout,
+			Rand:               nodeRand,
+		})
+	case KindFastRaft:
+		return fastraft.New(fastraft.Config{
+			ID:                  id,
+			Bootstrap:           bootstrap,
+			Storage:             store,
+			HeartbeatInterval:   c.opts.HeartbeatInterval,
+			ElectionTimeoutMin:  c.opts.ElectionTimeoutMin,
+			ElectionTimeoutMax:  c.opts.ElectionTimeoutMax,
+			ProposalTimeout:     c.opts.ProposalTimeout,
+			MemberTimeoutRounds: c.opts.MemberTimeoutRounds,
+			DisableFastTrack:    c.opts.DisableFastTrack,
+			Rand:                nodeRand,
+		})
+	default:
+		return nil, fmt.Errorf("harness: unknown kind %v", c.opts.Kind)
+	}
+}
+
+// drain flushes a host's outputs into the network, the safety checker and
+// the latency collectors, then reschedules its wake-up timer.
+func (c *Cluster) drain(h *Host) {
+	now := c.Sched.Now()
+	for _, env := range h.machine.TakeOutbox() {
+		c.Net.Send(env)
+	}
+	for _, e := range h.machine.TakeCommitted() {
+		c.Safety.RecordCommit("", h.id, e)
+		if e.Kind == types.KindConfig && e.Config != nil && h.machine.Role() == types.RoleLeader {
+			c.Timeline.ObserveConfig(now, "", h.id, *e.Config)
+		}
+	}
+	if h.machine.Role() == types.RoleLeader {
+		c.Safety.RecordLeader("", h.machine.Term(), h.id)
+		c.Timeline.ObserveLeader(now, "", h.machine.Term(), h.id)
+	}
+	for _, res := range h.machine.TakeResolved() {
+		start, ok := h.proposeStart[res.PID]
+		if !ok {
+			continue
+		}
+		delete(h.proposeStart, res.PID)
+		lat := now - start
+		c.Latencies.Add(now, lat)
+		if h.OnResolve != nil {
+			h.OnResolve(res.PID, now, lat)
+		}
+	}
+	c.schedule(h)
+}
+
+// schedule re-arms the host's wake timer from the machine's next deadline.
+func (c *Cluster) schedule(h *Host) {
+	if h.wake != nil {
+		h.wake.Cancel()
+		h.wake = nil
+	}
+	if !h.alive {
+		return
+	}
+	d := h.machine.NextDeadline()
+	if d == 0 {
+		return
+	}
+	h.wake = c.Sched.At(d, func() {
+		if !h.alive {
+			return
+		}
+		h.machine.Tick(c.Sched.Now())
+		c.drain(h)
+	})
+}
+
+// Host returns the host for id (nil if unknown).
+func (c *Cluster) Host(id types.NodeID) *Host { return c.hosts[id] }
+
+// Hosts returns all hosts.
+func (c *Cluster) Hosts() map[types.NodeID]*Host { return c.hosts }
+
+// RunFor advances virtual time by d.
+func (c *Cluster) RunFor(d time.Duration) {
+	c.Sched.RunUntil(c.Sched.Now() + d)
+}
+
+// RunUntil steps the simulation until cond holds or virtual time passes
+// deadline; it reports whether cond held.
+func (c *Cluster) RunUntil(cond func() bool, deadline time.Duration) bool {
+	for {
+		if cond() {
+			return true
+		}
+		if c.Sched.Now() > deadline {
+			return false
+		}
+		if !c.Sched.Step() {
+			return cond()
+		}
+	}
+}
+
+// Leader returns the alive leader with the highest term, if any.
+func (c *Cluster) Leader() (*Host, bool) {
+	var best *Host
+	for _, h := range c.hosts {
+		if !h.alive || h.machine.Role() != types.RoleLeader {
+			continue
+		}
+		if best == nil || h.machine.Term() > best.machine.Term() {
+			best = h
+		}
+	}
+	return best, best != nil
+}
+
+// WaitForLeader runs until some node is leader, up to the deadline.
+func (c *Cluster) WaitForLeader(deadline time.Duration) (types.NodeID, bool) {
+	ok := c.RunUntil(func() bool {
+		_, ok := c.Leader()
+		return ok
+	}, deadline)
+	if !ok {
+		return types.None, false
+	}
+	h, _ := c.Leader()
+	return h.id, true
+}
+
+// Propose submits a payload from the given node, recording its start time
+// for latency measurement.
+func (c *Cluster) Propose(id types.NodeID, data []byte) (types.ProposalID, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return types.ProposalID{}, fmt.Errorf("harness: node %s not running", id)
+	}
+	now := c.Sched.Now()
+	pid := h.machine.Propose(now, data)
+	h.proposeStart[pid] = now
+	c.drain(h)
+	return pid, nil
+}
+
+// Crash stops a node without warning (also used for silent leaves); its
+// stable storage is preserved for Restart.
+func (c *Cluster) Crash(id types.NodeID) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return
+	}
+	h.alive = false
+	if h.wake != nil {
+		h.wake.Cancel()
+		h.wake = nil
+	}
+	c.Net.Unregister(id)
+	c.Timeline.Crash(c.Sched.Now(), id)
+}
+
+// Restart brings a crashed node back from its stable storage.
+func (c *Cluster) Restart(id types.NodeID) error {
+	h := c.hosts[id]
+	if h == nil {
+		return fmt.Errorf("harness: unknown node %s", id)
+	}
+	if h.alive {
+		return fmt.Errorf("harness: node %s already running", id)
+	}
+	m, err := c.makeMachine(id, h.bootstrap, h.store)
+	if err != nil {
+		return err
+	}
+	h.machine = m
+	h.alive = true
+	h.proposeStart = make(map[types.ProposalID]time.Duration)
+	c.Net.Register(id, func(env types.Envelope) {
+		if !h.alive {
+			return
+		}
+		h.machine.Step(c.Sched.Now(), env)
+		c.drain(h)
+	})
+	c.Timeline.Restart(c.Sched.Now(), id)
+	c.drain(h)
+	return nil
+}
+
+// AddNode starts a brand-new Fast Raft site and has it join via the given
+// contacts (the paper's join protocol).
+func (c *Cluster) AddNode(id types.NodeID, contacts []types.NodeID) (*Host, error) {
+	if c.opts.Kind != KindFastRaft {
+		return nil, fmt.Errorf("harness: AddNode requires Fast Raft")
+	}
+	if _, exists := c.hosts[id]; exists {
+		return nil, fmt.Errorf("harness: node %s already exists", id)
+	}
+	h, err := c.addHost(id, types.NewConfig())
+	if err != nil {
+		return nil, err
+	}
+	fr, ok := h.machine.(*fastraft.Node)
+	if !ok {
+		return nil, fmt.Errorf("harness: unexpected machine type %T", h.machine)
+	}
+	fr.Join(c.Sched.Now(), contacts)
+	c.drain(h)
+	return h, nil
+}
+
+// Leave announces a graceful leave from the given Fast Raft site.
+func (c *Cluster) Leave(id types.NodeID) error {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return fmt.Errorf("harness: node %s not running", id)
+	}
+	fr, ok := h.machine.(*fastraft.Node)
+	if !ok {
+		return fmt.Errorf("harness: Leave requires Fast Raft")
+	}
+	fr.Leave(c.Sched.Now())
+	c.drain(h)
+	return nil
+}
+
+// CommitsAgree verifies that every alive node's committed prefix matches
+// the safety checker's record (a liveness-flavoured sanity check used by
+// tests).
+func (c *Cluster) CommitsAgree() error {
+	return c.Safety.Err()
+}

@@ -1,0 +1,45 @@
+// Package harness runs consensus clusters on the deterministic simulator:
+// it hosts classic Raft, Fast Raft and C-Raft state machines on simnet,
+// drives closed-loop proposers, scripts churn (crashes, joins, silent
+// leaves, partitions) and checks safety invariants continuously. The
+// experiment harness in internal/bench is built on top of it.
+package harness
+
+import (
+	"time"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Machine is the sans-io node interface shared by classic Raft and Fast
+// Raft nodes (C-Raft nodes wrap two of these).
+type Machine interface {
+	// ID returns the node's identity.
+	ID() types.NodeID
+	// Role returns the node's current role.
+	Role() types.Role
+	// Term returns the node's current term.
+	Term() types.Term
+	// LeaderID returns the node's view of the current leader.
+	LeaderID() types.NodeID
+	// CommitIndex returns the node's commit index.
+	CommitIndex() types.Index
+	// Config returns the node's active configuration.
+	Config() types.Config
+	// Step delivers a message.
+	Step(now time.Duration, env types.Envelope)
+	// Tick advances time.
+	Tick(now time.Duration)
+	// NextDeadline reports when the node next needs Tick (0 = never).
+	NextDeadline() time.Duration
+	// Propose submits an application payload.
+	Propose(now time.Duration, data []byte) types.ProposalID
+	// TakeOutbox drains outgoing messages.
+	TakeOutbox() []types.Envelope
+	// TakeCommitted drains newly committed entries.
+	TakeCommitted() []types.Entry
+	// TakeResolved drains local proposal resolutions.
+	TakeResolved() []types.Resolution
+	// PendingProposals counts unresolved local proposals.
+	PendingProposals() int
+}

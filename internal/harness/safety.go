@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// SafetyChecker validates the paper's safety property across a run: within
+// each log group ("" for a flat cluster, a cluster name for C-Raft local
+// logs, "global" for the C-Raft global log), no two commits — from any
+// node, term or restart — may disagree on the entry at an index. It also
+// checks election safety (at most one leader per term per group).
+type SafetyChecker struct {
+	committed map[string]map[types.Index]committedAt
+	leaders   map[string]map[types.Term]types.NodeID
+	errs      []error
+}
+
+type committedAt struct {
+	key  string
+	node types.NodeID
+}
+
+// NewSafetyChecker returns an empty checker.
+func NewSafetyChecker() *SafetyChecker {
+	return &SafetyChecker{
+		committed: make(map[string]map[types.Index]committedAt),
+		leaders:   make(map[string]map[types.Term]types.NodeID),
+	}
+}
+
+// entryKey identifies an entry's value for conflict detection.
+func entryKey(e types.Entry) string {
+	if !e.PID.IsZero() {
+		return e.PID.String()
+	}
+	return fmt.Sprintf("%s:%x", e.Kind, e.Data)
+}
+
+// RecordCommit registers that node committed e at e.Index within group.
+func (c *SafetyChecker) RecordCommit(group string, node types.NodeID, e types.Entry) {
+	g := c.committed[group]
+	if g == nil {
+		g = make(map[types.Index]committedAt)
+		c.committed[group] = g
+	}
+	k := entryKey(e)
+	if prev, ok := g[e.Index]; ok {
+		if prev.key != k {
+			c.errs = append(c.errs, fmt.Errorf(
+				"safety violation in %q at index %d: %s committed %s but %s committed %s",
+				group, e.Index, prev.node, prev.key, node, k))
+		}
+		return
+	}
+	g[e.Index] = committedAt{key: k, node: node}
+}
+
+// RecordLeader registers an observed leader for a term within group.
+func (c *SafetyChecker) RecordLeader(group string, term types.Term, node types.NodeID) {
+	g := c.leaders[group]
+	if g == nil {
+		g = make(map[types.Term]types.NodeID)
+		c.leaders[group] = g
+	}
+	if prev, ok := g[term]; ok {
+		if prev != node {
+			c.errs = append(c.errs, fmt.Errorf(
+				"election safety violation in %q: term %d has leaders %s and %s",
+				group, term, prev, node))
+		}
+		return
+	}
+	g[term] = node
+}
+
+// Committed returns the number of distinct committed indices in group.
+func (c *SafetyChecker) Committed(group string) int {
+	return len(c.committed[group])
+}
+
+// Errors returns all violations found so far.
+func (c *SafetyChecker) Errors() []error { return c.errs }
+
+// Err returns the first violation, or nil.
+func (c *SafetyChecker) Err() error {
+	if len(c.errs) == 0 {
+		return nil
+	}
+	return c.errs[0]
+}

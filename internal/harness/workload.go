@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// ProposerOptions configures a closed-loop proposer: it proposes one entry,
+// waits for it to resolve, then proposes the next — the workload used by
+// all of the paper's experiments.
+type ProposerOptions struct {
+	// Node is the proposing site.
+	Node types.NodeID
+	// MaxProposals stops the proposer after this many resolutions
+	// (0 = unlimited).
+	MaxProposals int
+	// StopAfter stops the proposer once virtual time passes this instant
+	// (0 = never).
+	StopAfter time.Duration
+	// ThinkTime separates a resolution from the next proposal.
+	ThinkTime time.Duration
+	// PayloadSize is the entry payload size in bytes (default 16).
+	PayloadSize int
+}
+
+// Proposer is a running closed-loop proposer.
+type Proposer struct {
+	c    *Cluster
+	opts ProposerOptions
+	// Series records (completion time, latency) per resolved proposal.
+	Series *stats.Series
+	// Completed counts resolved proposals.
+	Completed int
+	seq       int
+	stopped   bool
+}
+
+// StartProposer attaches a closed-loop proposer to a node.
+func (c *Cluster) StartProposer(opts ProposerOptions) (*Proposer, error) {
+	h := c.hosts[opts.Node]
+	if h == nil {
+		return nil, fmt.Errorf("harness: unknown proposer node %s", opts.Node)
+	}
+	if opts.PayloadSize == 0 {
+		opts.PayloadSize = 16
+	}
+	p := &Proposer{c: c, opts: opts, Series: &stats.Series{}}
+	h.OnResolve = func(_ types.ProposalID, at, latency time.Duration) {
+		p.Series.Add(at, latency)
+		p.Completed++
+		p.next()
+	}
+	p.propose()
+	return p, nil
+}
+
+// Stop halts the proposer after the current in-flight proposal.
+func (p *Proposer) Stop() { p.stopped = true }
+
+func (p *Proposer) done() bool {
+	if p.stopped {
+		return true
+	}
+	if p.opts.MaxProposals > 0 && p.Completed >= p.opts.MaxProposals {
+		return true
+	}
+	if p.opts.StopAfter > 0 && p.c.Sched.Now() >= p.opts.StopAfter {
+		return true
+	}
+	return false
+}
+
+func (p *Proposer) next() {
+	if p.done() {
+		return
+	}
+	if p.opts.ThinkTime > 0 {
+		p.c.Sched.After(p.opts.ThinkTime, p.propose)
+		return
+	}
+	// Propose at the same virtual instant as the resolution; scheduling an
+	// immediate event keeps stack depth bounded.
+	p.c.Sched.After(0, p.propose)
+}
+
+func (p *Proposer) propose() {
+	if p.done() {
+		return
+	}
+	h := p.c.hosts[p.opts.Node]
+	if h == nil || !h.alive {
+		return
+	}
+	p.seq++
+	payload := make([]byte, p.opts.PayloadSize)
+	for i := range payload {
+		payload[i] = byte(p.seq + i)
+	}
+	if _, err := p.c.Propose(p.opts.Node, payload); err != nil {
+		// Node stopped mid-run; the proposer simply ends.
+		p.stopped = true
+	}
+}
+
+// RunProposals drives a single closed-loop proposer on node until count
+// proposals resolve (or the deadline passes), returning the latency
+// summary. It is the Figure 3 primitive.
+func (c *Cluster) RunProposals(node types.NodeID, count int, deadline time.Duration) (stats.Summary, error) {
+	p, err := c.StartProposer(ProposerOptions{Node: node, MaxProposals: count})
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	ok := c.RunUntil(func() bool { return p.Completed >= count }, deadline)
+	if !ok {
+		return stats.Summarize(p.Series.Values()),
+			fmt.Errorf("harness: only %d/%d proposals resolved by %s", p.Completed, count, deadline)
+	}
+	return stats.Summarize(p.Series.Values()), nil
+}

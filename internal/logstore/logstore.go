@@ -1,0 +1,354 @@
+// Package logstore implements the replicated log used by every consensus
+// core in this repository.
+//
+// Unlike classic Raft's append-only log, a Fast Raft log is sparse:
+// proposers broadcast entries directly to sites at chosen indices, so a
+// site may insert index i while index j < i is still empty. Each entry also
+// carries an approval marker (self vs leader). The store maintains two key
+// invariants the protocols rely on:
+//
+//   - the leader-approved entries always form a contiguous prefix
+//     [1..LastLeaderIndex()];
+//   - an occupied slot is never silently replaced: self-approved entries
+//     are only overwritten by leader-approved ones.
+//
+// Classic Raft uses the same store in append-only mode (all entries
+// leader-approved) with suffix truncation on conflict.
+package logstore
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// ErrOccupied is returned by Insert when the slot already holds an entry.
+var ErrOccupied = errors.New("logstore: slot occupied")
+
+// ErrGap is returned by AppendLeader when the append would break the
+// leader-approved prefix contiguity.
+var ErrGap = errors.New("logstore: leader-approved prefix gap")
+
+// Log is a sparse, 1-indexed replicated log. It is not safe for concurrent
+// use; the consensus cores are single-threaded per node.
+type Log struct {
+	// entries[i-1] holds index i; nil means a hole.
+	entries []*types.Entry
+	// lastLeader is the highest index of the contiguous leader-approved
+	// prefix.
+	lastLeader types.Index
+	// lastIndex is the highest occupied index.
+	lastIndex types.Index
+	// byPID locates entries by proposal for de-duplication. Values are
+	// indices; entries with zero PIDs are not tracked.
+	byPID map[types.ProposalID]types.Index
+	// config is the configuration carried by the last KindConfig entry in
+	// the log, and configIndex its index (0 if none).
+	config      types.Config
+	configIndex types.Index
+}
+
+// New returns an empty log with the given bootstrap configuration. The
+// bootstrap configuration is what sites use before any config entry exists
+// in the log.
+func New(bootstrap types.Config) *Log {
+	return &Log{
+		byPID:  make(map[types.ProposalID]types.Index),
+		config: bootstrap.Clone(),
+	}
+}
+
+// Get returns the entry at idx, or ok=false for a hole or out-of-range
+// index. The returned entry is a copy.
+func (l *Log) Get(idx types.Index) (types.Entry, bool) {
+	if e := l.at(idx); e != nil {
+		return e.Clone(), true
+	}
+	return types.Entry{}, false
+}
+
+// Has reports whether idx holds an entry.
+func (l *Log) Has(idx types.Index) bool { return l.at(idx) != nil }
+
+// Term returns the term of the entry at idx, or 0 for a hole.
+func (l *Log) Term(idx types.Index) types.Term {
+	if e := l.at(idx); e != nil {
+		return e.Term
+	}
+	return 0
+}
+
+// LastIndex returns the highest occupied index (0 if empty).
+func (l *Log) LastIndex() types.Index { return l.lastIndex }
+
+// LastLeaderIndex returns the highest index of the contiguous
+// leader-approved prefix (the paper's lastLeaderIndex).
+func (l *Log) LastLeaderIndex() types.Index { return l.lastLeader }
+
+// LastLeaderTerm returns the term of the entry at LastLeaderIndex (0 if
+// none).
+func (l *Log) LastLeaderTerm() types.Term { return l.Term(l.lastLeader) }
+
+// Config returns the active configuration (last config entry in the log,
+// or the bootstrap configuration) and the index it came from (0 for
+// bootstrap).
+func (l *Log) Config() (types.Config, types.Index) {
+	return l.config.Clone(), l.configIndex
+}
+
+// FindProposal returns the index at which the proposal identified by pid is
+// stored, or 0.
+func (l *Log) FindProposal(pid types.ProposalID) types.Index {
+	if pid.IsZero() {
+		return 0
+	}
+	return l.byPID[pid]
+}
+
+// InsertSelf inserts a self-approved entry at idx if the slot is free,
+// implementing the follower's handling of a proposer broadcast. The entry's
+// Index and Approval are overwritten; other fields are kept.
+func (l *Log) InsertSelf(idx types.Index, e types.Entry) error {
+	if idx == 0 {
+		return fmt.Errorf("logstore: insert at index 0")
+	}
+	if l.at(idx) != nil {
+		return ErrOccupied
+	}
+	e = e.Clone()
+	e.Index = idx
+	e.Approval = types.ApprovedSelf
+	l.place(idx, &e)
+	return nil
+}
+
+// AppendLeader places a leader-approved entry at idx, which must be exactly
+// LastLeaderIndex()+1 to preserve prefix contiguity. Any occupant (a
+// self-approved entry, or a leader-approved entry from an older term being
+// overwritten after a leadership change) is replaced. The entry's Index and
+// Approval are overwritten.
+func (l *Log) AppendLeader(idx types.Index, e types.Entry) error {
+	if idx != l.lastLeader+1 {
+		return fmt.Errorf("%w: append %d after leader prefix %d", ErrGap, idx, l.lastLeader)
+	}
+	e = e.Clone()
+	e.Index = idx
+	e.Approval = types.ApprovedLeader
+	l.remove(idx)
+	l.place(idx, &e)
+	l.lastLeader = idx
+	return nil
+}
+
+// OverwriteLeader replaces the slot at idx with a leader-approved entry
+// even when idx is inside the existing leader-approved prefix. It is used
+// when a new leader's AppendEntries conflicts with stale leader-approved
+// entries. idx must not exceed LastLeaderIndex()+1.
+func (l *Log) OverwriteLeader(idx types.Index, e types.Entry) error {
+	if idx > l.lastLeader+1 {
+		return fmt.Errorf("%w: overwrite %d beyond leader prefix %d", ErrGap, idx, l.lastLeader)
+	}
+	e = e.Clone()
+	e.Index = idx
+	e.Approval = types.ApprovedLeader
+	l.remove(idx)
+	l.place(idx, &e)
+	if idx > l.lastLeader {
+		l.lastLeader = idx
+	}
+	return nil
+}
+
+// PromoteToLeader marks the existing entry at idx leader-approved without
+// changing its contents, used when a follower receives from the leader an
+// entry it already inserted. idx must be LastLeaderIndex()+1.
+func (l *Log) PromoteToLeader(idx types.Index, term types.Term) error {
+	e := l.at(idx)
+	if e == nil {
+		return fmt.Errorf("logstore: promote hole %d", idx)
+	}
+	if idx != l.lastLeader+1 {
+		return fmt.Errorf("%w: promote %d after leader prefix %d", ErrGap, idx, l.lastLeader)
+	}
+	e.Approval = types.ApprovedLeader
+	e.Term = term
+	l.lastLeader = idx
+	if e.Kind == types.KindConfig && e.Config != nil {
+		l.adoptConfig(*e)
+	}
+	return nil
+}
+
+// TruncateSuffix removes all entries with index > idx. Classic Raft uses it
+// to resolve AppendEntries conflicts. Fast Raft never truncates (it would
+// discard self-approved entries), which the core enforces by not calling
+// this.
+func (l *Log) TruncateSuffix(idx types.Index) {
+	for i := l.lastIndex; i > idx; i-- {
+		l.remove(i)
+	}
+	if l.lastIndex > idx {
+		l.lastIndex = idx
+	}
+	for l.lastIndex > 0 && l.at(l.lastIndex) == nil {
+		l.lastIndex--
+	}
+	if l.lastLeader > idx {
+		l.lastLeader = idx
+	}
+	l.recomputeConfig()
+}
+
+// SelfApproved returns copies of all self-approved entries, ascending by
+// index. They are what a voter ships to a candidate for recovery.
+func (l *Log) SelfApproved() []types.Entry {
+	var out []types.Entry
+	for i := types.Index(1); i <= l.lastIndex; i++ {
+		if e := l.at(i); e != nil && e.Approval == types.ApprovedSelf {
+			out = append(out, e.Clone())
+		}
+	}
+	return out
+}
+
+// Range returns copies of the entries in [lo, hi] (inclusive), skipping
+// holes. Used to build AppendEntries payloads and catch-up batches.
+func (l *Log) Range(lo, hi types.Index) []types.Entry {
+	if lo == 0 {
+		lo = 1
+	}
+	if hi > l.lastIndex {
+		hi = l.lastIndex
+	}
+	var out []types.Entry
+	for i := lo; i <= hi; i++ {
+		if e := l.at(i); e != nil {
+			out = append(out, e.Clone())
+		}
+	}
+	return out
+}
+
+// LeaderRange returns copies of leader-approved entries in
+// [lo, min(hi, LastLeaderIndex)]; the result is contiguous by construction.
+func (l *Log) LeaderRange(lo, hi types.Index) []types.Entry {
+	if hi > l.lastLeader {
+		hi = l.lastLeader
+	}
+	return l.Range(lo, hi)
+}
+
+// Snapshot returns copies of every entry in the log, ascending, including
+// holes' absence. Used by stable storage and tests.
+func (l *Log) Snapshot() []types.Entry {
+	return l.Range(1, l.lastIndex)
+}
+
+// CheckInvariants verifies structural invariants; tests call it after every
+// mutation sequence.
+func (l *Log) CheckInvariants() error {
+	for i := types.Index(1); i <= l.lastLeader; i++ {
+		e := l.at(i)
+		if e == nil {
+			return fmt.Errorf("logstore: hole %d inside leader prefix %d", i, l.lastLeader)
+		}
+		if e.Approval != types.ApprovedLeader {
+			return fmt.Errorf("logstore: non-leader entry %d inside leader prefix", i)
+		}
+	}
+	if l.lastIndex > 0 && l.at(l.lastIndex) == nil {
+		return fmt.Errorf("logstore: lastIndex %d is a hole", l.lastIndex)
+	}
+	for i := l.lastIndex + 1; i <= types.Index(len(l.entries)); i++ {
+		if l.at(i) != nil {
+			return fmt.Errorf("logstore: entry beyond lastIndex at %d", i)
+		}
+	}
+	return nil
+}
+
+func (l *Log) at(idx types.Index) *types.Entry {
+	if idx == 0 || idx > types.Index(len(l.entries)) {
+		return nil
+	}
+	return l.entries[idx-1]
+}
+
+func (l *Log) place(idx types.Index, e *types.Entry) {
+	for types.Index(len(l.entries)) < idx {
+		l.entries = append(l.entries, nil)
+	}
+	l.entries[idx-1] = e
+	if idx > l.lastIndex {
+		l.lastIndex = idx
+	}
+	if !e.PID.IsZero() {
+		l.byPID[e.PID] = idx
+	}
+	if e.Kind == types.KindConfig && e.Config != nil && idx >= l.configIndex {
+		l.adoptConfig(*e)
+	}
+}
+
+func (l *Log) remove(idx types.Index) {
+	e := l.at(idx)
+	if e == nil {
+		return
+	}
+	if !e.PID.IsZero() && l.byPID[e.PID] == idx {
+		delete(l.byPID, e.PID)
+	}
+	wasConfig := e.Kind == types.KindConfig
+	l.entries[idx-1] = nil
+	if wasConfig && idx == l.configIndex {
+		l.recomputeConfig()
+	}
+}
+
+func (l *Log) adoptConfig(e types.Entry) {
+	l.config = e.Config.Clone()
+	l.configIndex = e.Index
+}
+
+// recomputeConfig rescans for the highest config entry. Only called on the
+// rare removal/truncation paths.
+func (l *Log) recomputeConfig() {
+	for i := l.lastIndex; i >= 1; i-- {
+		if e := l.at(i); e != nil && e.Kind == types.KindConfig && e.Config != nil {
+			l.config = e.Config.Clone()
+			l.configIndex = i
+			return
+		}
+	}
+	l.configIndex = 0
+	// The bootstrap configuration is not recoverable from entries; keep the
+	// current one. Callers that truncate below the first config entry are
+	// restoring from storage and reset the log wholesale.
+}
+
+// Restore rebuilds a log from persisted entries (used on recovery from
+// stable storage). Entries must be sorted ascending by index.
+func Restore(bootstrap types.Config, entries []types.Entry) (*Log, error) {
+	l := New(bootstrap)
+	for _, e := range entries {
+		if e.Index == 0 {
+			return nil, fmt.Errorf("logstore: restore entry with index 0")
+		}
+		ec := e.Clone()
+		l.place(e.Index, &ec)
+	}
+	// Recompute the leader prefix.
+	for i := types.Index(1); ; i++ {
+		e := l.at(i)
+		if e == nil || e.Approval != types.ApprovedLeader {
+			l.lastLeader = i - 1
+			break
+		}
+	}
+	l.recomputeConfig()
+	if err := l.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

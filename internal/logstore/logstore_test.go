@@ -1,0 +1,308 @@
+package logstore
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+func pid(p string, s uint64) types.ProposalID {
+	return types.ProposalID{Proposer: types.NodeID(p), Seq: s}
+}
+
+func normal(p string, s uint64) types.Entry {
+	return types.Entry{Kind: types.KindNormal, PID: pid(p, s), Data: []byte(p)}
+}
+
+func TestInsertSelfBasics(t *testing.T) {
+	l := New(types.NewConfig("a", "b", "c"))
+	if err := l.InsertSelf(3, normal("p", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastIndex() != 3 {
+		t.Fatalf("LastIndex = %d", l.LastIndex())
+	}
+	if l.LastLeaderIndex() != 0 {
+		t.Fatalf("LastLeaderIndex = %d", l.LastLeaderIndex())
+	}
+	if l.Has(1) || l.Has(2) || !l.Has(3) {
+		t.Fatal("hole structure wrong")
+	}
+	e, ok := l.Get(3)
+	if !ok || e.Approval != types.ApprovedSelf || e.Index != 3 {
+		t.Fatalf("Get(3) = %v %v", e, ok)
+	}
+	if err := l.InsertSelf(3, normal("q", 1)); !errors.Is(err, ErrOccupied) {
+		t.Fatalf("double insert: %v", err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendLeaderPrefixContiguity(t *testing.T) {
+	l := New(types.NewConfig("a"))
+	if err := l.AppendLeader(2, normal("p", 1)); !errors.Is(err, ErrGap) {
+		t.Fatalf("gap append: %v", err)
+	}
+	if err := l.AppendLeader(1, normal("p", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLeader(2, normal("p", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastLeaderIndex() != 2 {
+		t.Fatalf("LastLeaderIndex = %d", l.LastLeaderIndex())
+	}
+	// A leader append replaces a self-approved occupant.
+	if err := l.InsertSelf(3, normal("x", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLeader(3, normal("p", 3)); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := l.Get(3)
+	if e.PID != pid("p", 3) || e.Approval != types.ApprovedLeader {
+		t.Fatalf("slot 3 = %v", e)
+	}
+	// The replaced entry's pid must no longer resolve.
+	if idx := l.FindProposal(pid("x", 9)); idx != 0 {
+		t.Fatalf("stale pid still indexed at %d", idx)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwriteLeaderInsidePrefix(t *testing.T) {
+	l := New(types.NewConfig("a"))
+	for i := types.Index(1); i <= 3; i++ {
+		if err := l.AppendLeader(i, normal("p", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.OverwriteLeader(2, normal("q", 7)); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := l.Get(2)
+	if e.PID != pid("q", 7) {
+		t.Fatalf("overwrite failed: %v", e)
+	}
+	if l.LastLeaderIndex() != 3 {
+		t.Fatalf("prefix shrank to %d", l.LastLeaderIndex())
+	}
+	if err := l.OverwriteLeader(5, normal("q", 8)); !errors.Is(err, ErrGap) {
+		t.Fatalf("overwrite beyond prefix: %v", err)
+	}
+}
+
+func TestPromoteToLeader(t *testing.T) {
+	l := New(types.NewConfig("a"))
+	if err := l.AppendLeader(1, normal("p", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InsertSelf(2, normal("p", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.PromoteToLeader(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := l.Get(2)
+	if e.Approval != types.ApprovedLeader || e.Term != 5 {
+		t.Fatalf("promoted = %v", e)
+	}
+	if l.LastLeaderIndex() != 2 {
+		t.Fatalf("prefix = %d", l.LastLeaderIndex())
+	}
+	if err := l.PromoteToLeader(4, 5); err == nil {
+		t.Fatal("promoting a hole must fail")
+	}
+}
+
+func TestSelfApprovedListing(t *testing.T) {
+	l := New(types.NewConfig("a"))
+	if err := l.AppendLeader(1, normal("p", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InsertSelf(3, normal("p", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.InsertSelf(5, normal("p", 5)); err != nil {
+		t.Fatal(err)
+	}
+	sa := l.SelfApproved()
+	if len(sa) != 2 || sa[0].Index != 3 || sa[1].Index != 5 {
+		t.Fatalf("SelfApproved = %v", sa)
+	}
+}
+
+func TestConfigTracking(t *testing.T) {
+	boot := types.NewConfig("a", "b", "c")
+	l := New(boot)
+	cfg, idx := l.Config()
+	if !cfg.Equal(boot) || idx != 0 {
+		t.Fatalf("bootstrap config: %v @%d", cfg, idx)
+	}
+	bigger := boot.WithMember("d")
+	if err := l.AppendLeader(1, types.ConfigEntry(bigger, types.ProposalID{})); err != nil {
+		t.Fatal(err)
+	}
+	cfg, idx = l.Config()
+	if !cfg.Equal(bigger) || idx != 1 {
+		t.Fatalf("after config entry: %v @%d", cfg, idx)
+	}
+	// A self-approved config insertion later in the log takes effect too
+	// (the paper: "the last configuration appended to the log").
+	smaller := bigger.WithoutMember("a")
+	if err := l.InsertSelf(4, types.ConfigEntry(smaller, pid("p", 1))); err != nil {
+		t.Fatal(err)
+	}
+	cfg, idx = l.Config()
+	if !cfg.Equal(smaller) || idx != 4 {
+		t.Fatalf("after self config: %v @%d", cfg, idx)
+	}
+	// Overwriting that slot with a normal entry reverts to the previous
+	// config.
+	if err := l.AppendLeader(2, normal("p", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLeader(3, normal("p", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendLeader(4, normal("p", 4)); err != nil {
+		t.Fatal(err)
+	}
+	cfg, idx = l.Config()
+	if !cfg.Equal(bigger) || idx != 1 {
+		t.Fatalf("after overwrite: %v @%d", cfg, idx)
+	}
+}
+
+func TestTruncateSuffix(t *testing.T) {
+	l := New(types.NewConfig("a"))
+	for i := types.Index(1); i <= 5; i++ {
+		if err := l.AppendLeader(i, normal("p", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.TruncateSuffix(2)
+	if l.LastIndex() != 2 || l.LastLeaderIndex() != 2 {
+		t.Fatalf("after truncate: last=%d leader=%d", l.LastIndex(), l.LastLeaderIndex())
+	}
+	if l.FindProposal(pid("p", 4)) != 0 {
+		t.Fatal("truncated pid still indexed")
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeAndLeaderRange(t *testing.T) {
+	l := New(types.NewConfig("a"))
+	for i := types.Index(1); i <= 3; i++ {
+		if err := l.AppendLeader(i, normal("p", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.InsertSelf(5, normal("p", 5)); err != nil {
+		t.Fatal(err)
+	}
+	all := l.Range(1, 10)
+	if len(all) != 4 {
+		t.Fatalf("Range = %d entries", len(all))
+	}
+	lr := l.LeaderRange(2, 10)
+	if len(lr) != 2 || lr[0].Index != 2 || lr[1].Index != 3 {
+		t.Fatalf("LeaderRange = %v", lr)
+	}
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	boot := types.NewConfig("a", "b", "c")
+	l := New(boot)
+	for i := types.Index(1); i <= 4; i++ {
+		if err := l.AppendLeader(i, normal("p", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.InsertSelf(6, normal("q", 1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := l.Snapshot()
+	r, err := Restore(boot, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LastIndex() != l.LastIndex() || r.LastLeaderIndex() != l.LastLeaderIndex() {
+		t.Fatalf("restore mismatch: last %d/%d leader %d/%d",
+			r.LastIndex(), l.LastIndex(), r.LastLeaderIndex(), l.LastLeaderIndex())
+	}
+	if r.FindProposal(pid("q", 1)) != 6 {
+		t.Fatal("pid index not rebuilt")
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRandomOpsKeepInvariants drives random legal operation sequences
+// and checks structural invariants plus restore-consistency throughout.
+func TestQuickRandomOpsKeepInvariants(t *testing.T) {
+	boot := types.NewConfig("a", "b", "c")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := New(boot)
+		seq := uint64(0)
+		for op := 0; op < 60; op++ {
+			seq++
+			e := normal("p", seq)
+			switch rng.Intn(5) {
+			case 0: // self insert at a random nearby slot
+				idx := types.Index(rng.Intn(20) + 1)
+				err := l.InsertSelf(idx, e)
+				if err != nil && !errors.Is(err, ErrOccupied) {
+					return false
+				}
+			case 1: // extend the leader prefix
+				if err := l.AppendLeader(l.LastLeaderIndex()+1, e); err != nil {
+					return false
+				}
+			case 2: // overwrite inside the prefix
+				if top := l.LastLeaderIndex(); top > 0 {
+					idx := types.Index(rng.Intn(int(top)) + 1)
+					if err := l.OverwriteLeader(idx, e); err != nil {
+						return false
+					}
+				}
+			case 3: // promote a self entry if it sits right after the prefix
+				idx := l.LastLeaderIndex() + 1
+				if ent, ok := l.Get(idx); ok && ent.Approval == types.ApprovedSelf {
+					if err := l.PromoteToLeader(idx, types.Term(op)); err != nil {
+						return false
+					}
+				}
+			case 4: // occasional truncation (classic-raft style)
+				if rng.Intn(4) == 0 && l.LastIndex() > 0 {
+					l.TruncateSuffix(types.Index(rng.Intn(int(l.LastIndex()) + 1)))
+				}
+			}
+			if err := l.CheckInvariants(); err != nil {
+				t.Logf("invariant: %v", err)
+				return false
+			}
+		}
+		// Snapshot/restore must reproduce the same structure.
+		r, err := Restore(boot, l.Snapshot())
+		if err != nil {
+			t.Logf("restore: %v", err)
+			return false
+		}
+		return r.LastIndex() == l.LastIndex() && r.LastLeaderIndex() == l.LastLeaderIndex()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package quorum implements the quorum arithmetic of Fast Raft and classic
+// Raft, plus the vote tally (the paper's possibleEntries structure) a Fast
+// Raft leader uses to decide entries.
+//
+// For a configuration of M sites the paper uses:
+//
+//   - classic quorum: a majority, ⌊M/2⌋+1
+//   - fast quorum:    ⌈3M/4⌉
+//
+// These sizes guarantee that (a) any two quorums of either kind intersect,
+// and (b) any fast quorum intersects any classic quorum in a majority of
+// the classic quorum — the property (Zhao, 2015) that makes the decide rule
+// "pick the entry with most votes in any classic quorum" safe.
+package quorum
+
+import (
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// ClassicSize returns the classic (majority) quorum size for m members.
+// It returns 1 for m <= 1 so single-member groups make progress alone.
+func ClassicSize(m int) int {
+	if m <= 1 {
+		return 1
+	}
+	return m/2 + 1
+}
+
+// FastSize returns the fast quorum size ⌈3m/4⌉ for m members, clamped to at
+// least the classic size (for tiny m the ceiling formula can dip below a
+// majority, which would be unsafe).
+func FastSize(m int) int {
+	if m <= 1 {
+		return 1
+	}
+	f := (3*m + 3) / 4 // ⌈3m/4⌉
+	if c := ClassicSize(m); f < c {
+		return c
+	}
+	return f
+}
+
+// Intersection returns the minimum possible overlap of two quorums of sizes
+// a and b drawn from m members.
+func Intersection(a, b, m int) int {
+	ix := a + b - m
+	if ix < 0 {
+		return 0
+	}
+	return ix
+}
+
+// FastIntersectsClassicInMajority reports whether every fast quorum
+// intersects every classic quorum of m members in a strict majority of the
+// classic quorum. This is the safety precondition of the Fast Raft decide
+// rule and is property-tested exhaustively.
+func FastIntersectsClassicInMajority(m int) bool {
+	c := ClassicSize(m)
+	f := FastSize(m)
+	return 2*Intersection(f, c, m) > c
+}
+
+// CountReached reports whether votes from the given set reach the quorum
+// size q within the configuration cfg. Only votes from configuration
+// members count.
+func CountReached(cfg types.Config, voters map[types.NodeID]bool, q int) bool {
+	n := 0
+	for _, m := range cfg.Members {
+		if voters[m] {
+			n++
+			if n >= q {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MatchQuorum reports whether at least q configuration members have
+// match[id] >= idx. It implements both the classic commit rule over
+// matchIndex and the fast commit rule over fastMatchIndex.
+func MatchQuorum(cfg types.Config, match map[types.NodeID]types.Index, idx types.Index, q int) bool {
+	n := 0
+	for _, m := range cfg.Members {
+		if match[m] >= idx {
+			n++
+			if n >= q {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,106 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+func TestQuorumSizes(t *testing.T) {
+	tests := []struct {
+		m       int
+		classic int
+		fast    int
+	}{
+		{1, 1, 1},
+		{2, 2, 2},
+		{3, 2, 3},
+		{4, 3, 3},
+		{5, 3, 4}, // the paper's running example: fast quorum ⌈15/4⌉ = 4
+		{6, 4, 5},
+		{7, 4, 6},
+		{8, 5, 6},
+		{9, 5, 7},
+		{10, 6, 8},
+		{20, 11, 15},
+	}
+	for _, tt := range tests {
+		if got := ClassicSize(tt.m); got != tt.classic {
+			t.Errorf("ClassicSize(%d) = %d, want %d", tt.m, got, tt.classic)
+		}
+		if got := FastSize(tt.m); got != tt.fast {
+			t.Errorf("FastSize(%d) = %d, want %d", tt.m, got, tt.fast)
+		}
+	}
+}
+
+// TestQuorumIntersectionProperties verifies, for every configuration size
+// up to 256, the three intersection properties the safety proofs rest on.
+func TestQuorumIntersectionProperties(t *testing.T) {
+	for m := 1; m <= 256; m++ {
+		c, f := ClassicSize(m), FastSize(m)
+		if c > m || f > m {
+			t.Fatalf("m=%d: quorum exceeds membership (c=%d f=%d)", m, c, f)
+		}
+		if Intersection(c, c, m) < 1 {
+			t.Errorf("m=%d: two classic quorums may not intersect", m)
+		}
+		if Intersection(f, f, m) < 1 {
+			t.Errorf("m=%d: two fast quorums may not intersect", m)
+		}
+		if !FastIntersectsClassicInMajority(m) {
+			t.Errorf("m=%d: fast∩classic not a majority of classic (c=%d f=%d ix=%d)",
+				m, c, f, Intersection(f, c, m))
+		}
+	}
+}
+
+func TestQuickIntersectionFormula(t *testing.T) {
+	// Intersection(a, b, m) must equal the minimum overlap achievable by
+	// placing a and b member subsets adversarially.
+	f := func(a, b, m uint8) bool {
+		am, bm, mm := int(a%64)+1, int(b%64)+1, int(m%64)+1
+		if am > mm {
+			am = mm
+		}
+		if bm > mm {
+			bm = mm
+		}
+		// Adversarial placement: a at the start, b at the end.
+		lo := am + bm - mm
+		if lo < 0 {
+			lo = 0
+		}
+		return Intersection(am, bm, mm) == lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountReached(t *testing.T) {
+	cfg := types.NewConfig("a", "b", "c", "d", "e")
+	votes := map[types.NodeID]bool{"a": true, "b": true, "x": true}
+	if CountReached(cfg, votes, 3) {
+		t.Fatal("vote from non-member x must not count")
+	}
+	votes["c"] = true
+	if !CountReached(cfg, votes, 3) {
+		t.Fatal("three member votes reach a classic quorum of 5")
+	}
+}
+
+func TestMatchQuorum(t *testing.T) {
+	cfg := types.NewConfig("a", "b", "c")
+	match := map[types.NodeID]types.Index{"a": 5, "b": 3, "c": 1}
+	if !MatchQuorum(cfg, match, 3, 2) {
+		t.Fatal("a and b cover index 3")
+	}
+	if MatchQuorum(cfg, match, 4, 2) {
+		t.Fatal("only a covers index 4")
+	}
+	if !MatchQuorum(cfg, match, 1, 3) {
+		t.Fatal("all cover index 1")
+	}
+}

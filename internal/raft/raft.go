@@ -1,0 +1,642 @@
+// Package raft implements classic Raft (Ongaro & Ousterhout) as the paper's
+// experimental baseline.
+//
+// The implementation is a sans-io state machine: the host delivers messages
+// via Step, advances time via Tick, and drains outgoing messages and newly
+// committed entries. Timing follows the paper's implementation model (see
+// DESIGN.md "Timing model"): followers react to messages immediately, while
+// all leader actions — dispatching AppendEntries, evaluating commits and
+// notifying proposers — happen at the leader's periodic heartbeat tick.
+// This is what gives classic Raft its characteristic ~1.5 heartbeat commit
+// latency against which Fast Raft's single-tick fast track is compared.
+package raft
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/logstore"
+	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Config parametrizes a classic Raft node.
+type Config struct {
+	// ID is this site's identity.
+	ID types.NodeID
+	// Bootstrap is the initial configuration used when storage is empty.
+	Bootstrap types.Config
+	// Storage is the site's stable storage (required).
+	Storage storage.Storage
+	// HeartbeatInterval is the leader tick period (paper: 100 ms
+	// intra-cluster).
+	HeartbeatInterval time.Duration
+	// ElectionTimeoutMin/Max bound the randomized election timeout.
+	ElectionTimeoutMin time.Duration
+	// ElectionTimeoutMax must be > ElectionTimeoutMin.
+	ElectionTimeoutMax time.Duration
+	// ProposalTimeout is how long a proposer waits before re-sending an
+	// unresolved proposal.
+	ProposalTimeout time.Duration
+	// Rand drives randomized timeouts; required for deterministic
+	// simulation.
+	Rand *rand.Rand
+}
+
+// Defaults fills unset durations with the paper's experimental settings.
+func (c *Config) Defaults() {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.ElectionTimeoutMin == 0 {
+		c.ElectionTimeoutMin = 3 * c.HeartbeatInterval
+	}
+	if c.ElectionTimeoutMax == 0 {
+		c.ElectionTimeoutMax = 2 * c.ElectionTimeoutMin
+	}
+	if c.ProposalTimeout == 0 {
+		c.ProposalTimeout = 6 * c.HeartbeatInterval
+	}
+}
+
+func (c *Config) validate() error {
+	if c.ID == types.None {
+		return errors.New("raft: config needs an ID")
+	}
+	if c.Storage == nil {
+		return errors.New("raft: config needs Storage")
+	}
+	if c.Rand == nil {
+		return errors.New("raft: config needs Rand")
+	}
+	if c.ElectionTimeoutMax <= c.ElectionTimeoutMin {
+		return errors.New("raft: ElectionTimeoutMax must exceed ElectionTimeoutMin")
+	}
+	return nil
+}
+
+// pendingProposal tracks a locally originated proposal until it resolves.
+type pendingProposal struct {
+	entry    types.Entry
+	deadline time.Duration
+}
+
+// Node is a classic Raft site. It is not safe for concurrent use; hosts
+// serialize all calls.
+type Node struct {
+	cfg Config
+
+	term     types.Term
+	votedFor types.NodeID
+	log      *logstore.Log
+
+	role        types.Role
+	leaderID    types.NodeID
+	commitIndex types.Index
+
+	// follower/candidate timer.
+	electionDeadline time.Duration
+	// leader timer.
+	tickDeadline time.Duration
+
+	// candidate state.
+	votes map[types.NodeID]bool
+
+	// leader state.
+	nextIndex  map[types.NodeID]types.Index
+	matchIndex map[types.NodeID]types.Index
+	aeRound    uint64
+	// notifyQueue holds commit notifications to flush at the next leader
+	// tick (see package comment on timing).
+	notifyQueue []types.Envelope
+
+	// proposer state.
+	proposalSeq uint64
+	pending     map[types.ProposalID]*pendingProposal
+
+	outbox    []types.Envelope
+	committed []types.Entry
+	resolved  []types.Resolution
+
+	now time.Duration
+}
+
+// New builds a node, recovering persistent state from cfg.Storage.
+func New(cfg Config) (*Node, error) {
+	cfg.Defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	hs, entries, err := cfg.Storage.Load()
+	if err != nil {
+		return nil, fmt.Errorf("raft: load storage: %w", err)
+	}
+	log, err := logstore.Restore(cfg.Bootstrap, entries)
+	if err != nil {
+		return nil, fmt.Errorf("raft: restore log: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		term:     hs.Term,
+		votedFor: hs.VotedFor,
+		log:      log,
+		role:     types.RoleFollower,
+		pending:  make(map[types.ProposalID]*pendingProposal),
+	}
+	n.resetElectionTimer()
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() types.NodeID { return n.cfg.ID }
+
+// Role returns the node's current role.
+func (n *Node) Role() types.Role { return n.role }
+
+// Term returns the node's current term.
+func (n *Node) Term() types.Term { return n.term }
+
+// LeaderID returns the current known leader (None if unknown).
+func (n *Node) LeaderID() types.NodeID { return n.leaderID }
+
+// CommitIndex returns the node's commit index.
+func (n *Node) CommitIndex() types.Index { return n.commitIndex }
+
+// Config returns the node's active membership configuration.
+func (n *Node) Config() types.Config {
+	cfg, _ := n.log.Config()
+	return cfg
+}
+
+// LastIndex returns the last log index.
+func (n *Node) LastIndex() types.Index { return n.log.LastIndex() }
+
+// PendingProposals returns the number of unresolved local proposals.
+func (n *Node) PendingProposals() int { return len(n.pending) }
+
+// TakeOutbox drains messages to send.
+func (n *Node) TakeOutbox() []types.Envelope {
+	out := n.outbox
+	n.outbox = nil
+	return out
+}
+
+// TakeCommitted drains newly committed entries, in log order.
+func (n *Node) TakeCommitted() []types.Entry {
+	out := n.committed
+	n.committed = nil
+	return out
+}
+
+// TakeResolved drains resolutions of locally originated proposals.
+func (n *Node) TakeResolved() []types.Resolution {
+	out := n.resolved
+	n.resolved = nil
+	return out
+}
+
+// NextDeadline returns the earliest future instant at which the node needs
+// Tick. Zero means no pending deadline.
+func (n *Node) NextDeadline() time.Duration {
+	var d time.Duration
+	add := func(t time.Duration) {
+		if t > 0 && (d == 0 || t < d) {
+			d = t
+		}
+	}
+	switch n.role {
+	case types.RoleLeader:
+		add(n.tickDeadline)
+	default:
+		add(n.electionDeadline)
+	}
+	for _, p := range n.pending {
+		add(p.deadline)
+	}
+	return d
+}
+
+// Propose submits an application entry from this site. The proposal is
+// tracked and re-sent until resolved.
+func (n *Node) Propose(now time.Duration, data []byte) types.ProposalID {
+	n.now = now
+	n.proposalSeq++
+	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
+	e := types.Entry{Kind: types.KindNormal, PID: pid, Data: append([]byte(nil), data...)}
+	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
+	n.submit(e)
+	return pid
+}
+
+// submit routes a proposal toward the leader (appending locally when this
+// node leads).
+func (n *Node) submit(e types.Entry) {
+	if n.role == types.RoleLeader {
+		n.leaderAppend(e)
+		return
+	}
+	if n.leaderID != types.None && n.leaderID != n.cfg.ID {
+		n.send(n.leaderID, types.ClientPropose{Entry: e.Clone()})
+	}
+	// Leader unknown: the retry timer will re-submit.
+}
+
+// Tick advances time; expired deadlines fire.
+func (n *Node) Tick(now time.Duration) {
+	n.now = now
+	switch n.role {
+	case types.RoleLeader:
+		if n.tickDeadline != 0 && now >= n.tickDeadline {
+			n.leaderTick()
+			n.tickDeadline = now + n.cfg.HeartbeatInterval
+		}
+	default:
+		if n.electionDeadline != 0 && now >= n.electionDeadline {
+			n.startElection()
+		}
+	}
+	n.retryProposals(now)
+}
+
+func (n *Node) retryProposals(now time.Duration) {
+	var due []types.ProposalID
+	for pid, p := range n.pending {
+		if now >= p.deadline {
+			due = append(due, pid)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].Less(due[j]) })
+	for _, pid := range due {
+		p := n.pending[pid]
+		p.deadline = now + n.cfg.ProposalTimeout
+		// Re-submit; the leader de-duplicates by PID.
+		n.submit(p.entry)
+	}
+}
+
+// Step delivers one message.
+func (n *Node) Step(now time.Duration, env types.Envelope) {
+	n.now = now
+	switch m := env.Msg.(type) {
+	case types.ClientPropose:
+		n.onClientPropose(env.From, m)
+	case types.AppendEntries:
+		n.onAppendEntries(env.From, m)
+	case types.AppendEntriesResp:
+		n.onAppendEntriesResp(env.From, m)
+	case types.RequestVote:
+		n.onRequestVote(env.From, m)
+	case types.RequestVoteResp:
+		n.onRequestVoteResp(env.From, m)
+	case types.CommitNotify:
+		n.onCommitNotify(m)
+	default:
+		// Unknown messages (e.g. Fast Raft traffic misrouted in tests) are
+		// ignored; classic Raft has no use for them.
+	}
+}
+
+func (n *Node) send(to types.NodeID, msg types.Message) {
+	if to == n.cfg.ID || to == types.None {
+		return
+	}
+	n.outbox = append(n.outbox, types.Envelope{
+		From: n.cfg.ID, To: to, Layer: types.LayerLocal, Msg: msg,
+	})
+}
+
+func (n *Node) persistHardState() {
+	err := n.cfg.Storage.SetHardState(storage.HardState{Term: n.term, VotedFor: n.votedFor})
+	if err != nil {
+		// Storage failures are fatal for a consensus node; surface loudly.
+		panic(fmt.Sprintf("raft %s: persist hard state: %v", n.cfg.ID, err))
+	}
+}
+
+func (n *Node) persistEntry(e types.Entry) {
+	if err := n.cfg.Storage.AppendEntry(e); err != nil {
+		panic(fmt.Sprintf("raft %s: persist entry: %v", n.cfg.ID, err))
+	}
+}
+
+func (n *Node) resetElectionTimer() {
+	span := n.cfg.ElectionTimeoutMax - n.cfg.ElectionTimeoutMin
+	d := n.cfg.ElectionTimeoutMin + time.Duration(n.cfg.Rand.Int63n(int64(span)))
+	n.electionDeadline = n.now + d
+}
+
+func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
+	changedTerm := term > n.term
+	if changedTerm {
+		n.term = term
+		n.votedFor = types.None
+		n.persistHardState()
+	}
+	n.role = types.RoleFollower
+	if leader != types.None {
+		n.leaderID = leader
+	} else if changedTerm {
+		n.leaderID = types.None
+	}
+	n.votes = nil
+	n.nextIndex = nil
+	n.matchIndex = nil
+	n.notifyQueue = nil
+	n.tickDeadline = 0
+	n.resetElectionTimer()
+}
+
+func (n *Node) startElection() {
+	cfg := n.Config()
+	if !cfg.Contains(n.cfg.ID) {
+		// Not a voting member; wait to be contacted.
+		n.resetElectionTimer()
+		return
+	}
+	n.role = types.RoleCandidate
+	n.term++
+	n.votedFor = n.cfg.ID
+	n.persistHardState()
+	n.leaderID = types.None
+	n.votes = map[types.NodeID]bool{n.cfg.ID: true}
+	n.resetElectionTimer()
+	req := types.RequestVote{
+		Term:         n.term,
+		CandidateID:  n.cfg.ID,
+		LastLogIndex: n.log.LastIndex(),
+		LastLogTerm:  n.log.Term(n.log.LastIndex()),
+	}
+	for _, peer := range cfg.Others(n.cfg.ID) {
+		n.send(peer, req)
+	}
+	n.maybeWinElection()
+}
+
+func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+	}
+	resp := types.RequestVoteResp{Term: n.term}
+	if m.Term < n.term {
+		n.send(from, resp)
+		return
+	}
+	upToDate := m.LastLogTerm > n.log.Term(n.log.LastIndex()) ||
+		(m.LastLogTerm == n.log.Term(n.log.LastIndex()) && m.LastLogIndex >= n.log.LastIndex())
+	if (n.votedFor == types.None || n.votedFor == m.CandidateID) && upToDate {
+		n.votedFor = m.CandidateID
+		n.persistHardState()
+		n.resetElectionTimer()
+		resp.Granted = true
+	}
+	n.send(from, resp)
+}
+
+func (n *Node) onRequestVoteResp(from types.NodeID, m types.RequestVoteResp) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+		return
+	}
+	if n.role != types.RoleCandidate || m.Term < n.term || !m.Granted {
+		return
+	}
+	n.votes[from] = true
+	n.maybeWinElection()
+}
+
+func (n *Node) maybeWinElection() {
+	cfg := n.Config()
+	if !quorum.CountReached(cfg, n.votes, quorum.ClassicSize(cfg.Size())) {
+		return
+	}
+	n.becomeLeader()
+}
+
+func (n *Node) becomeLeader() {
+	n.role = types.RoleLeader
+	n.leaderID = n.cfg.ID
+	n.votes = nil
+	n.nextIndex = make(map[types.NodeID]types.Index)
+	n.matchIndex = make(map[types.NodeID]types.Index)
+	cfg := n.Config()
+	for _, peer := range cfg.Members {
+		n.nextIndex[peer] = n.log.LastIndex() + 1
+		n.matchIndex[peer] = 0
+	}
+	n.matchIndex[n.cfg.ID] = n.log.LastIndex()
+	// Establish a commit point in this term (Raft-thesis no-op).
+	n.leaderAppend(types.Entry{Kind: types.KindNoop})
+	// First heartbeat goes out immediately; subsequent ones at the tick.
+	n.leaderTick()
+	n.tickDeadline = n.now + n.cfg.HeartbeatInterval
+}
+
+// leaderAppend appends an entry to the leader's log (de-duplicating by
+// proposal ID) and persists it. Replication happens at the next tick.
+func (n *Node) leaderAppend(e types.Entry) {
+	if !e.PID.IsZero() {
+		if idx := n.log.FindProposal(e.PID); idx != 0 {
+			if idx <= n.commitIndex {
+				n.queueNotify(e.PID, idx)
+			}
+			return
+		}
+	}
+	idx := n.log.LastIndex() + 1
+	e = e.Clone()
+	e.Term = n.term
+	if err := n.log.AppendLeader(idx, e); err != nil {
+		panic(fmt.Sprintf("raft %s: leader append: %v", n.cfg.ID, err))
+	}
+	stored, _ := n.log.Get(idx)
+	n.persistEntry(stored)
+	n.matchIndex[n.cfg.ID] = n.log.LastIndex()
+}
+
+func (n *Node) onClientPropose(from types.NodeID, m types.ClientPropose) {
+	if n.role == types.RoleLeader {
+		n.leaderAppend(m.Entry)
+		return
+	}
+	// Redirect toward the leader if known; otherwise drop (the proposer
+	// retries).
+	if n.leaderID != types.None && n.leaderID != from {
+		n.send(n.leaderID, m)
+	}
+}
+
+// leaderTick performs all periodic leader duties: commit evaluation,
+// notification flush, and AppendEntries dispatch.
+func (n *Node) leaderTick() {
+	n.advanceCommit()
+	n.flushNotifications()
+	n.broadcastAppend()
+}
+
+func (n *Node) advanceCommit() {
+	cfg := n.Config()
+	classic := quorum.ClassicSize(cfg.Size())
+	for k := n.commitIndex + 1; k <= n.log.LastIndex(); k++ {
+		if n.log.Term(k) != n.term {
+			continue
+		}
+		if !quorum.MatchQuorum(cfg, n.matchIndex, k, classic) {
+			break
+		}
+		n.commitTo(k)
+	}
+}
+
+func (n *Node) commitTo(k types.Index) {
+	for i := n.commitIndex + 1; i <= k; i++ {
+		e, ok := n.log.Get(i)
+		if !ok {
+			panic(fmt.Sprintf("raft %s: commit hole at %d", n.cfg.ID, i))
+		}
+		n.committed = append(n.committed, e)
+		n.observeCommitted(e)
+		if n.role == types.RoleLeader && !e.PID.IsZero() {
+			n.queueNotify(e.PID, i)
+		}
+	}
+	n.commitIndex = k
+}
+
+// observeCommitted resolves local proposals seen in the committed stream.
+func (n *Node) observeCommitted(e types.Entry) {
+	if e.PID.Proposer != n.cfg.ID {
+		return
+	}
+	if _, ok := n.pending[e.PID]; ok {
+		delete(n.pending, e.PID)
+		n.resolved = append(n.resolved, types.Resolution{PID: e.PID, Index: e.Index})
+	}
+}
+
+func (n *Node) queueNotify(pid types.ProposalID, idx types.Index) {
+	if pid.Proposer == n.cfg.ID {
+		// Local proposer: resolved via observeCommitted.
+		return
+	}
+	n.notifyQueue = append(n.notifyQueue, types.Envelope{
+		From: n.cfg.ID, To: pid.Proposer, Layer: types.LayerLocal,
+		Msg: types.CommitNotify{PID: pid, Index: idx},
+	})
+}
+
+func (n *Node) flushNotifications() {
+	n.outbox = append(n.outbox, n.notifyQueue...)
+	n.notifyQueue = nil
+}
+
+func (n *Node) broadcastAppend() {
+	cfg := n.Config()
+	n.aeRound++
+	for _, peer := range cfg.Others(n.cfg.ID) {
+		next := n.nextIndex[peer]
+		if next == 0 {
+			next = n.log.LastIndex() + 1
+			n.nextIndex[peer] = next
+		}
+		prev := next - 1
+		msg := types.AppendEntries{
+			Term:         n.term,
+			LeaderID:     n.cfg.ID,
+			PrevLogIndex: prev,
+			PrevLogTerm:  n.log.Term(prev),
+			Entries:      n.log.Range(next, n.log.LastIndex()),
+			LeaderCommit: n.commitIndex,
+			Round:        n.aeRound,
+		}
+		n.send(peer, msg)
+	}
+}
+
+func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
+	if m.Term > n.term || (m.Term == n.term && n.role != types.RoleFollower) {
+		n.becomeFollower(m.Term, m.LeaderID)
+	}
+	resp := types.AppendEntriesResp{Term: n.term, Round: m.Round, LastLogIndex: n.log.LastIndex()}
+	if m.Term < n.term {
+		n.send(from, resp)
+		return
+	}
+	n.leaderID = m.LeaderID
+	n.resetElectionTimer()
+	// Consistency check.
+	if m.PrevLogIndex > 0 && n.log.Term(m.PrevLogIndex) != m.PrevLogTerm {
+		resp.Success = false
+		n.send(from, resp)
+		return
+	}
+	// Append/overwrite entries, truncating on conflict (classic Raft).
+	for _, e := range m.Entries {
+		if have := n.log.Term(e.Index); n.log.Has(e.Index) && have == e.Term {
+			continue // already matching
+		}
+		if n.log.Has(e.Index) {
+			n.log.TruncateSuffix(e.Index - 1)
+			if err := n.cfg.Storage.TruncateSuffix(e.Index - 1); err != nil {
+				panic(fmt.Sprintf("raft %s: truncate storage: %v", n.cfg.ID, err))
+			}
+		}
+		if err := n.log.AppendLeader(e.Index, e); err != nil {
+			panic(fmt.Sprintf("raft %s: follower append: %v", n.cfg.ID, err))
+		}
+		stored, _ := n.log.Get(e.Index)
+		n.persistEntry(stored)
+	}
+	match := m.PrevLogIndex + types.Index(len(m.Entries))
+	if m.LeaderCommit > n.commitIndex {
+		k := m.LeaderCommit
+		if last := n.log.LastIndex(); k > last {
+			k = last
+		}
+		if k > n.commitIndex {
+			n.commitTo(k)
+		}
+	}
+	resp.Success = true
+	resp.MatchIndex = match
+	resp.LastLogIndex = n.log.LastIndex()
+	n.send(from, resp)
+}
+
+func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+		return
+	}
+	if n.role != types.RoleLeader || m.Term < n.term {
+		return
+	}
+	if !m.Success {
+		// Back off; use the follower's hint to converge quickly.
+		next := n.nextIndex[from]
+		if next > m.LastLogIndex+1 {
+			next = m.LastLogIndex + 1
+		} else if next > 1 {
+			next--
+		}
+		n.nextIndex[from] = next
+		return
+	}
+	if m.MatchIndex > n.matchIndex[from] {
+		n.matchIndex[from] = m.MatchIndex
+	}
+	if n.nextIndex[from] <= m.MatchIndex {
+		n.nextIndex[from] = m.MatchIndex + 1
+	}
+	// Commit evaluation happens at the next leader tick (timing model).
+}
+
+func (n *Node) onCommitNotify(m types.CommitNotify) {
+	if _, ok := n.pending[m.PID]; ok {
+		delete(n.pending, m.PID)
+		n.resolved = append(n.resolved, types.Resolution{PID: m.PID, Index: m.Index})
+	}
+}

@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// InProcNetwork connects hosts within one process. Each endpoint has a
+// dispatcher goroutine and a bounded queue (overflow is dropped — the
+// protocols tolerate loss). Optional latency and loss injection let the
+// runnable examples emulate geo-distributed deployments in real time.
+type InProcNetwork struct {
+	mu        sync.Mutex
+	endpoints map[types.NodeID]*inprocEndpoint
+	rng       *rand.Rand
+	closed    bool
+
+	// Latency, when set, returns the one-way delivery delay for an
+	// envelope. Nil means immediate delivery.
+	Latency func(from, to types.NodeID) time.Duration
+	// LossProb is the independent drop probability per message.
+	LossProb float64
+}
+
+// NewInProcNetwork returns an empty in-process network. Seed drives loss
+// sampling.
+func NewInProcNetwork(seed int64) *InProcNetwork {
+	return &InProcNetwork{
+		endpoints: make(map[types.NodeID]*inprocEndpoint),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// inprocEndpoint is one node's attachment point.
+type inprocEndpoint struct {
+	net    *InProcNetwork
+	id     types.NodeID
+	mu     sync.Mutex
+	h      func(types.Envelope)
+	queue  chan types.Envelope
+	closed bool
+}
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("runtime: transport closed")
+
+// Endpoint creates (or returns) the transport for a node ID.
+func (n *InProcNetwork) Endpoint(id types.NodeID) Transport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &inprocEndpoint{
+		net:   n,
+		id:    id,
+		queue: make(chan types.Envelope, 1024),
+	}
+	n.endpoints[id] = ep
+	go ep.run()
+	return ep
+}
+
+// Detach removes an endpoint (simulating a crash); future sends to it drop.
+func (n *InProcNetwork) Detach(id types.NodeID) {
+	n.mu.Lock()
+	ep := n.endpoints[id]
+	delete(n.endpoints, id)
+	n.mu.Unlock()
+	if ep != nil {
+		_ = ep.Close()
+	}
+}
+
+// Close shuts the whole network down.
+func (n *InProcNetwork) Close() {
+	n.mu.Lock()
+	eps := make([]*inprocEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.endpoints = make(map[types.NodeID]*inprocEndpoint)
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+}
+
+func (ep *inprocEndpoint) run() {
+	for env := range ep.queue {
+		ep.mu.Lock()
+		h := ep.h
+		ep.mu.Unlock()
+		if h != nil {
+			h(env)
+		}
+	}
+}
+
+// Send implements Transport.
+func (ep *inprocEndpoint) Send(env types.Envelope) error {
+	n := ep.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrClosed
+	}
+	if n.LossProb > 0 && n.rng.Float64() < n.LossProb {
+		n.mu.Unlock()
+		return nil // dropped, like a lost datagram
+	}
+	dst, ok := n.endpoints[env.To]
+	var delay time.Duration
+	if ok && n.Latency != nil {
+		delay = n.Latency(env.From, env.To)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return nil // unroutable: drop silently, like UDP
+	}
+	env.Msg = types.CloneMessage(env.Msg)
+	deliver := func() {
+		dst.mu.Lock()
+		defer dst.mu.Unlock()
+		if dst.closed {
+			return // racing Close: the message is lost, like a datagram
+		}
+		select {
+		case dst.queue <- env:
+		default:
+			// Queue overflow: drop (backpressure as loss).
+		}
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, deliver)
+		return nil
+	}
+	deliver()
+	return nil
+}
+
+// SetHandler implements Transport.
+func (ep *inprocEndpoint) SetHandler(h func(types.Envelope)) {
+	ep.mu.Lock()
+	ep.h = h
+	ep.mu.Unlock()
+}
+
+// Close implements Transport.
+func (ep *inprocEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	ep.h = nil
+	close(ep.queue)
+	ep.mu.Unlock()
+	return nil
+}
+
+var _ Transport = (*inprocEndpoint)(nil)
+
+// String aids debugging.
+func (ep *inprocEndpoint) String() string { return fmt.Sprintf("inproc(%s)", ep.id) }

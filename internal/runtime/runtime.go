@@ -1,0 +1,265 @@
+// Package runtime hosts the sans-io consensus state machines on real time:
+// a goroutine-per-node host drives Step/Tick from a Transport and wall
+// clock, in contrast to internal/harness which drives the same machines
+// deterministically on virtual time. The public hraft package and the
+// runnable examples are built on this runtime.
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Machine is the sans-io node interface the runtime can host. Both
+// fastraft.Node, raft.Node and craft.Node satisfy it.
+type Machine interface {
+	// ID returns the node identity.
+	ID() types.NodeID
+	// Role returns the current role.
+	Role() types.Role
+	// Term returns the current term.
+	Term() types.Term
+	// LeaderID returns the node's view of the leader.
+	LeaderID() types.NodeID
+	// CommitIndex returns the commit index.
+	CommitIndex() types.Index
+	// Step delivers a message.
+	Step(now time.Duration, env types.Envelope)
+	// Tick advances time.
+	Tick(now time.Duration)
+	// NextDeadline reports when the node next needs Tick (0 = never).
+	NextDeadline() time.Duration
+	// Propose submits an application payload.
+	Propose(now time.Duration, data []byte) types.ProposalID
+	// TakeOutbox drains outgoing messages.
+	TakeOutbox() []types.Envelope
+	// TakeCommitted drains newly committed entries.
+	TakeCommitted() []types.Entry
+	// TakeResolved drains local proposal resolutions.
+	TakeResolved() []types.Resolution
+}
+
+// GlobalCommitter is implemented by machines that additionally expose a
+// global committed stream (C-Raft).
+type GlobalCommitter interface {
+	// TakeGlobalCommitted drains entries newly committed to the global
+	// log.
+	TakeGlobalCommitted() []types.Entry
+}
+
+// Transport moves envelopes between hosts.
+type Transport interface {
+	// Send dispatches one envelope asynchronously. Implementations may
+	// drop messages (the protocols tolerate loss); they must never call
+	// back into the sender synchronously.
+	Send(env types.Envelope) error
+	// SetHandler installs the delivery callback. The transport may invoke
+	// it from any goroutine.
+	SetHandler(h func(types.Envelope))
+	// Close stops delivery.
+	Close() error
+}
+
+// event is a machine output handed to the callback dispatcher.
+type event struct {
+	committed []types.Entry
+	global    []types.Entry
+	resolved  []types.Resolution
+}
+
+// Host runs one Machine on wall-clock time over a Transport. All machine
+// access is serialized by the host's mutex; output callbacks run on a
+// single dispatcher goroutine in output order.
+type Host struct {
+	mu      sync.Mutex
+	machine Machine
+	tr      Transport
+	start   time.Time
+	timer   *time.Timer
+	stopped bool
+
+	evMu     sync.Mutex
+	evQueue  []event
+	evNotify chan struct{}
+	evDone   chan struct{}
+
+	cb Callbacks
+}
+
+// Callbacks observe a host's machine outputs. All callbacks run on a
+// single dispatcher goroutine, in output order, never holding the host
+// lock.
+type Callbacks struct {
+	// OnCommit observes every committed entry, in commit order.
+	OnCommit func(types.Entry)
+	// OnGlobalCommit observes global-log commits for C-Raft machines.
+	OnGlobalCommit func(types.Entry)
+	// OnResolve observes local proposal resolutions.
+	OnResolve func(types.Resolution)
+}
+
+// NewHost starts hosting the machine: delivery begins immediately and the
+// first tick is scheduled.
+func NewHost(machine Machine, tr Transport, cb Callbacks) *Host {
+	h := &Host{
+		machine:  machine,
+		tr:       tr,
+		start:    time.Now(),
+		evNotify: make(chan struct{}, 1),
+		evDone:   make(chan struct{}),
+		cb:       cb,
+	}
+	go h.dispatch()
+	tr.SetHandler(h.deliver)
+	h.mu.Lock()
+	h.drainLocked()
+	h.mu.Unlock()
+	return h
+}
+
+// dispatch delivers queued machine outputs to the callbacks, in order.
+func (h *Host) dispatch() {
+	for {
+		select {
+		case <-h.evNotify:
+		case <-h.evDone:
+			return
+		}
+		for {
+			h.evMu.Lock()
+			queue := h.evQueue
+			h.evQueue = nil
+			h.evMu.Unlock()
+			if len(queue) == 0 {
+				break
+			}
+			for _, ev := range queue {
+				if h.cb.OnCommit != nil {
+					for _, e := range ev.committed {
+						h.cb.OnCommit(e)
+					}
+				}
+				if h.cb.OnGlobalCommit != nil {
+					for _, e := range ev.global {
+						h.cb.OnGlobalCommit(e)
+					}
+				}
+				if h.cb.OnResolve != nil {
+					for _, r := range ev.resolved {
+						h.cb.OnResolve(r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// now returns the host's monotonic time since start.
+func (h *Host) now() time.Duration { return time.Since(h.start) }
+
+// Machine returns the hosted machine. Callers must use Do for safe access.
+func (h *Host) Machine() Machine { return h.machine }
+
+// Do runs fn with exclusive access to the machine at the current host
+// time, then drains outputs. It is how embedders call machine-specific
+// methods (Join, Leave, ProposeEntry, ...).
+func (h *Host) Do(fn func(now time.Duration, m Machine)) {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	fn(h.now(), h.machine)
+	h.drainLocked()
+	h.mu.Unlock()
+}
+
+// Propose submits a payload and returns its proposal ID.
+func (h *Host) Propose(data []byte) types.ProposalID {
+	var pid types.ProposalID
+	h.Do(func(now time.Duration, m Machine) {
+		pid = m.Propose(now, data)
+	})
+	return pid
+}
+
+// Stop halts the host: no more ticks or deliveries. The transport is
+// closed.
+func (h *Host) Stop() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.stopped = true
+	if h.timer != nil {
+		h.timer.Stop()
+	}
+	h.mu.Unlock()
+	close(h.evDone)
+	_ = h.tr.Close()
+}
+
+func (h *Host) deliver(env types.Envelope) {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.machine.Step(h.now(), env)
+	h.drainLocked()
+	h.mu.Unlock()
+}
+
+func (h *Host) tick() {
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	h.machine.Tick(h.now())
+	h.drainLocked()
+	h.mu.Unlock()
+}
+
+// drainLocked flushes machine outputs and re-arms the tick timer. Callbacks
+// fire after the lock is released to avoid re-entrancy deadlocks.
+func (h *Host) drainLocked() {
+	for _, env := range h.machine.TakeOutbox() {
+		// Transport sends are asynchronous and may drop; errors are
+		// treated as message loss, which the protocols tolerate.
+		_ = h.tr.Send(env)
+	}
+	committed := h.machine.TakeCommitted()
+	resolved := h.machine.TakeResolved()
+	var global []types.Entry
+	if gc, ok := h.machine.(GlobalCommitter); ok {
+		global = gc.TakeGlobalCommitted()
+	}
+	if d := h.machine.NextDeadline(); d > 0 {
+		wait := d - h.now()
+		if wait < 0 {
+			wait = 0
+		}
+		if h.timer == nil {
+			h.timer = time.AfterFunc(wait, h.tick)
+		} else {
+			h.timer.Stop()
+			h.timer.Reset(wait)
+		}
+	}
+	if len(committed)+len(resolved)+len(global) == 0 {
+		return
+	}
+	h.evMu.Lock()
+	h.evQueue = append(h.evQueue, event{
+		committed: committed, global: global, resolved: resolved,
+	})
+	h.evMu.Unlock()
+	select {
+	case h.evNotify <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,140 @@
+// Package simnet is a deterministic discrete-event network simulator. It
+// replaces the paper's AWS testbed: virtual time, per-region latency (the
+// paper's 10–300 ms inter-region / <1 ms intra-region round trips),
+// independent per-message loss (the paper's tc-injected loss), partitions
+// and node churn — all driven by a single seeded random source, so every
+// run is exactly reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is virtual time measured from the start of the simulation.
+type Time = time.Duration
+
+// Scheduler is a virtual-time event queue. Events scheduled for the same
+// instant run in scheduling order, which keeps runs deterministic.
+type Scheduler struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewScheduler returns a scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Timer is a handle for a scheduled event; Cancel prevents a pending event
+// from firing.
+type Timer struct {
+	ev *event
+}
+
+// Cancel stops the timer. Canceling an already-fired or already-canceled
+// timer is a no-op. It reports whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	t.ev = nil
+	return true
+}
+
+// At schedules fn at absolute virtual time at (clamped to now if in the
+// past) and returns a cancelable handle.
+func (s *Scheduler) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn after delay d.
+func (s *Scheduler) After(d Time, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the next pending event, returning false when the queue is
+// empty.
+func (s *Scheduler) Step() bool {
+	for s.heap.Len() > 0 {
+		ev := heap.Pop(&s.heap).(*event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until virtual time exceeds deadline or the queue
+// drains. Time is left at min(deadline, time of last event).
+func (s *Scheduler) RunUntil(deadline Time) {
+	for s.heap.Len() > 0 {
+		ev := s.heap[0]
+		if ev.canceled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of schedulable (non-canceled) events, for
+// tests.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.heap {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,167 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Region names a latency domain. Sites in the same region communicate with
+// intra-region latency; sites in different regions use the region-pair RTT.
+type Region string
+
+// Topology maps nodes to regions and region pairs to round-trip times.
+// One-way delivery latency is RTT/2 with multiplicative jitter.
+type Topology struct {
+	regionOf map[string]Region
+	rtt      map[[2]Region]time.Duration
+	// IntraRTT is the round trip within a region (default 600µs, matching
+	// the paper's "less than 1 ms").
+	IntraRTT time.Duration
+	// DefaultRTT applies to region pairs without an explicit entry.
+	DefaultRTT time.Duration
+	// JitterFrac is the ± fraction of multiplicative latency jitter
+	// (default 0.1).
+	JitterFrac float64
+}
+
+// NewTopology returns a topology with paper-like defaults.
+func NewTopology() *Topology {
+	return &Topology{
+		regionOf:   make(map[string]Region),
+		rtt:        make(map[[2]Region]time.Duration),
+		IntraRTT:   600 * time.Microsecond,
+		DefaultRTT: 150 * time.Millisecond,
+		JitterFrac: 0.1,
+	}
+}
+
+// SetRegion assigns a node (by ID string) to a region.
+func (t *Topology) SetRegion(node string, r Region) {
+	t.regionOf[node] = r
+}
+
+// RegionOf returns the node's region ("" if unassigned; unassigned nodes
+// are treated as sharing one implicit region).
+func (t *Topology) RegionOf(node string) Region { return t.regionOf[node] }
+
+// SetRTT sets the round-trip time between two regions (stored
+// symmetrically).
+func (t *Topology) SetRTT(a, b Region, rtt time.Duration) {
+	t.rtt[pairKey(a, b)] = rtt
+}
+
+// RTT returns the round-trip time between the regions of two nodes.
+func (t *Topology) RTT(from, to string) time.Duration {
+	ra, rb := t.regionOf[from], t.regionOf[to]
+	if ra == rb {
+		return t.IntraRTT
+	}
+	if v, ok := t.rtt[pairKey(ra, rb)]; ok {
+		return v
+	}
+	return t.DefaultRTT
+}
+
+// Latency samples a one-way delivery latency between two nodes.
+func (t *Topology) Latency(from, to string, rng *rand.Rand) time.Duration {
+	base := t.RTT(from, to) / 2
+	if t.JitterFrac <= 0 || rng == nil {
+		return base
+	}
+	j := 1 + t.JitterFrac*(2*rng.Float64()-1)
+	return time.Duration(float64(base) * j)
+}
+
+func pairKey(a, b Region) [2]Region {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Region{a, b}
+}
+
+// AWSRegions lists the ten modeled regions in a fixed order, used to spread
+// clusters geographically like the paper's experiments.
+func AWSRegions() []Region {
+	return []Region{
+		"us-east-1", "us-west-2", "eu-west-1", "eu-central-1", "sa-east-1",
+		"ap-northeast-1", "ap-southeast-1", "ap-southeast-2", "ap-south-1",
+		"ca-central-1",
+	}
+}
+
+// awsRTTMillis holds approximate public round-trip times between the
+// modeled regions, in milliseconds, clamped to the paper's reported
+// 10–300 ms range.
+var awsRTTMillis = map[[2]Region]int{
+	pairKey("us-east-1", "us-west-2"):           70,
+	pairKey("us-east-1", "eu-west-1"):           75,
+	pairKey("us-east-1", "eu-central-1"):        90,
+	pairKey("us-east-1", "sa-east-1"):           115,
+	pairKey("us-east-1", "ap-northeast-1"):      160,
+	pairKey("us-east-1", "ap-southeast-1"):      220,
+	pairKey("us-east-1", "ap-southeast-2"):      200,
+	pairKey("us-east-1", "ap-south-1"):          190,
+	pairKey("us-east-1", "ca-central-1"):        15,
+	pairKey("us-west-2", "eu-west-1"):           130,
+	pairKey("us-west-2", "eu-central-1"):        150,
+	pairKey("us-west-2", "sa-east-1"):           175,
+	pairKey("us-west-2", "ap-northeast-1"):      100,
+	pairKey("us-west-2", "ap-southeast-1"):      170,
+	pairKey("us-west-2", "ap-southeast-2"):      140,
+	pairKey("us-west-2", "ap-south-1"):          220,
+	pairKey("us-west-2", "ca-central-1"):        60,
+	pairKey("eu-west-1", "eu-central-1"):        25,
+	pairKey("eu-west-1", "sa-east-1"):           180,
+	pairKey("eu-west-1", "ap-northeast-1"):      210,
+	pairKey("eu-west-1", "ap-southeast-1"):      175,
+	pairKey("eu-west-1", "ap-southeast-2"):      280,
+	pairKey("eu-west-1", "ap-south-1"):          120,
+	pairKey("eu-west-1", "ca-central-1"):        70,
+	pairKey("eu-central-1", "sa-east-1"):        200,
+	pairKey("eu-central-1", "ap-northeast-1"):   230,
+	pairKey("eu-central-1", "ap-southeast-1"):   160,
+	pairKey("eu-central-1", "ap-southeast-2"):   290,
+	pairKey("eu-central-1", "ap-south-1"):       110,
+	pairKey("eu-central-1", "ca-central-1"):     90,
+	pairKey("sa-east-1", "ap-northeast-1"):      270,
+	pairKey("sa-east-1", "ap-southeast-1"):      300,
+	pairKey("sa-east-1", "ap-southeast-2"):      300,
+	pairKey("sa-east-1", "ap-south-1"):          300,
+	pairKey("sa-east-1", "ca-central-1"):        125,
+	pairKey("ap-northeast-1", "ap-southeast-1"): 70,
+	pairKey("ap-northeast-1", "ap-southeast-2"): 110,
+	pairKey("ap-northeast-1", "ap-south-1"):     120,
+	pairKey("ap-northeast-1", "ca-central-1"):   145,
+	pairKey("ap-southeast-1", "ap-southeast-2"): 90,
+	pairKey("ap-southeast-1", "ap-south-1"):     60,
+	pairKey("ap-southeast-1", "ca-central-1"):   215,
+	pairKey("ap-southeast-2", "ap-south-1"):     150,
+	pairKey("ap-southeast-2", "ca-central-1"):   200,
+	pairKey("ap-south-1", "ca-central-1"):       195,
+}
+
+// AWSTopology returns a topology pre-loaded with the modeled AWS region
+// RTT matrix. Nodes still need SetRegion assignments.
+func AWSTopology() *Topology {
+	t := NewTopology()
+	for k, ms := range awsRTTMillis {
+		t.rtt[k] = time.Duration(ms) * time.Millisecond
+	}
+	return t
+}
+
+// Regions returns the regions currently referenced by node assignments,
+// sorted, for diagnostics.
+func (t *Topology) Regions() []Region {
+	set := make(map[Region]struct{})
+	for _, r := range t.regionOf {
+		set[r] = struct{}{}
+	}
+	out := make([]Region, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,177 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: summaries (mean/percentiles), histograms and
+// time-series of latency samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is one measured event: a value observed at a point in (virtual)
+// time.
+type Sample struct {
+	// At is when the sample completed.
+	At time.Duration
+	// Value is the measured quantity (for latency series, a duration in
+	// seconds is avoided — values stay time.Duration).
+	Value time.Duration
+}
+
+// Series is an append-only time-ordered collection of samples.
+type Series struct {
+	samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(at, value time.Duration) {
+	s.samples = append(s.samples, Sample{At: at, Value: value})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Samples returns a copy of the samples in insertion order.
+func (s *Series) Samples() []Sample {
+	return append([]Sample(nil), s.samples...)
+}
+
+// Values returns a copy of just the values.
+func (s *Series) Values() []time.Duration {
+	out := make([]time.Duration, len(s.samples))
+	for i, sm := range s.samples {
+		out[i] = sm.Value
+	}
+	return out
+}
+
+// Between returns the samples with At in [lo, hi).
+func (s *Series) Between(lo, hi time.Duration) []Sample {
+	var out []Sample
+	for _, sm := range s.samples {
+		if sm.At >= lo && sm.At < hi {
+			out = append(out, sm)
+		}
+	}
+	return out
+}
+
+// Summary describes a value distribution.
+type Summary struct {
+	// Count is the number of samples.
+	Count int
+	// Mean is the arithmetic mean.
+	Mean time.Duration
+	// Min and Max bound the samples.
+	Min time.Duration
+	// Max is the largest sample.
+	Max time.Duration
+	// P50, P90, P99 are percentiles (nearest-rank).
+	P50 time.Duration
+	// P90 is the 90th percentile.
+	P90 time.Duration
+	// P99 is the 99th percentile.
+	P99 time.Duration
+	// Stddev is the population standard deviation.
+	Stddev time.Duration
+}
+
+// Summarize computes a Summary over the given durations. An empty input
+// yields a zero Summary.
+func Summarize(values []time.Duration) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]time.Duration(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, v := range sorted {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	for _, v := range sorted {
+		d := float64(v) - mean
+		sq += d * d
+	}
+	return Summary{
+		Count:  len(sorted),
+		Mean:   time.Duration(mean),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentile(sorted, 0.50),
+		P90:    percentile(sorted, 0.90),
+		P99:    percentile(sorted, 0.99),
+		Stddev: time.Duration(math.Sqrt(sq / float64(len(sorted)))),
+	}
+}
+
+// percentile returns the nearest-rank percentile of sorted values.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50=%s p90=%s p99=%s min=%s max=%s",
+		s.Count, round(s.Mean), round(s.P50), round(s.P90), round(s.P99),
+		round(s.Min), round(s.Max))
+}
+
+func round(d time.Duration) time.Duration { return d.Round(100 * time.Microsecond) }
+
+// Histogram buckets duration samples for textual display.
+type Histogram struct {
+	// Bounds are ascending bucket upper bounds; a final overflow bucket
+	// catches the rest.
+	Bounds []time.Duration
+	counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...time.Duration) *Histogram {
+	return &Histogram{Bounds: bounds, counts: make([]int, len(bounds)+1)}
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v time.Duration) {
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.counts[i]++
+			h.total++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+	h.total++
+}
+
+// Counts returns per-bucket counts (the final entry is overflow).
+func (h *Histogram) Counts() []int { return append([]int(nil), h.counts...) }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Throughput converts a count over a window to events/second.
+func Throughput(count int, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(count) / window.Seconds()
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestSummarizeKnownValues(t *testing.T) {
+	values := []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(100)}
+	s := Summarize(values)
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean != ms(40) {
+		t.Fatalf("mean = %s", s.Mean)
+	}
+	if s.Min != ms(10) || s.Max != ms(100) {
+		t.Fatalf("min/max = %s/%s", s.Min, s.Max)
+	}
+	if s.P50 != ms(30) {
+		t.Fatalf("p50 = %s", s.P50)
+	}
+	if s.P90 != ms(100) {
+		t.Fatalf("p90 = %s", s.P90)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.String() != "n=0" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	values := []time.Duration{ms(30), ms(10), ms(20)}
+	Summarize(values)
+	if values[0] != ms(30) || values[1] != ms(10) {
+		t.Fatal("input reordered")
+	}
+}
+
+func TestQuickPercentileOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		values := make([]time.Duration, n)
+		for i := range values {
+			values[i] = time.Duration(rng.Intn(10000)) * time.Microsecond
+		}
+		s := Summarize(values)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesBetween(t *testing.T) {
+	var s Series
+	s.Add(ms(10), ms(1))
+	s.Add(ms(20), ms(2))
+	s.Add(ms(30), ms(3))
+	got := s.Between(ms(10), ms(30))
+	if len(got) != 2 || got[0].Value != ms(1) || got[1].Value != ms(2) {
+		t.Fatalf("Between = %v", got)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	vals := s.Values()
+	if len(vals) != 3 || vals[2] != ms(3) {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(ms(10), ms(100))
+	h.Observe(ms(5))
+	h.Observe(ms(10))
+	h.Observe(ms(50))
+	h.Observe(ms(500))
+	counts := h.Counts()
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(180, time.Minute); got != 3 {
+		t.Fatalf("Throughput = %f", got)
+	}
+	if got := Throughput(10, 0); got != 0 {
+		t.Fatalf("zero-window Throughput = %f", got)
+	}
+}

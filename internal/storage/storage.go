@@ -1,0 +1,105 @@
+// Package storage provides the stable storage the paper assumes every site
+// has ("each site has a means of stable storage that can be read from upon
+// recovery").
+//
+// Two implementations are provided:
+//
+//   - Memory: an in-process store that survives simulated crashes (the
+//     simulation harness keeps it while restarting the node state machine);
+//   - WAL: a file-backed write-ahead log with CRC-framed records and
+//     torn-tail recovery, for real deployments (cmd/hraft-node).
+//
+// The consensus cores persist three things, matching the paper's persistent
+// state: currentTerm, votedFor and the log entries (with their approval
+// markers). commitIndex is volatile and relearned from the leader.
+package storage
+
+import (
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// HardState is the persistent non-log state of a site.
+type HardState struct {
+	// Term is the site's current term.
+	Term types.Term
+	// VotedFor is the candidate the site voted for in Term (None if no
+	// vote).
+	VotedFor types.NodeID
+}
+
+// Storage is the stable-storage interface the consensus cores write
+// through. Implementations must make each call durable before returning.
+type Storage interface {
+	// SetHardState durably records term and vote.
+	SetHardState(hs HardState) error
+	// AppendEntry durably records the entry at e.Index (inserting or
+	// replacing that slot).
+	AppendEntry(e types.Entry) error
+	// TruncateSuffix durably removes all entries with index > idx (classic
+	// Raft conflict resolution).
+	TruncateSuffix(idx types.Index) error
+	// Load returns the persisted state and all persisted entries sorted
+	// ascending by index, reflecting inserts, replacements and truncations.
+	Load() (HardState, []types.Entry, error)
+	// Close releases resources. The store must remain loadable afterwards.
+	Close() error
+}
+
+// Memory is an in-memory Storage. Its zero value is not usable; call
+// NewMemory.
+type Memory struct {
+	hs      HardState
+	entries map[types.Index]types.Entry
+}
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{entries: make(map[types.Index]types.Entry)}
+}
+
+// SetHardState implements Storage.
+func (m *Memory) SetHardState(hs HardState) error {
+	m.hs = hs
+	return nil
+}
+
+// AppendEntry implements Storage.
+func (m *Memory) AppendEntry(e types.Entry) error {
+	m.entries[e.Index] = e.Clone()
+	return nil
+}
+
+// TruncateSuffix implements Storage.
+func (m *Memory) TruncateSuffix(idx types.Index) error {
+	for i := range m.entries {
+		if i > idx {
+			delete(m.entries, i)
+		}
+	}
+	return nil
+}
+
+// Load implements Storage.
+func (m *Memory) Load() (HardState, []types.Entry, error) {
+	out := make([]types.Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e.Clone())
+	}
+	sortEntries(out)
+	return m.hs, out, nil
+}
+
+// Close implements Storage.
+func (m *Memory) Close() error { return nil }
+
+func sortEntries(es []types.Entry) {
+	// Insertion sort: entry sets are nearly sorted already and this avoids
+	// importing sort for a hot path used only on recovery.
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].Index < es[j-1].Index; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+var _ Storage = (*Memory)(nil)

@@ -1,0 +1,241 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+func pid(p string, s uint64) types.ProposalID {
+	return types.ProposalID{Proposer: types.NodeID(p), Seq: s}
+}
+
+func entry(idx types.Index, term types.Term, payload string) types.Entry {
+	return types.Entry{
+		Index: idx, Term: term, Kind: types.KindNormal,
+		Approval: types.ApprovedLeader, PID: pid("p", uint64(idx)),
+		Data: []byte(payload),
+	}
+}
+
+// storageScenario exercises any Storage implementation identically.
+func storageScenario(t *testing.T, s Storage) {
+	t.Helper()
+	if err := s.SetHardState(HardState{Term: 3, VotedFor: "n2"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Index(1); i <= 5; i++ {
+		if err := s.AppendEntry(entry(i, 1, "v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replace index 3 (overwrite) and truncate past 4.
+	if err := s.AppendEntry(entry(3, 2, "v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TruncateSuffix(4); err != nil {
+		t.Fatal(err)
+	}
+	hs, entries, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 3 || hs.VotedFor != "n2" {
+		t.Fatalf("hard state = %+v", hs)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(entries))
+	}
+	for i, e := range entries {
+		if e.Index != types.Index(i+1) {
+			t.Fatalf("entries unsorted: %v", entries)
+		}
+	}
+	if string(entries[2].Data) != "v2" || entries[2].Term != 2 {
+		t.Fatalf("replacement lost: %v", entries[2])
+	}
+}
+
+func TestMemoryStorageScenario(t *testing.T) {
+	storageScenario(t, NewMemory())
+}
+
+func TestWALScenarioAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "node.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storageScenario(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: state must be replayed identically.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	hs, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 3 || hs.VotedFor != "n2" || len(entries) != 4 {
+		t.Fatalf("reopen: hs=%+v entries=%d", hs, len(entries))
+	}
+}
+
+func TestWALTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetHardState(HardState{Term: 1, VotedFor: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEntry(entry(1, 1, "keep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: append garbage that looks like a partial
+	// record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{200, 0, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	hs, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 1 || len(entries) != 1 || string(entries[0].Data) != "keep" {
+		t.Fatalf("recovered state wrong: hs=%+v entries=%v", hs, entries)
+	}
+	// The torn tail must have been dropped so new appends work.
+	if err := w2.AppendEntry(entry(2, 1, "after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.Close()
+	_, entries, _ = w3.Load()
+	if len(entries) != 2 {
+		t.Fatalf("post-recovery append lost: %v", entries)
+	}
+}
+
+func TestWALCorruptMiddleStopsReplayAtCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEntry(entry(1, 1, "one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEntry(entry(2, 1, "two")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	// Flip a byte inside the second record's body.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("corrupt tail record should truncate, got %v", err)
+	}
+	defer w2.Close()
+	_, entries, _ := w2.Load()
+	if len(entries) != 1 || string(entries[0].Data) != "one" {
+		t.Fatalf("replay past corruption: %v", entries)
+	}
+}
+
+// TestQuickWALMatchesMemory replays random operation sequences against both
+// implementations and requires identical Load results after a reopen.
+func TestQuickWALMatchesMemory(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	f := func(seed int64) bool {
+		n++
+		rng := rand.New(rand.NewSource(seed))
+		path := filepath.Join(dir, "wal", "q", "w", "x", "y", "z", "t", "u", "v",
+			"n"+string(rune('a'+n%26))+string(rune('a'+(n/26)%26))+".wal")
+		w, err := OpenWAL(path)
+		if err != nil {
+			t.Logf("open: %v", err)
+			return false
+		}
+		m := NewMemory()
+		for op := 0; op < 30; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				hs := HardState{Term: types.Term(rng.Intn(100)), VotedFor: types.NodeID(string(rune('a' + rng.Intn(5))))}
+				if w.SetHardState(hs) != nil || m.SetHardState(hs) != nil {
+					return false
+				}
+			case 1:
+				e := entry(types.Index(rng.Intn(10)+1), types.Term(rng.Intn(5)+1), "x")
+				if w.AppendEntry(e) != nil || m.AppendEntry(e) != nil {
+					return false
+				}
+			case 2:
+				idx := types.Index(rng.Intn(10))
+				if w.TruncateSuffix(idx) != nil || m.TruncateSuffix(idx) != nil {
+					return false
+				}
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		w2, err := OpenWAL(path)
+		if err != nil {
+			return false
+		}
+		defer w2.Close()
+		whs, wes, err1 := w2.Load()
+		mhs, mes, err2 := m.Load()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if whs != mhs {
+			t.Logf("hardstate: wal=%+v mem=%+v", whs, mhs)
+			return false
+		}
+		if len(wes) == 0 && len(mes) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(wes, mes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

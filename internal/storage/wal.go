@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// WAL record framing:
+//
+//	len(u32 LE) | crc32c(u32 LE, over kind+payload) | kind(1) | payload
+//
+// Records are appended and fsynced. On open, the tail is scanned; a short or
+// corrupt final record (torn write) is truncated away, everything before it
+// is replayed.
+const (
+	recHardState byte = 1
+	recEntry     byte = 2
+	recTruncate  byte = 3
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a WAL whose non-tail contents fail validation.
+var ErrCorrupt = errors.New("storage: corrupt wal")
+
+// WAL is a file-backed Storage. All mutations are appended to a single log
+// file and fsynced before returning.
+type WAL struct {
+	f    *os.File
+	path string
+	// replayed state, kept current so Load never re-reads the file.
+	hs      HardState
+	entries map[types.Index]types.Entry
+}
+
+// OpenWAL opens (or creates) a WAL at path, recovering existing state. A
+// torn final record is repaired by truncation.
+func OpenWAL(path string) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create wal dir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	w := &WAL{f: f, path: path, entries: make(map[types.Index]types.Entry)}
+	if err := w.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WAL) replay() error {
+	data, err := io.ReadAll(w.f)
+	if err != nil {
+		return fmt.Errorf("storage: read wal: %w", err)
+	}
+	off := 0
+	valid := 0
+	for {
+		if len(data)-off < 8 {
+			break // clean end or torn length/crc header
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || int(n) > len(data)-off-8 {
+			break // torn record
+		}
+		body := data[off+8 : off+8+int(n)]
+		if crc32.Checksum(body, crcTable) != sum {
+			break // torn/corrupt record; stop replay here
+		}
+		if err := w.apply(body); err != nil {
+			return err
+		}
+		off += 8 + int(n)
+		valid = off
+	}
+	if valid != len(data) {
+		// Drop the torn tail so future appends start from a clean frame.
+		if err := w.f.Truncate(int64(valid)); err != nil {
+			return fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(int64(valid), io.SeekStart); err != nil {
+		return fmt.Errorf("storage: seek wal: %w", err)
+	}
+	return nil
+}
+
+func (w *WAL) apply(body []byte) error {
+	if len(body) == 0 {
+		return ErrCorrupt
+	}
+	switch body[0] {
+	case recHardState:
+		r := body[1:]
+		term, n := binary.Uvarint(r)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		w.hs = HardState{Term: types.Term(term), VotedFor: types.NodeID(r[n:])}
+		return nil
+	case recEntry:
+		e, err := types.DecodeEntry(body[1:])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		w.entries[e.Index] = e
+		return nil
+	case recTruncate:
+		idx, n := binary.Uvarint(body[1:])
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		for i := range w.entries {
+			if i > types.Index(idx) {
+				delete(w.entries, i)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, body[0])
+	}
+}
+
+func (w *WAL) appendRecord(body []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: append wal: %w", err)
+	}
+	if _, err := w.f.Write(body); err != nil {
+		return fmt.Errorf("storage: append wal: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: sync wal: %w", err)
+	}
+	return nil
+}
+
+// SetHardState implements Storage.
+func (w *WAL) SetHardState(hs HardState) error {
+	body := make([]byte, 0, 16+len(hs.VotedFor))
+	body = append(body, recHardState)
+	body = binary.AppendUvarint(body, uint64(hs.Term))
+	body = append(body, hs.VotedFor...)
+	if err := w.appendRecord(body); err != nil {
+		return err
+	}
+	w.hs = hs
+	return nil
+}
+
+// AppendEntry implements Storage.
+func (w *WAL) AppendEntry(e types.Entry) error {
+	enc := types.EncodeEntry(e)
+	body := make([]byte, 0, 1+len(enc))
+	body = append(body, recEntry)
+	body = append(body, enc...)
+	if err := w.appendRecord(body); err != nil {
+		return err
+	}
+	w.entries[e.Index] = e.Clone()
+	return nil
+}
+
+// TruncateSuffix implements Storage.
+func (w *WAL) TruncateSuffix(idx types.Index) error {
+	body := make([]byte, 0, 10)
+	body = append(body, recTruncate)
+	body = binary.AppendUvarint(body, uint64(idx))
+	if err := w.appendRecord(body); err != nil {
+		return err
+	}
+	for i := range w.entries {
+		if i > idx {
+			delete(w.entries, i)
+		}
+	}
+	return nil
+}
+
+// Load implements Storage.
+func (w *WAL) Load() (HardState, []types.Entry, error) {
+	out := make([]types.Entry, 0, len(w.entries))
+	for _, e := range w.entries {
+		out = append(out, e.Clone())
+	}
+	sortEntries(out)
+	return w.hs, out, nil
+}
+
+// Close implements Storage.
+func (w *WAL) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("storage: close wal: %w", err)
+	}
+	return w.f.Close()
+}
+
+var _ Storage = (*WAL)(nil)

@@ -1,0 +1,415 @@
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire codec.
+//
+// Messages cross the UDP transport as a single datagram:
+//
+//	magic(2) version(1) msgType(1) | from | to | layer(1) | body
+//
+// All integers are unsigned varints; strings and byte slices are
+// length-prefixed. The codec is hand-rolled (stdlib-only constraint) and
+// fully round-trip tested, including fuzz-style corpus checks.
+
+const (
+	wireMagic   = 0xC4AF
+	wireVersion = 1
+)
+
+// Message type tags. The values are part of the wire format; never reorder.
+const (
+	tagProposeEntry uint8 = iota + 1
+	tagVoteEntry
+	tagClientPropose
+	tagAppendEntries
+	tagAppendEntriesResp
+	tagRequestVote
+	tagRequestVoteResp
+	tagCommitNotify
+	tagJoinRequest
+	tagJoinRedirect
+	tagJoinAccepted
+	tagLeaveRequest
+)
+
+// ErrBadFrame reports a datagram that is not a valid hraft frame.
+var ErrBadFrame = errors.New("types: bad frame")
+
+// EncodeEnvelope serializes an envelope into a fresh buffer.
+func EncodeEnvelope(env Envelope) ([]byte, error) {
+	var w writer
+	var hdr [3]byte
+	binary.BigEndian.PutUint16(hdr[:2], wireMagic)
+	hdr[2] = wireVersion
+	w.buf = append(w.buf, hdr[:]...)
+	tag, err := msgTag(env.Msg)
+	if err != nil {
+		return nil, err
+	}
+	w.buf = append(w.buf, tag)
+	w.str(string(env.From))
+	w.str(string(env.To))
+	w.buf = append(w.buf, byte(env.Layer))
+	encodeBody(&w, env.Msg)
+	return w.buf, nil
+}
+
+// DecodeEnvelope parses a datagram produced by EncodeEnvelope.
+func DecodeEnvelope(data []byte) (Envelope, error) {
+	if len(data) < 4 {
+		return Envelope{}, ErrBadFrame
+	}
+	if binary.BigEndian.Uint16(data[:2]) != wireMagic || data[2] != wireVersion {
+		return Envelope{}, ErrBadFrame
+	}
+	tag := data[3]
+	r := reader{buf: data[4:]}
+	var env Envelope
+	env.From = NodeID(r.str())
+	env.To = NodeID(r.str())
+	if r.err == nil {
+		if len(r.buf) <= r.off {
+			r.err = ErrBadFrame
+		} else {
+			env.Layer = Layer(r.buf[r.off])
+			r.off++
+		}
+	}
+	msg, err := decodeBody(&r, tag)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if r.err != nil {
+		return Envelope{}, fmt.Errorf("types: decode envelope: %w", r.err)
+	}
+	env.Msg = msg
+	return env, nil
+}
+
+func msgTag(m Message) (uint8, error) {
+	switch m.(type) {
+	case ProposeEntry:
+		return tagProposeEntry, nil
+	case VoteEntry:
+		return tagVoteEntry, nil
+	case ClientPropose:
+		return tagClientPropose, nil
+	case AppendEntries:
+		return tagAppendEntries, nil
+	case AppendEntriesResp:
+		return tagAppendEntriesResp, nil
+	case RequestVote:
+		return tagRequestVote, nil
+	case RequestVoteResp:
+		return tagRequestVoteResp, nil
+	case CommitNotify:
+		return tagCommitNotify, nil
+	case JoinRequest:
+		return tagJoinRequest, nil
+	case JoinRedirect:
+		return tagJoinRedirect, nil
+	case JoinAccepted:
+		return tagJoinAccepted, nil
+	case LeaveRequest:
+		return tagLeaveRequest, nil
+	default:
+		return 0, fmt.Errorf("types: unknown message type %T", m)
+	}
+}
+
+func encodeBody(w *writer, m Message) {
+	switch v := m.(type) {
+	case ProposeEntry:
+		w.u64(uint64(v.Index))
+		w.entry(v.Entry)
+	case VoteEntry:
+		w.u64(uint64(v.Term))
+		w.u64(uint64(v.Index))
+		w.entry(v.Entry)
+		w.u64(uint64(v.CommitIndex))
+	case ClientPropose:
+		w.entry(v.Entry)
+	case AppendEntries:
+		w.u64(uint64(v.Term))
+		w.str(string(v.LeaderID))
+		w.u64(uint64(v.PrevLogIndex))
+		w.u64(uint64(v.PrevLogTerm))
+		w.u64(uint64(len(v.Entries)))
+		for i := range v.Entries {
+			w.entry(v.Entries[i])
+		}
+		w.u64(uint64(v.LeaderCommit))
+		w.u64(v.Round)
+	case AppendEntriesResp:
+		w.u64(uint64(v.Term))
+		w.bool(v.Success)
+		w.u64(uint64(v.MatchIndex))
+		w.u64(uint64(v.LastLogIndex))
+		w.u64(v.Round)
+	case RequestVote:
+		w.u64(uint64(v.Term))
+		w.str(string(v.CandidateID))
+		w.u64(uint64(v.LastLogIndex))
+		w.u64(uint64(v.LastLogTerm))
+	case RequestVoteResp:
+		w.u64(uint64(v.Term))
+		w.bool(v.Granted)
+		w.u64(uint64(len(v.SelfApproved)))
+		for i := range v.SelfApproved {
+			w.entry(v.SelfApproved[i])
+		}
+	case CommitNotify:
+		w.str(string(v.PID.Proposer))
+		w.u64(v.PID.Seq)
+		w.u64(uint64(v.Index))
+	case JoinRequest:
+		w.str(string(v.Site))
+	case JoinRedirect:
+		w.str(string(v.Leader))
+	case JoinAccepted:
+		w.u64(uint64(v.ConfigIndex))
+	case LeaveRequest:
+		w.str(string(v.Site))
+	}
+}
+
+func decodeBody(r *reader, tag uint8) (Message, error) {
+	switch tag {
+	case tagProposeEntry:
+		var v ProposeEntry
+		v.Index = Index(r.u64())
+		v.Entry = r.entry()
+		return v, r.err
+	case tagVoteEntry:
+		var v VoteEntry
+		v.Term = Term(r.u64())
+		v.Index = Index(r.u64())
+		v.Entry = r.entry()
+		v.CommitIndex = Index(r.u64())
+		return v, r.err
+	case tagClientPropose:
+		var v ClientPropose
+		v.Entry = r.entry()
+		return v, r.err
+	case tagAppendEntries:
+		var v AppendEntries
+		v.Term = Term(r.u64())
+		v.LeaderID = NodeID(r.str())
+		v.PrevLogIndex = Index(r.u64())
+		v.PrevLogTerm = Term(r.u64())
+		n := r.u64()
+		if r.err == nil && n > uint64(len(r.buf)) {
+			return nil, ErrBadFrame
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			v.Entries = append(v.Entries, r.entry())
+		}
+		v.LeaderCommit = Index(r.u64())
+		v.Round = r.u64()
+		return v, r.err
+	case tagAppendEntriesResp:
+		var v AppendEntriesResp
+		v.Term = Term(r.u64())
+		v.Success = r.bool()
+		v.MatchIndex = Index(r.u64())
+		v.LastLogIndex = Index(r.u64())
+		v.Round = r.u64()
+		return v, r.err
+	case tagRequestVote:
+		var v RequestVote
+		v.Term = Term(r.u64())
+		v.CandidateID = NodeID(r.str())
+		v.LastLogIndex = Index(r.u64())
+		v.LastLogTerm = Term(r.u64())
+		return v, r.err
+	case tagRequestVoteResp:
+		var v RequestVoteResp
+		v.Term = Term(r.u64())
+		v.Granted = r.bool()
+		n := r.u64()
+		if r.err == nil && n > uint64(len(r.buf)) {
+			return nil, ErrBadFrame
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			v.SelfApproved = append(v.SelfApproved, r.entry())
+		}
+		return v, r.err
+	case tagCommitNotify:
+		var v CommitNotify
+		v.PID.Proposer = NodeID(r.str())
+		v.PID.Seq = r.u64()
+		v.Index = Index(r.u64())
+		return v, r.err
+	case tagJoinRequest:
+		var v JoinRequest
+		v.Site = NodeID(r.str())
+		return v, r.err
+	case tagJoinRedirect:
+		var v JoinRedirect
+		v.Leader = NodeID(r.str())
+		return v, r.err
+	case tagJoinAccepted:
+		var v JoinAccepted
+		v.ConfigIndex = Index(r.u64())
+		return v, r.err
+	case tagLeaveRequest:
+		var v LeaveRequest
+		v.Site = NodeID(r.str())
+		return v, r.err
+	default:
+		return nil, fmt.Errorf("types: unknown message tag %d: %w", tag, ErrBadFrame)
+	}
+}
+
+// writer accumulates the encoded form. The zero value is ready to use.
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) u64(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+func (w *writer) bytes(b []byte) {
+	w.u64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) entry(e Entry) {
+	w.u64(uint64(e.Index))
+	w.u64(uint64(e.Term))
+	w.buf = append(w.buf, byte(e.Kind), byte(e.Approval))
+	w.str(string(e.PID.Proposer))
+	w.u64(e.PID.Seq)
+	w.bytes(e.Data)
+	if e.Config != nil {
+		w.bool(true)
+		w.u64(uint64(len(e.Config.Members)))
+		for _, m := range e.Config.Members {
+			w.str(string(m))
+		}
+	} else {
+		w.bool(false)
+	}
+}
+
+// reader consumes an encoded buffer, latching the first error.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = ErrBadFrame
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.buf) {
+		r.err = ErrBadFrame
+		return false
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b != 0
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.err = ErrBadFrame
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+func (r *reader) str() string {
+	return string(r.bytes())
+}
+
+func (r *reader) entry() Entry {
+	var e Entry
+	e.Index = Index(r.u64())
+	e.Term = Term(r.u64())
+	if r.err == nil {
+		if r.off+2 > len(r.buf) {
+			r.err = ErrBadFrame
+			return e
+		}
+		e.Kind = EntryKind(r.buf[r.off])
+		e.Approval = Approval(r.buf[r.off+1])
+		r.off += 2
+	}
+	e.PID.Proposer = NodeID(r.str())
+	e.PID.Seq = r.u64()
+	e.Data = r.bytes()
+	if r.bool() {
+		n := r.u64()
+		if r.err == nil && n > uint64(len(r.buf)) {
+			r.err = ErrBadFrame
+			return e
+		}
+		members := make([]NodeID, 0, n)
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			members = append(members, NodeID(r.str()))
+		}
+		e.Config = &Config{Members: members}
+	}
+	return e
+}
+
+// EncodeEntry serializes a single log entry (used by the WAL).
+func EncodeEntry(e Entry) []byte {
+	var w writer
+	w.entry(e)
+	return w.buf
+}
+
+// DecodeEntry parses an entry produced by EncodeEntry.
+func DecodeEntry(data []byte) (Entry, error) {
+	r := reader{buf: data}
+	e := r.entry()
+	if r.err != nil {
+		return Entry{}, fmt.Errorf("types: decode entry: %w", r.err)
+	}
+	return e, nil
+}

@@ -1,0 +1,280 @@
+package types
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sampleEntries returns a representative entry corpus.
+func sampleEntries() []Entry {
+	cfg := NewConfig("a", "b", "c")
+	return []Entry{
+		{},
+		{Index: 1, Term: 1, Kind: KindNormal, Approval: ApprovedSelf,
+			PID: ProposalID{Proposer: "n1", Seq: 1}, Data: []byte("hello")},
+		{Index: 42, Term: 7, Kind: KindNoop, Approval: ApprovedLeader},
+		{Index: 3, Term: 2, Kind: KindConfig, Approval: ApprovedLeader, Config: &cfg},
+		{Index: 9, Term: 3, Kind: KindBatch, Approval: ApprovedSelf,
+			PID: ProposalID{Proposer: "cluster-1", Seq: 12}, Data: bytes.Repeat([]byte{0xAB}, 300)},
+		{Index: 1 << 40, Term: 1 << 30, Kind: KindGlobalState, Approval: ApprovedLeader,
+			Data: []byte{}},
+	}
+}
+
+func sampleMessages() []Message {
+	es := sampleEntries()
+	return []Message{
+		ProposeEntry{Index: 5, Entry: es[1]},
+		VoteEntry{Term: 3, Index: 5, Entry: es[1], CommitIndex: 4},
+		ClientPropose{Entry: es[1]},
+		AppendEntries{Term: 9, LeaderID: "lead", PrevLogIndex: 8, PrevLogTerm: 7,
+			Entries: es[1:4], LeaderCommit: 6, Round: 11},
+		AppendEntries{Term: 1, LeaderID: "l"},
+		AppendEntriesResp{Term: 9, Success: true, MatchIndex: 12, LastLogIndex: 14, Round: 11},
+		AppendEntriesResp{Term: 2},
+		RequestVote{Term: 4, CandidateID: "cand", LastLogIndex: 10, LastLogTerm: 3},
+		RequestVoteResp{Term: 4, Granted: true, SelfApproved: es[1:2]},
+		RequestVoteResp{Term: 4},
+		CommitNotify{PID: ProposalID{Proposer: "p", Seq: 77}, Index: 5},
+		JoinRequest{Site: "newbie"},
+		JoinRedirect{Leader: "lead"},
+		JoinAccepted{ConfigIndex: 30},
+		LeaveRequest{Site: "goner"},
+	}
+}
+
+func TestEnvelopeRoundTripAllMessages(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		env := Envelope{From: "a", To: "b", Layer: LayerGlobal, Msg: msg}
+		buf, err := EncodeEnvelope(env)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", msg.MsgName(), err)
+		}
+		got, err := DecodeEnvelope(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", msg.MsgName(), err)
+		}
+		if !reflect.DeepEqual(normalize(env), normalize(got)) {
+			t.Fatalf("%s: roundtrip mismatch:\n in: %#v\nout: %#v", msg.MsgName(), env, got)
+		}
+	}
+}
+
+// normalize maps empty and nil slices to a canonical form for comparison.
+func normalize(env Envelope) Envelope {
+	env.Msg = CloneMessage(env.Msg)
+	switch m := env.Msg.(type) {
+	case AppendEntries:
+		m.Entries = canonEntries(m.Entries)
+		env.Msg = m
+	case RequestVoteResp:
+		m.SelfApproved = canonEntries(m.SelfApproved)
+		env.Msg = m
+	case ProposeEntry:
+		m.Entry = canonEntry(m.Entry)
+		env.Msg = m
+	case VoteEntry:
+		m.Entry = canonEntry(m.Entry)
+		env.Msg = m
+	case ClientPropose:
+		m.Entry = canonEntry(m.Entry)
+		env.Msg = m
+	}
+	return env
+}
+
+func canonEntries(es []Entry) []Entry {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(es))
+	for i := range es {
+		out[i] = canonEntry(es[i])
+	}
+	return out
+}
+
+func canonEntry(e Entry) Entry {
+	if len(e.Data) == 0 {
+		e.Data = nil
+	}
+	if e.Config != nil && len(e.Config.Members) == 0 {
+		e.Config = &Config{}
+	}
+	return e
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	for _, e := range sampleEntries() {
+		buf := EncodeEntry(e)
+		got, err := DecodeEntry(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", e, err)
+		}
+		if !reflect.DeepEqual(canonEntry(e.Clone()), canonEntry(got)) {
+			t.Fatalf("roundtrip mismatch:\n in: %#v\nout: %#v", e, got)
+		}
+	}
+}
+
+func TestDecodeEnvelopeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{1, 2, 3},
+		{0xC4, 0xAF, 1},              // truncated after header
+		{0xC4, 0xAF, 9, 1, 0, 0, 0},  // wrong version
+		{0xC4, 0xAF, 1, 99, 0, 0, 0}, // unknown tag
+		bytes.Repeat([]byte{0xFF}, 64),
+	}
+	for i, c := range cases {
+		if _, err := DecodeEnvelope(c); err == nil {
+			t.Fatalf("case %d: garbage decoded without error", i)
+		}
+	}
+}
+
+func TestDecodeEnvelopeTruncationNeverPanics(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		env := Envelope{From: "from", To: "to", Layer: LayerLocal, Msg: msg}
+		buf, err := EncodeEnvelope(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			// Any prefix must decode cleanly or error, never panic.
+			_, _ = DecodeEnvelope(buf[:cut])
+		}
+	}
+}
+
+func TestDecodeEnvelopeBitFlipsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, msg := range sampleMessages() {
+		env := Envelope{From: "from", To: "to", Layer: LayerLocal, Msg: msg}
+		buf, err := EncodeEnvelope(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			corrupt := append([]byte(nil), buf...)
+			corrupt[rng.Intn(len(corrupt))] ^= byte(1 << rng.Intn(8))
+			_, _ = DecodeEnvelope(corrupt)
+		}
+	}
+}
+
+// quickEntry generates a random entry for property tests.
+func quickEntry(rng *rand.Rand) Entry {
+	e := Entry{
+		Index:    Index(rng.Uint64() >> 16),
+		Term:     Term(rng.Uint64() >> 16),
+		Kind:     EntryKind(rng.Intn(5) + 1),
+		Approval: Approval(rng.Intn(2) + 1),
+	}
+	if rng.Intn(2) == 0 {
+		e.PID = ProposalID{Proposer: NodeID(randName(rng)), Seq: rng.Uint64() >> 32}
+	}
+	if n := rng.Intn(64); n > 0 {
+		e.Data = make([]byte, n)
+		rng.Read(e.Data)
+	}
+	if rng.Intn(4) == 0 {
+		cfg := NewConfig(NodeID(randName(rng)), NodeID(randName(rng)))
+		e.Config = &cfg
+	}
+	return e
+}
+
+func randName(rng *rand.Rand) string {
+	const letters = "abcdefghij"
+	n := rng.Intn(8) + 1
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(out)
+}
+
+func TestQuickEntryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := quickEntry(rng)
+		got, err := DecodeEntry(EncodeEntry(e))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(canonEntry(e.Clone()), canonEntry(got))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBatchRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := Batch{Cluster: NodeID(randName(rng)), Seq: rng.Uint64() >> 32}
+		for i := 0; i < rng.Intn(20); i++ {
+			item := BatchItem{PID: ProposalID{Proposer: NodeID(randName(rng)), Seq: uint64(i)}}
+			if n := rng.Intn(32); n > 0 {
+				item.Data = make([]byte, n)
+				rng.Read(item.Data)
+			}
+			b.Items = append(b.Items, item)
+		}
+		got, err := DecodeBatch(EncodeBatch(b))
+		if err != nil {
+			return false
+		}
+		if got.Cluster != b.Cluster || got.Seq != b.Seq || len(got.Items) != len(b.Items) {
+			return false
+		}
+		for i := range b.Items {
+			if got.Items[i].PID != b.Items[i].PID || !bytes.Equal(got.Items[i].Data, b.Items[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGlobalStateDeltaRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := GlobalStateDelta{
+			Era:         rng.Uint64() >> 32,
+			Seq:         rng.Uint64() >> 32,
+			Term:        Term(rng.Uint64() >> 32),
+			VotedFor:    NodeID(randName(rng)),
+			CommitIndex: Index(rng.Uint64() >> 32),
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			d.Entries = append(d.Entries, quickEntry(rng))
+		}
+		got, err := DecodeGlobalStateDelta(EncodeGlobalStateDelta(d))
+		if err != nil {
+			return false
+		}
+		if got.Era != d.Era || got.Seq != d.Seq || got.Term != d.Term ||
+			got.VotedFor != d.VotedFor || got.CommitIndex != d.CommitIndex ||
+			len(got.Entries) != len(d.Entries) {
+			return false
+		}
+		for i := range d.Entries {
+			if !reflect.DeepEqual(canonEntry(d.Entries[i].Clone()), canonEntry(got.Entries[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

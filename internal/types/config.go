@@ -1,0 +1,126 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config is a membership configuration: the set of voting members of a
+// consensus group. Per the paper, the configuration in effect at a site is
+// the one carried by the last KindConfig entry inserted into its log, and
+// configurations change one member at a time.
+type Config struct {
+	// Members are the voting members, kept sorted for determinism.
+	Members []NodeID
+}
+
+// NewConfig builds a configuration from the given members, de-duplicating
+// and sorting them.
+func NewConfig(members ...NodeID) Config {
+	seen := make(map[NodeID]struct{}, len(members))
+	out := make([]NodeID, 0, len(members))
+	for _, m := range members {
+		if m == None {
+			continue
+		}
+		if _, ok := seen[m]; ok {
+			continue
+		}
+		seen[m] = struct{}{}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return Config{Members: out}
+}
+
+// Clone deep-copies the configuration.
+func (c Config) Clone() Config {
+	return Config{Members: append([]NodeID(nil), c.Members...)}
+}
+
+// Size returns the number of voting members (the paper's M).
+func (c Config) Size() int { return len(c.Members) }
+
+// Contains reports whether id is a voting member.
+func (c Config) Contains(id NodeID) bool {
+	for _, m := range c.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// WithMember returns a new configuration that additionally contains id.
+func (c Config) WithMember(id NodeID) Config {
+	if c.Contains(id) {
+		return c.Clone()
+	}
+	return NewConfig(append(append([]NodeID(nil), c.Members...), id)...)
+}
+
+// WithoutMember returns a new configuration that excludes id.
+func (c Config) WithoutMember(id NodeID) Config {
+	out := make([]NodeID, 0, len(c.Members))
+	for _, m := range c.Members {
+		if m != id {
+			out = append(out, m)
+		}
+	}
+	return Config{Members: out}
+}
+
+// Equal reports whether the two configurations have identical member sets.
+func (c Config) Equal(o Config) bool {
+	if len(c.Members) != len(o.Members) {
+		return false
+	}
+	for i := range c.Members {
+		if c.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Others returns the members excluding self, in sorted order. It is the
+// broadcast set for a site.
+func (c Config) Others(self NodeID) []NodeID {
+	out := make([]NodeID, 0, len(c.Members))
+	for _, m := range c.Members {
+		if m != self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// String renders the member set.
+func (c Config) String() string {
+	parts := make([]string, len(c.Members))
+	for i, m := range c.Members {
+		parts[i] = string(m)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ConfigEntry builds a KindConfig log entry for the given configuration.
+// The caller stamps Index, Term and Approval.
+func ConfigEntry(cfg Config, pid ProposalID) Entry {
+	cc := cfg.Clone()
+	return Entry{Kind: KindConfig, PID: pid, Config: &cc}
+}
+
+// Validate checks structural invariants and is used by storage recovery.
+func (c Config) Validate() error {
+	for i, m := range c.Members {
+		if m == None {
+			return fmt.Errorf("config: empty member at %d", i)
+		}
+		if i > 0 && c.Members[i-1] >= m {
+			return fmt.Errorf("config: members not sorted/unique at %d", i)
+		}
+	}
+	return nil
+}

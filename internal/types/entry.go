@@ -1,0 +1,139 @@
+package types
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// EntryKind classifies log entries. The consensus cores treat most kinds
+// uniformly; the kind matters to the layers that interpret committed
+// entries (applications, membership, C-Raft batching).
+type EntryKind uint8
+
+const (
+	// KindNormal is an application entry: opaque Data proposed by a client.
+	KindNormal EntryKind = iota + 1
+	// KindNoop is an empty entry a new leader appends to establish a commit
+	// point in its own term (Raft-thesis practice) or to fill a vote-free
+	// gap index during Fast Raft recovery.
+	KindNoop
+	// KindConfig is a membership configuration entry. Config is non-nil.
+	KindConfig
+	// KindBatch is a C-Raft global-log entry carrying a batch of locally
+	// committed application entries. Data holds an encoded Batch.
+	KindBatch
+	// KindGlobalState is a C-Raft local-log entry replicating a cluster
+	// leader's inter-cluster consensus state. Data holds an encoded
+	// GlobalStateDelta.
+	KindGlobalState
+)
+
+// String names the kind for logs and tests.
+func (k EntryKind) String() string {
+	switch k {
+	case KindNormal:
+		return "normal"
+	case KindNoop:
+		return "noop"
+	case KindConfig:
+		return "config"
+	case KindBatch:
+		return "batch"
+	case KindGlobalState:
+		return "globalstate"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Approval records who placed an entry in a site's log — the paper's
+// insertedBy field. Self-approved entries were inserted directly on a
+// proposer's broadcast; leader-approved entries were decided by a leader.
+type Approval uint8
+
+const (
+	// ApprovedSelf marks an entry inserted by the site itself upon
+	// receiving a proposer's broadcast (Fast Raft fast track).
+	ApprovedSelf Approval = iota + 1
+	// ApprovedLeader marks an entry decided by a leader: either appended by
+	// the leader locally or received through AppendEntries.
+	ApprovedLeader
+)
+
+// String names the approval state.
+func (a Approval) String() string {
+	switch a {
+	case ApprovedSelf:
+		return "self"
+	case ApprovedLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("approval(%d)", uint8(a))
+	}
+}
+
+// Entry is one slot of the replicated log.
+type Entry struct {
+	// Index is the entry's position in the log (1-based).
+	Index Index
+	// Term is the term in which the entry was last (re-)stamped by a
+	// leader. Self-approved entries carry the inserting site's current term
+	// and are re-stamped when a leader decides them.
+	Term Term
+	// Kind classifies the entry.
+	Kind EntryKind
+	// Approval is the paper's insertedBy marker.
+	Approval Approval
+	// PID identifies the proposal, for de-duplication and commit
+	// notification. Zero for leader-internal entries.
+	PID ProposalID
+	// Data is the application payload (or encoded Batch/GlobalStateDelta).
+	Data []byte
+	// Config is set iff Kind == KindConfig.
+	Config *Config
+}
+
+// Clone returns a deep copy of the entry. Entries are cloned whenever they
+// cross a node boundary so that in-memory transports cannot alias state.
+func (e Entry) Clone() Entry {
+	c := e
+	if e.Data != nil {
+		c.Data = append([]byte(nil), e.Data...)
+	}
+	if e.Config != nil {
+		cc := e.Config.Clone()
+		c.Config = &cc
+	}
+	return c
+}
+
+// SameProposal reports whether two entries denote the same proposed value.
+// Entries with non-zero PIDs compare by PID; leader-internal entries compare
+// by kind and payload.
+func (e Entry) SameProposal(o Entry) bool {
+	if !e.PID.IsZero() || !o.PID.IsZero() {
+		return e.PID == o.PID
+	}
+	if e.Kind != o.Kind {
+		return false
+	}
+	return bytes.Equal(e.Data, o.Data)
+}
+
+// String renders a compact description of the entry.
+func (e Entry) String() string {
+	return fmt.Sprintf("entry{i=%d t=%d %s %s %s len=%d}",
+		e.Index, e.Term, e.Kind, e.Approval, e.PID, len(e.Data))
+}
+
+// CloneEntries deep-copies a slice of entries.
+func CloneEntries(in []Entry) []Entry {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(in))
+	for i := range in {
+		out[i] = in[i].Clone()
+	}
+	return out
+}

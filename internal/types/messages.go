@@ -1,0 +1,266 @@
+package types
+
+import "fmt"
+
+// Layer distinguishes C-Raft's two consensus levels on the wire. Plain Fast
+// Raft and classic Raft always use LayerLocal.
+type Layer uint8
+
+const (
+	// LayerLocal is intra-cluster (or single-cluster) consensus traffic.
+	LayerLocal Layer = iota + 1
+	// LayerGlobal is inter-cluster consensus traffic between cluster
+	// leaders.
+	LayerGlobal
+)
+
+// String names the layer.
+func (l Layer) String() string {
+	switch l {
+	case LayerLocal:
+		return "local"
+	case LayerGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("layer(%d)", uint8(l))
+	}
+}
+
+// Message is implemented by every protocol message. The concrete type set
+// is closed; transports switch on it for encoding.
+type Message interface {
+	// MsgName returns a short stable name used in traces and the codec.
+	MsgName() string
+}
+
+// Envelope wraps a message with routing information.
+type Envelope struct {
+	// From is the sender.
+	From NodeID
+	// To is the destination site (or cluster ID at LayerGlobal).
+	To NodeID
+	// Layer selects the consensus level the message belongs to.
+	Layer Layer
+	// Msg is the payload.
+	Msg Message
+}
+
+// String renders the envelope for traces.
+func (e Envelope) String() string {
+	return fmt.Sprintf("%s->%s %s %s", e.From, e.To, e.Layer, e.Msg.MsgName())
+}
+
+// ProposeEntry is a Fast Raft proposer's broadcast: "insert Entry at Index".
+// Every site that receives it inserts the entry if the slot is free and
+// votes to the leader with the slot's occupant.
+type ProposeEntry struct {
+	// Index is the log position the proposer chose.
+	Index Index
+	// Entry carries the proposed value (PID, Kind, Data). Term and Approval
+	// are assigned by the receiving site.
+	Entry Entry
+}
+
+// MsgName implements Message.
+func (ProposeEntry) MsgName() string { return "ProposeEntry" }
+
+// VoteEntry is a Fast Raft follower's vote to the leader after processing a
+// ProposeEntry: it reports the occupant of the slot (which may differ from
+// the proposed entry) plus the follower's commitIndex.
+type VoteEntry struct {
+	// Term is the voter's current term; stale votes are ignored.
+	Term Term
+	// Index is the log slot voted on.
+	Index Index
+	// Entry is the voter's log[Index] at vote time.
+	Entry Entry
+	// CommitIndex is the voter's commit index; the leader uses it to reset
+	// nextIndex so the voter's log converges with the leader's.
+	CommitIndex Index
+}
+
+// MsgName implements Message.
+func (VoteEntry) MsgName() string { return "VoteEntry" }
+
+// ClientPropose carries a proposal to the leader in classic Raft (where
+// proposers do not broadcast). The leader assigns the index.
+type ClientPropose struct {
+	// Entry carries PID, Kind and Data; Index/Term/Approval are unset.
+	Entry Entry
+}
+
+// MsgName implements Message.
+func (ClientPropose) MsgName() string { return "ClientPropose" }
+
+// AppendEntries is the leader's replication/heartbeat message.
+type AppendEntries struct {
+	// Term is the leader's term.
+	Term Term
+	// LeaderID lets followers redirect proposers and joiners.
+	LeaderID NodeID
+	// PrevLogIndex/PrevLogTerm identify the entry immediately preceding
+	// Entries for the consistency check.
+	PrevLogIndex Index
+	// PrevLogTerm is the term of the entry at PrevLogIndex.
+	PrevLogTerm Term
+	// Entries are the leader-approved entries to insert (may be empty for
+	// pure heartbeats).
+	Entries []Entry
+	// LeaderCommit is the leader's commitIndex.
+	LeaderCommit Index
+	// Round numbers the heartbeat round, used by the leader to match
+	// responses when detecting silent leaves.
+	Round uint64
+}
+
+// MsgName implements Message.
+func (AppendEntries) MsgName() string { return "AppendEntries" }
+
+// AppendEntriesResp acknowledges an AppendEntries message.
+type AppendEntriesResp struct {
+	// Term is the responder's current term, for the leader to update itself.
+	Term Term
+	// Success is true if the consistency check passed and entries were
+	// applied.
+	Success bool
+	// MatchIndex is the highest leader-approved index known replicated at
+	// the responder (valid when Success).
+	MatchIndex Index
+	// LastLogIndex hints the responder's last log index so a leader can
+	// back off nextIndex quickly on failure.
+	LastLogIndex Index
+	// Round echoes AppendEntries.Round.
+	Round uint64
+}
+
+// MsgName implements Message.
+func (AppendEntriesResp) MsgName() string { return "AppendEntriesResp" }
+
+// RequestVote solicits election votes. In Fast Raft the candidate's log
+// position counts only leader-approved entries.
+type RequestVote struct {
+	// Term is the candidate's (already incremented) term.
+	Term Term
+	// CandidateID is the candidate requesting the vote.
+	CandidateID NodeID
+	// LastLogIndex is the candidate's last (leader-approved, for Fast Raft)
+	// log index.
+	LastLogIndex Index
+	// LastLogTerm is the term of that entry.
+	LastLogTerm Term
+}
+
+// MsgName implements Message.
+func (RequestVote) MsgName() string { return "RequestVote" }
+
+// RequestVoteResp answers a RequestVote. In Fast Raft a granted vote also
+// carries the voter's self-approved entries for the recovery algorithm.
+type RequestVoteResp struct {
+	// Term is the responder's current term.
+	Term Term
+	// Granted is true if the vote was granted.
+	Granted bool
+	// SelfApproved are all self-approved entries in the voter's log
+	// (Fast Raft recovery input; empty in classic Raft).
+	SelfApproved []Entry
+}
+
+// MsgName implements Message.
+func (RequestVoteResp) MsgName() string { return "RequestVoteResp" }
+
+// CommitNotify tells a proposer that its proposal committed. It is sent by
+// the leader on commit, and by any site that observes a duplicate proposal
+// of an already committed entry.
+type CommitNotify struct {
+	// PID identifies the proposal.
+	PID ProposalID
+	// Index is the log position at which the proposal committed.
+	Index Index
+}
+
+// MsgName implements Message.
+func (CommitNotify) MsgName() string { return "CommitNotify" }
+
+// JoinRequest asks to join the configuration. At the C-Raft global layer it
+// asks to form a new cluster.
+type JoinRequest struct {
+	// Site is the joining site (or new cluster ID at LayerGlobal).
+	Site NodeID
+}
+
+// MsgName implements Message.
+func (JoinRequest) MsgName() string { return "JoinRequest" }
+
+// JoinRedirect points a joiner at the current leader.
+type JoinRedirect struct {
+	// Leader is the current leader known to the responder (None if
+	// unknown).
+	Leader NodeID
+}
+
+// MsgName implements Message.
+func (JoinRedirect) MsgName() string { return "JoinRedirect" }
+
+// JoinAccepted tells a joiner that the configuration including it has
+// committed and it is now a voting member.
+type JoinAccepted struct {
+	// ConfigIndex is the log index of the committed configuration entry.
+	ConfigIndex Index
+}
+
+// MsgName implements Message.
+func (JoinAccepted) MsgName() string { return "JoinAccepted" }
+
+// LeaveRequest announces that a site wishes to leave the configuration.
+type LeaveRequest struct {
+	// Site is the leaving site.
+	Site NodeID
+}
+
+// MsgName implements Message.
+func (LeaveRequest) MsgName() string { return "LeaveRequest" }
+
+// Compile-time check that all message types satisfy Message.
+var (
+	_ Message = ProposeEntry{}
+	_ Message = VoteEntry{}
+	_ Message = ClientPropose{}
+	_ Message = AppendEntries{}
+	_ Message = AppendEntriesResp{}
+	_ Message = RequestVote{}
+	_ Message = RequestVoteResp{}
+	_ Message = CommitNotify{}
+	_ Message = JoinRequest{}
+	_ Message = JoinRedirect{}
+	_ Message = JoinAccepted{}
+	_ Message = LeaveRequest{}
+)
+
+// CloneMessage deep-copies a message so transports never alias node state.
+func CloneMessage(m Message) Message {
+	switch v := m.(type) {
+	case ProposeEntry:
+		v.Entry = v.Entry.Clone()
+		return v
+	case VoteEntry:
+		v.Entry = v.Entry.Clone()
+		return v
+	case ClientPropose:
+		v.Entry = v.Entry.Clone()
+		return v
+	case AppendEntries:
+		v.Entries = CloneEntries(v.Entries)
+		return v
+	case AppendEntriesResp:
+		return v
+	case RequestVote:
+		return v
+	case RequestVoteResp:
+		v.SelfApproved = CloneEntries(v.SelfApproved)
+		return v
+	case CommitNotify, JoinRequest, JoinRedirect, JoinAccepted, LeaveRequest:
+		return v
+	default:
+		return m
+	}
+}

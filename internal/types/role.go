@@ -1,0 +1,42 @@
+package types
+
+import "fmt"
+
+// Role is a site's current role in a term (the paper's proposer role is
+// orthogonal: any site may propose).
+type Role uint8
+
+const (
+	// RoleFollower participates in consensus on entries decided by the
+	// leader.
+	RoleFollower Role = iota + 1
+	// RoleCandidate is attempting to be elected leader.
+	RoleCandidate
+	// RoleLeader coordinates consensus for the term.
+	RoleLeader
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleFollower:
+		return "follower"
+	case RoleCandidate:
+		return "candidate"
+	case RoleLeader:
+		return "leader"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Resolution reports that a locally originated proposal was observed
+// committed, either via a CommitNotify message or by watching the local
+// committed stream. The experiment harness turns resolutions into latency
+// samples.
+type Resolution struct {
+	// PID is the resolved proposal.
+	PID ProposalID
+	// Index is the log index it committed at.
+	Index Index
+}

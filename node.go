@@ -1,0 +1,247 @@
+package hraft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/core/fastraft"
+	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Options configures a Fast Raft node.
+type Options struct {
+	// ID is this site's identity (required).
+	ID NodeID
+	// Peers is the initial voting membership. Leave empty for a node that
+	// joins an existing group via Join.
+	Peers []NodeID
+	// Transport connects the node to its peers (required).
+	Transport Transport
+	// Storage is the stable storage (default: in-memory).
+	Storage Storage
+	// HeartbeatInterval is the leader tick period (default 100 ms, the
+	// paper's intra-cluster setting).
+	HeartbeatInterval time.Duration
+	// ElectionTimeoutMin/Max bound the randomized election timeout
+	// (defaults derived from the heartbeat).
+	ElectionTimeoutMin time.Duration
+	// ElectionTimeoutMax must exceed ElectionTimeoutMin when set.
+	ElectionTimeoutMax time.Duration
+	// ProposalTimeout is the proposer's re-propose period.
+	ProposalTimeout time.Duration
+	// MemberTimeoutRounds is the silent-leave detection threshold in
+	// missed heartbeat responses (default 5).
+	MemberTimeoutRounds int
+	// DisableFastTrack forces the classic track (for comparisons).
+	DisableFastTrack bool
+	// Seed drives randomized timeouts (0 = time-based).
+	Seed int64
+	// OnCommit, when set, observes every committed entry in order.
+	OnCommit func(Entry)
+	// CommitBuffer sizes the Commits channel (default 1024). The channel
+	// must be consumed, or commit delivery stalls (consensus itself keeps
+	// running).
+	CommitBuffer int
+}
+
+// ErrStopped is returned by operations on a stopped node.
+var ErrStopped = errors.New("hraft: node stopped")
+
+// resolve completes a waiting Propose call.
+func (n *Node) resolve(r types.Resolution) {
+	n.mu.Lock()
+	ch, ok := n.waiters[r.PID]
+	if ok {
+		delete(n.waiters, r.PID)
+	}
+	n.mu.Unlock()
+	if ok {
+		ch <- r.Index
+	}
+}
+
+// mixSeed derives a node's timer seed from the user seed and the node ID,
+// so that nodes given the same seed still draw distinct randomized
+// timeouts (identical streams would keep dueling candidates in lockstep).
+// A zero seed falls back to the wall clock.
+func mixSeed(seed int64, id NodeID) int64 {
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	const prime = 1099511628211
+	h := uint64(seed)
+	for _, c := range []byte(id) {
+		h ^= uint64(c)
+		h *= prime
+	}
+	return int64(h)
+}
+
+// Node is a Fast Raft site running on real time.
+type Node struct {
+	host    *runtime.Host
+	fr      *fastraft.Node
+	commits chan Entry
+
+	mu      sync.Mutex
+	waiters map[ProposalID]chan Index
+	stopped bool
+}
+
+// NewNode builds and starts a Fast Raft node.
+func NewNode(opts Options) (*Node, error) {
+	if opts.ID == types.None {
+		return nil, errors.New("hraft: Options.ID is required")
+	}
+	if opts.Transport == nil {
+		return nil, errors.New("hraft: Options.Transport is required")
+	}
+	if opts.Storage == nil {
+		opts.Storage = NewMemoryStorage()
+	}
+	seed := mixSeed(opts.Seed, opts.ID)
+	fr, err := fastraft.New(fastraft.Config{
+		ID:                  opts.ID,
+		Bootstrap:           types.NewConfig(opts.Peers...),
+		Storage:             opts.Storage,
+		HeartbeatInterval:   opts.HeartbeatInterval,
+		ElectionTimeoutMin:  opts.ElectionTimeoutMin,
+		ElectionTimeoutMax:  opts.ElectionTimeoutMax,
+		ProposalTimeout:     opts.ProposalTimeout,
+		MemberTimeoutRounds: opts.MemberTimeoutRounds,
+		DisableFastTrack:    opts.DisableFastTrack,
+		Rand:                rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hraft: %w", err)
+	}
+	buf := opts.CommitBuffer
+	if buf <= 0 {
+		buf = 1024
+	}
+	n := &Node{
+		fr:      fr,
+		commits: make(chan Entry, buf),
+		waiters: make(map[ProposalID]chan Index),
+	}
+	n.host = runtime.NewHost(fr, opts.Transport, runtime.Callbacks{
+		OnCommit: func(e Entry) {
+			if opts.OnCommit != nil {
+				opts.OnCommit(e)
+			}
+			n.commits <- e
+		},
+		OnResolve: n.resolve,
+	})
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() NodeID { return n.fr.ID() }
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	var r Role
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { r = n.fr.Role() })
+	return r
+}
+
+// Leader returns the node's view of the current leader (empty if unknown).
+func (n *Node) Leader() NodeID {
+	var l NodeID
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { l = n.fr.LeaderID() })
+	return l
+}
+
+// Term returns the node's current term.
+func (n *Node) Term() Term {
+	var t Term
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { t = n.fr.Term() })
+	return t
+}
+
+// CommitIndex returns the node's commit index.
+func (n *Node) CommitIndex() Index {
+	var i Index
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { i = n.fr.CommitIndex() })
+	return i
+}
+
+// Members returns the node's active voting configuration.
+func (n *Node) Members() Membership {
+	var m Membership
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { m = n.fr.Config() })
+	return m
+}
+
+// Commits streams committed entries in log order. The channel must be
+// consumed.
+func (n *Node) Commits() <-chan Entry { return n.commits }
+
+// ProposeAsync submits an entry without waiting; the proposal is re-sent
+// until it commits (watch Commits or use Propose to await it).
+func (n *Node) ProposeAsync(data []byte) ProposalID {
+	var pid ProposalID
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		pid = n.fr.Propose(now, data)
+	})
+	return pid
+}
+
+// Propose submits an entry and waits for it to commit, returning its log
+// index.
+func (n *Node) Propose(ctx context.Context, data []byte) (Index, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return 0, ErrStopped
+	}
+	n.mu.Unlock()
+	ch := make(chan Index, 1)
+	var pid ProposalID
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		pid = n.fr.Propose(now, data)
+		n.mu.Lock()
+		n.waiters[pid] = ch
+		n.mu.Unlock()
+	})
+	select {
+	case idx := <-ch:
+		return idx, nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.waiters, pid)
+		n.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// Join starts the join protocol toward the given contacts: the node
+// becomes a non-voting member, is caught up by the leader, and turns into
+// a voting member once the configuration including it commits.
+func (n *Node) Join(contacts []NodeID) {
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		n.fr.Join(now, contacts)
+	})
+}
+
+// Leave announces that this node wants to leave the configuration.
+func (n *Node) Leave() {
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		n.fr.Leave(now)
+	})
+}
+
+// Stop halts the node (equivalent to a crash: peers detect the silence).
+// Its storage remains usable for a restart.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+	n.host.Stop()
+}

@@ -1,0 +1,161 @@
+package hraft
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/raft"
+	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// RaftNode is a classic Raft site — the paper's baseline — exposed so
+// applications can compare protocols under identical transports and
+// workloads. It supports static membership only (the paper's baseline
+// scope); use Node (Fast Raft) for dynamic networks.
+type RaftNode struct {
+	host    *runtime.Host
+	rn      *raft.Node
+	commits chan Entry
+
+	mu      sync.Mutex
+	waiters map[ProposalID]chan Index
+	stopped bool
+}
+
+// NewRaftNode builds and starts a classic Raft node. The Options fields
+// MemberTimeoutRounds and DisableFastTrack do not apply and are ignored.
+func NewRaftNode(opts Options) (*RaftNode, error) {
+	if opts.ID == types.None {
+		return nil, fmt.Errorf("hraft: Options.ID is required")
+	}
+	if opts.Transport == nil {
+		return nil, fmt.Errorf("hraft: Options.Transport is required")
+	}
+	if opts.Storage == nil {
+		opts.Storage = NewMemoryStorage()
+	}
+	rn, err := raft.New(raft.Config{
+		ID:                 opts.ID,
+		Bootstrap:          types.NewConfig(opts.Peers...),
+		Storage:            opts.Storage,
+		HeartbeatInterval:  opts.HeartbeatInterval,
+		ElectionTimeoutMin: opts.ElectionTimeoutMin,
+		ElectionTimeoutMax: opts.ElectionTimeoutMax,
+		ProposalTimeout:    opts.ProposalTimeout,
+		Rand:               rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hraft: %w", err)
+	}
+	buf := opts.CommitBuffer
+	if buf <= 0 {
+		buf = 1024
+	}
+	n := &RaftNode{
+		rn:      rn,
+		commits: make(chan Entry, buf),
+		waiters: make(map[ProposalID]chan Index),
+	}
+	n.host = runtime.NewHost(rn, opts.Transport, runtime.Callbacks{
+		OnCommit: func(e Entry) {
+			if opts.OnCommit != nil {
+				opts.OnCommit(e)
+			}
+			n.commits <- e
+		},
+		OnResolve: func(r types.Resolution) {
+			n.mu.Lock()
+			ch, ok := n.waiters[r.PID]
+			if ok {
+				delete(n.waiters, r.PID)
+			}
+			n.mu.Unlock()
+			if ok {
+				ch <- r.Index
+			}
+		},
+	})
+	return n, nil
+}
+
+// ID returns the node's identity.
+func (n *RaftNode) ID() NodeID { return n.rn.ID() }
+
+// Role returns the node's current role.
+func (n *RaftNode) Role() Role {
+	var r Role
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { r = n.rn.Role() })
+	return r
+}
+
+// Leader returns the node's view of the current leader.
+func (n *RaftNode) Leader() NodeID {
+	var l NodeID
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { l = n.rn.LeaderID() })
+	return l
+}
+
+// Term returns the node's current term.
+func (n *RaftNode) Term() Term {
+	var t Term
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { t = n.rn.Term() })
+	return t
+}
+
+// CommitIndex returns the node's commit index.
+func (n *RaftNode) CommitIndex() Index {
+	var i Index
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { i = n.rn.CommitIndex() })
+	return i
+}
+
+// Commits streams committed entries in log order; it must be consumed.
+func (n *RaftNode) Commits() <-chan Entry { return n.commits }
+
+// Propose submits an entry and waits for it to commit.
+func (n *RaftNode) Propose(ctx context.Context, data []byte) (Index, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return 0, ErrStopped
+	}
+	n.mu.Unlock()
+	ch := make(chan Index, 1)
+	var pid ProposalID
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		pid = n.rn.Propose(now, data)
+		n.mu.Lock()
+		n.waiters[pid] = ch
+		n.mu.Unlock()
+	})
+	select {
+	case idx := <-ch:
+		return idx, nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		delete(n.waiters, pid)
+		n.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// ProposeAsync submits an entry without waiting.
+func (n *RaftNode) ProposeAsync(data []byte) ProposalID {
+	var pid ProposalID
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		pid = n.rn.Propose(now, data)
+	})
+	return pid
+}
+
+// Stop halts the node.
+func (n *RaftNode) Stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.mu.Unlock()
+	n.host.Stop()
+}
