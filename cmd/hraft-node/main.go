@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	hraft "github.com/hraft-io/hraft"
@@ -42,6 +43,7 @@ func run() error {
 		walPath = flag.String("wal", "", "write-ahead log path (default: in-memory)")
 		loss    = flag.Float64("loss", 0, "injected send-side message loss probability [0,1)")
 		hb      = flag.Duration("heartbeat", 100*time.Millisecond, "leader heartbeat interval")
+		snapN   = flag.Int("snapshot-threshold", 0, "compact the log every N committed entries (0 = never)")
 		quiet   = flag.Bool("quiet", false, "suppress per-commit output")
 	)
 	flag.Parse()
@@ -86,20 +88,41 @@ func run() error {
 	if *join {
 		bootstrap = nil
 	}
+	// With -snapshot-threshold the node keeps a line log as its state
+	// machine and compacts consensus state through it: the snapshot is the
+	// applied lines, so a restarted node reprints state from the snapshot
+	// instead of replaying the full history.
+	var lines *lineLog
+	var snapshotter hraft.Snapshotter
+	if *snapN > 0 {
+		lines = newLineLog()
+		snapshotter = lines
+	}
 	node, err := hraft.NewNode(hraft.Options{
 		ID:                hraft.NodeID(*id),
 		Peers:             bootstrap,
 		Transport:         tr,
 		Storage:           store,
 		HeartbeatInterval: *hb,
+		SnapshotThreshold: *snapN,
+		Snapshotter:       snapshotter,
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Stop()
+	if lines != nil {
+		if restored := lines.size(); restored > 0 {
+			fmt.Printf("[restored] %d lines from snapshot (log starts at %d)\n",
+				restored, node.FirstIndex())
+		}
+	}
 
 	go func() {
 		for e := range node.Commits() {
+			if lines != nil {
+				lines.apply(e)
+			}
 			if *quiet {
 				continue
 			}
@@ -142,4 +165,57 @@ func run() error {
 			idx, time.Since(start).Round(time.Millisecond), node.Leader(), node.Term())
 	}
 	return scanner.Err()
+}
+
+// lineLog is the node's state machine when snapshotting is enabled: the
+// multiset of committed lines, serialized newline-separated.
+type lineLog struct {
+	mu      sync.Mutex
+	lines   []string
+	count   int
+	applied hraft.Index
+}
+
+func newLineLog() *lineLog { return &lineLog{} }
+
+func (l *lineLog) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.applied == 0 {
+		return 0
+	}
+	return l.count
+}
+
+func (l *lineLog) apply(e hraft.Entry) {
+	if e.Kind != hraft.EntryNormal {
+		return
+	}
+	l.mu.Lock()
+	if e.Index > l.applied {
+		l.lines = append(l.lines, string(e.Data))
+		l.count++
+		l.applied = e.Index
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot implements hraft.Snapshotter.
+func (l *lineLog) Snapshot() ([]byte, hraft.Index, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return []byte(strings.Join(l.lines, "\n")), l.applied, nil
+}
+
+// Restore implements hraft.Snapshotter.
+func (l *lineLog) Restore(snap hraft.Snapshot) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = nil
+	if len(snap.Data) > 0 {
+		l.lines = strings.Split(string(snap.Data), "\n")
+	}
+	l.count = len(l.lines)
+	l.applied = snap.Meta.LastIndex
+	return nil
 }

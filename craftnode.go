@@ -42,6 +42,10 @@ type CRaftOptions struct {
 	LocalHeartbeat time.Duration
 	// GlobalHeartbeat is the inter-cluster tick period (default 500 ms).
 	GlobalHeartbeat time.Duration
+	// SnapshotThreshold enables local-log compaction: the site snapshots
+	// its replayed inter-cluster state once this many local entries commit
+	// beyond the last snapshot, bounding local log growth (0 = disabled).
+	SnapshotThreshold int
 	// Seed drives randomized timeouts (0 = time-based).
 	Seed int64
 	// OnCommit observes locally committed entries.
@@ -80,16 +84,17 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 	}
 	seed := mixSeed(opts.Seed, opts.ID)
 	cn, err := craft.New(craft.Config{
-		ID:               opts.ID,
-		Cluster:          opts.Cluster,
-		ClusterBootstrap: types.NewConfig(opts.ClusterPeers...),
-		GlobalBootstrap:  types.NewConfig(opts.GlobalClusters...),
-		Storage:          opts.Storage,
-		BatchSize:        opts.BatchSize,
-		BatchDelay:       opts.BatchDelay,
-		LocalHeartbeat:   opts.LocalHeartbeat,
-		GlobalHeartbeat:  opts.GlobalHeartbeat,
-		Rand:             rand.New(rand.NewSource(seed)),
+		ID:                opts.ID,
+		Cluster:           opts.Cluster,
+		ClusterBootstrap:  types.NewConfig(opts.ClusterPeers...),
+		GlobalBootstrap:   types.NewConfig(opts.GlobalClusters...),
+		Storage:           opts.Storage,
+		BatchSize:         opts.BatchSize,
+		BatchDelay:        opts.BatchDelay,
+		LocalHeartbeat:    opts.LocalHeartbeat,
+		GlobalHeartbeat:   opts.GlobalHeartbeat,
+		SnapshotThreshold: opts.SnapshotThreshold,
+		Rand:              rand.New(rand.NewSource(seed)),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)

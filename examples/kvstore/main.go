@@ -1,15 +1,21 @@
-// Replicated key-value store on Fast Raft.
+// Replicated key-value store on Fast Raft, with snapshot-based log
+// compaction.
 //
 // Each replica applies committed entries ("SET key value") to a local map;
 // consensus gives every replica the same total order, so all stores
-// converge to identical contents — including a replica that crashes and
-// recovers from its write-ahead state. Run it with:
+// converge to identical contents. The store also implements
+// hraft.Snapshotter: once SnapshotThreshold entries commit, each node
+// serializes the map, persists it and discards the covered log prefix —
+// the log stays bounded no matter how many writes flow, and a replica that
+// was down past the compaction horizon catches up from the leader's
+// snapshot instead of replaying history. Run it with:
 //
 //	go run ./examples/kvstore
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"sort"
@@ -21,17 +27,29 @@ import (
 )
 
 // Store is one replica's state machine: a map fed by the committed entry
-// stream.
+// stream, snapshottable for log compaction.
 type Store struct {
-	mu   sync.Mutex
-	data map[string]string
-	node *hraft.Node
+	mu      sync.Mutex
+	data    map[string]string
+	applied hraft.Index // last log index folded into data
+	node    *hraft.Node
 }
 
-// NewStore builds a replica on an existing node and starts applying
-// commits.
-func NewStore(node *hraft.Node) *Store {
-	s := &Store{data: make(map[string]string), node: node}
+// storeImage is the serialized snapshot form.
+type storeImage struct {
+	Data map[string]string `json:"data"`
+}
+
+// NewStore builds a replica's state machine (attach it to a node with
+// Attach; the node needs the store at construction time as its
+// Snapshotter).
+func NewStore() *Store {
+	return &Store{data: make(map[string]string)}
+}
+
+// Attach binds the store to its node and starts applying commits.
+func (s *Store) Attach(node *hraft.Node) {
+	s.node = node
 	go func() {
 		for e := range node.Commits() {
 			if e.Kind != hraft.EntryNormal {
@@ -42,11 +60,39 @@ func NewStore(node *hraft.Node) *Store {
 				continue
 			}
 			s.mu.Lock()
-			s.data[key] = val
+			// A snapshot restore may have leapfrogged this entry; never
+			// apply below the restored index.
+			if e.Index > s.applied {
+				s.data[key] = val
+				s.applied = e.Index
+			}
 			s.mu.Unlock()
 		}
 	}()
-	return s
+}
+
+// Snapshot implements hraft.Snapshotter.
+func (s *Store) Snapshot() ([]byte, hraft.Index, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf, err := json.Marshal(storeImage{Data: s.data})
+	return buf, s.applied, err
+}
+
+// Restore implements hraft.Snapshotter.
+func (s *Store) Restore(snap hraft.Snapshot) error {
+	var img storeImage
+	if err := json.Unmarshal(snap.Data, &img); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if img.Data == nil {
+		img.Data = make(map[string]string)
+	}
+	s.data = img.Data
+	s.applied = snap.Meta.LastIndex
+	return nil
 }
 
 // Set replicates key=value through consensus and waits for commit.
@@ -55,8 +101,8 @@ func (s *Store) Set(ctx context.Context, key, value string) error {
 	return err
 }
 
-// Snapshot returns a sorted rendering of the store contents.
-func (s *Store) Snapshot() string {
+// Render returns a sorted rendering of the store contents.
+func (s *Store) Render() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	keys := make([]string, 0, len(s.data))
@@ -77,61 +123,105 @@ func main() {
 	}
 }
 
+const snapshotThreshold = 16
+
 func run() error {
 	net := hraft.NewInProcNetwork(7)
 	defer net.Close()
 
 	peers := []hraft.NodeID{"kv1", "kv2", "kv3"}
 	stores := make(map[hraft.NodeID]*Store, len(peers))
-	for i, id := range peers {
+	nodes := make(map[hraft.NodeID]*hraft.Node, len(peers))
+	storage := make(map[hraft.NodeID]hraft.Storage, len(peers))
+	start := func(id hraft.NodeID, seed int64) error {
+		store := NewStore()
 		node, err := hraft.NewNode(hraft.Options{
 			ID:                 id,
 			Peers:              peers,
 			Transport:          net.Endpoint(id),
+			Storage:            storage[id],
 			HeartbeatInterval:  25 * time.Millisecond,
 			ElectionTimeoutMin: 100 * time.Millisecond,
 			ElectionTimeoutMax: 200 * time.Millisecond,
-			Seed:               int64(i + 1),
+			SnapshotThreshold:  snapshotThreshold,
+			Snapshotter:        store,
+			Seed:               seed,
 		})
 		if err != nil {
 			return err
 		}
-		defer node.Stop()
-		stores[id] = NewStore(node)
+		store.Attach(node)
+		stores[id] = store
+		nodes[id] = node
+		return nil
 	}
+	for i, id := range peers {
+		storage[id] = hraft.NewMemoryStorage() // kept across the restart below
+		if err := start(id, int64(i+1)); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	// Writes go through different replicas; consensus orders them.
-	writes := []struct{ replica, key, val string }{
-		{"kv1", "color", "blue"},
-		{"kv2", "shape", "circle"},
-		{"kv3", "size", "large"},
-		{"kv2", "color", "green"}, // overwrite through a different replica
-		{"kv1", "weight", "12kg"},
-	}
-	for _, w := range writes {
-		if err := stores[hraft.NodeID(w.replica)].Set(ctx, w.key, w.val); err != nil {
-			return fmt.Errorf("set %s via %s: %w", w.key, w.replica, err)
+	// Phase 1: enough writes to trip compaction on every replica.
+	for i := 0; i < 2*snapshotThreshold; i++ {
+		target := peers[i%len(peers)]
+		if err := stores[target].Set(ctx, fmt.Sprintf("key%02d", i%8), fmt.Sprintf("v%d", i)); err != nil {
+			return fmt.Errorf("set via %s: %w", target, err)
 		}
-		fmt.Printf("SET %-7s=%-7s via %s\n", w.key, w.val, w.replica)
+	}
+	time.Sleep(150 * time.Millisecond)
+	fmt.Println("after", 2*snapshotThreshold, "writes:")
+	for _, id := range peers {
+		fmt.Printf("  %s: commit=%d firstIndex=%d (log starts above the snapshot)\n",
+			id, nodes[id].CommitIndex(), nodes[id].FirstIndex())
 	}
 
-	// Give followers a heartbeat to learn the final commit index, then
-	// compare snapshots.
+	// Phase 2: crash kv3, keep writing past the compaction horizon, then
+	// restart it from its stored snapshot — it catches up via snapshot
+	// transfer, not full replay.
+	nodes["kv3"].Stop()
+	fmt.Println("\nkv3 stopped; writing on...")
+	for i := 0; i < 2*snapshotThreshold; i++ {
+		target := peers[i%2] // kv1, kv2
+		if err := stores[target].Set(ctx, fmt.Sprintf("key%02d", i%8), fmt.Sprintf("w%d", i)); err != nil {
+			return fmt.Errorf("set via %s: %w", target, err)
+		}
+	}
+	if err := start("kv3", 33); err != nil {
+		return fmt.Errorf("restart kv3: %w", err)
+	}
+	fmt.Println("kv3 restarted from its snapshot; waiting for catch-up")
+
+	// Wait until kv3 converges with the leader's commit index.
+	deadline := time.Now().Add(10 * time.Second)
+	for nodes["kv3"].CommitIndex() < nodes["kv1"].CommitIndex() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("kv3 failed to catch up (commit %d < %d)",
+				nodes["kv3"].CommitIndex(), nodes["kv1"].CommitIndex())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 	time.Sleep(150 * time.Millisecond)
+
 	fmt.Println("\nreplica contents (must be identical):")
 	var first string
 	for _, id := range peers {
-		snap := stores[id].Snapshot()
-		fmt.Printf("  %s: %s\n", id, snap)
+		snap := stores[id].Render()
+		fmt.Printf("  %s: %s (firstIndex=%d)\n", id, snap, nodes[id].FirstIndex())
 		if first == "" {
 			first = snap
 		} else if snap != first {
 			return fmt.Errorf("replica divergence on %s", id)
 		}
 	}
-	fmt.Println("\nall replicas agree ✓")
+	fmt.Println("\nall replicas agree, logs stay bounded ✓")
 	return nil
 }

@@ -1,0 +1,3 @@
+module github.com/hraft-io/hraft
+
+go 1.24

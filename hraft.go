@@ -66,6 +66,17 @@ type (
 	Envelope = types.Envelope
 	// Batch is the payload of a C-Raft global-log batch entry.
 	Batch = types.Batch
+	// Snapshot is a point-in-time state-machine image plus the log
+	// metadata locating it (see Snapshotter and Options.SnapshotThreshold).
+	Snapshot = types.Snapshot
+	// SnapshotMeta locates a snapshot in the log: last included
+	// index/term and the membership in effect there.
+	SnapshotMeta = types.SnapshotMeta
+	// Snapshotter is implemented by the application state machine to
+	// enable log compaction: Snapshot() serializes the state it has
+	// applied so far (reporting the last applied index), Restore()
+	// replaces it with a snapshot received from storage or the leader.
+	Snapshotter = types.Snapshotter
 )
 
 // Role values.

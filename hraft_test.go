@@ -3,6 +3,10 @@ package hraft_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -293,5 +297,183 @@ func TestPublicAPIRaftBaseline(t *testing.T) {
 	}
 	if nodes[1].Leader() == "" {
 		t.Fatal("no leader known")
+	}
+}
+
+// logStore is a minimal Snapshotter: it folds committed entries into a map
+// and serializes it with the last applied index.
+type logStore struct {
+	mu      sync.Mutex
+	vals    map[string]string
+	applied hraft.Index
+	// restored counts Restore calls so tests can assert restore-on-open.
+	restored int
+}
+
+func newLogStore() *logStore { return &logStore{vals: make(map[string]string)} }
+
+func (s *logStore) apply(e hraft.Entry) {
+	if e.Kind != hraft.EntryNormal {
+		return
+	}
+	k, v, ok := strings.Cut(string(e.Data), "=")
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	if e.Index > s.applied {
+		s.vals[k] = v
+		s.applied = e.Index
+	}
+	s.mu.Unlock()
+}
+
+func (s *logStore) Snapshot() ([]byte, hraft.Index, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sb strings.Builder
+	keys := make([]string, 0, len(s.vals))
+	for k := range s.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%s\n", k, s.vals[k])
+	}
+	return []byte(sb.String()), s.applied, nil
+}
+
+func (s *logStore) Restore(snap hraft.Snapshot) error {
+	vals := make(map[string]string)
+	for _, line := range strings.Split(string(snap.Data), "\n") {
+		if k, v, ok := strings.Cut(line, "="); ok {
+			vals[k] = v
+		}
+	}
+	s.mu.Lock()
+	s.vals = vals
+	s.applied = snap.Meta.LastIndex
+	s.restored++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *logStore) get(k string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+// TestPublicAPISnapshotCompactionAndWALRestore drives the full loop on a
+// real WAL: compaction while running, reopening the WAL loads only
+// snapshot + suffix, and a restarted node restores the state machine from
+// the snapshot before replaying the remaining log.
+func TestPublicAPISnapshotCompactionAndWALRestore(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "n1.wal")
+	net := hraft.NewInProcNetwork(5)
+	defer net.Close()
+
+	const threshold = 8
+	start := func(store *logStore) *hraft.Node {
+		wal, err := hraft.OpenWAL(walPath)
+		if err != nil {
+			t.Fatalf("OpenWAL: %v", err)
+		}
+		node, err := hraft.NewNode(hraft.Options{
+			ID:                 "n1",
+			Peers:              []hraft.NodeID{"n1"},
+			Transport:          net.Endpoint("n1"),
+			Storage:            wal,
+			HeartbeatInterval:  5 * time.Millisecond,
+			ElectionTimeoutMin: 20 * time.Millisecond,
+			ElectionTimeoutMax: 40 * time.Millisecond,
+			SnapshotThreshold:  threshold,
+			Snapshotter:        store,
+			OnCommit:           store.apply,
+			Seed:               1,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		go func() {
+			for range node.Commits() {
+			}
+		}()
+		return node
+	}
+
+	store := newLogStore()
+	node := start(store)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 0; i < 3*threshold; i++ {
+		if _, err := node.Propose(ctx, []byte(fmt.Sprintf("k%02d=v%d", i%6, i))); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for node.FirstIndex() == 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("log never compacted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	commitBefore := node.CommitIndex()
+	node.Stop()
+
+	// The reopened WAL must hold only the snapshot + suffix.
+	wal, err := hraft.OpenWAL(walPath)
+	if err != nil {
+		t.Fatalf("reopen WAL: %v", err)
+	}
+	snap, ok, err := wal.LoadSnapshot()
+	if err != nil || !ok {
+		t.Fatalf("LoadSnapshot after compaction: ok=%v err=%v", ok, err)
+	}
+	_, entries, err := wal.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Index <= snap.Meta.LastIndex {
+			t.Fatalf("WAL still holds compacted entry %d (boundary %d)", e.Index, snap.Meta.LastIndex)
+		}
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A restarted node must restore the state machine from the snapshot.
+	store2 := newLogStore()
+	node2 := start(store2)
+	defer node2.Stop()
+	if store2.restored == 0 {
+		t.Fatal("restart did not restore from the stored snapshot")
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for node2.CommitIndex() < commitBefore {
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted node commit %d < %d", node2.CommitIndex(), commitBefore)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := node2.Propose(ctx, []byte("after=restart")); err != nil {
+		t.Fatalf("propose after restart: %v", err)
+	}
+	waitFor := time.Now().Add(5 * time.Second)
+	for store2.get("after") != "restart" {
+		if time.Now().After(waitFor) {
+			t.Fatal("post-restart write never applied")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The last pre-restart value of every key must have survived through
+	// snapshot + replay.
+	last := 3*threshold - 1
+	wantKey := fmt.Sprintf("k%02d", last%6)
+	wantVal := fmt.Sprintf("v%d", last)
+	if got := store2.get(wantKey); got != wantVal {
+		t.Fatalf("state after restore: %s=%q, want %q", wantKey, got, wantVal)
 	}
 }

@@ -55,6 +55,14 @@ type Config struct {
 	// MemberTimeoutRounds configures silent-leave detection at both
 	// levels.
 	MemberTimeoutRounds int
+	// SnapshotThreshold enables local-log compaction: once this many
+	// entries commit beyond the last snapshot, the site snapshots its
+	// replayed global state (term, global log, batching position) and
+	// compacts the local log. Lagging or restarted cluster members catch up
+	// via InstallSnapshot instead of full replay. 0 disables compaction.
+	// The global log is never compacted (its entries are batches whose
+	// compaction would require cross-cluster coordination).
+	SnapshotThreshold int
 	// DisableFastTrack forces the classic track at both levels (ablation).
 	DisableFastTrack bool
 	// Rand drives randomized timeouts; required for deterministic

@@ -84,6 +84,10 @@ type Node struct {
 	ourBatches   map[uint64]batchRecord
 	oldestWait   time.Duration // when the oldest unbatched item committed (0 = none)
 
+	// appliedLocal is the highest local index drained into the replay and
+	// batching state above; local-log snapshots are cut no further than it.
+	appliedLocal types.Index
+
 	// Outputs.
 	outbox          []types.Envelope
 	localCommitted  []types.Entry
@@ -101,6 +105,19 @@ func New(cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	n := &Node{
+		cfg:            cfg,
+		gLog:           make(map[types.Index]types.Entry),
+		replayBuf:      make(map[uint64]types.GlobalStateDelta),
+		deltaPids:      make(map[types.ProposalID]uint64),
+		deltaCommitted: make(map[uint64]bool),
+		internalPIDs:   make(map[types.ProposalID]struct{}),
+		ourBatches:     make(map[uint64]batchRecord),
+	}
+	// The local instance snapshots through the craft node: the replayed
+	// global state and batching position ARE this site's application state,
+	// so C-Raft recovery survives a compacted local log. A stored snapshot
+	// is restored into n during fastraft.New (restore-on-open).
 	local, err := fastraft.New(fastraft.Config{
 		ID:                  cfg.ID,
 		Bootstrap:           cfg.ClusterBootstrap,
@@ -110,6 +127,8 @@ func New(cfg Config) (*Node, error) {
 		ElectionTimeoutMax:  cfg.LocalElectionMax,
 		ProposalTimeout:     cfg.LocalProposalTimeout,
 		MemberTimeoutRounds: cfg.MemberTimeoutRounds,
+		SnapshotThreshold:   cfg.SnapshotThreshold,
+		Snapshotter:         craftSnapshotter{n},
 		DisableFastTrack:    cfg.DisableFastTrack,
 		Rand:                cfg.Rand,
 		Layer:               types.LayerLocal,
@@ -117,16 +136,8 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("craft: local instance: %w", err)
 	}
-	return &Node{
-		cfg:            cfg,
-		local:          local,
-		gLog:           make(map[types.Index]types.Entry),
-		replayBuf:      make(map[uint64]types.GlobalStateDelta),
-		deltaPids:      make(map[types.ProposalID]uint64),
-		deltaCommitted: make(map[uint64]bool),
-		internalPIDs:   make(map[types.ProposalID]struct{}),
-		ourBatches:     make(map[uint64]batchRecord),
-	}, nil
+	n.local = local
+	return n, nil
 }
 
 // ID returns the site's identity.
@@ -152,6 +163,13 @@ func (n *Node) Config() types.Config { return n.local.Config() }
 
 // PendingProposals counts unresolved local application proposals.
 func (n *Node) PendingProposals() int { return n.local.PendingProposals() }
+
+// LocalSnapshotIndex returns the local log's compaction boundary (0 if the
+// local log has never been compacted).
+func (n *Node) LocalSnapshotIndex() types.Index { return n.local.SnapshotIndex() }
+
+// LocalLastIndex returns the local log's last occupied index.
+func (n *Node) LocalLastIndex() types.Index { return n.local.LastIndex() }
 
 // IsGlobalMember reports whether this site currently runs the cluster's
 // global instance (i.e., leads its cluster).

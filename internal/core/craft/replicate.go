@@ -73,6 +73,9 @@ func (n *Node) drainLocal(now time.Duration) bool {
 	for _, e := range n.local.TakeCommitted() {
 		progress = true
 		n.localCommitted = append(n.localCommitted, e)
+		if e.Index > n.appliedLocal {
+			n.appliedLocal = e.Index
+		}
 		switch e.Kind {
 		case types.KindNormal:
 			n.appLog = append(n.appLog, types.BatchItem{PID: e.PID, Data: e.Data})

@@ -1,0 +1,240 @@
+package craft
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// errBadReplayState reports a replay-state image that fails to decode.
+var errBadReplayState = errors.New("craft: bad replay state image")
+
+// Local-log compaction support.
+//
+// The local log doubles as the cluster's record of inter-cluster consensus:
+// committed GlobalState deltas are how a successor leader rebuilds the
+// global instance, and committed application entries feed batching. Naive
+// compaction would therefore destroy exactly the state C-Raft recovers
+// from. The craftSnapshotter closes the gap: the "application state" of the
+// local Fast Raft instance is the C-Raft node's replayed global state
+// (term, vote, commit index, global log), its delta-replay cursor, and its
+// batching position (batch records plus the unbatched tail of locally
+// committed application entries). Compacting the local log after
+// snapshotting this state loses nothing: a restarted or lagging site
+// restores the replay exactly as if it had consumed every compacted delta.
+//
+// The embedding application's own state is NOT captured here; craft hosts
+// that expose committed entries to an application should keep compaction
+// disabled or layer their own state into AppSnapshotter (future work noted
+// in the README).
+
+// craftSnapshotter adapts a craft Node to types.Snapshotter for its local
+// Fast Raft instance.
+type craftSnapshotter struct{ n *Node }
+
+// Snapshot implements types.Snapshotter: serialize the replayed global
+// state as of the entries drained so far.
+func (s craftSnapshotter) Snapshot() ([]byte, types.Index, error) {
+	return s.n.encodeReplayState(), s.n.appliedLocal, nil
+}
+
+// Restore implements types.Snapshotter.
+func (s craftSnapshotter) Restore(snap types.Snapshot) error {
+	if err := s.n.decodeReplayState(snap.Data); err != nil {
+		return fmt.Errorf("craft %s: decode replay state: %w", s.n.cfg.ID, err)
+	}
+	if snap.Meta.LastIndex > s.n.appliedLocal {
+		s.n.appliedLocal = snap.Meta.LastIndex
+	}
+	return nil
+}
+
+// encodeReplayState serializes everything drainLocal/applyDelta has
+// accumulated. Layout (all varints unless noted):
+//
+//	gTerm gVote gCommit replayEra replaySeq nextBatchSeq appliedLocal
+//	#gLog { entry }...
+//	#replayBuf { len-prefixed encoded delta }...
+//	#ourBatches { entry items }...
+//	#unbatched { pid data }...  (the appLog tail past batchedItems)
+func (n *Node) encodeReplayState() []byte {
+	var w byteWriter
+	w.u64(uint64(n.gTerm))
+	w.str(string(n.gVote))
+	w.u64(uint64(n.gCommit))
+	w.u64(n.replayEra)
+	w.u64(n.replaySeq)
+	w.u64(n.nextBatchSeq)
+	w.u64(uint64(n.appliedLocal))
+
+	idxs := make([]types.Index, 0, len(n.gLog))
+	for idx := range n.gLog {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	w.u64(uint64(len(idxs)))
+	for _, idx := range idxs {
+		w.bytes(types.EncodeEntry(n.gLog[idx]))
+	}
+
+	seqs := make([]uint64, 0, len(n.replayBuf))
+	for seq := range n.replayBuf {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	w.u64(uint64(len(seqs)))
+	for _, seq := range seqs {
+		w.u64(seq)
+		w.bytes(types.EncodeGlobalStateDelta(n.replayBuf[seq]))
+	}
+
+	bseqs := make([]uint64, 0, len(n.ourBatches))
+	for seq := range n.ourBatches {
+		bseqs = append(bseqs, seq)
+	}
+	sort.Slice(bseqs, func(i, j int) bool { return bseqs[i] < bseqs[j] })
+	w.u64(uint64(len(bseqs)))
+	for _, seq := range bseqs {
+		rec := n.ourBatches[seq]
+		w.u64(seq)
+		w.bytes(types.EncodeEntry(rec.entry))
+		w.u64(uint64(rec.items))
+	}
+
+	tail := n.appLog[n.batchedItems:]
+	w.u64(uint64(len(tail)))
+	for _, it := range tail {
+		w.str(string(it.PID.Proposer))
+		w.u64(it.PID.Seq)
+		w.bytes(it.Data)
+	}
+	return w.buf
+}
+
+// decodeReplayState rebuilds the replay and batching state from a snapshot
+// produced by encodeReplayState, replacing whatever was accumulated so far.
+func (n *Node) decodeReplayState(data []byte) error {
+	r := byteReader{buf: data}
+	gTerm := types.Term(r.u64())
+	gVote := types.NodeID(r.str())
+	gCommit := types.Index(r.u64())
+	replayEra := r.u64()
+	replaySeq := r.u64()
+	nextBatchSeq := r.u64()
+	applied := types.Index(r.u64())
+
+	nLog := r.u64()
+	gLog := make(map[types.Index]types.Entry, nLog)
+	for i := uint64(0); i < nLog && r.err == nil; i++ {
+		e, err := types.DecodeEntry(r.bytes())
+		if err != nil {
+			return err
+		}
+		gLog[e.Index] = e
+	}
+
+	nBuf := r.u64()
+	replayBuf := make(map[uint64]types.GlobalStateDelta, nBuf)
+	for i := uint64(0); i < nBuf && r.err == nil; i++ {
+		seq := r.u64()
+		d, err := types.DecodeGlobalStateDelta(r.bytes())
+		if err != nil {
+			return err
+		}
+		replayBuf[seq] = d
+	}
+
+	nBatches := r.u64()
+	ourBatches := make(map[uint64]batchRecord, nBatches)
+	for i := uint64(0); i < nBatches && r.err == nil; i++ {
+		seq := r.u64()
+		e, err := types.DecodeEntry(r.bytes())
+		if err != nil {
+			return err
+		}
+		items := int(r.u64())
+		ourBatches[seq] = batchRecord{entry: e, items: items}
+	}
+
+	nTail := r.u64()
+	tail := make([]types.BatchItem, 0, nTail)
+	for i := uint64(0); i < nTail && r.err == nil; i++ {
+		var it types.BatchItem
+		it.PID.Proposer = types.NodeID(r.str())
+		it.PID.Seq = r.u64()
+		it.Data = r.bytes()
+		tail = append(tail, it)
+	}
+	if r.err != nil {
+		return r.err
+	}
+
+	n.gTerm, n.gVote, n.gCommit = gTerm, gVote, gCommit
+	n.replayEra, n.replaySeq = replayEra, replaySeq
+	n.replayBuf = replayBuf
+	n.gLog = gLog
+	n.ourBatches = ourBatches
+	n.nextBatchSeq = nextBatchSeq
+	// The snapshot stores only the unbatched tail; everything before it is
+	// covered by the recorded batches.
+	n.appLog = tail
+	n.batchedItems = 0
+	n.appliedLocal = applied
+	n.oldestWait = 0
+	return nil
+}
+
+// byteWriter/byteReader are a minimal varint codec for the replay-state
+// image (the wire codec in types is deliberately unexported).
+type byteWriter struct{ buf []byte }
+
+func (w *byteWriter) u64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+func (w *byteWriter) bytes(b []byte) {
+	w.u64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *byteWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = errBadReplayState
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) bytes() []byte {
+	n := r.u64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.err = errBadReplayState
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+func (r *byteReader) str() string { return string(r.bytes()) }

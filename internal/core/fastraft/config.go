@@ -39,6 +39,17 @@ type Config struct {
 	// proposes a configuration excluding the silent follower (paper
 	// experiments: 5).
 	MemberTimeoutRounds int
+	// SnapshotThreshold is the number of committed entries beyond the
+	// latest snapshot boundary after which the node snapshots its state
+	// machine and compacts the log prefix (0 = compaction disabled). The
+	// leader ships the snapshot to followers whose nextIndex falls below
+	// the compacted prefix (InstallSnapshot).
+	SnapshotThreshold int
+	// Snapshotter produces and consumes application state-machine images
+	// for compaction. Optional: without one, snapshots carry empty state
+	// and compaction is driven purely by the commit index — appropriate
+	// only when no application state must survive (tests, harnesses).
+	Snapshotter types.Snapshotter
 	// DisableFastTrack forces every decided entry onto the classic track;
 	// used by the ablation benchmarks.
 	DisableFastTrack bool

@@ -379,6 +379,12 @@ func (n *Node) broadcastAppend() {
 			next = n.commitIndex + 1
 			n.nextIndex[peer] = next
 		}
+		if next <= n.log.SnapshotIndex() {
+			// The entries this follower needs are compacted away; ship the
+			// snapshot instead. The reply advances nextIndex past it.
+			n.sendSnapshot(peer)
+			continue
+		}
 		prev := next - 1
 		msg := types.AppendEntries{
 			Term:         n.term,
@@ -407,13 +413,18 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 	n.leaderID = m.LeaderID
 	n.lonelyElections = 0
 	n.resetElectionTimer()
-	if m.PrevLogIndex > 0 &&
+	// Entries at or below our snapshot boundary are committed and match the
+	// leader by construction; the consistency check applies only above it.
+	if m.PrevLogIndex >= n.log.SnapshotIndex() && m.PrevLogIndex > 0 &&
 		(m.PrevLogIndex > n.log.LastLeaderIndex() || n.log.Term(m.PrevLogIndex) != m.PrevLogTerm) {
 		// Consistency check failed; hint the leader with our prefix top.
 		n.send(from, resp)
 		return
 	}
 	for _, e := range m.Entries {
+		if e.Index <= n.log.SnapshotIndex() {
+			continue // compacted: already committed here
+		}
 		n.applyLeaderEntry(e)
 	}
 	// Fast Raft commit-prefix refinement: only commit over leader-approved
@@ -432,6 +443,7 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 	resp.LastLogIndex = n.log.LastLeaderIndex()
 	n.send(from, resp)
 	n.reactToConfig()
+	n.maybeCompact()
 }
 
 // applyLeaderEntry installs one leader-approved entry from AppendEntries,

@@ -107,6 +107,12 @@ type Node struct {
 	// TakeChangedEntries, for C-Raft's global state replication.
 	changed []types.Entry
 
+	// snap is the latest snapshot (zero if none): the recovery base loaded
+	// from storage, produced by local compaction, or installed by the
+	// leader. The leader ships it to followers that fell behind the
+	// compacted prefix.
+	snap types.Snapshot
+
 	now time.Duration
 }
 
@@ -120,7 +126,11 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fastraft: load storage: %w", err)
 	}
-	log, err := logstore.Restore(cfg.Bootstrap, entries)
+	snap, hasSnap, err := cfg.Storage.LoadSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("fastraft: load snapshot: %w", err)
+	}
+	log, err := logstore.RestoreSnapshot(cfg.Bootstrap, snap.Meta, entries)
 	if err != nil {
 		return nil, fmt.Errorf("fastraft: restore log: %w", err)
 	}
@@ -131,6 +141,16 @@ func New(cfg Config) (*Node, error) {
 		log:      log,
 		role:     types.RoleFollower,
 		pending:  make(map[types.ProposalID]*pendingProposal),
+	}
+	if hasSnap {
+		// Snapshots cover only committed entries; resume committing above.
+		n.snap = snap
+		n.commitIndex = snap.Meta.LastIndex
+		if cfg.Snapshotter != nil {
+			if err := cfg.Snapshotter.Restore(snap.Clone()); err != nil {
+				return nil, fmt.Errorf("fastraft: restore state machine: %w", err)
+			}
+		}
 	}
 	n.resetElectionTimer()
 	return n, nil
@@ -166,6 +186,13 @@ func (n *Node) LastIndex() types.Index { return n.log.LastIndex() }
 
 // LastLeaderIndex returns the top of the leader-approved prefix.
 func (n *Node) LastLeaderIndex() types.Index { return n.log.LastLeaderIndex() }
+
+// FirstIndex returns the first retained log index (1 when nothing has been
+// compacted).
+func (n *Node) FirstIndex() types.Index { return n.log.FirstIndex() }
+
+// SnapshotIndex returns the current snapshot boundary (0 if none).
+func (n *Node) SnapshotIndex() types.Index { return n.log.SnapshotIndex() }
 
 // PendingProposals returns the number of unresolved local proposals.
 func (n *Node) PendingProposals() int { return len(n.pending) }
@@ -244,6 +271,7 @@ func (n *Node) Tick(now time.Duration) {
 	}
 	n.retryProposals(now)
 	n.tickJoiner(now)
+	n.maybeCompact()
 }
 
 // Step delivers one message.
@@ -265,6 +293,10 @@ func (n *Node) Step(now time.Duration, env types.Envelope) {
 		n.onRequestVote(env.From, m)
 	case types.RequestVoteResp:
 		n.onRequestVoteResp(env.From, m)
+	case types.InstallSnapshot:
+		n.onInstallSnapshot(env.From, m)
+	case types.InstallSnapshotReply:
+		n.onInstallSnapshotReply(env.From, m)
 	case types.CommitNotify:
 		n.onCommitNotify(m)
 	case types.JoinRequest:
@@ -284,10 +316,13 @@ func (n *Node) Step(now time.Duration, env types.Envelope) {
 // sites outside the configuration are ignored. Join/leave traffic and
 // commit notifications are exempt, as is everything while this site itself
 // is not (yet) a member — a joiner must accept the leader's catch-up.
+// InstallSnapshot is also exempt: it carries the authoritative membership a
+// long-partitioned site's stale configuration may not reflect, and is
+// term-checked like any leader message.
 func (n *Node) acceptFrom(from types.NodeID, msg types.Message) bool {
 	switch msg.(type) {
 	case types.JoinRequest, types.JoinRedirect, types.JoinAccepted,
-		types.LeaveRequest, types.CommitNotify:
+		types.LeaveRequest, types.CommitNotify, types.InstallSnapshot:
 		return true
 	}
 	cfg := n.Config()

@@ -1,0 +1,148 @@
+package fastraft
+
+import (
+	"fmt"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// --- Snapshotting & log compaction -----------------------------------------
+//
+// Every site — leader or follower — compacts its own log once the committed
+// prefix beyond the last snapshot exceeds cfg.SnapshotThreshold: the
+// application state is captured through cfg.Snapshotter, saved to stable
+// storage, and the covered log prefix is dropped. The compaction point never
+// exceeds what the application reports as applied, so asynchronous appliers
+// are never snapshotted ahead of themselves.
+//
+// Only committed (hence leader-approved) prefixes are compacted, so the
+// self-approved entries Fast Raft's recovery algorithm depends on are never
+// discarded.
+
+// maybeCompact snapshots and compacts when the committed suffix beyond the
+// snapshot boundary reaches the configured threshold. Called from Tick and
+// after commit-advancing steps.
+func (n *Node) maybeCompact() {
+	t := n.cfg.SnapshotThreshold
+	if t <= 0 || n.commitIndex < n.log.SnapshotIndex()+types.Index(t) {
+		return
+	}
+	point := n.commitIndex
+	var data []byte
+	if n.cfg.Snapshotter != nil {
+		d, applied, err := n.cfg.Snapshotter.Snapshot()
+		if err != nil {
+			return // transient application failure; retry at a later tick
+		}
+		data = d
+		if applied < point {
+			point = applied
+		}
+	}
+	// Gate on the achievable point, not just commitIndex: if the applier
+	// trails commit, compacting on every small advance of applied would
+	// rotate the WAL per entry instead of per threshold.
+	if point < n.log.SnapshotIndex()+types.Index(t) {
+		return
+	}
+	cfg, ci := n.log.ConfigAt(point)
+	snap := types.Snapshot{
+		Meta: types.SnapshotMeta{
+			LastIndex:   point,
+			LastTerm:    n.log.Term(point),
+			Config:      cfg,
+			ConfigIndex: ci,
+		},
+		Data: data,
+	}
+	if err := n.cfg.Storage.SaveSnapshot(snap); err != nil {
+		panic(fmt.Sprintf("fastraft %s: save snapshot: %v", n.cfg.ID, err))
+	}
+	if err := n.log.CompactTo(point, snap.Meta.LastTerm); err != nil {
+		panic(fmt.Sprintf("fastraft %s: compact log: %v", n.cfg.ID, err))
+	}
+	if err := n.cfg.Storage.TruncatePrefix(point); err != nil {
+		panic(fmt.Sprintf("fastraft %s: truncate storage prefix: %v", n.cfg.ID, err))
+	}
+	n.snap = snap
+}
+
+// sendSnapshot ships the latest snapshot to a follower whose nextIndex fell
+// below the compacted prefix.
+func (n *Node) sendSnapshot(to types.NodeID) {
+	n.send(to, types.InstallSnapshot{
+		Term:     n.term,
+		LeaderID: n.cfg.ID,
+		Snapshot: n.snap.Clone(),
+		Round:    n.aeRound,
+	})
+}
+
+// onInstallSnapshot is the follower side of snapshot transfer: replace the
+// covered log prefix and the application state with the leader's snapshot,
+// then resume replication above it.
+func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
+	if m.Term > n.term || (m.Term == n.term && n.role != types.RoleFollower) {
+		n.becomeFollower(m.Term, m.LeaderID)
+	}
+	resp := types.InstallSnapshotReply{Term: n.term, Round: m.Round, LastIndex: n.commitIndex}
+	if m.Term < n.term {
+		n.send(from, resp)
+		return
+	}
+	n.leaderID = m.LeaderID
+	n.lonelyElections = 0
+	n.resetElectionTimer()
+	snap := m.Snapshot
+	if snap.Meta.LastIndex <= n.commitIndex {
+		// Already have this prefix (duplicate or raced AppendEntries); just
+		// tell the leader where we are.
+		resp.LastIndex = n.commitIndex
+		n.send(from, resp)
+		return
+	}
+	n.installSnapshot(snap)
+	resp.LastIndex = snap.Meta.LastIndex
+	n.send(from, resp)
+}
+
+// installSnapshot makes a received snapshot this site's recovery base:
+// durable first, then the in-memory log, commit point and state machine.
+func (n *Node) installSnapshot(snap types.Snapshot) {
+	if err := n.cfg.Storage.SaveSnapshot(snap); err != nil {
+		panic(fmt.Sprintf("fastraft %s: save installed snapshot: %v", n.cfg.ID, err))
+	}
+	if err := n.log.InstallSnapshot(snap.Meta); err != nil {
+		panic(fmt.Sprintf("fastraft %s: install snapshot: %v", n.cfg.ID, err))
+	}
+	if err := n.cfg.Storage.TruncatePrefix(snap.Meta.LastIndex); err != nil {
+		panic(fmt.Sprintf("fastraft %s: truncate storage prefix: %v", n.cfg.ID, err))
+	}
+	n.snap = snap.Clone()
+	n.commitIndex = snap.Meta.LastIndex
+	if n.cfg.Snapshotter != nil {
+		if err := n.cfg.Snapshotter.Restore(snap.Clone()); err != nil {
+			panic(fmt.Sprintf("fastraft %s: restore state machine: %v", n.cfg.ID, err))
+		}
+	}
+}
+
+// onInstallSnapshotReply advances the leader's view of a follower that
+// installed (or already had) a snapshot.
+func (n *Node) onInstallSnapshotReply(from types.NodeID, m types.InstallSnapshotReply) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+		return
+	}
+	if n.role != types.RoleLeader || m.Term < n.term {
+		return
+	}
+	n.responded[from] = true
+	n.missed[from] = 0
+	if m.LastIndex > n.matchIndex[from] {
+		n.matchIndex[from] = m.LastIndex
+	}
+	if n.nextIndex[from] <= m.LastIndex {
+		n.nextIndex[from] = m.LastIndex + 1
+	}
+}

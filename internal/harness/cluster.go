@@ -59,6 +59,9 @@ type Options struct {
 	ProposalTimeout time.Duration
 	// MemberTimeoutRounds is Fast Raft's silent-leave threshold.
 	MemberTimeoutRounds int
+	// SnapshotThreshold enables snapshotting + log compaction once this
+	// many entries commit beyond the last snapshot (0 = disabled).
+	SnapshotThreshold int
 	// DisableFastTrack forces Fast Raft onto the classic track (ablation).
 	DisableFastTrack bool
 }
@@ -178,6 +181,7 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
 			ElectionTimeoutMax: c.opts.ElectionTimeoutMax,
 			ProposalTimeout:    c.opts.ProposalTimeout,
+			SnapshotThreshold:  c.opts.SnapshotThreshold,
 			Rand:               nodeRand,
 		})
 	case KindFastRaft:
@@ -190,6 +194,7 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			ElectionTimeoutMax:  c.opts.ElectionTimeoutMax,
 			ProposalTimeout:     c.opts.ProposalTimeout,
 			MemberTimeoutRounds: c.opts.MemberTimeoutRounds,
+			SnapshotThreshold:   c.opts.SnapshotThreshold,
 			DisableFastTrack:    c.opts.DisableFastTrack,
 			Rand:                nodeRand,
 		})

@@ -262,3 +262,94 @@ func TestCraftToleratesDuplicationAndLoss(t *testing.T) {
 		t.Fatalf("fault injection inactive: %+v", st)
 	}
 }
+
+// TestCraftBatchesSurviveLocalCompaction runs C-Raft with an aggressive
+// local-log compaction threshold, crash-restarts the leading site of one
+// cluster mid-run, and requires that every proposed item still reaches the
+// global log exactly through the replayed (now snapshot-based) state: the
+// successor and the restarted site recover batching position from the
+// snapshot instead of a full local-log replay.
+func TestCraftBatchesSurviveLocalCompaction(t *testing.T) {
+	c, err := NewCraftCluster(CraftOptions{
+		Clusters:          twoClusterSpecs(),
+		Seed:              5,
+		SnapshotThreshold: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.WaitForLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	p, err := c.StartProposer(ProposerOptions{Node: "a1", MaxProposals: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let roughly half the proposals commit, then kill cluster A's leader.
+	if !c.RunUntil(func() bool { return p.Completed >= 20 }, c.Sched.Now()+2*time.Minute) {
+		t.Fatalf("only %d/20 warm-up proposals resolved", p.Completed)
+	}
+	lead, ok := c.LocalLeader("cA")
+	if !ok {
+		t.Fatal("cluster A has no leader")
+	}
+	crashed := lead.ID()
+	c.Crash(crashed)
+	if crashed == "a1" {
+		// The proposer lived on the crashed site; restart it below and let
+		// the remaining proposals flow after recovery.
+		if err := c.Restart(crashed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.RunUntil(func() bool { return p.Completed >= 40 }, c.Sched.Now()+4*time.Minute) {
+		t.Fatalf("only %d/40 proposals resolved after leader crash", p.Completed)
+	}
+	if crashed != "a1" {
+		if err := c.Restart(crashed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All 40 items must reach the global log (no loss, no duplication).
+	ok = c.RunUntil(func() bool {
+		return c.GlobalItemsCommitted(0, c.Sched.Now()+1) >= 40
+	}, c.Sched.Now()+4*time.Minute)
+	if !ok {
+		t.Fatalf("only %d/40 items committed globally", c.GlobalItemsCommitted(0, c.Sched.Now()+1))
+	}
+	// Compaction must actually have happened in cluster A.
+	compacted := false
+	for _, site := range []types.NodeID{"a1", "a2", "a3"} {
+		if c.Host(site).Node().LocalSnapshotIndex() > 0 {
+			compacted = true
+		}
+	}
+	if !compacted {
+		t.Fatal("no cluster-A site compacted its local log")
+	}
+	// Batch items must not have been duplicated into the global log: count
+	// distinct item PIDs against total items.
+	seen := make(map[types.ProposalID]int)
+	for idx := types.Index(1); ; idx++ {
+		e, ok := c.Host("a2").Node().GlobalLogEntry(idx)
+		if !ok {
+			break
+		}
+		if e.Kind != types.KindBatch {
+			continue
+		}
+		b, err := types.DecodeBatch(e.Data)
+		if err != nil {
+			t.Fatalf("corrupt batch at %d: %v", idx, err)
+		}
+		for _, it := range b.Items {
+			seen[it.PID]++
+			if seen[it.PID] > 1 {
+				t.Fatalf("item %s batched twice into the global log", it.PID)
+			}
+		}
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -45,6 +45,9 @@ type CraftOptions struct {
 	GlobalHeartbeat time.Duration
 	// MemberTimeoutRounds is the silent-leave threshold at both levels.
 	MemberTimeoutRounds int
+	// SnapshotThreshold enables local-log snapshotting + compaction (0 =
+	// disabled).
+	SnapshotThreshold int
 	// DisableFastTrack forces the classic track at both levels.
 	DisableFastTrack bool
 }
@@ -194,6 +197,7 @@ func (c *CraftCluster) makeNode(spec ClusterSpec, site types.NodeID, globalBoots
 		LocalHeartbeat:      c.opts.LocalHeartbeat,
 		GlobalHeartbeat:     c.opts.GlobalHeartbeat,
 		MemberTimeoutRounds: c.opts.MemberTimeoutRounds,
+		SnapshotThreshold:   c.opts.SnapshotThreshold,
 		DisableFastTrack:    c.opts.DisableFastTrack,
 		Rand:                rand.New(rand.NewSource(c.rng.Int63())),
 	})

@@ -8,12 +8,18 @@
 // invariants the protocols rely on:
 //
 //   - the leader-approved entries always form a contiguous prefix
-//     [1..LastLeaderIndex()];
+//     [FirstIndex()..LastLeaderIndex()];
 //   - an occupied slot is never silently replaced: self-approved entries
 //     are only overwritten by leader-approved ones.
 //
 // Classic Raft uses the same store in append-only mode (all entries
 // leader-approved) with suffix truncation on conflict.
+//
+// The log may not start at index 1: after compaction, everything at or
+// below the snapshot boundary (SnapshotIndex/SnapshotTerm) is gone and the
+// first retained slot is SnapshotIndex()+1. The boundary only ever covers
+// committed, leader-approved prefixes, so compaction never discards
+// self-approved entries the recovery algorithm might need.
 package logstore
 
 import (
@@ -30,23 +36,43 @@ var ErrOccupied = errors.New("logstore: slot occupied")
 // leader-approved prefix contiguity.
 var ErrGap = errors.New("logstore: leader-approved prefix gap")
 
-// Log is a sparse, 1-indexed replicated log. It is not safe for concurrent
-// use; the consensus cores are single-threaded per node.
+// ErrCompacted is returned by CompactTo for a boundary that is not inside
+// the current leader-approved prefix.
+var ErrCompacted = errors.New("logstore: invalid compaction boundary")
+
+// Log is a sparse, 1-indexed replicated log whose prefix may be compacted
+// into a snapshot. It is not safe for concurrent use; the consensus cores
+// are single-threaded per node.
 type Log struct {
-	// entries[i-1] holds index i; nil means a hole.
+	// entries[i - snapIndex - 1] holds index i; nil means a hole.
 	entries []*types.Entry
+	// snapIndex/snapTerm are the snapshot boundary: the index and term of
+	// the last compacted entry (0/0 when the log starts at 1).
+	snapIndex types.Index
+	snapTerm  types.Term
 	// lastLeader is the highest index of the contiguous leader-approved
 	// prefix.
 	lastLeader types.Index
-	// lastIndex is the highest occupied index.
+	// lastIndex is the highest occupied index (== snapIndex when the
+	// retained log is empty).
 	lastIndex types.Index
 	// byPID locates entries by proposal for de-duplication. Values are
-	// indices; entries with zero PIDs are not tracked.
+	// indices; entries with zero PIDs are not tracked. Compacted proposals
+	// keep their mapping (pointing below the boundary) so duplicate
+	// re-proposals of committed-then-compacted entries are still caught —
+	// but only within this process: the mappings are not part of the
+	// snapshot, so a restart forgets them (see ROADMAP: client sessions).
 	byPID map[types.ProposalID]types.Index
 	// config is the configuration carried by the last KindConfig entry in
-	// the log, and configIndex its index (0 if none).
+	// the log (or the snapshot/bootstrap base), and configIndex its index
+	// (0 if from bootstrap).
 	config      types.Config
 	configIndex types.Index
+	// base is the configuration in effect below FirstIndex (bootstrap, or
+	// the snapshot's config after compaction/installation), with the index
+	// it came from. It is the fallback when no retained entry carries one.
+	base      types.Config
+	baseIndex types.Index
 }
 
 // New returns an empty log with the given bootstrap configuration. The
@@ -56,11 +82,12 @@ func New(bootstrap types.Config) *Log {
 	return &Log{
 		byPID:  make(map[types.ProposalID]types.Index),
 		config: bootstrap.Clone(),
+		base:   bootstrap.Clone(),
 	}
 }
 
-// Get returns the entry at idx, or ok=false for a hole or out-of-range
-// index. The returned entry is a copy.
+// Get returns the entry at idx, or ok=false for a hole, a compacted index
+// or an out-of-range index. The returned entry is a copy.
 func (l *Log) Get(idx types.Index) (types.Entry, bool) {
 	if e := l.at(idx); e != nil {
 		return e.Clone(), true
@@ -71,19 +98,35 @@ func (l *Log) Get(idx types.Index) (types.Entry, bool) {
 // Has reports whether idx holds an entry.
 func (l *Log) Has(idx types.Index) bool { return l.at(idx) != nil }
 
-// Term returns the term of the entry at idx, or 0 for a hole.
+// Term returns the term of the entry at idx, the snapshot term at the
+// boundary, or 0 for a hole or compacted index.
 func (l *Log) Term(idx types.Index) types.Term {
+	if idx == l.snapIndex {
+		return l.snapTerm
+	}
 	if e := l.at(idx); e != nil {
 		return e.Term
 	}
 	return 0
 }
 
-// LastIndex returns the highest occupied index (0 if empty).
+// FirstIndex returns the first retained log position (1 when nothing was
+// compacted).
+func (l *Log) FirstIndex() types.Index { return l.snapIndex + 1 }
+
+// SnapshotIndex returns the index of the last compacted entry (0 if none).
+func (l *Log) SnapshotIndex() types.Index { return l.snapIndex }
+
+// SnapshotTerm returns the term of the entry at SnapshotIndex (0 if none).
+func (l *Log) SnapshotTerm() types.Term { return l.snapTerm }
+
+// LastIndex returns the highest occupied index (SnapshotIndex if the
+// retained log is empty, 0 for a fresh log).
 func (l *Log) LastIndex() types.Index { return l.lastIndex }
 
 // LastLeaderIndex returns the highest index of the contiguous
-// leader-approved prefix (the paper's lastLeaderIndex).
+// leader-approved prefix (the paper's lastLeaderIndex). Compacted entries
+// were all leader-approved, so the prefix includes the boundary.
 func (l *Log) LastLeaderIndex() types.Index { return l.lastLeader }
 
 // LastLeaderTerm returns the term of the entry at LastLeaderIndex (0 if
@@ -91,14 +134,31 @@ func (l *Log) LastLeaderIndex() types.Index { return l.lastLeader }
 func (l *Log) LastLeaderTerm() types.Term { return l.Term(l.lastLeader) }
 
 // Config returns the active configuration (last config entry in the log,
-// or the bootstrap configuration) and the index it came from (0 for
+// or the snapshot/bootstrap base) and the index it came from (0 for
 // bootstrap).
 func (l *Log) Config() (types.Config, types.Index) {
 	return l.config.Clone(), l.configIndex
 }
 
+// ConfigAt returns the configuration in effect at idx: the last config
+// entry at or below idx, falling back to the snapshot/bootstrap base. It is
+// what a snapshot taken at idx must record.
+func (l *Log) ConfigAt(idx types.Index) (types.Config, types.Index) {
+	if l.configIndex <= idx {
+		return l.config.Clone(), l.configIndex
+	}
+	for i := idx; i >= l.FirstIndex(); i-- {
+		if e := l.at(i); e != nil && e.Kind == types.KindConfig && e.Config != nil {
+			return e.Config.Clone(), i
+		}
+	}
+	// No config entry in (boundary, idx]: the base configuration
+	// (bootstrap, or the snapshot's) is still in effect at idx.
+	return l.base.Clone(), l.baseIndex
+}
+
 // FindProposal returns the index at which the proposal identified by pid is
-// stored, or 0.
+// stored (possibly below the compaction boundary), or 0.
 func (l *Log) FindProposal(pid types.ProposalID) types.Index {
 	if pid.IsZero() {
 		return 0
@@ -110,8 +170,8 @@ func (l *Log) FindProposal(pid types.ProposalID) types.Index {
 // implementing the follower's handling of a proposer broadcast. The entry's
 // Index and Approval are overwritten; other fields are kept.
 func (l *Log) InsertSelf(idx types.Index, e types.Entry) error {
-	if idx == 0 {
-		return fmt.Errorf("logstore: insert at index 0")
+	if idx < l.FirstIndex() {
+		return fmt.Errorf("logstore: insert at compacted index %d (first %d)", idx, l.FirstIndex())
 	}
 	if l.at(idx) != nil {
 		return ErrOccupied
@@ -144,10 +204,14 @@ func (l *Log) AppendLeader(idx types.Index, e types.Entry) error {
 // OverwriteLeader replaces the slot at idx with a leader-approved entry
 // even when idx is inside the existing leader-approved prefix. It is used
 // when a new leader's AppendEntries conflicts with stale leader-approved
-// entries. idx must not exceed LastLeaderIndex()+1.
+// entries. idx must not exceed LastLeaderIndex()+1 nor fall below
+// FirstIndex().
 func (l *Log) OverwriteLeader(idx types.Index, e types.Entry) error {
 	if idx > l.lastLeader+1 {
 		return fmt.Errorf("%w: overwrite %d beyond leader prefix %d", ErrGap, idx, l.lastLeader)
+	}
+	if idx < l.FirstIndex() {
+		return fmt.Errorf("logstore: overwrite compacted index %d (first %d)", idx, l.FirstIndex())
 	}
 	e = e.Clone()
 	e.Index = idx
@@ -183,15 +247,18 @@ func (l *Log) PromoteToLeader(idx types.Index, term types.Term) error {
 // TruncateSuffix removes all entries with index > idx. Classic Raft uses it
 // to resolve AppendEntries conflicts. Fast Raft never truncates (it would
 // discard self-approved entries), which the core enforces by not calling
-// this.
+// this. idx is clamped to the compaction boundary.
 func (l *Log) TruncateSuffix(idx types.Index) {
+	if idx < l.snapIndex {
+		idx = l.snapIndex
+	}
 	for i := l.lastIndex; i > idx; i-- {
 		l.remove(i)
 	}
 	if l.lastIndex > idx {
 		l.lastIndex = idx
 	}
-	for l.lastIndex > 0 && l.at(l.lastIndex) == nil {
+	for l.lastIndex > l.snapIndex && l.at(l.lastIndex) == nil {
 		l.lastIndex--
 	}
 	if l.lastLeader > idx {
@@ -200,11 +267,67 @@ func (l *Log) TruncateSuffix(idx types.Index) {
 	l.recomputeConfig()
 }
 
+// CompactTo discards every entry at or below idx, recording idx/term as the
+// new snapshot boundary. The boundary must lie inside the leader-approved
+// prefix (callers additionally restrict it to committed, applied entries)
+// and advance monotonically. Proposal-ID mappings of compacted entries are
+// retained for duplicate detection.
+func (l *Log) CompactTo(idx types.Index, term types.Term) error {
+	if idx <= l.snapIndex {
+		return fmt.Errorf("%w: compact to %d at or below boundary %d", ErrCompacted, idx, l.snapIndex)
+	}
+	if idx > l.lastLeader {
+		return fmt.Errorf("%w: compact to %d beyond leader prefix %d", ErrCompacted, idx, l.lastLeader)
+	}
+	l.base, l.baseIndex = l.ConfigAt(idx)
+	l.entries = append([]*types.Entry(nil), l.entries[idx-l.snapIndex:]...)
+	l.snapIndex = idx
+	l.snapTerm = term
+	if l.lastIndex < idx {
+		l.lastIndex = idx
+	}
+	// byPID mappings below the boundary survive on purpose (see field doc).
+	return nil
+}
+
+// InstallSnapshot resets the log to a snapshot boundary received from the
+// leader: everything at or below meta.LastIndex is dropped and the
+// snapshot's configuration becomes the base. Entries above the boundary
+// (for a lagging site, typically none) are retained — self-approved ones
+// may still matter to Fast Raft recovery, and leader-approved ones remain
+// consistent with the leader that sent the snapshot.
+func (l *Log) InstallSnapshot(meta types.SnapshotMeta) error {
+	if meta.LastIndex <= l.snapIndex {
+		return fmt.Errorf("%w: install snapshot %d at or below boundary %d",
+			ErrCompacted, meta.LastIndex, l.snapIndex)
+	}
+	if meta.LastIndex <= types.Index(len(l.entries))+l.snapIndex {
+		// Boundary inside the retained range: drop the covered prefix.
+		l.entries = append([]*types.Entry(nil), l.entries[meta.LastIndex-l.snapIndex:]...)
+	} else {
+		l.entries = nil
+	}
+	l.snapIndex = meta.LastIndex
+	l.snapTerm = meta.LastTerm
+	if l.lastIndex < meta.LastIndex {
+		l.lastIndex = meta.LastIndex
+	}
+	if l.lastLeader < meta.LastIndex {
+		l.lastLeader = meta.LastIndex
+	}
+	// Adopt the snapshot's configuration unless a config entry above the
+	// boundary (already consistent with the leader) overrides it.
+	l.base = meta.Config.Clone()
+	l.baseIndex = meta.ConfigIndex
+	l.recomputeConfig()
+	return nil
+}
+
 // SelfApproved returns copies of all self-approved entries, ascending by
 // index. They are what a voter ships to a candidate for recovery.
 func (l *Log) SelfApproved() []types.Entry {
 	var out []types.Entry
-	for i := types.Index(1); i <= l.lastIndex; i++ {
+	for i := l.FirstIndex(); i <= l.lastIndex; i++ {
 		if e := l.at(i); e != nil && e.Approval == types.ApprovedSelf {
 			out = append(out, e.Clone())
 		}
@@ -213,10 +336,11 @@ func (l *Log) SelfApproved() []types.Entry {
 }
 
 // Range returns copies of the entries in [lo, hi] (inclusive), skipping
-// holes. Used to build AppendEntries payloads and catch-up batches.
+// holes and the compacted prefix. Used to build AppendEntries payloads and
+// catch-up batches.
 func (l *Log) Range(lo, hi types.Index) []types.Entry {
-	if lo == 0 {
-		lo = 1
+	if lo < l.FirstIndex() {
+		lo = l.FirstIndex()
 	}
 	if hi > l.lastIndex {
 		hi = l.lastIndex
@@ -239,16 +363,16 @@ func (l *Log) LeaderRange(lo, hi types.Index) []types.Entry {
 	return l.Range(lo, hi)
 }
 
-// Snapshot returns copies of every entry in the log, ascending, including
-// holes' absence. Used by stable storage and tests.
+// Snapshot returns copies of every retained entry in the log, ascending.
+// Used by stable storage and tests.
 func (l *Log) Snapshot() []types.Entry {
-	return l.Range(1, l.lastIndex)
+	return l.Range(l.FirstIndex(), l.lastIndex)
 }
 
 // CheckInvariants verifies structural invariants; tests call it after every
 // mutation sequence.
 func (l *Log) CheckInvariants() error {
-	for i := types.Index(1); i <= l.lastLeader; i++ {
+	for i := l.FirstIndex(); i <= l.lastLeader; i++ {
 		e := l.at(i)
 		if e == nil {
 			return fmt.Errorf("logstore: hole %d inside leader prefix %d", i, l.lastLeader)
@@ -257,10 +381,16 @@ func (l *Log) CheckInvariants() error {
 			return fmt.Errorf("logstore: non-leader entry %d inside leader prefix", i)
 		}
 	}
-	if l.lastIndex > 0 && l.at(l.lastIndex) == nil {
+	if l.lastIndex > l.snapIndex && l.at(l.lastIndex) == nil {
 		return fmt.Errorf("logstore: lastIndex %d is a hole", l.lastIndex)
 	}
-	for i := l.lastIndex + 1; i <= types.Index(len(l.entries)); i++ {
+	if l.lastIndex < l.snapIndex {
+		return fmt.Errorf("logstore: lastIndex %d below snapshot boundary %d", l.lastIndex, l.snapIndex)
+	}
+	if l.lastLeader < l.snapIndex {
+		return fmt.Errorf("logstore: leader prefix %d below snapshot boundary %d", l.lastLeader, l.snapIndex)
+	}
+	for i := l.lastIndex + 1; i <= l.snapIndex+types.Index(len(l.entries)); i++ {
 		if l.at(i) != nil {
 			return fmt.Errorf("logstore: entry beyond lastIndex at %d", i)
 		}
@@ -269,17 +399,20 @@ func (l *Log) CheckInvariants() error {
 }
 
 func (l *Log) at(idx types.Index) *types.Entry {
-	if idx == 0 || idx > types.Index(len(l.entries)) {
+	if idx <= l.snapIndex || idx > l.snapIndex+types.Index(len(l.entries)) {
 		return nil
 	}
-	return l.entries[idx-1]
+	return l.entries[idx-l.snapIndex-1]
 }
 
 func (l *Log) place(idx types.Index, e *types.Entry) {
-	for types.Index(len(l.entries)) < idx {
+	if idx <= l.snapIndex {
+		panic(fmt.Sprintf("logstore: place at compacted index %d (boundary %d)", idx, l.snapIndex))
+	}
+	for l.snapIndex+types.Index(len(l.entries)) < idx {
 		l.entries = append(l.entries, nil)
 	}
-	l.entries[idx-1] = e
+	l.entries[idx-l.snapIndex-1] = e
 	if idx > l.lastIndex {
 		l.lastIndex = idx
 	}
@@ -300,7 +433,7 @@ func (l *Log) remove(idx types.Index) {
 		delete(l.byPID, e.PID)
 	}
 	wasConfig := e.Kind == types.KindConfig
-	l.entries[idx-1] = nil
+	l.entries[idx-l.snapIndex-1] = nil
 	if wasConfig && idx == l.configIndex {
 		l.recomputeConfig()
 	}
@@ -311,35 +444,56 @@ func (l *Log) adoptConfig(e types.Entry) {
 	l.configIndex = e.Index
 }
 
-// recomputeConfig rescans for the highest config entry. Only called on the
-// rare removal/truncation paths.
+// recomputeConfig rescans for the highest config entry, falling back to
+// the base configuration. Only called on the rare
+// removal/truncation/installation paths.
 func (l *Log) recomputeConfig() {
-	for i := l.lastIndex; i >= 1; i-- {
+	for i := l.lastIndex; i >= l.FirstIndex(); i-- {
 		if e := l.at(i); e != nil && e.Kind == types.KindConfig && e.Config != nil {
 			l.config = e.Config.Clone()
 			l.configIndex = i
 			return
 		}
 	}
-	l.configIndex = 0
-	// The bootstrap configuration is not recoverable from entries; keep the
-	// current one. Callers that truncate below the first config entry are
-	// restoring from storage and reset the log wholesale.
+	l.config = l.base.Clone()
+	l.configIndex = l.baseIndex
 }
 
 // Restore rebuilds a log from persisted entries (used on recovery from
-// stable storage). Entries must be sorted ascending by index.
+// stable storage when no snapshot exists). Entries must be sorted ascending
+// by index.
 func Restore(bootstrap types.Config, entries []types.Entry) (*Log, error) {
+	return RestoreSnapshot(bootstrap, types.SnapshotMeta{}, entries)
+}
+
+// RestoreSnapshot rebuilds a log on top of a snapshot boundary: the first
+// retained index is meta.LastIndex+1 and the snapshot's configuration is
+// the base (bootstrap is used when meta is zero). Entries at or below the
+// boundary are ignored; the rest must be sorted ascending by index.
+func RestoreSnapshot(bootstrap types.Config, meta types.SnapshotMeta, entries []types.Entry) (*Log, error) {
 	l := New(bootstrap)
+	l.snapIndex = meta.LastIndex
+	l.snapTerm = meta.LastTerm
+	l.lastIndex = meta.LastIndex
+	l.lastLeader = meta.LastIndex
+	if meta.LastIndex > 0 {
+		l.config = meta.Config.Clone()
+		l.configIndex = meta.ConfigIndex
+		l.base = meta.Config.Clone()
+		l.baseIndex = meta.ConfigIndex
+	}
 	for _, e := range entries {
 		if e.Index == 0 {
 			return nil, fmt.Errorf("logstore: restore entry with index 0")
 		}
+		if e.Index <= meta.LastIndex {
+			continue
+		}
 		ec := e.Clone()
 		l.place(e.Index, &ec)
 	}
-	// Recompute the leader prefix.
-	for i := types.Index(1); ; i++ {
+	// Recompute the leader prefix above the boundary.
+	for i := l.FirstIndex(); ; i++ {
 		e := l.at(i)
 		if e == nil || e.Approval != types.ApprovedLeader {
 			l.lastLeader = i - 1

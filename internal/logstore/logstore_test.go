@@ -306,3 +306,189 @@ func TestQuickRandomOpsKeepInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func leaderEntry(term types.Term, p string, s uint64) types.Entry {
+	e := normal(p, s)
+	e.Term = term
+	return e
+}
+
+// buildLeaderLog appends n leader-approved entries with the given term.
+func buildLeaderLog(t *testing.T, n int, term types.Term) *Log {
+	t.Helper()
+	l := New(types.NewConfig("a", "b", "c"))
+	for i := 1; i <= n; i++ {
+		if err := l.AppendLeader(types.Index(i), leaderEntry(term, "p", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestCompactTo(t *testing.T) {
+	l := buildLeaderLog(t, 10, 2)
+	if err := l.CompactTo(6, 2); err != nil {
+		t.Fatal(err)
+	}
+	if l.FirstIndex() != 7 || l.SnapshotIndex() != 6 || l.SnapshotTerm() != 2 {
+		t.Fatalf("boundary: first=%d snap=%d/%d", l.FirstIndex(), l.SnapshotIndex(), l.SnapshotTerm())
+	}
+	if l.LastIndex() != 10 || l.LastLeaderIndex() != 10 {
+		t.Fatalf("last=%d lastLeader=%d", l.LastIndex(), l.LastLeaderIndex())
+	}
+	if l.Has(6) || !l.Has(7) {
+		t.Fatal("boundary occupancy wrong")
+	}
+	if l.Term(6) != 2 {
+		t.Fatalf("Term(boundary) = %d", l.Term(6))
+	}
+	// Compacted proposals stay findable for duplicate detection.
+	if idx := l.FindProposal(pid("p", 3)); idx != 3 {
+		t.Fatalf("compacted pid lookup = %d", idx)
+	}
+	// Appends continue above the old tail.
+	if err := l.AppendLeader(11, leaderEntry(2, "p", 11)); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid boundaries are rejected.
+	if err := l.CompactTo(6, 2); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("re-compact at boundary: %v", err)
+	}
+	if err := l.CompactTo(99, 2); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("compact beyond prefix: %v", err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactThenTruncateSuffixClampsAtBoundary(t *testing.T) {
+	l := buildLeaderLog(t, 8, 1)
+	if err := l.CompactTo(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	l.TruncateSuffix(2) // below boundary: clamps
+	if l.LastIndex() != 5 || l.LastLeaderIndex() != 5 || l.FirstIndex() != 6 {
+		t.Fatalf("after clamped truncate: last=%d lastLeader=%d first=%d",
+			l.LastIndex(), l.LastLeaderIndex(), l.FirstIndex())
+	}
+	if err := l.AppendLeader(6, leaderEntry(2, "q", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallSnapshotBeyondLog(t *testing.T) {
+	l := buildLeaderLog(t, 3, 1)
+	cfg := types.NewConfig("a", "b", "c", "d")
+	meta := types.SnapshotMeta{LastIndex: 20, LastTerm: 4, Config: cfg, ConfigIndex: 15}
+	if err := l.InstallSnapshot(meta); err != nil {
+		t.Fatal(err)
+	}
+	if l.FirstIndex() != 21 || l.LastIndex() != 20 || l.LastLeaderIndex() != 20 {
+		t.Fatalf("after install: first=%d last=%d lastLeader=%d",
+			l.FirstIndex(), l.LastIndex(), l.LastLeaderIndex())
+	}
+	got, ci := l.Config()
+	if !got.Equal(cfg) || ci != 15 {
+		t.Fatalf("config after install: %v @%d", got, ci)
+	}
+	if err := l.AppendLeader(21, leaderEntry(4, "p", 99)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstallSnapshotKeepsRetainedSuffix(t *testing.T) {
+	l := buildLeaderLog(t, 4, 1)
+	// Self-approved entries above the boundary must survive installation.
+	if err := l.InsertSelf(6, normal("x", 1)); err != nil {
+		t.Fatal(err)
+	}
+	meta := types.SnapshotMeta{LastIndex: 4, LastTerm: 1, Config: types.NewConfig("a", "b", "c")}
+	if err := l.InstallSnapshot(meta); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Has(6) || l.Has(4) {
+		t.Fatal("retained suffix wrong after install")
+	}
+	sa := l.SelfApproved()
+	if len(sa) != 1 || sa[0].Index != 6 {
+		t.Fatalf("self-approved after install: %v", sa)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigAt(t *testing.T) {
+	l := New(types.NewConfig("a", "b", "c"))
+	cfg1 := types.NewConfig("a", "b", "c", "d")
+	for i := 1; i <= 2; i++ {
+		if err := l.AppendLeader(types.Index(i), leaderEntry(1, "p", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.AppendLeader(3, types.ConfigEntry(cfg1, types.ProposalID{})); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i <= 6; i++ {
+		if err := l.AppendLeader(types.Index(i), leaderEntry(1, "p", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ci := l.ConfigAt(2)
+	if got.Size() != 3 || ci != 0 {
+		t.Fatalf("ConfigAt(2) = %v @%d", got, ci)
+	}
+	got, ci = l.ConfigAt(5)
+	if !got.Equal(cfg1) || ci != 3 {
+		t.Fatalf("ConfigAt(5) = %v @%d", got, ci)
+	}
+}
+
+func TestRestoreSnapshot(t *testing.T) {
+	base := buildLeaderLog(t, 10, 3)
+	if err := base.CompactTo(7, 3); err != nil {
+		t.Fatal(err)
+	}
+	meta := types.SnapshotMeta{LastIndex: 7, LastTerm: 3, Config: types.NewConfig("a", "b", "c")}
+	// Entries from storage may straddle the boundary (crash between
+	// snapshot save and compaction); the covered prefix is ignored.
+	entries := []types.Entry{}
+	for i := types.Index(5); i <= 10; i++ {
+		e := leaderEntry(3, "p", uint64(i))
+		e.Index = i
+		e.Approval = types.ApprovedLeader
+		entries = append(entries, e)
+	}
+	l, err := RestoreSnapshot(types.NewConfig("a", "b", "c"), meta, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.FirstIndex() != 8 || l.LastIndex() != 10 || l.LastLeaderIndex() != 10 {
+		t.Fatalf("restored: first=%d last=%d lastLeader=%d",
+			l.FirstIndex(), l.LastIndex(), l.LastLeaderIndex())
+	}
+	if l.Term(7) != 3 {
+		t.Fatalf("boundary term = %d", l.Term(7))
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring an empty suffix leaves an appendable log.
+	l2, err := RestoreSnapshot(types.NewConfig("a"), meta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.LastIndex() != 7 || l2.LastLeaderIndex() != 7 {
+		t.Fatalf("empty restore: last=%d lastLeader=%d", l2.LastIndex(), l2.LastLeaderIndex())
+	}
+	if err := l2.AppendLeader(8, leaderEntry(4, "q", 1)); err != nil {
+		t.Fatal(err)
+	}
+}

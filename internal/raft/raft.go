@@ -42,6 +42,13 @@ type Config struct {
 	// ProposalTimeout is how long a proposer waits before re-sending an
 	// unresolved proposal.
 	ProposalTimeout time.Duration
+	// SnapshotThreshold is the number of committed entries beyond the
+	// latest snapshot boundary after which the node snapshots its state
+	// machine and compacts the log prefix (0 = compaction disabled).
+	SnapshotThreshold int
+	// Snapshotter produces and consumes application state-machine images
+	// for compaction (optional; without one snapshots carry empty state).
+	Snapshotter types.Snapshotter
 	// Rand drives randomized timeouts; required for deterministic
 	// simulation.
 	Rand *rand.Rand
@@ -122,6 +129,10 @@ type Node struct {
 	committed []types.Entry
 	resolved  []types.Resolution
 
+	// snap is the latest snapshot (zero if none); the leader ships it to
+	// followers that fell behind the compacted prefix.
+	snap types.Snapshot
+
 	now time.Duration
 }
 
@@ -135,7 +146,11 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("raft: load storage: %w", err)
 	}
-	log, err := logstore.Restore(cfg.Bootstrap, entries)
+	snap, hasSnap, err := cfg.Storage.LoadSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("raft: load snapshot: %w", err)
+	}
+	log, err := logstore.RestoreSnapshot(cfg.Bootstrap, snap.Meta, entries)
 	if err != nil {
 		return nil, fmt.Errorf("raft: restore log: %w", err)
 	}
@@ -146,6 +161,16 @@ func New(cfg Config) (*Node, error) {
 		log:      log,
 		role:     types.RoleFollower,
 		pending:  make(map[types.ProposalID]*pendingProposal),
+	}
+	if hasSnap {
+		// Snapshots cover only committed entries; resume committing above.
+		n.snap = snap
+		n.commitIndex = snap.Meta.LastIndex
+		if cfg.Snapshotter != nil {
+			if err := cfg.Snapshotter.Restore(snap.Clone()); err != nil {
+				return nil, fmt.Errorf("raft: restore state machine: %w", err)
+			}
+		}
 	}
 	n.resetElectionTimer()
 	return n, nil
@@ -174,6 +199,13 @@ func (n *Node) Config() types.Config {
 
 // LastIndex returns the last log index.
 func (n *Node) LastIndex() types.Index { return n.log.LastIndex() }
+
+// FirstIndex returns the first retained log index (1 when nothing has been
+// compacted).
+func (n *Node) FirstIndex() types.Index { return n.log.FirstIndex() }
+
+// SnapshotIndex returns the current snapshot boundary (0 if none).
+func (n *Node) SnapshotIndex() types.Index { return n.log.SnapshotIndex() }
 
 // PendingProposals returns the number of unresolved local proposals.
 func (n *Node) PendingProposals() int { return len(n.pending) }
@@ -260,6 +292,7 @@ func (n *Node) Tick(now time.Duration) {
 		}
 	}
 	n.retryProposals(now)
+	n.maybeCompact()
 }
 
 func (n *Node) retryProposals(now time.Duration) {
@@ -292,6 +325,10 @@ func (n *Node) Step(now time.Duration, env types.Envelope) {
 		n.onRequestVote(env.From, m)
 	case types.RequestVoteResp:
 		n.onRequestVoteResp(env.From, m)
+	case types.InstallSnapshot:
+		n.onInstallSnapshot(env.From, m)
+	case types.InstallSnapshotReply:
+		n.onInstallSnapshotReply(env.From, m)
 	case types.CommitNotify:
 		n.onCommitNotify(m)
 	default:
@@ -542,6 +579,17 @@ func (n *Node) broadcastAppend() {
 			next = n.log.LastIndex() + 1
 			n.nextIndex[peer] = next
 		}
+		if next <= n.log.SnapshotIndex() {
+			// The entries this follower needs are compacted away; ship the
+			// snapshot instead. The reply advances nextIndex past it.
+			n.send(peer, types.InstallSnapshot{
+				Term:     n.term,
+				LeaderID: n.cfg.ID,
+				Snapshot: n.snap.Clone(),
+				Round:    n.aeRound,
+			})
+			continue
+		}
 		prev := next - 1
 		msg := types.AppendEntries{
 			Term:         n.term,
@@ -567,14 +615,20 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 	}
 	n.leaderID = m.LeaderID
 	n.resetElectionTimer()
-	// Consistency check.
-	if m.PrevLogIndex > 0 && n.log.Term(m.PrevLogIndex) != m.PrevLogTerm {
+	// Consistency check. Entries at or below our snapshot boundary are
+	// committed and match the leader by construction, so the check applies
+	// only above it.
+	if m.PrevLogIndex >= n.log.SnapshotIndex() &&
+		m.PrevLogIndex > 0 && n.log.Term(m.PrevLogIndex) != m.PrevLogTerm {
 		resp.Success = false
 		n.send(from, resp)
 		return
 	}
 	// Append/overwrite entries, truncating on conflict (classic Raft).
 	for _, e := range m.Entries {
+		if e.Index <= n.log.SnapshotIndex() {
+			continue // compacted: already committed here
+		}
 		if have := n.log.Term(e.Index); n.log.Has(e.Index) && have == e.Term {
 			continue // already matching
 		}
@@ -604,6 +658,7 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 	resp.MatchIndex = match
 	resp.LastLogIndex = n.log.LastIndex()
 	n.send(from, resp)
+	n.maybeCompact()
 }
 
 func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp) {
@@ -638,5 +693,112 @@ func (n *Node) onCommitNotify(m types.CommitNotify) {
 	if _, ok := n.pending[m.PID]; ok {
 		delete(n.pending, m.PID)
 		n.resolved = append(n.resolved, types.Resolution{PID: m.PID, Index: m.Index})
+	}
+}
+
+// --- Snapshotting & log compaction -----------------------------------------
+
+// maybeCompact snapshots and compacts when the committed suffix beyond the
+// snapshot boundary reaches the configured threshold. The compaction point
+// never exceeds what the application reports as applied.
+func (n *Node) maybeCompact() {
+	t := n.cfg.SnapshotThreshold
+	if t <= 0 || n.commitIndex < n.log.SnapshotIndex()+types.Index(t) {
+		return
+	}
+	point := n.commitIndex
+	var data []byte
+	if n.cfg.Snapshotter != nil {
+		d, applied, err := n.cfg.Snapshotter.Snapshot()
+		if err != nil {
+			return // transient application failure; retry at a later tick
+		}
+		data = d
+		if applied < point {
+			point = applied
+		}
+	}
+	// Gate on the achievable point, not just commitIndex: if the applier
+	// trails commit, compacting on every small advance of applied would
+	// rotate the WAL per entry instead of per threshold.
+	if point < n.log.SnapshotIndex()+types.Index(t) {
+		return
+	}
+	cfg, ci := n.log.ConfigAt(point)
+	snap := types.Snapshot{
+		Meta: types.SnapshotMeta{
+			LastIndex:   point,
+			LastTerm:    n.log.Term(point),
+			Config:      cfg,
+			ConfigIndex: ci,
+		},
+		Data: data,
+	}
+	if err := n.cfg.Storage.SaveSnapshot(snap); err != nil {
+		panic(fmt.Sprintf("raft %s: save snapshot: %v", n.cfg.ID, err))
+	}
+	if err := n.log.CompactTo(point, snap.Meta.LastTerm); err != nil {
+		panic(fmt.Sprintf("raft %s: compact log: %v", n.cfg.ID, err))
+	}
+	if err := n.cfg.Storage.TruncatePrefix(point); err != nil {
+		panic(fmt.Sprintf("raft %s: truncate storage prefix: %v", n.cfg.ID, err))
+	}
+	n.snap = snap
+}
+
+// onInstallSnapshot is the follower side of snapshot transfer.
+func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
+	if m.Term > n.term || (m.Term == n.term && n.role != types.RoleFollower) {
+		n.becomeFollower(m.Term, m.LeaderID)
+	}
+	resp := types.InstallSnapshotReply{Term: n.term, Round: m.Round, LastIndex: n.commitIndex}
+	if m.Term < n.term {
+		n.send(from, resp)
+		return
+	}
+	n.leaderID = m.LeaderID
+	n.resetElectionTimer()
+	snap := m.Snapshot
+	if snap.Meta.LastIndex <= n.commitIndex {
+		// Already have this prefix; just tell the leader where we are.
+		resp.LastIndex = n.commitIndex
+		n.send(from, resp)
+		return
+	}
+	if err := n.cfg.Storage.SaveSnapshot(snap); err != nil {
+		panic(fmt.Sprintf("raft %s: save installed snapshot: %v", n.cfg.ID, err))
+	}
+	if err := n.log.InstallSnapshot(snap.Meta); err != nil {
+		panic(fmt.Sprintf("raft %s: install snapshot: %v", n.cfg.ID, err))
+	}
+	if err := n.cfg.Storage.TruncatePrefix(snap.Meta.LastIndex); err != nil {
+		panic(fmt.Sprintf("raft %s: truncate storage prefix: %v", n.cfg.ID, err))
+	}
+	n.snap = snap.Clone()
+	n.commitIndex = snap.Meta.LastIndex
+	if n.cfg.Snapshotter != nil {
+		if err := n.cfg.Snapshotter.Restore(snap.Clone()); err != nil {
+			panic(fmt.Sprintf("raft %s: restore state machine: %v", n.cfg.ID, err))
+		}
+	}
+	resp.LastIndex = snap.Meta.LastIndex
+	n.send(from, resp)
+}
+
+// onInstallSnapshotReply advances the leader's view of a follower that
+// installed (or already had) a snapshot.
+func (n *Node) onInstallSnapshotReply(from types.NodeID, m types.InstallSnapshotReply) {
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+		return
+	}
+	if n.role != types.RoleLeader || m.Term < n.term {
+		return
+	}
+	if m.LastIndex > n.matchIndex[from] {
+		n.matchIndex[from] = m.LastIndex
+	}
+	if n.nextIndex[from] <= m.LastIndex {
+		n.nextIndex[from] = m.LastIndex + 1
 	}
 }

@@ -49,11 +49,13 @@ type inprocEndpoint struct {
 // ErrClosed reports use of a closed transport.
 var ErrClosed = errors.New("runtime: transport closed")
 
-// Endpoint creates (or returns) the transport for a node ID.
+// Endpoint creates (or returns) the transport for a node ID. A closed
+// endpoint (its node was stopped) is replaced by a fresh one, so a node
+// restarted from stable storage can rejoin the network under its old ID.
 func (n *InProcNetwork) Endpoint(id types.NodeID) Transport {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if ep, ok := n.endpoints[id]; ok {
+	if ep, ok := n.endpoints[id]; ok && !ep.isClosed() {
 		return ep
 	}
 	ep := &inprocEndpoint{
@@ -150,6 +152,12 @@ func (ep *inprocEndpoint) SetHandler(h func(types.Envelope)) {
 	ep.mu.Lock()
 	ep.h = h
 	ep.mu.Unlock()
+}
+
+func (ep *inprocEndpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
 }
 
 // Close implements Transport.

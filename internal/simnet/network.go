@@ -35,6 +35,10 @@ type Network struct {
 	// DupProb is the independent probability that a message is delivered
 	// twice (UDP may duplicate datagrams; the protocols are idempotent).
 	DupProb float64
+	// OnDeliver, when set, observes every envelope just before it reaches
+	// its handler (after latency, loss and partitions). Tests use it to
+	// assert on the traffic a node actually receives.
+	OnDeliver func(env types.Envelope)
 
 	handlers map[types.NodeID]func(types.Envelope)
 	// blocked holds directed node pairs that cannot communicate
@@ -138,6 +142,9 @@ func (n *Network) Send(env types.Envelope) {
 				return
 			}
 			n.stats.Delivered++
+			if n.OnDeliver != nil {
+				n.OnDeliver(c)
+			}
 			h(c)
 		})
 	}

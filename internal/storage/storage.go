@@ -38,9 +38,19 @@ type Storage interface {
 	// TruncateSuffix durably removes all entries with index > idx (classic
 	// Raft conflict resolution).
 	TruncateSuffix(idx types.Index) error
+	// SaveSnapshot durably records a snapshot, making it the recovery base.
+	// A later snapshot replaces an earlier one. Saving a snapshot does not
+	// by itself remove log entries; callers follow with TruncatePrefix.
+	SaveSnapshot(snap types.Snapshot) error
+	// TruncatePrefix durably removes all entries with index <= idx (log
+	// compaction after a snapshot covering the prefix has been saved).
+	TruncatePrefix(idx types.Index) error
 	// Load returns the persisted state and all persisted entries sorted
-	// ascending by index, reflecting inserts, replacements and truncations.
+	// ascending by index, reflecting inserts, replacements, truncations and
+	// compactions. Entries covered by a saved snapshot are not returned.
 	Load() (HardState, []types.Entry, error)
+	// LoadSnapshot returns the latest saved snapshot (ok=false if none).
+	LoadSnapshot() (types.Snapshot, bool, error)
 	// Close releases resources. The store must remain loadable afterwards.
 	Close() error
 }
@@ -50,6 +60,7 @@ type Storage interface {
 type Memory struct {
 	hs      HardState
 	entries map[types.Index]types.Entry
+	snap    types.Snapshot
 }
 
 // NewMemory returns an empty in-memory store.
@@ -79,14 +90,41 @@ func (m *Memory) TruncateSuffix(idx types.Index) error {
 	return nil
 }
 
+// SaveSnapshot implements Storage.
+func (m *Memory) SaveSnapshot(snap types.Snapshot) error {
+	m.snap = snap.Clone()
+	return nil
+}
+
+// TruncatePrefix implements Storage.
+func (m *Memory) TruncatePrefix(idx types.Index) error {
+	for i := range m.entries {
+		if i <= idx {
+			delete(m.entries, i)
+		}
+	}
+	return nil
+}
+
 // Load implements Storage.
 func (m *Memory) Load() (HardState, []types.Entry, error) {
 	out := make([]types.Entry, 0, len(m.entries))
 	for _, e := range m.entries {
+		if e.Index <= m.snap.Meta.LastIndex {
+			continue
+		}
 		out = append(out, e.Clone())
 	}
 	sortEntries(out)
 	return m.hs, out, nil
+}
+
+// LoadSnapshot implements Storage.
+func (m *Memory) LoadSnapshot() (types.Snapshot, bool, error) {
+	if m.snap.IsZero() {
+		return types.Snapshot{}, false, nil
+	}
+	return m.snap.Clone(), true, nil
 }
 
 // Close implements Storage.

@@ -178,6 +178,206 @@ func TestWALCorruptMiddleStopsReplayAtCorruption(t *testing.T) {
 	}
 }
 
+func snap(idx types.Index, term types.Term, payload string) types.Snapshot {
+	return types.Snapshot{
+		Meta: types.SnapshotMeta{
+			LastIndex: idx, LastTerm: term,
+			Config: types.NewConfig("n1", "n2", "n3"),
+		},
+		Data: []byte(payload),
+	}
+}
+
+// snapshotScenario exercises snapshot save + prefix compaction on any
+// Storage implementation.
+func snapshotScenario(t *testing.T, s Storage) {
+	t.Helper()
+	if err := s.SetHardState(HardState{Term: 2, VotedFor: "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Index(1); i <= 10; i++ {
+		if err := s.AppendEntry(entry(i, 1, "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SaveSnapshot(snap(6, 1, "state@6")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TruncatePrefix(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEntry(entry(11, 2, "post")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.LoadSnapshot()
+	if err != nil || !ok {
+		t.Fatalf("LoadSnapshot: ok=%v err=%v", ok, err)
+	}
+	if got.Meta.LastIndex != 6 || string(got.Data) != "state@6" {
+		t.Fatalf("snapshot = %v data=%q", got, got.Data)
+	}
+	_, entries, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 || entries[0].Index != 7 || entries[4].Index != 11 {
+		t.Fatalf("post-compaction entries = %v", entries)
+	}
+}
+
+func TestMemorySnapshotScenario(t *testing.T) {
+	snapshotScenario(t, NewMemory())
+}
+
+func TestWALSnapshotScenarioAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotScenario(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A reopened WAL must load only the snapshot + suffix.
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, ok, err := w2.LoadSnapshot()
+	if err != nil || !ok || got.Meta.LastIndex != 6 || string(got.Data) != "state@6" {
+		t.Fatalf("reopen snapshot: ok=%v err=%v snap=%v", ok, err, got)
+	}
+	if got.Meta.Config.Size() != 3 {
+		t.Fatalf("snapshot config lost: %v", got.Meta.Config)
+	}
+	hs, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 2 || len(entries) != 5 || entries[0].Index != 7 {
+		t.Fatalf("reopen after compaction: hs=%+v entries=%v", hs, entries)
+	}
+}
+
+func TestWALTornTailAcrossCompactionBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snaptorn.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotScenario(t, w) // snapshot@6, entries 7..11
+	if err := w.AppendEntry(entry(12, 2, "last")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: a partial record after the compacted log's appends.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{90, 0, 0, 0, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("torn tail across compaction must recover, got %v", err)
+	}
+	defer w2.Close()
+	got, ok, _ := w2.LoadSnapshot()
+	if !ok || got.Meta.LastIndex != 6 {
+		t.Fatalf("snapshot lost by torn-tail repair: ok=%v snap=%v", ok, got)
+	}
+	_, entries, _ := w2.Load()
+	if len(entries) != 6 || entries[0].Index != 7 || entries[5].Index != 12 {
+		t.Fatalf("suffix after torn-tail repair: %v", entries)
+	}
+}
+
+func TestWALCrashBetweenSnapshotAndCompaction(t *testing.T) {
+	// Snapshot saved but the process dies before TruncatePrefix: the
+	// still-present prefix entries are stale, not corrupt, and must be
+	// filtered on recovery.
+	path := filepath.Join(t.TempDir(), "midsave.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Index(1); i <= 8; i++ {
+		if err := w.AppendEntry(entry(i, 1, "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.SaveSnapshot(snap(5, 1, "state@5")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close() // no TruncatePrefix
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	_, ok, _ := w2.LoadSnapshot()
+	if !ok {
+		t.Fatal("snapshot not recovered")
+	}
+	_, entries, _ := w2.Load()
+	if len(entries) != 3 || entries[0].Index != 6 {
+		t.Fatalf("stale prefix not filtered: %v", entries)
+	}
+}
+
+func TestWALSnapshotMarkerWithoutSidecarIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lost.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendEntry(entry(1, 1, "v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SaveSnapshot(snap(1, 1, "s")); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := os.Remove(snapPath(path)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenWAL(path); err == nil {
+		t.Fatal("marker without sidecar must fail to open")
+	}
+}
+
+func TestWALInterruptedRotationLeavesLogIntact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rot.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotScenario(t, w)
+	w.Close()
+	// Simulate a crash mid-rotation: a partial rewrite temp file exists.
+	if err := os.WriteFile(path+".rewrite", []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("stale rewrite temp must be ignored, got %v", err)
+	}
+	defer w2.Close()
+	_, entries, _ := w2.Load()
+	if len(entries) != 5 {
+		t.Fatalf("entries after ignored rotation temp: %v", entries)
+	}
+	if _, err := os.Stat(path + ".rewrite"); !os.IsNotExist(err) {
+		t.Fatal("stale rewrite temp not removed")
+	}
+}
+
 // TestQuickWALMatchesMemory replays random operation sequences against both
 // implementations and requires identical Load results after a reopen.
 func TestQuickWALMatchesMemory(t *testing.T) {
@@ -194,8 +394,9 @@ func TestQuickWALMatchesMemory(t *testing.T) {
 			return false
 		}
 		m := NewMemory()
+		var snapIdx types.Index // snapshots only move forward
 		for op := 0; op < 30; op++ {
-			switch rng.Intn(3) {
+			switch rng.Intn(4) {
 			case 0:
 				hs := HardState{Term: types.Term(rng.Intn(100)), VotedFor: types.NodeID(string(rune('a' + rng.Intn(5))))}
 				if w.SetHardState(hs) != nil || m.SetHardState(hs) != nil {
@@ -209,6 +410,16 @@ func TestQuickWALMatchesMemory(t *testing.T) {
 			case 2:
 				idx := types.Index(rng.Intn(10))
 				if w.TruncateSuffix(idx) != nil || m.TruncateSuffix(idx) != nil {
+					return false
+				}
+			case 3:
+				idx := snapIdx + types.Index(rng.Intn(3)+1)
+				snapIdx = idx
+				s := snap(idx, types.Term(rng.Intn(5)+1), "s")
+				if w.SaveSnapshot(s) != nil || m.SaveSnapshot(s) != nil {
+					return false
+				}
+				if w.TruncatePrefix(idx) != nil || m.TruncatePrefix(idx) != nil {
 					return false
 				}
 			}
@@ -228,6 +439,12 @@ func TestQuickWALMatchesMemory(t *testing.T) {
 		}
 		if whs != mhs {
 			t.Logf("hardstate: wal=%+v mem=%+v", whs, mhs)
+			return false
+		}
+		wsn, wok, err1 := w2.LoadSnapshot()
+		msn, mok, err2 := m.LoadSnapshot()
+		if err1 != nil || err2 != nil || wok != mok || !reflect.DeepEqual(wsn, msn) {
+			t.Logf("snapshot: wal=%v,%v mem=%v,%v", wsn, wok, msn, mok)
 			return false
 		}
 		if len(wes) == 0 && len(mes) == 0 {

@@ -19,10 +19,26 @@ import (
 // Records are appended and fsynced. On open, the tail is scanned; a short or
 // corrupt final record (torn write) is truncated away, everything before it
 // is replayed.
+//
+// Snapshots live in a sidecar file (path + ".snap") with the same
+// len|crc framing around an encoded types.Snapshot. The sidecar is written
+// to a temporary file, fsynced and renamed into place, so it is atomically
+// either the old or the new snapshot. After the sidecar lands, a
+// recSnapshot marker carrying the snapshot metadata is appended to the log;
+// on recovery the sidecar is authoritative (it may be one save ahead of the
+// marker if the process died between the rename and the marker append), but
+// a marker without a loadable sidecar means the snapshot — and with it the
+// compacted prefix — is lost, which is reported as corruption.
+//
+// Compaction (TruncatePrefix) rotates the log: the hard state, the snapshot
+// marker and every entry above the boundary are rewritten into a temporary
+// file that atomically replaces the log. A crash mid-rotation leaves the
+// original log untouched.
 const (
 	recHardState byte = 1
 	recEntry     byte = 2
 	recTruncate  byte = 3
+	recSnapshot  byte = 4
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -31,27 +47,43 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 var ErrCorrupt = errors.New("storage: corrupt wal")
 
 // WAL is a file-backed Storage. All mutations are appended to a single log
-// file and fsynced before returning.
+// file and fsynced before returning; snapshots go to a sidecar file.
 type WAL struct {
 	f    *os.File
 	path string
 	// replayed state, kept current so Load never re-reads the file.
 	hs      HardState
 	entries map[types.Index]types.Entry
+	// snap is the recovery-base snapshot (zero if none); snapMeta tracks
+	// the latest recSnapshot marker seen during replay.
+	snap     types.Snapshot
+	snapMeta types.SnapshotMeta
 }
 
+// snapPath returns the sidecar path for a WAL path.
+func snapPath(path string) string { return path + ".snap" }
+
 // OpenWAL opens (or creates) a WAL at path, recovering existing state. A
-// torn final record is repaired by truncation.
+// torn final record is repaired by truncation; stale temporary files from an
+// interrupted snapshot save or compaction are removed.
 func OpenWAL(path string) (*WAL, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create wal dir: %w", err)
 	}
+	// A crash can leave partially written temporaries; they are never
+	// referenced, so drop them.
+	_ = os.Remove(path + ".rewrite")
+	_ = os.Remove(snapPath(path) + ".tmp")
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
 	w := &WAL{f: f, path: path, entries: make(map[types.Index]types.Entry)}
 	if err := w.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.loadSidecar(); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -96,6 +128,63 @@ func (w *WAL) replay() error {
 	return nil
 }
 
+// loadSidecar resolves the recovery-base snapshot after replay. The sidecar
+// wins over the marker (it may be one save ahead); a marker without a
+// loadable sidecar means the compacted prefix is unrecoverable.
+func (w *WAL) loadSidecar() error {
+	snap, ok, err := readSnapshotFile(snapPath(w.path))
+	if err != nil {
+		return err
+	}
+	if !ok {
+		if w.snapMeta.LastIndex != 0 {
+			return fmt.Errorf("%w: snapshot marker at %d but no sidecar",
+				ErrCorrupt, w.snapMeta.LastIndex)
+		}
+		return nil
+	}
+	if snap.Meta.LastIndex < w.snapMeta.LastIndex {
+		return fmt.Errorf("%w: sidecar snapshot %d older than marker %d",
+			ErrCorrupt, snap.Meta.LastIndex, w.snapMeta.LastIndex)
+	}
+	w.snap = snap
+	// Entries covered by the snapshot may survive in the log when the
+	// process died between the snapshot save and the compaction; they are
+	// stale, not corrupt.
+	for i := range w.entries {
+		if i <= snap.Meta.LastIndex {
+			delete(w.entries, i)
+		}
+	}
+	return nil
+}
+
+// readSnapshotFile reads a framed snapshot file; ok=false when absent. A
+// file that exists but fails validation is corrupt (sidecar writes are
+// atomic; no torn-tail repair applies).
+func readSnapshotFile(path string) (types.Snapshot, bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return types.Snapshot{}, false, nil
+	}
+	if err != nil {
+		return types.Snapshot{}, false, fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	if len(data) < 8 {
+		return types.Snapshot{}, false, fmt.Errorf("%w: short snapshot file", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint32(data)
+	sum := binary.LittleEndian.Uint32(data[4:])
+	if int(n) != len(data)-8 || crc32.Checksum(data[8:], crcTable) != sum {
+		return types.Snapshot{}, false, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	snap, err := types.DecodeSnapshot(data[8:])
+	if err != nil {
+		return types.Snapshot{}, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return snap, true, nil
+}
+
 func (w *WAL) apply(body []byte) error {
 	if len(body) == 0 {
 		return ErrCorrupt
@@ -127,19 +216,22 @@ func (w *WAL) apply(body []byte) error {
 			}
 		}
 		return nil
+	case recSnapshot:
+		snap, err := types.DecodeSnapshot(body[1:])
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if snap.Meta.LastIndex >= w.snapMeta.LastIndex {
+			w.snapMeta = snap.Meta
+		}
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, body[0])
 	}
 }
 
 func (w *WAL) appendRecord(body []byte) error {
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("storage: append wal: %w", err)
-	}
-	if _, err := w.f.Write(body); err != nil {
+	if err := writeRecord(w.f, body); err != nil {
 		return fmt.Errorf("storage: append wal: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
@@ -148,30 +240,63 @@ func (w *WAL) appendRecord(body []byte) error {
 	return nil
 }
 
+// writeRecord frames and writes one record without syncing.
+func writeRecord(f *os.File, body []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := f.Write(body)
+	return err
+}
+
+// syncDir fsyncs the directory containing path so renames are durable.
+func syncDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // SetHardState implements Storage.
 func (w *WAL) SetHardState(hs HardState) error {
-	body := make([]byte, 0, 16+len(hs.VotedFor))
-	body = append(body, recHardState)
-	body = binary.AppendUvarint(body, uint64(hs.Term))
-	body = append(body, hs.VotedFor...)
-	if err := w.appendRecord(body); err != nil {
+	if err := w.appendRecord(hardStateBody(hs)); err != nil {
 		return err
 	}
 	w.hs = hs
 	return nil
 }
 
+func hardStateBody(hs HardState) []byte {
+	body := make([]byte, 0, 16+len(hs.VotedFor))
+	body = append(body, recHardState)
+	body = binary.AppendUvarint(body, uint64(hs.Term))
+	body = append(body, hs.VotedFor...)
+	return body
+}
+
 // AppendEntry implements Storage.
 func (w *WAL) AppendEntry(e types.Entry) error {
-	enc := types.EncodeEntry(e)
-	body := make([]byte, 0, 1+len(enc))
-	body = append(body, recEntry)
-	body = append(body, enc...)
-	if err := w.appendRecord(body); err != nil {
+	if err := w.appendRecord(entryBody(e)); err != nil {
 		return err
 	}
 	w.entries[e.Index] = e.Clone()
 	return nil
+}
+
+func entryBody(e types.Entry) []byte {
+	enc := types.EncodeEntry(e)
+	body := make([]byte, 0, 1+len(enc))
+	body = append(body, recEntry)
+	body = append(body, enc...)
+	return body
 }
 
 // TruncateSuffix implements Storage.
@@ -190,14 +315,128 @@ func (w *WAL) TruncateSuffix(idx types.Index) error {
 	return nil
 }
 
+// SaveSnapshot implements Storage: the snapshot is written atomically to
+// the sidecar file, then marked in the log so rotation and recovery know a
+// snapshot is the recovery base.
+func (w *WAL) SaveSnapshot(snap types.Snapshot) error {
+	if snap.IsZero() {
+		return fmt.Errorf("storage: save empty snapshot")
+	}
+	side := snapPath(w.path)
+	tmp := side + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create snapshot tmp: %w", err)
+	}
+	enc := types.EncodeSnapshot(snap)
+	werr := writeRecord(f, enc)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write snapshot: %w", werr)
+	}
+	if err := os.Rename(tmp, side); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: install snapshot: %w", err)
+	}
+	if err := syncDir(side); err != nil {
+		return fmt.Errorf("storage: sync snapshot dir: %w", err)
+	}
+	// Marker: meta only (no state bytes) — the sidecar holds the data.
+	marker := types.Snapshot{Meta: snap.Meta}
+	body := append([]byte{recSnapshot}, types.EncodeSnapshot(marker)...)
+	if err := w.appendRecord(body); err != nil {
+		return err
+	}
+	w.snap = snap.Clone()
+	w.snapMeta = snap.Meta
+	return nil
+}
+
+// TruncatePrefix implements Storage by rotating the log: hard state, the
+// snapshot marker and all entries above idx are rewritten into a fresh file
+// that atomically replaces the old log. Torn-write safe: a crash before the
+// rename leaves the original log intact.
+func (w *WAL) TruncatePrefix(idx types.Index) error {
+	for i := range w.entries {
+		if i <= idx {
+			delete(w.entries, i)
+		}
+	}
+	tmp := w.path + ".rewrite"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create rewrite: %w", err)
+	}
+	werr := writeRecord(f, hardStateBody(w.hs))
+	if werr == nil && !w.snap.IsZero() {
+		marker := types.Snapshot{Meta: w.snap.Meta}
+		werr = writeRecord(f, append([]byte{recSnapshot}, types.EncodeSnapshot(marker)...))
+	}
+	if werr == nil {
+		out := make([]types.Entry, 0, len(w.entries))
+		for _, e := range w.entries {
+			out = append(out, e)
+		}
+		sortEntries(out)
+		for _, e := range out {
+			if werr = writeRecord(f, entryBody(e)); werr != nil {
+				break
+			}
+		}
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if werr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: rewrite wal: %w", werr)
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("storage: rotate wal: %w", err)
+	}
+	if err := syncDir(w.path); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: sync wal dir: %w", err)
+	}
+	// The new file (already open) replaces the old handle; appends continue
+	// at its end.
+	old := w.f
+	w.f = f
+	old.Close()
+	if _, err := w.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("storage: seek rotated wal: %w", err)
+	}
+	return nil
+}
+
 // Load implements Storage.
 func (w *WAL) Load() (HardState, []types.Entry, error) {
 	out := make([]types.Entry, 0, len(w.entries))
 	for _, e := range w.entries {
+		if e.Index <= w.snap.Meta.LastIndex {
+			continue
+		}
 		out = append(out, e.Clone())
 	}
 	sortEntries(out)
 	return w.hs, out, nil
+}
+
+// LoadSnapshot implements Storage.
+func (w *WAL) LoadSnapshot() (types.Snapshot, bool, error) {
+	if w.snap.IsZero() {
+		return types.Snapshot{}, false, nil
+	}
+	return w.snap.Clone(), true, nil
 }
 
 // Close implements Storage.

@@ -35,6 +35,8 @@ const (
 	tagJoinRedirect
 	tagJoinAccepted
 	tagLeaveRequest
+	tagInstallSnapshot
+	tagInstallSnapshotReply
 )
 
 // ErrBadFrame reports a datagram that is not a valid hraft frame.
@@ -117,6 +119,10 @@ func msgTag(m Message) (uint8, error) {
 		return tagJoinAccepted, nil
 	case LeaveRequest:
 		return tagLeaveRequest, nil
+	case InstallSnapshot:
+		return tagInstallSnapshot, nil
+	case InstallSnapshotReply:
+		return tagInstallSnapshotReply, nil
 	default:
 		return 0, fmt.Errorf("types: unknown message type %T", m)
 	}
@@ -175,6 +181,15 @@ func encodeBody(w *writer, m Message) {
 		w.u64(uint64(v.ConfigIndex))
 	case LeaveRequest:
 		w.str(string(v.Site))
+	case InstallSnapshot:
+		w.u64(uint64(v.Term))
+		w.str(string(v.LeaderID))
+		w.snapshot(v.Snapshot)
+		w.u64(v.Round)
+	case InstallSnapshotReply:
+		w.u64(uint64(v.Term))
+		w.u64(uint64(v.LastIndex))
+		w.u64(v.Round)
 	}
 }
 
@@ -260,6 +275,19 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 	case tagLeaveRequest:
 		var v LeaveRequest
 		v.Site = NodeID(r.str())
+		return v, r.err
+	case tagInstallSnapshot:
+		var v InstallSnapshot
+		v.Term = Term(r.u64())
+		v.LeaderID = NodeID(r.str())
+		v.Snapshot = r.snapshot()
+		v.Round = r.u64()
+		return v, r.err
+	case tagInstallSnapshotReply:
+		var v InstallSnapshotReply
+		v.Term = Term(r.u64())
+		v.LastIndex = Index(r.u64())
+		v.Round = r.u64()
 		return v, r.err
 	default:
 		return nil, fmt.Errorf("types: unknown message tag %d: %w", tag, ErrBadFrame)

@@ -43,6 +43,13 @@ func sampleMessages() []Message {
 		JoinRedirect{Leader: "lead"},
 		JoinAccepted{ConfigIndex: 30},
 		LeaveRequest{Site: "goner"},
+		InstallSnapshot{Term: 12, LeaderID: "lead", Round: 4, Snapshot: Snapshot{
+			Meta: SnapshotMeta{LastIndex: 100, LastTerm: 9,
+				Config: NewConfig("a", "b", "c"), ConfigIndex: 37},
+			Data: bytes.Repeat([]byte{0x5C}, 200),
+		}},
+		InstallSnapshot{Term: 1, LeaderID: "l"},
+		InstallSnapshotReply{Term: 12, LastIndex: 100, Round: 4},
 	}
 }
 
@@ -82,8 +89,21 @@ func normalize(env Envelope) Envelope {
 	case ClientPropose:
 		m.Entry = canonEntry(m.Entry)
 		env.Msg = m
+	case InstallSnapshot:
+		m.Snapshot = canonSnapshot(m.Snapshot)
+		env.Msg = m
 	}
 	return env
+}
+
+func canonSnapshot(s Snapshot) Snapshot {
+	if len(s.Data) == 0 {
+		s.Data = nil
+	}
+	if len(s.Meta.Config.Members) == 0 {
+		s.Meta.Config = Config{}
+	}
+	return s
 }
 
 func canonEntries(es []Entry) []Entry {
@@ -210,6 +230,30 @@ func TestQuickEntryRoundTrip(t *testing.T) {
 		return reflect.DeepEqual(canonEntry(e.Clone()), canonEntry(got))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSnapshotRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Snapshot{Meta: SnapshotMeta{
+			LastIndex:   Index(rng.Uint64() >> 16),
+			LastTerm:    Term(rng.Uint64() >> 16),
+			Config:      NewConfig(NodeID(randName(rng)), NodeID(randName(rng))),
+			ConfigIndex: Index(rng.Uint64() >> 32),
+		}}
+		if n := rng.Intn(256); n > 0 {
+			s.Data = make([]byte, n)
+			rng.Read(s.Data)
+		}
+		got, err := DecodeSnapshot(EncodeSnapshot(s))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(canonSnapshot(s.Clone()), canonSnapshot(got))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }

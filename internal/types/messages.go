@@ -220,6 +220,40 @@ type LeaveRequest struct {
 // MsgName implements Message.
 func (LeaveRequest) MsgName() string { return "LeaveRequest" }
 
+// InstallSnapshot is the leader's snapshot transfer: when a follower's
+// nextIndex falls below the leader's compacted log prefix, the leader ships
+// its latest snapshot instead of AppendEntries. The follower replaces its
+// state machine and log prefix with the snapshot and resumes replication
+// from Snapshot.Meta.LastIndex+1.
+type InstallSnapshot struct {
+	// Term is the leader's term.
+	Term Term
+	// LeaderID lets followers redirect proposers and joiners.
+	LeaderID NodeID
+	// Snapshot is the leader's latest snapshot (metadata + state bytes).
+	Snapshot Snapshot
+	// Round numbers the heartbeat round, matching AppendEntries.Round for
+	// silent-leave accounting.
+	Round uint64
+}
+
+// MsgName implements Message.
+func (InstallSnapshot) MsgName() string { return "InstallSnapshot" }
+
+// InstallSnapshotReply acknowledges an InstallSnapshot message.
+type InstallSnapshotReply struct {
+	// Term is the responder's current term.
+	Term Term
+	// LastIndex is the responder's resulting snapshot/commit boundary: the
+	// leader advances matchIndex/nextIndex from it.
+	LastIndex Index
+	// Round echoes InstallSnapshot.Round.
+	Round uint64
+}
+
+// MsgName implements Message.
+func (InstallSnapshotReply) MsgName() string { return "InstallSnapshotReply" }
+
 // Compile-time check that all message types satisfy Message.
 var (
 	_ Message = ProposeEntry{}
@@ -234,6 +268,8 @@ var (
 	_ Message = JoinRedirect{}
 	_ Message = JoinAccepted{}
 	_ Message = LeaveRequest{}
+	_ Message = InstallSnapshot{}
+	_ Message = InstallSnapshotReply{}
 )
 
 // CloneMessage deep-copies a message so transports never alias node state.
@@ -258,7 +294,11 @@ func CloneMessage(m Message) Message {
 	case RequestVoteResp:
 		v.SelfApproved = CloneEntries(v.SelfApproved)
 		return v
-	case CommitNotify, JoinRequest, JoinRedirect, JoinAccepted, LeaveRequest:
+	case InstallSnapshot:
+		v.Snapshot = v.Snapshot.Clone()
+		return v
+	case CommitNotify, JoinRequest, JoinRedirect, JoinAccepted, LeaveRequest,
+		InstallSnapshotReply:
 		return v
 	default:
 		return m

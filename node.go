@@ -37,6 +37,21 @@ type Options struct {
 	// MemberTimeoutRounds is the silent-leave detection threshold in
 	// missed heartbeat responses (default 5).
 	MemberTimeoutRounds int
+	// SnapshotThreshold enables log compaction: once this many entries
+	// commit beyond the latest snapshot, the node snapshots the
+	// application state (through Snapshotter) and discards the covered log
+	// prefix from memory and stable storage. Lagging or restarted peers
+	// catch up via snapshot transfer instead of full log replay. 0
+	// disables compaction (the log grows forever).
+	SnapshotThreshold int
+	// Snapshotter is the application's state-machine snapshot hook,
+	// required for meaningful compaction: Snapshot() serializes the state
+	// (and reports the last applied index), Restore() replaces it — on
+	// restart from a stored snapshot, and when the leader installs one.
+	// With a nil Snapshotter, snapshots carry no application state;
+	// enable compaction without one only if replaying every entry is not
+	// needed to rebuild state.
+	Snapshotter Snapshotter
 	// DisableFastTrack forces the classic track (for comparisons).
 	DisableFastTrack bool
 	// Seed drives randomized timeouts (0 = time-based).
@@ -114,6 +129,8 @@ func NewNode(opts Options) (*Node, error) {
 		ElectionTimeoutMax:  opts.ElectionTimeoutMax,
 		ProposalTimeout:     opts.ProposalTimeout,
 		MemberTimeoutRounds: opts.MemberTimeoutRounds,
+		SnapshotThreshold:   opts.SnapshotThreshold,
+		Snapshotter:         opts.Snapshotter,
 		DisableFastTrack:    opts.DisableFastTrack,
 		Rand:                rand.New(rand.NewSource(seed)),
 	})
@@ -169,6 +186,22 @@ func (n *Node) Term() Term {
 func (n *Node) CommitIndex() Index {
 	var i Index
 	n.host.Do(func(_ time.Duration, _ runtime.Machine) { i = n.fr.CommitIndex() })
+	return i
+}
+
+// SnapshotIndex returns the node's log-compaction boundary: the last index
+// covered by its snapshot (0 if the log has never been compacted).
+func (n *Node) SnapshotIndex() Index {
+	var i Index
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { i = n.fr.SnapshotIndex() })
+	return i
+}
+
+// FirstIndex returns the first retained log index (1 when nothing has been
+// compacted).
+func (n *Node) FirstIndex() Index {
+	var i Index
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { i = n.fr.FirstIndex() })
 	return i
 }
 

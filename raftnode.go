@@ -46,6 +46,8 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		ElectionTimeoutMin: opts.ElectionTimeoutMin,
 		ElectionTimeoutMax: opts.ElectionTimeoutMax,
 		ProposalTimeout:    opts.ProposalTimeout,
+		SnapshotThreshold:  opts.SnapshotThreshold,
+		Snapshotter:        opts.Snapshotter,
 		Rand:               rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),
 	})
 	if err != nil {
