@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"github.com/hraft-io/hraft/internal/core/craft"
@@ -46,6 +45,20 @@ type CRaftOptions struct {
 	// its replayed inter-cluster state once this many local entries commit
 	// beyond the last snapshot, bounding local log growth (0 = disabled).
 	SnapshotThreshold int
+	// Snapshotter, when set, folds the embedding application's own state
+	// into local-log snapshots, so applications that build state from the
+	// Commits stream can enable compaction: Snapshot() serializes the
+	// applied state (reporting the last applied local index), Restore()
+	// replaces it on restart or snapshot installation. Compaction waits
+	// until the application has applied everything the snapshot would
+	// cover.
+	Snapshotter Snapshotter
+	// MaxEntriesPerAppend caps AppendEntries payloads at both consensus
+	// levels (0 = unlimited).
+	MaxEntriesPerAppend int
+	// SessionTTL expires idle client sessions (OpenSession) at the
+	// intra-cluster level (0 = no expiry).
+	SessionTTL time.Duration
 	// Seed drives randomized timeouts (0 = time-based).
 	Seed int64
 	// OnCommit observes locally committed entries.
@@ -65,10 +78,7 @@ type CRaftNode struct {
 	cn            *craft.Node
 	commits       chan Entry
 	globalCommits chan Entry
-
-	mu      sync.Mutex
-	waiters map[ProposalID]chan Index
-	stopped bool
+	proposalWaiters
 }
 
 // NewCRaftNode builds and starts a C-Raft site.
@@ -84,17 +94,20 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 	}
 	seed := mixSeed(opts.Seed, opts.ID)
 	cn, err := craft.New(craft.Config{
-		ID:                opts.ID,
-		Cluster:           opts.Cluster,
-		ClusterBootstrap:  types.NewConfig(opts.ClusterPeers...),
-		GlobalBootstrap:   types.NewConfig(opts.GlobalClusters...),
-		Storage:           opts.Storage,
-		BatchSize:         opts.BatchSize,
-		BatchDelay:        opts.BatchDelay,
-		LocalHeartbeat:    opts.LocalHeartbeat,
-		GlobalHeartbeat:   opts.GlobalHeartbeat,
-		SnapshotThreshold: opts.SnapshotThreshold,
-		Rand:              rand.New(rand.NewSource(seed)),
+		ID:                  opts.ID,
+		Cluster:             opts.Cluster,
+		ClusterBootstrap:    types.NewConfig(opts.ClusterPeers...),
+		GlobalBootstrap:     types.NewConfig(opts.GlobalClusters...),
+		Storage:             opts.Storage,
+		BatchSize:           opts.BatchSize,
+		BatchDelay:          opts.BatchDelay,
+		LocalHeartbeat:      opts.LocalHeartbeat,
+		GlobalHeartbeat:     opts.GlobalHeartbeat,
+		SnapshotThreshold:   opts.SnapshotThreshold,
+		AppSnapshotter:      opts.Snapshotter,
+		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+		SessionTTL:          opts.SessionTTL,
+		Rand:                rand.New(rand.NewSource(seed)),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -104,10 +117,10 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 		buf = 1024
 	}
 	n := &CRaftNode{
-		cn:            cn,
-		commits:       make(chan Entry, buf),
-		globalCommits: make(chan Entry, buf),
-		waiters:       make(map[ProposalID]chan Index),
+		cn:              cn,
+		commits:         make(chan Entry, buf),
+		globalCommits:   make(chan Entry, buf),
+		proposalWaiters: newProposalWaiters(),
 	}
 	n.host = runtime.NewHost(cn, opts.Transport, runtime.Callbacks{
 		OnCommit: func(e Entry) {
@@ -122,17 +135,7 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 			}
 			n.globalCommits <- e
 		},
-		OnResolve: func(r types.Resolution) {
-			n.mu.Lock()
-			ch, ok := n.waiters[r.PID]
-			if ok {
-				delete(n.waiters, r.PID)
-			}
-			n.mu.Unlock()
-			if ok {
-				ch <- r.Index
-			}
-		},
+		OnResolve: n.resolve,
 	})
 	return n, nil
 }
@@ -175,31 +178,13 @@ func (n *CRaftNode) GlobalCommits() <-chan Entry { return n.globalCommits }
 
 // Propose submits an application entry to intra-cluster consensus and
 // waits for the local commit (the paper's closed-loop semantics); the
-// cluster leader later batches it into the global log.
+// cluster leader later batches it into the global log. Note that a retry
+// after a lost acknowledgment can commit twice; use
+// OpenSession/Session.Propose for exactly-once semantics.
 func (n *CRaftNode) Propose(ctx context.Context, data []byte) (Index, error) {
-	n.mu.Lock()
-	if n.stopped {
-		n.mu.Unlock()
-		return 0, ErrStopped
-	}
-	n.mu.Unlock()
-	ch := make(chan Index, 1)
-	var pid ProposalID
-	n.host.Do(func(now time.Duration, _ runtime.Machine) {
-		pid = n.cn.Propose(now, data)
-		n.mu.Lock()
-		n.waiters[pid] = ch
-		n.mu.Unlock()
+	return n.await(ctx, n.host, func(now time.Duration) ProposalID {
+		return n.cn.Propose(now, data)
 	})
-	select {
-	case idx := <-ch:
-		return idx, nil
-	case <-ctx.Done():
-		n.mu.Lock()
-		delete(n.waiters, pid)
-		n.mu.Unlock()
-		return 0, ctx.Err()
-	}
 }
 
 // ProposeAsync submits an application entry without waiting.
@@ -222,9 +207,7 @@ func (n *CRaftNode) JoinGlobal(contacts []NodeID) {
 
 // Stop halts the site (a crash; storage remains for restart).
 func (n *CRaftNode) Stop() {
-	n.mu.Lock()
-	n.stopped = true
-	n.mu.Unlock()
+	n.markStopped()
 	n.host.Stop()
 }
 

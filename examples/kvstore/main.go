@@ -32,6 +32,7 @@ type Store struct {
 	mu      sync.Mutex
 	data    map[string]string
 	applied hraft.Index // last log index folded into data
+	ops     int         // writes applied (session duplicates never count)
 	node    *hraft.Node
 }
 
@@ -65,6 +66,7 @@ func (s *Store) Attach(node *hraft.Node) {
 			if e.Index > s.applied {
 				s.data[key] = val
 				s.applied = e.Index
+				s.ops++
 			}
 			s.mu.Unlock()
 		}
@@ -99,6 +101,13 @@ func (s *Store) Restore(snap hraft.Snapshot) error {
 func (s *Store) Set(ctx context.Context, key, value string) error {
 	_, err := s.node.Propose(ctx, []byte(key+"="+value))
 	return err
+}
+
+// Ops returns how many writes this replica has applied.
+func (s *Store) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ops
 }
 
 // Render returns a sorted rendering of the store contents.
@@ -222,6 +231,32 @@ func run() error {
 			return fmt.Errorf("replica divergence on %s", id)
 		}
 	}
-	fmt.Println("\nall replicas agree, logs stay bounded ✓")
+
+	// Phase 3: exactly-once writes through a client session. A retry of the
+	// same session sequence — the "my acknowledgment got lost" path —
+	// returns the original commit index and is never applied twice.
+	sess, err := nodes["kv1"].OpenSession(ctx)
+	if err != nil {
+		return fmt.Errorf("open session: %w", err)
+	}
+	idx, err := sess.Propose(ctx, []byte("winner=alice"))
+	if err != nil {
+		return fmt.Errorf("session set: %w", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	before := stores["kv2"].Ops()
+	again, err := sess.ProposeAt(ctx, sess.LastSeq(), []byte("winner=alice")) // the client retries
+	if err != nil {
+		return fmt.Errorf("session retry: %w", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if again != idx {
+		return fmt.Errorf("retry committed at %d, original at %d", again, idx)
+	}
+	if after := stores["kv2"].Ops(); after != before {
+		return fmt.Errorf("duplicate applied: %d ops before retry, %d after", before, after)
+	}
+	fmt.Printf("\nsession %d: retried write resolved to its original index %d, applied once ✓\n", sess.ID(), idx)
+	fmt.Println("all replicas agree, logs stay bounded ✓")
 	return nil
 }

@@ -99,6 +99,12 @@ const (
 	EntryNoop = types.KindNoop
 	// EntryBatch is a C-Raft global-log batch.
 	EntryBatch = types.KindBatch
+	// EntrySessionOpen registers a client session (its commit index is the
+	// SessionID).
+	EntrySessionOpen = types.KindSessionOpen
+	// EntrySessionExpire is a leader clock entry driving deterministic
+	// session expiry.
+	EntrySessionExpire = types.KindSessionExpire
 )
 
 // Transport moves envelopes between nodes; implementations include the

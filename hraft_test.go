@@ -79,6 +79,61 @@ func TestPublicAPIProposeCommit(t *testing.T) {
 	}
 }
 
+func TestPublicAPISessionExactlyOnce(t *testing.T) {
+	_, nodes, _ := startCluster(t, 3, 9)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	// Drain commit streams and count applies of the payload on node 1.
+	applies := make(chan struct{}, 16)
+	for i, n := range nodes {
+		i, n := i, n
+		go func() {
+			for e := range n.Commits() {
+				if i == 1 && e.Kind == hraft.EntryNormal && string(e.Data) == "pay-once" {
+					applies <- struct{}{}
+				}
+			}
+		}()
+	}
+
+	sess, err := nodes[0].OpenSession(ctx)
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	idx, err := sess.Propose(ctx, []byte("pay-once"))
+	if err != nil {
+		t.Fatalf("Session.Propose: %v", err)
+	}
+	if idx == 0 {
+		t.Fatal("committed at index 0")
+	}
+	// Retry the same sequence (the lost-ack path): cached index, no
+	// second apply.
+	again, err := sess.ProposeAt(ctx, sess.LastSeq(), []byte("pay-once"))
+	if err != nil {
+		t.Fatalf("ProposeAt retry: %v", err)
+	}
+	if again != idx {
+		t.Fatalf("retry resolved to %d, want %d", again, idx)
+	}
+	// Reattaching (a client restart) preserves the identity.
+	re := nodes[0].AttachSession(sess.ID(), sess.LastSeq())
+	again, err = re.ProposeAt(ctx, 1, []byte("pay-once"))
+	if err != nil {
+		t.Fatalf("ProposeAt after reattach: %v", err)
+	}
+	if again != idx {
+		t.Fatalf("reattached retry resolved to %d, want %d", again, idx)
+	}
+
+	<-applies
+	select {
+	case <-applies:
+		t.Fatal("payload applied more than once")
+	case <-time.After(500 * time.Millisecond):
+	}
+}
+
 func TestPublicAPIPipelinedProposals(t *testing.T) {
 	_, nodes, _ := startCluster(t, 3, 2)
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)

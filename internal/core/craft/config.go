@@ -63,6 +63,19 @@ type Config struct {
 	// The global log is never compacted (its entries are batches whose
 	// compaction would require cross-cluster coordination).
 	SnapshotThreshold int
+	// AppSnapshotter, when set, folds the embedding application's own
+	// state into local-log snapshots: applications that build state from
+	// locally committed entries can then enable compaction without losing
+	// the ability to restart or catch up from a snapshot. Compaction waits
+	// until the application has applied everything the snapshot would
+	// cover.
+	AppSnapshotter types.Snapshotter
+	// MaxEntriesPerAppend caps AppendEntries payloads at both consensus
+	// levels (0 = unlimited).
+	MaxEntriesPerAppend int
+	// SessionTTL expires idle client sessions at the local (intra-cluster)
+	// level (0 = no expiry).
+	SessionTTL time.Duration
 	// DisableFastTrack forces the classic track at both levels (ablation).
 	DisableFastTrack bool
 	// Rand drives randomized timeouts; required for deterministic

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/hraft-io/hraft/internal/core/fastraft"
+	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/storage"
 	"github.com/hraft-io/hraft/internal/types"
 )
@@ -129,6 +130,8 @@ func New(cfg Config) (*Node, error) {
 		MemberTimeoutRounds: cfg.MemberTimeoutRounds,
 		SnapshotThreshold:   cfg.SnapshotThreshold,
 		Snapshotter:         craftSnapshotter{n},
+		MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
+		SessionTTL:          cfg.SessionTTL,
 		DisableFastTrack:    cfg.DisableFastTrack,
 		Rand:                cfg.Rand,
 		Layer:               types.LayerLocal,
@@ -281,6 +284,30 @@ func (n *Node) Propose(now time.Duration, data []byte) types.ProposalID {
 	return pid
 }
 
+// OpenSession opens a client session at the intra-cluster level; the
+// proposal resolves with the new session's ID. Session dedup is local to
+// the cluster: duplicates are withheld from the local commit stream and
+// therefore never batched into the global log a second time either.
+func (n *Node) OpenSession(now time.Duration) types.ProposalID {
+	n.now = now
+	pid := n.local.OpenSession(now)
+	n.pump(now)
+	return pid
+}
+
+// ProposeSession submits an application entry under (sid, seq) to
+// intra-cluster consensus with exactly-once semantics across proposer
+// restarts and local-log compaction.
+func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq uint64, data []byte) types.ProposalID {
+	n.now = now
+	pid := n.local.ProposeSession(now, sid, seq, data)
+	n.pump(now)
+	return pid
+}
+
+// Sessions exposes the local-level session registry (tests, diagnostics).
+func (n *Node) Sessions() *session.Registry { return n.local.Sessions() }
+
 // JoinCluster starts the local (intra-cluster) join protocol for a site
 // entering an existing cluster.
 func (n *Node) JoinCluster(now time.Duration, contacts []types.NodeID) {
@@ -403,6 +430,7 @@ func (n *Node) startGlobal(now time.Duration) {
 		ElectionTimeoutMax:  n.cfg.GlobalElectionMax,
 		ProposalTimeout:     n.cfg.GlobalProposalTimeout,
 		MemberTimeoutRounds: n.cfg.MemberTimeoutRounds,
+		MaxEntriesPerAppend: n.cfg.MaxEntriesPerAppend,
 		DisableFastTrack:    n.cfg.DisableFastTrack,
 		Rand:                n.cfg.Rand,
 		Layer:               types.LayerGlobal,

@@ -26,28 +26,60 @@ var errBadReplayState = errors.New("craft: bad replay state image")
 // snapshotting this state loses nothing: a restarted or lagging site
 // restores the replay exactly as if it had consumed every compacted delta.
 //
-// The embedding application's own state is NOT captured here; craft hosts
-// that expose committed entries to an application should keep compaction
-// disabled or layer their own state into AppSnapshotter (future work noted
-// in the README).
+// The embedding application's own state is captured through
+// Config.AppSnapshotter, appended as a final section of the image. With an
+// AppSnapshotter the node only compacts once the application has applied
+// everything the replay state covers, so the two sections always describe
+// the same point in the local log.
+
+// errAppLagging makes maybeCompact skip a compaction round until the
+// embedding application catches up with the replay state.
+var errAppLagging = errors.New("craft: application applier behind replay state")
 
 // craftSnapshotter adapts a craft Node to types.Snapshotter for its local
 // Fast Raft instance.
 type craftSnapshotter struct{ n *Node }
 
 // Snapshot implements types.Snapshotter: serialize the replayed global
-// state as of the entries drained so far.
+// state as of the entries drained so far, plus the embedding application's
+// state when an AppSnapshotter is configured.
 func (s craftSnapshotter) Snapshot() ([]byte, types.Index, error) {
-	return s.n.encodeReplayState(), s.n.appliedLocal, nil
+	var appData []byte
+	if app := s.n.cfg.AppSnapshotter; app != nil {
+		d, applied, err := app.Snapshot()
+		if err != nil {
+			return nil, 0, err
+		}
+		if applied < s.n.appliedLocal {
+			// The application has not yet applied every local commit the
+			// replay state covers; compacting now would snapshot the two
+			// at different points. Retry at a later tick.
+			return nil, 0, errAppLagging
+		}
+		appData = d
+	}
+	return s.n.encodeReplayState(appData), s.n.appliedLocal, nil
 }
 
 // Restore implements types.Snapshotter.
 func (s craftSnapshotter) Restore(snap types.Snapshot) error {
-	if err := s.n.decodeReplayState(snap.Data); err != nil {
+	appData, err := s.n.decodeReplayState(snap.Data)
+	if err != nil {
 		return fmt.Errorf("craft %s: decode replay state: %w", s.n.cfg.ID, err)
 	}
 	if snap.Meta.LastIndex > s.n.appliedLocal {
 		s.n.appliedLocal = snap.Meta.LastIndex
+	}
+	// appData is nil only when the image predates the app section (an
+	// empty-but-present app image decodes as a non-nil empty slice); do
+	// not wipe the application's state with a snapshot that never
+	// captured it.
+	if app := s.n.cfg.AppSnapshotter; app != nil && appData != nil {
+		appSnap := snap.Clone()
+		appSnap.Data = appData
+		if err := app.Restore(appSnap); err != nil {
+			return fmt.Errorf("craft %s: restore application state: %w", s.n.cfg.ID, err)
+		}
 	}
 	return nil
 }
@@ -60,7 +92,8 @@ func (s craftSnapshotter) Restore(snap types.Snapshot) error {
 //	#replayBuf { len-prefixed encoded delta }...
 //	#ourBatches { entry items }...
 //	#unbatched { pid data }...  (the appLog tail past batchedItems)
-func (n *Node) encodeReplayState() []byte {
+//	appData                     (the AppSnapshotter image; empty if none)
+func (n *Node) encodeReplayState(appData []byte) []byte {
 	var w byteWriter
 	w.u64(uint64(n.gTerm))
 	w.str(string(n.gVote))
@@ -111,12 +144,14 @@ func (n *Node) encodeReplayState() []byte {
 		w.u64(it.PID.Seq)
 		w.bytes(it.Data)
 	}
+	w.bytes(appData)
 	return w.buf
 }
 
 // decodeReplayState rebuilds the replay and batching state from a snapshot
-// produced by encodeReplayState, replacing whatever was accumulated so far.
-func (n *Node) decodeReplayState(data []byte) error {
+// produced by encodeReplayState, replacing whatever was accumulated so far,
+// and returns the embedded AppSnapshotter image (nil if none).
+func (n *Node) decodeReplayState(data []byte) ([]byte, error) {
 	r := byteReader{buf: data}
 	gTerm := types.Term(r.u64())
 	gVote := types.NodeID(r.str())
@@ -126,40 +161,45 @@ func (n *Node) decodeReplayState(data []byte) error {
 	nextBatchSeq := r.u64()
 	applied := types.Index(r.u64())
 
-	nLog := r.u64()
+	nLog := r.count()
 	gLog := make(map[types.Index]types.Entry, nLog)
 	for i := uint64(0); i < nLog && r.err == nil; i++ {
 		e, err := types.DecodeEntry(r.bytes())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		gLog[e.Index] = e
 	}
 
-	nBuf := r.u64()
+	nBuf := r.count()
 	replayBuf := make(map[uint64]types.GlobalStateDelta, nBuf)
 	for i := uint64(0); i < nBuf && r.err == nil; i++ {
 		seq := r.u64()
 		d, err := types.DecodeGlobalStateDelta(r.bytes())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		replayBuf[seq] = d
 	}
 
-	nBatches := r.u64()
+	nBatches := r.count()
 	ourBatches := make(map[uint64]batchRecord, nBatches)
 	for i := uint64(0); i < nBatches && r.err == nil; i++ {
 		seq := r.u64()
 		e, err := types.DecodeEntry(r.bytes())
 		if err != nil {
-			return err
+			return nil, err
 		}
-		items := int(r.u64())
-		ourBatches[seq] = batchRecord{entry: e, items: items}
+		items := r.u64()
+		if items > uint64(len(data)) {
+			// An item count beyond the whole image is corrupt (and would
+			// overflow int on cast).
+			return nil, errBadReplayState
+		}
+		ourBatches[seq] = batchRecord{entry: e, items: int(items)}
 	}
 
-	nTail := r.u64()
+	nTail := r.count()
 	tail := make([]types.BatchItem, 0, nTail)
 	for i := uint64(0); i < nTail && r.err == nil; i++ {
 		var it types.BatchItem
@@ -168,8 +208,13 @@ func (n *Node) decodeReplayState(data []byte) error {
 		it.Data = r.bytes()
 		tail = append(tail, it)
 	}
+	// Images written before the AppSnapshotter section end here.
+	var appData []byte
+	if r.err == nil && r.off < len(r.buf) {
+		appData = r.bytes()
+	}
 	if r.err != nil {
-		return r.err
+		return nil, r.err
 	}
 
 	n.gTerm, n.gVote, n.gCommit = gTerm, gVote, gCommit
@@ -184,7 +229,7 @@ func (n *Node) decodeReplayState(data []byte) error {
 	n.batchedItems = 0
 	n.appliedLocal = applied
 	n.oldestWait = 0
-	return nil
+	return appData, nil
 }
 
 // byteWriter/byteReader are a minimal varint codec for the replay-state
@@ -219,6 +264,18 @@ func (r *byteReader) u64() uint64 {
 		return 0
 	}
 	r.off += n
+	return v
+}
+
+// count reads an element count, rejecting values that cannot fit in the
+// remaining buffer (every element is at least one byte): a corrupt or
+// hostile image must error out, not panic allocating a huge slice.
+func (r *byteReader) count() uint64 {
+	v := r.u64()
+	if r.err == nil && v > uint64(len(r.buf)-r.off) {
+		r.err = errBadReplayState
+		return 0
+	}
 	return v
 }
 

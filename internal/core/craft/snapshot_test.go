@@ -1,0 +1,146 @@
+package craft
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// fakeApp is a minimal application Snapshotter: a byte-blob state plus the
+// local index it has applied through.
+type fakeApp struct {
+	state    []byte
+	applied  types.Index
+	restored int
+}
+
+func (a *fakeApp) Snapshot() ([]byte, types.Index, error) {
+	return append([]byte(nil), a.state...), a.applied, nil
+}
+
+func (a *fakeApp) Restore(snap types.Snapshot) error {
+	a.state = append([]byte(nil), snap.Data...)
+	a.applied = snap.Meta.LastIndex
+	a.restored++
+	return nil
+}
+
+func newAppNode(t *testing.T, app types.Snapshotter) *Node {
+	t.Helper()
+	n, err := New(Config{
+		ID:               "s1",
+		Cluster:          "c1",
+		ClusterBootstrap: types.NewConfig("s1", "s2", "s3"),
+		GlobalBootstrap:  types.NewConfig("c1", "c2"),
+		Storage:          storage.NewMemory(),
+		AppSnapshotter:   app,
+		Rand:             rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestAppSnapshotterRoundTrip checks that the application's image rides in
+// the replay-state snapshot and comes back through Restore.
+func TestAppSnapshotterRoundTrip(t *testing.T) {
+	app := &fakeApp{state: []byte("kv-state"), applied: 4}
+	n := newAppNode(t, app)
+	n.appliedLocal = 4
+	n.gTerm, n.gCommit = 3, 0
+
+	data, applied, err := craftSnapshotter{n}.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 4 {
+		t.Fatalf("applied = %d, want 4", applied)
+	}
+
+	app2 := &fakeApp{}
+	n2 := newAppNode(t, app2)
+	snap := types.Snapshot{Meta: types.SnapshotMeta{LastIndex: 4, LastTerm: 1}, Data: data}
+	if err := (craftSnapshotter{n2}).Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if app2.restored != 1 || !bytes.Equal(app2.state, []byte("kv-state")) {
+		t.Fatalf("app state not restored: restored=%d state=%q", app2.restored, app2.state)
+	}
+	if n2.gTerm != 3 || n2.appliedLocal != 4 {
+		t.Fatalf("replay state not restored: gTerm=%d applied=%d", n2.gTerm, n2.appliedLocal)
+	}
+}
+
+// TestAppSnapshotterLagDefersCompaction: while the application trails the
+// replay state, snapshotting reports an error so maybeCompact retries at a
+// later tick instead of splitting the image across two points.
+func TestAppSnapshotterLagDefersCompaction(t *testing.T) {
+	app := &fakeApp{state: []byte("x"), applied: 2}
+	n := newAppNode(t, app)
+	n.appliedLocal = 5 // replay state is ahead of the app
+
+	if _, _, err := (craftSnapshotter{n}).Snapshot(); !errors.Is(err, errAppLagging) {
+		t.Fatalf("lagging app: err = %v, want errAppLagging", err)
+	}
+	app.applied = 5
+	if _, _, err := (craftSnapshotter{n}).Snapshot(); err != nil {
+		t.Fatalf("caught-up app: %v", err)
+	}
+}
+
+// TestReplayStateCorruptCountsErrorNotPanic: element counts beyond the
+// image's size (truncated or hostile snapshots) must surface as decode
+// errors, never as allocation panics.
+func TestReplayStateCorruptCountsErrorNotPanic(t *testing.T) {
+	n := newAppNode(t, nil)
+	img := n.encodeReplayState(nil)
+	for cut := 0; cut < len(img); cut++ {
+		n2 := newAppNode(t, nil)
+		_, _ = n2.decodeReplayState(img[:cut]) // must not panic
+	}
+	// A forged image whose first count claims 2^60 elements.
+	forged := []byte{0, 0, 0, 0, 0, 0, 0}                                         // gTerm gVote gCommit era seq nextBatchSeq applied
+	forged = append(forged, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F) // nLog varint
+	n3 := newAppNode(t, nil)
+	if _, err := n3.decodeReplayState(forged); err == nil {
+		t.Fatal("forged count decoded without error")
+	}
+}
+
+// TestReplayStateWithoutAppSection: images written before the app section
+// existed (no trailing bytes) still decode, returning a nil app image.
+func TestReplayStateWithoutAppSection(t *testing.T) {
+	n := newAppNode(t, nil)
+	n.gTerm = 2
+	img := n.encodeReplayState(nil)
+	// The empty app section is a single trailing zero-length varint.
+	n2 := newAppNode(t, nil)
+	appData, err := n2.decodeReplayState(img[:len(img)-1])
+	if err != nil {
+		t.Fatalf("old-format image failed to decode: %v", err)
+	}
+	if appData != nil {
+		t.Fatalf("old-format image yielded app data %x", appData)
+	}
+	if n2.gTerm != 2 {
+		t.Fatalf("gTerm = %d, want 2", n2.gTerm)
+	}
+
+	// Restoring such an image on a node WITH an AppSnapshotter must leave
+	// the application's state alone (the image never captured it), not
+	// wipe it with a nil payload.
+	app := &fakeApp{state: []byte("precious"), applied: 9}
+	n3 := newAppNode(t, app)
+	snap := types.Snapshot{Meta: types.SnapshotMeta{LastIndex: 1}, Data: img[:len(img)-1]}
+	if err := (craftSnapshotter{n3}).Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if app.restored != 0 || !bytes.Equal(app.state, []byte("precious")) {
+		t.Fatalf("app state wiped by sectionless image: restored=%d state=%q", app.restored, app.state)
+	}
+}

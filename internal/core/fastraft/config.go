@@ -45,6 +45,16 @@ type Config struct {
 	// leader ships the snapshot to followers whose nextIndex falls below
 	// the compacted prefix (InstallSnapshot).
 	SnapshotThreshold int
+	// MaxEntriesPerAppend caps the entries carried by one AppendEntries
+	// message (0 = unlimited). With a cap, a lagging follower catches up
+	// over several bounded round trips instead of receiving the entire
+	// retained suffix in one message — essential for datagram transports.
+	MaxEntriesPerAppend int
+	// SessionTTL expires client sessions idle longer than this: the leader
+	// periodically commits clock entries and every replica drops the same
+	// timed-out sessions when applying them. 0 disables expiry (sessions
+	// live until the LRU cap evicts them).
+	SessionTTL time.Duration
 	// Snapshotter produces and consumes application state-machine images
 	// for compaction. Optional: without one, snapshots carry empty state
 	// and compaction is driven purely by the commit index — appropriate

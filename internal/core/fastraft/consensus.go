@@ -112,7 +112,17 @@ func (n *Node) onProposeEntry(from types.NodeID, m types.ProposeEntry) {
 // follower in this scenario").
 func (n *Node) handleProposeLocally(m types.ProposeEntry) {
 	pid := m.Entry.PID
-	// Duplicate handling.
+	// Session duplicate: a retry of a sequence this replica already saw
+	// applied — possibly under a different PID (proposer restart) and
+	// possibly below the compaction boundary. Answer with the cached
+	// response instead of inserting.
+	if !m.Entry.Session.IsZero() {
+		if idx, dup := n.sessions.LookupDup(m.Entry.Session, m.Entry.SessionSeq); dup {
+			n.answerProposer(pid, idx, true)
+			return
+		}
+	}
+	// Duplicate handling by proposal ID (same-process retries).
 	if existing := n.log.FindProposal(pid); existing != 0 {
 		if existing <= n.commitIndex {
 			// Already committed: notify the proposer directly.
@@ -288,6 +298,7 @@ func (n *Node) leaderTick() {
 	if n.role != types.RoleLeader {
 		return
 	}
+	n.maybeSessionClock()
 	n.processMembership()
 	if n.role != types.RoleLeader {
 		return
@@ -330,6 +341,13 @@ func (n *Node) commitTo(k types.Index) {
 		e, ok := n.log.Get(i)
 		if !ok {
 			panic(fmt.Sprintf("fastraft %s: commit hole at %d", n.cfg.ID, i))
+		}
+		if n.applySessionCommit(e) {
+			// Session duplicate (or expired-session proposal): the slot
+			// commits but the entry is withheld from the state machine;
+			// the proposer was answered with the cached response.
+			n.commitIndex = i
+			continue
 		}
 		n.committed = append(n.committed, e)
 		n.observeCommitted(e)
@@ -386,12 +404,18 @@ func (n *Node) broadcastAppend() {
 			continue
 		}
 		prev := next - 1
+		hi := n.log.LastLeaderIndex()
+		if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
+			// Bound the payload; the follower's ack advances nextIndex and
+			// the next round ships the following chunk.
+			hi = next + types.Index(max) - 1
+		}
 		msg := types.AppendEntries{
 			Term:         n.term,
 			LeaderID:     n.cfg.ID,
 			PrevLogIndex: prev,
 			PrevLogTerm:  n.log.Term(prev),
-			Entries:      n.log.LeaderRange(next, n.log.LastLeaderIndex()),
+			Entries:      n.log.LeaderRange(next, hi),
 			LeaderCommit: n.commitIndex,
 			Round:        n.aeRound,
 		}
@@ -452,12 +476,16 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 func (n *Node) applyLeaderEntry(e types.Entry) {
 	idx := e.Index
 	if existing, ok := n.log.Get(idx); ok {
+		// The in-place fast paths require PID identity, not just
+		// SameProposal: a session proposal retried under a different PID is
+		// the same value, but keeping the local twin would leave replicas
+		// disagreeing on which PID occupies the slot.
 		if existing.Approval == types.ApprovedLeader && existing.Term == e.Term &&
-			existing.SameProposal(e) {
+			existing.PID == e.PID && existing.SameProposal(e) {
 			return // already applied
 		}
 		if existing.Approval == types.ApprovedSelf && existing.Term == e.Term &&
-			existing.SameProposal(e) && idx == n.log.LastLeaderIndex()+1 {
+			existing.PID == e.PID && existing.SameProposal(e) && idx == n.log.LastLeaderIndex()+1 {
 			// Same entry we self-inserted: promote in place.
 			if err := n.log.PromoteToLeader(idx, e.Term); err != nil {
 				panic(fmt.Sprintf("fastraft %s: promote: %v", n.cfg.ID, err))

@@ -33,6 +33,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/storage"
 	"github.com/hraft-io/hraft/internal/types"
 )
@@ -113,6 +114,15 @@ type Node struct {
 	// compacted prefix.
 	snap types.Snapshot
 
+	// sessions is the replicated client-session registry, fed by committed
+	// entries in log order (identical on every replica) and consulted at
+	// apply time for exactly-once semantics. Its boundary-aligned image
+	// rides in every snapshot.
+	sessions *session.Registry
+	// lastSessionClock is when this leader last committed a session clock
+	// entry (expiry pacing).
+	lastSessionClock time.Duration
+
 	now time.Duration
 }
 
@@ -141,11 +151,15 @@ func New(cfg Config) (*Node, error) {
 		log:      log,
 		role:     types.RoleFollower,
 		pending:  make(map[types.ProposalID]*pendingProposal),
+		sessions: session.New(),
 	}
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
 		n.snap = snap
 		n.commitIndex = snap.Meta.LastIndex
+		if err := n.sessions.Restore(snap.Sessions); err != nil {
+			return nil, fmt.Errorf("fastraft: restore sessions: %w", err)
+		}
 		if cfg.Snapshotter != nil {
 			if err := cfg.Snapshotter.Restore(snap.Clone()); err != nil {
 				return nil, fmt.Errorf("fastraft: restore state machine: %w", err)
@@ -196,6 +210,10 @@ func (n *Node) SnapshotIndex() types.Index { return n.log.SnapshotIndex() }
 
 // PendingProposals returns the number of unresolved local proposals.
 func (n *Node) PendingProposals() int { return len(n.pending) }
+
+// Sessions exposes the replicated client-session registry (tests, C-Raft
+// and diagnostics; callers must not mutate it).
+func (n *Node) Sessions() *session.Registry { return n.sessions }
 
 // Entry returns a copy of the log entry at idx.
 func (n *Node) Entry(idx types.Index) (types.Entry, bool) { return n.log.Get(idx) }
@@ -511,6 +529,10 @@ func (n *Node) maybeWinElection() {
 func (n *Node) becomeLeader() {
 	n.role = types.RoleLeader
 	n.leaderID = n.cfg.ID
+	// Session clock entries carry advances measured from the previous
+	// entry of THIS leadership; a stale mark from an earlier term would
+	// double-count the interval covered by interim leaders.
+	n.lastSessionClock = 0
 	cfg := n.Config()
 	n.tally = quorum.NewTally()
 	n.nextIndex = make(map[types.NodeID]types.Index)
@@ -601,9 +623,15 @@ func (n *Node) proposalDecided(pid types.ProposalID) bool {
 
 // skipDecidedAt excludes, from the decision at index k, candidates whose
 // proposal was already decided at a different index (the paper's
-// duplicate-avoidance rule).
+// duplicate-avoidance rule) or whose session sequence was already applied
+// (a retry from before a restart or from below the compaction boundary).
 func (n *Node) skipDecidedAt(k types.Index) func(types.Entry) bool {
 	return func(e types.Entry) bool {
+		if !e.Session.IsZero() {
+			if _, dup := n.sessions.LookupDup(e.Session, e.SessionSeq); dup {
+				return true
+			}
+		}
 		if e.PID.IsZero() {
 			return false
 		}

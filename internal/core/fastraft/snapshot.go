@@ -54,6 +54,9 @@ func (n *Node) maybeCompact() {
 			ConfigIndex: ci,
 		},
 		Data: data,
+		// The session registry as of the boundary rides along, so dedup
+		// state survives the compaction it would otherwise be lost to.
+		Sessions: n.sessionStateAt(point),
 	}
 	if err := n.cfg.Storage.SaveSnapshot(snap); err != nil {
 		panic(fmt.Sprintf("fastraft %s: save snapshot: %v", n.cfg.ID, err))
@@ -120,6 +123,9 @@ func (n *Node) installSnapshot(snap types.Snapshot) {
 	}
 	n.snap = snap.Clone()
 	n.commitIndex = snap.Meta.LastIndex
+	if err := n.sessions.Restore(snap.Sessions); err != nil {
+		panic(fmt.Sprintf("fastraft %s: restore sessions: %v", n.cfg.ID, err))
+	}
 	if n.cfg.Snapshotter != nil {
 		if err := n.cfg.Snapshotter.Restore(snap.Clone()); err != nil {
 			panic(fmt.Sprintf("fastraft %s: restore state machine: %v", n.cfg.ID, err))

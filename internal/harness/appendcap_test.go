@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// testAppendCapCatchUp is the acceptance scenario for MaxEntriesPerAppend:
+// a follower that missed a long suffix must still converge, and no single
+// AppendEntries message may carry more than the configured cap.
+func testAppendCapCatchUp(t *testing.T, kind Kind) {
+	t.Helper()
+	const cap = 5
+	c, err := NewCluster(Options{
+		Kind:                kind,
+		Nodes:               fiveNodes(),
+		Seed:                41,
+		MaxEntriesPerAppend: cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+
+	// Record the largest AppendEntries payload delivered anywhere.
+	maxPayload := 0
+	c.Net.OnDeliver = func(env types.Envelope) {
+		if m, ok := env.Msg.(types.AppendEntries); ok && len(m.Entries) > maxPayload {
+			maxPayload = len(m.Entries)
+		}
+	}
+
+	// Cut one follower off while the rest commits a long suffix, so its
+	// catch-up would previously arrive as one giant message.
+	const lagger = types.NodeID("n5")
+	rest := []types.NodeID{"n1", "n2", "n3", "n4"}
+	c.Net.Partition([]types.NodeID{lagger}, rest)
+	if _, err := c.RunProposals("n1", 8*cap, c.Sched.Now()+120*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Net.Heal()
+	converged := c.RunUntil(func() bool {
+		h, ok := c.Leader()
+		if !ok {
+			return false
+		}
+		return c.Host(lagger).Machine().CommitIndex() >= h.Machine().CommitIndex()
+	}, c.Sched.Now()+60*time.Second)
+	if !converged {
+		t.Fatalf("lagging follower did not converge (commit %d)",
+			c.Host(lagger).Machine().CommitIndex())
+	}
+	if maxPayload > cap {
+		t.Fatalf("an AppendEntries carried %d entries, cap is %d", maxPayload, cap)
+	}
+	if maxPayload == 0 {
+		t.Fatal("no AppendEntries payloads observed; scenario broken")
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastRaftAppendCapCatchUp(t *testing.T) { testAppendCapCatchUp(t, KindFastRaft) }
+
+func TestRaftAppendCapCatchUp(t *testing.T) { testAppendCapCatchUp(t, KindRaft) }

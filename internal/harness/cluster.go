@@ -62,6 +62,10 @@ type Options struct {
 	// SnapshotThreshold enables snapshotting + log compaction once this
 	// many entries commit beyond the last snapshot (0 = disabled).
 	SnapshotThreshold int
+	// MaxEntriesPerAppend caps AppendEntries payloads (0 = unlimited).
+	MaxEntriesPerAppend int
+	// SessionTTL expires idle client sessions (0 = no expiry).
+	SessionTTL time.Duration
 	// DisableFastTrack forces Fast Raft onto the classic track (ablation).
 	DisableFastTrack bool
 }
@@ -81,8 +85,21 @@ type Host struct {
 	wake      *simnet.Timer
 
 	proposeStart map[types.ProposalID]time.Duration
+	// resolved records the resolution index of every tracked proposal, so
+	// tests can await and inspect outcomes (0 = session-rejected).
+	resolved map[types.ProposalID]types.Index
 	// OnResolve, when set, observes each local proposal resolution.
 	OnResolve func(pid types.ProposalID, at, latency time.Duration)
+	// OnCommit, when set, observes every entry this node applies (the
+	// state-machine view: session duplicates never appear here).
+	OnCommit func(e types.Entry)
+}
+
+// Resolved returns the resolution index of a tracked proposal, if it
+// resolved (ok=false while still pending).
+func (h *Host) Resolved(pid types.ProposalID) (types.Index, bool) {
+	idx, ok := h.resolved[pid]
+	return idx, ok
 }
 
 // ID returns the hosted node's identity.
@@ -150,6 +167,7 @@ func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error
 		store:        storage.NewMemory(),
 		bootstrap:    bootstrap.Clone(),
 		proposeStart: make(map[types.ProposalID]time.Duration),
+		resolved:     make(map[types.ProposalID]types.Index),
 	}
 	m, err := c.makeMachine(id, bootstrap, h.store)
 	if err != nil {
@@ -174,15 +192,17 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 	switch c.opts.Kind {
 	case KindRaft:
 		return raft.New(raft.Config{
-			ID:                 id,
-			Bootstrap:          bootstrap,
-			Storage:            store,
-			HeartbeatInterval:  c.opts.HeartbeatInterval,
-			ElectionTimeoutMin: c.opts.ElectionTimeoutMin,
-			ElectionTimeoutMax: c.opts.ElectionTimeoutMax,
-			ProposalTimeout:    c.opts.ProposalTimeout,
-			SnapshotThreshold:  c.opts.SnapshotThreshold,
-			Rand:               nodeRand,
+			ID:                  id,
+			Bootstrap:           bootstrap,
+			Storage:             store,
+			HeartbeatInterval:   c.opts.HeartbeatInterval,
+			ElectionTimeoutMin:  c.opts.ElectionTimeoutMin,
+			ElectionTimeoutMax:  c.opts.ElectionTimeoutMax,
+			ProposalTimeout:     c.opts.ProposalTimeout,
+			SnapshotThreshold:   c.opts.SnapshotThreshold,
+			MaxEntriesPerAppend: c.opts.MaxEntriesPerAppend,
+			SessionTTL:          c.opts.SessionTTL,
+			Rand:                nodeRand,
 		})
 	case KindFastRaft:
 		return fastraft.New(fastraft.Config{
@@ -195,6 +215,8 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			ProposalTimeout:     c.opts.ProposalTimeout,
 			MemberTimeoutRounds: c.opts.MemberTimeoutRounds,
 			SnapshotThreshold:   c.opts.SnapshotThreshold,
+			MaxEntriesPerAppend: c.opts.MaxEntriesPerAppend,
+			SessionTTL:          c.opts.SessionTTL,
 			DisableFastTrack:    c.opts.DisableFastTrack,
 			Rand:                nodeRand,
 		})
@@ -212,6 +234,9 @@ func (c *Cluster) drain(h *Host) {
 	}
 	for _, e := range h.machine.TakeCommitted() {
 		c.Safety.RecordCommit("", h.id, e)
+		if h.OnCommit != nil {
+			h.OnCommit(e)
+		}
 		if e.Kind == types.KindConfig && e.Config != nil && h.machine.Role() == types.RoleLeader {
 			c.Timeline.ObserveConfig(now, "", h.id, *e.Config)
 		}
@@ -221,6 +246,7 @@ func (c *Cluster) drain(h *Host) {
 		c.Timeline.ObserveLeader(now, "", h.machine.Term(), h.id)
 	}
 	for _, res := range h.machine.TakeResolved() {
+		h.resolved[res.PID] = res.Index
 		start, ok := h.proposeStart[res.PID]
 		if !ok {
 			continue
@@ -325,6 +351,67 @@ func (c *Cluster) Propose(id types.NodeID, data []byte) (types.ProposalID, error
 	return pid, nil
 }
 
+// OpenSession proposes a client-session registration from the given node;
+// the returned proposal resolves with the new session's ID (await it with
+// AwaitResolution).
+func (c *Cluster) OpenSession(id types.NodeID) (types.ProposalID, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return types.ProposalID{}, fmt.Errorf("harness: node %s not running", id)
+	}
+	now := c.Sched.Now()
+	var pid types.ProposalID
+	switch m := h.machine.(type) {
+	case *fastraft.Node:
+		pid = m.OpenSession(now)
+	case *raft.Node:
+		pid = m.OpenSession(now)
+	default:
+		return types.ProposalID{}, fmt.Errorf("harness: %T does not support sessions", h.machine)
+	}
+	h.proposeStart[pid] = now
+	c.drain(h)
+	return pid, nil
+}
+
+// ProposeSession submits a payload under (sid, seq) from the given node.
+func (c *Cluster) ProposeSession(id types.NodeID, sid types.SessionID, seq uint64, data []byte) (types.ProposalID, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return types.ProposalID{}, fmt.Errorf("harness: node %s not running", id)
+	}
+	now := c.Sched.Now()
+	var pid types.ProposalID
+	switch m := h.machine.(type) {
+	case *fastraft.Node:
+		pid = m.ProposeSession(now, sid, seq, data)
+	case *raft.Node:
+		pid = m.ProposeSession(now, sid, seq, data)
+	default:
+		return types.ProposalID{}, fmt.Errorf("harness: %T does not support sessions", h.machine)
+	}
+	h.proposeStart[pid] = now
+	c.drain(h)
+	return pid, nil
+}
+
+// AwaitResolution runs the simulation until the proposal tracked on node id
+// resolves, returning its resolution index (0 = session-rejected).
+func (c *Cluster) AwaitResolution(id types.NodeID, pid types.ProposalID, deadline time.Duration) (types.Index, bool) {
+	h := c.hosts[id]
+	if h == nil {
+		return 0, false
+	}
+	ok := c.RunUntil(func() bool {
+		_, done := h.resolved[pid]
+		return done
+	}, deadline)
+	if !ok {
+		return 0, false
+	}
+	return h.resolved[pid], true
+}
+
 // Crash stops a node without warning (also used for silent leaves); its
 // stable storage is preserved for Restart.
 func (c *Cluster) Crash(id types.NodeID) {
@@ -357,6 +444,7 @@ func (c *Cluster) Restart(id types.NodeID) error {
 	h.machine = m
 	h.alive = true
 	h.proposeStart = make(map[types.ProposalID]time.Duration)
+	h.resolved = make(map[types.ProposalID]types.Index)
 	c.Net.Register(id, func(env types.Envelope) {
 		if !h.alive {
 			return

@@ -48,6 +48,12 @@ type CraftOptions struct {
 	// SnapshotThreshold enables local-log snapshotting + compaction (0 =
 	// disabled).
 	SnapshotThreshold int
+	// MaxEntriesPerAppend caps AppendEntries payloads at both levels (0 =
+	// unlimited).
+	MaxEntriesPerAppend int
+	// SessionTTL expires idle client sessions at the local level (0 = no
+	// expiry).
+	SessionTTL time.Duration
 	// DisableFastTrack forces the classic track at both levels.
 	DisableFastTrack bool
 }
@@ -74,8 +80,20 @@ type CraftHost struct {
 	wake  *simnet.Timer
 
 	proposeStart map[types.ProposalID]time.Duration
+	// resolved records the resolution index of every tracked proposal.
+	resolved map[types.ProposalID]types.Index
 	// OnResolve observes local application proposal resolutions.
 	OnResolve func(pid types.ProposalID, at, latency time.Duration)
+	// OnCommit, when set, observes every locally applied entry (session
+	// duplicates never appear here).
+	OnCommit func(e types.Entry)
+}
+
+// Resolved returns the resolution index of a tracked proposal, if it
+// resolved.
+func (h *CraftHost) Resolved(pid types.ProposalID) (types.Index, bool) {
+	idx, ok := h.resolved[pid]
+	return idx, ok
 }
 
 // ID returns the site identity.
@@ -166,6 +184,7 @@ func (c *CraftCluster) addSite(spec ClusterSpec, site types.NodeID, globalBootst
 		clust:        spec.ID,
 		store:        storage.NewMemory(),
 		proposeStart: make(map[types.ProposalID]time.Duration),
+		resolved:     make(map[types.ProposalID]types.Index),
 	}
 	node, err := c.makeNode(spec, site, globalBootstrap, h.store)
 	if err != nil {
@@ -198,6 +217,8 @@ func (c *CraftCluster) makeNode(spec ClusterSpec, site types.NodeID, globalBoots
 		GlobalHeartbeat:     c.opts.GlobalHeartbeat,
 		MemberTimeoutRounds: c.opts.MemberTimeoutRounds,
 		SnapshotThreshold:   c.opts.SnapshotThreshold,
+		MaxEntriesPerAppend: c.opts.MaxEntriesPerAppend,
+		SessionTTL:          c.opts.SessionTTL,
 		DisableFastTrack:    c.opts.DisableFastTrack,
 		Rand:                rand.New(rand.NewSource(c.rng.Int63())),
 	})
@@ -212,6 +233,9 @@ func (c *CraftCluster) drain(h *CraftHost) {
 	group := "local/" + string(h.clust)
 	for _, e := range h.node.TakeCommitted() {
 		c.Safety.RecordCommit(group, h.id, e)
+		if h.OnCommit != nil {
+			h.OnCommit(e)
+		}
 	}
 	if h.node.Role() == types.RoleLeader {
 		c.Safety.RecordLeader(group, h.node.Term(), h.id)
@@ -237,6 +261,7 @@ func (c *CraftCluster) drain(h *CraftHost) {
 		c.Timeline.ObserveLeader(now, "global", h.node.GlobalTerm(), h.clust)
 	}
 	for _, res := range h.node.TakeResolved() {
+		h.resolved[res.PID] = res.Index
 		start, ok := h.proposeStart[res.PID]
 		if !ok {
 			continue
@@ -380,6 +405,50 @@ func (c *CraftCluster) Propose(id types.NodeID, data []byte) (types.ProposalID, 
 	return pid, nil
 }
 
+// OpenSession proposes a client-session registration at the given site; the
+// returned proposal resolves with the new session's ID.
+func (c *CraftCluster) OpenSession(id types.NodeID) (types.ProposalID, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return types.ProposalID{}, fmt.Errorf("harness: site %s not running", id)
+	}
+	now := c.Sched.Now()
+	pid := h.node.OpenSession(now)
+	h.proposeStart[pid] = now
+	c.drain(h)
+	return pid, nil
+}
+
+// ProposeSession submits a payload under (sid, seq) at the given site.
+func (c *CraftCluster) ProposeSession(id types.NodeID, sid types.SessionID, seq uint64, data []byte) (types.ProposalID, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return types.ProposalID{}, fmt.Errorf("harness: site %s not running", id)
+	}
+	now := c.Sched.Now()
+	pid := h.node.ProposeSession(now, sid, seq, data)
+	h.proposeStart[pid] = now
+	c.drain(h)
+	return pid, nil
+}
+
+// AwaitResolution runs the simulation until the proposal tracked at site id
+// resolves, returning its resolution index.
+func (c *CraftCluster) AwaitResolution(id types.NodeID, pid types.ProposalID, deadline time.Duration) (types.Index, bool) {
+	h := c.hosts[id]
+	if h == nil {
+		return 0, false
+	}
+	ok := c.RunUntil(func() bool {
+		_, done := h.resolved[pid]
+		return done
+	}, deadline)
+	if !ok {
+		return 0, false
+	}
+	return h.resolved[pid], true
+}
+
 // Crash stops a site without warning.
 func (c *CraftCluster) Crash(id types.NodeID) {
 	h := c.hosts[id]
@@ -425,6 +494,7 @@ func (c *CraftCluster) Restart(id types.NodeID) error {
 	h.node = node
 	h.alive = true
 	h.proposeStart = make(map[types.ProposalID]time.Duration)
+	h.resolved = make(map[types.ProposalID]types.Index)
 	c.Net.Register(id, func(env types.Envelope) {
 		if !h.alive {
 			return

@@ -1,0 +1,455 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/core/fastraft"
+	"github.com/hraft-io/hraft/internal/raft"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// countApplies attaches an apply counter for payload to every host's
+// state-machine view (session duplicates never reach it).
+func countApplies(c *Cluster, payload []byte) map[types.NodeID]*int {
+	counts := make(map[types.NodeID]*int)
+	for id, h := range c.Hosts() {
+		n := new(int)
+		counts[id] = n
+		h.OnCommit = func(e types.Entry) {
+			if e.Kind == types.KindNormal && bytes.Equal(e.Data, payload) {
+				*n++
+			}
+		}
+	}
+	return counts
+}
+
+// runDoubleCommitScenario drives the ROADMAP double-commit sequence —
+// propose → commit → compact past it → crash the proposer → restart →
+// retry — and returns how many times the observer node applied the payload
+// plus the retry's resolution index. withSessions selects the retry
+// identity: a session (SessionID, seq) that survives the restart, or a
+// plain re-propose (fresh ProposalID) as before this subsystem existed.
+func runDoubleCommitScenario(t *testing.T, withSessions bool) (applies int, firstIdx, retryIdx types.Index) {
+	t.Helper()
+	const threshold = 8
+	c, err := NewCluster(Options{
+		Kind:              KindFastRaft,
+		Nodes:             fiveNodes(),
+		Seed:              17,
+		SnapshotThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	const proposer = types.NodeID("n3")
+	const observer = types.NodeID("n1")
+	payload := []byte("exactly-once-me")
+	counts := countApplies(c, payload)
+
+	var sid types.SessionID
+	if withSessions {
+		pid, err := c.OpenSession(proposer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+		if !ok || idx == 0 {
+			t.Fatalf("session open did not resolve (idx=%d ok=%v)", idx, ok)
+		}
+		sid = types.SessionID(idx)
+	}
+
+	// The proposal commits and the proposer learns it (this is the point
+	// where a real client's acknowledgment gets lost).
+	var pid types.ProposalID
+	if withSessions {
+		pid, err = c.ProposeSession(proposer, sid, 1, payload)
+	} else {
+		pid, err = c.Propose(proposer, payload)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok bool
+	firstIdx, ok = c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || firstIdx == 0 {
+		t.Fatalf("first proposal did not commit (idx=%d ok=%v)", firstIdx, ok)
+	}
+
+	// Push every node's compaction boundary past the committed entry.
+	if _, err := c.RunProposals("n2", 3*threshold, c.Sched.Now()+120*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	fr := c.Host(proposer).Machine().(*fastraft.Node)
+	if fr.SnapshotIndex() < firstIdx {
+		t.Fatalf("scenario broken: proposer boundary %d below entry %d", fr.SnapshotIndex(), firstIdx)
+	}
+
+	// Crash and restart the proposer: its in-memory PID map and pending
+	// proposals are gone; only the snapshot survives.
+	c.Crash(proposer)
+	c.RunFor(2 * time.Second)
+	if err := c.Restart(proposer); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+
+	// The client never saw the acknowledgment and retries.
+	if withSessions {
+		pid, err = c.ProposeSession(proposer, sid, 1, payload)
+	} else {
+		pid, err = c.Propose(proposer, payload)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	retryIdx, ok = c.AwaitResolution(proposer, pid, c.Sched.Now()+60*time.Second)
+	if !ok {
+		t.Fatal("retry did not resolve")
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return *counts[observer], firstIdx, retryIdx
+}
+
+// TestDoubleCommitWithoutSessions documents the pre-session hazard the
+// ROADMAP describes: with dedup state lost to compaction and restart, the
+// retry commits (and applies) a second time. If this test ever starts
+// reporting a single apply, plain proposals have silently grown dedup
+// guarantees and TestExactlyOnceWithSessions is no longer the load-bearing
+// regression test.
+func TestDoubleCommitWithoutSessions(t *testing.T) {
+	applies, _, _ := runDoubleCommitScenario(t, false)
+	if applies != 2 {
+		t.Fatalf("observer applied payload %d times, expected the documented double-commit (2)", applies)
+	}
+}
+
+// TestExactlyOnceWithSessions is the acceptance scenario for the session
+// subsystem: the same sequence applies exactly once, and the retry is
+// answered with the original commit index.
+func TestExactlyOnceWithSessions(t *testing.T) {
+	applies, firstIdx, retryIdx := runDoubleCommitScenario(t, true)
+	if applies != 1 {
+		t.Fatalf("observer applied payload %d times, want exactly 1", applies)
+	}
+	if retryIdx != firstIdx {
+		t.Fatalf("retry resolved to %d, want the original commit index %d", retryIdx, firstIdx)
+	}
+}
+
+// testSessionDedupLive covers the no-crash path on both flat protocols: a
+// duplicate retry of an applied sequence resolves with the cached index
+// and is never applied again.
+func testSessionDedupLive(t *testing.T, kind Kind) {
+	t.Helper()
+	c, err := NewCluster(Options{Kind: kind, Nodes: fiveNodes(), Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	const proposer = types.NodeID("n2")
+	payload := []byte("dedup-live")
+	counts := countApplies(c, payload)
+
+	pid, err := c.OpenSession(proposer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || idx == 0 {
+		t.Fatal("session open did not resolve")
+	}
+	sid := types.SessionID(idx)
+
+	pid, err = c.ProposeSession(proposer, sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || first == 0 {
+		t.Fatal("first proposal did not commit")
+	}
+
+	// Same sequence again: cached response, no second apply.
+	pid, err = c.ProposeSession(proposer, sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok {
+		t.Fatal("duplicate did not resolve")
+	}
+	if again != first {
+		t.Fatalf("duplicate resolved to %d, want %d", again, first)
+	}
+	c.RunFor(2 * time.Second)
+	for id, n := range counts {
+		if *n != 1 {
+			t.Fatalf("node %s applied payload %d times, want 1", id, *n)
+		}
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastRaftSessionDedup(t *testing.T) { testSessionDedupLive(t, KindFastRaft) }
+
+func TestRaftSessionDedup(t *testing.T) { testSessionDedupLive(t, KindRaft) }
+
+// TestFastRaftConcurrentDuplicateRetries exercises the apply-time dedup
+// path: two retries of the same (session, seq) race through different
+// nodes before either commits, so the duplicate can reach the log — it
+// must still apply exactly once, with both proposals answered.
+func TestFastRaftConcurrentDuplicateRetries(t *testing.T) {
+	c, err := NewCluster(Options{Kind: KindFastRaft, Nodes: fiveNodes(), Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	payload := []byte("racing-retries")
+	counts := countApplies(c, payload)
+
+	pid, err := c.OpenSession("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := c.AwaitResolution("n2", pid, c.Sched.Now()+30*time.Second)
+	if !ok || idx == 0 {
+		t.Fatal("session open did not resolve")
+	}
+	sid := types.SessionID(idx)
+
+	// Two sites submit the same sequence back to back, before either
+	// commits.
+	pidA, err := c.ProposeSession("n2", sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pidB, err := c.ProposeSession("n4", sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxA, ok := c.AwaitResolution("n2", pidA, c.Sched.Now()+60*time.Second)
+	if !ok {
+		t.Fatal("proposal A did not resolve")
+	}
+	idxB, ok := c.AwaitResolution("n4", pidB, c.Sched.Now()+60*time.Second)
+	if !ok {
+		t.Fatal("proposal B did not resolve")
+	}
+	if idxA == 0 && idxB == 0 {
+		t.Fatal("both racing proposals were rejected")
+	}
+	c.RunFor(2 * time.Second)
+	total := 0
+	for id, n := range counts {
+		if *n > 1 {
+			t.Fatalf("node %s applied payload %d times, want at most 1", id, *n)
+		}
+		total += *n
+	}
+	if total != len(c.Hosts()) {
+		t.Fatalf("%d/%d nodes applied the payload exactly once", total, len(c.Hosts()))
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionExpiry drives the deterministic TTL machinery: an idle
+// session is expired by leader clock entries on every replica, after which
+// its proposals are rejected rather than risked as re-applies.
+func TestSessionExpiry(t *testing.T) {
+	const ttl = 3 * time.Second
+	c, err := NewCluster(Options{
+		Kind:       KindFastRaft,
+		Nodes:      fiveNodes(),
+		Seed:       31,
+		SessionTTL: ttl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	pid, err := c.OpenSession("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := c.AwaitResolution("n2", pid, c.Sched.Now()+30*time.Second)
+	if !ok || idx == 0 {
+		t.Fatal("session open did not resolve")
+	}
+	sid := types.SessionID(idx)
+
+	// Idle well past the TTL; clock entries expire the session everywhere.
+	c.RunFor(4 * ttl)
+	for id, h := range c.Hosts() {
+		if h.Machine().(*fastraft.Node).Sessions().Has(sid) {
+			t.Fatalf("node %s still has session %v after TTL", id, sid)
+		}
+	}
+
+	// Proposals under the dead session are rejected (resolution index 0).
+	pid, err = c.ProposeSession("n2", sid, 1, []byte("too-late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok = c.AwaitResolution("n2", pid, c.Sched.Now()+30*time.Second)
+	if !ok {
+		t.Fatal("expired-session proposal did not resolve")
+	}
+	if idx != 0 {
+		t.Fatalf("expired-session proposal resolved to %d, want rejection (0)", idx)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCraftSessionDedup covers the hierarchical protocol: session dedup at
+// the intra-cluster level withholds the duplicate from the local commit
+// stream, so it is neither applied twice nor batched into the global log
+// twice.
+func TestCraftSessionDedup(t *testing.T) {
+	c := newCraft(t, twoClusterSpecs(), 43, 0)
+	if !c.WaitForLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	const site = types.NodeID("a2")
+	payload := []byte("craft-dedup")
+	applies := 0
+	c.Host("a1").OnCommit = func(e types.Entry) {
+		if e.Kind == types.KindNormal && bytes.Equal(e.Data, payload) {
+			applies++
+		}
+	}
+
+	pid, err := c.OpenSession(site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := c.AwaitResolution(site, pid, c.Sched.Now()+time.Minute)
+	if !ok || idx == 0 {
+		t.Fatal("session open did not resolve")
+	}
+	sid := types.SessionID(idx)
+
+	pid, err = c.ProposeSession(site, sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := c.AwaitResolution(site, pid, c.Sched.Now()+time.Minute)
+	if !ok || first == 0 {
+		t.Fatal("first proposal did not commit")
+	}
+	pid, err = c.ProposeSession(site, sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, ok := c.AwaitResolution(site, pid, c.Sched.Now()+time.Minute)
+	if !ok {
+		t.Fatal("duplicate did not resolve")
+	}
+	if again != first {
+		t.Fatalf("duplicate resolved to %d, want %d", again, first)
+	}
+	c.RunFor(5 * time.Second)
+	if applies != 1 {
+		t.Fatalf("observer applied payload %d times, want 1", applies)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaftSessionSurvivesSnapshotInstall covers the baseline protocol's
+// snapshot path: a follower that catches up via InstallSnapshot receives
+// the session registry with it and dedups a retry routed through it.
+func TestRaftSessionSurvivesSnapshotInstall(t *testing.T) {
+	const threshold = 8
+	c, err := NewCluster(Options{
+		Kind:              KindRaft,
+		Nodes:             fiveNodes(),
+		Seed:              37,
+		SnapshotThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	const proposer = types.NodeID("n4")
+	payload := []byte("raft-snapshot-dedup")
+	counts := countApplies(c, payload)
+
+	pid, err := c.OpenSession(proposer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || idx == 0 {
+		t.Fatal("session open did not resolve")
+	}
+	sid := types.SessionID(idx)
+	pid, err = c.ProposeSession(proposer, sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || first == 0 {
+		t.Fatal("first proposal did not commit")
+	}
+
+	// Compact everywhere, then crash/restart the proposer so its registry
+	// can only come back from the snapshot.
+	if _, err := c.RunProposals("n1", 3*threshold, c.Sched.Now()+120*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	c.Crash(proposer)
+	c.RunFor(time.Second)
+	if err := c.Restart(proposer); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+
+	rn := c.Host(proposer).Machine().(*raft.Node)
+	if !rn.Sessions().Has(sid) {
+		t.Fatalf("restarted node lost session %v (registry not in snapshot?)", sid)
+	}
+	pid, err = c.ProposeSession(proposer, sid, 1, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+60*time.Second)
+	if !ok {
+		t.Fatal("retry did not resolve")
+	}
+	if again != first {
+		t.Fatalf("retry resolved to %d, want %d", again, first)
+	}
+	c.RunFor(2 * time.Second)
+	if n := *counts["n1"]; n != 1 {
+		t.Fatalf("observer applied payload %d times, want 1", n)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,12 +56,12 @@ type Log struct {
 	// lastIndex is the highest occupied index (== snapIndex when the
 	// retained log is empty).
 	lastIndex types.Index
-	// byPID locates entries by proposal for de-duplication. Values are
-	// indices; entries with zero PIDs are not tracked. Compacted proposals
-	// keep their mapping (pointing below the boundary) so duplicate
-	// re-proposals of committed-then-compacted entries are still caught —
-	// but only within this process: the mappings are not part of the
-	// snapshot, so a restart forgets them (see ROADMAP: client sessions).
+	// byPID locates retained entries by proposal for de-duplication.
+	// Values are indices; entries with zero PIDs are not tracked. Mappings
+	// at or below the compaction boundary are dropped — bounding the map
+	// by the retained log length — because restart-safe de-duplication of
+	// committed-then-compacted proposals is owned by the session registry
+	// (internal/session), whose state rides in the snapshot.
 	byPID map[types.ProposalID]types.Index
 	// config is the configuration carried by the last KindConfig entry in
 	// the log (or the snapshot/bootstrap base), and configIndex its index
@@ -271,7 +271,8 @@ func (l *Log) TruncateSuffix(idx types.Index) {
 // new snapshot boundary. The boundary must lie inside the leader-approved
 // prefix (callers additionally restrict it to committed, applied entries)
 // and advance monotonically. Proposal-ID mappings of compacted entries are
-// retained for duplicate detection.
+// dropped with them: in-log de-duplication covers only the retained suffix,
+// and the session registry covers everything below the boundary.
 func (l *Log) CompactTo(idx types.Index, term types.Term) error {
 	if idx <= l.snapIndex {
 		return fmt.Errorf("%w: compact to %d at or below boundary %d", ErrCompacted, idx, l.snapIndex)
@@ -286,9 +287,23 @@ func (l *Log) CompactTo(idx types.Index, term types.Term) error {
 	if l.lastIndex < idx {
 		l.lastIndex = idx
 	}
-	// byPID mappings below the boundary survive on purpose (see field doc).
+	l.dropCompactedPIDs()
 	return nil
 }
+
+// dropCompactedPIDs removes proposal mappings that point at or below the
+// snapshot boundary, keeping the map proportional to the retained log.
+func (l *Log) dropCompactedPIDs() {
+	for pid, idx := range l.byPID {
+		if idx <= l.snapIndex {
+			delete(l.byPID, pid)
+		}
+	}
+}
+
+// PIDCount returns the number of tracked proposal mappings (tests assert it
+// stays bounded across compactions).
+func (l *Log) PIDCount() int { return len(l.byPID) }
 
 // InstallSnapshot resets the log to a snapshot boundary received from the
 // leader: everything at or below meta.LastIndex is dropped and the
@@ -320,6 +335,7 @@ func (l *Log) InstallSnapshot(meta types.SnapshotMeta) error {
 	l.base = meta.Config.Clone()
 	l.baseIndex = meta.ConfigIndex
 	l.recomputeConfig()
+	l.dropCompactedPIDs()
 	return nil
 }
 

@@ -342,9 +342,14 @@ func TestCompactTo(t *testing.T) {
 	if l.Term(6) != 2 {
 		t.Fatalf("Term(boundary) = %d", l.Term(6))
 	}
-	// Compacted proposals stay findable for duplicate detection.
-	if idx := l.FindProposal(pid("p", 3)); idx != 3 {
-		t.Fatalf("compacted pid lookup = %d", idx)
+	// Compacted proposals drop out of the PID map (restart-safe dedup of
+	// the compacted prefix is the session registry's job); retained ones
+	// stay findable.
+	if idx := l.FindProposal(pid("p", 3)); idx != 0 {
+		t.Fatalf("compacted pid lookup = %d, want 0", idx)
+	}
+	if idx := l.FindProposal(pid("p", 8)); idx != 8 {
+		t.Fatalf("retained pid lookup = %d, want 8", idx)
 	}
 	// Appends continue above the old tail.
 	if err := l.AppendLeader(11, leaderEntry(2, "p", 11)); err != nil {
@@ -356,6 +361,46 @@ func TestCompactTo(t *testing.T) {
 	}
 	if err := l.CompactTo(99, 2); !errors.Is(err, ErrCompacted) {
 		t.Fatalf("compact beyond prefix: %v", err)
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactToBoundsPIDMap is the ROADMAP regression: before sessions,
+// byPID retained every compacted proposal forever, so the map grew without
+// bound under continuous traffic. Now it must stay proportional to the
+// retained suffix.
+func TestCompactToBoundsPIDMap(t *testing.T) {
+	const window = 10
+	l := New(types.NewConfig("a", "b", "c"))
+	next := types.Index(1)
+	for round := 0; round < 50; round++ {
+		for i := 0; i < window; i++ {
+			if err := l.AppendLeader(next, leaderEntry(1, "p", uint64(next))); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := l.CompactTo(next-1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.PIDCount(); got != 0 {
+			t.Fatalf("round %d: %d PID mappings retained after full compaction", round, got)
+		}
+	}
+	// Partial compaction keeps exactly the retained suffix's mappings.
+	for i := 0; i < window; i++ {
+		if err := l.AppendLeader(next, leaderEntry(1, "p", uint64(next))); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	}
+	if err := l.CompactTo(next-6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.PIDCount(); got != 5 {
+		t.Fatalf("PID map has %d entries, want 5 (retained suffix)", got)
 	}
 	if err := l.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -20,6 +20,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/storage"
 	"github.com/hraft-io/hraft/internal/types"
 )
@@ -46,6 +47,13 @@ type Config struct {
 	// latest snapshot boundary after which the node snapshots its state
 	// machine and compacts the log prefix (0 = compaction disabled).
 	SnapshotThreshold int
+	// MaxEntriesPerAppend caps the entries carried by one AppendEntries
+	// message (0 = unlimited); a lagging follower then catches up over
+	// several bounded round trips instead of one unbounded message.
+	MaxEntriesPerAppend int
+	// SessionTTL expires client sessions idle longer than this, via
+	// leader-committed clock entries (0 = no expiry).
+	SessionTTL time.Duration
 	// Snapshotter produces and consumes application state-machine images
 	// for compaction (optional; without one snapshots carry empty state).
 	Snapshotter types.Snapshotter
@@ -133,6 +141,14 @@ type Node struct {
 	// followers that fell behind the compacted prefix.
 	snap types.Snapshot
 
+	// sessions is the replicated client-session registry (see
+	// internal/session), consulted at append and apply time for
+	// exactly-once semantics and snapshotted with the log prefix.
+	sessions *session.Registry
+	// lastSessionClock is when this leader last appended a session clock
+	// entry (expiry pacing).
+	lastSessionClock time.Duration
+
 	now time.Duration
 }
 
@@ -161,11 +177,15 @@ func New(cfg Config) (*Node, error) {
 		log:      log,
 		role:     types.RoleFollower,
 		pending:  make(map[types.ProposalID]*pendingProposal),
+		sessions: session.New(),
 	}
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
 		n.snap = snap
 		n.commitIndex = snap.Meta.LastIndex
+		if err := n.sessions.Restore(snap.Sessions); err != nil {
+			return nil, fmt.Errorf("raft: restore sessions: %w", err)
+		}
 		if cfg.Snapshotter != nil {
 			if err := cfg.Snapshotter.Restore(snap.Clone()); err != nil {
 				return nil, fmt.Errorf("raft: restore state machine: %w", err)
@@ -259,6 +279,46 @@ func (n *Node) Propose(now time.Duration, data []byte) types.ProposalID {
 	n.proposalSeq++
 	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
 	e := types.Entry{Kind: types.KindNormal, PID: pid, Data: append([]byte(nil), data...)}
+	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
+	n.submit(e)
+	return pid
+}
+
+// Sessions exposes the replicated client-session registry (tests and
+// diagnostics; callers must not mutate it).
+func (n *Node) Sessions() *session.Registry { return n.sessions }
+
+// OpenSession proposes a session-registration entry; the proposal resolves
+// with the commit index of the entry, which is the new session's ID.
+func (n *Node) OpenSession(now time.Duration) types.ProposalID {
+	n.now = now
+	n.proposalSeq++
+	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
+	e := types.Entry{Kind: types.KindSessionOpen, PID: pid}
+	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
+	n.submit(e)
+	return pid
+}
+
+// ProposeSession submits an application entry under (sid, seq): an identity
+// that, unlike the ProposalID, survives proposer restarts. A retry of an
+// already-applied sequence resolves immediately with the cached commit
+// index.
+func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq uint64, data []byte) types.ProposalID {
+	n.now = now
+	n.proposalSeq++
+	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
+	if idx, dup := n.sessions.LookupDup(sid, seq); dup {
+		n.resolved = append(n.resolved, types.Resolution{PID: pid, Index: idx})
+		return pid
+	}
+	e := types.Entry{
+		Kind:       types.KindNormal,
+		PID:        pid,
+		Session:    sid,
+		SessionSeq: seq,
+		Data:       append([]byte(nil), data...),
+	}
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
 	n.submit(e)
 	return pid
@@ -456,6 +516,9 @@ func (n *Node) maybeWinElection() {
 func (n *Node) becomeLeader() {
 	n.role = types.RoleLeader
 	n.leaderID = n.cfg.ID
+	// Session clock advances are measured within one leadership; a stale
+	// mark from an earlier term would double-count interim leaders' time.
+	n.lastSessionClock = 0
 	n.votes = nil
 	n.nextIndex = make(map[types.NodeID]types.Index)
 	n.matchIndex = make(map[types.NodeID]types.Index)
@@ -473,8 +536,18 @@ func (n *Node) becomeLeader() {
 }
 
 // leaderAppend appends an entry to the leader's log (de-duplicating by
-// proposal ID) and persists it. Replication happens at the next tick.
+// session and proposal ID) and persists it. Replication happens at the next
+// tick.
 func (n *Node) leaderAppend(e types.Entry) {
+	// Session duplicate: a retry of a sequence already applied — possibly
+	// under a different PID (proposer restart) and possibly below the
+	// compaction boundary. Answer with the cached response, don't append.
+	if !e.Session.IsZero() {
+		if idx, dup := n.sessions.LookupDup(e.Session, e.SessionSeq); dup {
+			n.answerProposer(e.PID, idx)
+			return
+		}
+	}
 	if !e.PID.IsZero() {
 		if idx := n.log.FindProposal(e.PID); idx != 0 {
 			if idx <= n.commitIndex {
@@ -510,6 +583,7 @@ func (n *Node) onClientPropose(from types.NodeID, m types.ClientPropose) {
 // notification flush, and AppendEntries dispatch.
 func (n *Node) leaderTick() {
 	n.advanceCommit()
+	n.maybeSessionClock()
 	n.flushNotifications()
 	n.broadcastAppend()
 }
@@ -534,6 +608,12 @@ func (n *Node) commitTo(k types.Index) {
 		if !ok {
 			panic(fmt.Sprintf("raft %s: commit hole at %d", n.cfg.ID, i))
 		}
+		if n.applySessionCommit(e) {
+			// Session duplicate (or expired-session proposal): the slot
+			// commits but the entry is withheld from the state machine.
+			n.commitIndex = i
+			continue
+		}
 		n.committed = append(n.committed, e)
 		n.observeCommitted(e)
 		if n.role == types.RoleLeader && !e.PID.IsZero() {
@@ -541,6 +621,94 @@ func (n *Node) commitTo(k types.Index) {
 		}
 	}
 	n.commitIndex = k
+}
+
+// applySessionCommit folds one committed entry into the session registry,
+// reporting whether the entry must be withheld from the state machine (a
+// duplicate, or a proposal under an expired session). The proposer is
+// answered with the cached response out-of-band.
+func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
+	switch e.Kind {
+	case types.KindSessionOpen:
+		n.sessions.ApplyOpen(e.Index)
+		return false
+	case types.KindSessionExpire:
+		advance, ttl, err := session.DecodeExpire(e.Data)
+		if err != nil {
+			panic(fmt.Sprintf("raft %s: corrupt session clock entry at %d: %v", n.cfg.ID, e.Index, err))
+		}
+		n.sessions.ApplyExpire(advance, ttl)
+		return false
+	case types.KindNormal:
+		if e.Session.IsZero() {
+			return false
+		}
+		cached, dup, known := n.sessions.ApplyNormal(e.Session, e.SessionSeq, e.Index)
+		if !known {
+			// Session expired: with the dedup state gone this apply could
+			// be a second one — reject it (resolution index 0).
+			n.answerProposer(e.PID, 0)
+			return true
+		}
+		if dup {
+			n.answerProposer(e.PID, cached)
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// answerProposer resolves a proposal out-of-band (session duplicate or
+// rejection): locally when this site originated it, through the leader's
+// notification queue otherwise.
+func (n *Node) answerProposer(pid types.ProposalID, idx types.Index) {
+	if pid.IsZero() {
+		return
+	}
+	if pid.Proposer == n.cfg.ID {
+		if _, ok := n.pending[pid]; ok {
+			delete(n.pending, pid)
+			n.resolved = append(n.resolved, types.Resolution{PID: pid, Index: idx})
+		}
+		return
+	}
+	if n.role == types.RoleLeader {
+		n.notifyQueue = append(n.notifyQueue, types.Envelope{
+			From: n.cfg.ID, To: pid.Proposer, Layer: types.LayerLocal,
+			Msg: types.CommitNotify{PID: pid, Index: idx},
+		})
+	}
+}
+
+// maybeSessionClock lets the leader pace session expiry: while sessions
+// exist and a TTL is configured, it periodically appends a clock entry so
+// every replica advances the same deterministic clock.
+func (n *Node) maybeSessionClock() {
+	ttl := n.cfg.SessionTTL
+	if ttl <= 0 || n.sessions.Len() == 0 {
+		return
+	}
+	interval := ttl / 4
+	if interval <= 0 {
+		interval = ttl
+	}
+	if n.lastSessionClock != 0 && n.now < n.lastSessionClock+interval {
+		return
+	}
+	// Carry the advance since this leader's previous clock entry, not an
+	// absolute timestamp (see fastraft.maybeSessionClock): the replicated
+	// clock then never stalls or jumps across leader changes or restarts.
+	var advance time.Duration
+	if n.lastSessionClock != 0 {
+		advance = n.now - n.lastSessionClock
+	}
+	n.lastSessionClock = n.now
+	n.leaderAppend(types.Entry{
+		Kind: types.KindSessionExpire,
+		Data: session.EncodeExpire(uint64(advance), uint64(ttl)),
+	})
 }
 
 // observeCommitted resolves local proposals seen in the committed stream.
@@ -591,12 +759,18 @@ func (n *Node) broadcastAppend() {
 			continue
 		}
 		prev := next - 1
+		hi := n.log.LastIndex()
+		if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
+			// Bound the payload; the follower's ack advances nextIndex and
+			// the next round ships the following chunk.
+			hi = next + types.Index(max) - 1
+		}
 		msg := types.AppendEntries{
 			Term:         n.term,
 			LeaderID:     n.cfg.ID,
 			PrevLogIndex: prev,
 			PrevLogTerm:  n.log.Term(prev),
-			Entries:      n.log.Range(next, n.log.LastIndex()),
+			Entries:      n.log.Range(next, hi),
 			LeaderCommit: n.commitIndex,
 			Round:        n.aeRound,
 		}
@@ -733,6 +907,9 @@ func (n *Node) maybeCompact() {
 			ConfigIndex: ci,
 		},
 		Data: data,
+		// The session registry as of the boundary rides along, so dedup
+		// state survives the compaction it would otherwise be lost to.
+		Sessions: n.sessionStateAt(point),
 	}
 	if err := n.cfg.Storage.SaveSnapshot(snap); err != nil {
 		panic(fmt.Sprintf("raft %s: save snapshot: %v", n.cfg.ID, err))
@@ -776,6 +953,9 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	}
 	n.snap = snap.Clone()
 	n.commitIndex = snap.Meta.LastIndex
+	if err := n.sessions.Restore(snap.Sessions); err != nil {
+		panic(fmt.Sprintf("raft %s: restore sessions: %v", n.cfg.ID, err))
+	}
 	if n.cfg.Snapshotter != nil {
 		if err := n.cfg.Snapshotter.Restore(snap.Clone()); err != nil {
 			panic(fmt.Sprintf("raft %s: restore state machine: %v", n.cfg.ID, err))
@@ -783,6 +963,18 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	}
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)
+}
+
+// sessionStateAt reconstructs the session registry image as of a snapshot
+// boundary by replaying the retained entries above the previous boundary
+// (the live registry reflects the commit index, which may run ahead of the
+// boundary when the application applies asynchronously).
+func (n *Node) sessionStateAt(boundary types.Index) []byte {
+	img, err := session.StateAt(n.snap.Sessions, n.log.Range(n.log.FirstIndex(), boundary))
+	if err != nil {
+		panic(fmt.Sprintf("raft %s: rebuild session state: %v", n.cfg.ID, err))
+	}
+	return img
 }
 
 // onInstallSnapshotReply advances the leader's view of a follower that

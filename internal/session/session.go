@@ -1,0 +1,377 @@
+// Package session implements the replicated client-session registry that
+// gives hraft exactly-once proposal semantics across proposer restarts and
+// log compaction (the Raft-dissertation §6.3 discipline, adapted to Fast
+// Raft's broadcast proposals).
+//
+// A session is opened by committing a KindSessionOpen entry; the entry's
+// log index becomes the SessionID, so every replica assigns the same
+// identity deterministically. Proposals made under a session carry
+// (SessionID, SessionSeq) in the entry itself — an identity that, unlike a
+// ProposalID, survives the proposer process. Every replica feeds committed
+// entries through its Registry in log order:
+//
+//   - the first commit of a (session, seq) pair records seq → index in the
+//     session's response cache and is applied normally;
+//   - any later commit of the same pair is a duplicate: it occupies a log
+//     slot (retries may legitimately reach the log twice) but is NOT
+//     delivered to the state machine, and the proposer is answered with the
+//     cached index instead.
+//
+// Because the registry is driven purely by committed entries it is
+// identical on every replica, and because its image rides in the snapshot
+// (types.Snapshot.Sessions) the dedup state survives both restarts and
+// compaction — the two holes the in-memory PID map could not cover.
+//
+// Expiry is likewise deterministic: the leader periodically commits
+// KindSessionExpire entries carrying a clock advance and TTL, and replicas
+// expire sessions whose last activity is older than TTL at apply time. An LRU cap
+// bounds the registry; response caches are individually capped, dropping
+// the lowest sequence numbers first (a client retries only its most recent
+// proposals).
+package session
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Defaults bounding registry memory. Both are deliberately generous: a
+// session costs a few hundred bytes, and dedup correctness only requires
+// that a response survive for as long as its proposer might retry it.
+const (
+	// DefaultMaxSessions is the LRU cap on concurrently open sessions.
+	DefaultMaxSessions = 4096
+	// DefaultMaxResponses caps each session's cached responses; lower
+	// sequence numbers are evicted first.
+	DefaultMaxResponses = 256
+)
+
+// ErrBadImage reports a registry image that fails to decode.
+var ErrBadImage = errors.New("session: bad registry image")
+
+// state is one session's replicated record.
+type state struct {
+	id      types.SessionID
+	lastSeq uint64
+	// responses maps applied sequence numbers to the log index they
+	// committed at (the "cached response" a duplicate retry is answered
+	// with). Bounded by maxResponses.
+	responses map[uint64]types.Index
+	// lastActive is the registry clock value when the session last opened
+	// or applied an entry; expiry compares it against the leader clock.
+	lastActive uint64
+}
+
+// Registry is the deterministic session table every replica maintains. It
+// is not safe for concurrent use; the consensus cores are single-threaded
+// per node.
+type Registry struct {
+	maxSessions  int
+	maxResponses int
+	// clock is the replicated session clock: the sum of all applied clock
+	// advances (nanoseconds), identical on every replica and monotonic by
+	// construction.
+	clock    uint64
+	sessions map[types.SessionID]*state
+}
+
+// New returns an empty registry with default bounds.
+func New() *Registry {
+	return &Registry{
+		maxSessions:  DefaultMaxSessions,
+		maxResponses: DefaultMaxResponses,
+		sessions:     make(map[types.SessionID]*state),
+	}
+}
+
+// NewBounded returns an empty registry with explicit bounds (tests and
+// embedders with tight memory budgets). Non-positive values fall back to
+// the defaults.
+func NewBounded(maxSessions, maxResponses int) *Registry {
+	r := New()
+	if maxSessions > 0 {
+		r.maxSessions = maxSessions
+	}
+	if maxResponses > 0 {
+		r.maxResponses = maxResponses
+	}
+	return r
+}
+
+// Len returns the number of open sessions.
+func (r *Registry) Len() int { return len(r.sessions) }
+
+// Clock returns the latest applied leader clock.
+func (r *Registry) Clock() uint64 { return r.clock }
+
+// Has reports whether the session is open.
+func (r *Registry) Has(id types.SessionID) bool {
+	_, ok := r.sessions[id]
+	return ok
+}
+
+// LastSeq returns the session's highest applied sequence number (0 if the
+// session is unknown).
+func (r *Registry) LastSeq(id types.SessionID) uint64 {
+	if s, ok := r.sessions[id]; ok {
+		return s.lastSeq
+	}
+	return 0
+}
+
+// ApplyOpen registers the session opened by a KindSessionOpen entry
+// committed at idx. Re-applying the same open (log replay) is a no-op. If
+// the registry is full, the least-recently-active session is evicted —
+// deterministically, since lastActive is replicated state.
+func (r *Registry) ApplyOpen(idx types.Index) types.SessionID {
+	id := types.SessionID(idx)
+	if s, ok := r.sessions[id]; ok {
+		s.lastActive = r.clock
+		return id
+	}
+	for len(r.sessions) >= r.maxSessions {
+		r.evictLRU()
+	}
+	r.sessions[id] = &state{
+		id:         id,
+		responses:  make(map[uint64]types.Index),
+		lastActive: r.clock,
+	}
+	return id
+}
+
+// evictLRU removes the least-recently-active session, breaking ties by the
+// smaller ID so every replica evicts the same one.
+func (r *Registry) evictLRU() {
+	var victim *state
+	for _, s := range r.sessions {
+		if victim == nil || s.lastActive < victim.lastActive ||
+			(s.lastActive == victim.lastActive && s.id < victim.id) {
+			victim = s
+		}
+	}
+	if victim != nil {
+		delete(r.sessions, victim.id)
+	}
+}
+
+// ApplyExpire applies a committed KindSessionExpire entry: advance the
+// registry clock by the leader-measured delta and drop every session idle
+// longer than the TTL the entry carries (the leader's TTL travels in the
+// entry, so a configuration mismatch between replicas cannot diverge
+// their tables). The entry carries a delta rather than an absolute leader
+// clock so the replicated clock is monotonic by construction: leaders of
+// different uptimes, or a restarted leader whose process clock reset,
+// can neither stall expiry nor trigger it prematurely.
+func (r *Registry) ApplyExpire(advance, ttl uint64) {
+	r.clock += advance
+	if ttl == 0 {
+		return
+	}
+	for id, s := range r.sessions {
+		if r.clock-s.lastActive > ttl && s.lastActive < r.clock {
+			delete(r.sessions, id)
+		}
+	}
+}
+
+// ApplyNormal folds the commit of a session-tagged application entry at
+// idx into the registry.
+//
+//   - known=false: the session is unknown (expired or never opened); the
+//     entry must NOT be applied — with the dedup state gone, applying
+//     could be a second apply.
+//   - dup=true: (id, seq) was already applied; cached is the original
+//     commit index (0 if that response was evicted). The entry must NOT be
+//     applied again.
+//   - otherwise the entry is applied for the first time: the response is
+//     recorded and the caller delivers it to the state machine.
+func (r *Registry) ApplyNormal(id types.SessionID, seq uint64, idx types.Index) (cached types.Index, dup, known bool) {
+	s, ok := r.sessions[id]
+	if !ok {
+		return 0, false, false
+	}
+	s.lastActive = r.clock
+	if seq <= s.lastSeq {
+		return s.responses[seq], true, true
+	}
+	s.lastSeq = seq
+	s.responses[seq] = idx
+	for len(s.responses) > r.maxResponses {
+		min := uint64(0)
+		first := true
+		for q := range s.responses {
+			if first || q < min {
+				min, first = q, false
+			}
+		}
+		delete(s.responses, min)
+	}
+	return idx, false, true
+}
+
+// LookupDup reports whether (id, seq) was already applied, without mutating
+// the registry. Cores use it to short-circuit duplicate proposals before
+// they reach the log: at propose time on the proposer, at insert time on
+// followers, and at decide time on the leader.
+func (r *Registry) LookupDup(id types.SessionID, seq uint64) (cached types.Index, dup bool) {
+	s, ok := r.sessions[id]
+	if !ok || seq > s.lastSeq {
+		return 0, false
+	}
+	return s.responses[seq], true
+}
+
+// ApplyEntry routes one committed entry into the registry, mirroring what
+// the consensus cores do at apply time but discarding the dedup verdict.
+// It is used to replay retained log entries when advancing a
+// snapshot-aligned registry image (see StateAt).
+func (r *Registry) ApplyEntry(e types.Entry) {
+	switch e.Kind {
+	case types.KindSessionOpen:
+		r.ApplyOpen(e.Index)
+	case types.KindSessionExpire:
+		advance, ttl, err := DecodeExpire(e.Data)
+		if err != nil {
+			// A committed expire entry that cannot decode is a bug in the
+			// proposing leader, not a runtime condition.
+			panic(fmt.Sprintf("session: corrupt expire entry at %d: %v", e.Index, err))
+		}
+		r.ApplyExpire(advance, ttl)
+	case types.KindNormal:
+		if !e.Session.IsZero() {
+			r.ApplyNormal(e.Session, e.SessionSeq, e.Index)
+		}
+	}
+}
+
+// --- Snapshot image ---------------------------------------------------------
+
+// Encode serializes the registry deterministically (sessions ascending by
+// ID, responses ascending by seq) for inclusion in types.Snapshot.Sessions.
+func (r *Registry) Encode() []byte {
+	if len(r.sessions) == 0 && r.clock == 0 {
+		return nil
+	}
+	var buf []byte
+	u64 := func(v uint64) { buf = binary.AppendUvarint(buf, v) }
+	u64(r.clock)
+	ids := make([]types.SessionID, 0, len(r.sessions))
+	for id := range r.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	u64(uint64(len(ids)))
+	for _, id := range ids {
+		s := r.sessions[id]
+		u64(uint64(s.id))
+		u64(s.lastSeq)
+		u64(s.lastActive)
+		seqs := make([]uint64, 0, len(s.responses))
+		for q := range s.responses {
+			seqs = append(seqs, q)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		u64(uint64(len(seqs)))
+		for _, q := range seqs {
+			u64(q)
+			u64(uint64(s.responses[q]))
+		}
+	}
+	return buf
+}
+
+// Restore replaces the registry contents with a decoded image. A nil/empty
+// image yields an empty registry (no sessions ever opened).
+func (r *Registry) Restore(image []byte) error {
+	clock := uint64(0)
+	sessions := make(map[types.SessionID]*state)
+	if len(image) > 0 {
+		off := 0
+		var derr error
+		u64 := func() uint64 {
+			if derr != nil {
+				return 0
+			}
+			v, n := binary.Uvarint(image[off:])
+			if n <= 0 {
+				derr = ErrBadImage
+				return 0
+			}
+			off += n
+			return v
+		}
+		clock = u64()
+		count := u64()
+		if derr == nil && count > uint64(len(image)) {
+			return ErrBadImage
+		}
+		for i := uint64(0); i < count && derr == nil; i++ {
+			s := &state{
+				id:         types.SessionID(u64()),
+				lastSeq:    u64(),
+				lastActive: u64(),
+			}
+			n := u64()
+			if derr == nil && n > uint64(len(image)) {
+				return ErrBadImage
+			}
+			s.responses = make(map[uint64]types.Index, n)
+			for j := uint64(0); j < n && derr == nil; j++ {
+				q := u64()
+				s.responses[q] = types.Index(u64())
+			}
+			sessions[s.id] = s
+		}
+		if derr != nil {
+			return derr
+		}
+	}
+	r.clock = clock
+	r.sessions = sessions
+	return nil
+}
+
+// StateAt reconstructs the registry image as of a snapshot boundary: the
+// previous boundary's image advanced by the retained entries in
+// (prevBoundary, boundary]. The live registry cannot be encoded directly —
+// it reflects the commit index, which may run ahead of the boundary when
+// the application applies asynchronously — so the cores rebuild the
+// boundary-aligned image from the log they are about to compact.
+func StateAt(prevImage []byte, entries []types.Entry) ([]byte, error) {
+	r := New()
+	if err := r.Restore(prevImage); err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		r.ApplyEntry(e)
+	}
+	return r.Encode(), nil
+}
+
+// --- Expire payload ---------------------------------------------------------
+
+// EncodeExpire serializes a KindSessionExpire payload: the clock advance
+// the leader measured since its previous clock entry (nanoseconds) and
+// the session TTL (nanoseconds; 0 = advance the clock without expiring).
+func EncodeExpire(advance, ttl uint64) []byte {
+	buf := binary.AppendUvarint(nil, advance)
+	return binary.AppendUvarint(buf, ttl)
+}
+
+// DecodeExpire parses a payload produced by EncodeExpire.
+func DecodeExpire(data []byte) (advance, ttl uint64, err error) {
+	advance, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, ErrBadImage
+	}
+	ttl, m := binary.Uvarint(data[n:])
+	if m <= 0 {
+		return 0, 0, ErrBadImage
+	}
+	return advance, ttl, nil
+}

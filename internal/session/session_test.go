@@ -1,0 +1,199 @@
+package session
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+func TestOpenAndDedup(t *testing.T) {
+	r := New()
+	id := r.ApplyOpen(5)
+	if id != 5 {
+		t.Fatalf("session id = %v, want 5", id)
+	}
+	if !r.Has(5) {
+		t.Fatal("session 5 not registered")
+	}
+
+	// First apply of seq 1 is fresh.
+	idx, dup, known := r.ApplyNormal(5, 1, 10)
+	if !known || dup || idx != 10 {
+		t.Fatalf("first apply: idx=%d dup=%v known=%v", idx, dup, known)
+	}
+	// Re-apply (a retry that reached the log twice) is a duplicate with the
+	// original index cached.
+	idx, dup, known = r.ApplyNormal(5, 1, 17)
+	if !known || !dup || idx != 10 {
+		t.Fatalf("duplicate apply: idx=%d dup=%v known=%v", idx, dup, known)
+	}
+	// Read-only lookup agrees.
+	if idx, dup := r.LookupDup(5, 1); !dup || idx != 10 {
+		t.Fatalf("LookupDup: idx=%d dup=%v", idx, dup)
+	}
+	if _, dup := r.LookupDup(5, 2); dup {
+		t.Fatal("seq 2 wrongly flagged duplicate")
+	}
+	// Unknown session: not applied.
+	if _, _, known := r.ApplyNormal(99, 1, 20); known {
+		t.Fatal("unknown session wrongly known")
+	}
+}
+
+func TestSeqGapsAndMonotonicLastSeq(t *testing.T) {
+	r := New()
+	r.ApplyOpen(1)
+	if _, dup, _ := r.ApplyNormal(1, 3, 7); dup {
+		t.Fatal("seq 3 after gap wrongly duplicate")
+	}
+	// Below lastSeq counts as duplicate even when never recorded (seq 2
+	// never committed): the registry cannot distinguish it from an evicted
+	// response and must err toward not re-applying.
+	if _, dup, _ := r.ApplyNormal(1, 2, 8); !dup {
+		t.Fatal("seq 2 below lastSeq not flagged duplicate")
+	}
+	if r.LastSeq(1) != 3 {
+		t.Fatalf("lastSeq = %d, want 3", r.LastSeq(1))
+	}
+}
+
+func TestResponseCacheEviction(t *testing.T) {
+	r := NewBounded(0, 4)
+	r.ApplyOpen(1)
+	for seq := uint64(1); seq <= 6; seq++ {
+		r.ApplyNormal(1, seq, types.Index(100+seq))
+	}
+	// Seqs 1 and 2 were evicted: still duplicates, but the response is gone.
+	if idx, dup := r.LookupDup(1, 1); !dup || idx != 0 {
+		t.Fatalf("evicted seq 1: idx=%d dup=%v", idx, dup)
+	}
+	// Recent seqs keep their responses.
+	if idx, dup := r.LookupDup(1, 6); !dup || idx != 106 {
+		t.Fatalf("recent seq 6: idx=%d dup=%v", idx, dup)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	r := NewBounded(2, 0)
+	r.ApplyOpen(1)
+	r.ApplyExpire(10, 0) // clock 10
+	r.ApplyOpen(2)       // lastActive 10
+	r.ApplyExpire(10, 0) // clock 20
+	r.ApplyOpen(3)       // full: evicts session 1 (lastActive 0)
+	if r.Has(1) || !r.Has(2) || !r.Has(3) {
+		t.Fatalf("LRU eviction wrong: has1=%v has2=%v has3=%v", r.Has(1), r.Has(2), r.Has(3))
+	}
+}
+
+func TestAgeExpiry(t *testing.T) {
+	r := New()
+	r.ApplyOpen(1)       // lastActive 0
+	r.ApplyExpire(50, 0) // clock 50
+	r.ApplyOpen(2)       // lastActive 50
+	// TTL 60 at clock 100: session 1 (idle 100) expires, session 2 (idle
+	// 50) survives.
+	r.ApplyExpire(50, 60) // clock 100
+	if r.Has(1) {
+		t.Fatal("session 1 not expired")
+	}
+	if !r.Has(2) {
+		t.Fatal("session 2 wrongly expired")
+	}
+	// Activity refreshes the idle timer.
+	r.ApplyNormal(2, 1, 7) // lastActive = 100
+	r.ApplyExpire(50, 60)  // clock 150, idle 50 < TTL
+	if !r.Has(2) {
+		t.Fatal("active session 2 expired")
+	}
+	// A zero advance (a new leader's first clock entry) changes nothing.
+	r.ApplyExpire(0, 60)
+	if r.Clock() != 150 || !r.Has(2) {
+		t.Fatalf("zero advance mutated state: clock=%d has2=%v", r.Clock(), r.Has(2))
+	}
+}
+
+func TestEncodeRestoreRoundTrip(t *testing.T) {
+	r := New()
+	r.ApplyOpen(3)
+	r.ApplyExpire(42, 0)
+	r.ApplyOpen(9)
+	r.ApplyNormal(3, 1, 11)
+	r.ApplyNormal(3, 2, 12)
+	r.ApplyNormal(9, 5, 30)
+
+	img := r.Encode()
+	// Deterministic: re-encoding yields identical bytes.
+	if !bytes.Equal(img, r.Encode()) {
+		t.Fatal("Encode not deterministic")
+	}
+
+	r2 := New()
+	if err := r2.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Clock() != 42 || r2.Len() != 2 {
+		t.Fatalf("restored clock=%d len=%d", r2.Clock(), r2.Len())
+	}
+	if idx, dup := r2.LookupDup(3, 2); !dup || idx != 12 {
+		t.Fatalf("restored response: idx=%d dup=%v", idx, dup)
+	}
+	if idx, dup := r2.LookupDup(9, 5); !dup || idx != 30 {
+		t.Fatalf("restored response: idx=%d dup=%v", idx, dup)
+	}
+	if !bytes.Equal(r2.Encode(), img) {
+		t.Fatal("restore/encode round trip diverged")
+	}
+
+	// Empty image restores an empty registry.
+	r3 := New()
+	if err := r3.Restore(nil); err != nil || r3.Len() != 0 {
+		t.Fatalf("nil image: err=%v len=%d", err, r3.Len())
+	}
+	// Truncated image errors rather than half-loading.
+	if err := New().Restore(img[:len(img)-1]); err == nil {
+		t.Fatal("truncated image decoded without error")
+	}
+}
+
+func TestStateAtReplay(t *testing.T) {
+	// Base image: session 4 open with seq 1 applied.
+	base := New()
+	base.ApplyOpen(4)
+	base.ApplyNormal(4, 1, 5)
+	prev := base.Encode()
+
+	entries := []types.Entry{
+		{Index: 6, Kind: types.KindNormal, Session: 4, SessionSeq: 2},
+		{Index: 7, Kind: types.KindSessionOpen},
+		{Index: 8, Kind: types.KindSessionExpire, Data: EncodeExpire(99, 0)},
+	}
+	img, err := StateAt(prev, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New()
+	if err := r.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Has(4) || !r.Has(7) {
+		t.Fatalf("replayed registry missing sessions: has4=%v has7=%v", r.Has(4), r.Has(7))
+	}
+	if idx, dup := r.LookupDup(4, 2); !dup || idx != 6 {
+		t.Fatalf("replayed response: idx=%d dup=%v", idx, dup)
+	}
+	if r.Clock() != 99 {
+		t.Fatalf("replayed clock = %d, want 99", r.Clock())
+	}
+}
+
+func TestExpirePayloadRoundTrip(t *testing.T) {
+	data := EncodeExpire(123456789, 5000)
+	clock, ttl, err := DecodeExpire(data)
+	if err != nil || clock != 123456789 || ttl != 5000 {
+		t.Fatalf("round trip: clock=%d ttl=%d err=%v", clock, ttl, err)
+	}
+	if _, _, err := DecodeExpire(nil); err == nil {
+		t.Fatal("empty payload decoded without error")
+	}
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -142,6 +143,42 @@ func TestWALTornTailRecovery(t *testing.T) {
 	_, entries, _ = w3.Load()
 	if len(entries) != 2 {
 		t.Fatalf("post-recovery append lost: %v", entries)
+	}
+}
+
+// TestWALRejectsPreVersioningFormat: a log whose first record is not the
+// format record was written by a build with the old entry encoding; it must
+// be refused with a clear error, not misdecoded.
+func TestWALRejectsPreVersioningFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.wal")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A well-framed v1-style log starting directly with a hard-state record.
+	if err := writeRecord(f, hardStateBody(HardState{Term: 3, VotedFor: "a"})); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenWAL(path); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("pre-versioning WAL opened: err=%v", err)
+	}
+}
+
+// TestWALRejectsFutureFormatVersion: a format record with a newer version
+// must be refused.
+func TestWALRejectsFutureFormatVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.wal")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRecord(f, []byte{recFormat, walFormatVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenWAL(path); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("future-format WAL opened: err=%v", err)
 	}
 }
 

@@ -39,7 +39,16 @@ const (
 	recEntry     byte = 2
 	recTruncate  byte = 3
 	recSnapshot  byte = 4
+	// recFormat is the first record of every log file and carries the
+	// format version, so a WAL written with an older entry encoding is
+	// rejected with a clear error instead of a misleading decode failure.
+	recFormat byte = 5
 )
+
+// walFormatVersion is the current on-disk format: 2 added the session
+// fields to the entry encoding (and the format record itself — WALs
+// without one predate versioning and cannot be read by this build).
+const walFormatVersion = 2
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -97,6 +106,7 @@ func (w *WAL) replay() error {
 	}
 	off := 0
 	valid := 0
+	first := true
 	for {
 		if len(data)-off < 8 {
 			break // clean end or torn length/crc header
@@ -109,6 +119,12 @@ func (w *WAL) replay() error {
 		body := data[off+8 : off+8+int(n)]
 		if crc32.Checksum(body, crcTable) != sum {
 			break // torn/corrupt record; stop replay here
+		}
+		if first {
+			if len(body) == 0 || body[0] != recFormat {
+				return fmt.Errorf("%w: no format record — written by an older incompatible version; remove the WAL (and its .snap sidecar) or migrate it", ErrCorrupt)
+			}
+			first = false
 		}
 		if err := w.apply(body); err != nil {
 			return err
@@ -125,7 +141,18 @@ func (w *WAL) replay() error {
 	if _, err := w.f.Seek(int64(valid), io.SeekStart); err != nil {
 		return fmt.Errorf("storage: seek wal: %w", err)
 	}
+	if valid == 0 {
+		// Fresh (or fully torn-away) log: stamp the format before any data.
+		if err := w.appendRecord(formatBody()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// formatBody builds the version record every log file starts with.
+func formatBody() []byte {
+	return []byte{recFormat, walFormatVersion}
 }
 
 // loadSidecar resolves the recovery-base snapshot after replay. The sidecar
@@ -190,6 +217,15 @@ func (w *WAL) apply(body []byte) error {
 		return ErrCorrupt
 	}
 	switch body[0] {
+	case recFormat:
+		if len(body) != 2 {
+			return fmt.Errorf("%w: malformed format record", ErrCorrupt)
+		}
+		if body[1] != walFormatVersion {
+			return fmt.Errorf("%w: format version %d, this build reads %d; remove the WAL (and its .snap sidecar) or migrate it",
+				ErrCorrupt, body[1], walFormatVersion)
+		}
+		return nil
 	case recHardState:
 		r := body[1:]
 		term, n := binary.Uvarint(r)
@@ -373,7 +409,10 @@ func (w *WAL) TruncatePrefix(idx types.Index) error {
 	if err != nil {
 		return fmt.Errorf("storage: create rewrite: %w", err)
 	}
-	werr := writeRecord(f, hardStateBody(w.hs))
+	werr := writeRecord(f, formatBody())
+	if werr == nil {
+		werr = writeRecord(f, hardStateBody(w.hs))
+	}
 	if werr == nil && !w.snap.IsZero() {
 		marker := types.Snapshot{Meta: w.snap.Meta}
 		werr = writeRecord(f, append([]byte{recSnapshot}, types.EncodeSnapshot(marker)...))

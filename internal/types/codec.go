@@ -17,8 +17,10 @@ import (
 // fully round-trip tested, including fuzz-style corpus checks.
 
 const (
-	wireMagic   = 0xC4AF
-	wireVersion = 1
+	wireMagic = 0xC4AF
+	// wireVersion 2 added the session fields to the entry encoding and the
+	// session-state section to the snapshot encoding.
+	wireVersion = 2
 )
 
 // Message type tags. The values are part of the wire format; never reorder.
@@ -327,6 +329,8 @@ func (w *writer) entry(e Entry) {
 	w.buf = append(w.buf, byte(e.Kind), byte(e.Approval))
 	w.str(string(e.PID.Proposer))
 	w.u64(e.PID.Seq)
+	w.u64(uint64(e.Session))
+	w.u64(e.SessionSeq)
 	w.bytes(e.Data)
 	if e.Config != nil {
 		w.bool(true)
@@ -409,6 +413,8 @@ func (r *reader) entry() Entry {
 	}
 	e.PID.Proposer = NodeID(r.str())
 	e.PID.Seq = r.u64()
+	e.Session = SessionID(r.u64())
+	e.SessionSeq = r.u64()
 	e.Data = r.bytes()
 	if r.bool() {
 		n := r.u64()

@@ -21,6 +21,13 @@ func sampleEntries() []Entry {
 			PID: ProposalID{Proposer: "cluster-1", Seq: 12}, Data: bytes.Repeat([]byte{0xAB}, 300)},
 		{Index: 1 << 40, Term: 1 << 30, Kind: KindGlobalState, Approval: ApprovedLeader,
 			Data: []byte{}},
+		{Index: 5, Term: 2, Kind: KindNormal, Approval: ApprovedSelf,
+			PID:     ProposalID{Proposer: "n2", Seq: 9},
+			Session: 3, SessionSeq: 7, Data: []byte("session-tagged")},
+		{Index: 6, Term: 2, Kind: KindSessionOpen, Approval: ApprovedLeader,
+			PID: ProposalID{Proposer: "n2", Seq: 10}},
+		{Index: 7, Term: 2, Kind: KindSessionExpire, Approval: ApprovedLeader,
+			Data: []byte{0x80, 0x08, 0x10}},
 	}
 }
 
@@ -100,6 +107,9 @@ func canonSnapshot(s Snapshot) Snapshot {
 	if len(s.Data) == 0 {
 		s.Data = nil
 	}
+	if len(s.Sessions) == 0 {
+		s.Sessions = nil
+	}
 	if len(s.Meta.Config.Members) == 0 {
 		s.Meta.Config = Config{}
 	}
@@ -137,6 +147,30 @@ func TestEntryRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(canonEntry(e.Clone()), canonEntry(got)) {
 			t.Fatalf("roundtrip mismatch:\n in: %#v\nout: %#v", e, got)
 		}
+	}
+}
+
+// TestDecodeSnapshotWithoutSessionsSection checks that snapshots written
+// before the session subsystem (no trailing Sessions field) still load,
+// with an empty registry.
+func TestDecodeSnapshotWithoutSessionsSection(t *testing.T) {
+	s := Snapshot{
+		Meta: SnapshotMeta{LastIndex: 5, LastTerm: 2,
+			Config: NewConfig("a", "b"), ConfigIndex: 1},
+		Data: []byte("state"),
+	}
+	buf := EncodeSnapshot(s)
+	// The empty Sessions field encodes as a single trailing zero-length
+	// varint; dropping it reproduces the pre-session format.
+	got, err := DecodeSnapshot(buf[:len(buf)-1])
+	if err != nil {
+		t.Fatalf("old-format snapshot failed to decode: %v", err)
+	}
+	if got.Sessions != nil {
+		t.Fatalf("old-format snapshot decoded with sessions: %x", got.Sessions)
+	}
+	if !reflect.DeepEqual(canonSnapshot(s.Clone()), canonSnapshot(got)) {
+		t.Fatalf("roundtrip mismatch:\n in: %#v\nout: %#v", s, got)
 	}
 }
 
@@ -192,11 +226,15 @@ func quickEntry(rng *rand.Rand) Entry {
 	e := Entry{
 		Index:    Index(rng.Uint64() >> 16),
 		Term:     Term(rng.Uint64() >> 16),
-		Kind:     EntryKind(rng.Intn(5) + 1),
+		Kind:     EntryKind(rng.Intn(7) + 1),
 		Approval: Approval(rng.Intn(2) + 1),
 	}
 	if rng.Intn(2) == 0 {
 		e.PID = ProposalID{Proposer: NodeID(randName(rng)), Seq: rng.Uint64() >> 32}
+	}
+	if rng.Intn(3) == 0 {
+		e.Session = SessionID(rng.Uint64() >> 32)
+		e.SessionSeq = rng.Uint64() >> 32
 	}
 	if n := rng.Intn(64); n > 0 {
 		e.Data = make([]byte, n)
@@ -246,6 +284,10 @@ func TestQuickSnapshotRoundTrip(t *testing.T) {
 		if n := rng.Intn(256); n > 0 {
 			s.Data = make([]byte, n)
 			rng.Read(s.Data)
+		}
+		if n := rng.Intn(64); n > 0 {
+			s.Sessions = make([]byte, n)
+			rng.Read(s.Sessions)
 		}
 		got, err := DecodeSnapshot(EncodeSnapshot(s))
 		if err != nil {

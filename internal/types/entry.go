@@ -26,6 +26,14 @@ const (
 	// leader's inter-cluster consensus state. Data holds an encoded
 	// GlobalStateDelta.
 	KindGlobalState
+	// KindSessionOpen registers a client session. The log index at which
+	// the entry commits becomes the SessionID, so every replica assigns
+	// the same identity.
+	KindSessionOpen
+	// KindSessionExpire is a leader clock entry driving session expiry:
+	// Data carries a clock advance and TTL (see internal/session), and
+	// every replica expires the same sessions when it applies the entry.
+	KindSessionExpire
 )
 
 // String names the kind for logs and tests.
@@ -41,6 +49,10 @@ func (k EntryKind) String() string {
 		return "batch"
 	case KindGlobalState:
 		return "globalstate"
+	case KindSessionOpen:
+		return "sessionopen"
+	case KindSessionExpire:
+		return "sessionexpire"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -85,8 +97,17 @@ type Entry struct {
 	// Approval is the paper's insertedBy marker.
 	Approval Approval
 	// PID identifies the proposal, for de-duplication and commit
-	// notification. Zero for leader-internal entries.
+	// notification. Zero for leader-internal entries. A PID is stable only
+	// within one proposer process lifetime; session entries additionally
+	// carry (Session, SessionSeq), which survives restarts.
 	PID ProposalID
+	// Session ties the entry to an open client session for exactly-once
+	// apply (0 = none): every replica skips applying duplicates of
+	// (Session, SessionSeq) and answers with the cached response instead.
+	Session SessionID
+	// SessionSeq is the session-scoped sequence number, meaningful when
+	// Session is non-zero.
+	SessionSeq uint64
 	// Data is the application payload (or encoded Batch/GlobalStateDelta).
 	Data []byte
 	// Config is set iff Kind == KindConfig.
@@ -108,9 +129,13 @@ func (e Entry) Clone() Entry {
 }
 
 // SameProposal reports whether two entries denote the same proposed value.
-// Entries with non-zero PIDs compare by PID; leader-internal entries compare
-// by kind and payload.
+// Session entries compare by (Session, SessionSeq) — the identity that
+// survives proposer restarts; other entries with non-zero PIDs compare by
+// PID; leader-internal entries compare by kind and payload.
 func (e Entry) SameProposal(o Entry) bool {
+	if !e.Session.IsZero() || !o.Session.IsZero() {
+		return e.Session == o.Session && e.SessionSeq == o.SessionSeq
+	}
 	if !e.PID.IsZero() || !o.PID.IsZero() {
 		return e.PID == o.PID
 	}

@@ -25,6 +25,23 @@ type Term uint64
 // "no entry".
 type Index uint64
 
+// SessionID identifies a client session for exactly-once proposal
+// semantics. It is the log index at which the session's KindSessionOpen
+// entry committed, so every replica derives the same ID without extra
+// coordination (the Raft-dissertation convention). Zero means "no session".
+type SessionID uint64
+
+// IsZero reports whether the SessionID is unset.
+func (s SessionID) IsZero() bool { return s == 0 }
+
+// String renders the SessionID for logs and test failure messages.
+func (s SessionID) String() string {
+	if s == 0 {
+		return "sess(-)"
+	}
+	return fmt.Sprintf("sess(%d)", uint64(s))
+}
+
 // ProposalID uniquely identifies a proposal across re-proposals: a proposer
 // re-sends an entry under the same ProposalID until it learns the entry
 // committed, and every node uses the ID to de-duplicate.

@@ -28,6 +28,12 @@ type Snapshot struct {
 	// Data is the application state-machine image (opaque to consensus;
 	// produced and consumed by a Snapshotter).
 	Data []byte
+	// Sessions is the encoded client-session registry as of Meta.LastIndex
+	// (see internal/session). It makes proposal de-duplication survive
+	// restarts and log compaction: a replica restored from this snapshot
+	// still recognizes retries of proposals the compacted prefix applied.
+	// Empty when no sessions were ever opened.
+	Sessions []byte
 }
 
 // IsZero reports whether the snapshot is unset (no compaction yet).
@@ -40,13 +46,16 @@ func (s Snapshot) Clone() Snapshot {
 	if s.Data != nil {
 		c.Data = append([]byte(nil), s.Data...)
 	}
+	if s.Sessions != nil {
+		c.Sessions = append([]byte(nil), s.Sessions...)
+	}
 	return c
 }
 
 // String summarizes the snapshot for traces.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("snapshot{i=%d t=%d cfg=%s len=%d}",
-		s.Meta.LastIndex, s.Meta.LastTerm, s.Meta.Config, len(s.Data))
+	return fmt.Sprintf("snapshot{i=%d t=%d cfg=%s len=%d sess=%d}",
+		s.Meta.LastIndex, s.Meta.LastTerm, s.Meta.Config, len(s.Data), len(s.Sessions))
 }
 
 // Snapshotter is implemented by the application state machine to enable
@@ -91,6 +100,7 @@ func (w *writer) snapshot(s Snapshot) {
 		w.str(string(m))
 	}
 	w.bytes(s.Data)
+	w.bytes(s.Sessions)
 }
 
 func (r *reader) snapshot() Snapshot {
@@ -109,5 +119,10 @@ func (r *reader) snapshot() Snapshot {
 	}
 	s.Meta.Config = Config{Members: members}
 	s.Data = r.bytes()
+	// Snapshots written before the session subsystem end here; treat a
+	// cleanly exhausted buffer as "no sessions" so old WAL sidecars load.
+	if r.err == nil && r.off < len(r.buf) {
+		s.Sessions = r.bytes()
+	}
 	return s
 }

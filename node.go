@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"github.com/hraft-io/hraft/internal/core/fastraft"
@@ -52,6 +51,17 @@ type Options struct {
 	// enable compaction without one only if replaying every entry is not
 	// needed to rebuild state.
 	Snapshotter Snapshotter
+	// MaxEntriesPerAppend caps the entries carried by one AppendEntries
+	// message (0 = unlimited), so a lagging follower catches up over
+	// several bounded round trips instead of receiving the entire retained
+	// log suffix in one message. Set it when the transport has a datagram
+	// size limit (UDP).
+	MaxEntriesPerAppend int
+	// SessionTTL expires client sessions (OpenSession) idle longer than
+	// this, via leader-committed clock entries applied identically on every
+	// replica. 0 disables expiry: sessions then live until the registry's
+	// LRU cap evicts them.
+	SessionTTL time.Duration
 	// DisableFastTrack forces the classic track (for comparisons).
 	DisableFastTrack bool
 	// Seed drives randomized timeouts (0 = time-based).
@@ -66,19 +76,6 @@ type Options struct {
 
 // ErrStopped is returned by operations on a stopped node.
 var ErrStopped = errors.New("hraft: node stopped")
-
-// resolve completes a waiting Propose call.
-func (n *Node) resolve(r types.Resolution) {
-	n.mu.Lock()
-	ch, ok := n.waiters[r.PID]
-	if ok {
-		delete(n.waiters, r.PID)
-	}
-	n.mu.Unlock()
-	if ok {
-		ch <- r.Index
-	}
-}
 
 // mixSeed derives a node's timer seed from the user seed and the node ID,
 // so that nodes given the same seed still draw distinct randomized
@@ -102,10 +99,7 @@ type Node struct {
 	host    *runtime.Host
 	fr      *fastraft.Node
 	commits chan Entry
-
-	mu      sync.Mutex
-	waiters map[ProposalID]chan Index
-	stopped bool
+	proposalWaiters
 }
 
 // NewNode builds and starts a Fast Raft node.
@@ -131,6 +125,8 @@ func NewNode(opts Options) (*Node, error) {
 		MemberTimeoutRounds: opts.MemberTimeoutRounds,
 		SnapshotThreshold:   opts.SnapshotThreshold,
 		Snapshotter:         opts.Snapshotter,
+		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+		SessionTTL:          opts.SessionTTL,
 		DisableFastTrack:    opts.DisableFastTrack,
 		Rand:                rand.New(rand.NewSource(seed)),
 	})
@@ -142,9 +138,9 @@ func NewNode(opts Options) (*Node, error) {
 		buf = 1024
 	}
 	n := &Node{
-		fr:      fr,
-		commits: make(chan Entry, buf),
-		waiters: make(map[ProposalID]chan Index),
+		fr:              fr,
+		commits:         make(chan Entry, buf),
+		proposalWaiters: newProposalWaiters(),
 	}
 	n.host = runtime.NewHost(fr, opts.Transport, runtime.Callbacks{
 		OnCommit: func(e Entry) {
@@ -227,31 +223,12 @@ func (n *Node) ProposeAsync(data []byte) ProposalID {
 }
 
 // Propose submits an entry and waits for it to commit, returning its log
-// index.
+// index. Note that a retry after a lost acknowledgment can commit twice;
+// use OpenSession/Session.Propose for exactly-once semantics.
 func (n *Node) Propose(ctx context.Context, data []byte) (Index, error) {
-	n.mu.Lock()
-	if n.stopped {
-		n.mu.Unlock()
-		return 0, ErrStopped
-	}
-	n.mu.Unlock()
-	ch := make(chan Index, 1)
-	var pid ProposalID
-	n.host.Do(func(now time.Duration, _ runtime.Machine) {
-		pid = n.fr.Propose(now, data)
-		n.mu.Lock()
-		n.waiters[pid] = ch
-		n.mu.Unlock()
+	return n.await(ctx, n.host, func(now time.Duration) ProposalID {
+		return n.fr.Propose(now, data)
 	})
-	select {
-	case idx := <-ch:
-		return idx, nil
-	case <-ctx.Done():
-		n.mu.Lock()
-		delete(n.waiters, pid)
-		n.mu.Unlock()
-		return 0, ctx.Err()
-	}
 }
 
 // Join starts the join protocol toward the given contacts: the node
@@ -273,8 +250,6 @@ func (n *Node) Leave() {
 // Stop halts the node (equivalent to a crash: peers detect the silence).
 // Its storage remains usable for a restart.
 func (n *Node) Stop() {
-	n.mu.Lock()
-	n.stopped = true
-	n.mu.Unlock()
+	n.markStopped()
 	n.host.Stop()
 }

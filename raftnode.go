@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 	"time"
 
 	"github.com/hraft-io/hraft/internal/raft"
@@ -20,10 +19,7 @@ type RaftNode struct {
 	host    *runtime.Host
 	rn      *raft.Node
 	commits chan Entry
-
-	mu      sync.Mutex
-	waiters map[ProposalID]chan Index
-	stopped bool
+	proposalWaiters
 }
 
 // NewRaftNode builds and starts a classic Raft node. The Options fields
@@ -39,16 +35,18 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		opts.Storage = NewMemoryStorage()
 	}
 	rn, err := raft.New(raft.Config{
-		ID:                 opts.ID,
-		Bootstrap:          types.NewConfig(opts.Peers...),
-		Storage:            opts.Storage,
-		HeartbeatInterval:  opts.HeartbeatInterval,
-		ElectionTimeoutMin: opts.ElectionTimeoutMin,
-		ElectionTimeoutMax: opts.ElectionTimeoutMax,
-		ProposalTimeout:    opts.ProposalTimeout,
-		SnapshotThreshold:  opts.SnapshotThreshold,
-		Snapshotter:        opts.Snapshotter,
-		Rand:               rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),
+		ID:                  opts.ID,
+		Bootstrap:           types.NewConfig(opts.Peers...),
+		Storage:             opts.Storage,
+		HeartbeatInterval:   opts.HeartbeatInterval,
+		ElectionTimeoutMin:  opts.ElectionTimeoutMin,
+		ElectionTimeoutMax:  opts.ElectionTimeoutMax,
+		ProposalTimeout:     opts.ProposalTimeout,
+		SnapshotThreshold:   opts.SnapshotThreshold,
+		Snapshotter:         opts.Snapshotter,
+		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+		SessionTTL:          opts.SessionTTL,
+		Rand:                rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -58,9 +56,9 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		buf = 1024
 	}
 	n := &RaftNode{
-		rn:      rn,
-		commits: make(chan Entry, buf),
-		waiters: make(map[ProposalID]chan Index),
+		rn:              rn,
+		commits:         make(chan Entry, buf),
+		proposalWaiters: newProposalWaiters(),
 	}
 	n.host = runtime.NewHost(rn, opts.Transport, runtime.Callbacks{
 		OnCommit: func(e Entry) {
@@ -69,17 +67,7 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 			}
 			n.commits <- e
 		},
-		OnResolve: func(r types.Resolution) {
-			n.mu.Lock()
-			ch, ok := n.waiters[r.PID]
-			if ok {
-				delete(n.waiters, r.PID)
-			}
-			n.mu.Unlock()
-			if ok {
-				ch <- r.Index
-			}
-		},
+		OnResolve: n.resolve,
 	})
 	return n, nil
 }
@@ -118,31 +106,13 @@ func (n *RaftNode) CommitIndex() Index {
 // Commits streams committed entries in log order; it must be consumed.
 func (n *RaftNode) Commits() <-chan Entry { return n.commits }
 
-// Propose submits an entry and waits for it to commit.
+// Propose submits an entry and waits for it to commit. Note that a retry
+// after a lost acknowledgment can commit twice; use
+// OpenSession/Session.Propose for exactly-once semantics.
 func (n *RaftNode) Propose(ctx context.Context, data []byte) (Index, error) {
-	n.mu.Lock()
-	if n.stopped {
-		n.mu.Unlock()
-		return 0, ErrStopped
-	}
-	n.mu.Unlock()
-	ch := make(chan Index, 1)
-	var pid ProposalID
-	n.host.Do(func(now time.Duration, _ runtime.Machine) {
-		pid = n.rn.Propose(now, data)
-		n.mu.Lock()
-		n.waiters[pid] = ch
-		n.mu.Unlock()
+	return n.await(ctx, n.host, func(now time.Duration) ProposalID {
+		return n.rn.Propose(now, data)
 	})
-	select {
-	case idx := <-ch:
-		return idx, nil
-	case <-ctx.Done():
-		n.mu.Lock()
-		delete(n.waiters, pid)
-		n.mu.Unlock()
-		return 0, ctx.Err()
-	}
 }
 
 // ProposeAsync submits an entry without waiting.
@@ -156,8 +126,6 @@ func (n *RaftNode) ProposeAsync(data []byte) ProposalID {
 
 // Stop halts the node.
 func (n *RaftNode) Stop() {
-	n.mu.Lock()
-	n.stopped = true
-	n.mu.Unlock()
+	n.markStopped()
 	n.host.Stop()
 }

@@ -1,0 +1,254 @@
+package hraft
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// SessionID identifies a client session: the log index at which the
+// session's registration entry committed, so every replica derives the
+// same identity.
+type SessionID = types.SessionID
+
+// ErrSessionExpired is returned by Session.Propose when the session is no
+// longer known to the cluster (expired by TTL or evicted by the session
+// cap) or when the cached response for a retried sequence has been
+// dropped. The proposal was NOT applied; the client must open a fresh
+// session and decide for itself whether to re-submit.
+var ErrSessionExpired = errors.New("hraft: session expired or response no longer cached")
+
+// Session is a client-session handle providing exactly-once proposal
+// semantics: proposals carry a (SessionID, sequence) identity that
+// survives node restarts and log compaction, so a retry whose original
+// commit acknowledgment was lost returns the original commit index
+// instead of committing a second time.
+//
+// A Session is safe for concurrent use, but proposals are serialized:
+// sequence order is part of the exactly-once contract (a higher sequence
+// committing first would make the replicas classify the lower one as an
+// old duplicate), so each Propose/ProposeAt waits for the previous one to
+// finish. Use separate sessions for independent concurrent streams. To
+// resume a session after a process restart, persist the ID and the last
+// used sequence number and reattach with AttachSession.
+type Session struct {
+	id      SessionID
+	propose func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error)
+
+	// seqMu guards the sequence counter; flightMu serializes in-flight
+	// proposals so sequences reach the log in order.
+	seqMu    sync.Mutex
+	seq      uint64
+	flightMu sync.Mutex
+}
+
+// ID returns the session identity (persist it to reattach after a
+// restart).
+func (s *Session) ID() SessionID { return s.id }
+
+// LastSeq returns the highest sequence number this handle has assigned
+// (persist it alongside the ID to reattach after a restart).
+func (s *Session) LastSeq() uint64 {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	return s.seq
+}
+
+// Propose submits an entry under the next session sequence and waits for
+// it to commit, returning its log index. If the context expires, the
+// assigned sequence is burned and the proposal may still commit later —
+// resolve it by retrying the same payload with ProposeAt(LastSeq()) before
+// submitting anything new, to preserve exactly-once semantics.
+func (s *Session) Propose(ctx context.Context, data []byte) (Index, error) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	s.seqMu.Lock()
+	s.seq++
+	seq := s.seq
+	s.seqMu.Unlock()
+	return s.proposeSerialized(ctx, seq, data)
+}
+
+// ProposeAt submits an entry under an explicit session sequence: the retry
+// path after a crash or timeout. If the sequence was already applied —
+// even before a restart, even below a compacted log prefix — the original
+// commit index is returned and the state machine does not apply the entry
+// a second time.
+func (s *Session) ProposeAt(ctx context.Context, seq uint64, data []byte) (Index, error) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	s.seqMu.Lock()
+	if seq > s.seq {
+		s.seq = seq
+	}
+	s.seqMu.Unlock()
+	return s.proposeSerialized(ctx, seq, data)
+}
+
+// proposeSerialized runs one proposal; callers hold flightMu.
+func (s *Session) proposeSerialized(ctx context.Context, seq uint64, data []byte) (Index, error) {
+	idx, err := s.propose(ctx, s.id, seq, data)
+	if err != nil {
+		return 0, err
+	}
+	if idx == 0 {
+		// Resolution index 0 is the cores' session-rejected signal.
+		return 0, ErrSessionExpired
+	}
+	return idx, nil
+}
+
+// --- Waiter plumbing shared by the three node wrappers ----------------------
+
+// proposalWaiters is the per-wrapper bookkeeping that turns proposal
+// resolutions into completed Propose calls. Node, RaftNode and CRaftNode
+// embed it; its methods are the single implementation of submit-and-await.
+type proposalWaiters struct {
+	mu      sync.Mutex
+	waiters map[ProposalID]chan Index
+	stopped bool
+}
+
+func newProposalWaiters() proposalWaiters {
+	return proposalWaiters{waiters: make(map[ProposalID]chan Index)}
+}
+
+// resolve completes a waiting proposal (wired as the host's OnResolve).
+func (w *proposalWaiters) resolve(r types.Resolution) {
+	w.mu.Lock()
+	ch, ok := w.waiters[r.PID]
+	if ok {
+		delete(w.waiters, r.PID)
+	}
+	w.mu.Unlock()
+	if ok {
+		ch <- r.Index
+	}
+}
+
+// markStopped makes subsequent awaits fail fast with ErrStopped.
+func (w *proposalWaiters) markStopped() {
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+}
+
+// await runs submit on the host, registers a waiter for the returned
+// proposal and blocks until it resolves or ctx expires. The zero index is
+// passed through to callers (session rejection).
+func (w *proposalWaiters) await(ctx context.Context, host *runtime.Host, submit func(now time.Duration) ProposalID) (Index, error) {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return 0, ErrStopped
+	}
+	w.mu.Unlock()
+	ch := make(chan Index, 1)
+	var pid ProposalID
+	host.Do(func(now time.Duration, _ runtime.Machine) {
+		pid = submit(now)
+		w.mu.Lock()
+		w.waiters[pid] = ch
+		w.mu.Unlock()
+	})
+	select {
+	case idx := <-ch:
+		return idx, nil
+	case <-ctx.Done():
+		w.mu.Lock()
+		delete(w.waiters, pid)
+		w.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// --- Node (Fast Raft) -------------------------------------------------------
+
+// OpenSession registers a new client session and waits for the
+// registration to commit. The resulting Session provides exactly-once
+// Propose semantics across retries, node restarts and log compaction.
+func (n *Node) OpenSession(ctx context.Context) (*Session, error) {
+	idx, err := n.await(ctx, n.host, func(now time.Duration) ProposalID {
+		return n.fr.OpenSession(now)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n.AttachSession(SessionID(idx), 0), nil
+}
+
+// AttachSession resumes a previously opened session from its persisted ID
+// and last used sequence number (e.g. after the client process
+// restarted). Attaching does not verify the session still exists; an
+// expired session surfaces as ErrSessionExpired on the next Propose.
+func (n *Node) AttachSession(id SessionID, lastSeq uint64) *Session {
+	return &Session{
+		id:  id,
+		seq: lastSeq,
+		propose: func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error) {
+			return n.await(ctx, n.host, func(now time.Duration) ProposalID {
+				return n.fr.ProposeSession(now, sid, seq, data)
+			})
+		},
+	}
+}
+
+// --- RaftNode (classic Raft baseline) ---------------------------------------
+
+// OpenSession registers a new client session (see Node.OpenSession).
+func (n *RaftNode) OpenSession(ctx context.Context) (*Session, error) {
+	idx, err := n.await(ctx, n.host, func(now time.Duration) ProposalID {
+		return n.rn.OpenSession(now)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n.AttachSession(SessionID(idx), 0), nil
+}
+
+// AttachSession resumes a previously opened session (see
+// Node.AttachSession).
+func (n *RaftNode) AttachSession(id SessionID, lastSeq uint64) *Session {
+	return &Session{
+		id:  id,
+		seq: lastSeq,
+		propose: func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error) {
+			return n.await(ctx, n.host, func(now time.Duration) ProposalID {
+				return n.rn.ProposeSession(now, sid, seq, data)
+			})
+		},
+	}
+}
+
+// --- CRaftNode (hierarchical) -----------------------------------------------
+
+// OpenSession registers a new client session at the intra-cluster level:
+// duplicates are withheld from the local commit stream, and therefore
+// never reach the global batch log twice either.
+func (n *CRaftNode) OpenSession(ctx context.Context) (*Session, error) {
+	idx, err := n.await(ctx, n.host, func(now time.Duration) ProposalID {
+		return n.cn.OpenSession(now)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return n.AttachSession(SessionID(idx), 0), nil
+}
+
+// AttachSession resumes a previously opened session (see
+// Node.AttachSession).
+func (n *CRaftNode) AttachSession(id SessionID, lastSeq uint64) *Session {
+	return &Session{
+		id:  id,
+		seq: lastSeq,
+		propose: func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error) {
+			return n.await(ctx, n.host, func(now time.Duration) ProposalID {
+				return n.cn.ProposeSession(now, sid, seq, data)
+			})
+		},
+	}
+}
