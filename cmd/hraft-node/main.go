@@ -44,6 +44,7 @@ func run() error {
 		loss    = flag.Float64("loss", 0, "injected send-side message loss probability [0,1)")
 		hb      = flag.Duration("heartbeat", 100*time.Millisecond, "leader heartbeat interval")
 		snapN   = flag.Int("snapshot-threshold", 0, "compact the log every N committed entries (0 = never)")
+		chunk   = flag.Int("snapshot-chunk", 0, "stream snapshot transfers in chunks of at most this many bytes (0 = one message)")
 		quiet   = flag.Bool("quiet", false, "suppress per-commit output")
 	)
 	flag.Parse()
@@ -106,6 +107,7 @@ func run() error {
 		HeartbeatInterval: *hb,
 		SnapshotThreshold: *snapN,
 		Snapshotter:       snapshotter,
+		MaxSnapshotChunk:  *chunk,
 	})
 	if err != nil {
 		return err

@@ -56,6 +56,16 @@ type CRaftOptions struct {
 	// MaxEntriesPerAppend caps AppendEntries payloads at both consensus
 	// levels (0 = unlimited).
 	MaxEntriesPerAppend int
+	// MaxInflightAppends bounds outstanding AppendEntries messages per
+	// peer at both consensus levels (0 = a small default).
+	MaxInflightAppends int
+	// MaxSnapshotChunk streams local-log snapshot transfers in chunks of
+	// at most this many payload bytes (0 = whole snapshot in one message).
+	MaxSnapshotChunk int
+	// MaxInflightBatches caps this cluster's unresolved global batch
+	// proposals (0 = unlimited): batching pauses until earlier batches
+	// resolve, so a fast cluster cannot flood the slower global level.
+	MaxInflightBatches int
 	// SessionTTL expires idle client sessions (OpenSession) at the
 	// intra-cluster level (0 = no expiry).
 	SessionTTL time.Duration
@@ -106,6 +116,9 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 		SnapshotThreshold:   opts.SnapshotThreshold,
 		AppSnapshotter:      opts.Snapshotter,
 		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+		MaxInflightAppends:  opts.MaxInflightAppends,
+		MaxSnapshotChunk:    opts.MaxSnapshotChunk,
+		MaxInflightBatches:  opts.MaxInflightBatches,
 		SessionTTL:          opts.SessionTTL,
 		Rand:                rand.New(rand.NewSource(seed)),
 	})
@@ -171,6 +184,15 @@ func (n *CRaftNode) GlobalCommitIndex() Index {
 
 // Commits streams locally committed entries; it must be consumed.
 func (n *CRaftNode) Commits() <-chan Entry { return n.commits }
+
+// Metrics returns a snapshot of the site's monotonic counters: the local
+// consensus instance's under "local.", the global instance's under
+// "global." and batch-layer counters under "craft.".
+func (n *CRaftNode) Metrics() map[string]uint64 {
+	var m map[string]uint64
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { m = n.cn.Metrics() })
+	return m
+}
 
 // GlobalCommits streams entries committed to the global log; it must be
 // consumed.

@@ -77,7 +77,10 @@ func run() error {
 				BatchSize:       5,
 				LocalHeartbeat:  20 * time.Millisecond,
 				GlobalHeartbeat: 100 * time.Millisecond,
-				Seed:            int64(10*ci + si + 1),
+				// Keep a fast cluster from flooding the slower global
+				// level: at most two batches in flight per cluster.
+				MaxInflightBatches: 2,
+				Seed:               int64(10*ci + si + 1),
 			})
 			if err != nil {
 				return err

@@ -73,6 +73,18 @@ type Config struct {
 	// MaxEntriesPerAppend caps AppendEntries payloads at both consensus
 	// levels (0 = unlimited).
 	MaxEntriesPerAppend int
+	// MaxInflightAppends bounds outstanding AppendEntries messages per
+	// peer at both consensus levels (0 = replica.DefaultMaxInflight).
+	MaxInflightAppends int
+	// MaxSnapshotChunk is the InstallSnapshot chunk payload size in bytes
+	// for local-log snapshot transfers (0 = whole snapshot in one
+	// message).
+	MaxSnapshotChunk int
+	// MaxInflightBatches caps this cluster's unresolved global batch
+	// proposals (0 = unlimited): batching pauses — locally committed
+	// entries simply wait unbatched — until earlier batches resolve, so a
+	// fast cluster cannot flood the slower global level.
+	MaxInflightBatches int
 	// SessionTTL expires idle client sessions at the local (intra-cluster)
 	// level (0 = no expiry).
 	SessionTTL time.Duration

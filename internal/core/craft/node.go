@@ -27,6 +27,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/core/fastraft"
 	"github.com/hraft-io/hraft/internal/session"
+	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
 	"github.com/hraft-io/hraft/internal/types"
 )
@@ -89,6 +90,12 @@ type Node struct {
 	// batching state above; local-log snapshots are cut no further than it.
 	appliedLocal types.Index
 
+	// metrics counts C-Raft-level events (batch throttling); globalBase
+	// accumulates the counters of torn-down global instances so demotion
+	// does not zero the "global." metrics.
+	metrics    *stats.Counters
+	globalBase map[string]uint64
+
 	// Outputs.
 	outbox          []types.Envelope
 	localCommitted  []types.Entry
@@ -114,6 +121,8 @@ func New(cfg Config) (*Node, error) {
 		deltaCommitted: make(map[uint64]bool),
 		internalPIDs:   make(map[types.ProposalID]struct{}),
 		ourBatches:     make(map[uint64]batchRecord),
+		metrics:        stats.NewCounters(),
+		globalBase:     make(map[string]uint64),
 	}
 	// The local instance snapshots through the craft node: the replayed
 	// global state and batching position ARE this site's application state,
@@ -131,6 +140,8 @@ func New(cfg Config) (*Node, error) {
 		SnapshotThreshold:   cfg.SnapshotThreshold,
 		Snapshotter:         craftSnapshotter{n},
 		MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
+		MaxInflightAppends:  cfg.MaxInflightAppends,
+		MaxSnapshotChunk:    cfg.MaxSnapshotChunk,
 		SessionTTL:          cfg.SessionTTL,
 		DisableFastTrack:    cfg.DisableFastTrack,
 		Rand:                cfg.Rand,
@@ -215,6 +226,26 @@ func (n *Node) DebugString() string {
 			n.global.PendingProposals(), len(n.held), n.deltaPrefix, n.deltaOrdinal)
 	}
 	return s
+}
+
+// Metrics returns a snapshot of the site's monotonic counters: the local
+// instance's under "local.", the (live plus past) global instances' under
+// "global.", and C-Raft's own batch counters under "craft.".
+func (n *Node) Metrics() map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range n.local.Metrics() {
+		out["local."+k] += v
+	}
+	for k, v := range n.globalBase {
+		out["global."+k] += v
+	}
+	if n.global != nil {
+		for k, v := range n.global.Metrics() {
+			out["global."+k] += v
+		}
+	}
+	n.metrics.MergeInto(out, "")
+	return out
 }
 
 // GlobalLogEntry returns the replayed global-log entry at idx, if known.
@@ -357,8 +388,19 @@ func (n *Node) NextDeadline() time.Duration {
 			d = g
 		}
 	}
-	if n.cfg.BatchDelay > 0 && n.oldestWait > 0 {
-		if f := n.oldestWait + n.cfg.BatchDelay; d == 0 || f < d {
+	// The delayed-flush deadline applies only while this site runs the
+	// global instance: followers cannot flush, and keeping a stale past
+	// deadline would spin the host's wake timer without ever progressing
+	// (they learn batch positions through replay instead).
+	if n.cfg.BatchDelay > 0 && n.oldestWait > 0 && n.global != nil {
+		f := n.oldestWait + n.cfg.BatchDelay
+		if f <= n.now && !n.canProposeBatch() {
+			// The delayed flush is due but the batch window is closed
+			// (MaxInflightBatches): retry at the next heartbeat instead of
+			// spinning on a stale deadline.
+			f = n.now + n.cfg.LocalHeartbeat
+		}
+		if d == 0 || f < d {
 			d = f
 		}
 	}
@@ -431,6 +473,7 @@ func (n *Node) startGlobal(now time.Duration) {
 		ProposalTimeout:     n.cfg.GlobalProposalTimeout,
 		MemberTimeoutRounds: n.cfg.MemberTimeoutRounds,
 		MaxEntriesPerAppend: n.cfg.MaxEntriesPerAppend,
+		MaxInflightAppends:  n.cfg.MaxInflightAppends,
 		DisableFastTrack:    n.cfg.DisableFastTrack,
 		Rand:                n.cfg.Rand,
 		Layer:               types.LayerGlobal,
@@ -478,6 +521,9 @@ func (n *Node) startGlobal(now time.Duration) {
 // dropped: they were never externalized, so the successor's replayed state
 // is complete.
 func (n *Node) stopGlobal() {
+	for k, v := range n.global.Metrics() {
+		n.globalBase[k] += v
+	}
 	n.global = nil
 	n.held = nil
 	n.deltaPids = make(map[types.ProposalID]uint64)

@@ -192,17 +192,32 @@ func (n *Node) trackBatch(ge types.Entry) {
 // and proposes them to the global level. Only the cluster leader batches;
 // batch boundaries are recoverable because every externalized batch is in
 // the replayed global log.
+//
+// Batch flow control: with Config.MaxInflightBatches set, batching pauses
+// while that many batch proposals are unresolved at the global level —
+// the same inflight-window idea the replica package applies to appends,
+// lifted to the batch layer. Locally committed entries simply accumulate
+// unbatched (they are already durable and replicated within the cluster)
+// and the next resolution re-opens the window.
 func (n *Node) makeBatches(now time.Duration) bool {
 	if n.global == nil {
 		return false
 	}
 	progress := false
 	for len(n.appLog)-n.batchedItems >= n.cfg.BatchSize {
+		if !n.canProposeBatch() {
+			n.metrics.Inc("craft.batches_throttled")
+			return progress
+		}
 		n.proposeBatch(now, n.cfg.BatchSize)
 		progress = true
 	}
 	if n.cfg.BatchDelay > 0 && n.oldestWait > 0 &&
 		now >= n.oldestWait+n.cfg.BatchDelay && len(n.appLog) > n.batchedItems {
+		if !n.canProposeBatch() {
+			n.metrics.Inc("craft.batches_throttled")
+			return progress
+		}
 		n.proposeBatch(now, len(n.appLog)-n.batchedItems)
 		progress = true
 	}
@@ -210,6 +225,12 @@ func (n *Node) makeBatches(now time.Duration) bool {
 		n.oldestWait = 0
 	}
 	return progress
+}
+
+// canProposeBatch applies the global-level batch window.
+func (n *Node) canProposeBatch() bool {
+	cap := n.cfg.MaxInflightBatches
+	return cap == 0 || n.global.PendingProposals() < cap
 }
 
 func (n *Node) proposeBatch(now time.Duration, size int) {

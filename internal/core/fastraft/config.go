@@ -50,6 +50,27 @@ type Config struct {
 	// over several bounded round trips instead of receiving the entire
 	// retained suffix in one message — essential for datagram transports.
 	MaxEntriesPerAppend int
+	// MaxInflightAppends bounds outstanding AppendEntries messages per
+	// follower once it is replicating (0 = replica.DefaultMaxInflight). A
+	// full window downgrades the round to a plain heartbeat instead of
+	// duplicating in-flight entries.
+	MaxInflightAppends int
+	// MaxSnapshotChunk is the InstallSnapshot chunk payload size in bytes:
+	// the leader slices the encoded snapshot into chunks no larger than
+	// this so large state machines fit UDP datagrams and do not stall
+	// heartbeats (0 = whole snapshot in one message).
+	MaxSnapshotChunk int
+	// SnapshotResendTimeout is how long a transfer may go without
+	// acknowledged progress before it is retried (default 4 heartbeats):
+	// a pending snapshot's unacked part is re-sent, and a full
+	// AppendEntries window falls back to probing so lost appends are
+	// retransmitted. It replaces the old re-send-every-round behavior.
+	SnapshotResendTimeout time.Duration
+	// MaxInflightProposals caps this site's unresolved broadcast proposals
+	// (0 = unlimited). Proposals past the cap queue in FIFO order and are
+	// broadcast as earlier ones resolve, so a proposer burst cannot spray
+	// sparse insertions across arbitrary log indices.
+	MaxInflightProposals int
 	// SessionTTL expires client sessions idle longer than this: the leader
 	// periodically commits clock entries and every replica drops the same
 	// timed-out sessions when applying them. 0 disables expiry (sessions
@@ -97,6 +118,9 @@ func (c *Config) Defaults() {
 	}
 	if c.MemberTimeoutRounds == 0 {
 		c.MemberTimeoutRounds = 5
+	}
+	if c.SnapshotResendTimeout == 0 {
+		c.SnapshotResendTimeout = 4 * c.HeartbeatInterval
 	}
 	if !c.NoAutoRejoin {
 		c.AutoRejoin = true

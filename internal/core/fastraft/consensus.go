@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/replica"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -34,6 +35,11 @@ func (n *Node) ProposeEntry(now time.Duration, e types.Entry) types.ProposalID {
 // uses deterministic batch PIDs (cluster, batch sequence) so a successor
 // local leader re-proposing a batch de-duplicates against the original.
 // Proposing an already-pending PID is a no-op.
+//
+// Proposer backpressure: with Config.MaxInflightProposals set, a proposal
+// past the cap is tracked but held in a FIFO queue instead of broadcast —
+// a burst can no longer spray sparse insertions across arbitrary indices.
+// Queued proposals are admitted as earlier ones resolve.
 func (n *Node) ProposeEntryPID(now time.Duration, e types.Entry, pid types.ProposalID) types.ProposalID {
 	n.now = now
 	if _, exists := n.pending[pid]; exists {
@@ -42,8 +48,48 @@ func (n *Node) ProposeEntryPID(now time.Duration, e types.Entry, pid types.Propo
 	e.PID = pid
 	p := &pendingProposal{entry: e.Clone(), deadline: now + n.cfg.ProposalTimeout}
 	n.pending[pid] = p
+	if cap := n.cfg.MaxInflightProposals; cap > 0 && n.inflightProposals >= cap {
+		p.queued = true
+		n.proposalQueue = append(n.proposalQueue, pid)
+		n.metrics.Inc("fastraft.proposals_queued")
+		return pid
+	}
+	n.inflightProposals++
 	n.broadcastProposal(p)
 	return pid
+}
+
+// resolvePending resolves a tracked local proposal, releasing its window
+// slot and admitting queued proposals into the freed capacity.
+func (n *Node) resolvePending(pid types.ProposalID, idx types.Index) {
+	p, ok := n.pending[pid]
+	if !ok {
+		return
+	}
+	delete(n.pending, pid)
+	if !p.queued {
+		n.inflightProposals--
+	}
+	n.resolved = append(n.resolved, types.Resolution{PID: pid, Index: idx})
+	n.admitProposals()
+}
+
+// admitProposals broadcasts queued proposals while the in-flight window
+// has room, in submission order.
+func (n *Node) admitProposals() {
+	cap := n.cfg.MaxInflightProposals
+	for len(n.proposalQueue) > 0 && (cap == 0 || n.inflightProposals < cap) {
+		pid := n.proposalQueue[0]
+		n.proposalQueue = n.proposalQueue[1:]
+		p, ok := n.pending[pid]
+		if !ok || !p.queued {
+			continue // resolved (or already admitted) while queued
+		}
+		p.queued = false
+		p.deadline = n.now + n.cfg.ProposalTimeout
+		n.inflightProposals++
+		n.broadcastProposal(p)
+	}
 }
 
 // broadcastProposal picks a fresh index and sends the proposal to all
@@ -85,7 +131,7 @@ func (n *Node) broadcastProposal(p *pendingProposal) {
 func (n *Node) retryProposals(now time.Duration) {
 	var due []types.ProposalID
 	for pid, p := range n.pending {
-		if now >= p.deadline {
+		if !p.queued && now >= p.deadline {
 			due = append(due, pid)
 		}
 	}
@@ -95,7 +141,8 @@ func (n *Node) retryProposals(now time.Duration) {
 		p.deadline = now + n.cfg.ProposalTimeout
 		// Re-propose at a fresh index: the old slot may have been decided
 		// for a different entry. De-duplication (leader pid map + commit
-		// notifications) keeps the proposal single-commit.
+		// notifications) keeps the proposal single-commit. Queued proposals
+		// have never been broadcast; they wait for the window instead.
 		n.broadcastProposal(p)
 	}
 }
@@ -199,8 +246,10 @@ func (n *Node) recordVote(from types.NodeID, m types.VoteEntry) {
 	n.tally.AddVote(m.Index, from, m.Entry)
 	// Paper: reset the voter's nextIndex from its reported commit index so
 	// AppendEntries re-converges its log with the (possibly new) leader.
+	// The tracker ignores the reset while a snapshot transfer is pending —
+	// re-anchoring below the boundary would restart the stream every vote.
 	if from != n.cfg.ID {
-		n.nextIndex[from] = m.CommitIndex + 1
+		n.progress.Ensure(from, m.CommitIndex+1).ResetNext(m.CommitIndex + 1)
 	}
 }
 
@@ -232,12 +281,9 @@ func (n *Node) decideLoop() {
 		n.appendLeaderEntryAt(k, d.Winner)
 		n.tally.NullProposal(d.Winner, k)
 		for _, v := range d.WinnerVoters {
-			if n.fastMatch[v] < k {
-				n.fastMatch[v] = k
-			}
+			n.progress.Ensure(v, n.commitIndex+1).RecordFastMatch(k)
 		}
-		n.fastMatch[n.cfg.ID] = n.log.LastLeaderIndex()
-		n.matchIndex[n.cfg.ID] = n.log.LastLeaderIndex()
+		n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 		// Re-sequence losers on the classic track.
 		for _, loser := range d.Losers {
 			if !loser.PID.IsZero() && n.proposalDecided(loser.PID) {
@@ -249,7 +295,7 @@ func (n *Node) decideLoop() {
 		if !n.cfg.DisableFastTrack &&
 			k == n.commitIndex+1 &&
 			n.log.Term(k) == n.term &&
-			quorum.MatchQuorum(cfg, n.fastMatch, k, fastQ) {
+			n.progress.FastMatchQuorum(cfg, k, fastQ) {
 			n.commitTo(k)
 			if n.role != types.RoleLeader {
 				return // committing a config entry removed this leader
@@ -277,7 +323,7 @@ func (n *Node) appendLeaderEntryAt(idx types.Index, e types.Entry) {
 		panic(fmt.Sprintf("fastraft %s: append leader: %v", n.cfg.ID, err))
 	}
 	n.persistEntry(idx)
-	n.matchIndex[n.cfg.ID] = n.log.LastLeaderIndex()
+	n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 	if e.Kind == types.KindConfig {
 		n.onConfigChangedAsLeader()
 	}
@@ -317,7 +363,7 @@ func (n *Node) advanceClassicCommit() {
 			// current-term entry commits.
 			continue
 		}
-		if !quorum.MatchQuorum(cfg, n.matchIndex, k, classicQ) {
+		if !n.progress.MatchQuorum(cfg, k, classicQ) {
 			break
 		}
 		n.commitTo(k)
@@ -367,10 +413,7 @@ func (n *Node) commitTo(k types.Index) {
 // entries that affect this site.
 func (n *Node) observeCommitted(e types.Entry) {
 	if e.PID.Proposer == n.cfg.ID {
-		if _, ok := n.pending[e.PID]; ok {
-			delete(n.pending, e.PID)
-			n.resolved = append(n.resolved, types.Resolution{PID: e.PID, Index: e.Index})
-		}
+		n.resolvePending(e.PID, e.Index)
 	}
 }
 
@@ -392,35 +435,76 @@ func (n *Node) broadcastAppend() {
 			}
 			n.responded[peer] = false
 		}
-		next := n.nextIndex[peer]
-		if next == 0 {
-			next = n.commitIndex + 1
-			n.nextIndex[peer] = next
-		}
-		if next <= n.log.SnapshotIndex() {
-			// The entries this follower needs are compacted away; ship the
-			// snapshot instead. The reply advances nextIndex past it.
-			n.sendSnapshot(peer)
-			continue
-		}
-		prev := next - 1
-		hi := n.log.LastLeaderIndex()
-		if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
-			// Bound the payload; the follower's ack advances nextIndex and
-			// the next round ships the following chunk.
-			hi = next + types.Index(max) - 1
-		}
-		msg := types.AppendEntries{
-			Term:         n.term,
-			LeaderID:     n.cfg.ID,
-			PrevLogIndex: prev,
-			PrevLogTerm:  n.log.Term(prev),
-			Entries:      n.log.LeaderRange(next, hi),
-			LeaderCommit: n.commitIndex,
-			Round:        n.aeRound,
-		}
-		n.send(peer, msg)
+		n.replicateTo(peer)
 	}
+}
+
+// replicateTo dispatches this round's traffic to one peer through its
+// replication progress: snapshot chunks while it is behind the compacted
+// prefix, leader-approved entries while the inflight window allows, a
+// bare heartbeat otherwise. Every branch sends something, so silent-leave
+// accounting keeps working.
+func (n *Node) replicateTo(peer types.NodeID) {
+	pr := n.progress.Ensure(peer, n.commitIndex+1)
+	if pr.State() == replica.StateSnapshot || pr.Next() <= n.log.SnapshotIndex() {
+		// The entries this peer needs are compacted away; stream the
+		// snapshot instead. While the install is pending nothing is
+		// re-sent — the heartbeat keeps the peer responding.
+		if !n.sendSnapshotTo(peer) {
+			n.sendHeartbeat(peer)
+		}
+		return
+	}
+	if !pr.CanAppend() {
+		// Inflight window full: pushing more would duplicate in-flight
+		// entries on a peer that has not acknowledged them yet. If the
+		// window has gone a full timeout without ack progress, the appends
+		// (or their acks) were lost — fall back to probing and retransmit.
+		if !n.progress.RecoverStall(peer, n.now) {
+			n.metrics.Inc(replica.CounterAppendsThrottled)
+			n.sendHeartbeat(peer)
+			return
+		}
+	}
+	next := pr.Next()
+	prev := next - 1
+	hi := n.log.LastLeaderIndex()
+	if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
+		// Bound the payload; acks advance Next and the window lets the
+		// following chunks pipeline.
+		hi = next + types.Index(max) - 1
+	}
+	entries := n.log.LeaderRange(next, hi)
+	msg := types.AppendEntries{
+		Term:         n.term,
+		LeaderID:     n.cfg.ID,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log.Term(prev),
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+		Round:        n.aeRound,
+	}
+	pr.SentAppend(prev, len(entries))
+	n.send(peer, msg)
+}
+
+// sendHeartbeat sends an entry-free AppendEntries anchored where the peer
+// is known to match (or at the snapshot boundary), so it passes the
+// consistency check without payload or progress regression.
+func (n *Node) sendHeartbeat(peer types.NodeID) {
+	prev := n.log.SnapshotIndex()
+	if pr := n.progress.Get(peer); pr != nil &&
+		pr.Match() > prev && pr.Match() <= n.log.LastLeaderIndex() {
+		prev = pr.Match()
+	}
+	n.send(peer, types.AppendEntries{
+		Term:         n.term,
+		LeaderID:     n.cfg.ID,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log.Term(prev),
+		LeaderCommit: n.commitIndex,
+		Round:        n.aeRound,
+	})
 }
 
 func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
@@ -524,31 +608,16 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	}
 	n.responded[from] = true
 	n.missed[from] = 0
+	pr := n.progress.Ensure(from, n.commitIndex+1)
 	if !m.Success {
-		next := n.nextIndex[from]
-		if next > m.LastLogIndex+1 {
-			next = m.LastLogIndex + 1
-		} else if next > 1 {
-			next--
-		}
-		if next == 0 {
-			next = 1
-		}
-		n.nextIndex[from] = next
+		// Back off; the peer's last-leader-index hint converges quickly.
+		pr.RejectAppend(m.LastLogIndex)
 		return
 	}
-	if m.MatchIndex > n.matchIndex[from] {
-		n.matchIndex[from] = m.MatchIndex
-	}
-	if n.nextIndex[from] <= m.MatchIndex {
-		n.nextIndex[from] = m.MatchIndex + 1
-	}
+	pr.AckAppend(m.MatchIndex)
 	// Commit evaluation happens at the next leader tick (timing model).
 }
 
 func (n *Node) onCommitNotify(m types.CommitNotify) {
-	if _, ok := n.pending[m.PID]; ok {
-		delete(n.pending, m.PID)
-		n.resolved = append(n.resolved, types.Resolution{PID: m.PID, Index: m.Index})
-	}
+	n.resolvePending(m.PID, m.Index)
 }

@@ -133,12 +133,11 @@ func (n *Node) onJoinRequest(from types.NodeID, m types.JoinRequest) {
 	if n.nonvoting[site] {
 		return // duplicate request; catch-up already in progress
 	}
-	// Start catching the site up as a non-voting member.
+	// Start catching the site up as a non-voting member, probing from the
+	// log start (the snapshot path takes over if that is compacted away).
 	n.nonvoting[site] = true
 	n.pendingJoin[site] = true
-	if n.nextIndex[site] == 0 {
-		n.nextIndex[site] = 1
-	}
+	n.progress.Ensure(site, 1)
 }
 
 func (n *Node) onLeaveRequest(m types.LeaveRequest) {
@@ -191,7 +190,7 @@ func (n *Node) processMembership() {
 	}
 	// Then at most one join whose catch-up has completed.
 	for _, site := range sortedKeys(n.nonvoting) {
-		if n.matchIndex[site] >= n.commitIndex && n.matchIndex[site] >= n.log.LastLeaderIndex() {
+		if m := n.progress.Match(site); m >= n.commitIndex && m >= n.log.LastLeaderIndex() {
 			n.appendLeaderEntry(types.ConfigEntry(cfg.WithMember(site), types.ProposalID{}))
 			return
 		}
@@ -225,13 +224,19 @@ func (n *Node) detectSilentLeaves() {
 func (n *Node) onConfigChangedAsLeader() {
 	cfg := n.Config()
 	for _, peer := range cfg.Members {
-		if n.nextIndex[peer] == 0 {
-			n.nextIndex[peer] = n.commitIndex + 1
-		}
+		n.progress.Ensure(peer, n.commitIndex+1)
 	}
 	for site := range n.nonvoting {
 		if cfg.Contains(site) {
 			delete(n.nonvoting, site)
+		}
+	}
+	// Drop progress for removed members (a lingering snapshot-stream entry
+	// would otherwise keep the encoding cache pinned and count toward
+	// AnySnapshotStreams forever).
+	for _, peer := range n.progress.Peers() {
+		if !cfg.Contains(peer) && !n.nonvoting[peer] {
+			n.progress.Remove(peer)
 		}
 	}
 }

@@ -33,16 +33,21 @@ import (
 
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/replica"
 	"github.com/hraft-io/hraft/internal/session"
+	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
 // pendingProposal tracks a locally originated proposal until it resolves.
+// A queued proposal is tracked but not yet broadcast: it waits for the
+// in-flight window (Config.MaxInflightProposals) to open.
 type pendingProposal struct {
 	entry    types.Entry
 	index    types.Index
 	deadline time.Duration
+	queued   bool
 }
 
 // Node is a Fast Raft site: a sans-io state machine driven by Step/Tick.
@@ -77,11 +82,13 @@ type Node struct {
 	rejoining       bool
 
 	// leader state.
-	tally      *quorum.Tally
-	nextIndex  map[types.NodeID]types.Index
-	matchIndex map[types.NodeID]types.Index
-	fastMatch  map[types.NodeID]types.Index
-	aeRound    uint64
+	tally *quorum.Tally
+	// progress is the per-peer replication engine (internal/replica): it
+	// owns what used to be the nextIndex/matchIndex/fastMatch maps plus
+	// append flow control and snapshot streaming state. Leader-only; nil
+	// otherwise.
+	progress *replica.Tracker
+	aeRound  uint64
 	// responded marks peers that answered since the last broadcast round;
 	// missed counts consecutive unanswered rounds (silent-leave detection).
 	responded map[types.NodeID]bool
@@ -93,9 +100,13 @@ type Node struct {
 	// removeQueue holds members awaiting a removal configuration entry.
 	removeQueue []types.NodeID
 
-	// proposer state.
-	proposalSeq uint64
-	pending     map[types.ProposalID]*pendingProposal
+	// proposer state. inflightProposals counts pending proposals that have
+	// been broadcast; proposalQueue holds the PIDs waiting for the window
+	// (Config.MaxInflightProposals) in FIFO order.
+	proposalSeq       uint64
+	pending           map[types.ProposalID]*pendingProposal
+	inflightProposals int
+	proposalQueue     []types.ProposalID
 
 	// joiner state (site not yet in the configuration).
 	joinDeadline time.Duration
@@ -111,8 +122,16 @@ type Node struct {
 	// snap is the latest snapshot (zero if none): the recovery base loaded
 	// from storage, produced by local compaction, or installed by the
 	// leader. The leader ships it to followers that fell behind the
-	// compacted prefix.
-	snap types.Snapshot
+	// compacted prefix. snapEnc caches its wire encoding for chunked
+	// transfers; snapRecv reassembles chunked streams received as
+	// follower.
+	snap     types.Snapshot
+	snapEnc  replica.SnapshotEncoder
+	snapRecv replica.Reassembler
+
+	// metrics counts replication and backpressure events (see
+	// internal/replica counter names); it survives role changes.
+	metrics *stats.Counters
 
 	// sessions is the replicated client-session registry, fed by committed
 	// entries in log order (identical on every replica) and consulted at
@@ -152,6 +171,7 @@ func New(cfg Config) (*Node, error) {
 		role:     types.RoleFollower,
 		pending:  make(map[types.ProposalID]*pendingProposal),
 		sessions: session.New(),
+		metrics:  stats.NewCounters(),
 	}
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
@@ -208,8 +228,21 @@ func (n *Node) FirstIndex() types.Index { return n.log.FirstIndex() }
 // SnapshotIndex returns the current snapshot boundary (0 if none).
 func (n *Node) SnapshotIndex() types.Index { return n.log.SnapshotIndex() }
 
-// PendingProposals returns the number of unresolved local proposals.
+// PendingProposals returns the number of unresolved local proposals
+// (broadcast and queued alike).
 func (n *Node) PendingProposals() int { return len(n.pending) }
+
+// QueuedProposals returns the number of local proposals held back by the
+// in-flight cap (Config.MaxInflightProposals), awaiting broadcast.
+func (n *Node) QueuedProposals() int { return len(n.pending) - n.inflightProposals }
+
+// Metrics returns a snapshot of the node's monotonic replication and
+// backpressure counters (see internal/replica for the names).
+func (n *Node) Metrics() map[string]uint64 { return n.metrics.Snapshot() }
+
+// Progress exposes the per-peer replication tracker (nil unless leader);
+// tests and diagnostics only.
+func (n *Node) Progress() *replica.Tracker { return n.progress }
 
 // Sessions exposes the replicated client-session registry (tests, C-Raft
 // and diagnostics; callers must not mutate it).
@@ -267,6 +300,11 @@ func (n *Node) NextDeadline() time.Duration {
 		add(n.electionDeadline)
 	}
 	for _, p := range n.pending {
+		if p.queued {
+			// Queued proposals have no retry deadline: they broadcast when
+			// a resolution opens the window, not on a timer.
+			continue
+		}
 		add(p.deadline)
 	}
 	add(n.joinDeadline)
@@ -409,9 +447,8 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 	n.votes = nil
 	n.recoveryVotes = nil
 	n.tally = nil
-	n.nextIndex = nil
-	n.matchIndex = nil
-	n.fastMatch = nil
+	n.progress = nil
+	n.snapEnc.Release()
 	n.responded = nil
 	n.missed = nil
 	n.nonvoting = nil
@@ -535,18 +572,17 @@ func (n *Node) becomeLeader() {
 	n.lastSessionClock = 0
 	cfg := n.Config()
 	n.tally = quorum.NewTally()
-	n.nextIndex = make(map[types.NodeID]types.Index)
-	n.matchIndex = make(map[types.NodeID]types.Index)
-	n.fastMatch = make(map[types.NodeID]types.Index)
+	n.progress = replica.NewTracker(replica.Config{
+		MaxInflight:   n.cfg.MaxInflightAppends,
+		MaxChunk:      n.cfg.MaxSnapshotChunk,
+		ResendTimeout: n.cfg.SnapshotResendTimeout,
+	}, n.metrics)
+	// Paper: nextIndex initialized to the leader's last committed entry +1.
+	n.progress.Reset(cfg.Members, n.commitIndex+1)
 	n.responded = make(map[types.NodeID]bool)
 	n.missed = make(map[types.NodeID]int)
 	n.nonvoting = make(map[types.NodeID]bool)
 	n.pendingJoin = make(map[types.NodeID]bool)
-	for _, peer := range cfg.Members {
-		// Paper: nextIndex initialized to the leader's last committed
-		// entry + 1.
-		n.nextIndex[peer] = n.commitIndex + 1
-	}
 	// Recovery: seed possibleEntries with the received self-approved
 	// entries (only indices beyond the leader-approved prefix matter).
 	for voter, entries := range n.recoveryVotes {
@@ -561,7 +597,7 @@ func (n *Node) becomeLeader() {
 	n.recoverDecide()
 	// Establish a commit point in the new term.
 	n.appendLeaderEntry(types.Entry{Kind: types.KindNoop})
-	n.matchIndex[n.cfg.ID] = n.log.LastLeaderIndex()
+	n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 	// First heartbeat immediately; then periodic.
 	n.leaderTick()
 	n.tickDeadline = n.now + n.cfg.HeartbeatInterval
@@ -590,16 +626,14 @@ func (n *Node) recoverDecide() {
 		if ok {
 			n.tally.NullProposal(d.Winner, k)
 			for _, v := range d.WinnerVoters {
-				if n.fastMatch[v] < k {
-					n.fastMatch[v] = k
-				}
+				n.progress.Ensure(v, n.commitIndex+1).RecordFastMatch(k)
 			}
 		}
-		n.fastMatch[n.cfg.ID] = n.log.LastLeaderIndex()
+		n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 		if !n.cfg.DisableFastTrack &&
 			k == n.commitIndex+1 &&
 			n.log.Term(k) == n.term &&
-			quorum.MatchQuorum(cfg, n.fastMatch, k, fastQ) {
+			n.progress.FastMatchQuorum(cfg, k, fastQ) {
 			n.commitTo(k)
 		}
 	}

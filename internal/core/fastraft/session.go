@@ -97,10 +97,7 @@ func (n *Node) answerProposer(pid types.ProposalID, idx types.Index, direct bool
 		return
 	}
 	if pid.Proposer == n.cfg.ID {
-		if _, ok := n.pending[pid]; ok {
-			delete(n.pending, pid)
-			n.resolved = append(n.resolved, types.Resolution{PID: pid, Index: idx})
-		}
+		n.resolvePending(pid, idx)
 		return
 	}
 	if direct || n.role == types.RoleLeader {

@@ -3,6 +3,7 @@ package fastraft
 import (
 	"fmt"
 
+	"github.com/hraft-io/hraft/internal/replica"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -70,25 +71,36 @@ func (n *Node) maybeCompact() {
 	n.snap = snap
 }
 
-// sendSnapshot ships the latest snapshot to a follower whose nextIndex fell
-// below the compacted prefix.
-func (n *Node) sendSnapshot(to types.NodeID) {
-	n.send(to, types.InstallSnapshot{
-		Term:     n.term,
-		LeaderID: n.cfg.ID,
-		Snapshot: n.snap.Clone(),
-		Round:    n.aeRound,
-	})
+// sendSnapshotTo streams the latest snapshot to a follower whose
+// replication position fell below the compacted prefix: whole-image in one
+// message when chunking is off, MaxSnapshotChunk-sized chunks otherwise.
+// The tracker plans (and suppresses) transmission; false means nothing was
+// sent this round (pending install).
+func (n *Node) sendSnapshotTo(to types.NodeID) bool {
+	msgs := n.progress.SnapshotMessages(to, n.snap, n.snapEnc.Encode(n.snap),
+		n.term, n.cfg.ID, n.aeRound, n.now)
+	for _, m := range msgs {
+		n.send(to, m)
+	}
+	return len(msgs) > 0
 }
 
-// onInstallSnapshot is the follower side of snapshot transfer: replace the
-// covered log prefix and the application state with the leader's snapshot,
-// then resume replication above it.
+// onInstallSnapshot is the follower side of snapshot transfer: whole
+// images install directly; chunks are reassembled and installed on the
+// final one, then replication resumes above the boundary. Every message is
+// acknowledged with the buffered offset so the leader resumes without
+// re-sending acknowledged chunks.
 func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	if m.Term > n.term || (m.Term == n.term && n.role != types.RoleFollower) {
 		n.becomeFollower(m.Term, m.LeaderID)
 	}
-	resp := types.InstallSnapshotReply{Term: n.term, Round: m.Round, LastIndex: n.commitIndex}
+	boundary := m.Boundary
+	if boundary == 0 {
+		boundary = m.Snapshot.Meta.LastIndex
+	}
+	resp := types.InstallSnapshotReply{
+		Term: n.term, Round: m.Round, LastIndex: n.commitIndex, Boundary: boundary,
+	}
 	if m.Term < n.term {
 		n.send(from, resp)
 		return
@@ -96,15 +108,36 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	n.leaderID = m.LeaderID
 	n.lonelyElections = 0
 	n.resetElectionTimer()
-	snap := m.Snapshot
-	if snap.Meta.LastIndex <= n.commitIndex {
+	if boundary <= n.commitIndex {
 		// Already have this prefix (duplicate or raced AppendEntries); just
 		// tell the leader where we are.
+		resp.LastIndex = n.commitIndex
+		n.snapRecv.Reset()
+		n.send(from, resp)
+		return
+	}
+	var snap types.Snapshot
+	if !m.Snapshot.IsZero() {
+		// Legacy whole-image transfer.
+		snap = m.Snapshot
+		n.snapRecv.Reset()
+	} else {
+		n.metrics.Inc(replica.CounterChunksReceived)
+		s, complete, ack := n.snapRecv.Offer(from, boundary, m.Offset, m.Data, m.Done)
+		resp.Offset = ack
+		if !complete {
+			n.send(from, resp) // acknowledge buffered progress
+			return
+		}
+		snap = s
+	}
+	if snap.Meta.LastIndex <= n.commitIndex {
 		resp.LastIndex = n.commitIndex
 		n.send(from, resp)
 		return
 	}
 	n.installSnapshot(snap)
+	n.metrics.Inc(replica.CounterInstalls)
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)
 }
@@ -134,7 +167,7 @@ func (n *Node) installSnapshot(snap types.Snapshot) {
 }
 
 // onInstallSnapshotReply advances the leader's view of a follower that
-// installed (or already had) a snapshot.
+// installed (or already had) a snapshot, or acknowledged chunk progress.
 func (n *Node) onInstallSnapshotReply(from types.NodeID, m types.InstallSnapshotReply) {
 	if m.Term > n.term {
 		n.becomeFollower(m.Term, types.None)
@@ -145,10 +178,15 @@ func (n *Node) onInstallSnapshotReply(from types.NodeID, m types.InstallSnapshot
 	}
 	n.responded[from] = true
 	n.missed[from] = 0
-	if m.LastIndex > n.matchIndex[from] {
-		n.matchIndex[from] = m.LastIndex
-	}
-	if n.nextIndex[from] <= m.LastIndex {
-		n.nextIndex[from] = m.LastIndex + 1
+	done := n.progress.AckSnapshot(from, m.Boundary, m.Offset, m.LastIndex, n.now)
+	if !done {
+		if pr := n.progress.Get(from); pr != nil && pr.State() == replica.StateSnapshot {
+			// Acknowledged progress freed window room: keep the chunk
+			// pipeline moving between rounds.
+			n.sendSnapshotTo(from)
+		}
+	} else if !n.progress.AnySnapshotStreams() {
+		// Last transfer finished; drop the cached encoding.
+		n.snapEnc.Release()
 	}
 }

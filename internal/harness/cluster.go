@@ -64,6 +64,15 @@ type Options struct {
 	SnapshotThreshold int
 	// MaxEntriesPerAppend caps AppendEntries payloads (0 = unlimited).
 	MaxEntriesPerAppend int
+	// MaxInflightAppends bounds outstanding AppendEntries per follower
+	// (0 = replica default).
+	MaxInflightAppends int
+	// MaxSnapshotChunk streams InstallSnapshot in chunks of at most this
+	// many payload bytes (0 = whole snapshot in one message).
+	MaxSnapshotChunk int
+	// MaxInflightProposals caps unresolved broadcast proposals per node
+	// (Fast Raft only; 0 = unlimited).
+	MaxInflightProposals int
 	// SessionTTL expires idle client sessions (0 = no expiry).
 	SessionTTL time.Duration
 	// DisableFastTrack forces Fast Raft onto the classic track (ablation).
@@ -201,24 +210,29 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			ProposalTimeout:     c.opts.ProposalTimeout,
 			SnapshotThreshold:   c.opts.SnapshotThreshold,
 			MaxEntriesPerAppend: c.opts.MaxEntriesPerAppend,
+			MaxInflightAppends:  c.opts.MaxInflightAppends,
+			MaxSnapshotChunk:    c.opts.MaxSnapshotChunk,
 			SessionTTL:          c.opts.SessionTTL,
 			Rand:                nodeRand,
 		})
 	case KindFastRaft:
 		return fastraft.New(fastraft.Config{
-			ID:                  id,
-			Bootstrap:           bootstrap,
-			Storage:             store,
-			HeartbeatInterval:   c.opts.HeartbeatInterval,
-			ElectionTimeoutMin:  c.opts.ElectionTimeoutMin,
-			ElectionTimeoutMax:  c.opts.ElectionTimeoutMax,
-			ProposalTimeout:     c.opts.ProposalTimeout,
-			MemberTimeoutRounds: c.opts.MemberTimeoutRounds,
-			SnapshotThreshold:   c.opts.SnapshotThreshold,
-			MaxEntriesPerAppend: c.opts.MaxEntriesPerAppend,
-			SessionTTL:          c.opts.SessionTTL,
-			DisableFastTrack:    c.opts.DisableFastTrack,
-			Rand:                nodeRand,
+			ID:                   id,
+			Bootstrap:            bootstrap,
+			Storage:              store,
+			HeartbeatInterval:    c.opts.HeartbeatInterval,
+			ElectionTimeoutMin:   c.opts.ElectionTimeoutMin,
+			ElectionTimeoutMax:   c.opts.ElectionTimeoutMax,
+			ProposalTimeout:      c.opts.ProposalTimeout,
+			MemberTimeoutRounds:  c.opts.MemberTimeoutRounds,
+			SnapshotThreshold:    c.opts.SnapshotThreshold,
+			MaxEntriesPerAppend:  c.opts.MaxEntriesPerAppend,
+			MaxInflightAppends:   c.opts.MaxInflightAppends,
+			MaxSnapshotChunk:     c.opts.MaxSnapshotChunk,
+			MaxInflightProposals: c.opts.MaxInflightProposals,
+			SessionTTL:           c.opts.SessionTTL,
+			DisableFastTrack:     c.opts.DisableFastTrack,
+			Rand:                 nodeRand,
 		})
 	default:
 		return nil, fmt.Errorf("harness: unknown kind %v", c.opts.Kind)

@@ -51,6 +51,15 @@ type CraftOptions struct {
 	// MaxEntriesPerAppend caps AppendEntries payloads at both levels (0 =
 	// unlimited).
 	MaxEntriesPerAppend int
+	// MaxInflightAppends bounds outstanding AppendEntries per peer at both
+	// levels (0 = replica default).
+	MaxInflightAppends int
+	// MaxSnapshotChunk streams local-log InstallSnapshot in chunks of at
+	// most this many payload bytes (0 = whole snapshot).
+	MaxSnapshotChunk int
+	// MaxInflightBatches caps unresolved global batch proposals per
+	// cluster (0 = unlimited).
+	MaxInflightBatches int
 	// SessionTTL expires idle client sessions at the local level (0 = no
 	// expiry).
 	SessionTTL time.Duration
@@ -218,6 +227,9 @@ func (c *CraftCluster) makeNode(spec ClusterSpec, site types.NodeID, globalBoots
 		MemberTimeoutRounds: c.opts.MemberTimeoutRounds,
 		SnapshotThreshold:   c.opts.SnapshotThreshold,
 		MaxEntriesPerAppend: c.opts.MaxEntriesPerAppend,
+		MaxInflightAppends:  c.opts.MaxInflightAppends,
+		MaxSnapshotChunk:    c.opts.MaxSnapshotChunk,
+		MaxInflightBatches:  c.opts.MaxInflightBatches,
 		SessionTTL:          c.opts.SessionTTL,
 		DisableFastTrack:    c.opts.DisableFastTrack,
 		Rand:                rand.New(rand.NewSource(c.rng.Int63())),

@@ -80,9 +80,16 @@ func CountReached(cfg types.Config, voters map[types.NodeID]bool, q int) bool {
 // match[id] >= idx. It implements both the classic commit rule over
 // matchIndex and the fast commit rule over fastMatchIndex.
 func MatchQuorum(cfg types.Config, match map[types.NodeID]types.Index, idx types.Index, q int) bool {
+	return MatchQuorumFunc(cfg, func(id types.NodeID) types.Index { return match[id] }, idx, q)
+}
+
+// MatchQuorumFunc is MatchQuorum over an accessor instead of a map, so
+// progress trackers that own the per-peer state (internal/replica) can be
+// queried without materializing a map per commit evaluation.
+func MatchQuorumFunc(cfg types.Config, match func(types.NodeID) types.Index, idx types.Index, q int) bool {
 	n := 0
 	for _, m := range cfg.Members {
-		if match[m] >= idx {
+		if match(m) >= idx {
 			n++
 			if n >= q {
 				return true

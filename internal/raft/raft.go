@@ -20,7 +20,9 @@ import (
 
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/replica"
 	"github.com/hraft-io/hraft/internal/session"
+	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
 	"github.com/hraft-io/hraft/internal/types"
 )
@@ -51,6 +53,21 @@ type Config struct {
 	// message (0 = unlimited); a lagging follower then catches up over
 	// several bounded round trips instead of one unbounded message.
 	MaxEntriesPerAppend int
+	// MaxInflightAppends bounds outstanding AppendEntries messages per
+	// follower once it is replicating (0 = replica.DefaultMaxInflight). A
+	// full window downgrades the round to a plain heartbeat.
+	MaxInflightAppends int
+	// MaxSnapshotChunk is the InstallSnapshot chunk payload size in bytes:
+	// the leader slices the encoded snapshot into chunks no larger than
+	// this so transfers fit datagram transports (0 = whole snapshot in one
+	// message).
+	MaxSnapshotChunk int
+	// SnapshotResendTimeout is how long a transfer may go without
+	// acknowledged progress before it is retried (default 4 heartbeats):
+	// a pending snapshot's unacked part is re-sent, and a full
+	// AppendEntries window falls back to probing so lost appends are
+	// retransmitted. It replaces the old re-send-every-round behavior.
+	SnapshotResendTimeout time.Duration
 	// SessionTTL expires client sessions idle longer than this, via
 	// leader-committed clock entries (0 = no expiry).
 	SessionTTL time.Duration
@@ -75,6 +92,9 @@ func (c *Config) Defaults() {
 	}
 	if c.ProposalTimeout == 0 {
 		c.ProposalTimeout = 6 * c.HeartbeatInterval
+	}
+	if c.SnapshotResendTimeout == 0 {
+		c.SnapshotResendTimeout = 4 * c.HeartbeatInterval
 	}
 }
 
@@ -121,10 +141,11 @@ type Node struct {
 	// candidate state.
 	votes map[types.NodeID]bool
 
-	// leader state.
-	nextIndex  map[types.NodeID]types.Index
-	matchIndex map[types.NodeID]types.Index
-	aeRound    uint64
+	// progress is the per-peer replication engine (internal/replica): it
+	// owns what used to be the nextIndex/matchIndex maps plus append flow
+	// control and snapshot streaming state. Leader-only; nil otherwise.
+	progress *replica.Tracker
+	aeRound  uint64
 	// notifyQueue holds commit notifications to flush at the next leader
 	// tick (see package comment on timing).
 	notifyQueue []types.Envelope
@@ -138,8 +159,16 @@ type Node struct {
 	resolved  []types.Resolution
 
 	// snap is the latest snapshot (zero if none); the leader ships it to
-	// followers that fell behind the compacted prefix.
-	snap types.Snapshot
+	// followers that fell behind the compacted prefix. snapEnc caches its
+	// wire encoding for chunked transfers; snapRecv reassembles chunked
+	// streams received as follower.
+	snap     types.Snapshot
+	snapEnc  replica.SnapshotEncoder
+	snapRecv replica.Reassembler
+
+	// metrics counts replication events (see internal/replica counter
+	// names); it survives role changes.
+	metrics *stats.Counters
 
 	// sessions is the replicated client-session registry (see
 	// internal/session), consulted at append and apply time for
@@ -178,6 +207,7 @@ func New(cfg Config) (*Node, error) {
 		role:     types.RoleFollower,
 		pending:  make(map[types.ProposalID]*pendingProposal),
 		sessions: session.New(),
+		metrics:  stats.NewCounters(),
 	}
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
@@ -229,6 +259,14 @@ func (n *Node) SnapshotIndex() types.Index { return n.log.SnapshotIndex() }
 
 // PendingProposals returns the number of unresolved local proposals.
 func (n *Node) PendingProposals() int { return len(n.pending) }
+
+// Metrics returns a snapshot of the node's monotonic replication counters
+// (see internal/replica for the names).
+func (n *Node) Metrics() map[string]uint64 { return n.metrics.Snapshot() }
+
+// Progress exposes the per-peer replication tracker (nil unless leader);
+// tests and diagnostics only.
+func (n *Node) Progress() *replica.Tracker { return n.progress }
 
 // TakeOutbox drains messages to send.
 func (n *Node) TakeOutbox() []types.Envelope {
@@ -440,8 +478,8 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 		n.leaderID = types.None
 	}
 	n.votes = nil
-	n.nextIndex = nil
-	n.matchIndex = nil
+	n.progress = nil
+	n.snapEnc.Release()
 	n.notifyQueue = nil
 	n.tickDeadline = 0
 	n.resetElectionTimer()
@@ -520,14 +558,14 @@ func (n *Node) becomeLeader() {
 	// mark from an earlier term would double-count interim leaders' time.
 	n.lastSessionClock = 0
 	n.votes = nil
-	n.nextIndex = make(map[types.NodeID]types.Index)
-	n.matchIndex = make(map[types.NodeID]types.Index)
 	cfg := n.Config()
-	for _, peer := range cfg.Members {
-		n.nextIndex[peer] = n.log.LastIndex() + 1
-		n.matchIndex[peer] = 0
-	}
-	n.matchIndex[n.cfg.ID] = n.log.LastIndex()
+	n.progress = replica.NewTracker(replica.Config{
+		MaxInflight:   n.cfg.MaxInflightAppends,
+		MaxChunk:      n.cfg.MaxSnapshotChunk,
+		ResendTimeout: n.cfg.SnapshotResendTimeout,
+	}, n.metrics)
+	n.progress.Reset(cfg.Members, n.log.LastIndex()+1)
+	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
 	// Establish a commit point in this term (Raft-thesis no-op).
 	n.leaderAppend(types.Entry{Kind: types.KindNoop})
 	// First heartbeat goes out immediately; subsequent ones at the tick.
@@ -564,7 +602,7 @@ func (n *Node) leaderAppend(e types.Entry) {
 	}
 	stored, _ := n.log.Get(idx)
 	n.persistEntry(stored)
-	n.matchIndex[n.cfg.ID] = n.log.LastIndex()
+	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
 }
 
 func (n *Node) onClientPropose(from types.NodeID, m types.ClientPropose) {
@@ -595,7 +633,7 @@ func (n *Node) advanceCommit() {
 		if n.log.Term(k) != n.term {
 			continue
 		}
-		if !quorum.MatchQuorum(cfg, n.matchIndex, k, classic) {
+		if !n.progress.MatchQuorum(cfg, k, classic) {
 			break
 		}
 		n.commitTo(k)
@@ -742,40 +780,76 @@ func (n *Node) broadcastAppend() {
 	cfg := n.Config()
 	n.aeRound++
 	for _, peer := range cfg.Others(n.cfg.ID) {
-		next := n.nextIndex[peer]
-		if next == 0 {
-			next = n.log.LastIndex() + 1
-			n.nextIndex[peer] = next
-		}
-		if next <= n.log.SnapshotIndex() {
-			// The entries this follower needs are compacted away; ship the
-			// snapshot instead. The reply advances nextIndex past it.
-			n.send(peer, types.InstallSnapshot{
-				Term:     n.term,
-				LeaderID: n.cfg.ID,
-				Snapshot: n.snap.Clone(),
-				Round:    n.aeRound,
-			})
-			continue
-		}
-		prev := next - 1
-		hi := n.log.LastIndex()
-		if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
-			// Bound the payload; the follower's ack advances nextIndex and
-			// the next round ships the following chunk.
-			hi = next + types.Index(max) - 1
-		}
-		msg := types.AppendEntries{
-			Term:         n.term,
-			LeaderID:     n.cfg.ID,
-			PrevLogIndex: prev,
-			PrevLogTerm:  n.log.Term(prev),
-			Entries:      n.log.Range(next, hi),
-			LeaderCommit: n.commitIndex,
-			Round:        n.aeRound,
-		}
-		n.send(peer, msg)
+		n.replicateTo(peer)
 	}
+}
+
+// replicateTo dispatches this round's traffic to one follower through its
+// replication progress: snapshot chunks while it is behind the compacted
+// prefix, log entries while the inflight window allows, a bare heartbeat
+// otherwise.
+func (n *Node) replicateTo(peer types.NodeID) {
+	pr := n.progress.Ensure(peer, n.log.LastIndex()+1)
+	if pr.State() == replica.StateSnapshot || pr.Next() <= n.log.SnapshotIndex() {
+		// The entries this follower needs are compacted away; stream the
+		// snapshot instead. While the install is pending, nothing is
+		// re-sent — the heartbeat keeps leadership (and silent-leave
+		// accounting) alive.
+		if !n.sendSnapshotTo(peer) {
+			n.sendHeartbeat(peer)
+		}
+		return
+	}
+	if !pr.CanAppend() {
+		// Inflight window full: the follower has unacknowledged appends in
+		// flight; pushing more would just duplicate them. If the window has
+		// gone a full timeout without ack progress, the appends (or their
+		// acks) were lost — fall back to probing and retransmit now.
+		if !n.progress.RecoverStall(peer, n.now) {
+			n.metrics.Inc(replica.CounterAppendsThrottled)
+			n.sendHeartbeat(peer)
+			return
+		}
+	}
+	next := pr.Next()
+	prev := next - 1
+	hi := n.log.LastIndex()
+	if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
+		// Bound the payload; acks advance Next and the window lets the
+		// following chunks pipeline.
+		hi = next + types.Index(max) - 1
+	}
+	entries := n.log.Range(next, hi)
+	msg := types.AppendEntries{
+		Term:         n.term,
+		LeaderID:     n.cfg.ID,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log.Term(prev),
+		Entries:      entries,
+		LeaderCommit: n.commitIndex,
+		Round:        n.aeRound,
+	}
+	pr.SentAppend(prev, len(entries))
+	n.send(peer, msg)
+}
+
+// sendHeartbeat sends an entry-free AppendEntries anchored where the
+// follower is known to match (or at the snapshot boundary), so it passes
+// the consistency check without carrying payload or regressing progress.
+func (n *Node) sendHeartbeat(peer types.NodeID) {
+	prev := n.log.SnapshotIndex()
+	if pr := n.progress.Get(peer); pr != nil &&
+		pr.Match() > prev && pr.Match() <= n.log.LastIndex() {
+		prev = pr.Match()
+	}
+	n.send(peer, types.AppendEntries{
+		Term:         n.term,
+		LeaderID:     n.cfg.ID,
+		PrevLogIndex: prev,
+		PrevLogTerm:  n.log.Term(prev),
+		LeaderCommit: n.commitIndex,
+		Round:        n.aeRound,
+	})
 }
 
 func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
@@ -843,23 +917,13 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	if n.role != types.RoleLeader || m.Term < n.term {
 		return
 	}
+	pr := n.progress.Ensure(from, n.log.LastIndex()+1)
 	if !m.Success {
-		// Back off; use the follower's hint to converge quickly.
-		next := n.nextIndex[from]
-		if next > m.LastLogIndex+1 {
-			next = m.LastLogIndex + 1
-		} else if next > 1 {
-			next--
-		}
-		n.nextIndex[from] = next
+		// Back off; the follower's last-index hint converges quickly.
+		pr.RejectAppend(m.LastLogIndex)
 		return
 	}
-	if m.MatchIndex > n.matchIndex[from] {
-		n.matchIndex[from] = m.MatchIndex
-	}
-	if n.nextIndex[from] <= m.MatchIndex {
-		n.nextIndex[from] = m.MatchIndex + 1
-	}
+	pr.AckAppend(m.MatchIndex)
 	// Commit evaluation happens at the next leader tick (timing model).
 }
 
@@ -923,21 +987,64 @@ func (n *Node) maybeCompact() {
 	n.snap = snap
 }
 
-// onInstallSnapshot is the follower side of snapshot transfer.
+// sendSnapshotTo streams the current snapshot to a follower whose log
+// position fell below the compacted prefix: whole-image in one message
+// when chunking is off, MaxSnapshotChunk-sized chunks otherwise. The
+// tracker plans (and suppresses) transmission; false means nothing was
+// sent this round (pending install).
+func (n *Node) sendSnapshotTo(peer types.NodeID) bool {
+	msgs := n.progress.SnapshotMessages(peer, n.snap, n.snapEnc.Encode(n.snap),
+		n.term, n.cfg.ID, n.aeRound, n.now)
+	for _, m := range msgs {
+		n.send(peer, m)
+	}
+	return len(msgs) > 0
+}
+
+// onInstallSnapshot is the follower side of snapshot transfer: whole
+// images install directly; chunks are reassembled and installed on the
+// final one. Every message is acknowledged with the buffered offset so
+// the leader can resume without re-sending acknowledged chunks.
 func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	if m.Term > n.term || (m.Term == n.term && n.role != types.RoleFollower) {
 		n.becomeFollower(m.Term, m.LeaderID)
 	}
-	resp := types.InstallSnapshotReply{Term: n.term, Round: m.Round, LastIndex: n.commitIndex}
+	boundary := m.Boundary
+	if boundary == 0 {
+		boundary = m.Snapshot.Meta.LastIndex
+	}
+	resp := types.InstallSnapshotReply{
+		Term: n.term, Round: m.Round, LastIndex: n.commitIndex, Boundary: boundary,
+	}
 	if m.Term < n.term {
 		n.send(from, resp)
 		return
 	}
 	n.leaderID = m.LeaderID
 	n.resetElectionTimer()
-	snap := m.Snapshot
-	if snap.Meta.LastIndex <= n.commitIndex {
+	if boundary <= n.commitIndex {
 		// Already have this prefix; just tell the leader where we are.
+		resp.LastIndex = n.commitIndex
+		n.snapRecv.Reset()
+		n.send(from, resp)
+		return
+	}
+	var snap types.Snapshot
+	if !m.Snapshot.IsZero() {
+		// Legacy whole-image transfer.
+		snap = m.Snapshot
+		n.snapRecv.Reset()
+	} else {
+		n.metrics.Inc(replica.CounterChunksReceived)
+		s, complete, ack := n.snapRecv.Offer(from, boundary, m.Offset, m.Data, m.Done)
+		resp.Offset = ack
+		if !complete {
+			n.send(from, resp) // acknowledge buffered progress
+			return
+		}
+		snap = s
+	}
+	if snap.Meta.LastIndex <= n.commitIndex {
 		resp.LastIndex = n.commitIndex
 		n.send(from, resp)
 		return
@@ -961,6 +1068,7 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 			panic(fmt.Sprintf("raft %s: restore state machine: %v", n.cfg.ID, err))
 		}
 	}
+	n.metrics.Inc(replica.CounterInstalls)
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)
 }
@@ -978,7 +1086,7 @@ func (n *Node) sessionStateAt(boundary types.Index) []byte {
 }
 
 // onInstallSnapshotReply advances the leader's view of a follower that
-// installed (or already had) a snapshot.
+// installed (or already had) a snapshot, or acknowledged chunk progress.
 func (n *Node) onInstallSnapshotReply(from types.NodeID, m types.InstallSnapshotReply) {
 	if m.Term > n.term {
 		n.becomeFollower(m.Term, types.None)
@@ -987,10 +1095,15 @@ func (n *Node) onInstallSnapshotReply(from types.NodeID, m types.InstallSnapshot
 	if n.role != types.RoleLeader || m.Term < n.term {
 		return
 	}
-	if m.LastIndex > n.matchIndex[from] {
-		n.matchIndex[from] = m.LastIndex
-	}
-	if n.nextIndex[from] <= m.LastIndex {
-		n.nextIndex[from] = m.LastIndex + 1
+	done := n.progress.AckSnapshot(from, m.Boundary, m.Offset, m.LastIndex, n.now)
+	if !done {
+		if pr := n.progress.Get(from); pr != nil && pr.State() == replica.StateSnapshot {
+			// Acknowledged progress freed window room: keep the chunk
+			// pipeline moving between rounds.
+			n.sendSnapshotTo(from)
+		}
+	} else if !n.progress.AnySnapshotStreams() {
+		// Last transfer finished; drop the cached encoding.
+		n.snapEnc.Release()
 	}
 }

@@ -1,0 +1,699 @@
+// Package replica is the shared per-peer replication engine used by every
+// consensus core (classic Raft, Fast Raft, and through Fast Raft both
+// C-Raft levels): progress tracking, append flow control and chunked
+// snapshot streaming.
+//
+// The design follows etcd's Progress/ProgressSnapshot shape. Each peer is a
+// small state machine:
+//
+//   - probe:     the leader is still locating the peer's log end. Entries
+//     are sent anchored at Next every round, but Next only advances on an
+//     acknowledgment, so a wrong guess costs one round, not a flood.
+//   - replicate: the peer is caught up and acknowledging. Next advances
+//     optimistically as appends are sent, letting catch-up pipeline across
+//     round trips, bounded by an inflight window of MaxInflight outstanding
+//     messages. A full window downgrades the round to a plain heartbeat.
+//   - snapshot:  the entries the peer needs are compacted away. The leader
+//     streams its snapshot — in MaxChunk-sized chunks when configured —
+//     and sends no appends until the install is acknowledged. The
+//     pending-snapshot flag plus a resend timeout stop the stall-and-flood
+//     behavior of re-sending the full image every broadcast round.
+//
+// The Tracker owns the peer map (it replaces the hand-rolled
+// nextIndex/matchIndex maps the cores used to keep), answers the quorum
+// questions commit evaluation asks, and plans snapshot chunk transmission.
+// The Reassembler is the follower-side counterpart that rebuilds a chunked
+// stream into a Snapshot.
+//
+// Everything here is sans-io and deterministic: the cores decide when a
+// round happens and what a message looks like; this package decides what
+// may be sent to whom.
+package replica
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// State is a peer's replication state.
+type State uint8
+
+const (
+	// StateProbe sends conservatively while locating the peer's log end.
+	StateProbe State = iota + 1
+	// StateReplicate pipelines appends optimistically under a window.
+	StateReplicate
+	// StateSnapshot streams a snapshot; appends are suspended.
+	StateSnapshot
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateProbe:
+		return "probe"
+	case StateReplicate:
+		return "replicate"
+	case StateSnapshot:
+		return "snapshot"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Counter names emitted by the tracker (exposed through Node.Metrics).
+const (
+	// CounterAppendsThrottled counts rounds where a full inflight window
+	// downgraded an append to a heartbeat.
+	CounterAppendsThrottled = "replica.appends_throttled"
+	// CounterChunksSent counts first-transmission snapshot chunks.
+	CounterChunksSent = "replica.snapshot_chunks_sent"
+	// CounterChunksResent counts snapshot chunks re-sent after a resend
+	// timeout rewound the cursor.
+	CounterChunksResent = "replica.snapshot_chunks_resent"
+	// CounterFullSent counts unchunked full-snapshot transmissions.
+	CounterFullSent = "replica.snapshot_full_sent"
+	// CounterFullResent counts unchunked full-snapshot re-transmissions
+	// after the resend timeout.
+	CounterFullResent = "replica.snapshot_full_resent"
+	// CounterPendingRounds counts rounds where a pending install suppressed
+	// any snapshot transmission (the redundant sends the old cores made).
+	CounterPendingRounds = "replica.snapshot_pending_rounds"
+	// CounterStreams counts snapshot transfers started.
+	CounterStreams = "replica.snapshot_streams_started"
+	// CounterStreamsDone counts snapshot transfers acknowledged complete.
+	CounterStreamsDone = "replica.snapshot_streams_completed"
+	// CounterChunksReceived counts snapshot chunks ingested on the
+	// follower side (incremented by the cores, which own the Reassembler).
+	CounterChunksReceived = "replica.snapshot_chunks_received"
+	// CounterInstalls counts snapshots installed on the follower side.
+	CounterInstalls = "replica.snapshots_installed"
+	// CounterStallsRecovered counts full append windows that timed out
+	// without ack progress and fell back to probing (lost appends are then
+	// retransmitted from Match+1).
+	CounterStallsRecovered = "replica.append_stalls_recovered"
+)
+
+// DefaultMaxInflight is the append window used when Config.MaxInflight is
+// unset: enough to pipeline catch-up across a few round trips without
+// letting a slow peer absorb unbounded duplicates.
+const DefaultMaxInflight = 4
+
+// Config parametrizes a Tracker.
+type Config struct {
+	// MaxInflight bounds outstanding append messages per peer in the
+	// replicate state, and outstanding unacked chunks during snapshot
+	// streaming (0 = DefaultMaxInflight).
+	MaxInflight int
+	// MaxChunk is the snapshot chunk payload size in bytes (0 = ship the
+	// whole snapshot in one message, as before chunking existed).
+	MaxChunk int
+	// ResendTimeout is how long a transfer may go without acknowledged
+	// progress before it is retried: a pending snapshot's unacked part is
+	// re-sent, and a full append window falls back to probing
+	// (RecoverStall). One knob for both — they are the same "presume the
+	// window lost" decision.
+	ResendTimeout time.Duration
+}
+
+// Progress tracks replication to one peer. Fields are managed by the
+// Tracker; cores read them through accessors.
+type Progress struct {
+	match types.Index
+	next  types.Index
+	// fastMatch is the peer's fast-quorum vote position (Fast Raft's
+	// fastMatchIndex; unused by classic Raft).
+	fastMatch types.Index
+
+	state       State
+	maxInflight int
+	// inflight holds the last log index of each outstanding append, FIFO;
+	// acks free every element <= the acknowledged match index.
+	inflight []types.Index
+	// stallDeadline arms when sends fill the window: if no ack progress
+	// arrives by then, the window is presumed lost (messages or acks
+	// dropped) and the peer falls back to probing so the entries are
+	// retransmitted. 0 = not armed.
+	stallDeadline time.Duration
+
+	// Snapshot streaming state (StateSnapshot only).
+	pendingSnapshot types.Index   // boundary of the snapshot in flight
+	acked           uint64        // contiguous bytes acknowledged by the peer
+	cursor          uint64        // next byte offset to transmit
+	maxSent         uint64        // transmission high-water mark (resend accounting)
+	deadline        time.Duration // resend timeout for unacked progress
+}
+
+// Match returns the highest index known replicated on the peer.
+func (p *Progress) Match() types.Index { return p.match }
+
+// Next returns the next index to send to the peer.
+func (p *Progress) Next() types.Index { return p.next }
+
+// FastMatch returns the peer's fast-track vote position.
+func (p *Progress) FastMatch() types.Index { return p.fastMatch }
+
+// State returns the peer's replication state.
+func (p *Progress) State() State { return p.state }
+
+// PendingSnapshot returns the boundary of the snapshot being streamed to
+// the peer (0 when none).
+func (p *Progress) PendingSnapshot() types.Index {
+	if p.state != StateSnapshot {
+		return 0
+	}
+	return p.pendingSnapshot
+}
+
+// CanAppend reports whether the leader may ship log entries to this peer
+// this round. False while a snapshot is pending, or while the replicate
+// window is full (the caller downgrades to a heartbeat).
+func (p *Progress) CanAppend() bool {
+	if p.state == StateSnapshot {
+		return false
+	}
+	return len(p.inflight) < p.maxInflight
+}
+
+// SentAppend records that entries (prev+1 .. prev+n] were sent. In the
+// replicate state Next advances optimistically and the message joins the
+// inflight window; in probe it stays put until acknowledged.
+func (p *Progress) SentAppend(prev types.Index, n int) {
+	if n == 0 || p.state != StateReplicate {
+		return
+	}
+	last := prev + types.Index(n)
+	p.inflight = append(p.inflight, last)
+	if p.next <= last {
+		p.next = last + 1
+	}
+}
+
+// AckAppend folds a successful AppendEntries acknowledgment up to match.
+// It reports whether the peer's Match advanced. A first ack flips a probing
+// peer to replicate; acks during a snapshot transfer only complete it when
+// they prove the peer already holds the boundary.
+func (p *Progress) AckAppend(match types.Index) bool {
+	if p.state == StateSnapshot {
+		if match < p.pendingSnapshot {
+			return false // stale ack from before the transfer
+		}
+		p.finishSnapshot()
+	}
+	advanced := match > p.match
+	if advanced {
+		p.match = match
+	}
+	if p.next <= match {
+		p.next = match + 1
+	}
+	i := 0
+	for i < len(p.inflight) && p.inflight[i] <= match {
+		i++
+	}
+	p.inflight = p.inflight[i:]
+	if advanced || i > 0 {
+		// Ack progress: the window is moving, disarm the stall timer.
+		p.stallDeadline = 0
+	}
+	if p.state == StateProbe {
+		p.state = StateReplicate
+	}
+	return advanced
+}
+
+// RejectAppend processes a failed consistency check: back Next off (using
+// the follower's last-index hint to converge quickly) and drop back to
+// probing. Ignored during a snapshot transfer — the rejected append
+// predates it.
+func (p *Progress) RejectAppend(hintLast types.Index) {
+	if p.state == StateSnapshot {
+		return
+	}
+	next := p.next
+	if next > hintLast+1 {
+		next = hintLast + 1
+	} else if next > 1 {
+		next--
+	}
+	if next == 0 {
+		next = 1
+	}
+	p.next = next
+	p.state = StateProbe
+	p.inflight = nil
+	p.stallDeadline = 0
+}
+
+// ResetNext re-anchors Next (Fast Raft's vote rule: a voter reports its
+// commit index and the leader re-converges its log from there). Ignored
+// while a snapshot is streaming — re-anchoring below the boundary would
+// restart the transfer every vote, which is exactly the redundancy this
+// package exists to remove.
+func (p *Progress) ResetNext(next types.Index) {
+	if p.state == StateSnapshot {
+		return
+	}
+	if next == 0 {
+		next = 1
+	}
+	p.next = next
+	p.state = StateProbe
+	p.inflight = nil
+	p.stallDeadline = 0
+}
+
+// RecordFastMatch raises the peer's fast-track vote position.
+func (p *Progress) RecordFastMatch(idx types.Index) {
+	if idx > p.fastMatch {
+		p.fastMatch = idx
+	}
+}
+
+func (p *Progress) finishSnapshot() {
+	p.state = StateProbe
+	p.pendingSnapshot = 0
+	p.acked, p.cursor, p.maxSent = 0, 0, 0
+	p.deadline = 0
+	p.inflight = nil
+}
+
+// String renders the progress for diagnostics.
+func (p *Progress) String() string {
+	s := fmt.Sprintf("%s match=%d next=%d", p.state, p.match, p.next)
+	if p.state == StateSnapshot {
+		s += fmt.Sprintf(" pending=%d acked=%d cursor=%d", p.pendingSnapshot, p.acked, p.cursor)
+	}
+	return s
+}
+
+// Chunk describes one InstallSnapshot transmission the leader should make.
+// The tracker plans offsets; the core slices the encoded snapshot and
+// wraps the result in its own message envelope.
+type Chunk struct {
+	// Boundary is the snapshot's last covered index (stream identity).
+	Boundary types.Index
+	// Offset is the byte offset of this chunk within the encoded snapshot.
+	Offset uint64
+	// Len is the chunk payload length in bytes (0 for a Full send).
+	Len uint64
+	// Done marks the final chunk of the stream.
+	Done bool
+	// Full means "ship the entire snapshot in one legacy message" (chunking
+	// disabled).
+	Full bool
+}
+
+// Tracker owns the per-peer Progress map for one leadership. It is created
+// when a node becomes leader and discarded on step-down; the counter set
+// outlives it (the node passes its own).
+type Tracker struct {
+	cfg      Config
+	peers    map[types.NodeID]*Progress
+	counters *stats.Counters
+}
+
+// NewTracker builds a tracker. counters may be shared with the owning node
+// (nil allocates a private set).
+func NewTracker(cfg Config, counters *stats.Counters) *Tracker {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	return &Tracker{
+		cfg:      cfg,
+		peers:    make(map[types.NodeID]*Progress),
+		counters: counters,
+	}
+}
+
+// Counters returns the tracker's counter set.
+func (t *Tracker) Counters() *stats.Counters { return t.counters }
+
+// Reset installs fresh progress for the given members, all probing from
+// next. Called at election win.
+func (t *Tracker) Reset(members []types.NodeID, next types.Index) {
+	t.peers = make(map[types.NodeID]*Progress, len(members))
+	for _, id := range members {
+		t.Ensure(id, next)
+	}
+}
+
+// Ensure returns the peer's progress, creating it (probing from next) if
+// absent. Used for peers that appear mid-leadership: joiners being caught
+// up and members added by configuration entries.
+func (t *Tracker) Ensure(id types.NodeID, next types.Index) *Progress {
+	if p, ok := t.peers[id]; ok {
+		return p
+	}
+	if next == 0 {
+		next = 1
+	}
+	p := &Progress{state: StateProbe, next: next, maxInflight: t.cfg.MaxInflight}
+	t.peers[id] = p
+	return p
+}
+
+// Get returns the peer's progress (nil if untracked).
+func (t *Tracker) Get(id types.NodeID) *Progress { return t.peers[id] }
+
+// Remove forgets a peer (left the configuration).
+func (t *Tracker) Remove(id types.NodeID) { delete(t.peers, id) }
+
+// Peers returns the tracked peer IDs in deterministic order.
+func (t *Tracker) Peers() []types.NodeID {
+	out := make([]types.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Match returns the peer's match index (0 if untracked).
+func (t *Tracker) Match(id types.NodeID) types.Index {
+	if p, ok := t.peers[id]; ok {
+		return p.match
+	}
+	return 0
+}
+
+// RecordSelf marks the leader's own replication position: its log end is
+// both matched and fast-matched by definition.
+func (t *Tracker) RecordSelf(self types.NodeID, match types.Index) {
+	p := t.Ensure(self, match+1)
+	if match > p.match {
+		p.match = match
+	}
+	if p.next <= match {
+		p.next = match + 1
+	}
+	p.RecordFastMatch(match)
+	p.state = StateReplicate
+}
+
+// RecoverStall is the escape hatch for a lost append window: called on a
+// round where the peer's full window blocks an append, it arms (then
+// checks) a resend timeout; once the window has gone a full timeout with
+// no ack progress, the peer falls back to probing from Match+1 so the
+// lost entries are retransmitted. Returns true when the fallback fired —
+// the caller may append again this round.
+func (t *Tracker) RecoverStall(id types.NodeID, now time.Duration) bool {
+	p := t.peers[id]
+	if p == nil || p.state != StateReplicate || len(p.inflight) == 0 {
+		return false
+	}
+	if p.stallDeadline == 0 {
+		p.stallDeadline = now + t.cfg.ResendTimeout
+		return false
+	}
+	if t.cfg.ResendTimeout <= 0 || now < p.stallDeadline {
+		return false
+	}
+	p.next = p.match + 1
+	p.state = StateProbe
+	p.inflight = nil
+	p.stallDeadline = 0
+	t.counters.Inc(CounterStallsRecovered)
+	return true
+}
+
+// MatchQuorum reports whether >= q members of cfg have match >= idx (the
+// classic commit rule).
+func (t *Tracker) MatchQuorum(cfg types.Config, idx types.Index, q int) bool {
+	return quorum.MatchQuorumFunc(cfg, t.Match, idx, q)
+}
+
+// FastMatchQuorum reports whether >= q members of cfg fast-voted for >= idx
+// (Fast Raft's fast commit rule).
+func (t *Tracker) FastMatchQuorum(cfg types.Config, idx types.Index, q int) bool {
+	return quorum.MatchQuorumFunc(cfg, func(id types.NodeID) types.Index {
+		if p, ok := t.peers[id]; ok {
+			return p.fastMatch
+		}
+		return 0
+	}, idx, q)
+}
+
+// --- Snapshot streaming (leader side) ---------------------------------------
+
+// PlanSnapshot decides what, if anything, of the snapshot (boundary,
+// encLen encoded bytes) to transmit to peer this round. It returns chunk
+// descriptors to send now — empty when the pending-install flag suppresses
+// transmission (the caller should still heartbeat). Transitions the peer
+// into StateSnapshot, restarting the stream if the leader's snapshot
+// boundary moved.
+func (t *Tracker) PlanSnapshot(id types.NodeID, boundary types.Index, encLen int, now time.Duration) []Chunk {
+	p := t.Ensure(id, boundary+1)
+	if p.state != StateSnapshot || p.pendingSnapshot != boundary {
+		p.state = StateSnapshot
+		p.pendingSnapshot = boundary
+		p.acked, p.cursor, p.maxSent = 0, 0, 0
+		p.deadline = 0
+		p.inflight = nil
+		t.counters.Inc(CounterStreams)
+	}
+
+	if t.cfg.MaxChunk <= 0 {
+		// Unchunked: one full transmission, then hold until acknowledged or
+		// timed out. cursor doubles as the "sent once" flag.
+		if p.cursor == 0 {
+			p.cursor = uint64(encLen)
+			p.deadline = now + t.cfg.ResendTimeout
+			t.counters.Inc(CounterFullSent)
+			return []Chunk{{Boundary: boundary, Done: true, Full: true}}
+		}
+		if t.cfg.ResendTimeout > 0 && now >= p.deadline {
+			p.deadline = now + t.cfg.ResendTimeout
+			t.counters.Inc(CounterFullResent)
+			return []Chunk{{Boundary: boundary, Done: true, Full: true}}
+		}
+		t.counters.Inc(CounterPendingRounds)
+		return nil
+	}
+
+	// Chunked: if nothing was acknowledged since the last transmission for
+	// a full timeout, rewind to the ack point and re-send from there; acked
+	// chunks are never re-sent.
+	if t.cfg.ResendTimeout > 0 && p.cursor > p.acked && now >= p.deadline {
+		p.cursor = p.acked
+	}
+	chunks := t.planChunks(p, boundary, encLen, now)
+	if len(chunks) == 0 {
+		t.counters.Inc(CounterPendingRounds)
+	}
+	return chunks
+}
+
+// AckSnapshot folds an InstallSnapshotReply into the peer's transfer
+// state: lastIndex is the responder's resulting boundary/commit, offset the
+// contiguous bytes it has buffered for the snapshot identified by boundary.
+// It reports whether the transfer completed (install acknowledged, or the
+// peer proved it already holds the prefix). On progress within an ongoing
+// stream, the caller may immediately PlanSnapshot again to keep the chunk
+// pipeline moving between rounds.
+func (t *Tracker) AckSnapshot(id types.NodeID, boundary types.Index, offset uint64, lastIndex types.Index, now time.Duration) bool {
+	p := t.peers[id]
+	if p == nil {
+		return false
+	}
+	if lastIndex > p.match {
+		p.match = lastIndex
+	}
+	if p.next <= lastIndex {
+		p.next = lastIndex + 1
+	}
+	if p.state != StateSnapshot {
+		return false
+	}
+	if lastIndex >= p.pendingSnapshot {
+		p.finishSnapshot()
+		t.counters.Inc(CounterStreamsDone)
+		return true
+	}
+	if boundary == p.pendingSnapshot {
+		switch {
+		case offset > p.acked:
+			p.acked = offset
+			if p.cursor < p.acked {
+				p.cursor = p.acked
+			}
+			p.deadline = now + t.cfg.ResendTimeout
+		case offset < p.acked:
+			// The responder's buffer regressed below our ack point — it
+			// restarted mid-stream or discarded a corrupt stream. Resume
+			// from its actual position instead of wedging on a monotonic
+			// cursor. (A reordered stale ack costs at most a re-sent
+			// window; the follower ignores overlaps.)
+			p.acked = offset
+			p.cursor = offset
+		}
+	}
+	return false
+}
+
+// SnapshotMessages plans this round's transmission to peer and
+// materializes the InstallSnapshot messages to send: the whole image in
+// one message when chunking is off, chunk slices of enc (the encoded
+// snapshot) otherwise. Empty when the pending-install flag suppresses
+// transmission. Shared by every core so the chunk protocol cannot
+// diverge between them.
+func (t *Tracker) SnapshotMessages(id types.NodeID, snap types.Snapshot, enc []byte, term types.Term, leader types.NodeID, round uint64, now time.Duration) []types.InstallSnapshot {
+	boundary := snap.Meta.LastIndex
+	chunks := t.PlanSnapshot(id, boundary, len(enc), now)
+	msgs := make([]types.InstallSnapshot, 0, len(chunks))
+	for _, ch := range chunks {
+		m := types.InstallSnapshot{
+			Term:     term,
+			LeaderID: leader,
+			Boundary: boundary,
+			Round:    round,
+		}
+		if ch.Full {
+			m.Snapshot = snap.Clone()
+			m.Done = true
+		} else {
+			m.Offset = ch.Offset
+			m.Data = append([]byte(nil), enc[ch.Offset:ch.Offset+ch.Len]...)
+			m.Done = ch.Done
+		}
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// AnySnapshotStreams reports whether any peer transfer is in flight; when
+// none is, the owning core can release its snapshot-encoding cache.
+func (t *Tracker) AnySnapshotStreams() bool {
+	for _, p := range t.peers {
+		if p.state == StateSnapshot {
+			return true
+		}
+	}
+	return false
+}
+
+// SnapshotEncoder caches the wire encoding of a node's current snapshot
+// (keyed by its boundary) so chunked transfers do not re-encode per peer
+// per round. Release it when no transfer is in flight — the cache pins
+// a state-machine-sized byte slice otherwise.
+type SnapshotEncoder struct {
+	enc      []byte
+	boundary types.Index
+}
+
+// Encode returns the cached encoding, refreshing it when the snapshot
+// boundary moved.
+func (e *SnapshotEncoder) Encode(snap types.Snapshot) []byte {
+	if e.enc == nil || e.boundary != snap.Meta.LastIndex {
+		e.enc = types.EncodeSnapshot(snap)
+		e.boundary = snap.Meta.LastIndex
+	}
+	return e.enc
+}
+
+// Release drops the cached encoding.
+func (e *SnapshotEncoder) Release() {
+	e.enc = nil
+	e.boundary = 0
+}
+
+// planChunks emits chunks from the cursor up to the inflight window
+// (MaxInflight unacked chunks), advancing the cursor.
+func (t *Tracker) planChunks(p *Progress, boundary types.Index, encLen int, now time.Duration) []Chunk {
+	total := uint64(encLen)
+	window := uint64(t.cfg.MaxInflight) * uint64(t.cfg.MaxChunk)
+	var out []Chunk
+	for p.cursor < total && p.cursor-p.acked < window {
+		n := uint64(t.cfg.MaxChunk)
+		if p.cursor+n > total {
+			n = total - p.cursor
+		}
+		out = append(out, Chunk{
+			Boundary: boundary,
+			Offset:   p.cursor,
+			Len:      n,
+			Done:     p.cursor+n == total,
+		})
+		if p.cursor < p.maxSent {
+			t.counters.Inc(CounterChunksResent)
+		} else {
+			t.counters.Inc(CounterChunksSent)
+		}
+		p.cursor += n
+		if p.cursor > p.maxSent {
+			p.maxSent = p.cursor
+		}
+	}
+	if len(out) > 0 {
+		p.deadline = now + t.cfg.ResendTimeout
+	}
+	return out
+}
+
+// --- Snapshot reassembly (follower side) ------------------------------------
+
+// Reassembler rebuilds a chunked snapshot stream on the receiving side.
+// One instance per node suffices: a new (sender, boundary) pair restarts
+// the buffer, so competing or superseded streams cannot interleave.
+type Reassembler struct {
+	from     types.NodeID
+	boundary types.Index
+	buf      []byte
+	total    uint64 // offset+len of the Done chunk (0 = not seen yet)
+}
+
+// Offer ingests one chunked InstallSnapshot message. It returns the
+// reassembled snapshot when the stream completed (complete=true), and the
+// acknowledgment offset — the contiguous byte count buffered — the caller
+// should echo in its reply. Out-of-order chunks beyond the contiguous
+// prefix are dropped (the ack offset tells the leader where to resume);
+// duplicates are ignored. A snapshot that fails to decode resets the
+// stream so the leader's resend can start clean.
+func (r *Reassembler) Offer(from types.NodeID, boundary types.Index, offset uint64, data []byte, done bool) (snap types.Snapshot, complete bool, ack uint64) {
+	if from != r.from || boundary != r.boundary {
+		r.from, r.boundary = from, boundary
+		r.buf = r.buf[:0] // same stream source changing streams: reuse
+		r.total = 0
+	}
+	switch {
+	case offset == uint64(len(r.buf)):
+		r.buf = append(r.buf, data...)
+	case offset < uint64(len(r.buf)):
+		// Duplicate or overlap: already buffered; ack current position.
+	default:
+		// Gap (loss/reorder ahead of the prefix): drop; the leader resends
+		// from our ack offset after its timeout.
+	}
+	if done {
+		r.total = offset + uint64(len(data))
+	}
+	if r.total != 0 && uint64(len(r.buf)) >= r.total {
+		total := r.total
+		s, err := types.DecodeSnapshot(r.buf[:total])
+		r.Reset()
+		if err != nil {
+			// Corrupt stream (hostile or mis-framed): restart rather than
+			// panic; the leader re-sends from zero.
+			return types.Snapshot{}, false, 0
+		}
+		return s, true, total
+	}
+	return types.Snapshot{}, false, uint64(len(r.buf))
+}
+
+// Reset drops any partial stream (e.g. after an install completed through
+// another path), releasing the buffer — it can be snapshot-sized, and the
+// node owning this reassembler lives long past the transfer.
+func (r *Reassembler) Reset() {
+	r.from, r.boundary = types.None, 0
+	r.buf = nil
+	r.total = 0
+}

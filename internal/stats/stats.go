@@ -168,6 +168,47 @@ func (h *Histogram) Counts() []int { return append([]int(nil), h.counts...) }
 // Total returns the number of observations.
 func (h *Histogram) Total() int { return h.total }
 
+// Counters is a set of named monotonic event counters, the first slice of
+// the observability surface: consensus internals count what they do
+// (snapshot chunks sent, appends throttled, ...) and hosts expose the
+// merged snapshot through Node.Metrics or expvar. Counters only ever go
+// up; rates are the consumer's job. The zero value is not usable — call
+// NewCounters. Not safe for concurrent use; callers serialize access the
+// same way they serialize the consensus state machine that feeds it.
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Inc adds one to the named counter, creating it at zero first.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add adds delta to the named counter, creating it at zero first.
+func (c *Counters) Add(name string, delta uint64) { c.m[name] += delta }
+
+// Get returns the counter's current value (0 if never touched).
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Snapshot copies the current values; the copy is safe to hand out.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// MergeInto copies every counter into dst under prefix+name. Used to fold
+// per-subsystem counter sets (e.g. C-Raft's local and global instances)
+// into one exported map.
+func (c *Counters) MergeInto(dst map[string]uint64, prefix string) {
+	for k, v := range c.m {
+		dst[prefix+k] += v
+	}
+}
+
 // Throughput converts a count over a window to events/second.
 func Throughput(count int, window time.Duration) float64 {
 	if window <= 0 {

@@ -19,8 +19,19 @@ import (
 const (
 	wireMagic = 0xC4AF
 	// wireVersion 2 added the session fields to the entry encoding and the
-	// session-state section to the snapshot encoding.
-	wireVersion = 2
+	// session-state section to the snapshot encoding. Version 3 added the
+	// chunked-snapshot fields (Boundary/Offset/Data/Done) to
+	// InstallSnapshot and the ack fields (Boundary/Offset) to
+	// InstallSnapshotReply.
+	wireVersion = 3
+	// wireVersionMin is the oldest frame version this decoder accepts: v2
+	// frames (no chunk fields) decode as whole-image transfers, so a v3
+	// node understands everything a v2 sender emits. Note the
+	// compatibility is one-directional — this encoder always writes v3,
+	// which a v2 decoder rejects as a bad frame — so mixed clusters need
+	// the upgraded side rolled out last on the decode path. Unknown
+	// versions are rejected loudly as ErrBadFrame rather than misdecoded.
+	wireVersionMin = 2
 )
 
 // Message type tags. The values are part of the wire format; never reorder.
@@ -68,11 +79,13 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 	if len(data) < 4 {
 		return Envelope{}, ErrBadFrame
 	}
-	if binary.BigEndian.Uint16(data[:2]) != wireMagic || data[2] != wireVersion {
+	ver := data[2]
+	if binary.BigEndian.Uint16(data[:2]) != wireMagic ||
+		ver < wireVersionMin || ver > wireVersion {
 		return Envelope{}, ErrBadFrame
 	}
 	tag := data[3]
-	r := reader{buf: data[4:]}
+	r := reader{buf: data[4:], ver: ver}
 	var env Envelope
 	env.From = NodeID(r.str())
 	env.To = NodeID(r.str())
@@ -187,10 +200,16 @@ func encodeBody(w *writer, m Message) {
 		w.u64(uint64(v.Term))
 		w.str(string(v.LeaderID))
 		w.snapshot(v.Snapshot)
+		w.u64(uint64(v.Boundary))
+		w.u64(v.Offset)
+		w.bytes(v.Data)
+		w.bool(v.Done)
 		w.u64(v.Round)
 	case InstallSnapshotReply:
 		w.u64(uint64(v.Term))
 		w.u64(uint64(v.LastIndex))
+		w.u64(uint64(v.Boundary))
+		w.u64(v.Offset)
 		w.u64(v.Round)
 	}
 }
@@ -283,12 +302,26 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 		v.Term = Term(r.u64())
 		v.LeaderID = NodeID(r.str())
 		v.Snapshot = r.snapshot()
+		if r.ver >= 3 {
+			v.Boundary = Index(r.u64())
+			v.Offset = r.u64()
+			v.Data = r.bytes()
+			v.Done = r.bool()
+		} else {
+			// v2 sender: always a whole-image transfer.
+			v.Boundary = v.Snapshot.Meta.LastIndex
+			v.Done = true
+		}
 		v.Round = r.u64()
 		return v, r.err
 	case tagInstallSnapshotReply:
 		var v InstallSnapshotReply
 		v.Term = Term(r.u64())
 		v.LastIndex = Index(r.u64())
+		if r.ver >= 3 {
+			v.Boundary = Index(r.u64())
+			v.Offset = r.u64()
+		}
 		v.Round = r.u64()
 		return v, r.err
 	default:
@@ -343,11 +376,14 @@ func (w *writer) entry(e Entry) {
 	}
 }
 
-// reader consumes an encoded buffer, latching the first error.
+// reader consumes an encoded buffer, latching the first error. ver is the
+// frame version being decoded (0 outside envelope decoding, where layouts
+// are unversioned).
 type reader struct {
 	buf []byte
 	off int
 	err error
+	ver uint8
 }
 
 func (r *reader) u64() uint64 {

@@ -56,7 +56,12 @@ func sampleMessages() []Message {
 			Data: bytes.Repeat([]byte{0x5C}, 200),
 		}},
 		InstallSnapshot{Term: 1, LeaderID: "l"},
+		InstallSnapshot{Term: 13, LeaderID: "lead", Round: 6,
+			Boundary: 100, Offset: 4096, Data: bytes.Repeat([]byte{0x7E}, 512)},
+		InstallSnapshot{Term: 13, LeaderID: "lead", Round: 7,
+			Boundary: 100, Offset: 8192, Data: []byte{0x01}, Done: true},
 		InstallSnapshotReply{Term: 12, LastIndex: 100, Round: 4},
+		InstallSnapshotReply{Term: 13, LastIndex: 3, Boundary: 100, Offset: 4608, Round: 6},
 	}
 }
 
@@ -171,6 +176,106 @@ func TestDecodeSnapshotWithoutSessionsSection(t *testing.T) {
 	}
 	if !reflect.DeepEqual(canonSnapshot(s.Clone()), canonSnapshot(got)) {
 		t.Fatalf("roundtrip mismatch:\n in: %#v\nout: %#v", s, got)
+	}
+}
+
+// encodeV2Envelope reproduces the wire-version-2 frame layout (no chunk
+// fields on InstallSnapshot / InstallSnapshotReply) so mixed-version
+// clusters can be tested against the v3 decoder.
+func encodeV2Envelope(t *testing.T, env Envelope) []byte {
+	t.Helper()
+	var w writer
+	w.buf = append(w.buf, 0xC4, 0xAF, 2)
+	tag, err := msgTag(env.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.buf = append(w.buf, tag)
+	w.str(string(env.From))
+	w.str(string(env.To))
+	w.buf = append(w.buf, byte(env.Layer))
+	switch v := env.Msg.(type) {
+	case InstallSnapshot:
+		w.u64(uint64(v.Term))
+		w.str(string(v.LeaderID))
+		w.snapshot(v.Snapshot)
+		w.u64(v.Round)
+	case InstallSnapshotReply:
+		w.u64(uint64(v.Term))
+		w.u64(uint64(v.LastIndex))
+		w.u64(v.Round)
+	default:
+		t.Fatalf("encodeV2Envelope: unsupported %T", env.Msg)
+	}
+	return w.buf
+}
+
+// TestDecodeV2InstallSnapshotUnderV3 checks that a frame from a v2 sender
+// (whole-image transfer, no chunk fields) decodes under the v3 codec as a
+// completed legacy transfer rather than misdecoding trailing fields.
+func TestDecodeV2InstallSnapshotUnderV3(t *testing.T) {
+	snap := Snapshot{
+		Meta: SnapshotMeta{LastIndex: 88, LastTerm: 5,
+			Config: NewConfig("a", "b", "c"), ConfigIndex: 37},
+		Data:     []byte("whole image"),
+		Sessions: []byte{1, 2, 3},
+	}
+	env := Envelope{From: "lead", To: "n2", Layer: LayerLocal,
+		Msg: InstallSnapshot{Term: 9, LeaderID: "lead", Snapshot: snap, Round: 3}}
+	got, err := DecodeEnvelope(encodeV2Envelope(t, env))
+	if err != nil {
+		t.Fatalf("v2 frame rejected by v3 decoder: %v", err)
+	}
+	m, ok := got.Msg.(InstallSnapshot)
+	if !ok {
+		t.Fatalf("decoded %T", got.Msg)
+	}
+	if !m.Done || m.Boundary != 88 || m.Offset != 0 || m.Data != nil {
+		t.Fatalf("v2 frame not normalized to a whole-image transfer: %+v", m)
+	}
+	if m.Round != 3 || m.Term != 9 {
+		t.Fatalf("v2 trailing fields misdecoded: %+v", m)
+	}
+	if !reflect.DeepEqual(canonSnapshot(snap.Clone()), canonSnapshot(m.Snapshot)) {
+		t.Fatalf("snapshot mismatch:\n in: %#v\nout: %#v", snap, m.Snapshot)
+	}
+}
+
+// TestDecodeV2InstallSnapshotReplyUnderV3 is the reply-direction compat
+// case: v2 replies carry no ack fields; they must decode with zero
+// Boundary/Offset and an intact Round.
+func TestDecodeV2InstallSnapshotReplyUnderV3(t *testing.T) {
+	env := Envelope{From: "n2", To: "lead", Layer: LayerLocal,
+		Msg: InstallSnapshotReply{Term: 9, LastIndex: 88, Round: 3}}
+	got, err := DecodeEnvelope(encodeV2Envelope(t, env))
+	if err != nil {
+		t.Fatalf("v2 reply rejected: %v", err)
+	}
+	m, ok := got.Msg.(InstallSnapshotReply)
+	if !ok {
+		t.Fatalf("decoded %T", got.Msg)
+	}
+	if m.Term != 9 || m.LastIndex != 88 || m.Round != 3 || m.Boundary != 0 || m.Offset != 0 {
+		t.Fatalf("v2 reply misdecoded: %+v", m)
+	}
+}
+
+// TestDecodeEnvelopeRejectsUnknownVersions pins the loud-failure contract:
+// versions below the compatibility floor or above the current version are
+// ErrBadFrame, never a silent misdecode.
+func TestDecodeEnvelopeRejectsUnknownVersions(t *testing.T) {
+	env := Envelope{From: "a", To: "b", Layer: LayerLocal,
+		Msg: CommitNotify{PID: ProposalID{Proposer: "p", Seq: 1}, Index: 2}}
+	buf, err := EncodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ver := range []byte{0, 1, 4, 9, 255} {
+		bad := append([]byte(nil), buf...)
+		bad[2] = ver
+		if _, err := DecodeEnvelope(bad); err == nil {
+			t.Fatalf("version %d decoded without error", ver)
+		}
 	}
 }
 

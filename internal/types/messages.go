@@ -221,17 +221,34 @@ type LeaveRequest struct {
 func (LeaveRequest) MsgName() string { return "LeaveRequest" }
 
 // InstallSnapshot is the leader's snapshot transfer: when a follower's
-// nextIndex falls below the leader's compacted log prefix, the leader ships
-// its latest snapshot instead of AppendEntries. The follower replaces its
-// state machine and log prefix with the snapshot and resumes replication
-// from Snapshot.Meta.LastIndex+1.
+// replication position falls below the leader's compacted log prefix, the
+// leader ships its latest snapshot instead of AppendEntries. The follower
+// replaces its state machine and log prefix with the snapshot and resumes
+// replication from the boundary + 1.
+//
+// Two transfer modes share this message. In the legacy whole-image mode
+// (wire v2, or v3 with chunking disabled) Snapshot carries the complete
+// image and Done is true. In chunked mode (wire v3, MaxSnapshotChunk set)
+// Snapshot is zero and each message carries one Data slice of the encoded
+// snapshot (EncodeSnapshot output, sessions section included) at Offset;
+// Done marks the final chunk. Boundary identifies the stream in both
+// modes, so a follower reassembling chunks can discard a superseded
+// stream when the leader compacts again mid-transfer.
 type InstallSnapshot struct {
 	// Term is the leader's term.
 	Term Term
 	// LeaderID lets followers redirect proposers and joiners.
 	LeaderID NodeID
-	// Snapshot is the leader's latest snapshot (metadata + state bytes).
+	// Snapshot is the whole image in legacy mode; zero when chunked.
 	Snapshot Snapshot
+	// Boundary is the snapshot's last covered log index (stream identity).
+	Boundary Index
+	// Offset is the byte offset of Data within the encoded snapshot.
+	Offset uint64
+	// Data is one chunk of the encoded snapshot (nil in legacy mode).
+	Data []byte
+	// Done marks the final chunk (always true in legacy mode).
+	Done bool
 	// Round numbers the heartbeat round, matching AppendEntries.Round for
 	// silent-leave accounting.
 	Round uint64
@@ -245,8 +262,15 @@ type InstallSnapshotReply struct {
 	// Term is the responder's current term.
 	Term Term
 	// LastIndex is the responder's resulting snapshot/commit boundary: the
-	// leader advances matchIndex/nextIndex from it.
+	// leader advances its match/next view from it, and a LastIndex at or
+	// beyond the pending boundary completes the transfer.
 	LastIndex Index
+	// Boundary echoes the stream being acknowledged (chunked mode).
+	Boundary Index
+	// Offset is the contiguous byte count the responder has buffered for
+	// Boundary; the leader resumes transmission from here after a timeout
+	// and never re-sends acknowledged chunks.
+	Offset uint64
 	// Round echoes InstallSnapshot.Round.
 	Round uint64
 }
@@ -296,6 +320,9 @@ func CloneMessage(m Message) Message {
 		return v
 	case InstallSnapshot:
 		v.Snapshot = v.Snapshot.Clone()
+		if v.Data != nil {
+			v.Data = append([]byte(nil), v.Data...)
+		}
 		return v
 	case CommitNotify, JoinRequest, JoinRedirect, JoinAccepted, LeaveRequest,
 		InstallSnapshotReply:

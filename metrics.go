@@ -1,0 +1,40 @@
+package hraft
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+)
+
+// publishMu serializes the check-then-publish pair below; expvar itself
+// panics on duplicate names, which is exactly what the error return is
+// promising to prevent.
+var publishMu sync.Mutex
+
+// MetricSource is anything exposing a monotonic counter snapshot:
+// Node, RaftNode and CRaftNode all qualify.
+type MetricSource interface {
+	// Metrics returns the current counter values by name.
+	Metrics() map[string]uint64
+}
+
+// PublishExpvar registers src's counters under name in the process-wide
+// expvar registry, so the standard /debug/vars endpoint (and anything that
+// scrapes it) sees live consensus metrics: snapshot chunks sent and
+// re-sent, appends throttled by flow control, pending-install rounds,
+// queued proposals, and so on. The snapshot is taken on every read.
+//
+// expvar names are process-global; publishing a taken name returns an
+// error instead of panicking (expvar.Publish would panic), so embedding
+// applications can pick per-node names like "hraft.n1".
+func PublishExpvar(name string, src MetricSource) error {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("hraft: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return src.Metrics()
+	}))
+	return nil
+}

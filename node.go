@@ -57,6 +57,24 @@ type Options struct {
 	// log suffix in one message. Set it when the transport has a datagram
 	// size limit (UDP).
 	MaxEntriesPerAppend int
+	// MaxInflightAppends bounds outstanding AppendEntries messages per
+	// follower once it is replicating (0 = a small default). Catch-up
+	// pipelines up to this many messages per round trip; a full window
+	// downgrades the round to a plain heartbeat instead of duplicating
+	// in-flight entries on a slow peer.
+	MaxInflightAppends int
+	// MaxSnapshotChunk, when set, streams snapshot transfers
+	// (InstallSnapshot) in chunks of at most this many payload bytes
+	// instead of one message carrying the whole image — required for
+	// datagram transports once state machines outgrow a datagram. The
+	// follower reassembles and installs on the final chunk; acknowledged
+	// chunks are never re-sent. 0 ships the whole snapshot in one message.
+	MaxSnapshotChunk int
+	// MaxInflightProposals caps this node's unresolved proposals (0 =
+	// unlimited). Excess proposals queue in FIFO order and are broadcast
+	// as earlier ones resolve, keeping a proposer burst from spraying
+	// sparse insertions across arbitrary log indices.
+	MaxInflightProposals int
 	// SessionTTL expires client sessions (OpenSession) idle longer than
 	// this, via leader-committed clock entries applied identically on every
 	// replica. 0 disables expiry: sessions then live until the registry's
@@ -115,20 +133,23 @@ func NewNode(opts Options) (*Node, error) {
 	}
 	seed := mixSeed(opts.Seed, opts.ID)
 	fr, err := fastraft.New(fastraft.Config{
-		ID:                  opts.ID,
-		Bootstrap:           types.NewConfig(opts.Peers...),
-		Storage:             opts.Storage,
-		HeartbeatInterval:   opts.HeartbeatInterval,
-		ElectionTimeoutMin:  opts.ElectionTimeoutMin,
-		ElectionTimeoutMax:  opts.ElectionTimeoutMax,
-		ProposalTimeout:     opts.ProposalTimeout,
-		MemberTimeoutRounds: opts.MemberTimeoutRounds,
-		SnapshotThreshold:   opts.SnapshotThreshold,
-		Snapshotter:         opts.Snapshotter,
-		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
-		SessionTTL:          opts.SessionTTL,
-		DisableFastTrack:    opts.DisableFastTrack,
-		Rand:                rand.New(rand.NewSource(seed)),
+		ID:                   opts.ID,
+		Bootstrap:            types.NewConfig(opts.Peers...),
+		Storage:              opts.Storage,
+		HeartbeatInterval:    opts.HeartbeatInterval,
+		ElectionTimeoutMin:   opts.ElectionTimeoutMin,
+		ElectionTimeoutMax:   opts.ElectionTimeoutMax,
+		ProposalTimeout:      opts.ProposalTimeout,
+		MemberTimeoutRounds:  opts.MemberTimeoutRounds,
+		SnapshotThreshold:    opts.SnapshotThreshold,
+		Snapshotter:          opts.Snapshotter,
+		MaxEntriesPerAppend:  opts.MaxEntriesPerAppend,
+		MaxInflightAppends:   opts.MaxInflightAppends,
+		MaxSnapshotChunk:     opts.MaxSnapshotChunk,
+		MaxInflightProposals: opts.MaxInflightProposals,
+		SessionTTL:           opts.SessionTTL,
+		DisableFastTrack:     opts.DisableFastTrack,
+		Rand:                 rand.New(rand.NewSource(seed)),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -211,6 +232,16 @@ func (n *Node) Members() Membership {
 // Commits streams committed entries in log order. The channel must be
 // consumed.
 func (n *Node) Commits() <-chan Entry { return n.commits }
+
+// Metrics returns a snapshot of the node's monotonic replication counters
+// (snapshot chunks sent/resent, appends throttled, pending-install rounds,
+// proposals queued, ...). Publish them with PublishExpvar or scrape
+// periodically; counters only ever increase.
+func (n *Node) Metrics() map[string]uint64 {
+	var m map[string]uint64
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { m = n.fr.Metrics() })
+	return m
+}
 
 // ProposeAsync submits an entry without waiting; the proposal is re-sent
 // until it commits (watch Commits or use Propose to await it).

@@ -45,6 +45,8 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		SnapshotThreshold:   opts.SnapshotThreshold,
 		Snapshotter:         opts.Snapshotter,
 		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
+		MaxInflightAppends:  opts.MaxInflightAppends,
+		MaxSnapshotChunk:    opts.MaxSnapshotChunk,
 		SessionTTL:          opts.SessionTTL,
 		Rand:                rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),
 	})
@@ -105,6 +107,14 @@ func (n *RaftNode) CommitIndex() Index {
 
 // Commits streams committed entries in log order; it must be consumed.
 func (n *RaftNode) Commits() <-chan Entry { return n.commits }
+
+// Metrics returns a snapshot of the node's monotonic replication counters
+// (see Node.Metrics).
+func (n *RaftNode) Metrics() map[string]uint64 {
+	var m map[string]uint64
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) { m = n.rn.Metrics() })
+	return m
+}
 
 // Propose submits an entry and waits for it to commit. Note that a retry
 // after a lost acknowledgment can commit twice; use
