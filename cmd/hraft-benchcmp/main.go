@@ -1,0 +1,192 @@
+// Command hraft-benchcmp turns `go test -bench` output into a committed
+// JSON snapshot and gates CI on throughput regressions against the
+// previous PR's baseline.
+//
+//	go test -bench . -benchtime 1x -run '^$' . | tee bench.out
+//	hraft-benchcmp -in bench.out -out BENCH_pr4.json -baseline BENCH_pr3.json
+//
+// The comparison covers the throughput metrics (entries/s): each is
+// checked against the same quantity in the baseline file and the run
+// fails if any regressed by more than -max-regress (default 2x). The
+// custom metrics are paper-figure quantities measured on virtual time, so
+// they are stable across CI hardware; ns/op is ignored for exactly that
+// reason.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hraft-benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+var iterSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` output into benchmark -> metric ->
+// value (custom units only; ns/op and allocation columns are kept too,
+// they are simply never compared).
+func parseBench(path string) (map[string]map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := iterSuffix.ReplaceAllString(fields[0], "")
+		metrics := out[name]
+		if metrics == nil {
+			metrics = make(map[string]float64)
+			out[name] = metrics
+		}
+		// fields[1] is the iteration count; the rest are "value unit" pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// lookup walks a decoded JSON object by dot-separated path.
+func lookup(doc any, path string) (float64, bool) {
+	cur := doc
+	for _, part := range strings.Split(path, ".") {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return 0, false
+		}
+		cur, ok = m[part]
+		if !ok {
+			return 0, false
+		}
+	}
+	v, ok := cur.(float64)
+	return v, ok
+}
+
+// check names one throughput quantity in both representations: the
+// benchmark/metric pair in fresh output and the JSON path in the baseline.
+type check struct {
+	bench, metric, basePath string
+}
+
+func throughputChecks() []check {
+	var out []check
+	for _, n := range []string{"1", "2", "4", "5", "10"} {
+		out = append(out,
+			check{"BenchmarkFig5Throughput/clusters=" + n, "craft-entries/s",
+				"fig5_throughput_entries_per_s.clusters=" + n + ".craft"},
+			check{"BenchmarkFig5Throughput/clusters=" + n, "raft-entries/s",
+				"fig5_throughput_entries_per_s.clusters=" + n + ".raft"},
+		)
+	}
+	for _, n := range []string{"1", "5", "10", "20", "50"} {
+		out = append(out, check{"BenchmarkAblationBatchSize/batch=" + n, "entries/s",
+			"ablation_batch_size_entries_per_s.batch=" + n})
+	}
+	return out
+}
+
+func run() error {
+	var (
+		in         = flag.String("in", "bench.out", "captured `go test -bench` output")
+		out        = flag.String("out", "", "write the parsed snapshot to this JSON file")
+		baseline   = flag.String("baseline", "", "previous BENCH_pr*.json to compare against")
+		maxRegress = flag.Float64("max-regress", 2.0, "fail when a throughput metric drops by more than this factor")
+		pr         = flag.Int("pr", 4, "PR number recorded in the snapshot")
+	)
+	flag.Parse()
+
+	results, err := parseBench(*in)
+	if err != nil {
+		return fmt.Errorf("parse %s: %w", *in, err)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found in %s", *in)
+	}
+
+	if *out != "" {
+		snap := map[string]any{
+			"pr":         *pr,
+			"command":    "go test -bench . -benchtime 1x -run '^$' .",
+			"note":       "Machine-parsed smoke snapshot (hraft-benchcmp). Custom metrics are virtual-time paper-figure quantities, stable across hardware.",
+			"benchmarks": results,
+		}
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("decode baseline: %w", err)
+	}
+	// Baselines written by this tool nest results under "benchmarks" keyed
+	// by benchmark name; hand-written ones use the figure paths.
+	benchDoc, _ := doc.(map[string]any)["benchmarks"]
+
+	failed := 0
+	compared := 0
+	for _, c := range throughputChecks() {
+		cur, ok := results[c.bench][c.metric]
+		if !ok {
+			continue
+		}
+		base, ok := lookup(doc, c.basePath)
+		if !ok && benchDoc != nil {
+			base, ok = lookup(benchDoc, c.bench+"."+c.metric)
+		}
+		if !ok || base <= 0 {
+			continue
+		}
+		compared++
+		if cur < base / *maxRegress {
+			failed++
+			fmt.Printf("REGRESSION %s %s: %.3f -> %.3f (>%.1fx drop)\n",
+				c.bench, c.metric, base, cur, *maxRegress)
+		} else {
+			fmt.Printf("ok %s %s: %.3f -> %.3f\n", c.bench, c.metric, base, cur)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable throughput metrics between %s and %s", *in, *baseline)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d throughput metric(s) regressed more than %.1fx", failed, *maxRegress)
+	}
+	fmt.Printf("throughput within %.1fx of baseline (%d metrics compared)\n", *maxRegress, compared)
+	return nil
+}

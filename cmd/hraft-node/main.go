@@ -45,6 +45,8 @@ func run() error {
 		hb      = flag.Duration("heartbeat", 100*time.Millisecond, "leader heartbeat interval")
 		snapN   = flag.Int("snapshot-threshold", 0, "compact the log every N committed entries (0 = never)")
 		chunk   = flag.Int("snapshot-chunk", 0, "stream snapshot transfers in chunks of at most this many bytes (0 = one message)")
+		maxInfl = flag.Int("max-inflight-bytes", 0, "per-follower byte budget for outstanding AppendEntries payloads (0 = 1 MiB default)")
+		metrics = flag.String("metrics", "", "serve Prometheus text metrics at this addr (e.g. 127.0.0.1:9090; empty = off)")
 		quiet   = flag.Bool("quiet", false, "suppress per-commit output")
 	)
 	flag.Parse()
@@ -108,11 +110,20 @@ func run() error {
 		SnapshotThreshold: *snapN,
 		Snapshotter:       snapshotter,
 		MaxSnapshotChunk:  *chunk,
+		MaxInflightBytes:  *maxInfl,
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Stop()
+	if *metrics != "" {
+		maddr, stopMetrics, merr := hraft.ServeMetrics(*metrics, *id, node)
+		if merr != nil {
+			return merr
+		}
+		defer stopMetrics()
+		fmt.Printf("metrics at http://%s/metrics\n", maddr)
+	}
 	if lines != nil {
 		if restored := lines.size(); restored > 0 {
 			fmt.Printf("[restored] %d lines from snapshot (log starts at %d)\n",

@@ -57,8 +57,13 @@ type CRaftOptions struct {
 	// levels (0 = unlimited).
 	MaxEntriesPerAppend int
 	// MaxInflightAppends bounds outstanding AppendEntries messages per
-	// peer at both consensus levels (0 = a small default).
+	// peer at both consensus levels (0 = a small default). Secondary to
+	// MaxInflightBytes.
 	MaxInflightAppends int
+	// MaxInflightBytes bounds the encoded entry bytes outstanding per peer
+	// at both consensus levels (0 = 1 MiB): the primary append window,
+	// sized at encode time.
+	MaxInflightBytes int
 	// MaxSnapshotChunk streams local-log snapshot transfers in chunks of
 	// at most this many payload bytes (0 = whole snapshot in one message).
 	MaxSnapshotChunk int
@@ -117,6 +122,7 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 		AppSnapshotter:      opts.Snapshotter,
 		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
 		MaxInflightAppends:  opts.MaxInflightAppends,
+		MaxInflightBytes:    opts.MaxInflightBytes,
 		MaxSnapshotChunk:    opts.MaxSnapshotChunk,
 		MaxInflightBatches:  opts.MaxInflightBatches,
 		SessionTTL:          opts.SessionTTL,

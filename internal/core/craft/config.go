@@ -75,7 +75,11 @@ type Config struct {
 	MaxEntriesPerAppend int
 	// MaxInflightAppends bounds outstanding AppendEntries messages per
 	// peer at both consensus levels (0 = replica.DefaultMaxInflight).
+	// Secondary to MaxInflightBytes.
 	MaxInflightAppends int
+	// MaxInflightBytes bounds the encoded entry bytes outstanding per peer
+	// at both consensus levels (0 = replica.DefaultMaxInflightBytes).
+	MaxInflightBytes int
 	// MaxSnapshotChunk is the InstallSnapshot chunk payload size in bytes
 	// for local-log snapshot transfers (0 = whole snapshot in one
 	// message).

@@ -141,6 +141,7 @@ func New(cfg Config) (*Node, error) {
 		Snapshotter:         craftSnapshotter{n},
 		MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
 		MaxInflightAppends:  cfg.MaxInflightAppends,
+		MaxInflightBytes:    cfg.MaxInflightBytes,
 		MaxSnapshotChunk:    cfg.MaxSnapshotChunk,
 		SessionTTL:          cfg.SessionTTL,
 		DisableFastTrack:    cfg.DisableFastTrack,
@@ -328,10 +329,11 @@ func (n *Node) OpenSession(now time.Duration) types.ProposalID {
 
 // ProposeSession submits an application entry under (sid, seq) to
 // intra-cluster consensus with exactly-once semantics across proposer
-// restarts and local-log compaction.
-func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq uint64, data []byte) types.ProposalID {
+// restarts and local-log compaction. ack is the client's retry floor
+// (see fastraft.Node.ProposeSession).
+func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq, ack uint64, data []byte) types.ProposalID {
 	n.now = now
-	pid := n.local.ProposeSession(now, sid, seq, data)
+	pid := n.local.ProposeSession(now, sid, seq, ack, data)
 	n.pump(now)
 	return pid
 }
@@ -474,6 +476,7 @@ func (n *Node) startGlobal(now time.Duration) {
 		MemberTimeoutRounds: n.cfg.MemberTimeoutRounds,
 		MaxEntriesPerAppend: n.cfg.MaxEntriesPerAppend,
 		MaxInflightAppends:  n.cfg.MaxInflightAppends,
+		MaxInflightBytes:    n.cfg.MaxInflightBytes,
 		DisableFastTrack:    n.cfg.DisableFastTrack,
 		Rand:                n.cfg.Rand,
 		Layer:               types.LayerGlobal,

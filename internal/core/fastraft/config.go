@@ -53,18 +53,26 @@ type Config struct {
 	// MaxInflightAppends bounds outstanding AppendEntries messages per
 	// follower once it is replicating (0 = replica.DefaultMaxInflight). A
 	// full window downgrades the round to a plain heartbeat instead of
-	// duplicating in-flight entries.
+	// duplicating in-flight entries. Secondary to MaxInflightBytes.
 	MaxInflightAppends int
+	// MaxInflightBytes bounds the encoded entry bytes outstanding per
+	// follower (0 = replica.DefaultMaxInflightBytes, 1 MiB): the primary
+	// append window, sized at encode time so flow control tracks actual
+	// wire cost instead of message counts.
+	MaxInflightBytes int
 	// MaxSnapshotChunk is the InstallSnapshot chunk payload size in bytes:
 	// the leader slices the encoded snapshot into chunks no larger than
 	// this so large state machines fit UDP datagrams and do not stall
 	// heartbeats (0 = whole snapshot in one message).
 	MaxSnapshotChunk int
 	// SnapshotResendTimeout is how long a transfer may go without
-	// acknowledged progress before it is retried (default 4 heartbeats):
-	// a pending snapshot's unacked part is re-sent, and a full
-	// AppendEntries window falls back to probing so lost appends are
-	// retransmitted. It replaces the old re-send-every-round behavior.
+	// acknowledged progress before it is retried, before any round trips
+	// have been observed on the link (default 4 heartbeats): a pending
+	// snapshot's unacked part is re-sent, and a full AppendEntries window
+	// falls back to probing so lost appends are retransmitted. Once acks
+	// flow, the per-peer adaptive estimate (EWMA of observed round trips,
+	// clamped between HeartbeatInterval and ElectionTimeoutMin) takes
+	// over.
 	SnapshotResendTimeout time.Duration
 	// MaxInflightProposals caps this site's unresolved broadcast proposals
 	// (0 = unlimited). Proposals past the cap queue in FIFO order and are

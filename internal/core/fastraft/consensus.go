@@ -323,6 +323,7 @@ func (n *Node) appendLeaderEntryAt(idx types.Index, e types.Entry) {
 		panic(fmt.Sprintf("fastraft %s: append leader: %v", n.cfg.ID, err))
 	}
 	n.persistEntry(idx)
+	n.appendedAt[idx] = n.now
 	n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 	if e.Kind == types.KindConfig {
 		n.onConfigChangedAsLeader()
@@ -388,6 +389,10 @@ func (n *Node) commitTo(k types.Index) {
 		if !ok {
 			panic(fmt.Sprintf("fastraft %s: commit hole at %d", n.cfg.ID, i))
 		}
+		if at, ok := n.appendedAt[i]; ok {
+			n.commitHist.Observe(n.now - at)
+			delete(n.appendedAt, i)
+		}
 		if n.applySessionCommit(e) {
 			// Session duplicate (or expired-session proposal): the slot
 			// commits but the entry is withheld from the state machine;
@@ -419,9 +424,42 @@ func (n *Node) observeCommitted(e types.Entry) {
 
 // --- Replication (AppendEntries) -------------------------------------------
 
+// logView exposes the leader-approved prefix to the shared dispatch layer
+// (Fast Raft replicates only decided entries; classic Raft passes its full
+// log instead — that accessor pair is the whole difference between the
+// cores' replication).
+func (n *Node) logView() replica.LogView {
+	return replica.LogView{
+		LastIndex:     n.log.LastLeaderIndex,
+		Term:          n.log.Term,
+		Entries:       n.log.LeaderRange,
+		SnapshotIndex: n.log.SnapshotIndex,
+	}
+}
+
+// round is the per-broadcast-round context stamped onto dispatched
+// messages. Paper: nextIndex for fresh peers starts at the leader's commit
+// index + 1.
+func (n *Node) round() replica.Round {
+	return replica.Round{
+		Term:     n.term,
+		Leader:   n.cfg.ID,
+		Commit:   n.commitIndex,
+		Seq:      n.aeRound,
+		NextHint: n.commitIndex + 1,
+		Now:      n.now,
+	}
+}
+
+// broadcastAppend dispatches this round's traffic to every peer through
+// the shared replication engine: snapshot chunks while a peer is behind
+// the compacted prefix, leader-approved entries while the inflight window
+// allows, a bare heartbeat otherwise (see replica.Tracker.AppendMessages).
+// Every branch sends something, so silent-leave accounting keeps working.
 func (n *Node) broadcastAppend() {
 	cfg := n.Config()
 	n.aeRound++
+	lv, rc := n.logView(), n.round()
 	targets := cfg.Others(n.cfg.ID)
 	targets = append(targets, sortedKeys(n.nonvoting)...)
 	for _, peer := range targets {
@@ -435,76 +473,20 @@ func (n *Node) broadcastAppend() {
 			}
 			n.responded[peer] = false
 		}
-		n.replicateTo(peer)
-	}
-}
-
-// replicateTo dispatches this round's traffic to one peer through its
-// replication progress: snapshot chunks while it is behind the compacted
-// prefix, leader-approved entries while the inflight window allows, a
-// bare heartbeat otherwise. Every branch sends something, so silent-leave
-// accounting keeps working.
-func (n *Node) replicateTo(peer types.NodeID) {
-	pr := n.progress.Ensure(peer, n.commitIndex+1)
-	if pr.State() == replica.StateSnapshot || pr.Next() <= n.log.SnapshotIndex() {
-		// The entries this peer needs are compacted away; stream the
-		// snapshot instead. While the install is pending nothing is
-		// re-sent — the heartbeat keeps the peer responding.
-		if !n.sendSnapshotTo(peer) {
-			n.sendHeartbeat(peer)
+		msgs, snapshot := n.progress.AppendMessages(peer, lv, rc)
+		if snapshot {
+			// The entries this peer needs are compacted away; stream the
+			// snapshot instead. While the install is pending nothing is
+			// re-sent — the heartbeat keeps the peer responding.
+			if !n.sendSnapshotTo(peer) {
+				n.send(peer, n.progress.HeartbeatMessage(peer, lv, rc))
+			}
+			continue
 		}
-		return
-	}
-	if !pr.CanAppend() {
-		// Inflight window full: pushing more would duplicate in-flight
-		// entries on a peer that has not acknowledged them yet. If the
-		// window has gone a full timeout without ack progress, the appends
-		// (or their acks) were lost — fall back to probing and retransmit.
-		if !n.progress.RecoverStall(peer, n.now) {
-			n.metrics.Inc(replica.CounterAppendsThrottled)
-			n.sendHeartbeat(peer)
-			return
+		for _, m := range msgs {
+			n.send(peer, m)
 		}
 	}
-	next := pr.Next()
-	prev := next - 1
-	hi := n.log.LastLeaderIndex()
-	if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
-		// Bound the payload; acks advance Next and the window lets the
-		// following chunks pipeline.
-		hi = next + types.Index(max) - 1
-	}
-	entries := n.log.LeaderRange(next, hi)
-	msg := types.AppendEntries{
-		Term:         n.term,
-		LeaderID:     n.cfg.ID,
-		PrevLogIndex: prev,
-		PrevLogTerm:  n.log.Term(prev),
-		Entries:      entries,
-		LeaderCommit: n.commitIndex,
-		Round:        n.aeRound,
-	}
-	pr.SentAppend(prev, len(entries))
-	n.send(peer, msg)
-}
-
-// sendHeartbeat sends an entry-free AppendEntries anchored where the peer
-// is known to match (or at the snapshot boundary), so it passes the
-// consistency check without payload or progress regression.
-func (n *Node) sendHeartbeat(peer types.NodeID) {
-	prev := n.log.SnapshotIndex()
-	if pr := n.progress.Get(peer); pr != nil &&
-		pr.Match() > prev && pr.Match() <= n.log.LastLeaderIndex() {
-		prev = pr.Match()
-	}
-	n.send(peer, types.AppendEntries{
-		Term:         n.term,
-		LeaderID:     n.cfg.ID,
-		PrevLogIndex: prev,
-		PrevLogTerm:  n.log.Term(prev),
-		LeaderCommit: n.commitIndex,
-		Round:        n.aeRound,
-	})
 }
 
 func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
@@ -514,6 +496,9 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 	resp := types.AppendEntriesResp{
 		Term: n.term, Round: m.Round, LastLogIndex: n.log.LastLeaderIndex(),
 	}
+	// Report any partially buffered snapshot stream so a new leader can
+	// continue it from our position instead of restarting at byte 0.
+	resp.PendingBoundary, resp.PendingOffset = n.snapRecv.Pending()
 	if m.Term < n.term {
 		n.send(from, resp)
 		return
@@ -612,9 +597,16 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	if !m.Success {
 		// Back off; the peer's last-leader-index hint converges quickly.
 		pr.RejectAppend(m.LastLogIndex)
-		return
+	} else {
+		pr.AckAppend(m.MatchIndex, n.now)
 	}
-	pr.AckAppend(m.MatchIndex)
+	// Stream continuation: the peer holds a partial snapshot stream at our
+	// boundary (from a predecessor leader); seed the transfer from its
+	// buffered offset so acked chunks are never re-sent from byte 0.
+	if b := m.PendingBoundary; b != 0 && b == n.log.SnapshotIndex() &&
+		m.PendingOffset > 0 && pr.Match() < b {
+		n.progress.SeedSnapshot(from, b, m.PendingOffset, n.now)
+	}
 	// Commit evaluation happens at the next leader tick (timing model).
 }
 

@@ -130,8 +130,23 @@ type Node struct {
 	snapRecv replica.Reassembler
 
 	// metrics counts replication and backpressure events (see
-	// internal/replica counter names); it survives role changes.
-	metrics *stats.Counters
+	// internal/replica counter names); it survives role changes, as do the
+	// latency histograms. commitHist observes leader-side commit latency
+	// (leader approval to commit); installHist observes follower-side
+	// snapshot install duration (stream start to install). appendedAt
+	// tracks when the leader approved each uncommitted index (commitHist
+	// input; leader only), installStart when the pending snapshot stream
+	// began.
+	metrics      *stats.Counters
+	commitHist   *stats.TimingHist
+	installHist  *stats.TimingHist
+	appendedAt   map[types.Index]time.Duration
+	installStart time.Duration
+	// installBoundary/installCheck identify the stream installStart was
+	// armed for, so a new stream arriving over a stale partial buffer
+	// restarts the clock instead of inheriting the dead stream's start.
+	installBoundary types.Index
+	installCheck    uint32
 
 	// sessions is the replicated client-session registry, fed by committed
 	// entries in log order (identical on every replica) and consulted at
@@ -164,14 +179,16 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("fastraft: restore log: %w", err)
 	}
 	n := &Node{
-		cfg:      cfg,
-		term:     hs.Term,
-		votedFor: hs.VotedFor,
-		log:      log,
-		role:     types.RoleFollower,
-		pending:  make(map[types.ProposalID]*pendingProposal),
-		sessions: session.New(),
-		metrics:  stats.NewCounters(),
+		cfg:         cfg,
+		term:        hs.Term,
+		votedFor:    hs.VotedFor,
+		log:         log,
+		role:        types.RoleFollower,
+		pending:     make(map[types.ProposalID]*pendingProposal),
+		sessions:    session.New(),
+		metrics:     stats.NewCounters(),
+		commitHist:  stats.NewTimingHist("hist.commit_latency", stats.DefaultLatencyBounds()...),
+		installHist: stats.NewTimingHist("hist.snapshot_install", stats.DefaultLatencyBounds()...),
 	}
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
@@ -236,9 +253,20 @@ func (n *Node) PendingProposals() int { return len(n.pending) }
 // in-flight cap (Config.MaxInflightProposals), awaiting broadcast.
 func (n *Node) QueuedProposals() int { return len(n.pending) - n.inflightProposals }
 
-// Metrics returns a snapshot of the node's monotonic replication and
-// backpressure counters (see internal/replica for the names).
-func (n *Node) Metrics() map[string]uint64 { return n.metrics.Snapshot() }
+// Metrics returns a snapshot of the node's observability surface: the
+// monotonic replication and backpressure counters (see internal/replica
+// for the names), the commit-latency and snapshot-install histograms
+// (hist.* keys, cumulative buckets), and point-in-time gauges
+// (gauge.log_span, gauge.sessions_open, gauge.snapshot_bytes).
+func (n *Node) Metrics() map[string]uint64 {
+	out := n.metrics.Snapshot()
+	n.commitHist.MergeInto(out, "")
+	n.installHist.MergeInto(out, "")
+	out["gauge.log_span"] = uint64(n.log.LastIndex() - n.log.FirstIndex() + 1)
+	out["gauge.sessions_open"] = uint64(n.sessions.Len())
+	out["gauge.snapshot_bytes"] = uint64(len(n.snap.Data) + len(n.snap.Sessions))
+	return out
+}
 
 // Progress exposes the per-peer replication tracker (nil unless leader);
 // tests and diagnostics only.
@@ -449,6 +477,7 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 	n.tally = nil
 	n.progress = nil
 	n.snapEnc.Release()
+	n.appendedAt = nil
 	n.responded = nil
 	n.missed = nil
 	n.nonvoting = nil
@@ -493,6 +522,10 @@ func (n *Node) startElection() {
 	}
 	n.sawVoteResp = false
 	n.role = types.RoleCandidate
+	// Every role transition releases the snapshot-encoding cache: a
+	// candidate that immediately wins would otherwise inherit (and pin)
+	// its previous leadership's encoded image.
+	n.snapEnc.Release()
 	n.term++
 	n.votedFor = n.cfg.ID
 	n.persistHardState()
@@ -572,10 +605,19 @@ func (n *Node) becomeLeader() {
 	n.lastSessionClock = 0
 	cfg := n.Config()
 	n.tally = quorum.NewTally()
+	// Step-up races can skip becomeFollower between leaderships; encoder
+	// caches are released on every role transition so a stale image from a
+	// previous term is never pinned or streamed.
+	n.snapEnc.Release()
+	n.appendedAt = make(map[types.Index]time.Duration)
 	n.progress = replica.NewTracker(replica.Config{
-		MaxInflight:   n.cfg.MaxInflightAppends,
-		MaxChunk:      n.cfg.MaxSnapshotChunk,
-		ResendTimeout: n.cfg.SnapshotResendTimeout,
+		MaxInflight:      n.cfg.MaxInflightAppends,
+		MaxInflightBytes: n.cfg.MaxInflightBytes,
+		MaxEntries:       n.cfg.MaxEntriesPerAppend,
+		MaxChunk:         n.cfg.MaxSnapshotChunk,
+		ResendTimeout:    n.cfg.SnapshotResendTimeout,
+		MinResendTimeout: n.cfg.HeartbeatInterval,
+		MaxResendTimeout: n.cfg.ElectionTimeoutMin,
 	}, n.metrics)
 	// Paper: nextIndex initialized to the leader's last committed entry +1.
 	n.progress.Reset(cfg.Members, n.commitIndex+1)

@@ -29,8 +29,11 @@ func (n *Node) OpenSession(now time.Duration) types.ProposalID {
 // that, unlike the ProposalID, survives proposer restarts. A retry of an
 // already-applied sequence resolves immediately with the cached commit
 // index. The session must have been opened (its KindSessionOpen entry
-// committed) before the first ProposeSession under it.
-func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq uint64, data []byte) types.ProposalID {
+// committed) before the first ProposeSession under it. ack is the client's
+// retry floor (0 = none): sequences below it are promised never to be
+// retried, so every replica drops their cached responses when the entry
+// commits.
+func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq, ack uint64, data []byte) types.ProposalID {
 	n.now = now
 	n.proposalSeq++
 	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
@@ -42,6 +45,7 @@ func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq uint64
 		Kind:       types.KindNormal,
 		Session:    sid,
 		SessionSeq: seq,
+		SessionAck: ack,
 		Data:       append([]byte(nil), data...),
 	}
 	return n.ProposeEntryPID(now, e, pid)
@@ -68,7 +72,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 		if e.Session.IsZero() {
 			return false
 		}
-		cached, dup, known := n.sessions.ApplyNormal(e.Session, e.SessionSeq, e.Index)
+		cached, dup, known := n.sessions.ApplyNormal(e.Session, e.SessionSeq, e.SessionAck, e.Index)
 		if !known {
 			// Session expired (or never opened): with the dedup state gone
 			// this apply could be a second one — reject it. Index 0 in the

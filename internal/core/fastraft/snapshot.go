@@ -77,7 +77,8 @@ func (n *Node) maybeCompact() {
 // The tracker plans (and suppresses) transmission; false means nothing was
 // sent this round (pending install).
 func (n *Node) sendSnapshotTo(to types.NodeID) bool {
-	msgs := n.progress.SnapshotMessages(to, n.snap, n.snapEnc.Encode(n.snap),
+	enc, check := n.snapEnc.Encode(n.snap)
+	msgs := n.progress.SnapshotMessages(to, n.snap, enc, check,
 		n.term, n.cfg.ID, n.aeRound, n.now)
 	for _, m := range msgs {
 		n.send(to, m)
@@ -121,9 +122,18 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		// Legacy whole-image transfer.
 		snap = m.Snapshot
 		n.snapRecv.Reset()
+		n.installStart = n.now
 	} else {
 		n.metrics.Inc(replica.CounterChunksReceived)
-		s, complete, ack := n.snapRecv.Offer(from, boundary, m.Offset, m.Data, m.Done)
+		// Restart the install clock when a stream begins — including a new
+		// (boundary, check) stream arriving over a stale partial buffer,
+		// which would otherwise inherit the dead stream's start time.
+		if _, buffered := n.snapRecv.Pending(); buffered == 0 ||
+			boundary != n.installBoundary || m.Check != n.installCheck {
+			n.installStart = n.now
+			n.installBoundary, n.installCheck = boundary, m.Check
+		}
+		s, complete, ack := n.snapRecv.Offer(boundary, m.Check, m.Offset, m.Data, m.Done)
 		resp.Offset = ack
 		if !complete {
 			n.send(from, resp) // acknowledge buffered progress
@@ -138,6 +148,8 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	}
 	n.installSnapshot(snap)
 	n.metrics.Inc(replica.CounterInstalls)
+	n.installHist.Observe(n.now - n.installStart)
+	n.installStart = 0
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)
 }

@@ -67,6 +67,9 @@ type Options struct {
 	// MaxInflightAppends bounds outstanding AppendEntries per follower
 	// (0 = replica default).
 	MaxInflightAppends int
+	// MaxInflightBytes bounds outstanding encoded entry bytes per follower
+	// (0 = replica default, 1 MiB).
+	MaxInflightBytes int
 	// MaxSnapshotChunk streams InstallSnapshot in chunks of at most this
 	// many payload bytes (0 = whole snapshot in one message).
 	MaxSnapshotChunk int
@@ -211,6 +214,7 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			SnapshotThreshold:   c.opts.SnapshotThreshold,
 			MaxEntriesPerAppend: c.opts.MaxEntriesPerAppend,
 			MaxInflightAppends:  c.opts.MaxInflightAppends,
+			MaxInflightBytes:    c.opts.MaxInflightBytes,
 			MaxSnapshotChunk:    c.opts.MaxSnapshotChunk,
 			SessionTTL:          c.opts.SessionTTL,
 			Rand:                nodeRand,
@@ -228,6 +232,7 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			SnapshotThreshold:    c.opts.SnapshotThreshold,
 			MaxEntriesPerAppend:  c.opts.MaxEntriesPerAppend,
 			MaxInflightAppends:   c.opts.MaxInflightAppends,
+			MaxInflightBytes:     c.opts.MaxInflightBytes,
 			MaxSnapshotChunk:     c.opts.MaxSnapshotChunk,
 			MaxInflightProposals: c.opts.MaxInflightProposals,
 			SessionTTL:           c.opts.SessionTTL,
@@ -390,6 +395,12 @@ func (c *Cluster) OpenSession(id types.NodeID) (types.ProposalID, error) {
 
 // ProposeSession submits a payload under (sid, seq) from the given node.
 func (c *Cluster) ProposeSession(id types.NodeID, sid types.SessionID, seq uint64, data []byte) (types.ProposalID, error) {
+	return c.ProposeSessionAck(id, sid, seq, 0, data)
+}
+
+// ProposeSessionAck submits a payload under (sid, seq) carrying the
+// client's retry floor ack (0 = none).
+func (c *Cluster) ProposeSessionAck(id types.NodeID, sid types.SessionID, seq, ack uint64, data []byte) (types.ProposalID, error) {
 	h := c.hosts[id]
 	if h == nil || !h.alive {
 		return types.ProposalID{}, fmt.Errorf("harness: node %s not running", id)
@@ -398,9 +409,9 @@ func (c *Cluster) ProposeSession(id types.NodeID, sid types.SessionID, seq uint6
 	var pid types.ProposalID
 	switch m := h.machine.(type) {
 	case *fastraft.Node:
-		pid = m.ProposeSession(now, sid, seq, data)
+		pid = m.ProposeSession(now, sid, seq, ack, data)
 	case *raft.Node:
-		pid = m.ProposeSession(now, sid, seq, data)
+		pid = m.ProposeSession(now, sid, seq, ack, data)
 	default:
 		return types.ProposalID{}, fmt.Errorf("harness: %T does not support sessions", h.machine)
 	}

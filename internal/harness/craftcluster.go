@@ -438,7 +438,7 @@ func (c *CraftCluster) ProposeSession(id types.NodeID, sid types.SessionID, seq 
 		return types.ProposalID{}, fmt.Errorf("harness: site %s not running", id)
 	}
 	now := c.Sched.Now()
-	pid := h.node.ProposeSession(now, sid, seq, data)
+	pid := h.node.ProposeSession(now, sid, seq, 0, data)
 	h.proposeStart[pid] = now
 	c.drain(h)
 	return pid, nil

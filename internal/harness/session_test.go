@@ -453,3 +453,68 @@ func TestRaftSessionSurvivesSnapshotInstall(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSessionAckTruncatesResponseCaches pins client-acknowledged response
+// truncation end to end: a proposal piggybacking a retry floor drops the
+// cached responses below it on EVERY replica (the ack is replicated state,
+// not a leader-local hint), while dedup above the floor keeps working.
+func TestSessionAckTruncatesResponseCaches(t *testing.T) {
+	c, err := NewCluster(Options{
+		Kind:  KindFastRaft,
+		Nodes: fiveNodes(),
+		Seed:  13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	const proposer = types.NodeID("n2")
+	pid, err := c.OpenSession(proposer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || idx == 0 {
+		t.Fatal("session open did not resolve")
+	}
+	sid := types.SessionID(idx)
+
+	propose := func(seq, ack uint64) types.Index {
+		t.Helper()
+		pid, err := c.ProposeSessionAck(proposer, sid, seq, ack, []byte("payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+		if !ok {
+			t.Fatalf("seq %d did not resolve", seq)
+		}
+		return idx
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		propose(seq, 0)
+	}
+	c.RunFor(2 * time.Second) // let every replica apply
+	for id, h := range c.Hosts() {
+		if got := h.Machine().(*fastraft.Node).Sessions().ResponseCount(sid); got != 5 {
+			t.Fatalf("%s cached %d responses before ack, want 5", id, got)
+		}
+	}
+	// Seq 6 carries the client's floor: nothing below 5 will be retried.
+	seq6 := propose(6, 5)
+	c.RunFor(2 * time.Second)
+	for id, h := range c.Hosts() {
+		if got := h.Machine().(*fastraft.Node).Sessions().ResponseCount(sid); got != 2 { // 5 and 6
+			t.Fatalf("%s cached %d responses after ack, want 2", id, got)
+		}
+	}
+	// A retry at the floor still deduplicates with its original response.
+	if idx := propose(6, 5); idx != seq6 {
+		t.Fatalf("retry of seq 6 resolved at %d, want original %d", idx, seq6)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

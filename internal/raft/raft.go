@@ -55,18 +55,27 @@ type Config struct {
 	MaxEntriesPerAppend int
 	// MaxInflightAppends bounds outstanding AppendEntries messages per
 	// follower once it is replicating (0 = replica.DefaultMaxInflight). A
-	// full window downgrades the round to a plain heartbeat.
+	// full window downgrades the round to a plain heartbeat. Secondary to
+	// MaxInflightBytes.
 	MaxInflightAppends int
+	// MaxInflightBytes bounds the encoded entry bytes outstanding per
+	// follower (0 = replica.DefaultMaxInflightBytes, 1 MiB): the primary
+	// append window, sized at encode time so flow control tracks actual
+	// wire cost instead of message counts.
+	MaxInflightBytes int
 	// MaxSnapshotChunk is the InstallSnapshot chunk payload size in bytes:
 	// the leader slices the encoded snapshot into chunks no larger than
 	// this so transfers fit datagram transports (0 = whole snapshot in one
 	// message).
 	MaxSnapshotChunk int
 	// SnapshotResendTimeout is how long a transfer may go without
-	// acknowledged progress before it is retried (default 4 heartbeats):
-	// a pending snapshot's unacked part is re-sent, and a full
-	// AppendEntries window falls back to probing so lost appends are
-	// retransmitted. It replaces the old re-send-every-round behavior.
+	// acknowledged progress before it is retried, before any round trips
+	// have been observed on the link (default 4 heartbeats): a pending
+	// snapshot's unacked part is re-sent, and a full AppendEntries window
+	// falls back to probing so lost appends are retransmitted. Once acks
+	// flow, the per-peer adaptive estimate (EWMA of observed round trips,
+	// clamped between HeartbeatInterval and ElectionTimeoutMin) takes
+	// over.
 	SnapshotResendTimeout time.Duration
 	// SessionTTL expires client sessions idle longer than this, via
 	// leader-committed clock entries (0 = no expiry).
@@ -167,8 +176,22 @@ type Node struct {
 	snapRecv replica.Reassembler
 
 	// metrics counts replication events (see internal/replica counter
-	// names); it survives role changes.
-	metrics *stats.Counters
+	// names); it survives role changes, as do the latency histograms.
+	// commitHist observes leader-side commit latency (local append to
+	// commit); installHist observes follower-side snapshot install
+	// duration (stream start to install). appendedAt tracks when the
+	// leader appended each uncommitted index (commitHist input; leader
+	// only), installStart when the pending snapshot stream began.
+	metrics      *stats.Counters
+	commitHist   *stats.TimingHist
+	installHist  *stats.TimingHist
+	appendedAt   map[types.Index]time.Duration
+	installStart time.Duration
+	// installBoundary/installCheck identify the stream installStart was
+	// armed for, so a new stream arriving over a stale partial buffer
+	// restarts the clock instead of inheriting the dead stream's start.
+	installBoundary types.Index
+	installCheck    uint32
 
 	// sessions is the replicated client-session registry (see
 	// internal/session), consulted at append and apply time for
@@ -200,14 +223,16 @@ func New(cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("raft: restore log: %w", err)
 	}
 	n := &Node{
-		cfg:      cfg,
-		term:     hs.Term,
-		votedFor: hs.VotedFor,
-		log:      log,
-		role:     types.RoleFollower,
-		pending:  make(map[types.ProposalID]*pendingProposal),
-		sessions: session.New(),
-		metrics:  stats.NewCounters(),
+		cfg:         cfg,
+		term:        hs.Term,
+		votedFor:    hs.VotedFor,
+		log:         log,
+		role:        types.RoleFollower,
+		pending:     make(map[types.ProposalID]*pendingProposal),
+		sessions:    session.New(),
+		metrics:     stats.NewCounters(),
+		commitHist:  stats.NewTimingHist("hist.commit_latency", stats.DefaultLatencyBounds()...),
+		installHist: stats.NewTimingHist("hist.snapshot_install", stats.DefaultLatencyBounds()...),
 	}
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
@@ -260,9 +285,20 @@ func (n *Node) SnapshotIndex() types.Index { return n.log.SnapshotIndex() }
 // PendingProposals returns the number of unresolved local proposals.
 func (n *Node) PendingProposals() int { return len(n.pending) }
 
-// Metrics returns a snapshot of the node's monotonic replication counters
-// (see internal/replica for the names).
-func (n *Node) Metrics() map[string]uint64 { return n.metrics.Snapshot() }
+// Metrics returns a snapshot of the node's observability surface: the
+// monotonic replication counters (see internal/replica for the names),
+// the commit-latency and snapshot-install histograms (hist.* keys,
+// cumulative buckets), and point-in-time gauges (gauge.log_span,
+// gauge.sessions_open, gauge.snapshot_bytes).
+func (n *Node) Metrics() map[string]uint64 {
+	out := n.metrics.Snapshot()
+	n.commitHist.MergeInto(out, "")
+	n.installHist.MergeInto(out, "")
+	out["gauge.log_span"] = uint64(n.log.LastIndex() - n.log.FirstIndex() + 1)
+	out["gauge.sessions_open"] = uint64(n.sessions.Len())
+	out["gauge.snapshot_bytes"] = uint64(len(n.snap.Data) + len(n.snap.Sessions))
+	return out
+}
 
 // Progress exposes the per-peer replication tracker (nil unless leader);
 // tests and diagnostics only.
@@ -341,8 +377,10 @@ func (n *Node) OpenSession(now time.Duration) types.ProposalID {
 // ProposeSession submits an application entry under (sid, seq): an identity
 // that, unlike the ProposalID, survives proposer restarts. A retry of an
 // already-applied sequence resolves immediately with the cached commit
-// index.
-func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq uint64, data []byte) types.ProposalID {
+// index. ack is the client's retry floor (0 = none): sequences below it
+// are promised never to be retried, so every replica drops their cached
+// responses when the entry commits.
+func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq, ack uint64, data []byte) types.ProposalID {
 	n.now = now
 	n.proposalSeq++
 	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
@@ -355,6 +393,7 @@ func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq uint64
 		PID:        pid,
 		Session:    sid,
 		SessionSeq: seq,
+		SessionAck: ack,
 		Data:       append([]byte(nil), data...),
 	}
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
@@ -480,6 +519,7 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 	n.votes = nil
 	n.progress = nil
 	n.snapEnc.Release()
+	n.appendedAt = nil
 	n.notifyQueue = nil
 	n.tickDeadline = 0
 	n.resetElectionTimer()
@@ -498,6 +538,10 @@ func (n *Node) startElection() {
 	n.persistHardState()
 	n.leaderID = types.None
 	n.votes = map[types.NodeID]bool{n.cfg.ID: true}
+	// Every role transition releases the snapshot-encoding cache: a
+	// candidate that immediately wins would otherwise inherit (and pin)
+	// its previous leadership's encoded image.
+	n.snapEnc.Release()
 	n.resetElectionTimer()
 	req := types.RequestVote{
 		Term:         n.term,
@@ -558,11 +602,20 @@ func (n *Node) becomeLeader() {
 	// mark from an earlier term would double-count interim leaders' time.
 	n.lastSessionClock = 0
 	n.votes = nil
+	// Step-up races can skip becomeFollower between leaderships; encoder
+	// caches are released on every role transition so a stale image from a
+	// previous term is never pinned or streamed.
+	n.snapEnc.Release()
+	n.appendedAt = make(map[types.Index]time.Duration)
 	cfg := n.Config()
 	n.progress = replica.NewTracker(replica.Config{
-		MaxInflight:   n.cfg.MaxInflightAppends,
-		MaxChunk:      n.cfg.MaxSnapshotChunk,
-		ResendTimeout: n.cfg.SnapshotResendTimeout,
+		MaxInflight:      n.cfg.MaxInflightAppends,
+		MaxInflightBytes: n.cfg.MaxInflightBytes,
+		MaxEntries:       n.cfg.MaxEntriesPerAppend,
+		MaxChunk:         n.cfg.MaxSnapshotChunk,
+		ResendTimeout:    n.cfg.SnapshotResendTimeout,
+		MinResendTimeout: n.cfg.HeartbeatInterval,
+		MaxResendTimeout: n.cfg.ElectionTimeoutMin,
 	}, n.metrics)
 	n.progress.Reset(cfg.Members, n.log.LastIndex()+1)
 	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
@@ -602,6 +655,7 @@ func (n *Node) leaderAppend(e types.Entry) {
 	}
 	stored, _ := n.log.Get(idx)
 	n.persistEntry(stored)
+	n.appendedAt[idx] = n.now
 	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
 }
 
@@ -646,6 +700,10 @@ func (n *Node) commitTo(k types.Index) {
 		if !ok {
 			panic(fmt.Sprintf("raft %s: commit hole at %d", n.cfg.ID, i))
 		}
+		if at, ok := n.appendedAt[i]; ok {
+			n.commitHist.Observe(n.now - at)
+			delete(n.appendedAt, i)
+		}
 		if n.applySessionCommit(e) {
 			// Session duplicate (or expired-session proposal): the slot
 			// commits but the entry is withheld from the state machine.
@@ -681,7 +739,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 		if e.Session.IsZero() {
 			return false
 		}
-		cached, dup, known := n.sessions.ApplyNormal(e.Session, e.SessionSeq, e.Index)
+		cached, dup, known := n.sessions.ApplyNormal(e.Session, e.SessionSeq, e.SessionAck, e.Index)
 		if !known {
 			// Session expired: with the dedup state gone this apply could
 			// be a second one — reject it (resolution index 0).
@@ -776,80 +834,55 @@ func (n *Node) flushNotifications() {
 	n.notifyQueue = nil
 }
 
+// logView exposes the full log to the shared dispatch layer (classic Raft
+// replicates every entry; Fast Raft passes its leader-approved prefix
+// instead — that accessor pair is the whole difference between the cores'
+// replication).
+func (n *Node) logView() replica.LogView {
+	return replica.LogView{
+		LastIndex:     n.log.LastIndex,
+		Term:          n.log.Term,
+		Entries:       n.log.Range,
+		SnapshotIndex: n.log.SnapshotIndex,
+	}
+}
+
+// round is the per-broadcast-round context stamped onto dispatched
+// messages.
+func (n *Node) round() replica.Round {
+	return replica.Round{
+		Term:     n.term,
+		Leader:   n.cfg.ID,
+		Commit:   n.commitIndex,
+		Seq:      n.aeRound,
+		NextHint: n.log.LastIndex() + 1,
+		Now:      n.now,
+	}
+}
+
+// broadcastAppend dispatches this round's traffic to every follower
+// through the shared replication engine: snapshot chunks while a follower
+// is behind the compacted prefix, log entries while the inflight window
+// allows, a bare heartbeat otherwise (see replica.Tracker.AppendMessages).
 func (n *Node) broadcastAppend() {
 	cfg := n.Config()
 	n.aeRound++
+	lv, rc := n.logView(), n.round()
 	for _, peer := range cfg.Others(n.cfg.ID) {
-		n.replicateTo(peer)
-	}
-}
-
-// replicateTo dispatches this round's traffic to one follower through its
-// replication progress: snapshot chunks while it is behind the compacted
-// prefix, log entries while the inflight window allows, a bare heartbeat
-// otherwise.
-func (n *Node) replicateTo(peer types.NodeID) {
-	pr := n.progress.Ensure(peer, n.log.LastIndex()+1)
-	if pr.State() == replica.StateSnapshot || pr.Next() <= n.log.SnapshotIndex() {
-		// The entries this follower needs are compacted away; stream the
-		// snapshot instead. While the install is pending, nothing is
-		// re-sent — the heartbeat keeps leadership (and silent-leave
-		// accounting) alive.
-		if !n.sendSnapshotTo(peer) {
-			n.sendHeartbeat(peer)
+		msgs, snapshot := n.progress.AppendMessages(peer, lv, rc)
+		if snapshot {
+			// The entries this follower needs are compacted away; stream
+			// the snapshot instead. While the install is pending, nothing
+			// is re-sent — the heartbeat keeps leadership alive.
+			if !n.sendSnapshotTo(peer) {
+				n.send(peer, n.progress.HeartbeatMessage(peer, lv, rc))
+			}
+			continue
 		}
-		return
-	}
-	if !pr.CanAppend() {
-		// Inflight window full: the follower has unacknowledged appends in
-		// flight; pushing more would just duplicate them. If the window has
-		// gone a full timeout without ack progress, the appends (or their
-		// acks) were lost — fall back to probing and retransmit now.
-		if !n.progress.RecoverStall(peer, n.now) {
-			n.metrics.Inc(replica.CounterAppendsThrottled)
-			n.sendHeartbeat(peer)
-			return
+		for _, m := range msgs {
+			n.send(peer, m)
 		}
 	}
-	next := pr.Next()
-	prev := next - 1
-	hi := n.log.LastIndex()
-	if max := n.cfg.MaxEntriesPerAppend; max > 0 && hi >= next+types.Index(max) {
-		// Bound the payload; acks advance Next and the window lets the
-		// following chunks pipeline.
-		hi = next + types.Index(max) - 1
-	}
-	entries := n.log.Range(next, hi)
-	msg := types.AppendEntries{
-		Term:         n.term,
-		LeaderID:     n.cfg.ID,
-		PrevLogIndex: prev,
-		PrevLogTerm:  n.log.Term(prev),
-		Entries:      entries,
-		LeaderCommit: n.commitIndex,
-		Round:        n.aeRound,
-	}
-	pr.SentAppend(prev, len(entries))
-	n.send(peer, msg)
-}
-
-// sendHeartbeat sends an entry-free AppendEntries anchored where the
-// follower is known to match (or at the snapshot boundary), so it passes
-// the consistency check without carrying payload or regressing progress.
-func (n *Node) sendHeartbeat(peer types.NodeID) {
-	prev := n.log.SnapshotIndex()
-	if pr := n.progress.Get(peer); pr != nil &&
-		pr.Match() > prev && pr.Match() <= n.log.LastIndex() {
-		prev = pr.Match()
-	}
-	n.send(peer, types.AppendEntries{
-		Term:         n.term,
-		LeaderID:     n.cfg.ID,
-		PrevLogIndex: prev,
-		PrevLogTerm:  n.log.Term(prev),
-		LeaderCommit: n.commitIndex,
-		Round:        n.aeRound,
-	})
 }
 
 func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
@@ -857,6 +890,9 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 		n.becomeFollower(m.Term, m.LeaderID)
 	}
 	resp := types.AppendEntriesResp{Term: n.term, Round: m.Round, LastLogIndex: n.log.LastIndex()}
+	// Report any partially buffered snapshot stream so a new leader can
+	// continue it from our position instead of restarting at byte 0.
+	resp.PendingBoundary, resp.PendingOffset = n.snapRecv.Pending()
 	if m.Term < n.term {
 		n.send(from, resp)
 		return
@@ -921,9 +957,16 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	if !m.Success {
 		// Back off; the follower's last-index hint converges quickly.
 		pr.RejectAppend(m.LastLogIndex)
-		return
+	} else {
+		pr.AckAppend(m.MatchIndex, n.now)
 	}
-	pr.AckAppend(m.MatchIndex)
+	// Stream continuation: the follower holds a partial snapshot stream at
+	// our boundary (from a predecessor leader); seed the transfer from its
+	// buffered offset so acked chunks are never re-sent from byte 0.
+	if b := m.PendingBoundary; b != 0 && b == n.log.SnapshotIndex() &&
+		m.PendingOffset > 0 && pr.Match() < b {
+		n.progress.SeedSnapshot(from, b, m.PendingOffset, n.now)
+	}
 	// Commit evaluation happens at the next leader tick (timing model).
 }
 
@@ -993,7 +1036,8 @@ func (n *Node) maybeCompact() {
 // tracker plans (and suppresses) transmission; false means nothing was
 // sent this round (pending install).
 func (n *Node) sendSnapshotTo(peer types.NodeID) bool {
-	msgs := n.progress.SnapshotMessages(peer, n.snap, n.snapEnc.Encode(n.snap),
+	enc, check := n.snapEnc.Encode(n.snap)
+	msgs := n.progress.SnapshotMessages(peer, n.snap, enc, check,
 		n.term, n.cfg.ID, n.aeRound, n.now)
 	for _, m := range msgs {
 		n.send(peer, m)
@@ -1034,9 +1078,18 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		// Legacy whole-image transfer.
 		snap = m.Snapshot
 		n.snapRecv.Reset()
+		n.installStart = n.now
 	} else {
 		n.metrics.Inc(replica.CounterChunksReceived)
-		s, complete, ack := n.snapRecv.Offer(from, boundary, m.Offset, m.Data, m.Done)
+		// Restart the install clock when a stream begins — including a new
+		// (boundary, check) stream arriving over a stale partial buffer,
+		// which would otherwise inherit the dead stream's start time.
+		if _, buffered := n.snapRecv.Pending(); buffered == 0 ||
+			boundary != n.installBoundary || m.Check != n.installCheck {
+			n.installStart = n.now
+			n.installBoundary, n.installCheck = boundary, m.Check
+		}
+		s, complete, ack := n.snapRecv.Offer(boundary, m.Check, m.Offset, m.Data, m.Done)
 		resp.Offset = ack
 		if !complete {
 			n.send(from, resp) // acknowledge buffered progress
@@ -1069,6 +1122,8 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		}
 	}
 	n.metrics.Inc(replica.CounterInstalls)
+	n.installHist.Observe(n.now - n.installStart)
+	n.installStart = 0
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)
 }

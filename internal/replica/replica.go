@@ -1,7 +1,7 @@
 // Package replica is the shared per-peer replication engine used by every
 // consensus core (classic Raft, Fast Raft, and through Fast Raft both
-// C-Raft levels): progress tracking, append flow control and chunked
-// snapshot streaming.
+// C-Raft levels): progress tracking, append-round dispatch, flow control
+// and chunked snapshot streaming.
 //
 // The design follows etcd's Progress/ProgressSnapshot shape. Each peer is a
 // small state machine:
@@ -11,27 +11,40 @@
 //     acknowledgment, so a wrong guess costs one round, not a flood.
 //   - replicate: the peer is caught up and acknowledging. Next advances
 //     optimistically as appends are sent, letting catch-up pipeline across
-//     round trips, bounded by an inflight window of MaxInflight outstanding
-//     messages. A full window downgrades the round to a plain heartbeat.
+//     round trips, bounded by an inflight window of MaxInflightBytes
+//     outstanding encoded entry bytes (with MaxInflight messages as the
+//     secondary cap). A full window downgrades the round to a plain
+//     heartbeat.
 //   - snapshot:  the entries the peer needs are compacted away. The leader
 //     streams its snapshot — in MaxChunk-sized chunks when configured —
 //     and sends no appends until the install is acknowledged. The
-//     pending-snapshot flag plus a resend timeout stop the stall-and-flood
+//     pending-install flag plus a resend timeout stop the stall-and-flood
 //     behavior of re-sending the full image every broadcast round.
 //
-// The Tracker owns the peer map (it replaces the hand-rolled
-// nextIndex/matchIndex maps the cores used to keep), answers the quorum
-// questions commit evaluation asks, and plans snapshot chunk transmission.
-// The Reassembler is the follower-side counterpart that rebuilds a chunked
-// stream into a Snapshot.
+// The Tracker owns the peer map and, since the dispatch hoist, the whole
+// append-round/heartbeat protocol: AppendMessages and HeartbeatMessage
+// build the AppendEntries traffic for a round, parameterized over a
+// LogView (last-index/term/entry-range accessors) so classic Raft's full
+// log and Fast Raft's leader-approved prefix share one implementation. It
+// answers the quorum questions commit evaluation asks and plans snapshot
+// chunk transmission. The Reassembler is the follower-side counterpart
+// that rebuilds a chunked stream into a Snapshot.
+//
+// Retransmission timing is adaptive: each Progress keeps an EWMA estimate
+// of the peer's acknowledgment round trip (Jacobson/Karels srtt + 4*rttvar)
+// and both the append stall-recovery probe and the pending-snapshot resend
+// fire after that estimate, clamped between the heartbeat interval and the
+// election timeout — fast links retransmit quickly, slow links are not
+// flooded with duplicates.
 //
 // Everything here is sans-io and deterministic: the cores decide when a
-// round happens and what a message looks like; this package decides what
-// may be sent to whom.
+// round happens and own message transmission; this package decides what
+// may be sent to whom, and builds it.
 package replica
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -71,6 +84,9 @@ const (
 	// CounterAppendsThrottled counts rounds where a full inflight window
 	// downgraded an append to a heartbeat.
 	CounterAppendsThrottled = "replica.appends_throttled"
+	// CounterBytesThrottled counts appends whose entry payload was cut
+	// short by the byte budget (the remainder ships after acks free room).
+	CounterBytesThrottled = "replica.appends_byte_limited"
 	// CounterChunksSent counts first-transmission snapshot chunks.
 	CounterChunksSent = "replica.snapshot_chunks_sent"
 	// CounterChunksResent counts snapshot chunks re-sent after a resend
@@ -88,6 +104,10 @@ const (
 	CounterStreams = "replica.snapshot_streams_started"
 	// CounterStreamsDone counts snapshot transfers acknowledged complete.
 	CounterStreamsDone = "replica.snapshot_streams_completed"
+	// CounterStreamsResumed counts snapshot transfers continued from a
+	// follower-reported offset (a new leader carrying on its predecessor's
+	// stream instead of restarting from byte 0).
+	CounterStreamsResumed = "replica.snapshot_streams_resumed"
 	// CounterChunksReceived counts snapshot chunks ingested on the
 	// follower side (incremented by the cores, which own the Reassembler).
 	CounterChunksReceived = "replica.snapshot_chunks_received"
@@ -99,26 +119,59 @@ const (
 	CounterStallsRecovered = "replica.append_stalls_recovered"
 )
 
-// DefaultMaxInflight is the append window used when Config.MaxInflight is
-// unset: enough to pipeline catch-up across a few round trips without
-// letting a slow peer absorb unbounded duplicates.
+// DefaultMaxInflight is the append-message window used when
+// Config.MaxInflight is unset: enough to pipeline catch-up across a few
+// round trips without letting a slow peer absorb unbounded duplicates.
 const DefaultMaxInflight = 4
+
+// DefaultMaxInflightBytes is the per-peer byte budget used when
+// Config.MaxInflightBytes is unset: one megabyte of encoded entries may be
+// outstanding before the round downgrades to a heartbeat.
+const DefaultMaxInflightBytes = 1 << 20
 
 // Config parametrizes a Tracker.
 type Config struct {
 	// MaxInflight bounds outstanding append messages per peer in the
 	// replicate state, and outstanding unacked chunks during snapshot
-	// streaming (0 = DefaultMaxInflight).
+	// streaming (0 = DefaultMaxInflight). Since byte budgets landed this is
+	// the secondary cap; MaxInflightBytes is the primary window.
 	MaxInflight int
+	// MaxInflightBytes bounds the encoded entry bytes outstanding per peer
+	// in the replicate state (0 = DefaultMaxInflightBytes). Entries are
+	// sized at encode time (types.EntryWireSize); a message may exceed the
+	// remaining budget by at most one entry so a single oversized entry
+	// can always make progress.
+	MaxInflightBytes int
+	// MaxEntries caps the entries carried by one AppendEntries message
+	// (0 = unlimited); a lagging follower then catches up over several
+	// bounded round trips instead of one unbounded message.
+	MaxEntries int
 	// MaxChunk is the snapshot chunk payload size in bytes (0 = ship the
 	// whole snapshot in one message, as before chunking existed).
 	MaxChunk int
 	// ResendTimeout is how long a transfer may go without acknowledged
-	// progress before it is retried: a pending snapshot's unacked part is
-	// re-sent, and a full append window falls back to probing
-	// (RecoverStall). One knob for both — they are the same "presume the
-	// window lost" decision.
+	// progress before it is retried, while no round-trip samples exist for
+	// the peer: a pending snapshot's unacked part is re-sent, and a full
+	// append window falls back to probing (RecoverStall). Once acks have
+	// been observed the per-peer adaptive estimate (srtt + 4*rttvar,
+	// clamped to [MinResendTimeout, MaxResendTimeout]) takes over. 0
+	// disables timed retransmission entirely.
 	ResendTimeout time.Duration
+	// MinResendTimeout clamps the adaptive resend timeout from below
+	// (cores pass the heartbeat interval; 0 = no lower clamp).
+	MinResendTimeout time.Duration
+	// MaxResendTimeout clamps the adaptive resend timeout from above
+	// (cores pass the election timeout; 0 = no upper clamp).
+	MaxResendTimeout time.Duration
+}
+
+// inflightMsg records one outstanding append: the last log index it
+// carried, its encoded entry bytes, and when it was sent (round-trip
+// sampling).
+type inflightMsg struct {
+	last   types.Index
+	bytes  int
+	sentAt time.Duration
 }
 
 // Progress tracks replication to one peer. Fields are managed by the
@@ -132,20 +185,29 @@ type Progress struct {
 
 	state       State
 	maxInflight int
-	// inflight holds the last log index of each outstanding append, FIFO;
-	// acks free every element <= the acknowledged match index.
-	inflight []types.Index
+	maxBytes    int
+	// inflight holds the outstanding appends, FIFO; acks free every
+	// element whose last index <= the acknowledged match index.
+	inflight      []inflightMsg
+	bytesInFlight int
 	// stallDeadline arms when sends fill the window: if no ack progress
 	// arrives by then, the window is presumed lost (messages or acks
 	// dropped) and the peer falls back to probing so the entries are
 	// retransmitted. 0 = not armed.
 	stallDeadline time.Duration
 
+	// srtt/rttvar estimate the peer's acknowledgment round trip
+	// (Jacobson/Karels EWMA), fed by append acks and snapshot-chunk acks.
+	// 0 = no samples yet.
+	srtt   time.Duration
+	rttvar time.Duration
+
 	// Snapshot streaming state (StateSnapshot only).
 	pendingSnapshot types.Index   // boundary of the snapshot in flight
 	acked           uint64        // contiguous bytes acknowledged by the peer
 	cursor          uint64        // next byte offset to transmit
 	maxSent         uint64        // transmission high-water mark (resend accounting)
+	chunkSentAt     time.Duration // when the last chunk batch went out (RTT sampling)
 	deadline        time.Duration // resend timeout for unacked progress
 }
 
@@ -161,6 +223,14 @@ func (p *Progress) FastMatch() types.Index { return p.fastMatch }
 // State returns the peer's replication state.
 func (p *Progress) State() State { return p.state }
 
+// BytesInFlight returns the encoded entry bytes currently outstanding to
+// the peer (tests and diagnostics).
+func (p *Progress) BytesInFlight() int { return p.bytesInFlight }
+
+// RTT returns the smoothed acknowledgment round-trip estimate for the peer
+// (0 until the first sample).
+func (p *Progress) RTT() time.Duration { return p.srtt }
+
 // PendingSnapshot returns the boundary of the snapshot being streamed to
 // the peer (0 when none).
 func (p *Progress) PendingSnapshot() types.Index {
@@ -170,35 +240,48 @@ func (p *Progress) PendingSnapshot() types.Index {
 	return p.pendingSnapshot
 }
 
+// SnapshotCursor returns the transfer's acknowledged and transmitted byte
+// positions (tests and diagnostics; zero outside StateSnapshot).
+func (p *Progress) SnapshotCursor() (acked, cursor uint64) {
+	if p.state != StateSnapshot {
+		return 0, 0
+	}
+	return p.acked, p.cursor
+}
+
 // CanAppend reports whether the leader may ship log entries to this peer
 // this round. False while a snapshot is pending, or while the replicate
-// window is full (the caller downgrades to a heartbeat).
+// window — message count or byte budget — is full (the caller downgrades
+// to a heartbeat).
 func (p *Progress) CanAppend() bool {
 	if p.state == StateSnapshot {
 		return false
 	}
-	return len(p.inflight) < p.maxInflight
+	return len(p.inflight) < p.maxInflight && p.bytesInFlight < p.maxBytes
 }
 
-// SentAppend records that entries (prev+1 .. prev+n] were sent. In the
-// replicate state Next advances optimistically and the message joins the
-// inflight window; in probe it stays put until acknowledged.
-func (p *Progress) SentAppend(prev types.Index, n int) {
+// SentAppend records that entries (prev+1 .. prev+n], sized at bytes on
+// the wire, were sent at now. In the replicate state Next advances
+// optimistically and the message joins the inflight window; in probe it
+// stays put until acknowledged.
+func (p *Progress) SentAppend(prev types.Index, n, bytes int, now time.Duration) {
 	if n == 0 || p.state != StateReplicate {
 		return
 	}
 	last := prev + types.Index(n)
-	p.inflight = append(p.inflight, last)
+	p.inflight = append(p.inflight, inflightMsg{last: last, bytes: bytes, sentAt: now})
+	p.bytesInFlight += bytes
 	if p.next <= last {
 		p.next = last + 1
 	}
 }
 
-// AckAppend folds a successful AppendEntries acknowledgment up to match.
-// It reports whether the peer's Match advanced. A first ack flips a probing
-// peer to replicate; acks during a snapshot transfer only complete it when
-// they prove the peer already holds the boundary.
-func (p *Progress) AckAppend(match types.Index) bool {
+// AckAppend folds a successful AppendEntries acknowledgment up to match,
+// observed at now. It reports whether the peer's Match advanced. A first
+// ack flips a probing peer to replicate; acks during a snapshot transfer
+// only complete it when they prove the peer already holds the boundary.
+// Freed inflight messages feed the round-trip estimator.
+func (p *Progress) AckAppend(match types.Index, now time.Duration) bool {
 	if p.state == StateSnapshot {
 		if match < p.pendingSnapshot {
 			return false // stale ack from before the transfer
@@ -213,10 +296,16 @@ func (p *Progress) AckAppend(match types.Index) bool {
 		p.next = match + 1
 	}
 	i := 0
-	for i < len(p.inflight) && p.inflight[i] <= match {
+	for i < len(p.inflight) && p.inflight[i].last <= match {
+		p.bytesInFlight -= p.inflight[i].bytes
 		i++
 	}
-	p.inflight = p.inflight[i:]
+	if i > 0 {
+		// The newest freed message is the one this reply answers; older
+		// ones were acked by lost replies and would overestimate.
+		p.observeRTT(now - p.inflight[i-1].sentAt)
+		p.inflight = p.inflight[i:]
+	}
 	if advanced || i > 0 {
 		// Ack progress: the window is moving, disarm the stall timer.
 		p.stallDeadline = 0
@@ -225,6 +314,25 @@ func (p *Progress) AckAppend(match types.Index) bool {
 		p.state = StateReplicate
 	}
 	return advanced
+}
+
+// observeRTT folds one acknowledgment round-trip sample into the EWMA
+// estimate (Jacobson/Karels).
+func (p *Progress) observeRTT(s time.Duration) {
+	if s <= 0 {
+		return
+	}
+	if p.srtt == 0 {
+		p.srtt = s
+		p.rttvar = s / 2
+		return
+	}
+	d := p.srtt - s
+	if d < 0 {
+		d = -d
+	}
+	p.rttvar = (3*p.rttvar + d) / 4
+	p.srtt = (7*p.srtt + s) / 8
 }
 
 // RejectAppend processes a failed consistency check: back Next off (using
@@ -246,8 +354,7 @@ func (p *Progress) RejectAppend(hintLast types.Index) {
 	}
 	p.next = next
 	p.state = StateProbe
-	p.inflight = nil
-	p.stallDeadline = 0
+	p.clearInflight()
 }
 
 // ResetNext re-anchors Next (Fast Raft's vote rule: a voter reports its
@@ -264,8 +371,7 @@ func (p *Progress) ResetNext(next types.Index) {
 	}
 	p.next = next
 	p.state = StateProbe
-	p.inflight = nil
-	p.stallDeadline = 0
+	p.clearInflight()
 }
 
 // RecordFastMatch raises the peer's fast-track vote position.
@@ -275,12 +381,19 @@ func (p *Progress) RecordFastMatch(idx types.Index) {
 	}
 }
 
+func (p *Progress) clearInflight() {
+	p.inflight = nil
+	p.bytesInFlight = 0
+	p.stallDeadline = 0
+}
+
 func (p *Progress) finishSnapshot() {
 	p.state = StateProbe
 	p.pendingSnapshot = 0
 	p.acked, p.cursor, p.maxSent = 0, 0, 0
 	p.deadline = 0
-	p.inflight = nil
+	p.chunkSentAt = 0
+	p.clearInflight()
 }
 
 // String renders the progress for diagnostics.
@@ -290,6 +403,40 @@ func (p *Progress) String() string {
 		s += fmt.Sprintf(" pending=%d acked=%d cursor=%d", p.pendingSnapshot, p.acked, p.cursor)
 	}
 	return s
+}
+
+// LogView is the read-only slice of a core's log the dispatch layer needs.
+// Classic Raft passes its full log; Fast Raft passes the leader-approved
+// prefix (LastLeaderIndex/LeaderRange) — the accessor pair is the only
+// difference between the two cores' replication, which is why one
+// implementation serves both.
+type LogView struct {
+	// LastIndex returns the top of the replicable log.
+	LastIndex func() types.Index
+	// Term returns the term of the entry at an index (0 if absent).
+	Term func(types.Index) types.Term
+	// Entries returns the replicable entries in [lo, hi].
+	Entries func(lo, hi types.Index) []types.Entry
+	// SnapshotIndex returns the compaction boundary (0 if never compacted).
+	SnapshotIndex func() types.Index
+}
+
+// Round is the per-broadcast-round context stamped onto every message the
+// tracker builds.
+type Round struct {
+	// Term is the leader's current term.
+	Term types.Term
+	// Leader is the leader's identity.
+	Leader types.NodeID
+	// Commit is the leader's commit index.
+	Commit types.Index
+	// Seq numbers the heartbeat round (silent-leave accounting).
+	Seq uint64
+	// NextHint seeds Next for peers first tracked this round (classic Raft
+	// probes from LastIndex+1, Fast Raft from commitIndex+1).
+	NextHint types.Index
+	// Now is the current virtual time.
+	Now time.Duration
 }
 
 // Chunk describes one InstallSnapshot transmission the leader should make.
@@ -324,6 +471,9 @@ func NewTracker(cfg Config, counters *stats.Counters) *Tracker {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = DefaultMaxInflight
 	}
+	if cfg.MaxInflightBytes <= 0 {
+		cfg.MaxInflightBytes = DefaultMaxInflightBytes
+	}
 	if counters == nil {
 		counters = stats.NewCounters()
 	}
@@ -356,7 +506,12 @@ func (t *Tracker) Ensure(id types.NodeID, next types.Index) *Progress {
 	if next == 0 {
 		next = 1
 	}
-	p := &Progress{state: StateProbe, next: next, maxInflight: t.cfg.MaxInflight}
+	p := &Progress{
+		state:       StateProbe,
+		next:        next,
+		maxInflight: t.cfg.MaxInflight,
+		maxBytes:    t.cfg.MaxInflightBytes,
+	}
 	t.peers[id] = p
 	return p
 }
@@ -399,10 +554,33 @@ func (t *Tracker) RecordSelf(self types.NodeID, match types.Index) {
 	p.state = StateReplicate
 }
 
+// resendAfter is the peer's current retransmission timeout: the adaptive
+// estimate (srtt + 4*rttvar, clamped to the configured window) once
+// round-trip samples exist, the static ResendTimeout before that.
+func (t *Tracker) resendAfter(p *Progress) time.Duration {
+	if p == nil || p.srtt == 0 {
+		return t.cfg.ResendTimeout
+	}
+	rto := p.srtt + 4*p.rttvar
+	if min := t.cfg.MinResendTimeout; min > 0 && rto < min {
+		rto = min
+	}
+	if max := t.cfg.MaxResendTimeout; max > 0 && rto > max {
+		rto = max
+	}
+	return rto
+}
+
+// ResendAfter exposes the peer's effective retransmission timeout (tests
+// and diagnostics; the static default if the peer is untracked).
+func (t *Tracker) ResendAfter(id types.NodeID) time.Duration {
+	return t.resendAfter(t.peers[id])
+}
+
 // RecoverStall is the escape hatch for a lost append window: called on a
 // round where the peer's full window blocks an append, it arms (then
-// checks) a resend timeout; once the window has gone a full timeout with
-// no ack progress, the peer falls back to probing from Match+1 so the
+// checks) the peer's resend timeout; once the window has gone that long
+// with no ack progress, the peer falls back to probing from Match+1 so the
 // lost entries are retransmitted. Returns true when the fallback fired —
 // the caller may append again this round.
 func (t *Tracker) RecoverStall(id types.NodeID, now time.Duration) bool {
@@ -411,7 +589,7 @@ func (t *Tracker) RecoverStall(id types.NodeID, now time.Duration) bool {
 		return false
 	}
 	if p.stallDeadline == 0 {
-		p.stallDeadline = now + t.cfg.ResendTimeout
+		p.stallDeadline = now + t.resendAfter(p)
 		return false
 	}
 	if t.cfg.ResendTimeout <= 0 || now < p.stallDeadline {
@@ -419,8 +597,7 @@ func (t *Tracker) RecoverStall(id types.NodeID, now time.Duration) bool {
 	}
 	p.next = p.match + 1
 	p.state = StateProbe
-	p.inflight = nil
-	p.stallDeadline = 0
+	p.clearInflight()
 	t.counters.Inc(CounterStallsRecovered)
 	return true
 }
@@ -442,6 +619,108 @@ func (t *Tracker) FastMatchQuorum(cfg types.Config, idx types.Index, q int) bool
 	}, idx, q)
 }
 
+// --- Append dispatch (leader side) ------------------------------------------
+
+// AppendMessages plans and builds this round's AppendEntries traffic to one
+// peer. It returns the messages to send now, or snapshot=true when the
+// entries the peer needs are compacted away — the caller then streams its
+// snapshot (SnapshotMessages) and heartbeats while the install is pending.
+//
+// Flow control is applied here: a full inflight window (bytes or messages)
+// downgrades the round to a heartbeat unless the stall timeout fires, and
+// the entry payload is trimmed to the remaining byte budget and MaxEntries.
+// This is the single append-dispatch implementation for every core; the
+// LogView accessors are the only per-protocol variation.
+func (t *Tracker) AppendMessages(id types.NodeID, lv LogView, rc Round) (msgs []types.AppendEntries, snapshot bool) {
+	pr := t.Ensure(id, rc.NextHint)
+	if pr.state == StateSnapshot || pr.next <= lv.SnapshotIndex() {
+		return nil, true
+	}
+	if !pr.CanAppend() {
+		// Inflight window full: the peer has unacknowledged appends in
+		// flight; pushing more would just duplicate them. If the window has
+		// gone a full timeout without ack progress, the appends (or their
+		// acks) were lost — fall back to probing and retransmit now.
+		if !t.RecoverStall(id, rc.Now) {
+			t.counters.Inc(CounterAppendsThrottled)
+			return []types.AppendEntries{t.HeartbeatMessage(id, lv, rc)}, false
+		}
+	}
+	next := pr.next
+	prev := next - 1
+	hi := lv.LastIndex()
+	if max := t.cfg.MaxEntries; max > 0 && hi >= next+types.Index(max) {
+		// Bound the payload; acks advance Next and the window lets the
+		// following chunks pipeline.
+		hi = next + types.Index(max) - 1
+	}
+	entries, size := t.budgetEntries(pr, lv, next, hi)
+	msg := types.AppendEntries{
+		Term:         rc.Term,
+		LeaderID:     rc.Leader,
+		PrevLogIndex: prev,
+		PrevLogTerm:  lv.Term(prev),
+		Entries:      entries,
+		LeaderCommit: rc.Commit,
+		Round:        rc.Seq,
+	}
+	pr.SentAppend(prev, len(entries), size, rc.Now)
+	return []types.AppendEntries{msg}, false
+}
+
+// budgetEntries materializes the batch [lo, hi] up to the peer's
+// remaining byte budget, sizing each entry at its wire encoding, and
+// returns the kept entries and their total size. Entries are fetched from
+// the log in bounded slabs so a deeply lagging follower never causes the
+// whole remaining tail to be cloned just to keep one window's worth —
+// without this, catch-up would copy O(lag) entries per refill, O(lag²)
+// overall. The first entry is always kept so a single entry larger than
+// the whole budget still makes progress (over-committing the window by at
+// most one entry).
+func (t *Tracker) budgetEntries(p *Progress, lv LogView, lo, hi types.Index) ([]types.Entry, int) {
+	// fetchSlab bounds how far a fetch may overshoot the budget: at most
+	// one slab of entries is cloned beyond what ships.
+	const fetchSlab = 256
+	remaining := t.cfg.MaxInflightBytes - p.bytesInFlight
+	var out []types.Entry
+	size := 0
+	for lo <= hi {
+		slabHi := lo + fetchSlab - 1
+		if slabHi > hi {
+			slabHi = hi
+		}
+		for _, e := range lv.Entries(lo, slabHi) {
+			n := types.EntryWireSize(e)
+			if len(out) > 0 && size+n > remaining {
+				t.counters.Inc(CounterBytesThrottled)
+				return out, size
+			}
+			out = append(out, e)
+			size += n
+		}
+		lo = slabHi + 1
+	}
+	return out, size
+}
+
+// HeartbeatMessage builds an entry-free AppendEntries anchored where the
+// peer is known to match (or at the snapshot boundary), so it passes the
+// consistency check without carrying payload or regressing progress.
+func (t *Tracker) HeartbeatMessage(id types.NodeID, lv LogView, rc Round) types.AppendEntries {
+	prev := lv.SnapshotIndex()
+	if p := t.peers[id]; p != nil && p.match > prev && p.match <= lv.LastIndex() {
+		prev = p.match
+	}
+	return types.AppendEntries{
+		Term:         rc.Term,
+		LeaderID:     rc.Leader,
+		PrevLogIndex: prev,
+		PrevLogTerm:  lv.Term(prev),
+		LeaderCommit: rc.Commit,
+		Round:        rc.Seq,
+	}
+}
+
 // --- Snapshot streaming (leader side) ---------------------------------------
 
 // PlanSnapshot decides what, if anything, of the snapshot (boundary,
@@ -457,7 +736,7 @@ func (t *Tracker) PlanSnapshot(id types.NodeID, boundary types.Index, encLen int
 		p.pendingSnapshot = boundary
 		p.acked, p.cursor, p.maxSent = 0, 0, 0
 		p.deadline = 0
-		p.inflight = nil
+		p.clearInflight()
 		t.counters.Inc(CounterStreams)
 	}
 
@@ -466,17 +745,31 @@ func (t *Tracker) PlanSnapshot(id types.NodeID, boundary types.Index, encLen int
 		// timed out. cursor doubles as the "sent once" flag.
 		if p.cursor == 0 {
 			p.cursor = uint64(encLen)
-			p.deadline = now + t.cfg.ResendTimeout
+			p.chunkSentAt = now
+			p.deadline = now + t.resendAfter(p)
 			t.counters.Inc(CounterFullSent)
 			return []Chunk{{Boundary: boundary, Done: true, Full: true}}
 		}
 		if t.cfg.ResendTimeout > 0 && now >= p.deadline {
-			p.deadline = now + t.cfg.ResendTimeout
+			p.chunkSentAt = now
+			p.deadline = now + t.resendAfter(p)
 			t.counters.Inc(CounterFullResent)
 			return []Chunk{{Boundary: boundary, Done: true, Full: true}}
 		}
 		t.counters.Inc(CounterPendingRounds)
 		return nil
+	}
+
+	// A seeded continuation can land at or beyond this leader's whole
+	// encoding (the follower buffered a divergent, longer encoding of the
+	// same boundary). Had the follower really held our full image it would
+	// have completed the install already — so nothing above total can ever
+	// be acknowledged against this stream, and planning from there would
+	// send nothing forever. Restart from byte 0; the checksum makes the
+	// follower discard its stale buffer on the first chunk.
+	if total := uint64(encLen); p.acked >= total && total > 0 {
+		p.acked, p.cursor, p.maxSent = 0, 0, 0
+		p.deadline = 0
 	}
 
 	// Chunked: if nothing was acknowledged since the last transmission for
@@ -490,6 +783,38 @@ func (t *Tracker) PlanSnapshot(id types.NodeID, boundary types.Index, encLen int
 		t.counters.Inc(CounterPendingRounds)
 	}
 	return chunks
+}
+
+// SeedSnapshot continues a predecessor leader's chunked transfer: the
+// follower reported (through AppendEntriesResp.PendingBoundary/Offset)
+// that it already buffered offset bytes of the snapshot at boundary, and
+// this leader's snapshot matches that boundary — so the transfer starts
+// from the follower's position instead of byte 0, never re-sending the
+// chunks the old leader got acknowledged. No-op when chunking is off, when
+// the peer is already streaming this boundary (the offset just folds in as
+// an ack), or when offset is 0 (nothing to continue).
+func (t *Tracker) SeedSnapshot(id types.NodeID, boundary types.Index, offset uint64, now time.Duration) {
+	if t.cfg.MaxChunk <= 0 || boundary == 0 || offset == 0 {
+		return
+	}
+	p := t.Ensure(id, boundary+1)
+	if p.state == StateSnapshot && p.pendingSnapshot == boundary {
+		if offset > p.acked {
+			p.acked = offset
+			if p.cursor < offset {
+				p.cursor = offset
+			}
+		}
+		return
+	}
+	p.state = StateSnapshot
+	p.pendingSnapshot = boundary
+	p.acked, p.cursor, p.maxSent = offset, offset, offset
+	p.deadline = now
+	p.chunkSentAt = 0
+	p.clearInflight()
+	t.counters.Inc(CounterStreams)
+	t.counters.Inc(CounterStreamsResumed)
 }
 
 // AckSnapshot folds an InstallSnapshotReply into the peer's transfer
@@ -525,13 +850,17 @@ func (t *Tracker) AckSnapshot(id types.NodeID, boundary types.Index, offset uint
 			if p.cursor < p.acked {
 				p.cursor = p.acked
 			}
-			p.deadline = now + t.cfg.ResendTimeout
+			if p.chunkSentAt > 0 {
+				p.observeRTT(now - p.chunkSentAt)
+			}
+			p.deadline = now + t.resendAfter(p)
 		case offset < p.acked:
 			// The responder's buffer regressed below our ack point — it
-			// restarted mid-stream or discarded a corrupt stream. Resume
-			// from its actual position instead of wedging on a monotonic
-			// cursor. (A reordered stale ack costs at most a re-sent
-			// window; the follower ignores overlaps.)
+			// restarted mid-stream, discarded a corrupt stream, or rejected
+			// a continuation whose bytes diverged from its buffered prefix
+			// (checksum mismatch). Resume from its actual position instead
+			// of wedging on a monotonic cursor. (A reordered stale ack costs
+			// at most a re-sent window; the follower ignores overlaps.)
 			p.acked = offset
 			p.cursor = offset
 		}
@@ -542,10 +871,10 @@ func (t *Tracker) AckSnapshot(id types.NodeID, boundary types.Index, offset uint
 // SnapshotMessages plans this round's transmission to peer and
 // materializes the InstallSnapshot messages to send: the whole image in
 // one message when chunking is off, chunk slices of enc (the encoded
-// snapshot) otherwise. Empty when the pending-install flag suppresses
-// transmission. Shared by every core so the chunk protocol cannot
-// diverge between them.
-func (t *Tracker) SnapshotMessages(id types.NodeID, snap types.Snapshot, enc []byte, term types.Term, leader types.NodeID, round uint64, now time.Duration) []types.InstallSnapshot {
+// snapshot, whose IEEE CRC-32 is check) otherwise. Empty when the
+// pending-install flag suppresses transmission. Shared by every core so
+// the chunk protocol cannot diverge between them.
+func (t *Tracker) SnapshotMessages(id types.NodeID, snap types.Snapshot, enc []byte, check uint32, term types.Term, leader types.NodeID, round uint64, now time.Duration) []types.InstallSnapshot {
 	boundary := snap.Meta.LastIndex
 	chunks := t.PlanSnapshot(id, boundary, len(enc), now)
 	msgs := make([]types.InstallSnapshot, 0, len(chunks))
@@ -562,6 +891,7 @@ func (t *Tracker) SnapshotMessages(id types.NodeID, snap types.Snapshot, enc []b
 		} else {
 			m.Offset = ch.Offset
 			m.Data = append([]byte(nil), enc[ch.Offset:ch.Offset+ch.Len]...)
+			m.Check = check
 			m.Done = ch.Done
 		}
 		msgs = append(msgs, m)
@@ -582,27 +912,31 @@ func (t *Tracker) AnySnapshotStreams() bool {
 
 // SnapshotEncoder caches the wire encoding of a node's current snapshot
 // (keyed by its boundary) so chunked transfers do not re-encode per peer
-// per round. Release it when no transfer is in flight — the cache pins
-// a state-machine-sized byte slice otherwise.
+// per round, along with the encoding's IEEE CRC-32 (the chunk stream's
+// content identity). Release it when no transfer is in flight — the cache
+// pins a state-machine-sized byte slice otherwise.
 type SnapshotEncoder struct {
 	enc      []byte
 	boundary types.Index
+	check    uint32
 }
 
-// Encode returns the cached encoding, refreshing it when the snapshot
-// boundary moved.
-func (e *SnapshotEncoder) Encode(snap types.Snapshot) []byte {
+// Encode returns the cached encoding and its checksum, refreshing both
+// when the snapshot boundary moved.
+func (e *SnapshotEncoder) Encode(snap types.Snapshot) ([]byte, uint32) {
 	if e.enc == nil || e.boundary != snap.Meta.LastIndex {
 		e.enc = types.EncodeSnapshot(snap)
 		e.boundary = snap.Meta.LastIndex
+		e.check = crc32.ChecksumIEEE(e.enc)
 	}
-	return e.enc
+	return e.enc, e.check
 }
 
 // Release drops the cached encoding.
 func (e *SnapshotEncoder) Release() {
 	e.enc = nil
 	e.boundary = 0
+	e.check = 0
 }
 
 // planChunks emits chunks from the cursor up to the inflight window
@@ -633,7 +967,8 @@ func (t *Tracker) planChunks(p *Progress, boundary types.Index, encLen int, now 
 		}
 	}
 	if len(out) > 0 {
-		p.deadline = now + t.cfg.ResendTimeout
+		p.chunkSentAt = now
+		p.deadline = now + t.resendAfter(p)
 	}
 	return out
 }
@@ -641,11 +976,15 @@ func (t *Tracker) planChunks(p *Progress, boundary types.Index, encLen int, now 
 // --- Snapshot reassembly (follower side) ------------------------------------
 
 // Reassembler rebuilds a chunked snapshot stream on the receiving side.
-// One instance per node suffices: a new (sender, boundary) pair restarts
-// the buffer, so competing or superseded streams cannot interleave.
+// One instance per node suffices. Streams are identified by (boundary,
+// checksum) — the content, not the sender — so a successor leader whose
+// snapshot encodes to the same bytes continues filling the same buffer
+// where its predecessor stopped, and a sender whose encoding diverges
+// (different checksum) restarts the buffer cleanly instead of corrupting
+// it.
 type Reassembler struct {
-	from     types.NodeID
 	boundary types.Index
+	check    uint32
 	buf      []byte
 	total    uint64 // offset+len of the Done chunk (0 = not seen yet)
 }
@@ -657,10 +996,12 @@ type Reassembler struct {
 // prefix are dropped (the ack offset tells the leader where to resume);
 // duplicates are ignored. A snapshot that fails to decode resets the
 // stream so the leader's resend can start clean.
-func (r *Reassembler) Offer(from types.NodeID, boundary types.Index, offset uint64, data []byte, done bool) (snap types.Snapshot, complete bool, ack uint64) {
-	if from != r.from || boundary != r.boundary {
-		r.from, r.boundary = from, boundary
-		r.buf = r.buf[:0] // same stream source changing streams: reuse
+func (r *Reassembler) Offer(boundary types.Index, check uint32, offset uint64, data []byte, done bool) (snap types.Snapshot, complete bool, ack uint64) {
+	if boundary != r.boundary || check != r.check {
+		// A different stream (new boundary, or a sender whose encoding of
+		// the same boundary diverged): restart the buffer.
+		r.boundary, r.check = boundary, check
+		r.buf = r.buf[:0]
 		r.total = 0
 	}
 	switch {
@@ -689,11 +1030,21 @@ func (r *Reassembler) Offer(from types.NodeID, boundary types.Index, offset uint
 	return types.Snapshot{}, false, uint64(len(r.buf))
 }
 
+// Pending reports the stream currently being reassembled: its boundary and
+// the contiguous bytes buffered (0, 0 when none). Followers piggyback this
+// on AppendEntries responses so a new leader can continue the stream.
+func (r *Reassembler) Pending() (types.Index, uint64) {
+	if r.boundary == 0 || len(r.buf) == 0 {
+		return 0, 0
+	}
+	return r.boundary, uint64(len(r.buf))
+}
+
 // Reset drops any partial stream (e.g. after an install completed through
 // another path), releasing the buffer — it can be snapshot-sized, and the
 // node owning this reassembler lives long past the transfer.
 func (r *Reassembler) Reset() {
-	r.from, r.boundary = types.None, 0
+	r.boundary, r.check = 0, 0
 	r.buf = nil
 	r.total = 0
 }

@@ -23,11 +23,11 @@ func TestProgressProbeToReplicate(t *testing.T) {
 		t.Fatalf("fresh progress = %v, want probe next=5", p)
 	}
 	// Probe sends do not advance Next.
-	p.SentAppend(4, 3)
+	p.SentAppend(4, 3, 3*10, 0)
 	if p.Next() != 5 {
 		t.Fatalf("probe send advanced Next to %d", p.Next())
 	}
-	if !p.AckAppend(7) {
+	if !p.AckAppend(7, 0) {
 		t.Fatal("ack did not advance match")
 	}
 	if p.State() != StateReplicate || p.Match() != 7 || p.Next() != 8 {
@@ -39,22 +39,22 @@ func TestProgressReplicateWindow(t *testing.T) {
 	tr := newTestTracker(0)
 	tr.Reset([]types.NodeID{"a"}, 1)
 	p := tr.Get("a")
-	p.AckAppend(0) // flip to replicate without moving match
+	p.AckAppend(0, 0) // flip to replicate without moving match
 	if p.State() != StateReplicate {
 		t.Fatalf("state = %v", p.State())
 	}
 	if !p.CanAppend() {
 		t.Fatal("empty window should allow appends")
 	}
-	p.SentAppend(0, 3) // entries 1..3
+	p.SentAppend(0, 3, 3*10, 0) // entries 1..3
 	if p.Next() != 4 {
 		t.Fatalf("optimistic Next = %d, want 4", p.Next())
 	}
-	p.SentAppend(3, 2) // entries 4..5
+	p.SentAppend(3, 2, 2*10, 0) // entries 4..5
 	if p.CanAppend() {
 		t.Fatal("window of 2 should be full after two sends")
 	}
-	p.AckAppend(3)
+	p.AckAppend(3, 0)
 	if !p.CanAppend() {
 		t.Fatal("ack should free the window")
 	}
@@ -72,9 +72,9 @@ func TestRecoverStallRetransmitsLostWindow(t *testing.T) {
 	tr := newTestTracker(0) // window 2, resend timeout 1s
 	tr.Reset([]types.NodeID{"a"}, 1)
 	p := tr.Get("a")
-	p.AckAppend(4) // replicate, match=4
-	p.SentAppend(4, 3)
-	p.SentAppend(7, 3) // window full, entries 5..10 in flight (and lost)
+	p.AckAppend(4, 0) // replicate, match=4
+	p.SentAppend(4, 3, 3*10, 0)
+	p.SentAppend(7, 3, 3*10, 0) // window full, entries 5..10 in flight (and lost)
 	if p.CanAppend() {
 		t.Fatal("window should be full")
 	}
@@ -96,11 +96,11 @@ func TestRecoverStallRetransmitsLostWindow(t *testing.T) {
 		t.Fatal("stall recovery not counted")
 	}
 	// Ack progress disarms a pending stall timer.
-	p.AckAppend(5)
-	p.SentAppend(5, 3)
-	p.SentAppend(8, 3)
+	p.AckAppend(5, 0)
+	p.SentAppend(5, 3, 3*10, 0)
+	p.SentAppend(8, 3, 3*10, 0)
 	tr.RecoverStall("a", 2*time.Second) // arms
-	p.AckAppend(8)                      // progress frees the window
+	p.AckAppend(8, 0)                   // progress frees the window
 	if tr.RecoverStall("a", 4*time.Second) && p.State() == StateProbe {
 		t.Fatal("stall recovery fired despite ack progress")
 	}
@@ -129,9 +129,9 @@ func TestProgressRejectBacksOffToProbe(t *testing.T) {
 	tr := newTestTracker(0)
 	tr.Reset([]types.NodeID{"a"}, 10)
 	p := tr.Get("a")
-	p.AckAppend(9)
-	p.SentAppend(9, 4) // next=14
-	p.RejectAppend(2)  // follower's log ends at 2
+	p.AckAppend(9, 0)
+	p.SentAppend(9, 4, 4*10, 0) // next=14
+	p.RejectAppend(2)           // follower's log ends at 2
 	if p.State() != StateProbe {
 		t.Fatalf("state = %v, want probe", p.State())
 	}
@@ -257,8 +257,8 @@ func TestTrackerQuorums(t *testing.T) {
 	tr := newTestTracker(0)
 	tr.Reset(cfg.Members, 1)
 	tr.RecordSelf("a", 10)
-	tr.Get("b").AckAppend(10)
-	tr.Get("c").AckAppend(9)
+	tr.Get("b").AckAppend(10, 0)
+	tr.Get("c").AckAppend(9, 0)
 	if !tr.MatchQuorum(cfg, 9, 3) {
 		t.Fatal("match quorum at 9 should hold (a,b,c)")
 	}
@@ -290,14 +290,14 @@ func TestReassemblerInOrderAndDuplicates(t *testing.T) {
 	enc := types.EncodeSnapshot(snap)
 	var r Reassembler
 	mid := len(enc) / 2
-	if _, done, ack := r.Offer("ldr", 7, 0, enc[:mid], false); done || ack != uint64(mid) {
+	if _, done, ack := r.Offer(7, 0, 0, enc[:mid], false); done || ack != uint64(mid) {
 		t.Fatalf("first chunk: done=%v ack=%d", done, ack)
 	}
 	// Duplicate of the first chunk: ignored, ack unchanged.
-	if _, done, ack := r.Offer("ldr", 7, 0, enc[:mid], false); done || ack != uint64(mid) {
+	if _, done, ack := r.Offer(7, 0, 0, enc[:mid], false); done || ack != uint64(mid) {
 		t.Fatalf("duplicate chunk: done=%v ack=%d", done, ack)
 	}
-	got, done, _ := r.Offer("ldr", 7, uint64(mid), enc[mid:], true)
+	got, done, _ := r.Offer(7, 0, uint64(mid), enc[mid:], true)
 	if !done {
 		t.Fatal("stream did not complete")
 	}
@@ -311,16 +311,16 @@ func TestReassemblerGapDropsAndAcksPrefix(t *testing.T) {
 	enc := types.EncodeSnapshot(snap)
 	var r Reassembler
 	third := len(enc) / 3
-	r.Offer("ldr", 3, 0, enc[:third], false)
+	r.Offer(3, 0, 0, enc[:third], false)
 	// Chunk 3 arrives before chunk 2 (reorder): dropped, ack stays at the
 	// contiguous prefix.
-	_, done, ack := r.Offer("ldr", 3, uint64(2*third), enc[2*third:], true)
+	_, done, ack := r.Offer(3, 0, uint64(2*third), enc[2*third:], true)
 	if done || ack != uint64(third) {
 		t.Fatalf("gap offer: done=%v ack=%d want ack=%d", done, ack, third)
 	}
 	// The leader resends from the ack point; stream completes.
-	r.Offer("ldr", 3, uint64(third), enc[third:2*third], false)
-	got, done, _ := r.Offer("ldr", 3, uint64(2*third), enc[2*third:], true)
+	r.Offer(3, 0, uint64(third), enc[third:2*third], false)
+	got, done, _ := r.Offer(3, 0, uint64(2*third), enc[2*third:], true)
 	if !done || string(got.Data) != "0123456789" {
 		t.Fatalf("completion after resend failed: done=%v got=%v", done, got)
 	}
@@ -330,9 +330,9 @@ func TestReassemblerRestartsOnNewStream(t *testing.T) {
 	snap := types.Snapshot{Meta: types.SnapshotMeta{LastIndex: 9, LastTerm: 1}, Data: []byte("abcdef")}
 	enc := types.EncodeSnapshot(snap)
 	var r Reassembler
-	r.Offer("ldr1", 5, 0, []byte("stale partial"), false)
-	// A new (sender, boundary) pair resets the buffer.
-	got, done, _ := r.Offer("ldr2", 9, 0, enc, true)
+	r.Offer(5, 0, 0, []byte("stale partial"), false)
+	// A new (boundary, checksum) stream resets the buffer.
+	got, done, _ := r.Offer(9, 0, 0, enc, true)
 	if !done || got.Meta.LastIndex != 9 {
 		t.Fatalf("new stream did not restart cleanly: done=%v got=%v", done, got)
 	}
@@ -340,11 +340,279 @@ func TestReassemblerRestartsOnNewStream(t *testing.T) {
 
 func TestReassemblerCorruptStreamResets(t *testing.T) {
 	var r Reassembler
-	_, done, ack := r.Offer("ldr", 4, 0, []byte{0xff, 0xff, 0xff}, true)
+	_, done, ack := r.Offer(4, 0, 0, []byte{0xff, 0xff, 0xff}, true)
 	if done {
 		t.Fatal("corrupt stream reported complete")
 	}
 	if ack != 0 {
 		t.Fatalf("corrupt stream acked %d, want 0 (restart)", ack)
+	}
+}
+
+// --- Unified dispatch, byte budget, adaptive RTO, continuation --------------
+
+// testLogView builds a LogView over a dense entry slice starting at index 1
+// with snapIdx as the compaction boundary.
+func testLogView(entries []types.Entry, snapIdx types.Index) LogView {
+	return LogView{
+		LastIndex: func() types.Index { return types.Index(len(entries)) },
+		Term: func(i types.Index) types.Term {
+			if i == 0 || int(i) > len(entries) {
+				return 0
+			}
+			return entries[i-1].Term
+		},
+		Entries: func(lo, hi types.Index) []types.Entry {
+			if lo < 1 {
+				lo = 1
+			}
+			if int(hi) > len(entries) {
+				hi = types.Index(len(entries))
+			}
+			if lo > hi {
+				return nil
+			}
+			return entries[lo-1 : hi]
+		},
+		SnapshotIndex: func() types.Index { return snapIdx },
+	}
+}
+
+func denseEntries(n int, payload int) []types.Entry {
+	out := make([]types.Entry, n)
+	for i := range out {
+		out[i] = types.Entry{
+			Index: types.Index(i + 1), Term: 1, Kind: types.KindNormal,
+			Data: make([]byte, payload),
+		}
+	}
+	return out
+}
+
+// TestAppendMessagesByteBudget pins the byte window: a catch-up batch is
+// trimmed to the budget, the window refuses further appends until acks
+// free bytes, and BytesInFlight never exceeds the budget (modulo the
+// one-entry overshoot allowance, not exercised here).
+func TestAppendMessagesByteBudget(t *testing.T) {
+	entries := denseEntries(10, 100) // ~110 encoded bytes each
+	lv := testLogView(entries, 0)
+	perEntry := types.EntryWireSize(entries[0])
+	budget := 3 * perEntry // room for exactly 3 entries
+	tr := NewTracker(Config{MaxInflight: 100, MaxInflightBytes: budget, ResendTimeout: time.Second}, nil)
+	tr.Reset([]types.NodeID{"a"}, 1)
+	tr.Get("a").AckAppend(0, 0) // replicate state
+
+	rc := Round{Term: 1, Leader: "l", Commit: 0, Seq: 1, NextHint: 1, Now: 0}
+	msgs, snap := tr.AppendMessages("a", lv, rc)
+	if snap || len(msgs) != 1 {
+		t.Fatalf("plan = %v msgs, snapshot=%v", len(msgs), snap)
+	}
+	if got := len(msgs[0].Entries); got != 3 {
+		t.Fatalf("budgeted batch carried %d entries, want 3", got)
+	}
+	if bif := tr.Get("a").BytesInFlight(); bif > budget {
+		t.Fatalf("BytesInFlight %d exceeds budget %d", bif, budget)
+	}
+	if tr.Counters().Get(CounterBytesThrottled) == 0 {
+		t.Fatal("byte throttling not counted")
+	}
+	// Window full: next round downgrades to a heartbeat.
+	msgs, snap = tr.AppendMessages("a", lv, Round{Term: 1, Leader: "l", Seq: 2, NextHint: 1, Now: 0})
+	if snap || len(msgs) != 1 || len(msgs[0].Entries) != 0 {
+		t.Fatalf("full window round = %+v, want bare heartbeat", msgs)
+	}
+	// Acks free the window; the next batch ships.
+	tr.Get("a").AckAppend(3, time.Millisecond)
+	if bif := tr.Get("a").BytesInFlight(); bif != 0 {
+		t.Fatalf("BytesInFlight after full ack = %d", bif)
+	}
+	msgs, _ = tr.AppendMessages("a", lv, Round{Term: 1, Leader: "l", Seq: 3, NextHint: 1, Now: time.Millisecond})
+	if len(msgs) != 1 || len(msgs[0].Entries) != 3 || msgs[0].PrevLogIndex != 3 {
+		t.Fatalf("post-ack batch = %+v", msgs)
+	}
+}
+
+// TestAppendMessagesOversizedEntryProgresses: one entry larger than the
+// entire budget must still ship (alone), or replication would wedge.
+func TestAppendMessagesOversizedEntryProgresses(t *testing.T) {
+	entries := denseEntries(3, 4096)
+	lv := testLogView(entries, 0)
+	tr := NewTracker(Config{MaxInflightBytes: 64, ResendTimeout: time.Second}, nil)
+	tr.Reset([]types.NodeID{"a"}, 1)
+	tr.Get("a").AckAppend(0, 0)
+	msgs, _ := tr.AppendMessages("a", lv, Round{Term: 1, Leader: "l", Seq: 1, NextHint: 1})
+	if len(msgs) != 1 || len(msgs[0].Entries) != 1 {
+		t.Fatalf("oversized entry did not ship alone: %+v", msgs)
+	}
+}
+
+// TestAppendMessagesSignalsSnapshot: a peer whose Next fell below the
+// compaction boundary is reported as needing a snapshot, not appends.
+func TestAppendMessagesSignalsSnapshot(t *testing.T) {
+	entries := denseEntries(10, 10)
+	lv := testLogView(entries, 5)
+	tr := NewTracker(Config{ResendTimeout: time.Second}, nil)
+	tr.Reset([]types.NodeID{"a"}, 3) // next=3 <= snapIdx=5
+	if _, snap := tr.AppendMessages("a", lv, Round{Term: 1, Leader: "l", Seq: 1, NextHint: 3}); !snap {
+		t.Fatal("peer below the boundary not flagged for snapshot")
+	}
+}
+
+// TestHeartbeatMessageAnchorsAtMatch mirrors the cores' old sendHeartbeat.
+func TestHeartbeatMessageAnchorsAtMatch(t *testing.T) {
+	entries := denseEntries(10, 10)
+	lv := testLogView(entries, 2)
+	tr := NewTracker(Config{ResendTimeout: time.Second}, nil)
+	tr.Reset([]types.NodeID{"a"}, 1)
+	tr.Get("a").AckAppend(7, 0)
+	hb := tr.HeartbeatMessage("a", lv, Round{Term: 1, Leader: "l", Seq: 4})
+	if hb.PrevLogIndex != 7 || len(hb.Entries) != 0 || hb.Round != 4 {
+		t.Fatalf("heartbeat = %+v, want anchored at match 7", hb)
+	}
+	// Untracked peer: anchored at the snapshot boundary.
+	hb = tr.HeartbeatMessage("zz", lv, Round{Term: 1, Leader: "l", Seq: 4})
+	if hb.PrevLogIndex != 2 {
+		t.Fatalf("untracked heartbeat anchored at %d, want boundary 2", hb.PrevLogIndex)
+	}
+}
+
+// TestAdaptiveResendTimeout pins the EWMA RTO: before samples the static
+// timeout applies; after acks at a measured round trip the timeout tracks
+// srtt+4*rttvar, clamped to the configured window.
+func TestAdaptiveResendTimeout(t *testing.T) {
+	cfg := Config{
+		ResendTimeout:    400 * time.Millisecond,
+		MinResendTimeout: 100 * time.Millisecond,
+		MaxResendTimeout: 300 * time.Millisecond,
+	}
+	tr := NewTracker(cfg, nil)
+	tr.Reset([]types.NodeID{"a"}, 1)
+	p := tr.Get("a")
+	if got := tr.ResendAfter("a"); got != 400*time.Millisecond {
+		t.Fatalf("pre-sample RTO = %v, want static 400ms", got)
+	}
+	// Fast link: 2ms round trips. RTO = srtt+4var clamps up to the floor.
+	p.AckAppend(0, 0)
+	for i := 0; i < 8; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		p.SentAppend(types.Index(i), 1, 10, now)
+		p.AckAppend(types.Index(i)+1, now+2*time.Millisecond)
+	}
+	if got := tr.ResendAfter("a"); got != cfg.MinResendTimeout {
+		t.Fatalf("fast-link RTO = %v, want clamped to %v", got, cfg.MinResendTimeout)
+	}
+	if rtt := p.RTT(); rtt > 3*time.Millisecond || rtt == 0 {
+		t.Fatalf("srtt = %v, want ~2ms", rtt)
+	}
+	// Slow link: a second peer observing 500ms round trips clamps to the
+	// ceiling.
+	tr.Reset([]types.NodeID{"b"}, 1)
+	q := tr.Get("b")
+	q.AckAppend(0, 0)
+	for i := 0; i < 8; i++ {
+		now := time.Duration(i) * time.Second
+		q.SentAppend(types.Index(i), 1, 10, now)
+		q.AckAppend(types.Index(i)+1, now+500*time.Millisecond)
+	}
+	if got := tr.ResendAfter("b"); got != cfg.MaxResendTimeout {
+		t.Fatalf("slow-link RTO = %v, want clamped to %v", got, cfg.MaxResendTimeout)
+	}
+}
+
+// TestSeedSnapshotContinuesStream pins leader-change continuation: a new
+// leader seeded with the follower's acked offset plans chunks from there,
+// never re-sending the prefix, and counts the resumption.
+func TestSeedSnapshotContinuesStream(t *testing.T) {
+	tr := NewTracker(Config{MaxInflight: 2, MaxChunk: 10, ResendTimeout: time.Second}, nil)
+	tr.Reset([]types.NodeID{"a"}, 1)
+	tr.SeedSnapshot("a", 50, 20, time.Millisecond)
+	p := tr.Get("a")
+	if p.State() != StateSnapshot || p.PendingSnapshot() != 50 {
+		t.Fatalf("seeded progress = %v", p)
+	}
+	if acked, cursor := p.SnapshotCursor(); acked != 20 || cursor != 20 {
+		t.Fatalf("seeded cursor = (%d, %d), want (20, 20)", acked, cursor)
+	}
+	plan := tr.PlanSnapshot("a", 50, 45, 2*time.Millisecond)
+	if len(plan) == 0 {
+		t.Fatal("no chunks planned after seeding")
+	}
+	for _, ch := range plan {
+		if ch.Offset < 20 {
+			t.Fatalf("continuation re-sent acked chunk at offset %d", ch.Offset)
+		}
+	}
+	if tr.Counters().Get(CounterStreamsResumed) != 1 {
+		t.Fatal("stream resumption not counted")
+	}
+	// Seeding again while streaming folds in as an ack, not a restart.
+	tr.SeedSnapshot("a", 50, 30, 3*time.Millisecond)
+	if tr.Counters().Get(CounterStreamsResumed) != 1 {
+		t.Fatal("repeat seed double-counted")
+	}
+	if acked, _ := p.SnapshotCursor(); acked != 30 {
+		t.Fatalf("repeat seed did not fold in ack: acked=%d", acked)
+	}
+	// Unchunked trackers ignore seeding (offset continuation is meaningless).
+	tr2 := NewTracker(Config{ResendTimeout: time.Second}, nil)
+	tr2.Reset([]types.NodeID{"a"}, 1)
+	tr2.SeedSnapshot("a", 50, 20, 0)
+	if tr2.Get("a").State() == StateSnapshot {
+		t.Fatal("unchunked tracker accepted a seed")
+	}
+}
+
+// TestReassemblerContinuesAcrossSenders pins the follower half of
+// continuation: a new sender shipping the same (boundary, checksum) stream
+// extends the existing buffer; a divergent checksum restarts it.
+func TestReassemblerContinuesAcrossSenders(t *testing.T) {
+	snap := types.Snapshot{
+		Meta: types.SnapshotMeta{LastIndex: 7, LastTerm: 2, Config: types.NewConfig("a", "b")},
+		Data: []byte("carried across a leader change"),
+	}
+	enc := types.EncodeSnapshot(snap)
+	const check = 12345
+	var r Reassembler
+	mid := len(enc) / 2
+	if _, _, ack := r.Offer(7, check, 0, enc[:mid], false); ack != uint64(mid) {
+		t.Fatalf("first half acked %d", ack)
+	}
+	if b, off := r.Pending(); b != 7 || off != uint64(mid) {
+		t.Fatalf("Pending = (%d, %d), want (7, %d)", b, off, mid)
+	}
+	// New leader, same content: the stream continues mid-offset.
+	got, done, _ := r.Offer(7, check, uint64(mid), enc[mid:], true)
+	if !done || got.Meta.LastIndex != 7 || string(got.Data) != string(snap.Data) {
+		t.Fatalf("cross-sender continuation failed: done=%v got=%v", done, got)
+	}
+	if b, off := r.Pending(); b != 0 || off != 0 {
+		t.Fatalf("Pending after completion = (%d, %d)", b, off)
+	}
+	// Divergent checksum: buffer restarts rather than mixing encodings.
+	r.Offer(9, 111, 0, []byte("old-enc"), false)
+	if _, _, ack := r.Offer(9, 222, 0, enc[:3], false); ack != 3 {
+		t.Fatalf("divergent-check restart acked %d, want 3", ack)
+	}
+}
+
+// TestSeedSnapshotBeyondEncodingRestarts pins the divergent-continuation
+// guard: a follower's buffered offset at or beyond this leader's whole
+// encoding can only belong to a different (longer) encoding of the same
+// boundary — planning must restart from byte 0 instead of sending nothing
+// forever.
+func TestSeedSnapshotBeyondEncodingRestarts(t *testing.T) {
+	tr := NewTracker(Config{MaxInflight: 2, MaxChunk: 10, ResendTimeout: time.Second}, nil)
+	tr.Reset([]types.NodeID{"a"}, 1)
+	tr.SeedSnapshot("a", 50, 100, time.Millisecond)          // follower buffered 100 bytes...
+	plan := tr.PlanSnapshot("a", 50, 40, 2*time.Millisecond) // ...our encoding is 40
+	if len(plan) == 0 || plan[0].Offset != 0 {
+		t.Fatalf("divergent continuation plan = %+v, want restart from offset 0", plan)
+	}
+	// Offset exactly at our length is equally impossible to ack: restart.
+	tr.Reset([]types.NodeID{"b"}, 1)
+	tr.SeedSnapshot("b", 50, 40, time.Millisecond)
+	plan = tr.PlanSnapshot("b", 50, 40, 2*time.Millisecond)
+	if len(plan) == 0 || plan[0].Offset != 0 {
+		t.Fatalf("at-length continuation plan = %+v, want restart from offset 0", plan)
 	}
 }

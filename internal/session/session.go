@@ -64,6 +64,11 @@ type state struct {
 	// lastActive is the registry clock value when the session last opened
 	// or applied an entry; expiry compares it against the leader clock.
 	lastActive uint64
+	// ackFloor is the highest client-acknowledged retry floor applied so
+	// far; it only avoids re-scanning responses on repeated acks and is
+	// deliberately not encoded (the responses map already reflects every
+	// drop, so replicas and snapshots stay identical without it).
+	ackFloor uint64
 }
 
 // Registry is the deterministic session table every replica maintains. It
@@ -190,12 +195,26 @@ func (r *Registry) ApplyExpire(advance, ttl uint64) {
 //     applied again.
 //   - otherwise the entry is applied for the first time: the response is
 //     recorded and the caller delivers it to the state machine.
-func (r *Registry) ApplyNormal(id types.SessionID, seq uint64, idx types.Index) (cached types.Index, dup, known bool) {
+//
+// ack is the entry's piggybacked retry floor (Entry.SessionAck; 0 = none):
+// the client promises never to retry sequences below it, so their cached
+// responses are dropped now instead of lingering until the per-session
+// response cap evicts them. Applied on duplicates too — the floor is
+// client state, not entry state.
+func (r *Registry) ApplyNormal(id types.SessionID, seq uint64, ack uint64, idx types.Index) (cached types.Index, dup, known bool) {
 	s, ok := r.sessions[id]
 	if !ok {
 		return 0, false, false
 	}
 	s.lastActive = r.clock
+	if ack > s.ackFloor {
+		for q := range s.responses {
+			if q < ack {
+				delete(s.responses, q)
+			}
+		}
+		s.ackFloor = ack
+	}
 	if seq <= s.lastSeq {
 		return s.responses[seq], true, true
 	}
@@ -212,6 +231,15 @@ func (r *Registry) ApplyNormal(id types.SessionID, seq uint64, idx types.Index) 
 		delete(s.responses, min)
 	}
 	return idx, false, true
+}
+
+// ResponseCount returns the number of cached responses for the session
+// (0 if unknown); tests use it to watch ack-driven truncation.
+func (r *Registry) ResponseCount(id types.SessionID) int {
+	if s, ok := r.sessions[id]; ok {
+		return len(s.responses)
+	}
+	return 0
 }
 
 // LookupDup reports whether (id, seq) was already applied, without mutating
@@ -244,7 +272,7 @@ func (r *Registry) ApplyEntry(e types.Entry) {
 		r.ApplyExpire(advance, ttl)
 	case types.KindNormal:
 		if !e.Session.IsZero() {
-			r.ApplyNormal(e.Session, e.SessionSeq, e.Index)
+			r.ApplyNormal(e.Session, e.SessionSeq, e.SessionAck, e.Index)
 		}
 	}
 }

@@ -18,13 +18,13 @@ func TestOpenAndDedup(t *testing.T) {
 	}
 
 	// First apply of seq 1 is fresh.
-	idx, dup, known := r.ApplyNormal(5, 1, 10)
+	idx, dup, known := r.ApplyNormal(5, 1, 0, 10)
 	if !known || dup || idx != 10 {
 		t.Fatalf("first apply: idx=%d dup=%v known=%v", idx, dup, known)
 	}
 	// Re-apply (a retry that reached the log twice) is a duplicate with the
 	// original index cached.
-	idx, dup, known = r.ApplyNormal(5, 1, 17)
+	idx, dup, known = r.ApplyNormal(5, 1, 0, 17)
 	if !known || !dup || idx != 10 {
 		t.Fatalf("duplicate apply: idx=%d dup=%v known=%v", idx, dup, known)
 	}
@@ -36,7 +36,7 @@ func TestOpenAndDedup(t *testing.T) {
 		t.Fatal("seq 2 wrongly flagged duplicate")
 	}
 	// Unknown session: not applied.
-	if _, _, known := r.ApplyNormal(99, 1, 20); known {
+	if _, _, known := r.ApplyNormal(99, 1, 0, 20); known {
 		t.Fatal("unknown session wrongly known")
 	}
 }
@@ -44,13 +44,13 @@ func TestOpenAndDedup(t *testing.T) {
 func TestSeqGapsAndMonotonicLastSeq(t *testing.T) {
 	r := New()
 	r.ApplyOpen(1)
-	if _, dup, _ := r.ApplyNormal(1, 3, 7); dup {
+	if _, dup, _ := r.ApplyNormal(1, 3, 0, 7); dup {
 		t.Fatal("seq 3 after gap wrongly duplicate")
 	}
 	// Below lastSeq counts as duplicate even when never recorded (seq 2
 	// never committed): the registry cannot distinguish it from an evicted
 	// response and must err toward not re-applying.
-	if _, dup, _ := r.ApplyNormal(1, 2, 8); !dup {
+	if _, dup, _ := r.ApplyNormal(1, 2, 0, 8); !dup {
 		t.Fatal("seq 2 below lastSeq not flagged duplicate")
 	}
 	if r.LastSeq(1) != 3 {
@@ -62,7 +62,7 @@ func TestResponseCacheEviction(t *testing.T) {
 	r := NewBounded(0, 4)
 	r.ApplyOpen(1)
 	for seq := uint64(1); seq <= 6; seq++ {
-		r.ApplyNormal(1, seq, types.Index(100+seq))
+		r.ApplyNormal(1, seq, 0, types.Index(100+seq))
 	}
 	// Seqs 1 and 2 were evicted: still duplicates, but the response is gone.
 	if idx, dup := r.LookupDup(1, 1); !dup || idx != 0 {
@@ -101,8 +101,8 @@ func TestAgeExpiry(t *testing.T) {
 		t.Fatal("session 2 wrongly expired")
 	}
 	// Activity refreshes the idle timer.
-	r.ApplyNormal(2, 1, 7) // lastActive = 100
-	r.ApplyExpire(50, 60)  // clock 150, idle 50 < TTL
+	r.ApplyNormal(2, 1, 0, 7) // lastActive = 100
+	r.ApplyExpire(50, 60)     // clock 150, idle 50 < TTL
 	if !r.Has(2) {
 		t.Fatal("active session 2 expired")
 	}
@@ -118,9 +118,9 @@ func TestEncodeRestoreRoundTrip(t *testing.T) {
 	r.ApplyOpen(3)
 	r.ApplyExpire(42, 0)
 	r.ApplyOpen(9)
-	r.ApplyNormal(3, 1, 11)
-	r.ApplyNormal(3, 2, 12)
-	r.ApplyNormal(9, 5, 30)
+	r.ApplyNormal(3, 1, 0, 11)
+	r.ApplyNormal(3, 2, 0, 12)
+	r.ApplyNormal(9, 5, 0, 30)
 
 	img := r.Encode()
 	// Deterministic: re-encoding yields identical bytes.
@@ -160,7 +160,7 @@ func TestStateAtReplay(t *testing.T) {
 	// Base image: session 4 open with seq 1 applied.
 	base := New()
 	base.ApplyOpen(4)
-	base.ApplyNormal(4, 1, 5)
+	base.ApplyNormal(4, 1, 0, 5)
 	prev := base.Encode()
 
 	entries := []types.Entry{
@@ -195,5 +195,55 @@ func TestExpirePayloadRoundTrip(t *testing.T) {
 	}
 	if _, _, err := DecodeExpire(nil); err == nil {
 		t.Fatal("empty payload decoded without error")
+	}
+}
+
+// TestAckTruncatesResponses pins client-acknowledged response truncation:
+// an entry carrying a retry floor drops every cached response below it on
+// commit, on fresh applies and duplicates alike, without touching the
+// dedup watermarks.
+func TestAckTruncatesResponses(t *testing.T) {
+	r := New()
+	r.ApplyOpen(1)
+	for seq := uint64(1); seq <= 5; seq++ {
+		r.ApplyNormal(1, seq, 0, types.Index(100+seq))
+	}
+	if got := r.ResponseCount(1); got != 5 {
+		t.Fatalf("cached responses = %d, want 5", got)
+	}
+	// Seq 6 arrives acknowledging everything below 4.
+	r.ApplyNormal(1, 6, 4, 106)
+	if got := r.ResponseCount(1); got != 3 { // 4, 5, 6 remain
+		t.Fatalf("responses after ack 4 = %d, want 3", got)
+	}
+	// Below the floor: still a duplicate, but the cached index is gone
+	// (the client promised not to retry it).
+	if idx, dup := r.LookupDup(1, 2); !dup || idx != 0 {
+		t.Fatalf("acked seq 2: idx=%d dup=%v", idx, dup)
+	}
+	// At and above the floor: responses intact.
+	if idx, dup := r.LookupDup(1, 4); !dup || idx != 104 {
+		t.Fatalf("kept seq 4: idx=%d dup=%v", idx, dup)
+	}
+	// A duplicate retry carrying a newer floor still truncates.
+	r.ApplyNormal(1, 6, 6, 999)
+	if got := r.ResponseCount(1); got != 1 { // only 6 remains
+		t.Fatalf("responses after dup-carried ack 6 = %d, want 1", got)
+	}
+	if r.LastSeq(1) != 6 {
+		t.Fatalf("lastSeq = %d, want 6 (acks must not move the watermark)", r.LastSeq(1))
+	}
+	// A stale (lower) floor changes nothing.
+	r.ApplyNormal(1, 7, 2, 107)
+	if got := r.ResponseCount(1); got != 2 { // 6 and 7
+		t.Fatalf("responses after stale ack = %d, want 2", got)
+	}
+	// Determinism: a registry restored from the image agrees byte-for-byte.
+	r2 := New()
+	if err := r2.Restore(r.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r2.Encode(), r.Encode()) {
+		t.Fatal("ack truncation diverged restore/encode round trip")
 	}
 }

@@ -209,6 +209,72 @@ func (c *Counters) MergeInto(dst map[string]uint64, prefix string) {
 	}
 }
 
+// TimingHist is a fixed-bound cumulative histogram of durations that
+// merges into the flat counter snapshots the nodes export: each bucket
+// becomes "<name>.le.<bound>" (cumulative count of observations at or
+// under the bound, Prometheus-style), plus "<name>.le.inf",
+// "<name>.count" and "<name>.sum_us". Like Counters it is not safe for
+// concurrent use; callers serialize access with the consensus state
+// machine that feeds it.
+type TimingHist struct {
+	name   string
+	bounds []time.Duration
+	counts []uint64
+	sum    time.Duration
+	count  uint64
+}
+
+// NewTimingHist builds a histogram with the given ascending upper bounds.
+func NewTimingHist(name string, bounds ...time.Duration) *TimingHist {
+	return &TimingHist{name: name, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// DefaultLatencyBounds cover consensus-scale latencies: sub-heartbeat
+// through multi-election-timeout.
+func DefaultLatencyBounds() []time.Duration {
+	return []time.Duration{
+		1 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond,
+		25 * time.Millisecond, 50 * time.Millisecond, 100 * time.Millisecond,
+		250 * time.Millisecond, 500 * time.Millisecond,
+		1 * time.Second, 2500 * time.Millisecond, 5 * time.Second,
+	}
+}
+
+// Observe adds one sample.
+func (h *TimingHist) Observe(v time.Duration) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	if len(h.bounds) == 0 || v > h.bounds[len(h.bounds)-1] {
+		h.counts[len(h.counts)-1]++
+	}
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *TimingHist) Count() uint64 { return h.count }
+
+// MergeInto folds the histogram into a flat counter snapshot under
+// prefix+name (see the type comment for the key scheme). Buckets are
+// emitted cumulatively so consumers can treat them as Prometheus
+// histogram buckets directly.
+func (h *TimingHist) MergeInto(dst map[string]uint64, prefix string) {
+	base := prefix + h.name
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		dst[fmt.Sprintf("%s.le.%s", base, b)] = cum
+	}
+	cum += h.counts[len(h.counts)-1]
+	dst[base+".le.inf"] = cum
+	dst[base+".count"] = h.count
+	dst[base+".sum_us"] = uint64(h.sum / time.Microsecond)
+}
+
 // Throughput converts a count over a window to events/second.
 func Throughput(count int, window time.Duration) float64 {
 	if window <= 0 {

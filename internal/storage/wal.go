@@ -47,8 +47,9 @@ const (
 
 // walFormatVersion is the current on-disk format: 2 added the session
 // fields to the entry encoding (and the format record itself — WALs
-// without one predate versioning and cannot be read by this build).
-const walFormatVersion = 2
+// without one predate versioning and cannot be read by this build); 3
+// added the session-ack field to the entry encoding.
+const walFormatVersion = 3
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 

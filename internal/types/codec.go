@@ -22,13 +22,17 @@ const (
 	// session-state section to the snapshot encoding. Version 3 added the
 	// chunked-snapshot fields (Boundary/Offset/Data/Done) to
 	// InstallSnapshot and the ack fields (Boundary/Offset) to
-	// InstallSnapshotReply.
-	wireVersion = 3
+	// InstallSnapshotReply. Version 4 added the SessionAck field to the
+	// entry encoding, the pending-stream fields
+	// (PendingBoundary/PendingOffset) to AppendEntriesResp and the stream
+	// checksum (Check) to InstallSnapshot.
+	wireVersion = 4
 	// wireVersionMin is the oldest frame version this decoder accepts: v2
-	// frames (no chunk fields) decode as whole-image transfers, so a v3
-	// node understands everything a v2 sender emits. Note the
-	// compatibility is one-directional — this encoder always writes v3,
-	// which a v2 decoder rejects as a bad frame — so mixed clusters need
+	// frames (no chunk fields) decode as whole-image transfers and v3
+	// frames (no ack/continuation fields) decode with those features zero,
+	// so a v4 node understands everything older senders emit. Note the
+	// compatibility is one-directional — this encoder always writes v4,
+	// which older decoders reject as a bad frame — so mixed clusters need
 	// the upgraded side rolled out last on the decode path. Unknown
 	// versions are rejected loudly as ErrBadFrame rather than misdecoded.
 	wireVersionMin = 2
@@ -171,6 +175,8 @@ func encodeBody(w *writer, m Message) {
 		w.bool(v.Success)
 		w.u64(uint64(v.MatchIndex))
 		w.u64(uint64(v.LastLogIndex))
+		w.u64(uint64(v.PendingBoundary))
+		w.u64(v.PendingOffset)
 		w.u64(v.Round)
 	case RequestVote:
 		w.u64(uint64(v.Term))
@@ -203,6 +209,7 @@ func encodeBody(w *writer, m Message) {
 		w.u64(uint64(v.Boundary))
 		w.u64(v.Offset)
 		w.bytes(v.Data)
+		w.u64(uint64(v.Check))
 		w.bool(v.Done)
 		w.u64(v.Round)
 	case InstallSnapshotReply:
@@ -254,6 +261,10 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 		v.Success = r.bool()
 		v.MatchIndex = Index(r.u64())
 		v.LastLogIndex = Index(r.u64())
+		if r.ver >= 4 {
+			v.PendingBoundary = Index(r.u64())
+			v.PendingOffset = r.u64()
+		}
 		v.Round = r.u64()
 		return v, r.err
 	case tagRequestVote:
@@ -306,6 +317,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 			v.Boundary = Index(r.u64())
 			v.Offset = r.u64()
 			v.Data = r.bytes()
+			if r.ver >= 4 {
+				v.Check = uint32(r.u64())
+			}
 			v.Done = r.bool()
 		} else {
 			// v2 sender: always a whole-image transfer.
@@ -364,6 +378,7 @@ func (w *writer) entry(e Entry) {
 	w.u64(e.PID.Seq)
 	w.u64(uint64(e.Session))
 	w.u64(e.SessionSeq)
+	w.u64(e.SessionAck)
 	w.bytes(e.Data)
 	if e.Config != nil {
 		w.bool(true)
@@ -451,6 +466,12 @@ func (r *reader) entry() Entry {
 	e.PID.Seq = r.u64()
 	e.Session = SessionID(r.u64())
 	e.SessionSeq = r.u64()
+	// SessionAck joined the entry layout with frame v4. Unversioned
+	// readers (ver 0: EncodeEntry/DecodeEntry pairs, i.e. the WAL, which
+	// gates compatibility through its own format record) always carry it.
+	if r.ver == 0 || r.ver >= 4 {
+		e.SessionAck = r.u64()
+	}
 	e.Data = r.bytes()
 	if r.bool() {
 		n := r.u64()
@@ -472,6 +493,35 @@ func EncodeEntry(e Entry) []byte {
 	var w writer
 	w.entry(e)
 	return w.buf
+}
+
+// uvarintLen returns the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// EntryWireSize returns len(EncodeEntry(e)) without allocating. The
+// replication engine uses it to budget AppendEntries payloads in bytes;
+// keep it in lockstep with writer.entry.
+func EntryWireSize(e Entry) int {
+	n := uvarintLen(uint64(e.Index)) + uvarintLen(uint64(e.Term)) + 2 // kind, approval
+	n += uvarintLen(uint64(len(e.PID.Proposer))) + len(e.PID.Proposer)
+	n += uvarintLen(e.PID.Seq)
+	n += uvarintLen(uint64(e.Session)) + uvarintLen(e.SessionSeq) + uvarintLen(e.SessionAck)
+	n += uvarintLen(uint64(len(e.Data))) + len(e.Data)
+	n++ // config flag
+	if e.Config != nil {
+		n += uvarintLen(uint64(len(e.Config.Members)))
+		for _, m := range e.Config.Members {
+			n += uvarintLen(uint64(len(m))) + len(m)
+		}
+	}
+	return n
 }
 
 // DecodeEntry parses an entry produced by EncodeEntry.

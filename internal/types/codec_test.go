@@ -24,6 +24,9 @@ func sampleEntries() []Entry {
 		{Index: 5, Term: 2, Kind: KindNormal, Approval: ApprovedSelf,
 			PID:     ProposalID{Proposer: "n2", Seq: 9},
 			Session: 3, SessionSeq: 7, Data: []byte("session-tagged")},
+		{Index: 8, Term: 2, Kind: KindNormal, Approval: ApprovedLeader,
+			PID:     ProposalID{Proposer: "n3", Seq: 11},
+			Session: 3, SessionSeq: 9, SessionAck: 6, Data: []byte("acked")},
 		{Index: 6, Term: 2, Kind: KindSessionOpen, Approval: ApprovedLeader,
 			PID: ProposalID{Proposer: "n2", Seq: 10}},
 		{Index: 7, Term: 2, Kind: KindSessionExpire, Approval: ApprovedLeader,
@@ -41,6 +44,8 @@ func sampleMessages() []Message {
 			Entries: es[1:4], LeaderCommit: 6, Round: 11},
 		AppendEntries{Term: 1, LeaderID: "l"},
 		AppendEntriesResp{Term: 9, Success: true, MatchIndex: 12, LastLogIndex: 14, Round: 11},
+		AppendEntriesResp{Term: 9, Success: false, LastLogIndex: 2,
+			PendingBoundary: 40, PendingOffset: 1024, Round: 12},
 		AppendEntriesResp{Term: 2},
 		RequestVote{Term: 4, CandidateID: "cand", LastLogIndex: 10, LastLogTerm: 3},
 		RequestVoteResp{Term: 4, Granted: true, SelfApproved: es[1:2]},
@@ -57,7 +62,8 @@ func sampleMessages() []Message {
 		}},
 		InstallSnapshot{Term: 1, LeaderID: "l"},
 		InstallSnapshot{Term: 13, LeaderID: "lead", Round: 6,
-			Boundary: 100, Offset: 4096, Data: bytes.Repeat([]byte{0x7E}, 512)},
+			Boundary: 100, Offset: 4096, Data: bytes.Repeat([]byte{0x7E}, 512),
+			Check: 0xDEADBEEF},
 		InstallSnapshot{Term: 13, LeaderID: "lead", Round: 7,
 			Boundary: 100, Offset: 8192, Data: []byte{0x01}, Done: true},
 		InstallSnapshotReply{Term: 12, LastIndex: 100, Round: 4},
@@ -260,6 +266,118 @@ func TestDecodeV2InstallSnapshotReplyUnderV3(t *testing.T) {
 	}
 }
 
+// encodeV3Envelope hand-encodes a frame in the v3 layout (chunk fields,
+// but no session-ack, pending-stream or checksum fields) so the v4
+// decoder's backward compatibility can be pinned without keeping an old
+// encoder around.
+func encodeV3Envelope(t *testing.T, env Envelope) []byte {
+	t.Helper()
+	var w writer
+	w.buf = append(w.buf, 0xC4, 0xAF, 3)
+	tag, err := msgTag(env.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.buf = append(w.buf, tag)
+	w.str(string(env.From))
+	w.str(string(env.To))
+	w.buf = append(w.buf, byte(env.Layer))
+	v3entry := func(e Entry) {
+		w.u64(uint64(e.Index))
+		w.u64(uint64(e.Term))
+		w.buf = append(w.buf, byte(e.Kind), byte(e.Approval))
+		w.str(string(e.PID.Proposer))
+		w.u64(e.PID.Seq)
+		w.u64(uint64(e.Session))
+		w.u64(e.SessionSeq)
+		w.bytes(e.Data)
+		w.bool(false) // no config
+	}
+	switch v := env.Msg.(type) {
+	case AppendEntries:
+		w.u64(uint64(v.Term))
+		w.str(string(v.LeaderID))
+		w.u64(uint64(v.PrevLogIndex))
+		w.u64(uint64(v.PrevLogTerm))
+		w.u64(uint64(len(v.Entries)))
+		for i := range v.Entries {
+			v3entry(v.Entries[i])
+		}
+		w.u64(uint64(v.LeaderCommit))
+		w.u64(v.Round)
+	case AppendEntriesResp:
+		w.u64(uint64(v.Term))
+		w.bool(v.Success)
+		w.u64(uint64(v.MatchIndex))
+		w.u64(uint64(v.LastLogIndex))
+		w.u64(v.Round)
+	case InstallSnapshot:
+		w.u64(uint64(v.Term))
+		w.str(string(v.LeaderID))
+		w.snapshot(v.Snapshot)
+		w.u64(uint64(v.Boundary))
+		w.u64(v.Offset)
+		w.bytes(v.Data)
+		w.bool(v.Done)
+		w.u64(v.Round)
+	default:
+		t.Fatalf("encodeV3Envelope: unsupported %T", env.Msg)
+	}
+	return w.buf
+}
+
+// TestDecodeV3FramesUnderV4 pins decode compatibility with v3 senders:
+// entries without the session-ack field, responses without the
+// pending-stream fields and chunks without the checksum must decode with
+// those features zero and every trailing field intact.
+func TestDecodeV3FramesUnderV4(t *testing.T) {
+	ae := AppendEntries{Term: 9, LeaderID: "lead", PrevLogIndex: 8, PrevLogTerm: 7,
+		Entries: []Entry{{Index: 9, Term: 9, Kind: KindNormal, Approval: ApprovedLeader,
+			PID: ProposalID{Proposer: "p", Seq: 2}, Session: 3, SessionSeq: 7,
+			Data: []byte("v3")}},
+		LeaderCommit: 6, Round: 11}
+	got, err := DecodeEnvelope(encodeV3Envelope(t, Envelope{From: "l", To: "f", Layer: LayerLocal, Msg: ae}))
+	if err != nil {
+		t.Fatalf("v3 AppendEntries rejected: %v", err)
+	}
+	if m := got.Msg.(AppendEntries); m.Round != 11 || m.LeaderCommit != 6 ||
+		len(m.Entries) != 1 || m.Entries[0].SessionAck != 0 ||
+		string(m.Entries[0].Data) != "v3" {
+		t.Fatalf("v3 AppendEntries misdecoded: %+v", got.Msg)
+	}
+
+	resp := AppendEntriesResp{Term: 9, Success: true, MatchIndex: 12, LastLogIndex: 14, Round: 11}
+	got, err = DecodeEnvelope(encodeV3Envelope(t, Envelope{From: "f", To: "l", Layer: LayerLocal, Msg: resp}))
+	if err != nil {
+		t.Fatalf("v3 AppendEntriesResp rejected: %v", err)
+	}
+	if m := got.Msg.(AppendEntriesResp); m.Round != 11 || m.MatchIndex != 12 ||
+		m.PendingBoundary != 0 || m.PendingOffset != 0 {
+		t.Fatalf("v3 AppendEntriesResp misdecoded: %+v", got.Msg)
+	}
+
+	is := InstallSnapshot{Term: 13, LeaderID: "lead", Boundary: 100, Offset: 4096,
+		Data: []byte{0x7E, 0x7F}, Done: true, Round: 6}
+	got, err = DecodeEnvelope(encodeV3Envelope(t, Envelope{From: "l", To: "f", Layer: LayerLocal, Msg: is}))
+	if err != nil {
+		t.Fatalf("v3 InstallSnapshot rejected: %v", err)
+	}
+	if m := got.Msg.(InstallSnapshot); m.Round != 6 || m.Offset != 4096 ||
+		m.Check != 0 || !m.Done || len(m.Data) != 2 {
+		t.Fatalf("v3 InstallSnapshot misdecoded: %+v", got.Msg)
+	}
+}
+
+// TestEntryWireSizeMatchesEncoding pins the size function the byte-budget
+// flow control uses to the actual encoder output.
+func TestEntryWireSizeMatchesEncoding(t *testing.T) {
+	for i, e := range sampleEntries() {
+		if got, want := EntryWireSize(e), len(EncodeEntry(e)); got != want {
+			t.Fatalf("entry %d: EntryWireSize = %d, len(EncodeEntry) = %d", i, got, want)
+		}
+	}
+}
+
 // TestDecodeEnvelopeRejectsUnknownVersions pins the loud-failure contract:
 // versions below the compatibility floor or above the current version are
 // ErrBadFrame, never a silent misdecode.
@@ -270,7 +388,7 @@ func TestDecodeEnvelopeRejectsUnknownVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ver := range []byte{0, 1, 4, 9, 255} {
+	for _, ver := range []byte{0, 1, 5, 9, 255} {
 		bad := append([]byte(nil), buf...)
 		bad[2] = ver
 		if _, err := DecodeEnvelope(bad); err == nil {

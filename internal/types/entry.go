@@ -108,6 +108,12 @@ type Entry struct {
 	// SessionSeq is the session-scoped sequence number, meaningful when
 	// Session is non-zero.
 	SessionSeq uint64
+	// SessionAck is the client's retry floor, piggybacked on session
+	// proposals (meaningful when Session is non-zero; 0 = no ack): the
+	// client promises never to retry sequences below it, so every replica
+	// drops the session's cached responses for those sequences when the
+	// entry commits, instead of holding them until the LRU cap evicts them.
+	SessionAck uint64
 	// Data is the application payload (or encoded Batch/GlobalStateDelta).
 	Data []byte
 	// Config is set iff Kind == KindConfig.

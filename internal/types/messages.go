@@ -129,6 +129,16 @@ type AppendEntriesResp struct {
 	// LastLogIndex hints the responder's last log index so a leader can
 	// back off nextIndex quickly on failure.
 	LastLogIndex Index
+	// PendingBoundary/PendingOffset report a partially received snapshot
+	// stream (zero when none): the boundary of the stream buffered in the
+	// responder's reassembler and the contiguous byte count it holds. A new
+	// leader whose snapshot matches the boundary seeds its transfer cursor
+	// from the offset, continuing its predecessor's stream instead of
+	// restarting from byte 0.
+	PendingBoundary Index
+	// PendingOffset is the contiguous byte count buffered for
+	// PendingBoundary.
+	PendingOffset uint64
 	// Round echoes AppendEntries.Round.
 	Round uint64
 }
@@ -247,6 +257,12 @@ type InstallSnapshot struct {
 	Offset uint64
 	// Data is one chunk of the encoded snapshot (nil in legacy mode).
 	Data []byte
+	// Check is the IEEE CRC-32 of the entire encoded snapshot the chunks
+	// slice (chunked mode only). It names the stream's content: a follower
+	// continues accumulating chunks for (Boundary, Check) across leader
+	// changes — successor leaders of the same boundary encode byte-identical
+	// snapshots — and restarts cleanly if a sender's encoding diverges.
+	Check uint32
 	// Done marks the final chunk (always true in legacy mode).
 	Done bool
 	// Round numbers the heartbeat round, matching AppendEntries.Round for

@@ -3,7 +3,13 @@ package hraft
 import (
 	"expvar"
 	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 )
 
 // publishMu serializes the check-then-publish pair below; expvar itself
@@ -37,4 +43,84 @@ func PublishExpvar(name string, src MetricSource) error {
 		return src.Metrics()
 	}))
 	return nil
+}
+
+// MetricsHandler returns an http.Handler rendering src's metrics in the
+// Prometheus text exposition format. Every metric is prefixed "hraft_" and
+// labeled with the node name; histogram keys emitted by the cores
+// ("<base>.le.<bound>", "<base>.count", "<base>.sum_us") become proper
+// _bucket{le=...}/_count/_sum series with le and the sum both in seconds
+// (the unit Prometheus tooling like histogram_quantile expects), counters
+// and gauges plain samples. Keys are sanitized (non-alphanumerics to
+// underscores) and emitted in sorted order so scrapes are diff-stable.
+func MetricsHandler(node string, src MetricSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m := src.Metrics()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			v := m[k]
+			switch {
+			case strings.Contains(k, ".le."):
+				base, bound, _ := strings.Cut(k, ".le.")
+				le := "+Inf"
+				if bound != "inf" {
+					// Bounds are Go duration strings ("5ms", "2.5s");
+					// Prometheus requires le to parse as a float, in seconds.
+					d, err := time.ParseDuration(bound)
+					if err != nil {
+						continue // unrenderable bucket; drop rather than lie
+					}
+					le = strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+				}
+				fmt.Fprintf(&b, "hraft_%s_seconds_bucket{node=%q,le=%q} %d\n",
+					sanitizeMetric(base), node, le, v)
+			case strings.HasSuffix(k, ".count"):
+				fmt.Fprintf(&b, "hraft_%s_seconds_count{node=%q} %d\n",
+					sanitizeMetric(strings.TrimSuffix(k, ".count")), node, v)
+			case strings.HasSuffix(k, ".sum_us"):
+				fmt.Fprintf(&b, "hraft_%s_seconds_sum{node=%q} %s\n",
+					sanitizeMetric(strings.TrimSuffix(k, ".sum_us")), node,
+					strconv.FormatFloat(float64(v)/1e6, 'g', -1, 64))
+			default:
+				fmt.Fprintf(&b, "hraft_%s{node=%q} %d\n", sanitizeMetric(k), node, v)
+			}
+		}
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// sanitizeMetric maps a counter key onto the Prometheus metric-name
+// alphabet.
+func sanitizeMetric(k string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, k)
+}
+
+// ServeMetrics serves src's metrics at http://addr/metrics in the
+// Prometheus text format (see MetricsHandler) on a background goroutine.
+// It returns the bound listener address (useful with a ":0" addr) and a
+// shutdown func. The endpoint snapshots metrics per scrape; it holds the
+// node's event loop only as long as one Metrics() call.
+func ServeMetrics(addr, node string, src MetricSource) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("hraft: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(node, src))
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
 }

@@ -1,0 +1,47 @@
+package hraft
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type staticMetrics map[string]uint64
+
+func (m staticMetrics) Metrics() map[string]uint64 { return m }
+
+// TestMetricsHandlerPrometheusFormat pins the exposition format: histogram
+// buckets carry numeric le values in seconds (what histogram_quantile
+// needs), the sum is converted to seconds, and plain counters/gauges pass
+// through sanitized.
+func TestMetricsHandlerPrometheusFormat(t *testing.T) {
+	src := staticMetrics{
+		"hist.commit_latency.le.5ms":   3,
+		"hist.commit_latency.le.2.5s":  7,
+		"hist.commit_latency.le.inf":   9,
+		"hist.commit_latency.count":    9,
+		"hist.commit_latency.sum_us":   1500000,
+		"replica.snapshot_chunks_sent": 12,
+		"gauge.log_span":               42,
+	}
+	rec := httptest.NewRecorder()
+	MetricsHandler("n1", src).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`hraft_hist_commit_latency_seconds_bucket{node="n1",le="0.005"} 3`,
+		`hraft_hist_commit_latency_seconds_bucket{node="n1",le="2.5"} 7`,
+		`hraft_hist_commit_latency_seconds_bucket{node="n1",le="+Inf"} 9`,
+		`hraft_hist_commit_latency_seconds_count{node="n1"} 9`,
+		`hraft_hist_commit_latency_seconds_sum{node="n1"} 1.5`,
+		`hraft_replica_snapshot_chunks_sent{node="n1"} 12`,
+		`hraft_gauge_log_span{node="n1"} 42`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+}

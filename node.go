@@ -61,8 +61,14 @@ type Options struct {
 	// follower once it is replicating (0 = a small default). Catch-up
 	// pipelines up to this many messages per round trip; a full window
 	// downgrades the round to a plain heartbeat instead of duplicating
-	// in-flight entries on a slow peer.
+	// in-flight entries on a slow peer. Secondary to MaxInflightBytes.
 	MaxInflightAppends int
+	// MaxInflightBytes bounds the encoded entry bytes outstanding per
+	// follower (0 = 1 MiB): the primary append window. Entries are sized
+	// at encode time, so flow control tracks actual wire cost — a follower
+	// absorbing large entries is throttled as early as one absorbing many
+	// small ones.
+	MaxInflightBytes int
 	// MaxSnapshotChunk, when set, streams snapshot transfers
 	// (InstallSnapshot) in chunks of at most this many payload bytes
 	// instead of one message carrying the whole image — required for
@@ -145,6 +151,7 @@ func NewNode(opts Options) (*Node, error) {
 		Snapshotter:          opts.Snapshotter,
 		MaxEntriesPerAppend:  opts.MaxEntriesPerAppend,
 		MaxInflightAppends:   opts.MaxInflightAppends,
+		MaxInflightBytes:     opts.MaxInflightBytes,
 		MaxSnapshotChunk:     opts.MaxSnapshotChunk,
 		MaxInflightProposals: opts.MaxInflightProposals,
 		SessionTTL:           opts.SessionTTL,

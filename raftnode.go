@@ -46,6 +46,7 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		Snapshotter:         opts.Snapshotter,
 		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
 		MaxInflightAppends:  opts.MaxInflightAppends,
+		MaxInflightBytes:    opts.MaxInflightBytes,
 		MaxSnapshotChunk:    opts.MaxSnapshotChunk,
 		SessionTTL:          opts.SessionTTL,
 		Rand:                rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),

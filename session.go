@@ -37,12 +37,13 @@ var ErrSessionExpired = errors.New("hraft: session expired or response no longer
 // used sequence number and reattach with AttachSession.
 type Session struct {
 	id      SessionID
-	propose func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error)
+	propose func(ctx context.Context, sid SessionID, seq, ack uint64, data []byte) (Index, error)
 
-	// seqMu guards the sequence counter; flightMu serializes in-flight
-	// proposals so sequences reach the log in order.
+	// seqMu guards the sequence counter and ack floor; flightMu serializes
+	// in-flight proposals so sequences reach the log in order.
 	seqMu    sync.Mutex
 	seq      uint64
+	ack      uint64
 	flightMu sync.Mutex
 }
 
@@ -58,6 +59,21 @@ func (s *Session) LastSeq() uint64 {
 	return s.seq
 }
 
+// Ack records the client's retry floor: a promise that no sequence below
+// lowestSeq will ever be retried on this session. The floor piggybacks on
+// the next Propose/ProposeAt, letting every replica drop the session's
+// cached responses below it immediately instead of holding them until the
+// per-session cap evicts them. Acknowledging a sequence you later retry
+// surfaces as ErrSessionExpired — the cached response is gone. The floor
+// only moves forward; a lower value is ignored.
+func (s *Session) Ack(lowestSeq uint64) {
+	s.seqMu.Lock()
+	if lowestSeq > s.ack {
+		s.ack = lowestSeq
+	}
+	s.seqMu.Unlock()
+}
+
 // Propose submits an entry under the next session sequence and waits for
 // it to commit, returning its log index. If the context expires, the
 // assigned sequence is burned and the proposal may still commit later —
@@ -68,9 +84,9 @@ func (s *Session) Propose(ctx context.Context, data []byte) (Index, error) {
 	defer s.flightMu.Unlock()
 	s.seqMu.Lock()
 	s.seq++
-	seq := s.seq
+	seq, ack := s.seq, s.ack
 	s.seqMu.Unlock()
-	return s.proposeSerialized(ctx, seq, data)
+	return s.proposeSerialized(ctx, seq, ack, data)
 }
 
 // ProposeAt submits an entry under an explicit session sequence: the retry
@@ -85,13 +101,14 @@ func (s *Session) ProposeAt(ctx context.Context, seq uint64, data []byte) (Index
 	if seq > s.seq {
 		s.seq = seq
 	}
+	ack := s.ack
 	s.seqMu.Unlock()
-	return s.proposeSerialized(ctx, seq, data)
+	return s.proposeSerialized(ctx, seq, ack, data)
 }
 
 // proposeSerialized runs one proposal; callers hold flightMu.
-func (s *Session) proposeSerialized(ctx context.Context, seq uint64, data []byte) (Index, error) {
-	idx, err := s.propose(ctx, s.id, seq, data)
+func (s *Session) proposeSerialized(ctx context.Context, seq, ack uint64, data []byte) (Index, error) {
+	idx, err := s.propose(ctx, s.id, seq, ack, data)
 	if err != nil {
 		return 0, err
 	}
@@ -189,9 +206,9 @@ func (n *Node) AttachSession(id SessionID, lastSeq uint64) *Session {
 	return &Session{
 		id:  id,
 		seq: lastSeq,
-		propose: func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error) {
+		propose: func(ctx context.Context, sid SessionID, seq, ack uint64, data []byte) (Index, error) {
 			return n.await(ctx, n.host, func(now time.Duration) ProposalID {
-				return n.fr.ProposeSession(now, sid, seq, data)
+				return n.fr.ProposeSession(now, sid, seq, ack, data)
 			})
 		},
 	}
@@ -216,9 +233,9 @@ func (n *RaftNode) AttachSession(id SessionID, lastSeq uint64) *Session {
 	return &Session{
 		id:  id,
 		seq: lastSeq,
-		propose: func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error) {
+		propose: func(ctx context.Context, sid SessionID, seq, ack uint64, data []byte) (Index, error) {
 			return n.await(ctx, n.host, func(now time.Duration) ProposalID {
-				return n.rn.ProposeSession(now, sid, seq, data)
+				return n.rn.ProposeSession(now, sid, seq, ack, data)
 			})
 		},
 	}
@@ -245,9 +262,9 @@ func (n *CRaftNode) AttachSession(id SessionID, lastSeq uint64) *Session {
 	return &Session{
 		id:  id,
 		seq: lastSeq,
-		propose: func(ctx context.Context, sid SessionID, seq uint64, data []byte) (Index, error) {
+		propose: func(ctx context.Context, sid SessionID, seq, ack uint64, data []byte) (Index, error) {
 			return n.await(ctx, n.host, func(now time.Duration) ProposalID {
-				return n.cn.ProposeSession(now, sid, seq, data)
+				return n.cn.ProposeSession(now, sid, seq, ack, data)
 			})
 		},
 	}
