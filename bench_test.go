@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/hraft-io/hraft/internal/bench"
+	"github.com/hraft-io/hraft/internal/harness"
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
 	"github.com/hraft-io/hraft/internal/types"
@@ -145,6 +146,216 @@ func BenchmarkAblationHeartbeat(b *testing.B) {
 			b.ReportMetric(float64(fast.Milliseconds())/float64(b.N), "fast-ms")
 		})
 	}
+}
+
+// --- Read path: ReadIndex and lease reads ------------------------------------
+
+// benchNodes is the flat-cluster membership used by the read benchmarks.
+func benchNodes() []types.NodeID {
+	return []types.NodeID{"n1", "n2", "n3", "n4", "n5"}
+}
+
+// readBenchCluster builds a flat 5-node cluster, elects a leader and
+// commits one entry so the read floor is established, returning the
+// cluster, the leader and one follower.
+func readBenchCluster(b *testing.B, kind harness.Kind, seed int64) (*harness.Cluster, types.NodeID, types.NodeID) {
+	b.Helper()
+	c, err := harness.NewCluster(harness.Options{Kind: kind, Nodes: benchNodes(), Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	leader, ok := c.WaitForLeader(30 * time.Second)
+	if !ok {
+		b.Fatal("no leader")
+	}
+	pid, err := c.Propose(leader, []byte("warm"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := c.AwaitResolution(leader, pid, c.Sched.Now()+30*time.Second); !ok {
+		b.Fatal("warm-up write never resolved")
+	}
+	var follower types.NodeID
+	for _, id := range benchNodes() {
+		if id != leader {
+			follower = id
+			break
+		}
+	}
+	return c, leader, follower
+}
+
+// readBenchCraft builds a two-cluster C-Raft deployment with an elected
+// hierarchy and one committed local entry, returning the deployment and a
+// follower site of cluster A.
+func readBenchCraft(b *testing.B, seed int64) (*harness.CraftCluster, types.NodeID) {
+	b.Helper()
+	c, err := harness.NewCraftCluster(harness.CraftOptions{
+		Clusters: []harness.ClusterSpec{
+			{ID: "cA", Sites: []types.NodeID{"a1", "a2", "a3"}, Region: "us-east-1"},
+			{ID: "cB", Sites: []types.NodeID{"b1", "b2", "b3"}, Region: "eu-west-1"},
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !c.WaitForLeaders(60 * time.Second) {
+		b.Fatal("no leaders")
+	}
+	pid, err := c.Propose("a1", []byte("warm"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := c.AwaitResolution("a1", pid, c.Sched.Now()+30*time.Second); !ok {
+		b.Fatal("warm-up write never resolved")
+	}
+	return c, "a1"
+}
+
+// awaitReads issues count sequential reads from a flat-cluster node and
+// returns the virtual time they took.
+func awaitReads(b *testing.B, c *harness.Cluster, from types.NodeID, cons types.ReadConsistency, count int) time.Duration {
+	b.Helper()
+	start := c.Sched.Now()
+	for i := 0; i < count; i++ {
+		tok, err := c.Read(from, cons)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d, ok := c.AwaitRead(from, tok, c.Sched.Now()+30*time.Second); !ok || !d.OK {
+			b.Fatalf("read %d not confirmed (%+v ok=%v)", i, d, ok)
+		}
+	}
+	return c.Sched.Now() - start
+}
+
+// awaitProposals commits count sequential no-op-sized proposals from a
+// node and returns the virtual time they took.
+func awaitProposals(b *testing.B, c *harness.Cluster, from types.NodeID, count int) time.Duration {
+	b.Helper()
+	start := c.Sched.Now()
+	for i := 0; i < count; i++ {
+		pid, err := c.Propose(from, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := c.AwaitResolution(from, pid, c.Sched.Now()+30*time.Second); !ok {
+			b.Fatalf("proposal %d never resolved", i)
+		}
+	}
+	return c.Sched.Now() - start
+}
+
+// perSecond converts a virtual elapsed time for count operations into
+// ops/s, clamping the denominator so instantaneous completions stay
+// finite.
+func perSecond(count int, elapsed time.Duration) float64 {
+	if elapsed < time.Microsecond {
+		elapsed = time.Microsecond
+	}
+	return float64(count) / elapsed.Seconds()
+}
+
+// BenchmarkReadIndex measures quorum-confirmed linearizable read
+// throughput (virtual time), reads issued closed-loop from a follower so
+// every read pays forwarding plus one shared heartbeat round.
+func BenchmarkReadIndex(b *testing.B) {
+	const reads = 30
+	for _, kind := range []harness.Kind{harness.KindRaft, harness.KindFastRaft} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				c, _, follower := readBenchCluster(b, kind, int64(1+i))
+				total += awaitReads(b, c, follower, types.ReadLinearizable, reads)
+			}
+			b.ReportMetric(perSecond(reads*b.N, total), "reads/s")
+		})
+	}
+	b.Run("craft", func(b *testing.B) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			c, site := readBenchCraft(b, int64(1+i))
+			start := c.Sched.Now()
+			for r := 0; r < reads; r++ {
+				tok, err := c.Read(site, types.ReadLinearizable)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d, ok := c.AwaitRead(site, tok, c.Sched.Now()+30*time.Second); !ok || !d.OK {
+					b.Fatalf("local read %d not confirmed (%+v ok=%v)", r, d, ok)
+				}
+			}
+			total += c.Sched.Now() - start
+		}
+		b.ReportMetric(perSecond(reads*b.N, total), "reads/s")
+	})
+}
+
+// BenchmarkLeaseRead measures lease-read throughput against committed
+// no-op proposals on the same simnet topology (the acceptance target is
+// >= 5x). Reads are issued closed-loop from a follower, so each still
+// pays one intra-cluster forwarding round trip — the leader itself serves
+// them clock-free.
+func BenchmarkLeaseRead(b *testing.B) {
+	const (
+		reads     = 50
+		proposals = 15
+	)
+	for _, kind := range []harness.Kind{harness.KindRaft, harness.KindFastRaft} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var readTime, propTime time.Duration
+			for i := 0; i < b.N; i++ {
+				c, _, follower := readBenchCluster(b, kind, int64(1+i))
+				// Warm the lease with one awaited lease read.
+				awaitReads(b, c, follower, types.ReadLeaseBased, 1)
+				readTime += awaitReads(b, c, follower, types.ReadLeaseBased, reads)
+				propTime += awaitProposals(b, c, follower, proposals)
+			}
+			rps := perSecond(reads*b.N, readTime)
+			pps := perSecond(proposals*b.N, propTime)
+			b.ReportMetric(rps, "reads/s")
+			b.ReportMetric(pps, "proposals/s")
+			b.ReportMetric(rps/pps, "speedup")
+		})
+	}
+	b.Run("craft", func(b *testing.B) {
+		var readTime, propTime time.Duration
+		for i := 0; i < b.N; i++ {
+			c, site := readBenchCraft(b, int64(1+i))
+			doReads := func(count int) time.Duration {
+				start := c.Sched.Now()
+				for r := 0; r < count; r++ {
+					tok, err := c.Read(site, types.ReadLeaseBased)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d, ok := c.AwaitRead(site, tok, c.Sched.Now()+30*time.Second); !ok || !d.OK {
+						b.Fatalf("lease read %d not confirmed (%+v ok=%v)", r, d, ok)
+					}
+				}
+				return c.Sched.Now() - start
+			}
+			doReads(1) // lease warm-up
+			readTime += doReads(reads)
+			start := c.Sched.Now()
+			for p := 0; p < proposals; p++ {
+				pid, err := c.Propose(site, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, ok := c.AwaitResolution(site, pid, c.Sched.Now()+30*time.Second); !ok {
+					b.Fatalf("proposal %d never resolved", p)
+				}
+			}
+			propTime += c.Sched.Now() - start
+		}
+		rps := perSecond(reads*b.N, readTime)
+		pps := perSecond(proposals*b.N, propTime)
+		b.ReportMetric(rps, "reads/s")
+		b.ReportMetric(pps, "proposals/s")
+		b.ReportMetric(rps/pps, "speedup")
+	})
 }
 
 // --- Substrate micro-benchmarks ----------------------------------------------

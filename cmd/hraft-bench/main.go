@@ -21,7 +21,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all",
-			"experiment to run: fig3, fig4, fig5, ablations or all")
+			"experiment to run: fig3, fig4, fig5, ablations, reads or all")
 		trials = flag.Int("trials", 0, "trials per sweep point (0 = paper default)")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		quick  = flag.Bool("quick", false, "smaller workloads for a fast smoke run")
@@ -46,6 +46,12 @@ func run(experiment string, trials int, seed int64, quick bool) error {
 		fig4.RunFor = 25 * time.Second
 		fig5.TrialDuration = time.Minute
 	}
+	reads := bench.ReadOptions{Seed: seed}
+	if quick {
+		reads.Reads = 20
+		reads.Proposals = 10
+		reads.Trials = 1
+	}
 	switch experiment {
 	case "fig3":
 		return runFig3(fig3)
@@ -55,6 +61,8 @@ func run(experiment string, trials int, seed int64, quick bool) error {
 		return runFig5(fig5)
 	case "ablations":
 		return runAblations(fig3, fig5)
+	case "reads":
+		return runReads(reads)
 	case "all":
 		if err := runFig3(fig3); err != nil {
 			return err
@@ -65,10 +73,24 @@ func run(experiment string, trials int, seed int64, quick bool) error {
 		if err := runFig5(fig5); err != nil {
 			return err
 		}
-		return runAblations(fig3, fig5)
+		if err := runAblations(fig3, fig5); err != nil {
+			return err
+		}
+		return runReads(reads)
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)
 	}
+}
+
+func runReads(opts bench.ReadOptions) error {
+	started := time.Now()
+	rows, err := bench.ReadSweep(opts)
+	if err != nil {
+		return err
+	}
+	bench.PrintReads(os.Stdout, rows)
+	fmt.Printf("(reads done in %s wall time)\n\n", time.Since(started).Round(time.Millisecond))
+	return nil
 }
 
 func runFig3(opts bench.Fig3Options) error {

@@ -105,6 +105,12 @@ func throughputChecks() []check {
 		out = append(out, check{"BenchmarkAblationBatchSize/batch=" + n, "entries/s",
 			"ablation_batch_size_entries_per_s.batch=" + n})
 	}
+	for _, k := range []string{"raft", "fastraft", "craft"} {
+		out = append(out,
+			check{"BenchmarkReadIndex/" + k, "reads/s", "read_index_reads_per_s." + k},
+			check{"BenchmarkLeaseRead/" + k, "reads/s", "lease_read_reads_per_s." + k},
+		)
+	}
 	return out
 }
 

@@ -159,7 +159,7 @@ func run() error {
 		node.Join(contacts)
 	}
 
-	fmt.Println("type a line to propose it; ctrl-d to exit")
+	fmt.Println("type a line to propose it; '?' = linearizable read, '?l' = lease read, '?s' = stale read; ctrl-d to exit")
 	scanner := bufio.NewScanner(os.Stdin)
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
@@ -168,6 +168,19 @@ func run() error {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		start := time.Now()
+		if c, isRead := readConsistency(line); isRead {
+			// Reads return the linearization index: the state machine is
+			// current through it without having written a log entry.
+			idx, err := node.ReadWith(ctx, c)
+			cancel()
+			if err != nil {
+				fmt.Printf("read failed: %v\n", err)
+				continue
+			}
+			fmt.Printf("read (%s) linearized at index %d in %v (leader %s, term %d)\n",
+				c, idx, time.Since(start).Round(time.Millisecond), node.Leader(), node.Term())
+			continue
+		}
 		idx, err := node.Propose(ctx, []byte(line))
 		cancel()
 		if err != nil {
@@ -178,6 +191,21 @@ func run() error {
 			idx, time.Since(start).Round(time.Millisecond), node.Leader(), node.Term())
 	}
 	return scanner.Err()
+}
+
+// readConsistency maps the interactive read syntax onto a consistency
+// mode: "?" linearizable, "?l" lease-based, "?s" stale.
+func readConsistency(line string) (hraft.ReadConsistency, bool) {
+	switch line {
+	case "?":
+		return hraft.ReadLinearizable, true
+	case "?l":
+		return hraft.ReadLeaseBased, true
+	case "?s":
+		return hraft.ReadStale, true
+	default:
+		return 0, false
+	}
 }
 
 // lineLog is the node's state machine when snapshotting is enabled: the

@@ -67,6 +67,10 @@ type CRaftOptions struct {
 	// MaxSnapshotChunk streams local-log snapshot transfers in chunks of
 	// at most this many payload bytes (0 = whole snapshot in one message).
 	MaxSnapshotChunk int
+	// MaxInflightProposalBytes bounds the encoded payload bytes of this
+	// site's broadcast-but-unresolved intra-cluster proposals (0 =
+	// unlimited); see Options.MaxInflightProposalBytes.
+	MaxInflightProposalBytes int
 	// MaxInflightBatches caps this cluster's unresolved global batch
 	// proposals (0 = unlimited): batching pauses until earlier batches
 	// resolve, so a fast cluster cannot flood the slower global level.
@@ -94,6 +98,7 @@ type CRaftNode struct {
 	commits       chan Entry
 	globalCommits chan Entry
 	proposalWaiters
+	readWaiters
 }
 
 // NewCRaftNode builds and starts a C-Raft site.
@@ -109,24 +114,25 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 	}
 	seed := mixSeed(opts.Seed, opts.ID)
 	cn, err := craft.New(craft.Config{
-		ID:                  opts.ID,
-		Cluster:             opts.Cluster,
-		ClusterBootstrap:    types.NewConfig(opts.ClusterPeers...),
-		GlobalBootstrap:     types.NewConfig(opts.GlobalClusters...),
-		Storage:             opts.Storage,
-		BatchSize:           opts.BatchSize,
-		BatchDelay:          opts.BatchDelay,
-		LocalHeartbeat:      opts.LocalHeartbeat,
-		GlobalHeartbeat:     opts.GlobalHeartbeat,
-		SnapshotThreshold:   opts.SnapshotThreshold,
-		AppSnapshotter:      opts.Snapshotter,
-		MaxEntriesPerAppend: opts.MaxEntriesPerAppend,
-		MaxInflightAppends:  opts.MaxInflightAppends,
-		MaxInflightBytes:    opts.MaxInflightBytes,
-		MaxSnapshotChunk:    opts.MaxSnapshotChunk,
-		MaxInflightBatches:  opts.MaxInflightBatches,
-		SessionTTL:          opts.SessionTTL,
-		Rand:                rand.New(rand.NewSource(seed)),
+		ID:                       opts.ID,
+		Cluster:                  opts.Cluster,
+		ClusterBootstrap:         types.NewConfig(opts.ClusterPeers...),
+		GlobalBootstrap:          types.NewConfig(opts.GlobalClusters...),
+		Storage:                  opts.Storage,
+		BatchSize:                opts.BatchSize,
+		BatchDelay:               opts.BatchDelay,
+		LocalHeartbeat:           opts.LocalHeartbeat,
+		GlobalHeartbeat:          opts.GlobalHeartbeat,
+		SnapshotThreshold:        opts.SnapshotThreshold,
+		AppSnapshotter:           opts.Snapshotter,
+		MaxEntriesPerAppend:      opts.MaxEntriesPerAppend,
+		MaxInflightAppends:       opts.MaxInflightAppends,
+		MaxInflightBytes:         opts.MaxInflightBytes,
+		MaxSnapshotChunk:         opts.MaxSnapshotChunk,
+		MaxInflightProposalBytes: opts.MaxInflightProposalBytes,
+		MaxInflightBatches:       opts.MaxInflightBatches,
+		SessionTTL:               opts.SessionTTL,
+		Rand:                     rand.New(rand.NewSource(seed)),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -140,6 +146,7 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 		commits:         make(chan Entry, buf),
 		globalCommits:   make(chan Entry, buf),
 		proposalWaiters: newProposalWaiters(),
+		readWaiters:     newReadWaiters(),
 	}
 	n.host = runtime.NewHost(cn, opts.Transport, runtime.Callbacks{
 		OnCommit: func(e Entry) {
@@ -154,7 +161,8 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 			}
 			n.globalCommits <- e
 		},
-		OnResolve: n.resolve,
+		OnResolve:  n.resolve,
+		OnReadDone: n.resolveRead,
 	})
 	return n, nil
 }
@@ -236,6 +244,7 @@ func (n *CRaftNode) JoinGlobal(contacts []NodeID) {
 // Stop halts the site (a crash; storage remains for restart).
 func (n *CRaftNode) Stop() {
 	n.markStopped()
+	n.markReadsStopped()
 	n.host.Stop()
 }
 

@@ -79,6 +79,46 @@ func TestPublicAPIProposeCommit(t *testing.T) {
 	}
 }
 
+func TestPublicAPILinearizableAndLeaseReads(t *testing.T) {
+	_, nodes, _ := startCluster(t, 5, 9)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	wIdx, err := nodes[0].Propose(ctx, []byte("w"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	// A linearizable read from any node returns an index covering the
+	// completed write, without writing a log entry.
+	for i, n := range nodes[:3] {
+		rIdx, err := n.Read(ctx)
+		if err != nil {
+			t.Fatalf("node %d Read: %v", i, err)
+		}
+		if rIdx < wIdx {
+			t.Fatalf("node %d read index %d below committed write %d", i, rIdx, wIdx)
+		}
+	}
+	// Lease and stale modes resolve too (lease falls back to ReadIndex
+	// until the lease is warm, so no timing assumptions here).
+	if _, err := nodes[1].ReadWith(ctx, hraft.ReadLeaseBased); err != nil {
+		t.Fatalf("lease read: %v", err)
+	}
+	if _, err := nodes[2].ReadWith(ctx, hraft.ReadStale); err != nil {
+		t.Fatalf("stale read: %v", err)
+	}
+	// The leader exposes per-peer replication progress.
+	var leaderStatus []hraft.PeerStatus
+	for _, n := range nodes {
+		if s := n.PeerStatus(); len(s) > 0 {
+			leaderStatus = s
+			break
+		}
+	}
+	if len(leaderStatus) == 0 {
+		t.Fatal("no node exposes peer status")
+	}
+}
+
 func TestPublicAPISessionExactlyOnce(t *testing.T) {
 	_, nodes, _ := startCluster(t, 3, 9)
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/harness"
+	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// ReadOptions parametrizes the read-path experiment: ReadIndex latency and
+// lease-read throughput against committed no-op proposals, on classic
+// Raft, Fast Raft and C-Raft (site-local reads).
+type ReadOptions struct {
+	// Reads is the number of measured reads per mode per trial.
+	Reads int
+	// Proposals is the number of committed no-op proposals measured as the
+	// write-path baseline.
+	Proposals int
+	// Trials is the number of independent seeded trials.
+	Trials int
+	// Seed is the base random seed.
+	Seed int64
+}
+
+// Defaults fills unset fields.
+func (o *ReadOptions) Defaults() {
+	if o.Reads == 0 {
+		o.Reads = 50
+	}
+	if o.Proposals == 0 {
+		o.Proposals = 20
+	}
+	if o.Trials == 0 {
+		o.Trials = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// ReadRow reports one protocol's read-path numbers.
+type ReadRow struct {
+	// Protocol names the core ("raft", "fastraft", "craft-local").
+	Protocol string
+	// ReadIndex summarizes per-read latency of quorum-confirmed reads
+	// issued closed-loop from a follower.
+	ReadIndex stats.Summary
+	// LeasePerSec is lease-read throughput (follower-forwarded, closed
+	// loop) in reads per virtual second.
+	LeasePerSec float64
+	// ProposePerSec is the committed no-op proposal baseline on the same
+	// topology.
+	ProposePerSec float64
+}
+
+// ReadSweep measures the read path on all three cores.
+func ReadSweep(opts ReadOptions) ([]ReadRow, error) {
+	opts.Defaults()
+	rows := make([]ReadRow, 0, 3)
+	for _, kind := range []harness.Kind{harness.KindRaft, harness.KindFastRaft} {
+		row := ReadRow{Protocol: kind.String()}
+		var lats []time.Duration
+		var leaseTime, propTime time.Duration
+		for trial := 0; trial < opts.Trials; trial++ {
+			l, lt, pt, err := readTrialFlat(opts, kind, opts.Seed+int64(trial))
+			if err != nil {
+				return nil, err
+			}
+			lats = append(lats, l...)
+			leaseTime += lt
+			propTime += pt
+		}
+		row.ReadIndex = stats.Summarize(lats)
+		row.LeasePerSec = stats.Throughput(opts.Reads*opts.Trials, leaseTime)
+		row.ProposePerSec = stats.Throughput(opts.Proposals*opts.Trials, propTime)
+		rows = append(rows, row)
+	}
+	crow := ReadRow{Protocol: "craft-local"}
+	var lats []time.Duration
+	var leaseTime, propTime time.Duration
+	for trial := 0; trial < opts.Trials; trial++ {
+		l, lt, pt, err := readTrialCraft(opts, opts.Seed+int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		lats = append(lats, l...)
+		leaseTime += lt
+		propTime += pt
+	}
+	crow.ReadIndex = stats.Summarize(lats)
+	crow.LeasePerSec = stats.Throughput(opts.Reads*opts.Trials, leaseTime)
+	crow.ProposePerSec = stats.Throughput(opts.Proposals*opts.Trials, propTime)
+	rows = append(rows, crow)
+	return rows, nil
+}
+
+// readTrialFlat runs one flat-cluster trial: per-read ReadIndex latencies,
+// total lease-read time, total proposal time.
+func readTrialFlat(opts ReadOptions, kind harness.Kind, seed int64) ([]time.Duration, time.Duration, time.Duration, error) {
+	c, err := harness.NewCluster(harness.Options{
+		Kind: kind, Nodes: siteNames(5), Seed: seed,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	leader, ok := c.WaitForLeader(30 * time.Second)
+	if !ok {
+		return nil, 0, 0, fmt.Errorf("reads(%s): no leader", kind)
+	}
+	pid, err := c.Propose(leader, []byte("warm"))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if _, ok := c.AwaitResolution(leader, pid, c.Sched.Now()+30*time.Second); !ok {
+		return nil, 0, 0, fmt.Errorf("reads(%s): warm-up write stalled", kind)
+	}
+	var follower types.NodeID
+	for _, id := range siteNames(5) {
+		if id != leader {
+			follower = id
+			break
+		}
+	}
+	read := func(cons types.ReadConsistency) (time.Duration, error) {
+		start := c.Sched.Now()
+		tok, err := c.Read(follower, cons)
+		if err != nil {
+			return 0, err
+		}
+		if d, ok := c.AwaitRead(follower, tok, c.Sched.Now()+30*time.Second); !ok || !d.OK {
+			return 0, fmt.Errorf("reads(%s): read not confirmed", kind)
+		}
+		return c.Sched.Now() - start, nil
+	}
+	var lats []time.Duration
+	for i := 0; i < opts.Reads; i++ {
+		l, err := read(types.ReadLinearizable)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		lats = append(lats, l)
+	}
+	if _, err := read(types.ReadLeaseBased); err != nil { // lease warm-up
+		return nil, 0, 0, err
+	}
+	leaseStart := c.Sched.Now()
+	for i := 0; i < opts.Reads; i++ {
+		if _, err := read(types.ReadLeaseBased); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	leaseTime := c.Sched.Now() - leaseStart
+	propStart := c.Sched.Now()
+	for i := 0; i < opts.Proposals; i++ {
+		pid, err := c.Propose(follower, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if _, ok := c.AwaitResolution(follower, pid, c.Sched.Now()+30*time.Second); !ok {
+			return nil, 0, 0, fmt.Errorf("reads(%s): proposal stalled", kind)
+		}
+	}
+	return lats, leaseTime, c.Sched.Now() - propStart, nil
+}
+
+// readTrialCraft mirrors readTrialFlat with site-local reads on a
+// two-cluster C-Raft deployment.
+func readTrialCraft(opts ReadOptions, seed int64) ([]time.Duration, time.Duration, time.Duration, error) {
+	c, err := harness.NewCraftCluster(harness.CraftOptions{
+		Clusters: []harness.ClusterSpec{
+			{ID: "cA", Sites: []types.NodeID{"a1", "a2", "a3"}, Region: "us-east-1"},
+			{ID: "cB", Sites: []types.NodeID{"b1", "b2", "b3"}, Region: "eu-west-1"},
+		},
+		Seed: seed,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if !c.WaitForLeaders(60 * time.Second) {
+		return nil, 0, 0, fmt.Errorf("reads(craft): no leaders")
+	}
+	site := types.NodeID("a1")
+	pid, err := c.Propose(site, []byte("warm"))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if _, ok := c.AwaitResolution(site, pid, c.Sched.Now()+30*time.Second); !ok {
+		return nil, 0, 0, fmt.Errorf("reads(craft): warm-up write stalled")
+	}
+	read := func(cons types.ReadConsistency) (time.Duration, error) {
+		start := c.Sched.Now()
+		tok, err := c.Read(site, cons)
+		if err != nil {
+			return 0, err
+		}
+		if d, ok := c.AwaitRead(site, tok, c.Sched.Now()+30*time.Second); !ok || !d.OK {
+			return 0, fmt.Errorf("reads(craft): read not confirmed")
+		}
+		return c.Sched.Now() - start, nil
+	}
+	var lats []time.Duration
+	for i := 0; i < opts.Reads; i++ {
+		l, err := read(types.ReadLinearizable)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		lats = append(lats, l)
+	}
+	if _, err := read(types.ReadLeaseBased); err != nil {
+		return nil, 0, 0, err
+	}
+	leaseStart := c.Sched.Now()
+	for i := 0; i < opts.Reads; i++ {
+		if _, err := read(types.ReadLeaseBased); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	leaseTime := c.Sched.Now() - leaseStart
+	propStart := c.Sched.Now()
+	for i := 0; i < opts.Proposals; i++ {
+		pid, err := c.Propose(site, nil)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if _, ok := c.AwaitResolution(site, pid, c.Sched.Now()+30*time.Second); !ok {
+			return nil, 0, 0, fmt.Errorf("reads(craft): proposal stalled")
+		}
+	}
+	return lats, leaseTime, c.Sched.Now() - propStart, nil
+}
+
+// PrintReads renders the read-path table.
+func PrintReads(w io.Writer, rows []ReadRow) {
+	fmt.Fprintln(w, "Read path: ReadIndex latency and lease throughput vs committed no-op proposals")
+	fmt.Fprintln(w, "protocol     readindex-latency                                  lease-reads/s  proposals/s  speedup")
+	for _, r := range rows {
+		speedup := 0.0
+		if r.ProposePerSec > 0 {
+			speedup = r.LeasePerSec / r.ProposePerSec
+		}
+		fmt.Fprintf(w, "%-12s %-50s %13.0f %12.1f %8.1fx\n",
+			r.Protocol, r.ReadIndex, r.LeasePerSec, r.ProposePerSec, speedup)
+	}
+}

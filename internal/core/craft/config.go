@@ -84,6 +84,10 @@ type Config struct {
 	// for local-log snapshot transfers (0 = whole snapshot in one
 	// message).
 	MaxSnapshotChunk int
+	// MaxInflightProposalBytes bounds the encoded payload bytes of a
+	// site's broadcast-but-unresolved local proposals (0 = unlimited); see
+	// fastraft.Config.MaxInflightProposalBytes.
+	MaxInflightProposalBytes int
 	// MaxInflightBatches caps this cluster's unresolved global batch
 	// proposals (0 = unlimited): batching pauses — locally committed
 	// entries simply wait unbatched — until earlier batches resolve, so a

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/hraft-io/hraft/internal/core/fastraft"
+	"github.com/hraft-io/hraft/internal/replica"
 	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
@@ -90,6 +91,15 @@ type Node struct {
 	// batching state above; local-log snapshots are cut no further than it.
 	appliedLocal types.Index
 
+	// Read plumbing (see read.go): craft-level read tokens mapped onto the
+	// two instances' token spaces, plus globally confirmed reads waiting
+	// for the local replay (gCommit) to cover their index.
+	readSeq        uint64
+	localReadMap   map[uint64]uint64
+	globalReadMap  map[uint64]uint64
+	globalReadWait []globalRead
+	readDone       []types.ReadDone
+
 	// metrics counts C-Raft-level events (batch throttling); globalBase
 	// accumulates the counters of torn-down global instances so demotion
 	// does not zero the "global." metrics.
@@ -121,6 +131,8 @@ func New(cfg Config) (*Node, error) {
 		deltaCommitted: make(map[uint64]bool),
 		internalPIDs:   make(map[types.ProposalID]struct{}),
 		ourBatches:     make(map[uint64]batchRecord),
+		localReadMap:   make(map[uint64]uint64),
+		globalReadMap:  make(map[uint64]uint64),
 		metrics:        stats.NewCounters(),
 		globalBase:     make(map[string]uint64),
 	}
@@ -129,24 +141,25 @@ func New(cfg Config) (*Node, error) {
 	// so C-Raft recovery survives a compacted local log. A stored snapshot
 	// is restored into n during fastraft.New (restore-on-open).
 	local, err := fastraft.New(fastraft.Config{
-		ID:                  cfg.ID,
-		Bootstrap:           cfg.ClusterBootstrap,
-		Storage:             cfg.Storage,
-		HeartbeatInterval:   cfg.LocalHeartbeat,
-		ElectionTimeoutMin:  cfg.LocalElectionMin,
-		ElectionTimeoutMax:  cfg.LocalElectionMax,
-		ProposalTimeout:     cfg.LocalProposalTimeout,
-		MemberTimeoutRounds: cfg.MemberTimeoutRounds,
-		SnapshotThreshold:   cfg.SnapshotThreshold,
-		Snapshotter:         craftSnapshotter{n},
-		MaxEntriesPerAppend: cfg.MaxEntriesPerAppend,
-		MaxInflightAppends:  cfg.MaxInflightAppends,
-		MaxInflightBytes:    cfg.MaxInflightBytes,
-		MaxSnapshotChunk:    cfg.MaxSnapshotChunk,
-		SessionTTL:          cfg.SessionTTL,
-		DisableFastTrack:    cfg.DisableFastTrack,
-		Rand:                cfg.Rand,
-		Layer:               types.LayerLocal,
+		ID:                       cfg.ID,
+		Bootstrap:                cfg.ClusterBootstrap,
+		Storage:                  cfg.Storage,
+		HeartbeatInterval:        cfg.LocalHeartbeat,
+		ElectionTimeoutMin:       cfg.LocalElectionMin,
+		ElectionTimeoutMax:       cfg.LocalElectionMax,
+		ProposalTimeout:          cfg.LocalProposalTimeout,
+		MemberTimeoutRounds:      cfg.MemberTimeoutRounds,
+		SnapshotThreshold:        cfg.SnapshotThreshold,
+		Snapshotter:              craftSnapshotter{n},
+		MaxEntriesPerAppend:      cfg.MaxEntriesPerAppend,
+		MaxInflightAppends:       cfg.MaxInflightAppends,
+		MaxInflightBytes:         cfg.MaxInflightBytes,
+		MaxSnapshotChunk:         cfg.MaxSnapshotChunk,
+		MaxInflightProposalBytes: cfg.MaxInflightProposalBytes,
+		SessionTTL:               cfg.SessionTTL,
+		DisableFastTrack:         cfg.DisableFastTrack,
+		Rand:                     cfg.Rand,
+		Layer:                    types.LayerLocal,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("craft: local instance: %w", err)
@@ -247,6 +260,20 @@ func (n *Node) Metrics() map[string]uint64 {
 	}
 	n.metrics.MergeInto(out, "")
 	return out
+}
+
+// PeerStatus snapshots the local instance's per-peer replication progress
+// (empty unless this site leads its cluster).
+func (n *Node) PeerStatus() []replica.PeerStatus { return n.local.PeerStatus() }
+
+// GlobalPeerStatus snapshots the global instance's per-peer replication
+// progress (empty unless this site runs the global instance and leads the
+// ring).
+func (n *Node) GlobalPeerStatus() []replica.PeerStatus {
+	if n.global == nil {
+		return nil
+	}
+	return n.global.PeerStatus()
 }
 
 // GlobalLogEntry returns the replayed global-log entry at idx, if known.
@@ -424,6 +451,9 @@ func (n *Node) pump(now time.Duration) {
 		if n.drainLocal(now) {
 			progress = true
 		}
+		if n.drainReads() {
+			progress = true
+		}
 		if n.makeBatches(now) {
 			progress = true
 		}
@@ -524,6 +554,10 @@ func (n *Node) startGlobal(now time.Duration) {
 // dropped: they were never externalized, so the successor's replayed state
 // is complete.
 func (n *Node) stopGlobal() {
+	// Unconfirmed global reads die with the instance; confirmed ones keep
+	// waiting for the replay, which every site advances as a follower too.
+	n.drainReads()
+	n.failGlobalReads()
 	for k, v := range n.global.Metrics() {
 		n.globalBase[k] += v
 	}

@@ -79,6 +79,13 @@ type Config struct {
 	// broadcast as earlier ones resolve, so a proposer burst cannot spray
 	// sparse insertions across arbitrary log indices.
 	MaxInflightProposals int
+	// MaxInflightProposalBytes bounds the encoded payload bytes
+	// (types.EntryWireSize) of this site's broadcast-but-unresolved
+	// proposals (0 = unlimited) — the byte-based mirror of
+	// MaxInflightProposals, so a burst of large entries is throttled as
+	// early as a burst of many small ones. The first proposal always
+	// broadcasts, so a single oversized entry cannot wedge the queue.
+	MaxInflightProposalBytes int
 	// SessionTTL expires client sessions idle longer than this: the leader
 	// periodically commits clock entries and every replica drops the same
 	// timed-out sessions when applying them. 0 disables expiry (sessions

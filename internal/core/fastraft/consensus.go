@@ -46,17 +46,50 @@ func (n *Node) ProposeEntryPID(now time.Duration, e types.Entry, pid types.Propo
 		return pid
 	}
 	e.PID = pid
-	p := &pendingProposal{entry: e.Clone(), deadline: now + n.cfg.ProposalTimeout}
+	p := &pendingProposal{
+		entry:    e.Clone(),
+		deadline: now + n.cfg.ProposalTimeout,
+		size:     types.EntryWireSize(e),
+	}
 	n.pending[pid] = p
-	if cap := n.cfg.MaxInflightProposals; cap > 0 && n.inflightProposals >= cap {
+	if !n.proposalWindowOpen(p) {
 		p.queued = true
 		n.proposalQueue = append(n.proposalQueue, pid)
 		n.metrics.Inc("fastraft.proposals_queued")
+		if n.byteWindowClosed(p) {
+			// Attribute the queueing: the byte budget (not the count cap)
+			// held this proposal back.
+			n.metrics.Inc("fastraft.proposals_byte_queued")
+		}
 		return pid
 	}
-	n.inflightProposals++
-	n.broadcastProposal(p)
+	n.admitProposal(p)
 	return pid
+}
+
+// proposalWindowOpen applies both proposer caps: the message-count window
+// (MaxInflightProposals) and the byte window (MaxInflightProposalBytes,
+// entries sized at encode time).
+func (n *Node) proposalWindowOpen(p *pendingProposal) bool {
+	if cap := n.cfg.MaxInflightProposals; cap > 0 && n.inflightProposals >= cap {
+		return false
+	}
+	return !n.byteWindowClosed(p)
+}
+
+// byteWindowClosed reports whether the byte budget blocks p. The first
+// proposal always broadcasts so a single entry larger than the whole
+// budget still makes progress.
+func (n *Node) byteWindowClosed(p *pendingProposal) bool {
+	cap := n.cfg.MaxInflightProposalBytes
+	return cap > 0 && n.inflightProposals > 0 && n.inflightProposalBytes+p.size > cap
+}
+
+// admitProposal charges the window and broadcasts.
+func (n *Node) admitProposal(p *pendingProposal) {
+	n.inflightProposals++
+	n.inflightProposalBytes += p.size
+	n.broadcastProposal(p)
 }
 
 // resolvePending resolves a tracked local proposal, releasing its window
@@ -69,26 +102,29 @@ func (n *Node) resolvePending(pid types.ProposalID, idx types.Index) {
 	delete(n.pending, pid)
 	if !p.queued {
 		n.inflightProposals--
+		n.inflightProposalBytes -= p.size
 	}
 	n.resolved = append(n.resolved, types.Resolution{PID: pid, Index: idx})
 	n.admitProposals()
 }
 
-// admitProposals broadcasts queued proposals while the in-flight window
-// has room, in submission order.
+// admitProposals broadcasts queued proposals while the in-flight window —
+// count and bytes — has room, in submission order.
 func (n *Node) admitProposals() {
-	cap := n.cfg.MaxInflightProposals
-	for len(n.proposalQueue) > 0 && (cap == 0 || n.inflightProposals < cap) {
+	for len(n.proposalQueue) > 0 {
 		pid := n.proposalQueue[0]
-		n.proposalQueue = n.proposalQueue[1:]
 		p, ok := n.pending[pid]
 		if !ok || !p.queued {
+			n.proposalQueue = n.proposalQueue[1:]
 			continue // resolved (or already admitted) while queued
 		}
+		if !n.proposalWindowOpen(p) {
+			return
+		}
+		n.proposalQueue = n.proposalQueue[1:]
 		p.queued = false
 		p.deadline = n.now + n.cfg.ProposalTimeout
-		n.inflightProposals++
-		n.broadcastProposal(p)
+		n.admitProposal(p)
 	}
 }
 
@@ -345,6 +381,7 @@ func (n *Node) leaderTick() {
 	if n.role != types.RoleLeader {
 		return
 	}
+	n.reads.Flush()
 	n.maybeSessionClock()
 	n.processMembership()
 	if n.role != types.RoleLeader {
@@ -460,6 +497,11 @@ func (n *Node) broadcastAppend() {
 	cfg := n.Config()
 	n.aeRound++
 	lv, rc := n.logView(), n.round()
+	if n.readMgr != nil {
+		// Seal the pending ReadIndex batch onto this round; a quorum of
+		// acks echoing the ID confirms every read in it at once.
+		rc.ReadCtx = n.readMgr.StampRound(n.now)
+	}
 	targets := cfg.Others(n.cfg.ID)
 	targets = append(targets, sortedKeys(n.nonvoting)...)
 	for _, peer := range targets {
@@ -487,6 +529,7 @@ func (n *Node) broadcastAppend() {
 			n.send(peer, m)
 		}
 	}
+	n.lastBroadcastHead = n.log.LastLeaderIndex()
 }
 
 func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
@@ -503,7 +546,11 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 		n.send(from, resp)
 		return
 	}
+	// Echo the read-batch ID: a quorum of echoes confirms the leader's
+	// pending reads without any log write.
+	resp.ReadCtx = m.ReadCtx
 	n.leaderID = m.LeaderID
+	n.lastLeaderContact = n.now
 	n.lonelyElections = 0
 	n.resetElectionTimer()
 	// Entries at or below our snapshot boundary are committed and match the
@@ -599,6 +646,12 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 		pr.RejectAppend(m.LastLogIndex)
 	} else {
 		pr.AckAppend(m.MatchIndex, n.now)
+	}
+	// Any same-term response confirms leadership at the round's dispatch
+	// time — the consistency-check outcome is irrelevant to reads.
+	if n.readMgr != nil && m.ReadCtx != 0 {
+		n.readMgr.ObserveAck(from, m.ReadCtx)
+		n.reads.Flush()
 	}
 	// Stream continuation: the peer holds a partial snapshot stream at our
 	// boundary (from a predecessor leader); seed the transfer from its

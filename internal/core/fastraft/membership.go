@@ -188,9 +188,16 @@ func (n *Node) processMembership() {
 		n.appendLeaderEntry(types.ConfigEntry(cfg.WithoutMember(site), types.ProposalID{}))
 		return
 	}
-	// Then at most one join whose catch-up has completed.
+	// Then at most one join whose catch-up has completed: the site has
+	// acknowledged everything dispatched through the previous broadcast
+	// round (which covers everything committed as of that round). The live
+	// head — and, on the fast track, the live commit index with it —
+	// advances at every tick just before this check runs, so judging
+	// against either would starve joins forever under continuous proposal
+	// traffic; the one-round tail replicates normally once the site is a
+	// member.
 	for _, site := range sortedKeys(n.nonvoting) {
-		if m := n.progress.Match(site); m >= n.commitIndex && m >= n.log.LastLeaderIndex() {
+		if m := n.progress.Match(site); m >= n.lastBroadcastHead {
 			n.appendLeaderEntry(types.ConfigEntry(cfg.WithMember(site), types.ProposalID{}))
 			return
 		}
@@ -223,6 +230,11 @@ func (n *Node) detectSilentLeaves() {
 // members.
 func (n *Node) onConfigChangedAsLeader() {
 	cfg := n.Config()
+	// Membership change: the read quorum is counted over the new
+	// configuration from here on, and the old quorum's lease is void.
+	if n.readMgr != nil {
+		n.readMgr.SetMembership(cfg.Members)
+	}
 	for _, peer := range cfg.Members {
 		n.progress.Ensure(peer, n.commitIndex+1)
 	}

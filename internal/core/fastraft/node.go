@@ -33,6 +33,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/readpath"
 	"github.com/hraft-io/hraft/internal/replica"
 	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/stats"
@@ -48,6 +49,9 @@ type pendingProposal struct {
 	index    types.Index
 	deadline time.Duration
 	queued   bool
+	// size is the entry's wire encoding size, charged against
+	// Config.MaxInflightProposalBytes while broadcast.
+	size int
 }
 
 // Node is a Fast Raft site: a sans-io state machine driven by Step/Tick.
@@ -99,14 +103,23 @@ type Node struct {
 	pendingJoin map[types.NodeID]bool
 	// removeQueue holds members awaiting a removal configuration entry.
 	removeQueue []types.NodeID
+	// lastBroadcastHead is the leader-approved head as of the previous
+	// broadcast round: the most a peer can have acknowledged by now. Join
+	// catch-up is judged against it — judging against the live head would
+	// starve joins forever under continuous proposals, because the decide
+	// loop advances the head at every tick just before the check.
+	lastBroadcastHead types.Index
 
 	// proposer state. inflightProposals counts pending proposals that have
-	// been broadcast; proposalQueue holds the PIDs waiting for the window
-	// (Config.MaxInflightProposals) in FIFO order.
-	proposalSeq       uint64
-	pending           map[types.ProposalID]*pendingProposal
-	inflightProposals int
-	proposalQueue     []types.ProposalID
+	// been broadcast, inflightProposalBytes their encoded payload bytes;
+	// proposalQueue holds the PIDs waiting for the window
+	// (Config.MaxInflightProposals / MaxInflightProposalBytes) in FIFO
+	// order.
+	proposalSeq           uint64
+	pending               map[types.ProposalID]*pendingProposal
+	inflightProposals     int
+	inflightProposalBytes int
+	proposalQueue         []types.ProposalID
 
 	// joiner state (site not yet in the configuration).
 	joinDeadline time.Duration
@@ -147,6 +160,25 @@ type Node struct {
 	// restarts the clock instead of inheriting the dead stream's start.
 	installBoundary types.Index
 	installCheck    uint32
+
+	// Linearizable read state (see read.go and internal/readpath). reads
+	// is the node-lifetime frontend; readMgr is leader-only, like the
+	// tracker; readFloor is this term's no-op index, the completeness
+	// floor below which a fresh leader cannot vouch for prior commits.
+	// lastLeaderContact backs the election-stickiness vote refusal the
+	// lease safety argument depends on.
+	reads             *readpath.Frontend
+	readMgr           *readpath.Manager
+	readFloor         types.Index
+	lastLeaderContact time.Duration
+	// bootGraceArm/bootGraceUntil implement the post-restart vote-refusal
+	// window: a site restarted with persisted state may have acknowledged
+	// a lease round just before crashing, and its volatile stickiness
+	// state is gone — so it refuses votes for one minimum election
+	// timeout after its first post-boot activity, by which time any lease
+	// it could have underwritten has expired.
+	bootGraceArm   bool
+	bootGraceUntil time.Duration
 
 	// sessions is the replicated client-session registry, fed by committed
 	// entries in log order (identical on every replica) and consulted at
@@ -190,6 +222,9 @@ func New(cfg Config) (*Node, error) {
 		commitHist:  stats.NewTimingHist("hist.commit_latency", stats.DefaultLatencyBounds()...),
 		installHist: stats.NewTimingHist("hist.snapshot_install", stats.DefaultLatencyBounds()...),
 	}
+	// A site with persisted consensus state may have underwritten a lease
+	// before it crashed; see bootGraceArm.
+	n.bootGraceArm = hs.Term > 0
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
 		n.snap = snap
@@ -203,6 +238,7 @@ func New(cfg Config) (*Node, error) {
 			}
 		}
 	}
+	n.reads = n.newReadFrontend()
 	n.resetElectionTimer()
 	return n, nil
 }
@@ -272,6 +308,16 @@ func (n *Node) Metrics() map[string]uint64 {
 // tests and diagnostics only.
 func (n *Node) Progress() *replica.Tracker { return n.progress }
 
+// PeerStatus snapshots every tracked peer's replication progress (empty
+// unless this node leads): state, match/next, srtt/rttvar and inflight
+// window occupancy.
+func (n *Node) PeerStatus() []replica.PeerStatus {
+	if n.progress == nil {
+		return nil
+	}
+	return n.progress.Status()
+}
+
 // Sessions exposes the replicated client-session registry (tests, C-Raft
 // and diagnostics; callers must not mutate it).
 func (n *Node) Sessions() *session.Registry { return n.sessions }
@@ -335,13 +381,24 @@ func (n *Node) NextDeadline() time.Duration {
 		}
 		add(p.deadline)
 	}
+	n.reads.EachDeadline(add)
 	add(n.joinDeadline)
 	return d
+}
+
+// armBootGrace anchors the post-restart vote-refusal window at the
+// site's first post-boot activity.
+func (n *Node) armBootGrace(now time.Duration) {
+	if n.bootGraceArm {
+		n.bootGraceArm = false
+		n.bootGraceUntil = now + n.cfg.ElectionTimeoutMin
+	}
 }
 
 // Tick advances time; expired deadlines fire.
 func (n *Node) Tick(now time.Duration) {
 	n.now = now
+	n.armBootGrace(now)
 	switch n.role {
 	case types.RoleLeader:
 		if n.tickDeadline != 0 && now >= n.tickDeadline {
@@ -354,6 +411,7 @@ func (n *Node) Tick(now time.Duration) {
 		}
 	}
 	n.retryProposals(now)
+	n.reads.Retry(now)
 	n.tickJoiner(now)
 	n.maybeCompact()
 }
@@ -361,6 +419,7 @@ func (n *Node) Tick(now time.Duration) {
 // Step delivers one message.
 func (n *Node) Step(now time.Duration, env types.Envelope) {
 	n.now = now
+	n.armBootGrace(now)
 	if !n.acceptFrom(env.From, env.Msg) {
 		return
 	}
@@ -391,6 +450,10 @@ func (n *Node) Step(now time.Duration, env types.Envelope) {
 		n.onJoinAccepted(m)
 	case types.LeaveRequest:
 		n.onLeaveRequest(m)
+	case types.ReadRequest:
+		n.reads.OnReadRequest(env.From, m, n.now)
+	case types.ReadReply:
+		n.reads.OnReadReply(m, n.now)
 	default:
 		// Ignore unknown message types.
 	}
@@ -475,6 +538,10 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 	n.votes = nil
 	n.recoveryVotes = nil
 	n.tally = nil
+	// Step-down fails every leader-side read before the manager goes: local
+	// reads fall back to the forward path, remote origins are told to retry.
+	n.reads.FailLeaderReads(n.now)
+	n.readMgr = nil
 	n.progress = nil
 	n.snapEnc.Release()
 	n.appendedAt = nil
@@ -549,6 +616,26 @@ func (n *Node) startElection() {
 }
 
 func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
+	// Election stickiness (the lease-read safety premise): a follower that
+	// has heard from a live leader within the minimum election timeout
+	// refuses to participate in elections — it neither grants the vote nor
+	// adopts the candidate's term, so a disruptive candidate cannot depose
+	// a leader whose lease quorum is still fresh. The refusal is answered
+	// at our own (lower) term so the candidate's lonely-election accounting
+	// still sees a response.
+	if m.Term >= n.term && n.role == types.RoleFollower &&
+		n.leaderID != types.None && n.lastLeaderContact != 0 &&
+		n.now-n.lastLeaderContact < n.cfg.ElectionTimeoutMin {
+		n.send(from, types.RequestVoteResp{Term: n.term})
+		return
+	}
+	// Post-restart grace: the stickiness state above is volatile, so a
+	// voter restarted inside a lease window it helped establish would
+	// otherwise grant immediately (see bootGraceArm).
+	if m.Term >= n.term && n.now < n.bootGraceUntil {
+		n.send(from, types.RequestVoteResp{Term: n.term})
+		return
+	}
 	if m.Term > n.term {
 		// Sites that receive RequestVote immediately move to the new term.
 		n.becomeFollower(m.Term, types.None)
@@ -636,10 +723,20 @@ func (n *Node) becomeLeader() {
 	}
 	n.recoveryVotes = nil
 	n.votes = nil
+	// The read manager shares the tracker's srtt estimates for lease
+	// deration and the node's counter set for observability.
+	n.readMgr = n.newReadManager()
+	n.readMgr.SetMembership(cfg.Members)
 	n.recoverDecide()
 	// Establish a commit point in the new term.
 	n.appendLeaderEntry(types.Entry{Kind: types.KindNoop})
 	n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
+	// Reads cannot be vouched for below this term's no-op: commitIndex may
+	// understate what previous leaders committed until it commits.
+	n.readFloor = n.log.LastLeaderIndex()
+	n.lastBroadcastHead = n.log.LastLeaderIndex()
+	// Reads issued while searching for a leader are now ours to serve.
+	n.reads.Retry(n.now)
 	// First heartbeat immediately; then periodic.
 	n.leaderTick()
 	n.tickDeadline = n.now + n.cfg.HeartbeatInterval

@@ -107,6 +107,10 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		return
 	}
 	n.leaderID = m.LeaderID
+	// Chunk streams can be the only leader traffic a catching-up follower
+	// sees for a long while; they count as leader contact for election
+	// stickiness like any append round.
+	n.lastLeaderContact = n.now
 	n.lonelyElections = 0
 	n.resetElectionTimer()
 	if boundary <= n.commitIndex {

@@ -76,6 +76,10 @@ type Options struct {
 	// MaxInflightProposals caps unresolved broadcast proposals per node
 	// (Fast Raft only; 0 = unlimited).
 	MaxInflightProposals int
+	// MaxInflightProposalBytes bounds the encoded payload bytes of
+	// broadcast-but-unresolved proposals per node (Fast Raft only; 0 =
+	// unlimited).
+	MaxInflightProposalBytes int
 	// SessionTTL expires idle client sessions (0 = no expiry).
 	SessionTTL time.Duration
 	// DisableFastTrack forces Fast Raft onto the classic track (ablation).
@@ -100,11 +104,19 @@ type Host struct {
 	// resolved records the resolution index of every tracked proposal, so
 	// tests can await and inspect outcomes (0 = session-rejected).
 	resolved map[types.ProposalID]types.Index
+	// readDone records the resolution of every tracked read.
+	readDone map[uint64]types.ReadDone
 	// OnResolve, when set, observes each local proposal resolution.
 	OnResolve func(pid types.ProposalID, at, latency time.Duration)
 	// OnCommit, when set, observes every entry this node applies (the
 	// state-machine view: session duplicates never appear here).
 	OnCommit func(e types.Entry)
+}
+
+// ReadResult returns the resolution of a tracked read, if it resolved.
+func (h *Host) ReadResult(token uint64) (types.ReadDone, bool) {
+	d, ok := h.readDone[token]
+	return d, ok
 }
 
 // Resolved returns the resolution index of a tracked proposal, if it
@@ -180,6 +192,7 @@ func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error
 		bootstrap:    bootstrap.Clone(),
 		proposeStart: make(map[types.ProposalID]time.Duration),
 		resolved:     make(map[types.ProposalID]types.Index),
+		readDone:     make(map[uint64]types.ReadDone),
 	}
 	m, err := c.makeMachine(id, bootstrap, h.store)
 	if err != nil {
@@ -221,23 +234,24 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 		})
 	case KindFastRaft:
 		return fastraft.New(fastraft.Config{
-			ID:                   id,
-			Bootstrap:            bootstrap,
-			Storage:              store,
-			HeartbeatInterval:    c.opts.HeartbeatInterval,
-			ElectionTimeoutMin:   c.opts.ElectionTimeoutMin,
-			ElectionTimeoutMax:   c.opts.ElectionTimeoutMax,
-			ProposalTimeout:      c.opts.ProposalTimeout,
-			MemberTimeoutRounds:  c.opts.MemberTimeoutRounds,
-			SnapshotThreshold:    c.opts.SnapshotThreshold,
-			MaxEntriesPerAppend:  c.opts.MaxEntriesPerAppend,
-			MaxInflightAppends:   c.opts.MaxInflightAppends,
-			MaxInflightBytes:     c.opts.MaxInflightBytes,
-			MaxSnapshotChunk:     c.opts.MaxSnapshotChunk,
-			MaxInflightProposals: c.opts.MaxInflightProposals,
-			SessionTTL:           c.opts.SessionTTL,
-			DisableFastTrack:     c.opts.DisableFastTrack,
-			Rand:                 nodeRand,
+			ID:                       id,
+			Bootstrap:                bootstrap,
+			Storage:                  store,
+			HeartbeatInterval:        c.opts.HeartbeatInterval,
+			ElectionTimeoutMin:       c.opts.ElectionTimeoutMin,
+			ElectionTimeoutMax:       c.opts.ElectionTimeoutMax,
+			ProposalTimeout:          c.opts.ProposalTimeout,
+			MemberTimeoutRounds:      c.opts.MemberTimeoutRounds,
+			SnapshotThreshold:        c.opts.SnapshotThreshold,
+			MaxEntriesPerAppend:      c.opts.MaxEntriesPerAppend,
+			MaxInflightAppends:       c.opts.MaxInflightAppends,
+			MaxInflightBytes:         c.opts.MaxInflightBytes,
+			MaxSnapshotChunk:         c.opts.MaxSnapshotChunk,
+			MaxInflightProposals:     c.opts.MaxInflightProposals,
+			MaxInflightProposalBytes: c.opts.MaxInflightProposalBytes,
+			SessionTTL:               c.opts.SessionTTL,
+			DisableFastTrack:         c.opts.DisableFastTrack,
+			Rand:                     nodeRand,
 		})
 	default:
 		return nil, fmt.Errorf("harness: unknown kind %v", c.opts.Kind)
@@ -276,6 +290,9 @@ func (c *Cluster) drain(h *Host) {
 		if h.OnResolve != nil {
 			h.OnResolve(res.PID, now, lat)
 		}
+	}
+	for _, d := range h.machine.TakeReadDone() {
+		h.readDone[d.ID] = d
 	}
 	c.schedule(h)
 }
@@ -368,6 +385,35 @@ func (c *Cluster) Propose(id types.NodeID, data []byte) (types.ProposalID, error
 	h.proposeStart[pid] = now
 	c.drain(h)
 	return pid, nil
+}
+
+// Read registers a read on the given node under the given consistency
+// mode (0 = linearizable); await its linearization index with AwaitRead.
+func (c *Cluster) Read(id types.NodeID, consistency types.ReadConsistency) (uint64, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return 0, fmt.Errorf("harness: node %s not running", id)
+	}
+	token := h.machine.Read(c.Sched.Now(), consistency)
+	c.drain(h)
+	return token, nil
+}
+
+// AwaitRead runs the simulation until the read tracked on node id
+// resolves, returning its outcome.
+func (c *Cluster) AwaitRead(id types.NodeID, token uint64, deadline time.Duration) (types.ReadDone, bool) {
+	h := c.hosts[id]
+	if h == nil {
+		return types.ReadDone{}, false
+	}
+	ok := c.RunUntil(func() bool {
+		_, done := h.readDone[token]
+		return done
+	}, deadline)
+	if !ok {
+		return types.ReadDone{}, false
+	}
+	return h.readDone[token], true
 }
 
 // OpenSession proposes a client-session registration from the given node;
@@ -470,6 +516,7 @@ func (c *Cluster) Restart(id types.NodeID) error {
 	h.alive = true
 	h.proposeStart = make(map[types.ProposalID]time.Duration)
 	h.resolved = make(map[types.ProposalID]types.Index)
+	h.readDone = make(map[uint64]types.ReadDone)
 	c.Net.Register(id, func(env types.Envelope) {
 		if !h.alive {
 			return

@@ -91,11 +91,19 @@ type CraftHost struct {
 	proposeStart map[types.ProposalID]time.Duration
 	// resolved records the resolution index of every tracked proposal.
 	resolved map[types.ProposalID]types.Index
+	// readDone records the resolution of every tracked read.
+	readDone map[uint64]types.ReadDone
 	// OnResolve observes local application proposal resolutions.
 	OnResolve func(pid types.ProposalID, at, latency time.Duration)
 	// OnCommit, when set, observes every locally applied entry (session
 	// duplicates never appear here).
 	OnCommit func(e types.Entry)
+}
+
+// ReadResult returns the resolution of a tracked read, if it resolved.
+func (h *CraftHost) ReadResult(token uint64) (types.ReadDone, bool) {
+	d, ok := h.readDone[token]
+	return d, ok
 }
 
 // Resolved returns the resolution index of a tracked proposal, if it
@@ -194,6 +202,7 @@ func (c *CraftCluster) addSite(spec ClusterSpec, site types.NodeID, globalBootst
 		store:        storage.NewMemory(),
 		proposeStart: make(map[types.ProposalID]time.Duration),
 		resolved:     make(map[types.ProposalID]types.Index),
+		readDone:     make(map[uint64]types.ReadDone),
 	}
 	node, err := c.makeNode(spec, site, globalBootstrap, h.store)
 	if err != nil {
@@ -284,6 +293,9 @@ func (c *CraftCluster) drain(h *CraftHost) {
 		if h.OnResolve != nil {
 			h.OnResolve(res.PID, now, lat)
 		}
+	}
+	for _, d := range h.node.TakeReadDone() {
+		h.readDone[d.ID] = d
 	}
 	c.syncEndpoint(h)
 	c.schedule(h)
@@ -446,6 +458,47 @@ func (c *CraftCluster) ProposeSession(id types.NodeID, sid types.SessionID, seq 
 
 // AwaitResolution runs the simulation until the proposal tracked at site id
 // resolves, returning its resolution index.
+// Read registers a site-local read on the given site under the given
+// consistency mode; await its local linearization index with AwaitRead.
+func (c *CraftCluster) Read(id types.NodeID, consistency types.ReadConsistency) (uint64, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return 0, fmt.Errorf("harness: site %s not running", id)
+	}
+	token := h.node.Read(c.Sched.Now(), consistency)
+	c.drain(h)
+	return token, nil
+}
+
+// ReadGlobal registers a global-ring read on the given site (which must
+// lead its cluster); await its global linearization index with AwaitRead.
+func (c *CraftCluster) ReadGlobal(id types.NodeID, consistency types.ReadConsistency) (uint64, error) {
+	h := c.hosts[id]
+	if h == nil || !h.alive {
+		return 0, fmt.Errorf("harness: site %s not running", id)
+	}
+	token := h.node.ReadGlobal(c.Sched.Now(), consistency)
+	c.drain(h)
+	return token, nil
+}
+
+// AwaitRead runs the simulation until the read tracked on site id
+// resolves, returning its outcome.
+func (c *CraftCluster) AwaitRead(id types.NodeID, token uint64, deadline time.Duration) (types.ReadDone, bool) {
+	h := c.hosts[id]
+	if h == nil {
+		return types.ReadDone{}, false
+	}
+	ok := c.RunUntil(func() bool {
+		_, done := h.readDone[token]
+		return done
+	}, deadline)
+	if !ok {
+		return types.ReadDone{}, false
+	}
+	return h.readDone[token], true
+}
+
 func (c *CraftCluster) AwaitResolution(id types.NodeID, pid types.ProposalID, deadline time.Duration) (types.Index, bool) {
 	h := c.hosts[id]
 	if h == nil {
@@ -507,6 +560,7 @@ func (c *CraftCluster) Restart(id types.NodeID) error {
 	h.alive = true
 	h.proposeStart = make(map[types.ProposalID]time.Duration)
 	h.resolved = make(map[types.ProposalID]types.Index)
+	h.readDone = make(map[uint64]types.ReadDone)
 	c.Net.Register(id, func(env types.Envelope) {
 		if !h.alive {
 			return

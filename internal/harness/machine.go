@@ -42,4 +42,9 @@ type Machine interface {
 	TakeResolved() []types.Resolution
 	// PendingProposals counts unresolved local proposals.
 	PendingProposals() int
+	// Read registers a linearizable read under the given consistency mode
+	// and returns its token (see internal/readpath).
+	Read(now time.Duration, c types.ReadConsistency) uint64
+	// TakeReadDone drains resolved reads.
+	TakeReadDone() []types.ReadDone
 }

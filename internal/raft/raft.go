@@ -20,6 +20,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
+	"github.com/hraft-io/hraft/internal/readpath"
 	"github.com/hraft-io/hraft/internal/replica"
 	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/stats"
@@ -193,6 +194,25 @@ type Node struct {
 	installBoundary types.Index
 	installCheck    uint32
 
+	// Linearizable read state (see read.go and internal/readpath). reads
+	// is the node-lifetime frontend; readMgr is leader-only, like the
+	// tracker; readFloor is this term's no-op index, the completeness
+	// floor below which a fresh leader cannot vouch for prior commits.
+	// lastLeaderContact backs the election-stickiness vote refusal the
+	// lease safety argument depends on.
+	reads             *readpath.Frontend
+	readMgr           *readpath.Manager
+	readFloor         types.Index
+	lastLeaderContact time.Duration
+	// bootGraceArm/bootGraceUntil implement the post-restart vote-refusal
+	// window: a node restarted with persisted state may have acknowledged
+	// a lease round just before crashing, and its volatile stickiness
+	// state is gone — so it refuses votes for one minimum election
+	// timeout after its first post-boot activity, by which time any lease
+	// it could have underwritten has expired.
+	bootGraceArm   bool
+	bootGraceUntil time.Duration
+
 	// sessions is the replicated client-session registry (see
 	// internal/session), consulted at append and apply time for
 	// exactly-once semantics and snapshotted with the log prefix.
@@ -234,6 +254,9 @@ func New(cfg Config) (*Node, error) {
 		commitHist:  stats.NewTimingHist("hist.commit_latency", stats.DefaultLatencyBounds()...),
 		installHist: stats.NewTimingHist("hist.snapshot_install", stats.DefaultLatencyBounds()...),
 	}
+	// A node with persisted consensus state may have underwritten a lease
+	// before it crashed; see bootGraceArm.
+	n.bootGraceArm = hs.Term > 0
 	if hasSnap {
 		// Snapshots cover only committed entries; resume committing above.
 		n.snap = snap
@@ -247,6 +270,7 @@ func New(cfg Config) (*Node, error) {
 			}
 		}
 	}
+	n.reads = n.newReadFrontend()
 	n.resetElectionTimer()
 	return n, nil
 }
@@ -304,6 +328,16 @@ func (n *Node) Metrics() map[string]uint64 {
 // tests and diagnostics only.
 func (n *Node) Progress() *replica.Tracker { return n.progress }
 
+// PeerStatus snapshots every tracked peer's replication progress (empty
+// unless this node leads): state, match/next, srtt/rttvar and inflight
+// window occupancy.
+func (n *Node) PeerStatus() []replica.PeerStatus {
+	if n.progress == nil {
+		return nil
+	}
+	return n.progress.Status()
+}
+
 // TakeOutbox drains messages to send.
 func (n *Node) TakeOutbox() []types.Envelope {
 	out := n.outbox
@@ -343,6 +377,7 @@ func (n *Node) NextDeadline() time.Duration {
 	for _, p := range n.pending {
 		add(p.deadline)
 	}
+	n.reads.EachDeadline(add)
 	return d
 }
 
@@ -414,9 +449,19 @@ func (n *Node) submit(e types.Entry) {
 	// Leader unknown: the retry timer will re-submit.
 }
 
+// armBootGrace anchors the post-restart vote-refusal window at the
+// node's first post-boot activity.
+func (n *Node) armBootGrace(now time.Duration) {
+	if n.bootGraceArm {
+		n.bootGraceArm = false
+		n.bootGraceUntil = now + n.cfg.ElectionTimeoutMin
+	}
+}
+
 // Tick advances time; expired deadlines fire.
 func (n *Node) Tick(now time.Duration) {
 	n.now = now
+	n.armBootGrace(now)
 	switch n.role {
 	case types.RoleLeader:
 		if n.tickDeadline != 0 && now >= n.tickDeadline {
@@ -429,6 +474,7 @@ func (n *Node) Tick(now time.Duration) {
 		}
 	}
 	n.retryProposals(now)
+	n.reads.Retry(now)
 	n.maybeCompact()
 }
 
@@ -451,6 +497,7 @@ func (n *Node) retryProposals(now time.Duration) {
 // Step delivers one message.
 func (n *Node) Step(now time.Duration, env types.Envelope) {
 	n.now = now
+	n.armBootGrace(now)
 	switch m := env.Msg.(type) {
 	case types.ClientPropose:
 		n.onClientPropose(env.From, m)
@@ -468,6 +515,10 @@ func (n *Node) Step(now time.Duration, env types.Envelope) {
 		n.onInstallSnapshotReply(env.From, m)
 	case types.CommitNotify:
 		n.onCommitNotify(m)
+	case types.ReadRequest:
+		n.reads.OnReadRequest(env.From, m, n.now)
+	case types.ReadReply:
+		n.reads.OnReadReply(m, n.now)
 	default:
 		// Unknown messages (e.g. Fast Raft traffic misrouted in tests) are
 		// ignored; classic Raft has no use for them.
@@ -517,6 +568,10 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 		n.leaderID = types.None
 	}
 	n.votes = nil
+	// Step-down fails every leader-side read before the manager goes: local
+	// reads fall back to the forward path, remote origins are told to retry.
+	n.reads.FailLeaderReads(n.now)
+	n.readMgr = nil
 	n.progress = nil
 	n.snapEnc.Release()
 	n.appendedAt = nil
@@ -556,6 +611,25 @@ func (n *Node) startElection() {
 }
 
 func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
+	// Election stickiness (the lease-read safety premise): a follower that
+	// has heard from a live leader within the minimum election timeout
+	// refuses to participate in elections — it neither grants the vote nor
+	// adopts the candidate's term, so a disruptive candidate cannot depose
+	// a leader whose lease quorum is still fresh. The refusal is answered
+	// at our own (lower) term so the candidate knows it was heard.
+	if m.Term >= n.term && n.role == types.RoleFollower &&
+		n.leaderID != types.None && n.lastLeaderContact != 0 &&
+		n.now-n.lastLeaderContact < n.cfg.ElectionTimeoutMin {
+		n.send(from, types.RequestVoteResp{Term: n.term})
+		return
+	}
+	// Post-restart grace: the stickiness state above is volatile, so a
+	// voter restarted inside a lease window it helped establish would
+	// otherwise grant immediately (see bootGraceArm).
+	if m.Term >= n.term && n.now < n.bootGraceUntil {
+		n.send(from, types.RequestVoteResp{Term: n.term})
+		return
+	}
 	if m.Term > n.term {
 		n.becomeFollower(m.Term, types.None)
 	}
@@ -619,8 +693,17 @@ func (n *Node) becomeLeader() {
 	}, n.metrics)
 	n.progress.Reset(cfg.Members, n.log.LastIndex()+1)
 	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
+	// The read manager shares the tracker's srtt estimates for lease
+	// deration and the node's counter set for observability.
+	n.readMgr = n.newReadManager()
+	n.readMgr.SetMembership(cfg.Members)
 	// Establish a commit point in this term (Raft-thesis no-op).
 	n.leaderAppend(types.Entry{Kind: types.KindNoop})
+	// Reads cannot be vouched for below this term's no-op: commitIndex may
+	// understate what previous leaders committed until it commits.
+	n.readFloor = n.log.LastIndex()
+	// Reads issued while searching for a leader are now ours to serve.
+	n.reads.Retry(n.now)
 	// First heartbeat goes out immediately; subsequent ones at the tick.
 	n.leaderTick()
 	n.tickDeadline = n.now + n.cfg.HeartbeatInterval
@@ -675,6 +758,7 @@ func (n *Node) onClientPropose(from types.NodeID, m types.ClientPropose) {
 // notification flush, and AppendEntries dispatch.
 func (n *Node) leaderTick() {
 	n.advanceCommit()
+	n.reads.Flush()
 	n.maybeSessionClock()
 	n.flushNotifications()
 	n.broadcastAppend()
@@ -868,6 +952,11 @@ func (n *Node) broadcastAppend() {
 	cfg := n.Config()
 	n.aeRound++
 	lv, rc := n.logView(), n.round()
+	if n.readMgr != nil {
+		// Seal the pending ReadIndex batch onto this round; a quorum of
+		// acks echoing the ID confirms every read in it at once.
+		rc.ReadCtx = n.readMgr.StampRound(n.now)
+	}
 	for _, peer := range cfg.Others(n.cfg.ID) {
 		msgs, snapshot := n.progress.AppendMessages(peer, lv, rc)
 		if snapshot {
@@ -897,7 +986,11 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 		n.send(from, resp)
 		return
 	}
+	// Echo the read-batch ID: a quorum of echoes confirms the leader's
+	// pending reads without any log write.
+	resp.ReadCtx = m.ReadCtx
 	n.leaderID = m.LeaderID
+	n.lastLeaderContact = n.now
 	n.resetElectionTimer()
 	// Consistency check. Entries at or below our snapshot boundary are
 	// committed and match the leader by construction, so the check applies
@@ -959,6 +1052,12 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 		pr.RejectAppend(m.LastLogIndex)
 	} else {
 		pr.AckAppend(m.MatchIndex, n.now)
+	}
+	// Any same-term response confirms leadership at the round's dispatch
+	// time — the consistency-check outcome is irrelevant to reads.
+	if n.readMgr != nil && m.ReadCtx != 0 {
+		n.readMgr.ObserveAck(from, m.ReadCtx)
+		n.reads.Flush()
 	}
 	// Stream continuation: the follower holds a partial snapshot stream at
 	// our boundary (from a predecessor leader); seed the transfer from its
@@ -1065,6 +1164,7 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		return
 	}
 	n.leaderID = m.LeaderID
+	n.lastLeaderContact = n.now
 	n.resetElectionTimer()
 	if boundary <= n.commitIndex {
 		// Already have this prefix; just tell the leader where we are.

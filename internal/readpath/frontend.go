@@ -1,0 +1,302 @@
+package readpath
+
+import (
+	"sort"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Frontend is the per-node half of the read path shared by the consensus
+// cores (the Manager being the per-leadership half): it assigns read
+// tokens, serves leader-side reads through the Manager (lease fast path
+// included), forwards follower-side reads to the leader with
+// ReadRequest/ReadReply, retries them across leader changes, and emits
+// resolutions. Exactly like the replica package's dispatch hoist, the
+// NodeView accessor set is the only per-core variation, so the protocol
+// cannot diverge between classic Raft and Fast Raft.
+type Frontend struct {
+	nv       NodeView
+	counters *stats.Counters
+
+	// seq numbers this node's reads. It starts at a Rand-drawn offset so a
+	// restart cannot reuse the IDs of reads still in flight at the leader:
+	// the leader de-duplicates forwarded reads by (origin, ID), and a
+	// recycled ID would let a pre-restart read — recorded at an older
+	// commit index — answer a post-restart read, a stale read.
+	seq uint64
+	// token numbers leader-side registrations with the Manager.
+	token      uint64
+	origins    map[uint64]readOrigin
+	remoteKeys map[remoteReadKey]uint64
+	pending    map[uint64]*pendingRead
+	done       []types.ReadDone
+}
+
+// NodeView is the slice of core state the frontend needs, as closures so
+// it always observes the live values (the Manager in particular is
+// leader-only and replaced every leadership).
+type NodeView struct {
+	// Self is this node's identity.
+	Self types.NodeID
+	// IsLeader reports whether the node currently leads.
+	IsLeader func() bool
+	// LeaderID returns the node's view of the leader (None if unknown).
+	LeaderID func() types.NodeID
+	// CommitIndex returns the node's commit index.
+	CommitIndex func() types.Index
+	// Floor returns the leader's completeness floor (this term's no-op
+	// index); only consulted while leading.
+	Floor func() types.Index
+	// Manager returns the leadership's read manager (nil unless leader).
+	Manager func() *Manager
+	// Send transmits one protocol message.
+	Send func(to types.NodeID, msg types.Message)
+	// RetryTimeout paces follower-side re-forwarding (the cores pass the
+	// proposal timeout).
+	RetryTimeout time.Duration
+	// RetrySoon is the short back-off after a negative ReadReply (the
+	// cores pass the heartbeat interval: by then a fresh leader may be
+	// known).
+	RetrySoon time.Duration
+}
+
+// readOrigin identifies where a leader-side read came from: this node
+// (answered through TakeDone) or a remote forwarder (answered with a
+// ReadReply message).
+type readOrigin struct {
+	origin      types.NodeID
+	id          uint64
+	consistency types.ReadConsistency
+}
+
+// remoteReadKey de-duplicates retried ReadRequests.
+type remoteReadKey struct {
+	origin types.NodeID
+	id     uint64
+}
+
+// pendingRead is a read originated here while not leading: it forwards to
+// the leader and retries until a reply arrives.
+type pendingRead struct {
+	consistency types.ReadConsistency
+	deadline    time.Duration
+}
+
+// NewFrontend builds a frontend. seqStart seeds the token sequence (draw
+// it from the node's Rand; see the seq field comment). counters may be
+// shared with the owning node.
+func NewFrontend(nv NodeView, seqStart uint64, counters *stats.Counters) *Frontend {
+	if counters == nil {
+		counters = stats.NewCounters()
+	}
+	return &Frontend{
+		nv:         nv,
+		counters:   counters,
+		seq:        seqStart,
+		origins:    make(map[uint64]readOrigin),
+		remoteKeys: make(map[remoteReadKey]uint64),
+		pending:    make(map[uint64]*pendingRead),
+	}
+}
+
+// Read registers a read under the given consistency mode and returns its
+// token; the read resolves through TakeDone with the linearization index
+// the state machine must be applied through before serving it. ReadStale
+// resolves immediately from the local commit index on any role.
+func (f *Frontend) Read(now time.Duration, c types.ReadConsistency) uint64 {
+	if c == 0 {
+		c = types.ReadLinearizable
+	}
+	f.seq++
+	id := f.seq
+	if c == types.ReadStale {
+		f.counters.Inc(CounterStaleReads)
+		f.done = append(f.done, types.ReadDone{ID: id, Index: f.nv.CommitIndex(), OK: true})
+		return id
+	}
+	if f.nv.IsLeader() && f.nv.Manager() != nil {
+		f.serve(readOrigin{origin: f.nv.Self, id: id, consistency: c}, now)
+		return id
+	}
+	f.pending[id] = &pendingRead{consistency: c, deadline: now + f.nv.RetryTimeout}
+	f.forward(id, c)
+	return id
+}
+
+// TakeDone drains resolved reads.
+func (f *Frontend) TakeDone() []types.ReadDone {
+	out := f.done
+	f.done = nil
+	return out
+}
+
+// PendingCount counts unresolved reads originated on this node.
+func (f *Frontend) PendingCount() int { return len(f.pending) }
+
+// EachDeadline visits the pending reads' retry deadlines (NextDeadline
+// accounting).
+func (f *Frontend) EachDeadline(visit func(time.Duration)) {
+	for _, p := range f.pending {
+		visit(p.deadline)
+	}
+}
+
+// forward ships a pending read to the current leader, if known.
+func (f *Frontend) forward(id uint64, c types.ReadConsistency) {
+	if leader := f.nv.LeaderID(); leader != types.None && leader != f.nv.Self {
+		f.counters.Inc(CounterForwarded)
+		f.nv.Send(leader, types.ReadRequest{ID: id, Consistency: c})
+	}
+}
+
+// serve handles a read on the leader. Lease-based reads with a valid
+// lease resolve immediately from the commit index — clock-free, no round;
+// everything else joins the next heartbeat round's ReadIndex batch at
+// max(commitIndex, floor), the floor being this term's no-op index below
+// which a new leader cannot vouch for completeness.
+func (f *Frontend) serve(o readOrigin, now time.Duration) {
+	mgr := f.nv.Manager()
+	commit := f.nv.CommitIndex()
+	if o.consistency == types.ReadLeaseBased &&
+		mgr.LeaseValid(now) && commit >= f.nv.Floor() {
+		f.counters.Inc(CounterLeaseReads)
+		f.finish(o, commit, true)
+		return
+	}
+	f.token++
+	tok := f.token
+	f.origins[tok] = o
+	if o.origin != f.nv.Self {
+		f.remoteKeys[remoteReadKey{o.origin, o.id}] = tok
+	}
+	idx := commit
+	if floor := f.nv.Floor(); floor > idx {
+		idx = floor
+	}
+	mgr.Add(tok, idx)
+}
+
+// finish resolves one read toward its origin (a zero origin — a
+// superseded registration — is dropped by the core's send guard).
+func (f *Frontend) finish(o readOrigin, idx types.Index, ok bool) {
+	if o.origin == f.nv.Self {
+		f.done = append(f.done, types.ReadDone{ID: o.id, Index: idx, OK: ok})
+		return
+	}
+	f.nv.Send(o.origin, types.ReadReply{ID: o.id, Index: idx, OK: ok})
+}
+
+// Flush releases confirmed reads the commit index has caught up to. The
+// cores call it after commit advancement and after folding heartbeat
+// acks.
+func (f *Frontend) Flush() {
+	mgr := f.nv.Manager()
+	if mgr == nil {
+		return
+	}
+	for _, d := range mgr.Release(f.nv.CommitIndex()) {
+		o := f.origins[d.Token]
+		delete(f.origins, d.Token)
+		if o.origin != f.nv.Self {
+			delete(f.remoteKeys, remoteReadKey{o.origin, o.id})
+		}
+		f.finish(o, d.Index, d.OK)
+	}
+}
+
+// FailLeaderReads fails every leader-side read on step-down: local reads
+// fall back to the pending/forward path (they retry against the
+// successor), remote origins get a negative reply so they re-forward
+// themselves. Call it before discarding the Manager.
+func (f *Frontend) FailLeaderReads(now time.Duration) {
+	mgr := f.nv.Manager()
+	if mgr == nil {
+		return
+	}
+	for _, d := range mgr.FailAll() {
+		o := f.origins[d.Token]
+		if o.origin == f.nv.Self {
+			f.pending[o.id] = &pendingRead{
+				consistency: o.consistency,
+				deadline:    now + f.nv.RetrySoon,
+			}
+			continue
+		}
+		f.nv.Send(o.origin, types.ReadReply{ID: o.id, OK: false})
+	}
+	f.origins = make(map[uint64]readOrigin)
+	f.remoteKeys = make(map[remoteReadKey]uint64)
+}
+
+// Retry re-forwards due pending reads (leader unknown at issue time, lost
+// request or reply, deposed leader); a node that just became leader
+// serves every pending read itself, deadline or not.
+func (f *Frontend) Retry(now time.Duration) {
+	if len(f.pending) == 0 {
+		return
+	}
+	isLeader := f.nv.IsLeader() && f.nv.Manager() != nil
+	var due []uint64
+	for id, p := range f.pending {
+		if isLeader || now >= p.deadline {
+			due = append(due, id)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, id := range due {
+		p := f.pending[id]
+		if isLeader {
+			delete(f.pending, id)
+			f.serve(readOrigin{origin: f.nv.Self, id: id, consistency: p.consistency}, now)
+			continue
+		}
+		p.deadline = now + f.nv.RetryTimeout
+		f.forward(id, p.consistency)
+	}
+}
+
+// OnReadRequest serves a forwarded read, or refuses it when this node
+// cannot (the origin retries toward the then-current leader).
+func (f *Frontend) OnReadRequest(from types.NodeID, m types.ReadRequest, now time.Duration) {
+	if !f.nv.IsLeader() || f.nv.Manager() == nil {
+		f.nv.Send(from, types.ReadReply{ID: m.ID, OK: false})
+		return
+	}
+	c := m.Consistency
+	if c == 0 || c == types.ReadStale {
+		// Stale reads are served locally by the origin and never forwarded;
+		// treat anything nonsensical as a full ReadIndex read.
+		c = types.ReadLinearizable
+	}
+	if tok, dup := f.remoteKeys[remoteReadKey{from, m.ID}]; dup {
+		// A retry supersedes the original registration: re-record at the
+		// current commit index instead of answering with the old one. That
+		// is always correct for the retrying caller (a later index serves
+		// an earlier read a fortiori) and it closes a stale-read hole — an
+		// origin that restarted and recycled its ID space (deterministic
+		// seeds replay the Rand-drawn offset) must not be answered at an
+		// index recorded before writes it has since observed. The orphaned
+		// token releases into a zero origin, which finish drops.
+		delete(f.origins, tok)
+		delete(f.remoteKeys, remoteReadKey{from, m.ID})
+	}
+	f.serve(readOrigin{origin: from, id: m.ID, consistency: c}, now)
+}
+
+// OnReadReply resolves a forwarded read.
+func (f *Frontend) OnReadReply(m types.ReadReply, now time.Duration) {
+	p, ok := f.pending[m.ID]
+	if !ok {
+		return // duplicate or late reply
+	}
+	if m.OK {
+		delete(f.pending, m.ID)
+		f.done = append(f.done, types.ReadDone{ID: m.ID, Index: m.Index, OK: true})
+		return
+	}
+	// The responder could not serve it (deposed or not leader): retry soon,
+	// by when a fresh leader may be known.
+	p.deadline = now + f.nv.RetrySoon
+}

@@ -231,6 +231,14 @@ func (p *Progress) BytesInFlight() int { return p.bytesInFlight }
 // (0 until the first sample).
 func (p *Progress) RTT() time.Duration { return p.srtt }
 
+// RTTVar returns the round-trip variance estimate for the peer (0 until
+// the first sample).
+func (p *Progress) RTTVar() time.Duration { return p.rttvar }
+
+// InflightMsgs returns the number of outstanding append messages to the
+// peer.
+func (p *Progress) InflightMsgs() int { return len(p.inflight) }
+
 // PendingSnapshot returns the boundary of the snapshot being streamed to
 // the peer (0 when none).
 func (p *Progress) PendingSnapshot() types.Index {
@@ -435,6 +443,10 @@ type Round struct {
 	// NextHint seeds Next for peers first tracked this round (classic Raft
 	// probes from LastIndex+1, Fast Raft from commitIndex+1).
 	NextHint types.Index
+	// ReadCtx is the read-batch ID stamped onto every AppendEntries message
+	// of the round (0 = none); followers echo it and a quorum of echoes
+	// confirms the batch (see internal/readpath).
+	ReadCtx uint64
 	// Now is the current virtual time.
 	Now time.Duration
 }
@@ -602,6 +614,50 @@ func (t *Tracker) RecoverStall(id types.NodeID, now time.Duration) bool {
 	return true
 }
 
+// PeerStatus is a point-in-time snapshot of one peer's replication
+// progress, exposed through the public API for introspection: the tracker
+// knows srtt/rttvar and progress states, and this is how operators reach
+// them.
+type PeerStatus struct {
+	// ID is the peer's identity.
+	ID types.NodeID
+	// State is the replication state ("probe", "replicate", "snapshot").
+	State string
+	// Match is the highest index known replicated on the peer.
+	Match types.Index
+	// Next is the next index to send.
+	Next types.Index
+	// SRTT is the smoothed acknowledgment round-trip estimate (0 = no
+	// samples yet).
+	SRTT time.Duration
+	// RTTVar is the round-trip variance estimate.
+	RTTVar time.Duration
+	// InflightBytes is the encoded entry bytes currently outstanding.
+	InflightBytes int
+	// InflightMsgs is the append messages currently outstanding.
+	InflightMsgs int
+}
+
+// Status snapshots every tracked peer's progress in deterministic order.
+func (t *Tracker) Status() []PeerStatus {
+	ids := t.Peers()
+	out := make([]PeerStatus, 0, len(ids))
+	for _, id := range ids {
+		p := t.peers[id]
+		out = append(out, PeerStatus{
+			ID:            id,
+			State:         p.state.String(),
+			Match:         p.match,
+			Next:          p.next,
+			SRTT:          p.srtt,
+			RTTVar:        p.rttvar,
+			InflightBytes: p.bytesInFlight,
+			InflightMsgs:  len(p.inflight),
+		})
+	}
+	return out
+}
+
 // MatchQuorum reports whether >= q members of cfg have match >= idx (the
 // classic commit rule).
 func (t *Tracker) MatchQuorum(cfg types.Config, idx types.Index, q int) bool {
@@ -663,6 +719,7 @@ func (t *Tracker) AppendMessages(id types.NodeID, lv LogView, rc Round) (msgs []
 		Entries:      entries,
 		LeaderCommit: rc.Commit,
 		Round:        rc.Seq,
+		ReadCtx:      rc.ReadCtx,
 	}
 	pr.SentAppend(prev, len(entries), size, rc.Now)
 	return []types.AppendEntries{msg}, false
@@ -718,6 +775,7 @@ func (t *Tracker) HeartbeatMessage(id types.NodeID, lv LogView, rc Round) types.
 		PrevLogTerm:  lv.Term(prev),
 		LeaderCommit: rc.Commit,
 		Round:        rc.Seq,
+		ReadCtx:      rc.ReadCtx,
 	}
 }
 

@@ -49,6 +49,13 @@ type GlobalCommitter interface {
 	TakeGlobalCommitted() []types.Entry
 }
 
+// Reader is implemented by machines exposing the linearizable read
+// subsystem (all three cores).
+type Reader interface {
+	// TakeReadDone drains resolved reads.
+	TakeReadDone() []types.ReadDone
+}
+
 // Transport moves envelopes between hosts.
 type Transport interface {
 	// Send dispatches one envelope asynchronously. Implementations may
@@ -67,6 +74,7 @@ type event struct {
 	committed []types.Entry
 	global    []types.Entry
 	resolved  []types.Resolution
+	reads     []types.ReadDone
 }
 
 // Host runs one Machine on wall-clock time over a Transport. All machine
@@ -98,6 +106,8 @@ type Callbacks struct {
 	OnGlobalCommit func(types.Entry)
 	// OnResolve observes local proposal resolutions.
 	OnResolve func(types.Resolution)
+	// OnReadDone observes resolved linearizable reads.
+	OnReadDone func(types.ReadDone)
 }
 
 // NewHost starts hosting the machine: delivery begins immediately and the
@@ -149,6 +159,11 @@ func (h *Host) dispatch() {
 				if h.cb.OnResolve != nil {
 					for _, r := range ev.resolved {
 						h.cb.OnResolve(r)
+					}
+				}
+				if h.cb.OnReadDone != nil {
+					for _, r := range ev.reads {
+						h.cb.OnReadDone(r)
 					}
 				}
 			}
@@ -238,6 +253,10 @@ func (h *Host) drainLocked() {
 	if gc, ok := h.machine.(GlobalCommitter); ok {
 		global = gc.TakeGlobalCommitted()
 	}
+	var reads []types.ReadDone
+	if rd, ok := h.machine.(Reader); ok {
+		reads = rd.TakeReadDone()
+	}
 	if d := h.machine.NextDeadline(); d > 0 {
 		wait := d - h.now()
 		if wait < 0 {
@@ -250,12 +269,12 @@ func (h *Host) drainLocked() {
 			h.timer.Reset(wait)
 		}
 	}
-	if len(committed)+len(resolved)+len(global) == 0 {
+	if len(committed)+len(resolved)+len(global)+len(reads) == 0 {
 		return
 	}
 	h.evMu.Lock()
 	h.evQueue = append(h.evQueue, event{
-		committed: committed, global: global, resolved: resolved,
+		committed: committed, global: global, resolved: resolved, reads: reads,
 	})
 	h.evMu.Unlock()
 	select {

@@ -25,16 +25,20 @@ const (
 	// InstallSnapshotReply. Version 4 added the SessionAck field to the
 	// entry encoding, the pending-stream fields
 	// (PendingBoundary/PendingOffset) to AppendEntriesResp and the stream
-	// checksum (Check) to InstallSnapshot.
-	wireVersion = 4
+	// checksum (Check) to InstallSnapshot. Version 5 added the read-batch
+	// ID (ReadCtx) to AppendEntries and AppendEntriesResp plus the
+	// ReadRequest/ReadReply message pair (linearizable read subsystem).
+	wireVersion = 5
 	// wireVersionMin is the oldest frame version this decoder accepts: v2
-	// frames (no chunk fields) decode as whole-image transfers and v3
-	// frames (no ack/continuation fields) decode with those features zero,
-	// so a v4 node understands everything older senders emit. Note the
-	// compatibility is one-directional — this encoder always writes v4,
-	// which older decoders reject as a bad frame — so mixed clusters need
-	// the upgraded side rolled out last on the decode path. Unknown
-	// versions are rejected loudly as ErrBadFrame rather than misdecoded.
+	// frames (no chunk fields) decode as whole-image transfers, v3 frames
+	// (no ack/continuation fields) and v4 frames (no read-batch fields)
+	// decode with those features zero, so a v5 node understands everything
+	// older senders emit — a v4 responder simply never confirms read
+	// batches. Note the compatibility is one-directional — this encoder
+	// always writes v5, which older decoders reject as a bad frame — so
+	// mixed clusters need the upgraded side rolled out last on the decode
+	// path. Unknown versions are rejected loudly as ErrBadFrame rather
+	// than misdecoded.
 	wireVersionMin = 2
 )
 
@@ -54,6 +58,8 @@ const (
 	tagLeaveRequest
 	tagInstallSnapshot
 	tagInstallSnapshotReply
+	tagReadRequest
+	tagReadReply
 )
 
 // ErrBadFrame reports a datagram that is not a valid hraft frame.
@@ -142,6 +148,10 @@ func msgTag(m Message) (uint8, error) {
 		return tagInstallSnapshot, nil
 	case InstallSnapshotReply:
 		return tagInstallSnapshotReply, nil
+	case ReadRequest:
+		return tagReadRequest, nil
+	case ReadReply:
+		return tagReadReply, nil
 	default:
 		return 0, fmt.Errorf("types: unknown message type %T", m)
 	}
@@ -170,6 +180,7 @@ func encodeBody(w *writer, m Message) {
 		}
 		w.u64(uint64(v.LeaderCommit))
 		w.u64(v.Round)
+		w.u64(v.ReadCtx)
 	case AppendEntriesResp:
 		w.u64(uint64(v.Term))
 		w.bool(v.Success)
@@ -178,6 +189,7 @@ func encodeBody(w *writer, m Message) {
 		w.u64(uint64(v.PendingBoundary))
 		w.u64(v.PendingOffset)
 		w.u64(v.Round)
+		w.u64(v.ReadCtx)
 	case RequestVote:
 		w.u64(uint64(v.Term))
 		w.str(string(v.CandidateID))
@@ -218,6 +230,13 @@ func encodeBody(w *writer, m Message) {
 		w.u64(uint64(v.Boundary))
 		w.u64(v.Offset)
 		w.u64(v.Round)
+	case ReadRequest:
+		w.u64(v.ID)
+		w.buf = append(w.buf, byte(v.Consistency))
+	case ReadReply:
+		w.u64(v.ID)
+		w.u64(uint64(v.Index))
+		w.bool(v.OK)
 	}
 }
 
@@ -254,6 +273,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 		}
 		v.LeaderCommit = Index(r.u64())
 		v.Round = r.u64()
+		if r.ver >= 5 {
+			v.ReadCtx = r.u64()
+		}
 		return v, r.err
 	case tagAppendEntriesResp:
 		var v AppendEntriesResp
@@ -266,6 +288,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 			v.PendingOffset = r.u64()
 		}
 		v.Round = r.u64()
+		if r.ver >= 5 {
+			v.ReadCtx = r.u64()
+		}
 		return v, r.err
 	case tagRequestVote:
 		var v RequestVote
@@ -337,6 +362,24 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 			v.Offset = r.u64()
 		}
 		v.Round = r.u64()
+		return v, r.err
+	case tagReadRequest:
+		var v ReadRequest
+		v.ID = r.u64()
+		if r.err == nil {
+			if r.off >= len(r.buf) {
+				r.err = ErrBadFrame
+			} else {
+				v.Consistency = ReadConsistency(r.buf[r.off])
+				r.off++
+			}
+		}
+		return v, r.err
+	case tagReadReply:
+		var v ReadReply
+		v.ID = r.u64()
+		v.Index = Index(r.u64())
+		v.OK = r.bool()
 		return v, r.err
 	default:
 		return nil, fmt.Errorf("types: unknown message tag %d: %w", tag, ErrBadFrame)

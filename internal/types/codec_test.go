@@ -41,9 +41,10 @@ func sampleMessages() []Message {
 		VoteEntry{Term: 3, Index: 5, Entry: es[1], CommitIndex: 4},
 		ClientPropose{Entry: es[1]},
 		AppendEntries{Term: 9, LeaderID: "lead", PrevLogIndex: 8, PrevLogTerm: 7,
-			Entries: es[1:4], LeaderCommit: 6, Round: 11},
+			Entries: es[1:4], LeaderCommit: 6, Round: 11, ReadCtx: 42},
 		AppendEntries{Term: 1, LeaderID: "l"},
-		AppendEntriesResp{Term: 9, Success: true, MatchIndex: 12, LastLogIndex: 14, Round: 11},
+		AppendEntriesResp{Term: 9, Success: true, MatchIndex: 12, LastLogIndex: 14,
+			Round: 11, ReadCtx: 42},
 		AppendEntriesResp{Term: 9, Success: false, LastLogIndex: 2,
 			PendingBoundary: 40, PendingOffset: 1024, Round: 12},
 		AppendEntriesResp{Term: 2},
@@ -68,6 +69,10 @@ func sampleMessages() []Message {
 			Boundary: 100, Offset: 8192, Data: []byte{0x01}, Done: true},
 		InstallSnapshotReply{Term: 12, LastIndex: 100, Round: 4},
 		InstallSnapshotReply{Term: 13, LastIndex: 3, Boundary: 100, Offset: 4608, Round: 6},
+		ReadRequest{ID: 7, Consistency: ReadLinearizable},
+		ReadRequest{ID: 8, Consistency: ReadLeaseBased},
+		ReadReply{ID: 7, Index: 99, OK: true},
+		ReadReply{ID: 8},
 	}
 }
 
@@ -370,6 +375,77 @@ func TestDecodeV3FramesUnderV4(t *testing.T) {
 
 // TestEntryWireSizeMatchesEncoding pins the size function the byte-budget
 // flow control uses to the actual encoder output.
+// encodeV4Envelope hand-encodes an AppendEntries/AppendEntriesResp frame
+// in the v4 layout (session-ack and pending-stream fields, but no
+// read-batch ID) so the v5 decoder's backward compatibility can be pinned
+// without keeping an old encoder around.
+func encodeV4Envelope(t *testing.T, env Envelope) []byte {
+	t.Helper()
+	var w writer
+	w.buf = append(w.buf, 0xC4, 0xAF, 4)
+	tag, err := msgTag(env.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.buf = append(w.buf, tag)
+	w.str(string(env.From))
+	w.str(string(env.To))
+	w.buf = append(w.buf, byte(env.Layer))
+	switch v := env.Msg.(type) {
+	case AppendEntries:
+		w.u64(uint64(v.Term))
+		w.str(string(v.LeaderID))
+		w.u64(uint64(v.PrevLogIndex))
+		w.u64(uint64(v.PrevLogTerm))
+		w.u64(uint64(len(v.Entries)))
+		for i := range v.Entries {
+			w.entry(v.Entries[i])
+		}
+		w.u64(uint64(v.LeaderCommit))
+		w.u64(v.Round)
+	case AppendEntriesResp:
+		w.u64(uint64(v.Term))
+		w.bool(v.Success)
+		w.u64(uint64(v.MatchIndex))
+		w.u64(uint64(v.LastLogIndex))
+		w.u64(uint64(v.PendingBoundary))
+		w.u64(v.PendingOffset)
+		w.u64(v.Round)
+	default:
+		t.Fatalf("encodeV4Envelope: unsupported %T", env.Msg)
+	}
+	return w.buf
+}
+
+// TestDecodeV4FramesUnderV5 pins decode compatibility with v4 senders:
+// heartbeats and acks without the read-batch ID decode with ReadCtx zero
+// (such responders simply never confirm read batches).
+func TestDecodeV4FramesUnderV5(t *testing.T) {
+	ae := AppendEntries{Term: 9, LeaderID: "lead", PrevLogIndex: 8, PrevLogTerm: 7,
+		Entries: []Entry{{Index: 9, Term: 9, Kind: KindNormal, Approval: ApprovedLeader,
+			PID: ProposalID{Proposer: "p", Seq: 2}, SessionAck: 3, Data: []byte("v4")}},
+		LeaderCommit: 6, Round: 11}
+	got, err := DecodeEnvelope(encodeV4Envelope(t, Envelope{From: "l", To: "f", Layer: LayerLocal, Msg: ae}))
+	if err != nil {
+		t.Fatalf("v4 AppendEntries rejected: %v", err)
+	}
+	if m := got.Msg.(AppendEntries); m.Round != 11 || m.ReadCtx != 0 ||
+		len(m.Entries) != 1 || m.Entries[0].SessionAck != 3 {
+		t.Fatalf("v4 AppendEntries misdecoded: %+v", got.Msg)
+	}
+
+	resp := AppendEntriesResp{Term: 9, Success: true, MatchIndex: 12, LastLogIndex: 14,
+		PendingBoundary: 40, PendingOffset: 1024, Round: 11}
+	got, err = DecodeEnvelope(encodeV4Envelope(t, Envelope{From: "f", To: "l", Layer: LayerLocal, Msg: resp}))
+	if err != nil {
+		t.Fatalf("v4 AppendEntriesResp rejected: %v", err)
+	}
+	if m := got.Msg.(AppendEntriesResp); m.Round != 11 || m.ReadCtx != 0 ||
+		m.PendingBoundary != 40 || m.PendingOffset != 1024 {
+		t.Fatalf("v4 AppendEntriesResp misdecoded: %+v", got.Msg)
+	}
+}
+
 func TestEntryWireSizeMatchesEncoding(t *testing.T) {
 	for i, e := range sampleEntries() {
 		if got, want := EntryWireSize(e), len(EncodeEntry(e)); got != want {
@@ -388,7 +464,7 @@ func TestDecodeEnvelopeRejectsUnknownVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ver := range []byte{0, 1, 5, 9, 255} {
+	for _, ver := range []byte{0, 1, 6, 9, 255} {
 		bad := append([]byte(nil), buf...)
 		bad[2] = ver
 		if _, err := DecodeEnvelope(bad); err == nil {

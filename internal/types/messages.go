@@ -111,6 +111,11 @@ type AppendEntries struct {
 	// Round numbers the heartbeat round, used by the leader to match
 	// responses when detecting silent leaves.
 	Round uint64
+	// ReadCtx is the read-batch ID of the broadcast round (0 = none): every
+	// ReadIndex read registered before the round was dispatched is batched
+	// under it, and a quorum of responses echoing a ReadCtx at or above it
+	// confirms the whole batch with this single heartbeat exchange (wire v5).
+	ReadCtx uint64
 }
 
 // MsgName implements Message.
@@ -141,6 +146,10 @@ type AppendEntriesResp struct {
 	PendingOffset uint64
 	// Round echoes AppendEntries.Round.
 	Round uint64
+	// ReadCtx echoes AppendEntries.ReadCtx, acknowledging every read batch
+	// at or below it (wire v5; zero from older responders, which therefore
+	// never confirm reads).
+	ReadCtx uint64
 }
 
 // MsgName implements Message.
@@ -294,6 +303,37 @@ type InstallSnapshotReply struct {
 // MsgName implements Message.
 func (InstallSnapshotReply) MsgName() string { return "InstallSnapshotReply" }
 
+// ReadRequest forwards a linearizable (or lease) read from the node that
+// received it to the leader, which runs it through its read path and
+// answers with a ReadReply. The request writes nothing to the log; a lost
+// request or reply is simply re-sent under the same ID (duplicates are
+// coalesced leader-side).
+type ReadRequest struct {
+	// ID is the origin's read token, echoed in the reply.
+	ID uint64
+	// Consistency is the requested read mode (stale reads are served
+	// locally and never forwarded).
+	Consistency ReadConsistency
+}
+
+// MsgName implements Message.
+func (ReadRequest) MsgName() string { return "ReadRequest" }
+
+// ReadReply answers a ReadRequest once the leader's read path released the
+// read.
+type ReadReply struct {
+	// ID echoes ReadRequest.ID.
+	ID uint64
+	// Index is the linearization index (valid when OK).
+	Index Index
+	// OK is false when the responder could not serve the read (not leader,
+	// or deposed while the read was pending); the origin retries.
+	OK bool
+}
+
+// MsgName implements Message.
+func (ReadReply) MsgName() string { return "ReadReply" }
+
 // Compile-time check that all message types satisfy Message.
 var (
 	_ Message = ProposeEntry{}
@@ -310,6 +350,8 @@ var (
 	_ Message = LeaveRequest{}
 	_ Message = InstallSnapshot{}
 	_ Message = InstallSnapshotReply{}
+	_ Message = ReadRequest{}
+	_ Message = ReadReply{}
 )
 
 // CloneMessage deep-copies a message so transports never alias node state.
@@ -341,7 +383,7 @@ func CloneMessage(m Message) Message {
 		}
 		return v
 	case CommitNotify, JoinRequest, JoinRedirect, JoinAccepted, LeaveRequest,
-		InstallSnapshotReply:
+		InstallSnapshotReply, ReadRequest, ReadReply:
 		return v
 	default:
 		return m

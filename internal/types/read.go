@@ -1,0 +1,54 @@
+package types
+
+import "fmt"
+
+// ReadConsistency selects how strongly a Read is ordered against writes.
+type ReadConsistency uint8
+
+const (
+	// ReadLinearizable serves the read through a ReadIndex quorum round: the
+	// leader records its commit index, confirms leadership with one
+	// heartbeat round (the read-batch ID piggybacks on the round), and the
+	// read resolves once the state machine may be read at the recorded
+	// index. No log entry is written.
+	ReadLinearizable ReadConsistency = iota + 1
+	// ReadLeaseBased serves the read clock-free from the leader while its
+	// lease — established by a previous confirmed heartbeat round and
+	// bounded below the election timeout — is valid, falling back to a
+	// ReadIndex round when it is not. Linearizable under the bounded
+	// clock-drift assumption the lease window is derated for.
+	ReadLeaseBased
+	// ReadStale serves the read immediately from the local commit index of
+	// whichever node received it, leader or not. It may lag arbitrarily
+	// behind the cluster; it never blocks and needs no quorum.
+	ReadStale
+)
+
+// String names the consistency mode.
+func (c ReadConsistency) String() string {
+	switch c {
+	case ReadLinearizable:
+		return "linearizable"
+	case ReadLeaseBased:
+		return "lease"
+	case ReadStale:
+		return "stale"
+	default:
+		return fmt.Sprintf("consistency(%d)", uint8(c))
+	}
+}
+
+// ReadDone resolves one read registered with a core's Read method: the
+// caller may serve the read from its state machine once it has applied
+// through Index. OK=false means the read could not be served (the serving
+// leader was deposed, or the node cannot reach one) and the caller should
+// retry.
+type ReadDone struct {
+	// ID is the read token returned by Read.
+	ID uint64
+	// Index is the linearization point: the log index the state machine
+	// must have applied before the read's result is returned.
+	Index Index
+	// OK reports whether the read was confirmed.
+	OK bool
+}

@@ -3,6 +3,7 @@ package hraft
 import (
 	"expvar"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sort"
@@ -45,30 +46,65 @@ func PublishExpvar(name string, src MetricSource) error {
 	return nil
 }
 
+// PeerStatusSource is optionally implemented by metric sources that also
+// expose per-peer replication progress (Node, RaftNode and CRaftNode all
+// do); MetricsHandler then renders peer-labeled gauges alongside the
+// counters.
+type PeerStatusSource interface {
+	// PeerStatus snapshots the replication progress of every tracked peer
+	// (empty unless the node currently leads).
+	PeerStatus() []PeerStatus
+}
+
+// metricFamily accumulates one exposition family: its TYPE, HELP and
+// sample lines, emitted together under a single header.
+type metricFamily struct {
+	typ   string
+	help  string
+	lines []string
+}
+
 // MetricsHandler returns an http.Handler rendering src's metrics in the
-// Prometheus text exposition format. Every metric is prefixed "hraft_" and
-// labeled with the node name; histogram keys emitted by the cores
-// ("<base>.le.<bound>", "<base>.count", "<base>.sum_us") become proper
-// _bucket{le=...}/_count/_sum series with le and the sum both in seconds
-// (the unit Prometheus tooling like histogram_quantile expects), counters
-// and gauges plain samples. Keys are sanitized (non-alphanumerics to
-// underscores) and emitted in sorted order so scrapes are diff-stable.
+// Prometheus text exposition format. Every metric is prefixed "hraft_",
+// labeled with the node name, and preceded by # HELP / # TYPE metadata;
+// histogram keys emitted by the cores ("<base>.le.<bound>", "<base>.count",
+// "<base>.sum_us") become proper _bucket{le=...}/_count/_sum series with le
+// and the sum both in seconds (the unit Prometheus tooling like
+// histogram_quantile expects) and buckets in ascending le order, counters
+// and gauges plain samples. When src also implements PeerStatusSource,
+// per-peer replication gauges (hraft_peer_*{node,peer}) ride along. Keys
+// are sanitized (non-alphanumerics to underscores) and families emitted in
+// sorted order so scrapes are diff-stable.
 func MetricsHandler(node string, src MetricSource) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fams := make(map[string]*metricFamily)
+		family := func(name, typ, help string) *metricFamily {
+			f, ok := fams[name]
+			if !ok {
+				f = &metricFamily{typ: typ, help: help}
+				fams[name] = f
+			}
+			return f
+		}
+		type bucket struct {
+			le   float64
+			line string
+		}
+		buckets := make(map[string][]bucket)
 		m := src.Metrics()
 		keys := make([]string, 0, len(m))
 		for k := range m {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		var b strings.Builder
 		for _, k := range keys {
 			v := m[k]
 			switch {
 			case strings.Contains(k, ".le."):
 				base, bound, _ := strings.Cut(k, ".le.")
-				le := "+Inf"
+				name := "hraft_" + sanitizeMetric(base) + "_seconds"
+				le, leNum := "+Inf", math.Inf(1)
 				if bound != "inf" {
 					// Bounds are Go duration strings ("5ms", "2.5s");
 					// Prometheus requires le to parse as a float, in seconds.
@@ -76,23 +112,105 @@ func MetricsHandler(node string, src MetricSource) http.Handler {
 					if err != nil {
 						continue // unrenderable bucket; drop rather than lie
 					}
-					le = strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+					leNum = d.Seconds()
+					le = strconv.FormatFloat(leNum, 'g', -1, 64)
 				}
-				fmt.Fprintf(&b, "hraft_%s_seconds_bucket{node=%q,le=%q} %d\n",
-					sanitizeMetric(base), node, le, v)
+				family(name, "histogram", histogramHelp(base))
+				buckets[name] = append(buckets[name], bucket{le: leNum, line: fmt.Sprintf(
+					"%s_bucket{node=%q,le=%q} %d", name, node, le, v)})
 			case strings.HasSuffix(k, ".count"):
-				fmt.Fprintf(&b, "hraft_%s_seconds_count{node=%q} %d\n",
-					sanitizeMetric(strings.TrimSuffix(k, ".count")), node, v)
+				base := strings.TrimSuffix(k, ".count")
+				name := "hraft_" + sanitizeMetric(base) + "_seconds"
+				f := family(name, "histogram", histogramHelp(base))
+				f.lines = append(f.lines, fmt.Sprintf("%s_count{node=%q} %d", name, node, v))
 			case strings.HasSuffix(k, ".sum_us"):
-				fmt.Fprintf(&b, "hraft_%s_seconds_sum{node=%q} %s\n",
-					sanitizeMetric(strings.TrimSuffix(k, ".sum_us")), node,
-					strconv.FormatFloat(float64(v)/1e6, 'g', -1, 64))
+				base := strings.TrimSuffix(k, ".sum_us")
+				name := "hraft_" + sanitizeMetric(base) + "_seconds"
+				f := family(name, "histogram", histogramHelp(base))
+				f.lines = append(f.lines, fmt.Sprintf("%s_sum{node=%q} %s", name, node,
+					strconv.FormatFloat(float64(v)/1e6, 'g', -1, 64)))
+			case strings.Contains(k, "gauge."):
+				// "gauge." prefixed keys (possibly under a C-Raft "local."/
+				// "global." section) are point-in-time values.
+				name := "hraft_" + sanitizeMetric(k)
+				f := family(name, "gauge", "Point-in-time value of "+k+".")
+				f.lines = append(f.lines, fmt.Sprintf("%s{node=%q} %d", name, node, v))
 			default:
-				fmt.Fprintf(&b, "hraft_%s{node=%q} %d\n", sanitizeMetric(k), node, v)
+				name := "hraft_" + sanitizeMetric(k)
+				f := family(name, "counter", "Monotonic count of "+k+" events.")
+				f.lines = append(f.lines, fmt.Sprintf("%s{node=%q} %d", name, node, v))
+			}
+		}
+		// Histogram buckets must appear in ascending le order regardless of
+		// how their flat keys sort lexically ("10ms" < "5ms").
+		for name, bs := range buckets {
+			sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+			f := fams[name]
+			lines := make([]string, 0, len(bs)+len(f.lines))
+			for _, b := range bs {
+				lines = append(lines, b.line)
+			}
+			f.lines = append(lines, f.lines...)
+		}
+		if ps, ok := src.(PeerStatusSource); ok {
+			appendPeerFamilies(fams, node, ps.PeerStatus())
+		}
+		names := make([]string, 0, len(fams))
+		for name := range fams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, name := range names {
+			f := fams[name]
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.typ)
+			for _, line := range f.lines {
+				b.WriteString(line)
+				b.WriteByte('\n')
 			}
 		}
 		_, _ = w.Write([]byte(b.String()))
 	})
+}
+
+// histogramHelp describes a latency histogram family.
+func histogramHelp(base string) string {
+	return "Latency histogram " + base + " (seconds)."
+}
+
+// appendPeerFamilies renders the leader's per-peer replication progress as
+// peer-labeled gauges: progress state, match/next indices, srtt/rttvar and
+// inflight window occupancy.
+func appendPeerFamilies(fams map[string]*metricFamily, node string, peers []PeerStatus) {
+	if len(peers) == 0 {
+		return
+	}
+	add := func(name, help string, line string) {
+		f, ok := fams[name]
+		if !ok {
+			f = &metricFamily{typ: "gauge", help: help}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	for _, p := range peers {
+		add("hraft_peer_match_index", "Highest log index known replicated on the peer.",
+			fmt.Sprintf("hraft_peer_match_index{node=%q,peer=%q} %d", node, p.ID, p.Match))
+		add("hraft_peer_next_index", "Next log index to send to the peer.",
+			fmt.Sprintf("hraft_peer_next_index{node=%q,peer=%q} %d", node, p.ID, p.Next))
+		add("hraft_peer_srtt_seconds", "Smoothed acknowledgment round-trip estimate for the peer.",
+			fmt.Sprintf("hraft_peer_srtt_seconds{node=%q,peer=%q} %s", node, p.ID,
+				strconv.FormatFloat(p.SRTT.Seconds(), 'g', -1, 64)))
+		add("hraft_peer_rttvar_seconds", "Round-trip variance estimate for the peer.",
+			fmt.Sprintf("hraft_peer_rttvar_seconds{node=%q,peer=%q} %s", node, p.ID,
+				strconv.FormatFloat(p.RTTVar.Seconds(), 'g', -1, 64)))
+		add("hraft_peer_inflight_bytes", "Encoded entry bytes outstanding to the peer.",
+			fmt.Sprintf("hraft_peer_inflight_bytes{node=%q,peer=%q} %d", node, p.ID, p.InflightBytes))
+		add("hraft_peer_inflight_msgs", "Append messages outstanding to the peer.",
+			fmt.Sprintf("hraft_peer_inflight_msgs{node=%q,peer=%q} %d", node, p.ID, p.InflightMsgs))
+		add("hraft_peer_state", "Replication state of the peer (1 = the labeled state).",
+			fmt.Sprintf("hraft_peer_state{node=%q,peer=%q,state=%q} 1", node, p.ID, p.State))
+	}
 }
 
 // sanitizeMetric maps a counter key onto the Prometheus metric-name

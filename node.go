@@ -81,6 +81,12 @@ type Options struct {
 	// as earlier ones resolve, keeping a proposer burst from spraying
 	// sparse insertions across arbitrary log indices.
 	MaxInflightProposals int
+	// MaxInflightProposalBytes bounds the encoded payload bytes of this
+	// node's broadcast-but-unresolved proposals (0 = unlimited): the
+	// byte-based mirror of MaxInflightProposals, sized at encode time, so
+	// a burst of large entries is throttled as early as a burst of many
+	// small ones. The first proposal always broadcasts.
+	MaxInflightProposalBytes int
 	// SessionTTL expires client sessions (OpenSession) idle longer than
 	// this, via leader-committed clock entries applied identically on every
 	// replica. 0 disables expiry: sessions then live until the registry's
@@ -124,6 +130,7 @@ type Node struct {
 	fr      *fastraft.Node
 	commits chan Entry
 	proposalWaiters
+	readWaiters
 }
 
 // NewNode builds and starts a Fast Raft node.
@@ -139,24 +146,25 @@ func NewNode(opts Options) (*Node, error) {
 	}
 	seed := mixSeed(opts.Seed, opts.ID)
 	fr, err := fastraft.New(fastraft.Config{
-		ID:                   opts.ID,
-		Bootstrap:            types.NewConfig(opts.Peers...),
-		Storage:              opts.Storage,
-		HeartbeatInterval:    opts.HeartbeatInterval,
-		ElectionTimeoutMin:   opts.ElectionTimeoutMin,
-		ElectionTimeoutMax:   opts.ElectionTimeoutMax,
-		ProposalTimeout:      opts.ProposalTimeout,
-		MemberTimeoutRounds:  opts.MemberTimeoutRounds,
-		SnapshotThreshold:    opts.SnapshotThreshold,
-		Snapshotter:          opts.Snapshotter,
-		MaxEntriesPerAppend:  opts.MaxEntriesPerAppend,
-		MaxInflightAppends:   opts.MaxInflightAppends,
-		MaxInflightBytes:     opts.MaxInflightBytes,
-		MaxSnapshotChunk:     opts.MaxSnapshotChunk,
-		MaxInflightProposals: opts.MaxInflightProposals,
-		SessionTTL:           opts.SessionTTL,
-		DisableFastTrack:     opts.DisableFastTrack,
-		Rand:                 rand.New(rand.NewSource(seed)),
+		ID:                       opts.ID,
+		Bootstrap:                types.NewConfig(opts.Peers...),
+		Storage:                  opts.Storage,
+		HeartbeatInterval:        opts.HeartbeatInterval,
+		ElectionTimeoutMin:       opts.ElectionTimeoutMin,
+		ElectionTimeoutMax:       opts.ElectionTimeoutMax,
+		ProposalTimeout:          opts.ProposalTimeout,
+		MemberTimeoutRounds:      opts.MemberTimeoutRounds,
+		SnapshotThreshold:        opts.SnapshotThreshold,
+		Snapshotter:              opts.Snapshotter,
+		MaxEntriesPerAppend:      opts.MaxEntriesPerAppend,
+		MaxInflightAppends:       opts.MaxInflightAppends,
+		MaxInflightBytes:         opts.MaxInflightBytes,
+		MaxSnapshotChunk:         opts.MaxSnapshotChunk,
+		MaxInflightProposals:     opts.MaxInflightProposals,
+		MaxInflightProposalBytes: opts.MaxInflightProposalBytes,
+		SessionTTL:               opts.SessionTTL,
+		DisableFastTrack:         opts.DisableFastTrack,
+		Rand:                     rand.New(rand.NewSource(seed)),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -169,6 +177,7 @@ func NewNode(opts Options) (*Node, error) {
 		fr:              fr,
 		commits:         make(chan Entry, buf),
 		proposalWaiters: newProposalWaiters(),
+		readWaiters:     newReadWaiters(),
 	}
 	n.host = runtime.NewHost(fr, opts.Transport, runtime.Callbacks{
 		OnCommit: func(e Entry) {
@@ -177,7 +186,8 @@ func NewNode(opts Options) (*Node, error) {
 			}
 			n.commits <- e
 		},
-		OnResolve: n.resolve,
+		OnResolve:  n.resolve,
+		OnReadDone: n.resolveRead,
 	})
 	return n, nil
 }
@@ -289,5 +299,6 @@ func (n *Node) Leave() {
 // Its storage remains usable for a restart.
 func (n *Node) Stop() {
 	n.markStopped()
+	n.markReadsStopped()
 	n.host.Stop()
 }

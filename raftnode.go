@@ -20,6 +20,7 @@ type RaftNode struct {
 	rn      *raft.Node
 	commits chan Entry
 	proposalWaiters
+	readWaiters
 }
 
 // NewRaftNode builds and starts a classic Raft node. The Options fields
@@ -62,6 +63,7 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		rn:              rn,
 		commits:         make(chan Entry, buf),
 		proposalWaiters: newProposalWaiters(),
+		readWaiters:     newReadWaiters(),
 	}
 	n.host = runtime.NewHost(rn, opts.Transport, runtime.Callbacks{
 		OnCommit: func(e Entry) {
@@ -70,7 +72,8 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 			}
 			n.commits <- e
 		},
-		OnResolve: n.resolve,
+		OnResolve:  n.resolve,
+		OnReadDone: n.resolveRead,
 	})
 	return n, nil
 }
@@ -138,5 +141,6 @@ func (n *RaftNode) ProposeAsync(data []byte) ProposalID {
 // Stop halts the node.
 func (n *RaftNode) Stop() {
 	n.markStopped()
+	n.markReadsStopped()
 	n.host.Stop()
 }
