@@ -257,6 +257,46 @@ func perSecond(count int, elapsed time.Duration) float64 {
 	return float64(count) / elapsed.Seconds()
 }
 
+// --- Tracing overhead --------------------------------------------------------
+
+// BenchmarkProposalTracing measures the flight recorder's wall-clock cost
+// on the proposal hot path: "off" is the default configuration, where
+// every record call is a single nil check (allocation-freedom is pinned by
+// TestDisabledRecorderZeroAlloc); "on" records the full event and span
+// stream into each node's ring. The simulation runs on virtual time, so
+// any ns/op difference between the two is pure recording overhead.
+func BenchmarkProposalTracing(b *testing.B) {
+	const perIter = 10
+	for _, traced := range []bool{false, true} {
+		name := "off"
+		if traced {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, err := harness.NewCluster(harness.Options{
+				Kind:  harness.KindFastRaft,
+				Nodes: benchNodes(),
+				Seed:  42,
+				Trace: traced,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			leader, ok := c.WaitForLeader(30 * time.Second)
+			if !ok {
+				b.Fatal("no leader")
+			}
+			awaitProposals(b, c, leader, 5) // warm the pipeline
+			b.ResetTimer()
+			var virtual time.Duration
+			for i := 0; i < b.N; i++ {
+				virtual += awaitProposals(b, c, leader, perIter)
+			}
+			b.ReportMetric(perSecond(perIter*b.N, virtual), "props/s")
+		})
+	}
+}
+
 // BenchmarkReadIndex measures quorum-confirmed linearizable read
 // throughput (virtual time), reads issued closed-loop from a follower so
 // every read pays forwarding plus one shared heartbeat round.

@@ -12,6 +12,13 @@
 // printed as they apply. A node started with -join sends a join request
 // instead of bootstrapping membership from -peers. Use -loss to inject
 // message loss like the paper's tc experiments.
+//
+// With -debug-addr the node serves its full observability surface on one
+// mux: Prometheus metrics at /metrics, a JSON status snapshot (role, term,
+// peer progress, lease, trace tail) at /debug/hraft/status, the formatted
+// flight-recorder ring at /debug/hraft/trace, and net/http/pprof under
+// /debug/pprof/. Sending SIGQUIT (ctrl-\) prints the trace tail to stderr
+// without stopping the node.
 package main
 
 import (
@@ -20,8 +27,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	hraft "github.com/hraft-io/hraft"
@@ -47,6 +56,9 @@ func run() error {
 		chunk   = flag.Int("snapshot-chunk", 0, "stream snapshot transfers in chunks of at most this many bytes (0 = one message)")
 		maxInfl = flag.Int("max-inflight-bytes", 0, "per-follower byte budget for outstanding AppendEntries payloads (0 = 1 MiB default)")
 		metrics = flag.String("metrics", "", "serve Prometheus text metrics at this addr (e.g. 127.0.0.1:9090; empty = off)")
+		dbgAddr = flag.String("debug-addr", "", "serve metrics, /debug/hraft/status and pprof at this addr (empty = off; implies -trace)")
+		doTrace = flag.Bool("trace", false, "enable the protocol flight recorder (SIGQUIT prints the trace tail)")
+		slowOp  = flag.Duration("slow-op", 0, "log proposals whose commit takes longer than this (0 = off; implies -trace)")
 		quiet   = flag.Bool("quiet", false, "suppress per-commit output")
 	)
 	flag.Parse()
@@ -101,6 +113,10 @@ func run() error {
 		lines = newLineLog()
 		snapshotter = lines
 	}
+	var traceOpts *hraft.TraceOptions
+	if *doTrace || *dbgAddr != "" || *slowOp > 0 {
+		traceOpts = &hraft.TraceOptions{SlowOp: *slowOp}
+	}
 	node, err := hraft.NewNode(hraft.Options{
 		ID:                hraft.NodeID(*id),
 		Peers:             bootstrap,
@@ -111,6 +127,7 @@ func run() error {
 		Snapshotter:       snapshotter,
 		MaxSnapshotChunk:  *chunk,
 		MaxInflightBytes:  *maxInfl,
+		Trace:             traceOpts,
 	})
 	if err != nil {
 		return err
@@ -123,6 +140,27 @@ func run() error {
 		}
 		defer stopMetrics()
 		fmt.Printf("metrics at http://%s/metrics\n", maddr)
+	}
+	if *dbgAddr != "" {
+		daddr, stopDebug, derr := hraft.ServeDebug(*dbgAddr, *id, node)
+		if derr != nil {
+			return derr
+		}
+		defer stopDebug()
+		fmt.Printf("debug at http://%s/debug/hraft/status (metrics, trace and pprof alongside)\n", daddr)
+	}
+	if traceOpts != nil {
+		// SIGQUIT (ctrl-\) dumps the flight-recorder tail without killing
+		// the node: the post-mortem that works mid-flight.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGQUIT)
+		go func() {
+			for range sigc {
+				tail := node.Recorder().Tail(64)
+				fmt.Fprintf(os.Stderr, "--- flight recorder tail (%d events) ---\n%s",
+					len(tail), hraft.FormatTrace(tail))
+			}
+		}()
 	}
 	if lines != nil {
 		if restored := lines.size(); restored > 0 {

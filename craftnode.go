@@ -87,6 +87,12 @@ type CRaftOptions struct {
 	OnGlobalCommit func(Entry)
 	// CommitBuffer sizes the commit channels (default 1024).
 	CommitBuffer int
+	// Trace, when set, enables the protocol flight recorder across both
+	// consensus layers: local and global events (elections, appends,
+	// snapshot streams, batching, global ordering, replay) share one ring
+	// so a site's trace reads as a single narrative. Retrieve with
+	// Recorder, serve with ServeDebug. Nil disables recording.
+	Trace *TraceOptions
 }
 
 // CRaftNode is a C-Raft site running on real time: a Fast Raft member of
@@ -133,6 +139,7 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 		MaxInflightBatches:       opts.MaxInflightBatches,
 		SessionTTL:               opts.SessionTTL,
 		Rand:                     rand.New(rand.NewSource(seed)),
+		Recorder:                 newRecorder(opts.ID, opts.Trace),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)

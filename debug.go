@@ -1,0 +1,314 @@
+package hraft
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/trace"
+)
+
+// Flight-recorder tracing and the HTTP debug surface.
+//
+// With Options.Trace (or CRaftOptions.Trace) set, a node records typed
+// protocol events — role transitions, election rounds, per-peer append
+// dispatch and acknowledgment, snapshot stream progress, read batches,
+// session lifecycle, C-Raft batching hops — into a fixed-size in-memory
+// ring, and stamps every proposal's propose→append→replicate→quorum→
+// commit→apply stages into hist.stage_* latency histograms (visible in
+// Metrics and the Prometheus endpoint). Proposals slower than
+// TraceOptions.SlowOp are reported through log/slog with the exact
+// proposal, term, index, peer set and per-stage breakdown.
+//
+// The ring is retrieved with Node.Recorder (TraceRecorder.Snapshot/Tail),
+// merged across nodes with MergeTraces, rendered with FormatTrace, and
+// served over HTTP with DebugHandler/ServeDebug. A nil recorder disables
+// everything: the record paths compile down to a nil check.
+
+// TraceOptions configures the protocol flight recorder (see Options.Trace).
+type TraceOptions struct {
+	// Size is the event ring capacity (0 = 4096 events, several election
+	// cycles of a busy five-node cluster).
+	Size int
+	// SlowOp, when non-zero, logs any proposal whose propose→apply time
+	// meets the threshold, naming the proposal ID, term, commit index,
+	// peer set and per-stage latency breakdown.
+	SlowOp time.Duration
+	// Logger receives slow-op reports (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// TraceEvent is one recorded protocol event: monotonic sequence number,
+// node-clock timestamp, node label, event type and type-specific fields.
+type TraceEvent = trace.Event
+
+// TraceRecorder is a node's flight recorder. Snapshot() and Tail(k) copy
+// the retained ring (oldest first) and are safe from any goroutine.
+type TraceRecorder = trace.Recorder
+
+// newRecorder builds the internal recorder from public options (nil
+// options = recording disabled = nil recorder).
+func newRecorder(id NodeID, o *TraceOptions) *trace.Recorder {
+	if o == nil {
+		return nil
+	}
+	return trace.New(trace.Config{
+		Node:   string(id),
+		Size:   o.Size,
+		SlowOp: o.SlowOp,
+		Logger: o.Logger,
+	})
+}
+
+// MergeTraces combines ring snapshots from several nodes into one
+// time-ordered sequence (ties broken by node label, then sequence
+// number) — the cluster-wide view of an election or failover.
+func MergeTraces(snapshots ...[]TraceEvent) []TraceEvent {
+	return trace.Merge(snapshots...)
+}
+
+// FormatTrace renders events one per line: timestamp, node label, event
+// type, details.
+func FormatTrace(events []TraceEvent) string { return trace.Format(events) }
+
+// DebugPeer is one peer's replication progress in DebugStatus.
+type DebugPeer struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Match    uint64 `json:"match"`
+	Next     uint64 `json:"next"`
+	SRTT     string `json:"srtt,omitempty"`
+	Inflight int    `json:"inflight_msgs"`
+}
+
+// DebugStatus is the document served as JSON at /debug/hraft/status:
+// role, term and leader view, commit progress, the leader's per-peer
+// replication state, the read-lease expiry and the newest flight-recorder
+// events.
+type DebugStatus struct {
+	Node        string      `json:"node"`
+	Role        string      `json:"role"`
+	Term        uint64      `json:"term"`
+	Leader      string      `json:"leader,omitempty"`
+	CommitIndex uint64      `json:"commit_index"`
+	Peers       []DebugPeer `json:"peers,omitempty"`
+	// LeaseUntil is the read-lease expiry on the node's monotonic clock
+	// (empty = no lease held).
+	LeaseUntil string `json:"lease_until,omitempty"`
+
+	// C-Raft only: the global (inter-cluster) layer.
+	Cluster           string      `json:"cluster,omitempty"`
+	GlobalRole        string      `json:"global_role,omitempty"`
+	GlobalTerm        uint64      `json:"global_term,omitempty"`
+	GlobalCommitIndex uint64      `json:"global_commit_index,omitempty"`
+	GlobalPeers       []DebugPeer `json:"global_peers,omitempty"`
+
+	// Trace is the newest retained flight-recorder events, oldest first
+	// (empty when tracing is disabled).
+	Trace []TraceEvent `json:"trace,omitempty"`
+}
+
+// debugPeers converts internal peer progress to the JSON shape.
+func debugPeers(ps []PeerStatus) []DebugPeer {
+	out := make([]DebugPeer, 0, len(ps))
+	for _, p := range ps {
+		dp := DebugPeer{
+			ID:       string(p.ID),
+			State:    p.State,
+			Match:    uint64(p.Match),
+			Next:     uint64(p.Next),
+			Inflight: p.InflightMsgs,
+		}
+		if p.SRTT > 0 {
+			dp.SRTT = p.SRTT.String()
+		}
+		out = append(out, dp)
+	}
+	return out
+}
+
+// DebugStatus snapshots the node's debug state; traceTail bounds the
+// flight-recorder events included (0 = none).
+func (n *Node) DebugStatus(traceTail int) DebugStatus {
+	var s DebugStatus
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) {
+		s = DebugStatus{
+			Node:        string(n.fr.ID()),
+			Role:        n.fr.Role().String(),
+			Term:        uint64(n.fr.Term()),
+			Leader:      string(n.fr.LeaderID()),
+			CommitIndex: uint64(n.fr.CommitIndex()),
+			Peers:       debugPeers(n.fr.PeerStatus()),
+		}
+		if lu := n.fr.LeaseUntil(); lu > 0 {
+			s.LeaseUntil = lu.String()
+		}
+	})
+	if traceTail > 0 {
+		s.Trace = n.fr.Recorder().Tail(traceTail)
+	}
+	return s
+}
+
+// Recorder returns the node's flight recorder (nil unless Options.Trace
+// was set). Safe from any goroutine.
+func (n *Node) Recorder() *TraceRecorder { return n.fr.Recorder() }
+
+// DebugStatus snapshots the node's debug state; traceTail bounds the
+// flight-recorder events included (0 = none).
+func (n *RaftNode) DebugStatus(traceTail int) DebugStatus {
+	var s DebugStatus
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) {
+		s = DebugStatus{
+			Node:        string(n.rn.ID()),
+			Role:        n.rn.Role().String(),
+			Term:        uint64(n.rn.Term()),
+			Leader:      string(n.rn.LeaderID()),
+			CommitIndex: uint64(n.rn.CommitIndex()),
+			Peers:       debugPeers(n.rn.PeerStatus()),
+		}
+		if lu := n.rn.LeaseUntil(); lu > 0 {
+			s.LeaseUntil = lu.String()
+		}
+	})
+	if traceTail > 0 {
+		s.Trace = n.rn.Recorder().Tail(traceTail)
+	}
+	return s
+}
+
+// Recorder returns the node's flight recorder (nil unless Options.Trace
+// was set). Safe from any goroutine.
+func (n *RaftNode) Recorder() *TraceRecorder { return n.rn.Recorder() }
+
+// DebugStatus snapshots the site's debug state across both consensus
+// layers; traceTail bounds the flight-recorder events included (0 =
+// none). The trace interleaves local and global events (the layers share
+// one ring).
+func (n *CRaftNode) DebugStatus(traceTail int) DebugStatus {
+	var s DebugStatus
+	n.host.Do(func(_ time.Duration, _ runtime.Machine) {
+		s = DebugStatus{
+			Node:        string(n.cn.ID()),
+			Cluster:     string(n.cn.ClusterID()),
+			Role:        n.cn.Role().String(),
+			Term:        uint64(n.cn.Term()),
+			Leader:      string(n.cn.LeaderID()),
+			CommitIndex: uint64(n.cn.CommitIndex()),
+			Peers:       debugPeers(n.cn.PeerStatus()),
+		}
+		if lu := n.cn.LeaseUntil(); lu > 0 {
+			s.LeaseUntil = lu.String()
+		}
+		if n.cn.IsGlobalMember() {
+			s.GlobalRole = n.cn.GlobalRole().String()
+			s.GlobalPeers = debugPeers(n.cn.GlobalPeerStatus())
+		}
+		s.GlobalTerm = uint64(n.cn.GlobalTerm())
+		s.GlobalCommitIndex = uint64(n.cn.GlobalCommitIndex())
+	})
+	if traceTail > 0 {
+		s.Trace = n.cn.Recorder().Tail(traceTail)
+	}
+	return s
+}
+
+// Recorder returns the site's flight recorder (nil unless
+// CRaftOptions.Trace was set). Safe from any goroutine.
+func (n *CRaftNode) Recorder() *TraceRecorder { return n.cn.Recorder() }
+
+// StatusSource is anything serving a DebugStatus; Node, RaftNode and
+// CRaftNode all qualify.
+type StatusSource interface {
+	// DebugStatus snapshots the node's debug state with up to traceTail
+	// flight-recorder events.
+	DebugStatus(traceTail int) DebugStatus
+}
+
+// defaultTraceTail is the status endpoint's default ?trace= value.
+const defaultTraceTail = 64
+
+// DebugHandler returns an http.Handler exposing a node's debug surface:
+//
+//	/debug/hraft/status  consensus state as DebugStatus JSON; ?trace=N
+//	                     sets the flight-recorder tail length (default 64,
+//	                     0 disables)
+//	/debug/hraft/trace   the full retained flight-recorder ring as text
+//	                     (one event per line, oldest first)
+//	/debug/pprof/...     the standard Go runtime profiles
+//
+// Mount it next to MetricsHandler (or use ServeDebug, which mounts both).
+func DebugHandler(src StatusSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/hraft/status", func(w http.ResponseWriter, r *http.Request) {
+		tail := defaultTraceTail
+		if v := r.URL.Query().Get("trace"); v != "" {
+			t, err := strconv.Atoi(v)
+			if err != nil || t < 0 {
+				http.Error(w, "trace must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			tail = t
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(src.DebugStatus(tail))
+	})
+	mux.HandleFunc("/debug/hraft/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		var events []TraceEvent
+		if rs, ok := src.(interface{ Recorder() *TraceRecorder }); ok {
+			events = rs.Recorder().Snapshot()
+		}
+		if len(events) == 0 {
+			_, _ = w.Write([]byte("(tracing disabled or no events)\n"))
+			return
+		}
+		_, _ = w.Write([]byte(FormatTrace(events)))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugSource is the combined surface ServeDebug mounts: Prometheus
+// metrics plus the debug endpoints. Node, RaftNode and CRaftNode all
+// qualify.
+type DebugSource interface {
+	MetricSource
+	StatusSource
+}
+
+// ServeDebug serves the full observability surface on one address in a
+// background goroutine: /metrics (Prometheus text format, see
+// MetricsHandler), /debug/hraft/status, /debug/hraft/trace and
+// /debug/pprof. It returns the bound address (useful with ":0") and a
+// shutdown func.
+func ServeDebug(addr, node string, src DebugSource) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := NewDebugMux(node, src)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// NewDebugMux builds the mux ServeDebug serves — /metrics plus the debug
+// endpoints — for embedding into an existing HTTP server.
+func NewDebugMux(node string, src DebugSource) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(node, src))
+	mux.Handle("/debug/", DebugHandler(src))
+	return mux
+}

@@ -159,6 +159,11 @@ func run() error {
 			MaxSnapshotChunk:   1024,
 			MaxInflightAppends: 4,
 			Seed:               seed,
+			// Flight recorder: every protocol event (elections, appends,
+			// snapshot streams, proposal stages) lands in a per-node ring;
+			// the tail is printed at the end. In a real deployment, serve
+			// it with hraft.ServeDebug (-debug-addr in cmd/hraft-node).
+			Trace: &hraft.TraceOptions{},
 		})
 		if err != nil {
 			return err
@@ -275,6 +280,10 @@ func run() error {
 			m["replica.snapshots_installed"],
 			m["replica.appends_throttled"])
 	}
+	// The flight recorder kept the whole story: kv3's tail shows the
+	// snapshot stream that brought it back after the crash.
+	tail := nodes["kv3"].Recorder().Tail(8)
+	fmt.Printf("\nkv3 flight-recorder tail (last %d events):\n%s", len(tail), hraft.FormatTrace(tail))
 	fmt.Println("all replicas agree, logs stay bounded ✓")
 	return nil
 }

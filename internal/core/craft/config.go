@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -101,6 +102,13 @@ type Config struct {
 	// Rand drives randomized timeouts; required for deterministic
 	// simulation.
 	Rand *rand.Rand
+	// Recorder, when non-nil, records protocol events and proposal
+	// lifecycle spans into a flight-recorder ring (see internal/trace).
+	// The local instance records directly; the global instance (when this
+	// site leads its cluster) records through a derived recorder sharing
+	// the same ring, so both layers interleave into one narrative. Nil
+	// disables recording at negligible cost.
+	Recorder *trace.Recorder
 }
 
 // Defaults fills unset values with the paper's experimental settings.

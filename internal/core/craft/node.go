@@ -30,6 +30,7 @@ import (
 	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -160,6 +161,7 @@ func New(cfg Config) (*Node, error) {
 		DisableFastTrack:         cfg.DisableFastTrack,
 		Rand:                     cfg.Rand,
 		Layer:                    types.LayerLocal,
+		Recorder:                 cfg.Recorder,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("craft: local instance: %w", err)
@@ -261,6 +263,15 @@ func (n *Node) Metrics() map[string]uint64 {
 	n.metrics.MergeInto(out, "")
 	return out
 }
+
+// Recorder exposes the site's flight recorder (nil when tracing is
+// disabled). The local and global layers share its ring, so one snapshot
+// covers both.
+func (n *Node) Recorder() *trace.Recorder { return n.cfg.Recorder }
+
+// LeaseUntil returns the local instance's read lease expiry (0 = no
+// lease, or not leading); diagnostics.
+func (n *Node) LeaseUntil() time.Duration { return n.local.LeaseUntil() }
 
 // PeerStatus snapshots the local instance's per-peer replication progress
 // (empty unless this site leads its cluster).
@@ -510,6 +521,9 @@ func (n *Node) startGlobal(now time.Duration) {
 		DisableFastTrack:    n.cfg.DisableFastTrack,
 		Rand:                n.cfg.Rand,
 		Layer:               types.LayerGlobal,
+		// The derived recorder shares the site recorder's ring, so local
+		// and global events interleave into one narrative per site.
+		Recorder: n.cfg.Recorder.Derive(n.cfg.Recorder.Label() + "/global"),
 	})
 	if err != nil {
 		panic(fmt.Sprintf("craft %s: start global instance: %v", n.cfg.ID, err))

@@ -44,6 +44,7 @@ func (n *Node) captureGlobal(now time.Duration) bool {
 		pid := n.local.ProposeEntry(now, entry)
 		n.internalPIDs[pid] = struct{}{}
 		n.deltaPids[pid] = n.deltaOrdinal
+		n.cfg.Recorder.GlobalOrder(now, delta.Era, delta.Seq)
 	}
 	// Hold the messages behind every delta proposed so far.
 	for _, env := range msgs {
@@ -143,6 +144,7 @@ func (n *Node) bufferReplay(d types.GlobalStateDelta) {
 		delete(n.replayBuf, n.replaySeq+1)
 		n.replaySeq++
 		n.applyDelta(next)
+		n.cfg.Recorder.Replay(n.now, n.replayEra, n.replaySeq)
 	}
 }
 
@@ -247,6 +249,7 @@ func (n *Node) proposeBatch(now time.Duration, size int) {
 	pid := types.ProposalID{Proposer: n.cfg.Cluster, Seq: seq}
 	n.ourBatches[seq] = batchRecord{entry: entry.Clone(), items: size}
 	n.global.ProposeEntryPID(now, entry, pid)
+	n.cfg.Recorder.BatchPropose(now, pid, size)
 	if n.oldestWait != 0 && len(n.appLog) == n.batchedItems {
 		n.oldestWait = 0
 	}

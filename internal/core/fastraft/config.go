@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -112,6 +113,10 @@ type Config struct {
 	// Layer tags outgoing envelopes; C-Raft's inter-cluster instance runs
 	// at types.LayerGlobal. Defaults to types.LayerLocal.
 	Layer types.Layer
+	// Recorder, when set, receives protocol flight-recorder events and
+	// proposal lifecycle spans (see internal/trace). Nil disables recording
+	// at the cost of one nil check per instrumentation point.
+	Recorder *trace.Recorder
 }
 
 // Defaults fills unset values with the paper's experimental settings.

@@ -7,6 +7,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/quorum"
 	"github.com/hraft-io/hraft/internal/replica"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -52,6 +53,7 @@ func (n *Node) ProposeEntryPID(now time.Duration, e types.Entry, pid types.Propo
 		size:     types.EntryWireSize(e),
 	}
 	n.pending[pid] = p
+	n.rec.SpanStart(now, pid, n.term)
 	if !n.proposalWindowOpen(p) {
 		p.queued = true
 		n.proposalQueue = append(n.proposalQueue, pid)
@@ -104,6 +106,7 @@ func (n *Node) resolvePending(pid types.ProposalID, idx types.Index) {
 		n.inflightProposals--
 		n.inflightProposalBytes -= p.size
 	}
+	n.rec.SpanEnd(n.now, pid, idx)
 	n.resolved = append(n.resolved, types.Resolution{PID: pid, Index: idx})
 	n.admitProposals()
 }
@@ -155,6 +158,7 @@ func (n *Node) broadcastProposal(p *pendingProposal) {
 		idx++
 	}
 	p.index = idx
+	n.rec.SpanStage(n.now, p.entry.PID, trace.StageReplicate, idx)
 	msg := types.ProposeEntry{Index: idx, Entry: p.entry.Clone()}
 	for _, peer := range cfg.Others(n.cfg.ID) {
 		n.send(peer, msg)
@@ -315,6 +319,7 @@ func (n *Node) decideLoop() {
 			continue
 		}
 		n.appendLeaderEntryAt(k, d.Winner)
+		n.rec.SpanStage(n.now, d.Winner.PID, trace.StageQuorum, k)
 		n.tally.NullProposal(d.Winner, k)
 		for _, v := range d.WinnerVoters {
 			n.progress.Ensure(v, n.commitIndex+1).RecordFastMatch(k)
@@ -360,6 +365,7 @@ func (n *Node) appendLeaderEntryAt(idx types.Index, e types.Entry) {
 	}
 	n.persistEntry(idx)
 	n.appendedAt[idx] = n.now
+	n.rec.SpanStage(n.now, e.PID, trace.StageAppend, idx)
 	n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 	if e.Kind == types.KindConfig {
 		n.onConfigChangedAsLeader()
@@ -381,7 +387,7 @@ func (n *Node) leaderTick() {
 	if n.role != types.RoleLeader {
 		return
 	}
-	n.reads.Flush()
+	n.reads.Flush(n.now)
 	n.maybeSessionClock()
 	n.processMembership()
 	if n.role != types.RoleLeader {
@@ -430,6 +436,7 @@ func (n *Node) commitTo(k types.Index) {
 			n.commitHist.Observe(n.now - at)
 			delete(n.appendedAt, i)
 		}
+		n.rec.SpanStage(n.now, e.PID, trace.StageCommit, i)
 		if n.applySessionCommit(e) {
 			// Session duplicate (or expired-session proposal): the slot
 			// commits but the entry is withheld from the state machine;
@@ -516,6 +523,13 @@ func (n *Node) broadcastAppend() {
 			n.responded[peer] = false
 		}
 		msgs, snapshot := n.progress.AppendMessages(peer, lv, rc)
+		if n.rec != nil {
+			for _, m := range msgs {
+				if len(m.Entries) > 0 {
+					n.rec.AppendDispatch(n.now, m.Term, peer, m.PrevLogIndex, len(m.Entries), m.Round)
+				}
+			}
+		}
 		if snapshot {
 			// The entries this peer needs are compacted away; stream the
 			// snapshot instead. While the install is pending nothing is
@@ -644,14 +658,20 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	if !m.Success {
 		// Back off; the peer's last-leader-index hint converges quickly.
 		pr.RejectAppend(m.LastLogIndex)
+		n.rec.AppendReject(n.now, m.Term, from, m.LastLogIndex)
 	} else {
+		// Record only acks that advance the match (idle heartbeat echoes
+		// carry no forensic signal and would churn the ring).
+		if n.rec != nil && m.MatchIndex > pr.Match() {
+			n.rec.AppendAck(n.now, m.Term, from, m.MatchIndex, m.Round)
+		}
 		pr.AckAppend(m.MatchIndex, n.now)
 	}
 	// Any same-term response confirms leadership at the round's dispatch
 	// time — the consistency-check outcome is irrelevant to reads.
 	if n.readMgr != nil && m.ReadCtx != 0 {
-		n.readMgr.ObserveAck(from, m.ReadCtx)
-		n.reads.Flush()
+		n.readMgr.ObserveAck(from, m.ReadCtx, n.now)
+		n.reads.Flush(n.now)
 	}
 	// Stream continuation: the peer holds a partial snapshot stream at our
 	// boundary (from a predecessor leader); seed the transfer from its
@@ -659,6 +679,7 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	if b := m.PendingBoundary; b != 0 && b == n.log.SnapshotIndex() &&
 		m.PendingOffset > 0 && pr.Match() < b {
 		n.progress.SeedSnapshot(from, b, m.PendingOffset, n.now)
+		n.rec.SnapResume(n.now, from, b, m.PendingOffset)
 	}
 	// Commit evaluation happens at the next leader tick (timing model).
 }

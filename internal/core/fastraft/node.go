@@ -38,6 +38,7 @@ import (
 	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -155,6 +156,10 @@ type Node struct {
 	installHist  *stats.TimingHist
 	appendedAt   map[types.Index]time.Duration
 	installStart time.Duration
+	// rec is the protocol flight recorder (nil = disabled; every call site
+	// is a nil check). It records role/election/replication events and the
+	// per-proposal lifecycle spans behind the hist.stage_* histograms.
+	rec *trace.Recorder
 	// installBoundary/installCheck identify the stream installStart was
 	// armed for, so a new stream arriving over a stale partial buffer
 	// restarts the clock instead of inheriting the dead stream's start.
@@ -221,7 +226,11 @@ func New(cfg Config) (*Node, error) {
 		metrics:     stats.NewCounters(),
 		commitHist:  stats.NewTimingHist("hist.commit_latency", stats.DefaultLatencyBounds()...),
 		installHist: stats.NewTimingHist("hist.snapshot_install", stats.DefaultLatencyBounds()...),
+		rec:         cfg.Recorder,
 	}
+	// Slow-op reports name the peers the node was replicating to; evaluated
+	// on the consensus goroutine only when a slow proposal fires.
+	n.rec.SetPeersFunc(func() []types.NodeID { return n.Config().Others(n.cfg.ID) })
 	// A site with persisted consensus state may have underwritten a lease
 	// before it crashed; see bootGraceArm.
 	n.bootGraceArm = hs.Term > 0
@@ -298,10 +307,25 @@ func (n *Node) Metrics() map[string]uint64 {
 	out := n.metrics.Snapshot()
 	n.commitHist.MergeInto(out, "")
 	n.installHist.MergeInto(out, "")
+	n.rec.MergeMetrics(out, "")
 	out["gauge.log_span"] = uint64(n.log.LastIndex() - n.log.FirstIndex() + 1)
 	out["gauge.sessions_open"] = uint64(n.sessions.Len())
 	out["gauge.snapshot_bytes"] = uint64(len(n.snap.Data) + len(n.snap.Sessions))
+	out["log.compacted_pid_hits"] = n.log.CompactedPIDHits()
 	return out
+}
+
+// Recorder exposes the node's flight recorder (nil when tracing is
+// disabled). The recorder is safe to snapshot from any goroutine.
+func (n *Node) Recorder() *trace.Recorder { return n.rec }
+
+// LeaseUntil returns the read lease expiry on this node's clock (0 = no
+// lease, or not leading); diagnostics.
+func (n *Node) LeaseUntil() time.Duration {
+	if n.readMgr == nil {
+		return 0
+	}
+	return n.readMgr.LeaseUntil()
 }
 
 // Progress exposes the per-peer replication tracker (nil unless leader);
@@ -552,6 +576,7 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 	n.removeQueue = nil
 	n.tickDeadline = 0
 	n.resetElectionTimer()
+	n.rec.RoleChange(n.now, n.term, types.RoleFollower, n.leaderID)
 }
 
 // --- Elections -----------------------------------------------------------
@@ -602,6 +627,8 @@ func (n *Node) startElection() {
 		n.cfg.ID: n.log.SelfApproved(),
 	}
 	n.resetElectionTimer()
+	n.rec.ElectionStart(n.now, n.term)
+	n.rec.RoleChange(n.now, n.term, types.RoleCandidate, types.None)
 	req := types.RequestVote{
 		Term:        n.term,
 		CandidateID: n.cfg.ID,
@@ -661,6 +688,9 @@ func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
 func (n *Node) onRequestVoteResp(from types.NodeID, m types.RequestVoteResp) {
 	n.sawVoteResp = true
 	n.lonelyElections = 0
+	if n.role == types.RoleCandidate && m.Term <= n.term {
+		n.rec.Vote(n.now, m.Term, from, m.Granted)
+	}
 	if m.Term > n.term {
 		n.becomeFollower(m.Term, types.None)
 		return
@@ -684,6 +714,8 @@ func (n *Node) maybeWinElection() {
 // becomeLeader installs leader state and runs the paper's recovery
 // algorithm over the self-approved entries gathered during the election.
 func (n *Node) becomeLeader() {
+	n.rec.ElectionWon(n.now, n.term, len(n.votes))
+	n.rec.RoleChange(n.now, n.term, types.RoleLeader, n.cfg.ID)
 	n.role = types.RoleLeader
 	n.leaderID = n.cfg.ID
 	// Session clock entries carry advances measured from the previous

@@ -60,6 +60,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 	switch e.Kind {
 	case types.KindSessionOpen:
 		n.sessions.ApplyOpen(e.Index)
+		n.rec.SessionOpen(n.now, uint64(e.Index))
 		return false
 	case types.KindSessionExpire:
 		advance, ttl, err := session.DecodeExpire(e.Data)
@@ -67,6 +68,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 			panic(fmt.Sprintf("fastraft %s: corrupt session clock entry at %d: %v", n.cfg.ID, e.Index, err))
 		}
 		n.sessions.ApplyExpire(advance, ttl)
+		n.rec.SessionExpire(n.now, n.sessions.Len())
 		return false
 	case types.KindNormal:
 		if e.Session.IsZero() {

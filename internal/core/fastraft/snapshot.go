@@ -81,6 +81,16 @@ func (n *Node) sendSnapshotTo(to types.NodeID) bool {
 	msgs := n.progress.SnapshotMessages(to, n.snap, enc, check,
 		n.term, n.cfg.ID, n.aeRound, n.now)
 	for _, m := range msgs {
+		if n.rec != nil {
+			b := m.Boundary
+			if b == 0 {
+				b = n.snap.Meta.LastIndex
+			}
+			if m.Offset == 0 {
+				n.rec.SnapStreamStart(n.now, n.term, to, b)
+			}
+			n.rec.SnapChunk(n.now, to, b, m.Offset, m.Done)
+		}
 		n.send(to, m)
 	}
 	return len(msgs) > 0
@@ -139,6 +149,7 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		}
 		s, complete, ack := n.snapRecv.Offer(boundary, m.Check, m.Offset, m.Data, m.Done)
 		resp.Offset = ack
+		n.rec.SnapChunkRecv(n.now, from, boundary, ack)
 		if !complete {
 			n.send(from, resp) // acknowledge buffered progress
 			return
@@ -153,6 +164,7 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	n.installSnapshot(snap)
 	n.metrics.Inc(replica.CounterInstalls)
 	n.installHist.Observe(n.now - n.installStart)
+	n.rec.SnapInstall(n.now, snap.Meta.LastIndex, n.now-n.installStart)
 	n.installStart = 0
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)

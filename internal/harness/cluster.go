@@ -10,6 +10,7 @@ import (
 	"github.com/hraft-io/hraft/internal/simnet"
 	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -84,6 +85,10 @@ type Options struct {
 	SessionTTL time.Duration
 	// DisableFastTrack forces Fast Raft onto the classic track (ablation).
 	DisableFastTrack bool
+	// Trace equips every node with a flight recorder; recorders survive
+	// Crash/Restart so a node's ring spans its whole simulated lifetime.
+	// Dump with MergedTrace or DumpTraceOnFailure.
+	Trace bool
 }
 
 // Host binds one consensus node to the simulated network, keeping its
@@ -99,6 +104,9 @@ type Host struct {
 	bootstrap types.Config
 	alive     bool
 	wake      *simnet.Timer
+	// rec is the node's flight recorder (nil unless Options.Trace); it is
+	// reused across Crash/Restart so one ring spans the node's lifetime.
+	rec *trace.Recorder
 
 	proposeStart map[types.ProposalID]time.Duration
 	// resolved records the resolution index of every tracked proposal, so
@@ -194,7 +202,10 @@ func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error
 		resolved:     make(map[types.ProposalID]types.Index),
 		readDone:     make(map[uint64]types.ReadDone),
 	}
-	m, err := c.makeMachine(id, bootstrap, h.store)
+	if c.opts.Trace {
+		h.rec = trace.New(trace.Config{Node: string(id)})
+	}
+	m, err := c.makeMachine(id, bootstrap, h.store, h.rec)
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +223,7 @@ func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error
 	return h, nil
 }
 
-func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store storage.Storage) (Machine, error) {
+func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store storage.Storage, rec *trace.Recorder) (Machine, error) {
 	nodeRand := rand.New(rand.NewSource(c.rng.Int63()))
 	switch c.opts.Kind {
 	case KindRaft:
@@ -231,6 +242,7 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			MaxSnapshotChunk:    c.opts.MaxSnapshotChunk,
 			SessionTTL:          c.opts.SessionTTL,
 			Rand:                nodeRand,
+			Recorder:            rec,
 		})
 	case KindFastRaft:
 		return fastraft.New(fastraft.Config{
@@ -252,6 +264,7 @@ func (c *Cluster) makeMachine(id types.NodeID, bootstrap types.Config, store sto
 			SessionTTL:               c.opts.SessionTTL,
 			DisableFastTrack:         c.opts.DisableFastTrack,
 			Rand:                     nodeRand,
+			Recorder:                 rec,
 		})
 	default:
 		return nil, fmt.Errorf("harness: unknown kind %v", c.opts.Kind)
@@ -508,7 +521,7 @@ func (c *Cluster) Restart(id types.NodeID) error {
 	if h.alive {
 		return fmt.Errorf("harness: node %s already running", id)
 	}
-	m, err := c.makeMachine(id, h.bootstrap, h.store)
+	m, err := c.makeMachine(id, h.bootstrap, h.store, h.rec)
 	if err != nil {
 		return err
 	}

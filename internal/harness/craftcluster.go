@@ -9,6 +9,7 @@ import (
 	"github.com/hraft-io/hraft/internal/simnet"
 	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -65,6 +66,10 @@ type CraftOptions struct {
 	SessionTTL time.Duration
 	// DisableFastTrack forces the classic track at both levels.
 	DisableFastTrack bool
+	// Trace equips every site with a flight recorder (local and global
+	// layers share one ring per site); recorders survive Crash/Restart.
+	// Dump with MergedTrace or DumpTraceOnFailure.
+	Trace bool
 }
 
 // GlobalCommit records one global-log entry commit observation.
@@ -87,6 +92,9 @@ type CraftHost struct {
 	store *storage.Memory
 	alive bool
 	wake  *simnet.Timer
+	// rec is the site's flight recorder (nil unless CraftOptions.Trace),
+	// reused across Crash/Restart.
+	rec *trace.Recorder
 
 	proposeStart map[types.ProposalID]time.Duration
 	// resolved records the resolution index of every tracked proposal.
@@ -204,7 +212,10 @@ func (c *CraftCluster) addSite(spec ClusterSpec, site types.NodeID, globalBootst
 		resolved:     make(map[types.ProposalID]types.Index),
 		readDone:     make(map[uint64]types.ReadDone),
 	}
-	node, err := c.makeNode(spec, site, globalBootstrap, h.store)
+	if c.opts.Trace {
+		h.rec = trace.New(trace.Config{Node: string(site)})
+	}
+	node, err := c.makeNode(spec, site, globalBootstrap, h.store, h.rec)
 	if err != nil {
 		return nil, err
 	}
@@ -222,7 +233,7 @@ func (c *CraftCluster) addSite(spec ClusterSpec, site types.NodeID, globalBootst
 	return h, nil
 }
 
-func (c *CraftCluster) makeNode(spec ClusterSpec, site types.NodeID, globalBootstrap types.Config, store storage.Storage) (*craft.Node, error) {
+func (c *CraftCluster) makeNode(spec ClusterSpec, site types.NodeID, globalBootstrap types.Config, store storage.Storage, rec *trace.Recorder) (*craft.Node, error) {
 	return craft.New(craft.Config{
 		ID:                  site,
 		Cluster:             spec.ID,
@@ -242,6 +253,7 @@ func (c *CraftCluster) makeNode(spec ClusterSpec, site types.NodeID, globalBoots
 		SessionTTL:          c.opts.SessionTTL,
 		DisableFastTrack:    c.opts.DisableFastTrack,
 		Rand:                rand.New(rand.NewSource(c.rng.Int63())),
+		Recorder:            rec,
 	})
 }
 
@@ -552,7 +564,7 @@ func (c *CraftCluster) Restart(id types.NodeID) error {
 	for i, s := range c.specs {
 		globalIDs[i] = s.ID
 	}
-	node, err := c.makeNode(spec, id, types.NewConfig(globalIDs...), h.store)
+	node, err := c.makeNode(spec, id, types.NewConfig(globalIDs...), h.store, h.rec)
 	if err != nil {
 		return err
 	}

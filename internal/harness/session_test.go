@@ -31,7 +31,8 @@ func countApplies(c *Cluster, payload []byte) map[types.NodeID]*int {
 // retry — and returns how many times the observer node applied the payload
 // plus the retry's resolution index. withSessions selects the retry
 // identity: a session (SessionID, seq) that survives the restart, or a
-// plain re-propose (fresh ProposalID) as before this subsystem existed.
+// plain re-propose — whose ProposalID collides with the original because
+// the restarted proposer's in-memory sequence counter reset.
 func runDoubleCommitScenario(t *testing.T, withSessions bool) (applies int, firstIdx, retryIdx types.Index) {
 	t.Helper()
 	const threshold = 8
@@ -120,16 +121,93 @@ func runDoubleCommitScenario(t *testing.T, withSessions bool) (applies int, firs
 	return *counts[observer], firstIdx, retryIdx
 }
 
-// TestDoubleCommitWithoutSessions documents the pre-session hazard the
-// ROADMAP describes: with dedup state lost to compaction and restart, the
-// retry commits (and applies) a second time. If this test ever starts
-// reporting a single apply, plain proposals have silently grown dedup
-// guarantees and TestExactlyOnceWithSessions is no longer the load-bearing
-// regression test.
-func TestDoubleCommitWithoutSessions(t *testing.T) {
-	applies, _, _ := runDoubleCommitScenario(t, false)
-	if applies != 2 {
-		t.Fatalf("observer applied payload %d times, expected the documented double-commit (2)", applies)
+// TestSessionlessRetryWindowDedups: the retry reuses the original
+// ProposalID (the proposer's in-memory sequence counter reset with it), and
+// although compaction dropped the entry from every log, the leader's
+// bounded window of recently compacted PIDs still resolves the retry to its
+// original index — one apply, no duplicate. The guarantee is best-effort:
+// TestDoubleCommitWhenWindowEvicted shows where it ends, and sessions
+// remain the real exactly-once mechanism.
+func TestSessionlessRetryWindowDedups(t *testing.T) {
+	applies, firstIdx, retryIdx := runDoubleCommitScenario(t, false)
+	if applies != 1 {
+		t.Fatalf("observer applied payload %d times, want 1 (retry-window dedup)", applies)
+	}
+	if retryIdx != firstIdx {
+		t.Fatalf("retry resolved to %d, want the original commit index %d", retryIdx, firstIdx)
+	}
+}
+
+// TestDoubleCommitWhenWindowEvicted documents the hazard that remains for
+// sessionless proposals: once enough later traffic is compacted, the retry
+// window evicts the original PID and the retried proposal commits (and
+// applies) a second time. If this test ever starts reporting a single
+// apply, plain proposals have silently grown unbounded dedup guarantees and
+// TestExactlyOnceWithSessions is no longer the load-bearing regression
+// test.
+func TestDoubleCommitWhenWindowEvicted(t *testing.T) {
+	const threshold = 64
+	c, err := NewCluster(Options{
+		Kind:              KindFastRaft,
+		Nodes:             ids("n1", "n2", "n3"),
+		Seed:              19,
+		SnapshotThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	const proposer = types.NodeID("n3")
+	const observer = types.NodeID("n1")
+	payload := []byte("evict-then-duplicate")
+	counts := countApplies(c, payload)
+
+	pid, err := c.Propose(proposer, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstIdx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || firstIdx == 0 {
+		t.Fatalf("first proposal did not commit (idx=%d ok=%v)", firstIdx, ok)
+	}
+
+	// Push more than a full retry window of later proposals through
+	// compaction, evicting the payload's mapping everywhere.
+	filler := 1100 // > the window's 1024 capacity
+	if _, err := c.RunProposals("n2", filler, c.Sched.Now()+20*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Second)
+	fr := c.Host(proposer).Machine().(*fastraft.Node)
+	if fr.SnapshotIndex() < firstIdx+types.Index(filler)/2 {
+		t.Fatalf("scenario broken: boundary %d did not pass the filler traffic", fr.SnapshotIndex())
+	}
+
+	// Crash and restart the proposer: its sequence counter resets, so the
+	// retry reuses the original ProposalID — but no node remembers it.
+	c.Crash(proposer)
+	c.RunFor(2 * time.Second)
+	if err := c.Restart(proposer); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if pid, err = c.Propose(proposer, payload); err != nil {
+		t.Fatal(err)
+	}
+	retryIdx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+60*time.Second)
+	if !ok {
+		t.Fatal("retry did not resolve")
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if retryIdx == firstIdx {
+		t.Fatalf("retry resolved to the original index %d despite eviction", firstIdx)
+	}
+	if got := *counts[observer]; got != 2 {
+		t.Fatalf("observer applied payload %d times, expected the documented double-commit (2)", got)
 	}
 }
 

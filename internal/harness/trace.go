@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/hraft-io/hraft/internal/trace"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Flight-recorder integration: with Options.Trace (or CraftOptions.Trace)
+// set, every node records protocol events into its own ring; the helpers
+// here merge the rings into one time-ordered, cluster-wide narrative and
+// dump it when a test fails — the post-mortem for a failed failover or a
+// stuck proposal, without re-running under a debugger.
+
+// TraceSnapshot returns node id's retained flight-recorder events (nil if
+// tracing is off or the node is unknown). Works on crashed nodes too: the
+// recorder outlives the machine.
+func (c *Cluster) TraceSnapshot(id types.NodeID) []trace.Event {
+	h := c.hosts[id]
+	if h == nil {
+		return nil
+	}
+	return h.rec.Snapshot()
+}
+
+// MergedTrace combines every node's ring (alive and crashed) into one
+// sequence ordered by simulated time.
+func (c *Cluster) MergedTrace() []trace.Event {
+	var snaps [][]trace.Event
+	for _, h := range c.hosts {
+		if s := h.rec.Snapshot(); len(s) > 0 {
+			snaps = append(snaps, s)
+		}
+	}
+	return trace.Merge(snaps...)
+}
+
+// TraceSnapshot returns site id's retained flight-recorder events (local
+// and global layers interleaved; nil if tracing is off or the site is
+// unknown).
+func (c *CraftCluster) TraceSnapshot(id types.NodeID) []trace.Event {
+	h := c.hosts[id]
+	if h == nil {
+		return nil
+	}
+	return h.rec.Snapshot()
+}
+
+// MergedTrace combines every site's ring (local and global layers
+// interleaved per site) into one sequence ordered by simulated time.
+func (c *CraftCluster) MergedTrace() []trace.Event {
+	var snaps [][]trace.Event
+	for _, h := range c.hosts {
+		if s := h.rec.Snapshot(); len(s) > 0 {
+			snaps = append(snaps, s)
+		}
+	}
+	return trace.Merge(snaps...)
+}
+
+// TB is the subset of *testing.T the trace dumper needs (an interface so
+// this package, which is also linked into the simulator and benchmark
+// binaries, does not import "testing").
+type TB interface {
+	Cleanup(func())
+	Failed() bool
+	Logf(format string, args ...any)
+	Name() string
+}
+
+// TraceSource is anything producing a merged cluster trace: Cluster and
+// CraftCluster both qualify.
+type TraceSource interface {
+	MergedTrace() []trace.Event
+}
+
+// DumpTraceOnFailure registers a cleanup hook that, if the test failed,
+// logs the cluster's merged, time-ordered event dump — every node's
+// elections, appends, snapshot streams and proposal stages interleaved.
+// With HRAFT_TRACE_DIR set, the dump is also written to
+// $HRAFT_TRACE_DIR/<test-name>.trace for artifact collection in CI.
+func DumpTraceOnFailure(t TB, src TraceSource) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		events := src.MergedTrace()
+		if len(events) == 0 {
+			t.Logf("harness: no trace events recorded (Options.Trace off?)")
+			return
+		}
+		dump := trace.Format(events)
+		t.Logf("cluster flight-recorder dump (%d events, merged, time-ordered):\n%s",
+			len(events), dump)
+		if dir := os.Getenv("HRAFT_TRACE_DIR"); dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Logf("harness: create trace dir: %v", err)
+				return
+			}
+			path := filepath.Join(dir, sanitizeTestName(t.Name())+".trace")
+			if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+				t.Logf("harness: write trace dump: %v", err)
+				return
+			}
+			t.Logf("harness: trace dump written to %s", path)
+		}
+	})
+}
+
+// sanitizeTestName maps a test name (possibly a subtest path with slashes)
+// onto a safe file name.
+func sanitizeTestName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

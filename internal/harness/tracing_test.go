@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/trace"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// TestFailoverTraceNarrative forces a leader crash and checks that the
+// merged, time-ordered flight-recorder dump tells the failover story:
+// replication by the old leader, an election after the crash, a new node
+// winning it, and proposals flowing again — with the crashed node's ring
+// still part of the narrative.
+func TestFailoverTraceNarrative(t *testing.T) {
+	c, err := NewCluster(Options{
+		Kind:  KindFastRaft,
+		Nodes: fiveNodes(),
+		Seed:  11,
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	DumpTraceOnFailure(t, c)
+
+	leader, ok := c.WaitForLeader(5 * time.Second)
+	if !ok {
+		t.Fatal("no leader")
+	}
+	if _, err := c.RunProposals("n2", 5, c.Sched.Now()+30*time.Second); err != nil {
+		t.Fatalf("pre-crash proposals: %v", err)
+	}
+	crashAt := c.Sched.Now()
+	c.Crash(leader)
+	if _, ok := c.WaitForLeader(c.Sched.Now() + 10*time.Second); !ok {
+		t.Fatal("no new leader after crash")
+	}
+	var prop types.NodeID
+	for _, id := range fiveNodes() {
+		if id != leader {
+			prop = id
+			break
+		}
+	}
+	if _, err := c.RunProposals(prop, 5, c.Sched.Now()+30*time.Second); err != nil {
+		t.Fatalf("post-crash proposals: %v", err)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := c.MergedTrace()
+	if len(merged) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	// Time-ordered, all five nodes contributing.
+	nodes := map[string]bool{}
+	for i, e := range merged {
+		if i > 0 && e.At < merged[i-1].At {
+			t.Fatalf("merged dump not time-ordered at %d: %s after %s", i, e.At, merged[i-1].At)
+		}
+		nodes[e.Node] = true
+	}
+	if len(nodes) != 5 {
+		t.Fatalf("dump covers %d nodes, want all 5 (got %v)", len(nodes), nodes)
+	}
+	// The crashed leader's ring outlives the crash and is in the merge.
+	if len(c.TraceSnapshot(leader)) == 0 {
+		t.Fatalf("crashed leader %s has no retained events", leader)
+	}
+	// The narrative: the old leader led, replicated, then after the crash
+	// another node won an election; proposals committed on both sides.
+	var ledBefore, wonAfter, dispatched, committed bool
+	for _, e := range merged {
+		switch e.Type {
+		case trace.EvRoleChange:
+			if types.Role(e.Arg) == types.RoleLeader && e.Node == string(leader) && e.At < crashAt {
+				ledBefore = true
+			}
+		case trace.EvElectionWon:
+			if e.At > crashAt && e.Node != string(leader) {
+				wonAfter = true
+			}
+		case trace.EvAppendDispatch:
+			dispatched = true
+		case trace.EvStage:
+			if trace.Stage(e.Arg) == trace.StageCommit {
+				committed = true
+			}
+		}
+	}
+	if !ledBefore {
+		t.Errorf("dump has no pre-crash leadership of %s", leader)
+	}
+	if !wonAfter {
+		t.Error("dump has no post-crash election win by a surviving node")
+	}
+	if !dispatched {
+		t.Error("dump has no append dispatches")
+	}
+	if !committed {
+		t.Error("dump has no commit-stage stamps")
+	}
+	if t.Failed() {
+		t.Logf("merged dump:\n%s", trace.Format(merged))
+	}
+}
+
+// fakeTB drives DumpTraceOnFailure without failing the real test.
+type fakeTB struct {
+	name     string
+	failed   bool
+	cleanups []func()
+	logs     []string
+}
+
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Failed() bool      { return f.failed }
+func (f *fakeTB) Logf(format string, args ...any) {
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Name() string { return f.name }
+func (f *fakeTB) runCleanups() {
+	for _, fn := range f.cleanups {
+		fn()
+	}
+}
+
+func TestDumpTraceOnFailure(t *testing.T) {
+	c, err := NewCluster(Options{Kind: KindRaft, Nodes: ids("n1", "n2", "n3"), Seed: 3, Trace: true})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+
+	// Passing test: no dump.
+	pass := &fakeTB{name: "TestPass"}
+	DumpTraceOnFailure(pass, c)
+	pass.runCleanups()
+	if len(pass.logs) != 0 {
+		t.Fatalf("passing test dumped: %v", pass.logs)
+	}
+
+	// Failing test: dump logged and written to HRAFT_TRACE_DIR with the
+	// test name sanitized into a file name.
+	dir := t.TempDir()
+	t.Setenv("HRAFT_TRACE_DIR", dir)
+	fail := &fakeTB{name: "TestX/sub case", failed: true}
+	DumpTraceOnFailure(fail, c)
+	fail.runCleanups()
+	joined := strings.Join(fail.logs, "\n")
+	if !strings.Contains(joined, "flight-recorder dump") || !strings.Contains(joined, "election.won") {
+		t.Fatalf("failure dump missing or empty:\n%s", joined)
+	}
+	path := filepath.Join(dir, "TestX_sub_case.trace")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace artifact not written: %v", err)
+	}
+	if !strings.Contains(string(data), "role") {
+		t.Fatalf("trace artifact content suspect:\n%s", data)
+	}
+
+	// Tracing off: the dump explains itself instead of silently missing.
+	plain, err := NewCluster(Options{Kind: KindRaft, Nodes: ids("n1", "n2", "n3"), Seed: 3})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	off := &fakeTB{name: "TestOff", failed: true}
+	DumpTraceOnFailure(off, plain)
+	off.runCleanups()
+	if !strings.Contains(strings.Join(off.logs, "\n"), "no trace events") {
+		t.Fatalf("disabled tracing not explained: %v", off.logs)
+	}
+}
+
+// TestCraftTraceInterleavesLayers checks that a C-Raft site's local and
+// global consensus layers record into one shared ring, labeled apart.
+func TestCraftTraceInterleavesLayers(t *testing.T) {
+	c, err := NewCraftCluster(CraftOptions{
+		Clusters: []ClusterSpec{
+			{ID: "cA", Sites: ids("a1", "a2", "a3"), Region: "us-east-1"},
+			{ID: "cB", Sites: ids("b1", "b2", "b3"), Region: "eu-west-1"},
+		},
+		Seed:  5,
+		Trace: true,
+	})
+	if err != nil {
+		t.Fatalf("NewCraftCluster: %v", err)
+	}
+	if !c.WaitForLeaders(30 * time.Second) {
+		t.Fatal("no leaders")
+	}
+	// 25 proposals at batch size 10: at least two full batches must make
+	// the batch → global-order → replay round trip.
+	p, err := c.StartProposer(ProposerOptions{Node: "a2", MaxProposals: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.RunUntil(func() bool { return p.Completed >= 25 }, c.Sched.Now()+2*time.Minute) {
+		t.Fatalf("only %d/25 proposals resolved", p.Completed)
+	}
+	if !c.RunUntil(func() bool {
+		return c.GlobalItemsCommitted(0, c.Sched.Now()+1) >= 20
+	}, c.Sched.Now()+2*time.Minute) {
+		t.Fatalf("only %d items committed globally", c.GlobalItemsCommitted(0, c.Sched.Now()+1))
+	}
+	merged := c.MergedTrace()
+	var local, global bool
+	for _, e := range merged {
+		if strings.HasSuffix(e.Node, "/global") {
+			global = true
+		} else {
+			local = true
+		}
+	}
+	if !local || !global {
+		t.Fatalf("dump lacks both layers (local=%v global=%v):\n%s", local, global, trace.Format(merged))
+	}
+	// Batch → global-order → replay hops are part of the story.
+	seen := map[trace.EventType]bool{}
+	for _, e := range merged {
+		seen[e.Type] = true
+	}
+	for _, want := range []trace.EventType{trace.EvBatchPropose, trace.EvGlobalOrder, trace.EvReplay} {
+		if !seen[want] {
+			t.Errorf("dump has no %s events", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("merged dump:\n%s", trace.Format(merged))
+	}
+}

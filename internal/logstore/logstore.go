@@ -23,6 +23,7 @@
 package logstore
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 
@@ -58,11 +59,24 @@ type Log struct {
 	lastIndex types.Index
 	// byPID locates retained entries by proposal for de-duplication.
 	// Values are indices; entries with zero PIDs are not tracked. Mappings
-	// at or below the compaction boundary are dropped — bounding the map
-	// by the retained log length — because restart-safe de-duplication of
-	// committed-then-compacted proposals is owned by the session registry
-	// (internal/session), whose state rides in the snapshot.
+	// at or below the compaction boundary move into the compacted window —
+	// bounding the map by the retained log length — while restart-safe
+	// de-duplication of committed-then-compacted proposals is owned by the
+	// session registry (internal/session), whose state rides in the
+	// snapshot.
 	byPID map[types.ProposalID]types.Index
+	// compacted is the sessionless-retry window: a bounded LRU of proposal
+	// mappings whose entries were dropped by compaction. Sessionless
+	// proposers that retry after a lost acknowledgment race compaction —
+	// once the committed entry is snapshotted away, byPID no longer knows
+	// it and the retry would commit a second time. The window keeps the
+	// most recently compacted mappings findable so such retries still
+	// resolve to the original index. Best-effort only (bounded, not
+	// restart-safe): sessions remain the exactly-once mechanism.
+	compacted pidWindow
+	// compactedHits counts FindProposal answers served from the window;
+	// each one is a duplicate commit avoided.
+	compactedHits uint64
 	// config is the configuration carried by the last KindConfig entry in
 	// the log (or the snapshot/bootstrap base), and configIndex its index
 	// (0 if from bootstrap).
@@ -73,6 +87,58 @@ type Log struct {
 	// it came from. It is the fallback when no retained entry carries one.
 	base      types.Config
 	baseIndex types.Index
+}
+
+// compactedWindowSize bounds the sessionless-retry window: how many
+// recently compacted proposal mappings stay findable after their entries
+// left the log. Large enough to cover a burst of retries racing one
+// compaction, small enough to be memory-irrelevant.
+const compactedWindowSize = 1024
+
+// pidWindow is a bounded LRU of proposal→index mappings. Lookups refresh
+// recency; inserting past capacity evicts the least recently used mapping.
+type pidWindow struct {
+	byPID map[types.ProposalID]*list.Element
+	order *list.List // front = most recently used
+}
+
+type pidMapping struct {
+	pid types.ProposalID
+	idx types.Index
+}
+
+func (w *pidWindow) add(pid types.ProposalID, idx types.Index) {
+	if w.byPID == nil {
+		w.byPID = make(map[types.ProposalID]*list.Element)
+		w.order = list.New()
+	}
+	if el, ok := w.byPID[pid]; ok {
+		el.Value.(*pidMapping).idx = idx
+		w.order.MoveToFront(el)
+		return
+	}
+	w.byPID[pid] = w.order.PushFront(&pidMapping{pid: pid, idx: idx})
+	if w.order.Len() > compactedWindowSize {
+		oldest := w.order.Back()
+		w.order.Remove(oldest)
+		delete(w.byPID, oldest.Value.(*pidMapping).pid)
+	}
+}
+
+func (w *pidWindow) get(pid types.ProposalID) (types.Index, bool) {
+	el, ok := w.byPID[pid]
+	if !ok {
+		return 0, false
+	}
+	w.order.MoveToFront(el)
+	return el.Value.(*pidMapping).idx, true
+}
+
+func (w *pidWindow) len() int {
+	if w.order == nil {
+		return 0
+	}
+	return w.order.Len()
 }
 
 // New returns an empty log with the given bootstrap configuration. The
@@ -158,12 +224,22 @@ func (l *Log) ConfigAt(idx types.Index) (types.Config, types.Index) {
 }
 
 // FindProposal returns the index at which the proposal identified by pid is
-// stored (possibly below the compaction boundary), or 0.
+// stored, or 0. A retained entry answers directly; failing that, the
+// bounded window of recently compacted mappings is consulted, so a
+// sessionless retry arriving just after compaction still resolves to the
+// original (committed) index instead of committing twice.
 func (l *Log) FindProposal(pid types.ProposalID) types.Index {
 	if pid.IsZero() {
 		return 0
 	}
-	return l.byPID[pid]
+	if idx := l.byPID[pid]; idx != 0 {
+		return idx
+	}
+	if idx, ok := l.compacted.get(pid); ok {
+		l.compactedHits++
+		return idx
+	}
+	return 0
 }
 
 // InsertSelf inserts a self-approved entry at idx if the slot is free,
@@ -270,9 +346,10 @@ func (l *Log) TruncateSuffix(idx types.Index) {
 // CompactTo discards every entry at or below idx, recording idx/term as the
 // new snapshot boundary. The boundary must lie inside the leader-approved
 // prefix (callers additionally restrict it to committed, applied entries)
-// and advance monotonically. Proposal-ID mappings of compacted entries are
-// dropped with them: in-log de-duplication covers only the retained suffix,
-// and the session registry covers everything below the boundary.
+// and advance monotonically. Proposal-ID mappings of compacted entries move
+// into the bounded retry window: full in-log de-duplication covers the
+// retained suffix, recently compacted proposals stay findable for a while,
+// and the session registry covers everything older.
 func (l *Log) CompactTo(idx types.Index, term types.Term) error {
 	if idx <= l.snapIndex {
 		return fmt.Errorf("%w: compact to %d at or below boundary %d", ErrCompacted, idx, l.snapIndex)
@@ -291,12 +368,17 @@ func (l *Log) CompactTo(idx types.Index, term types.Term) error {
 	return nil
 }
 
-// dropCompactedPIDs removes proposal mappings that point at or below the
-// snapshot boundary, keeping the map proportional to the retained log.
+// dropCompactedPIDs moves proposal mappings that point at or below the
+// snapshot boundary into the bounded retry window, keeping the primary map
+// proportional to the retained log. Only compaction paths call this, so
+// every windowed mapping refers to a committed entry — truncated or
+// overwritten (never-committed) entries are removed outright by remove()
+// and never enter the window.
 func (l *Log) dropCompactedPIDs() {
 	for pid, idx := range l.byPID {
 		if idx <= l.snapIndex {
 			delete(l.byPID, pid)
+			l.compacted.add(pid, idx)
 		}
 	}
 }
@@ -304,6 +386,15 @@ func (l *Log) dropCompactedPIDs() {
 // PIDCount returns the number of tracked proposal mappings (tests assert it
 // stays bounded across compactions).
 func (l *Log) PIDCount() int { return len(l.byPID) }
+
+// CompactedPIDCount returns the number of mappings in the sessionless-retry
+// window (bounded by a fixed capacity; tests assert the bound holds).
+func (l *Log) CompactedPIDCount() int { return l.compacted.len() }
+
+// CompactedPIDHits returns how many FindProposal lookups were answered from
+// the retry window — each one a duplicate commit avoided after compaction
+// outran a sessionless retry.
+func (l *Log) CompactedPIDHits() uint64 { return l.compactedHits }
 
 // InstallSnapshot resets the log to a snapshot boundary received from the
 // leader: everything at or below meta.LastIndex is dropped and the

@@ -342,14 +342,23 @@ func TestCompactTo(t *testing.T) {
 	if l.Term(6) != 2 {
 		t.Fatalf("Term(boundary) = %d", l.Term(6))
 	}
-	// Compacted proposals drop out of the PID map (restart-safe dedup of
-	// the compacted prefix is the session registry's job); retained ones
-	// stay findable.
-	if idx := l.FindProposal(pid("p", 3)); idx != 0 {
-		t.Fatalf("compacted pid lookup = %d, want 0", idx)
+	// Compacted proposals drop out of the primary PID map into the bounded
+	// retry window, so recent ones still resolve to their original index;
+	// retained ones stay findable directly.
+	if got := l.PIDCount(); got != 4 {
+		t.Fatalf("PID map has %d entries after compaction, want 4 (retained suffix)", got)
+	}
+	if idx := l.FindProposal(pid("p", 3)); idx != 3 {
+		t.Fatalf("compacted pid lookup = %d, want 3 (retry window)", idx)
+	}
+	if hits := l.CompactedPIDHits(); hits != 1 {
+		t.Fatalf("window hits = %d, want 1", hits)
 	}
 	if idx := l.FindProposal(pid("p", 8)); idx != 8 {
 		t.Fatalf("retained pid lookup = %d, want 8", idx)
+	}
+	if hits := l.CompactedPIDHits(); hits != 1 {
+		t.Fatalf("retained lookup bumped window hits to %d", hits)
 	}
 	// Appends continue above the old tail.
 	if err := l.AppendLeader(11, leaderEntry(2, "p", 11)); err != nil {
@@ -404,6 +413,108 @@ func TestCompactToBoundsPIDMap(t *testing.T) {
 	}
 	if err := l.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCompactedPIDWindowBounded overflows the sessionless-retry window
+// across several compaction rounds and checks LRU behavior: the window
+// never exceeds its capacity, recently compacted mappings survive while the
+// oldest rounds are evicted, and hits are counted only for window answers.
+func TestCompactedPIDWindowBounded(t *testing.T) {
+	const round = 256
+	rounds := compactedWindowSize/round + 4 // overflow by 4 rounds
+	l := New(types.NewConfig("a", "b", "c"))
+	next := types.Index(1)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < round; i++ {
+			if err := l.AppendLeader(next, leaderEntry(1, "p", uint64(next))); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := l.CompactTo(next-1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.CompactedPIDCount(); got > compactedWindowSize {
+			t.Fatalf("round %d: window holds %d mappings, cap %d", r, got, compactedWindowSize)
+		}
+	}
+	if got := l.CompactedPIDCount(); got != compactedWindowSize {
+		t.Fatalf("window holds %d mappings after overflow, want %d", got, compactedWindowSize)
+	}
+	// Everything compacted in the most recent rounds still resolves; the
+	// first round was evicted long ago.
+	lo := uint64(next) - uint64(compactedWindowSize)
+	for s := lo; s < uint64(next); s++ {
+		if idx := l.FindProposal(pid("p", s)); idx != types.Index(s) {
+			t.Fatalf("recent compacted pid %d resolves to %d, want %d", s, idx, s)
+		}
+	}
+	if hits := l.CompactedPIDHits(); hits != uint64(compactedWindowSize) {
+		t.Fatalf("window hits = %d, want %d", hits, compactedWindowSize)
+	}
+	for s := uint64(1); s <= uint64(round); s++ {
+		if idx := l.FindProposal(pid("p", s)); idx != 0 {
+			t.Fatalf("evicted pid %d still resolves to %d", s, idx)
+		}
+	}
+	if hits := l.CompactedPIDHits(); hits != uint64(compactedWindowSize) {
+		t.Fatalf("missed lookups bumped window hits to %d", hits)
+	}
+}
+
+// TestCompactedPIDWindowRefresh checks that a window lookup refreshes the
+// mapping's recency: a proposal that keeps being retried outlives mappings
+// compacted after it.
+func TestCompactedPIDWindowRefresh(t *testing.T) {
+	const first = 256
+	l := New(types.NewConfig("a", "b", "c"))
+	next := types.Index(1)
+	fill := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := l.AppendLeader(next, leaderEntry(1, "p", uint64(next))); err != nil {
+				t.Fatal(err)
+			}
+			next++
+		}
+		if err := l.CompactTo(next-1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fill(first)
+	// Retry proposal 1: served from the window, recency refreshed.
+	if idx := l.FindProposal(pid("p", 1)); idx != 1 {
+		t.Fatalf("windowed pid resolves to %d, want 1", idx)
+	}
+	// Compact exactly enough further mappings that the window must evict
+	// every unrefreshed first-round mapping (first-1 of them) — but stop
+	// short of the refreshed proposal, which lookup moved ahead of them.
+	fill(compactedWindowSize - 1)
+	if idx := l.FindProposal(pid("p", 1)); idx != 1 {
+		t.Fatalf("refreshed pid evicted (lookup = %d)", idx)
+	}
+	if idx := l.FindProposal(pid("p", 2)); idx != 0 {
+		t.Fatalf("unrefreshed pid from the same round survived at %d", idx)
+	}
+}
+
+// TestTruncatedPIDsNeverEnterWindow: suffix truncation removes uncommitted
+// entries, which must not become claimable through the retry window — only
+// compaction (committed prefixes) feeds it.
+func TestTruncatedPIDsNeverEnterWindow(t *testing.T) {
+	l := buildLeaderLog(t, 5, 1)
+	l.TruncateSuffix(3) // entries 4 and 5 never committed
+	if err := l.CompactTo(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if idx := l.FindProposal(pid("p", 4)); idx != 0 {
+		t.Fatalf("truncated pid resolves to %d via window", idx)
+	}
+	if idx := l.FindProposal(pid("p", 2)); idx != 2 {
+		t.Fatalf("compacted pid resolves to %d, want 2", idx)
+	}
+	if got := l.CompactedPIDCount(); got != 3 {
+		t.Fatalf("window holds %d mappings, want 3", got)
 	}
 }
 

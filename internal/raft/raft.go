@@ -25,6 +25,7 @@ import (
 	"github.com/hraft-io/hraft/internal/session"
 	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -87,6 +88,10 @@ type Config struct {
 	// Rand drives randomized timeouts; required for deterministic
 	// simulation.
 	Rand *rand.Rand
+	// Recorder, when set, receives protocol flight-recorder events and
+	// proposal lifecycle spans (see internal/trace). Nil disables recording
+	// at the cost of one nil check per instrumentation point.
+	Recorder *trace.Recorder
 }
 
 // Defaults fills unset durations with the paper's experimental settings.
@@ -221,6 +226,10 @@ type Node struct {
 	// entry (expiry pacing).
 	lastSessionClock time.Duration
 
+	// rec is the protocol flight recorder (nil = disabled; every call is a
+	// nil-check no-op).
+	rec *trace.Recorder
+
 	now time.Duration
 }
 
@@ -253,7 +262,9 @@ func New(cfg Config) (*Node, error) {
 		metrics:     stats.NewCounters(),
 		commitHist:  stats.NewTimingHist("hist.commit_latency", stats.DefaultLatencyBounds()...),
 		installHist: stats.NewTimingHist("hist.snapshot_install", stats.DefaultLatencyBounds()...),
+		rec:         cfg.Recorder,
 	}
+	n.rec.SetPeersFunc(func() []types.NodeID { return n.Config().Others(n.cfg.ID) })
 	// A node with persisted consensus state may have underwritten a lease
 	// before it crashed; see bootGraceArm.
 	n.bootGraceArm = hs.Term > 0
@@ -318,10 +329,25 @@ func (n *Node) Metrics() map[string]uint64 {
 	out := n.metrics.Snapshot()
 	n.commitHist.MergeInto(out, "")
 	n.installHist.MergeInto(out, "")
+	n.rec.MergeMetrics(out, "")
 	out["gauge.log_span"] = uint64(n.log.LastIndex() - n.log.FirstIndex() + 1)
 	out["gauge.sessions_open"] = uint64(n.sessions.Len())
 	out["gauge.snapshot_bytes"] = uint64(len(n.snap.Data) + len(n.snap.Sessions))
+	out["log.compacted_pid_hits"] = n.log.CompactedPIDHits()
 	return out
+}
+
+// Recorder exposes the node's flight recorder (nil when tracing is
+// disabled). The recorder is safe to snapshot from any goroutine.
+func (n *Node) Recorder() *trace.Recorder { return n.rec }
+
+// LeaseUntil returns the read lease expiry on this node's clock (0 = no
+// lease, or not leading); diagnostics.
+func (n *Node) LeaseUntil() time.Duration {
+	if n.readMgr == nil {
+		return 0
+	}
+	return n.readMgr.LeaseUntil()
 }
 
 // Progress exposes the per-peer replication tracker (nil unless leader);
@@ -389,6 +415,7 @@ func (n *Node) Propose(now time.Duration, data []byte) types.ProposalID {
 	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
 	e := types.Entry{Kind: types.KindNormal, PID: pid, Data: append([]byte(nil), data...)}
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
+	n.rec.SpanStart(now, pid, n.term)
 	n.submit(e)
 	return pid
 }
@@ -405,6 +432,7 @@ func (n *Node) OpenSession(now time.Duration) types.ProposalID {
 	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
 	e := types.Entry{Kind: types.KindSessionOpen, PID: pid}
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
+	n.rec.SpanStart(now, pid, n.term)
 	n.submit(e)
 	return pid
 }
@@ -432,6 +460,7 @@ func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq, ack u
 		Data:       append([]byte(nil), data...),
 	}
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
+	n.rec.SpanStart(now, pid, n.term)
 	n.submit(e)
 	return pid
 }
@@ -578,6 +607,7 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 	n.notifyQueue = nil
 	n.tickDeadline = 0
 	n.resetElectionTimer()
+	n.rec.RoleChange(n.now, n.term, types.RoleFollower, n.leaderID)
 }
 
 func (n *Node) startElection() {
@@ -598,6 +628,8 @@ func (n *Node) startElection() {
 	// its previous leadership's encoded image.
 	n.snapEnc.Release()
 	n.resetElectionTimer()
+	n.rec.ElectionStart(n.now, n.term)
+	n.rec.RoleChange(n.now, n.term, types.RoleCandidate, types.None)
 	req := types.RequestVote{
 		Term:         n.term,
 		CandidateID:  n.cfg.ID,
@@ -654,6 +686,9 @@ func (n *Node) onRequestVoteResp(from types.NodeID, m types.RequestVoteResp) {
 		n.becomeFollower(m.Term, types.None)
 		return
 	}
+	if n.role == types.RoleCandidate && m.Term == n.term {
+		n.rec.Vote(n.now, m.Term, from, m.Granted)
+	}
 	if n.role != types.RoleCandidate || m.Term < n.term || !m.Granted {
 		return
 	}
@@ -670,6 +705,8 @@ func (n *Node) maybeWinElection() {
 }
 
 func (n *Node) becomeLeader() {
+	n.rec.ElectionWon(n.now, n.term, len(n.votes))
+	n.rec.RoleChange(n.now, n.term, types.RoleLeader, n.cfg.ID)
 	n.role = types.RoleLeader
 	n.leaderID = n.cfg.ID
 	// Session clock advances are measured within one leadership; a stale
@@ -739,6 +776,7 @@ func (n *Node) leaderAppend(e types.Entry) {
 	stored, _ := n.log.Get(idx)
 	n.persistEntry(stored)
 	n.appendedAt[idx] = n.now
+	n.rec.SpanStage(n.now, e.PID, trace.StageAppend, idx)
 	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
 }
 
@@ -758,7 +796,7 @@ func (n *Node) onClientPropose(from types.NodeID, m types.ClientPropose) {
 // notification flush, and AppendEntries dispatch.
 func (n *Node) leaderTick() {
 	n.advanceCommit()
-	n.reads.Flush()
+	n.reads.Flush(n.now)
 	n.maybeSessionClock()
 	n.flushNotifications()
 	n.broadcastAppend()
@@ -788,6 +826,7 @@ func (n *Node) commitTo(k types.Index) {
 			n.commitHist.Observe(n.now - at)
 			delete(n.appendedAt, i)
 		}
+		n.rec.SpanStage(n.now, e.PID, trace.StageCommit, i)
 		if n.applySessionCommit(e) {
 			// Session duplicate (or expired-session proposal): the slot
 			// commits but the entry is withheld from the state machine.
@@ -811,6 +850,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 	switch e.Kind {
 	case types.KindSessionOpen:
 		n.sessions.ApplyOpen(e.Index)
+		n.rec.SessionOpen(n.now, uint64(e.Index))
 		return false
 	case types.KindSessionExpire:
 		advance, ttl, err := session.DecodeExpire(e.Data)
@@ -818,6 +858,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 			panic(fmt.Sprintf("raft %s: corrupt session clock entry at %d: %v", n.cfg.ID, e.Index, err))
 		}
 		n.sessions.ApplyExpire(advance, ttl)
+		n.rec.SessionExpire(n.now, n.sessions.Len())
 		return false
 	case types.KindNormal:
 		if e.Session.IsZero() {
@@ -850,6 +891,7 @@ func (n *Node) answerProposer(pid types.ProposalID, idx types.Index) {
 	if pid.Proposer == n.cfg.ID {
 		if _, ok := n.pending[pid]; ok {
 			delete(n.pending, pid)
+			n.rec.SpanEnd(n.now, pid, idx)
 			n.resolved = append(n.resolved, types.Resolution{PID: pid, Index: idx})
 		}
 		return
@@ -898,6 +940,7 @@ func (n *Node) observeCommitted(e types.Entry) {
 	}
 	if _, ok := n.pending[e.PID]; ok {
 		delete(n.pending, e.PID)
+		n.rec.SpanEnd(n.now, e.PID, e.Index)
 		n.resolved = append(n.resolved, types.Resolution{PID: e.PID, Index: e.Index})
 	}
 }
@@ -959,6 +1002,16 @@ func (n *Node) broadcastAppend() {
 	}
 	for _, peer := range cfg.Others(n.cfg.ID) {
 		msgs, snapshot := n.progress.AppendMessages(peer, lv, rc)
+		if n.rec != nil {
+			for _, m := range msgs {
+				if len(m.Entries) > 0 {
+					n.rec.AppendDispatch(n.now, m.Term, peer, m.PrevLogIndex, len(m.Entries), m.Round)
+					for _, e := range m.Entries {
+						n.rec.SpanStage(n.now, e.PID, trace.StageReplicate, e.Index)
+					}
+				}
+			}
+		}
 		if snapshot {
 			// The entries this follower needs are compacted away; stream
 			// the snapshot instead. While the install is pending, nothing
@@ -1050,14 +1103,20 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	if !m.Success {
 		// Back off; the follower's last-index hint converges quickly.
 		pr.RejectAppend(m.LastLogIndex)
+		n.rec.AppendReject(n.now, m.Term, from, m.LastLogIndex)
 	} else {
+		// Record only acks that advance the match (idle heartbeat echoes
+		// carry no forensic signal and would churn the ring).
+		if n.rec != nil && m.MatchIndex > pr.Match() {
+			n.rec.AppendAck(n.now, m.Term, from, m.MatchIndex, m.Round)
+		}
 		pr.AckAppend(m.MatchIndex, n.now)
 	}
 	// Any same-term response confirms leadership at the round's dispatch
 	// time — the consistency-check outcome is irrelevant to reads.
 	if n.readMgr != nil && m.ReadCtx != 0 {
-		n.readMgr.ObserveAck(from, m.ReadCtx)
-		n.reads.Flush()
+		n.readMgr.ObserveAck(from, m.ReadCtx, n.now)
+		n.reads.Flush(n.now)
 	}
 	// Stream continuation: the follower holds a partial snapshot stream at
 	// our boundary (from a predecessor leader); seed the transfer from its
@@ -1065,6 +1124,7 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 	if b := m.PendingBoundary; b != 0 && b == n.log.SnapshotIndex() &&
 		m.PendingOffset > 0 && pr.Match() < b {
 		n.progress.SeedSnapshot(from, b, m.PendingOffset, n.now)
+		n.rec.SnapResume(n.now, from, b, m.PendingOffset)
 	}
 	// Commit evaluation happens at the next leader tick (timing model).
 }
@@ -1072,6 +1132,7 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 func (n *Node) onCommitNotify(m types.CommitNotify) {
 	if _, ok := n.pending[m.PID]; ok {
 		delete(n.pending, m.PID)
+		n.rec.SpanEnd(n.now, m.PID, m.Index)
 		n.resolved = append(n.resolved, types.Resolution{PID: m.PID, Index: m.Index})
 	}
 }
@@ -1139,6 +1200,16 @@ func (n *Node) sendSnapshotTo(peer types.NodeID) bool {
 	msgs := n.progress.SnapshotMessages(peer, n.snap, enc, check,
 		n.term, n.cfg.ID, n.aeRound, n.now)
 	for _, m := range msgs {
+		if n.rec != nil {
+			b := m.Boundary
+			if b == 0 {
+				b = n.snap.Meta.LastIndex
+			}
+			if m.Offset == 0 {
+				n.rec.SnapStreamStart(n.now, n.term, peer, b)
+			}
+			n.rec.SnapChunk(n.now, peer, b, m.Offset, m.Done)
+		}
 		n.send(peer, m)
 	}
 	return len(msgs) > 0
@@ -1191,6 +1262,7 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		}
 		s, complete, ack := n.snapRecv.Offer(boundary, m.Check, m.Offset, m.Data, m.Done)
 		resp.Offset = ack
+		n.rec.SnapChunkRecv(n.now, from, boundary, ack)
 		if !complete {
 			n.send(from, resp) // acknowledge buffered progress
 			return
@@ -1223,6 +1295,7 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	}
 	n.metrics.Inc(replica.CounterInstalls)
 	n.installHist.Observe(n.now - n.installStart)
+	n.rec.SnapInstall(n.now, snap.Meta.LastIndex, n.now-n.installStart)
 	n.installStart = 0
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)

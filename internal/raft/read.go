@@ -26,7 +26,7 @@ func (n *Node) newReadFrontend() *readpath.Frontend {
 		Send:         n.send,
 		RetryTimeout: n.cfg.ProposalTimeout,
 		RetrySoon:    n.cfg.HeartbeatInterval,
-	}, uint64(n.cfg.Rand.Int63()), n.metrics)
+	}, uint64(n.cfg.Rand.Int63()), n.metrics, n.rec)
 }
 
 // newReadManager builds the leadership's read manager, sharing the
@@ -44,6 +44,7 @@ func (n *Node) newReadManager() *readpath.Manager {
 			}
 			return 0
 		},
+		Recorder: n.rec,
 	}, n.metrics)
 }
 

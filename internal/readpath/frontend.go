@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -19,6 +20,7 @@ import (
 type Frontend struct {
 	nv       NodeView
 	counters *stats.Counters
+	rec      *trace.Recorder
 
 	// seq numbers this node's reads. It starts at a Rand-drawn offset so a
 	// restart cannot reuse the IDs of reads still in flight at the leader:
@@ -86,14 +88,16 @@ type pendingRead struct {
 
 // NewFrontend builds a frontend. seqStart seeds the token sequence (draw
 // it from the node's Rand; see the seq field comment). counters may be
-// shared with the owning node.
-func NewFrontend(nv NodeView, seqStart uint64, counters *stats.Counters) *Frontend {
+// shared with the owning node; rec (nil = disabled) receives read-serve
+// flight-recorder events.
+func NewFrontend(nv NodeView, seqStart uint64, counters *stats.Counters, rec *trace.Recorder) *Frontend {
 	if counters == nil {
 		counters = stats.NewCounters()
 	}
 	return &Frontend{
 		nv:         nv,
 		counters:   counters,
+		rec:        rec,
 		seq:        seqStart,
 		origins:    make(map[uint64]readOrigin),
 		remoteKeys: make(map[remoteReadKey]uint64),
@@ -113,7 +117,9 @@ func (f *Frontend) Read(now time.Duration, c types.ReadConsistency) uint64 {
 	id := f.seq
 	if c == types.ReadStale {
 		f.counters.Inc(CounterStaleReads)
-		f.done = append(f.done, types.ReadDone{ID: id, Index: f.nv.CommitIndex(), OK: true})
+		idx := f.nv.CommitIndex()
+		f.done = append(f.done, types.ReadDone{ID: id, Index: idx, OK: true})
+		f.rec.ReadServe(now, id, idx, true)
 		return id
 	}
 	if f.nv.IsLeader() && f.nv.Manager() != nil {
@@ -162,7 +168,7 @@ func (f *Frontend) serve(o readOrigin, now time.Duration) {
 	if o.consistency == types.ReadLeaseBased &&
 		mgr.LeaseValid(now) && commit >= f.nv.Floor() {
 		f.counters.Inc(CounterLeaseReads)
-		f.finish(o, commit, true)
+		f.finish(o, commit, true, now)
 		return
 	}
 	f.token++
@@ -180,7 +186,8 @@ func (f *Frontend) serve(o readOrigin, now time.Duration) {
 
 // finish resolves one read toward its origin (a zero origin — a
 // superseded registration — is dropped by the core's send guard).
-func (f *Frontend) finish(o readOrigin, idx types.Index, ok bool) {
+func (f *Frontend) finish(o readOrigin, idx types.Index, ok bool, now time.Duration) {
+	f.rec.ReadServe(now, o.id, idx, ok)
 	if o.origin == f.nv.Self {
 		f.done = append(f.done, types.ReadDone{ID: o.id, Index: idx, OK: ok})
 		return
@@ -191,7 +198,7 @@ func (f *Frontend) finish(o readOrigin, idx types.Index, ok bool) {
 // Flush releases confirmed reads the commit index has caught up to. The
 // cores call it after commit advancement and after folding heartbeat
 // acks.
-func (f *Frontend) Flush() {
+func (f *Frontend) Flush(now time.Duration) {
 	mgr := f.nv.Manager()
 	if mgr == nil {
 		return
@@ -202,7 +209,7 @@ func (f *Frontend) Flush() {
 		if o.origin != f.nv.Self {
 			delete(f.remoteKeys, remoteReadKey{o.origin, o.id})
 		}
-		f.finish(o, d.Index, d.OK)
+		f.finish(o, d.Index, d.OK, now)
 	}
 }
 
@@ -294,6 +301,7 @@ func (f *Frontend) OnReadReply(m types.ReadReply, now time.Duration) {
 	if m.OK {
 		delete(f.pending, m.ID)
 		f.done = append(f.done, types.ReadDone{ID: m.ID, Index: m.Index, OK: true})
+		f.rec.ReadServe(now, m.ID, m.Index, true)
 		return
 	}
 	// The responder could not serve it (deposed or not leader): retry soon,

@@ -42,6 +42,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/quorum"
 	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -93,6 +94,9 @@ type Config struct {
 	// ExpireAfter is how long a batch may wait for quorum before its reads
 	// re-arm and the lease is revoked (0 = LeaseBase).
 	ExpireAfter time.Duration
+	// Recorder receives read-batch stamp/confirm flight-recorder events
+	// (nil disables recording).
+	Recorder *trace.Recorder
 }
 
 // read is one registered read awaiting confirmation and apply.
@@ -213,21 +217,22 @@ func (m *Manager) StampRound(now time.Duration) uint64 {
 		b.reads = m.unstamped
 		m.unstamped = nil
 		m.counters.Inc(CounterReadBatches)
+		m.cfg.Recorder.ReadStamp(now, b.id, len(b.reads))
 	}
 	m.batches = append(m.batches, b)
 	// On a single-member cluster the leader's implicit self-ack already is
 	// the quorum: confirm immediately, or no ObserveAck would ever fire.
-	m.confirmFront()
+	m.confirmFront(now)
 	return b.id
 }
 
 // ObserveAck folds one member's heartbeat acknowledgment echoing ctx into
 // the batch state. The caller has already verified the response is from
 // its own term. Confirmed batches move their reads to the release queue
-// and extend the lease — anchored at the batch's dispatch time, which is
-// why no ack timestamp is taken; call Release afterwards to collect
-// releasable reads.
-func (m *Manager) ObserveAck(from types.NodeID, ctx uint64) {
+// and extend the lease — anchored at the batch's dispatch time, not at
+// now (which only timestamps flight-recorder events); call Release
+// afterwards to collect releasable reads.
+func (m *Manager) ObserveAck(from types.NodeID, ctx uint64, now time.Duration) {
 	if ctx == 0 {
 		return
 	}
@@ -237,18 +242,21 @@ func (m *Manager) ObserveAck(from types.NodeID, ctx uint64) {
 	if ctx > m.acked[from] {
 		m.acked[from] = ctx
 	}
-	m.confirmFront()
+	m.confirmFront(now)
 }
 
 // confirmFront confirms leading batches while the quorum covers them (an
 // ack for a later batch covers every earlier one, so confirmation is
 // always in order).
-func (m *Manager) confirmFront() {
+func (m *Manager) confirmFront(now time.Duration) {
 	for len(m.batches) > 0 && m.ackCount(m.batches[0].id) >= m.quorum {
 		b := m.batches[0]
 		m.batches = m.batches[1:]
 		m.confirmed = append(m.confirmed, b.reads...)
 		m.counters.Inc(CounterBatchesConfirmed)
+		if len(b.reads) > 0 {
+			m.cfg.Recorder.ReadConfirm(now, b.id)
+		}
 		m.extendLease(b)
 	}
 }

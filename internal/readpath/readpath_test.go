@@ -28,7 +28,7 @@ func TestBatchConfirmAndRelease(t *testing.T) {
 		t.Fatal("round not stamped")
 	}
 	// One follower ack + the implicit self ack = quorum of 2/3.
-	m.ObserveAck("n2", ctx)
+	m.ObserveAck("n2", ctx, 0)
 	if got := c.Get(CounterBatchesConfirmed); got != 1 {
 		t.Fatalf("batches_confirmed = %d, want 1", got)
 	}
@@ -77,7 +77,7 @@ func TestLaterAckConfirmsEarlierBatches(t *testing.T) {
 	}
 	// An ack echoing the later round proves leadership at its dispatch
 	// time, which covers the earlier batch too.
-	m.ObserveAck("n3", b2)
+	m.ObserveAck("n3", b2, 0)
 	done := m.Release(6)
 	if len(done) != 2 {
 		t.Fatalf("want both reads released, got %+v", done)
@@ -88,7 +88,7 @@ func TestNonMemberAcksIgnored(t *testing.T) {
 	m, c := newTestManager(nil)
 	m.Add(1, 5)
 	ctx := m.StampRound(0)
-	m.ObserveAck("joiner", ctx) // non-voting: must not count
+	m.ObserveAck("joiner", ctx, 0) // non-voting: must not count
 	if got := c.Get(CounterBatchesConfirmed); got != 0 {
 		t.Fatalf("non-member ack confirmed a batch")
 	}
@@ -107,7 +107,7 @@ func TestLeaseExtendAndDerate(t *testing.T) {
 	m, _ := newTestManager(rtt)
 	sent := 100 * time.Millisecond
 	ctx := m.StampRound(sent)
-	m.ObserveAck("n2", ctx)
+	m.ObserveAck("n2", ctx, 0)
 	// Lease = sentAt + LeaseBase - max srtt among ackers = 100 + 300 - 40.
 	want := sent + 300*time.Millisecond - 40*time.Millisecond
 	if got := m.LeaseUntil(); got != want {
@@ -126,7 +126,7 @@ func TestLeaseAnchorsAtDispatchTime(t *testing.T) {
 	ctx := m.StampRound(0)
 	// The ack arrives late; the lease still counts from dispatch (time 0),
 	// not from the ack.
-	m.ObserveAck("n2", ctx)
+	m.ObserveAck("n2", ctx, 0)
 	if got := m.LeaseUntil(); got != 300*time.Millisecond {
 		t.Fatalf("lease until %v, want %v (anchored at dispatch)", got, 300*time.Millisecond)
 	}
@@ -136,7 +136,7 @@ func TestBatchExpiryReArmsReadsAndRevokesLease(t *testing.T) {
 	m, c := newTestManager(nil)
 	// Establish a lease first.
 	ctx := m.StampRound(0)
-	m.ObserveAck("n2", ctx)
+	m.ObserveAck("n2", ctx, 0)
 	if !m.LeaseValid(50 * time.Millisecond) {
 		t.Fatal("lease not established")
 	}
@@ -152,7 +152,7 @@ func TestBatchExpiryReArmsReadsAndRevokesLease(t *testing.T) {
 		t.Fatal("lease survived a missed quorum")
 	}
 	// The re-armed read confirms under the new batch.
-	m.ObserveAck("n3", next)
+	m.ObserveAck("n3", next, 0)
 	if done := m.Release(7); len(done) != 1 || done[0].Token != 1 {
 		t.Fatalf("re-armed read not released: %+v", done)
 	}
@@ -161,7 +161,7 @@ func TestBatchExpiryReArmsReadsAndRevokesLease(t *testing.T) {
 func TestMembershipChangeRevokesAndReArms(t *testing.T) {
 	m, c := newTestManager(nil)
 	ctx := m.StampRound(0)
-	m.ObserveAck("n2", ctx)
+	m.ObserveAck("n2", ctx, 0)
 	m.Add(1, 9)
 	m.StampRound(10 * time.Millisecond)
 	m.SetMembership([]types.NodeID{"n1", "n2", "n3", "n4", "n5"})
@@ -173,11 +173,11 @@ func TestMembershipChangeRevokesAndReArms(t *testing.T) {
 	}
 	// Old acks must not count toward the new configuration's quorum.
 	next := m.StampRound(30 * time.Millisecond)
-	m.ObserveAck("n2", next)
+	m.ObserveAck("n2", next, 0)
 	if done := m.Release(9); len(done) != 0 {
 		t.Fatalf("read released on sub-quorum (2/5): %+v", done)
 	}
-	m.ObserveAck("n4", next)
+	m.ObserveAck("n4", next, 0)
 	if done := m.Release(9); len(done) != 1 {
 		t.Fatalf("read not released on 3/5 quorum: %+v", done)
 	}

@@ -1,0 +1,863 @@
+// Package trace is the protocol flight recorder shared by every consensus
+// core: a fixed-size ring buffer of typed protocol events (role
+// transitions, election rounds, append dispatch and acknowledgment,
+// snapshot streams, read batches, sessions, C-Raft batch hops) with
+// monotonic sequence numbers, plus per-proposal lifecycle spans that stamp
+// each stage a proposal passes through (propose → append → replicate →
+// quorum → commit → apply) and fold the stage latencies into
+// "hist.stage_*" histograms.
+//
+// The recorder exists for forensics under dynamic networks: when a harness
+// test fails under an adversarial schedule, aggregate counters say *how
+// often* things happened but not *which* election interrupted *which*
+// append round in what order. Rings from several nodes merge into one
+// time-ordered narrative (Merge/Format), which is exactly what the harness
+// dumps on failure.
+//
+// A nil *Recorder is the disabled recorder: every method is nil-safe and
+// returns immediately, so cores thread an untyped nil through their config
+// and the hot path pays one nil check — no allocation, no lock. The
+// enabled path takes one small mutex per event (the ring must tolerate a
+// concurrent Snapshot from outside the consensus goroutine).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/stats"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// EventType discriminates ring events.
+type EventType uint8
+
+// Event types. Arg/Arg2 carry type-specific payloads documented per
+// constant.
+const (
+	// EvRoleChange: node changed role. Arg = role (types.Role), Peer = the
+	// leader it follows (if any).
+	EvRoleChange EventType = iota + 1
+	// EvElectionStart: node started an election at Term.
+	EvElectionStart
+	// EvVote: node received a vote response. Peer = voter, Arg = 1 granted
+	// / 0 refused.
+	EvVote
+	// EvElectionWon: node won the election at Term. Arg = votes counted.
+	EvElectionWon
+	// EvAppendDispatch: leader sent AppendEntries to Peer. Index = prev log
+	// index anchor, Arg = entry count, Arg2 = heartbeat round.
+	EvAppendDispatch
+	// EvAppendAck: Peer acknowledged appends up to Index. Arg2 = round.
+	EvAppendAck
+	// EvAppendReject: Peer failed the consistency check; Index = its
+	// last-index hint.
+	EvAppendReject
+	// EvSnapStreamStart: leader started streaming its snapshot (boundary
+	// Index) to Peer.
+	EvSnapStreamStart
+	// EvSnapChunk: leader sent one snapshot chunk to Peer. Index =
+	// boundary, Arg = byte offset, Arg2 = 1 on the final chunk.
+	EvSnapChunk
+	// EvSnapChunkRecv: follower buffered a chunk from Peer. Index =
+	// boundary, Arg = acknowledged contiguous bytes.
+	EvSnapChunkRecv
+	// EvSnapResume: leader continued a predecessor's stream to Peer from
+	// byte Arg (boundary Index).
+	EvSnapResume
+	// EvSnapInstall: follower installed a snapshot at boundary Index.
+	// Arg = install duration in microseconds.
+	EvSnapInstall
+	// EvReadStamp: leader sealed a read batch onto a broadcast round.
+	// Arg = batch ID (ReadCtx), Arg2 = reads in the batch.
+	EvReadStamp
+	// EvReadConfirm: a quorum of acks confirmed batch Arg.
+	EvReadConfirm
+	// EvReadServe: a read resolved. Arg = read token, Index = its
+	// linearization index, Arg2 = 0 failed / 1 ok.
+	EvReadServe
+	// EvSessionOpen: a session-open entry applied; Arg = session ID.
+	EvSessionOpen
+	// EvSessionExpire: a session clock entry applied; Arg = live sessions
+	// after expiry.
+	EvSessionExpire
+	// EvBatchPropose: C-Raft packed locally committed entries into a global
+	// batch. PID = the batch's proposal, Arg = entry count.
+	EvBatchPropose
+	// EvGlobalOrder: C-Raft observed a batch committed in the global order.
+	// Arg = era, Arg2 = sequence within the era.
+	EvGlobalOrder
+	// EvReplay: C-Raft replayed a globally ordered batch into the local
+	// delivery stream. Arg = era, Arg2 = sequence.
+	EvReplay
+	// EvStage: a proposal lifecycle span stamped a stage. PID = the
+	// proposal, Arg = stage (Stage), Index = log index when known.
+	EvStage
+	// EvSlowOp: a proposal exceeded the slow-op threshold. PID = the
+	// proposal, Index = commit index, Arg = total microseconds.
+	EvSlowOp
+)
+
+// String names the event type.
+func (t EventType) String() string {
+	switch t {
+	case EvRoleChange:
+		return "role"
+	case EvElectionStart:
+		return "election.start"
+	case EvVote:
+		return "election.vote"
+	case EvElectionWon:
+		return "election.won"
+	case EvAppendDispatch:
+		return "append.dispatch"
+	case EvAppendAck:
+		return "append.ack"
+	case EvAppendReject:
+		return "append.reject"
+	case EvSnapStreamStart:
+		return "snap.stream"
+	case EvSnapChunk:
+		return "snap.chunk"
+	case EvSnapChunkRecv:
+		return "snap.recv"
+	case EvSnapResume:
+		return "snap.resume"
+	case EvSnapInstall:
+		return "snap.install"
+	case EvReadStamp:
+		return "read.stamp"
+	case EvReadConfirm:
+		return "read.confirm"
+	case EvReadServe:
+		return "read.serve"
+	case EvSessionOpen:
+		return "session.open"
+	case EvSessionExpire:
+		return "session.expire"
+	case EvBatchPropose:
+		return "craft.batch"
+	case EvGlobalOrder:
+		return "craft.global_order"
+	case EvReplay:
+		return "craft.replay"
+	case EvStage:
+		return "stage"
+	case EvSlowOp:
+		return "slow_op"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// Event is one recorded protocol event. Events are fixed-size values: the
+// ring pre-allocates its storage and recording never allocates.
+type Event struct {
+	// Seq orders events within one ring (monotonic, never reused).
+	Seq uint64 `json:"seq"`
+	// At is the node's monotonic (virtual on the simulator) time.
+	At time.Duration `json:"at"`
+	// Node labels the recording instance ("n1", "n1/global", ...).
+	Node string `json:"node"`
+	// Type discriminates the event.
+	Type EventType `json:"type"`
+	// Term is the recording node's term at the event.
+	Term types.Term `json:"term,omitempty"`
+	// Peer is the other party, when the event has one.
+	Peer types.NodeID `json:"peer,omitempty"`
+	// Index is the log position involved, when the event has one.
+	Index types.Index `json:"index,omitempty"`
+	// PID is the proposal involved, when the event has one.
+	PID types.ProposalID `json:"pid,omitempty"`
+	// Arg and Arg2 carry type-specific payloads (see the EventType docs).
+	Arg  uint64 `json:"arg,omitempty"`
+	Arg2 uint64 `json:"arg2,omitempty"`
+}
+
+// MarshalJSON renders the event type by name ("role", "append.ack", ...)
+// and omits zero proposal IDs, keeping the debug-endpoint JSON
+// self-describing without a decoder ring.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type alias Event // sheds the method, avoiding recursion
+	aux := struct {
+		alias
+		Type string            `json:"type"`
+		PID  *types.ProposalID `json:"pid,omitempty"`
+	}{alias: alias(e), Type: e.Type.String()}
+	if !e.PID.IsZero() {
+		aux.PID = &e.PID
+	}
+	return json.Marshal(aux)
+}
+
+// String renders the event as one human-readable line (without the node
+// label and timestamp, which Format prepends).
+func (e Event) String() string {
+	switch e.Type {
+	case EvRoleChange:
+		s := fmt.Sprintf("-> %s term=%d", types.Role(e.Arg), e.Term)
+		if e.Peer != types.None {
+			s += fmt.Sprintf(" leader=%s", e.Peer)
+		}
+		return s
+	case EvElectionStart:
+		return fmt.Sprintf("election started term=%d", e.Term)
+	case EvVote:
+		verdict := "refused"
+		if e.Arg == 1 {
+			verdict = "granted"
+		}
+		return fmt.Sprintf("vote %s by %s term=%d", verdict, e.Peer, e.Term)
+	case EvElectionWon:
+		return fmt.Sprintf("election won term=%d votes=%d", e.Term, e.Arg)
+	case EvAppendDispatch:
+		return fmt.Sprintf("append -> %s prev=%d entries=%d round=%d", e.Peer, e.Index, e.Arg, e.Arg2)
+	case EvAppendAck:
+		return fmt.Sprintf("ack <- %s match=%d round=%d", e.Peer, e.Index, e.Arg2)
+	case EvAppendReject:
+		return fmt.Sprintf("reject <- %s hint=%d", e.Peer, e.Index)
+	case EvSnapStreamStart:
+		return fmt.Sprintf("snapshot stream -> %s boundary=%d", e.Peer, e.Index)
+	case EvSnapChunk:
+		done := ""
+		if e.Arg2 == 1 {
+			done = " done"
+		}
+		return fmt.Sprintf("snapshot chunk -> %s boundary=%d off=%d%s", e.Peer, e.Index, e.Arg, done)
+	case EvSnapChunkRecv:
+		return fmt.Sprintf("snapshot chunk <- %s boundary=%d acked=%d", e.Peer, e.Index, e.Arg)
+	case EvSnapResume:
+		return fmt.Sprintf("snapshot resume -> %s boundary=%d off=%d", e.Peer, e.Index, e.Arg)
+	case EvSnapInstall:
+		return fmt.Sprintf("snapshot installed boundary=%d took=%s", e.Index, time.Duration(e.Arg)*time.Microsecond)
+	case EvReadStamp:
+		return fmt.Sprintf("read batch stamped ctx=%d reads=%d", e.Arg, e.Arg2)
+	case EvReadConfirm:
+		return fmt.Sprintf("read batch confirmed ctx=%d", e.Arg)
+	case EvReadServe:
+		if e.Arg2 == 0 {
+			return fmt.Sprintf("read failed token=%d", e.Arg)
+		}
+		return fmt.Sprintf("read served token=%d index=%d", e.Arg, e.Index)
+	case EvSessionOpen:
+		return fmt.Sprintf("session opened id=%d", e.Arg)
+	case EvSessionExpire:
+		return fmt.Sprintf("session clock applied live=%d", e.Arg)
+	case EvBatchPropose:
+		return fmt.Sprintf("batch proposed %s entries=%d", e.PID, e.Arg)
+	case EvGlobalOrder:
+		return fmt.Sprintf("batch ordered globally era=%d seq=%d", e.Arg, e.Arg2)
+	case EvReplay:
+		return fmt.Sprintf("batch replayed era=%d seq=%d", e.Arg, e.Arg2)
+	case EvStage:
+		return fmt.Sprintf("%s %s index=%d term=%d", Stage(e.Arg), e.PID, e.Index, e.Term)
+	case EvSlowOp:
+		return fmt.Sprintf("SLOW %s index=%d term=%d total=%s", e.PID, e.Index, e.Term, time.Duration(e.Arg)*time.Microsecond)
+	default:
+		return e.Type.String()
+	}
+}
+
+// Stage is one step of a proposal's lifecycle, in canonical order.
+type Stage uint8
+
+// Lifecycle stages. Protocols stamp the subset they pass through; the
+// histogram for a stage measures the time since the previous *stamped*
+// stage (Fast Raft's proposer broadcast can put replicate before append —
+// negative gaps clamp to zero).
+const (
+	// StagePropose: the proposal entered the system.
+	StagePropose Stage = iota
+	// StageAppend: the entry reached the leader's log.
+	StageAppend
+	// StageReplicate: the entry (or proposal) was dispatched to peers.
+	StageReplicate
+	// StageQuorum: the decide/commit rule first covered the entry.
+	StageQuorum
+	// StageCommit: the commit index reached the entry.
+	StageCommit
+	// StageApply: the entry was released to the application.
+	StageApply
+	numStages
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StagePropose:
+		return "propose"
+	case StageAppend:
+		return "append"
+	case StageReplicate:
+		return "replicate"
+	case StageQuorum:
+		return "quorum"
+	case StageCommit:
+		return "commit"
+	case StageApply:
+		return "apply"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// histNames are the flat metric names the stage histograms merge under
+// (rendered by the public MetricsHandler as hraft_hist_stage_*_seconds).
+var histNames = [numStages]string{
+	"hist.stage_propose", // propose -> first subsequent stamp (queueing)
+	"hist.stage_append",
+	"hist.stage_replicate",
+	"hist.stage_quorum",
+	"hist.stage_commit",
+	"hist.stage_apply",
+}
+
+// span accumulates the stage stamps of one proposal. stamped bit i covers
+// Stage(i).
+type span struct {
+	at      [numStages]time.Duration
+	stamped uint8
+	term    types.Term
+}
+
+// defaultSize is the ring capacity when Config.Size is unset: enough to
+// hold several election cycles of a busy five-node cluster.
+const defaultSize = 4096
+
+// defaultSpanCap bounds the live proposal spans tracked per recorder;
+// beyond it new proposals go unspanned (ring events still record).
+const defaultSpanCap = 4096
+
+// ring is the shared event storage behind one or more Recorder labels. One
+// mutex guards everything — events, spans and histograms — because the
+// writers (the consensus goroutine) and readers (debug endpoints, harness
+// dumps) are different goroutines.
+type ring struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64
+}
+
+// Config parametrizes a Recorder.
+type Config struct {
+	// Node labels this recorder's events ("n1"; C-Raft derives "n1/global"
+	// etc. via Derive).
+	Node string
+	// Size is the ring capacity in events (0 = 4096).
+	Size int
+	// SlowOp, when non-zero, logs any proposal whose propose→apply span
+	// meets the threshold through Logger, naming the proposal, term, index,
+	// peers and the per-stage breakdown.
+	SlowOp time.Duration
+	// Logger receives slow-op reports (nil = slog.Default()).
+	Logger *slog.Logger
+}
+
+// Recorder records protocol events into a ring and tracks proposal
+// lifecycle spans. The zero-value pointer (nil) is the disabled recorder:
+// every method no-ops. Construct with New; share the ring across layers
+// with Derive.
+type Recorder struct {
+	r     *ring
+	label string
+	slow  time.Duration
+	log   *slog.Logger
+	// peersFn, when set, names the current peer set in slow-op reports
+	// (evaluated only on the slow path).
+	peersFn func() []types.NodeID
+
+	spans    map[types.ProposalID]*span
+	spanFIFO []types.ProposalID
+	hists    [numStages]*stats.TimingHist
+	total    *stats.TimingHist
+}
+
+// New builds an enabled recorder.
+func New(cfg Config) *Recorder {
+	size := cfg.Size
+	if size <= 0 {
+		size = defaultSize
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	rec := &Recorder{
+		r:     &ring{buf: make([]Event, size)},
+		label: cfg.Node,
+		slow:  cfg.SlowOp,
+		log:   logger,
+		spans: make(map[types.ProposalID]*span),
+	}
+	rec.initHists()
+	return rec
+}
+
+func (r *Recorder) initHists() {
+	for i := range r.hists {
+		r.hists[i] = stats.NewTimingHist(histNames[i], stats.DefaultLatencyBounds()...)
+	}
+	r.total = stats.NewTimingHist("hist.stage_total", stats.DefaultLatencyBounds()...)
+}
+
+// Derive returns a recorder sharing this one's ring (and sequence space)
+// under a different node label, with its own span tracking and stage
+// histograms — how C-Raft gives its local, global and coordination layers
+// one interleaved event narrative. Nil-safe: deriving from the disabled
+// recorder stays disabled.
+func (r *Recorder) Derive(label string) *Recorder {
+	if r == nil {
+		return nil
+	}
+	d := &Recorder{
+		r:     r.r,
+		label: label,
+		slow:  r.slow,
+		log:   r.log,
+		spans: make(map[types.ProposalID]*span),
+	}
+	d.initHists()
+	return d
+}
+
+// Label returns the recorder's node label ("" when disabled).
+func (r *Recorder) Label() string {
+	if r == nil {
+		return ""
+	}
+	return r.label
+}
+
+// SetPeersFunc installs the callback naming the current peer set in
+// slow-op reports. Evaluated only when a slow op fires.
+func (r *Recorder) SetPeersFunc(f func() []types.NodeID) {
+	if r == nil {
+		return
+	}
+	r.r.mu.Lock()
+	r.peersFn = f
+	r.r.mu.Unlock()
+}
+
+// record appends one event under the lock. Callers fill everything but Seq
+// and Node.
+func (r *Recorder) record(e Event) {
+	r.r.mu.Lock()
+	r.recordLocked(e)
+	r.r.mu.Unlock()
+}
+
+func (r *Recorder) recordLocked(e Event) {
+	e.Seq = r.r.seq
+	e.Node = r.label
+	r.r.buf[r.r.seq%uint64(len(r.r.buf))] = e
+	r.r.seq++
+}
+
+// Snapshot copies the ring's retained events in recording order (oldest
+// first). Safe to call from any goroutine; nil-safe (returns nil).
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	n := uint64(len(r.r.buf))
+	if r.r.seq <= n {
+		return append([]Event(nil), r.r.buf[:r.r.seq]...)
+	}
+	out := make([]Event, 0, n)
+	start := r.r.seq % n
+	out = append(out, r.r.buf[start:]...)
+	out = append(out, r.r.buf[:start]...)
+	return out
+}
+
+// Tail returns the newest k retained events, oldest first.
+func (r *Recorder) Tail(k int) []Event {
+	s := r.Snapshot()
+	if len(s) > k {
+		s = s[len(s)-k:]
+	}
+	return s
+}
+
+// Len returns the number of events recorded so far (including overwritten
+// ones); tests and diagnostics.
+func (r *Recorder) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	return r.r.seq
+}
+
+// MergeMetrics folds the recorder's stage histograms into a flat counter
+// snapshot under prefix (the scheme TimingHist.MergeInto documents), so
+// node Metrics() maps pick them up with no extra rendering code. Nil-safe.
+func (r *Recorder) MergeMetrics(dst map[string]uint64, prefix string) {
+	if r == nil {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	for _, h := range r.hists {
+		if h.Count() > 0 {
+			h.MergeInto(dst, prefix)
+		}
+	}
+	if r.total.Count() > 0 {
+		r.total.MergeInto(dst, prefix)
+	}
+}
+
+// --- Typed record methods (all nil-safe) ------------------------------------
+
+// RoleChange records a role transition.
+func (r *Recorder) RoleChange(now time.Duration, term types.Term, role types.Role, leader types.NodeID) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvRoleChange, Term: term, Arg: uint64(role), Peer: leader})
+}
+
+// ElectionStart records the start of an election round.
+func (r *Recorder) ElectionStart(now time.Duration, term types.Term) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvElectionStart, Term: term})
+}
+
+// Vote records a vote response from peer.
+func (r *Recorder) Vote(now time.Duration, term types.Term, peer types.NodeID, granted bool) {
+	if r == nil {
+		return
+	}
+	var g uint64
+	if granted {
+		g = 1
+	}
+	r.record(Event{At: now, Type: EvVote, Term: term, Peer: peer, Arg: g})
+}
+
+// ElectionWon records an election win with the counted votes.
+func (r *Recorder) ElectionWon(now time.Duration, term types.Term, votes int) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvElectionWon, Term: term, Arg: uint64(votes)})
+}
+
+// AppendDispatch records one AppendEntries transmission to peer.
+func (r *Recorder) AppendDispatch(now time.Duration, term types.Term, peer types.NodeID, prev types.Index, entries int, round uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvAppendDispatch, Term: term, Peer: peer, Index: prev, Arg: uint64(entries), Arg2: round})
+}
+
+// AppendAck records a successful append acknowledgment from peer.
+func (r *Recorder) AppendAck(now time.Duration, term types.Term, peer types.NodeID, match types.Index, round uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvAppendAck, Term: term, Peer: peer, Index: match, Arg2: round})
+}
+
+// AppendReject records a failed consistency check from peer.
+func (r *Recorder) AppendReject(now time.Duration, term types.Term, peer types.NodeID, hint types.Index) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvAppendReject, Term: term, Peer: peer, Index: hint})
+}
+
+// SnapStreamStart records the start of a snapshot stream to peer.
+func (r *Recorder) SnapStreamStart(now time.Duration, term types.Term, peer types.NodeID, boundary types.Index) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvSnapStreamStart, Term: term, Peer: peer, Index: boundary})
+}
+
+// SnapChunk records one snapshot chunk (or full-image) transmission.
+func (r *Recorder) SnapChunk(now time.Duration, peer types.NodeID, boundary types.Index, offset uint64, done bool) {
+	if r == nil {
+		return
+	}
+	var d uint64
+	if done {
+		d = 1
+	}
+	r.record(Event{At: now, Type: EvSnapChunk, Peer: peer, Index: boundary, Arg: offset, Arg2: d})
+}
+
+// SnapChunkRecv records a buffered chunk on the follower side.
+func (r *Recorder) SnapChunkRecv(now time.Duration, from types.NodeID, boundary types.Index, acked uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvSnapChunkRecv, Peer: from, Index: boundary, Arg: acked})
+}
+
+// SnapResume records a continued predecessor stream.
+func (r *Recorder) SnapResume(now time.Duration, peer types.NodeID, boundary types.Index, offset uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvSnapResume, Peer: peer, Index: boundary, Arg: offset})
+}
+
+// SnapInstall records a completed snapshot install.
+func (r *Recorder) SnapInstall(now time.Duration, boundary types.Index, took time.Duration) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvSnapInstall, Index: boundary, Arg: uint64(took / time.Microsecond)})
+}
+
+// ReadStamp records a read batch sealed onto a broadcast round.
+func (r *Recorder) ReadStamp(now time.Duration, ctx uint64, reads int) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvReadStamp, Arg: ctx, Arg2: uint64(reads)})
+}
+
+// ReadConfirm records a batch confirmed by quorum.
+func (r *Recorder) ReadConfirm(now time.Duration, ctx uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvReadConfirm, Arg: ctx})
+}
+
+// ReadServe records a read resolution.
+func (r *Recorder) ReadServe(now time.Duration, token uint64, index types.Index, ok bool) {
+	if r == nil {
+		return
+	}
+	var o uint64
+	if ok {
+		o = 1
+	}
+	r.record(Event{At: now, Type: EvReadServe, Arg: token, Index: index, Arg2: o})
+}
+
+// SessionOpen records a session registration apply.
+func (r *Recorder) SessionOpen(now time.Duration, id uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvSessionOpen, Arg: id})
+}
+
+// SessionExpire records a session clock apply with the surviving count.
+func (r *Recorder) SessionExpire(now time.Duration, live int) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvSessionExpire, Arg: uint64(live)})
+}
+
+// BatchPropose records a C-Raft global batch proposal.
+func (r *Recorder) BatchPropose(now time.Duration, pid types.ProposalID, entries int) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvBatchPropose, PID: pid, Arg: uint64(entries)})
+}
+
+// GlobalOrder records a batch committed in the global order.
+func (r *Recorder) GlobalOrder(now time.Duration, era, seq uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvGlobalOrder, Arg: era, Arg2: seq})
+}
+
+// Replay records a globally ordered batch replayed locally.
+func (r *Recorder) Replay(now time.Duration, era, seq uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvReplay, Arg: era, Arg2: seq})
+}
+
+// --- Proposal lifecycle spans ------------------------------------------------
+
+// SpanStart opens a lifecycle span for pid, stamping StagePropose. A full
+// span table drops the oldest span (its proposal is likely stuck or
+// forgotten) rather than the new one.
+func (r *Recorder) SpanStart(now time.Duration, pid types.ProposalID, term types.Term) {
+	if r == nil || pid.IsZero() {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	if _, ok := r.spans[pid]; ok {
+		return // re-propose under the same PID: keep the original stamps
+	}
+	for len(r.spans) >= defaultSpanCap && len(r.spanFIFO) > 0 {
+		victim := r.spanFIFO[0]
+		r.spanFIFO = r.spanFIFO[1:]
+		delete(r.spans, victim)
+	}
+	sp := &span{term: term}
+	sp.at[StagePropose] = now
+	sp.stamped = 1 << StagePropose
+	r.spans[pid] = sp
+	r.spanFIFO = append(r.spanFIFO, pid)
+	r.recordLocked(Event{At: now, Type: EvStage, Term: term, PID: pid, Arg: uint64(StagePropose)})
+}
+
+// SpanStage stamps a lifecycle stage on pid's span (first stamp wins;
+// unknown spans no-op, so followers never accumulate state for proposals
+// they merely replicate).
+func (r *Recorder) SpanStage(now time.Duration, pid types.ProposalID, stage Stage, index types.Index) {
+	if r == nil || pid.IsZero() {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	sp, ok := r.spans[pid]
+	if !ok || sp.stamped&(1<<stage) != 0 {
+		return
+	}
+	sp.at[stage] = now
+	sp.stamped |= 1 << stage
+	r.recordLocked(Event{At: now, Type: EvStage, Term: sp.term, PID: pid, Index: index, Arg: uint64(stage)})
+}
+
+// SpanEnd stamps StageApply, folds the stage gaps into the hist.stage_*
+// histograms, emits the slow-op report when the total crosses the
+// threshold, and forgets the span.
+func (r *Recorder) SpanEnd(now time.Duration, pid types.ProposalID, index types.Index) {
+	if r == nil || pid.IsZero() {
+		return
+	}
+	r.r.mu.Lock()
+	sp, ok := r.spans[pid]
+	if !ok {
+		r.r.mu.Unlock()
+		return
+	}
+	delete(r.spans, pid)
+	sp.at[StageApply] = now
+	sp.stamped |= 1 << StageApply
+	r.recordLocked(Event{At: now, Type: EvStage, Term: sp.term, PID: pid, Index: index, Arg: uint64(StageApply)})
+
+	// Stage gap = time since the previous stamped stage, clamped at zero
+	// (Fast Raft's proposer broadcast can stamp replicate before append).
+	prev := sp.at[StagePropose]
+	for s := StageAppend; s < numStages; s++ {
+		if sp.stamped&(1<<s) == 0 {
+			continue
+		}
+		gap := sp.at[s] - prev
+		if gap < 0 {
+			gap = 0
+		}
+		r.hists[s].Observe(gap)
+		if sp.at[s] > prev {
+			prev = sp.at[s]
+		}
+	}
+	total := now - sp.at[StagePropose]
+	r.total.Observe(total)
+
+	slow := r.slow > 0 && total >= r.slow
+	var peers []types.NodeID
+	if slow {
+		r.recordLocked(Event{At: now, Type: EvSlowOp, Term: sp.term, PID: pid, Index: index, Arg: uint64(total / time.Microsecond)})
+		if r.peersFn != nil {
+			peers = r.peersFn()
+		}
+	}
+	term := sp.term
+	stamps := sp.at
+	stamped := sp.stamped
+	r.r.mu.Unlock()
+
+	if slow {
+		attrs := []any{
+			"node", r.label,
+			"proposal", pid.String(),
+			"term", uint64(term),
+			"index", uint64(index),
+			"total", total,
+		}
+		p := stamps[StagePropose]
+		for s := StageAppend; s < numStages; s++ {
+			if stamped&(1<<s) == 0 {
+				continue
+			}
+			gap := stamps[s] - p
+			if gap < 0 {
+				gap = 0
+			}
+			attrs = append(attrs, s.String(), gap)
+			if stamps[s] > p {
+				p = stamps[s]
+			}
+		}
+		if len(peers) > 0 {
+			names := make([]string, len(peers))
+			for i, id := range peers {
+				names[i] = string(id)
+			}
+			attrs = append(attrs, "peers", strings.Join(names, ","))
+		}
+		r.log.Warn("hraft: slow proposal", attrs...)
+	}
+}
+
+// SpanAbandon forgets a span without observing it (proposal failed or the
+// node stepped down with it unresolved).
+func (r *Recorder) SpanAbandon(pid types.ProposalID) {
+	if r == nil || pid.IsZero() {
+		return
+	}
+	r.r.mu.Lock()
+	delete(r.spans, pid)
+	r.r.mu.Unlock()
+}
+
+// --- Merging & formatting ----------------------------------------------------
+
+// Merge combines event snapshots from several recorders into one sequence
+// ordered by time (ties: node label, then sequence number), the shape the
+// harness dumps when a test fails.
+func Merge(snapshots ...[]Event) []Event {
+	var out []Event
+	for _, s := range snapshots {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// Format renders events one per line: timestamp, node label, description.
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		fmt.Fprintf(&b, "%12s %-12s %-18s %s\n", e.At, e.Node, e.Type, e)
+	}
+	return b.String()
+}

@@ -1,0 +1,339 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+func tpid(p string, s uint64) types.ProposalID {
+	return types.ProposalID{Proposer: types.NodeID(p), Seq: s}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := New(Config{Node: "n1", Size: 8})
+	for i := 0; i < 20; i++ {
+		r.ElectionStart(time.Duration(i)*time.Millisecond, types.Term(i))
+	}
+	if got := r.Len(); got != 20 {
+		t.Fatalf("Len = %d, want 20 (total recorded, not retained)", got)
+	}
+	s := r.Snapshot()
+	if len(s) != 8 {
+		t.Fatalf("snapshot retains %d events, want ring size 8", len(s))
+	}
+	// The retained window is the last 8 events, in recording order with
+	// contiguous sequence numbers.
+	for i, e := range s {
+		want := uint64(12 + i)
+		if e.Seq != want {
+			t.Fatalf("event %d: seq %d, want %d", i, e.Seq, want)
+		}
+		if e.Term != types.Term(want) {
+			t.Fatalf("event %d: term %d, want %d (oldest events must be overwritten)", i, e.Term, want)
+		}
+		if e.Node != "n1" {
+			t.Fatalf("event %d: node %q", i, e.Node)
+		}
+	}
+	// Tail returns a suffix of the snapshot.
+	tail := r.Tail(3)
+	if len(tail) != 3 || tail[2].Seq != 19 {
+		t.Fatalf("Tail(3) = %+v", tail)
+	}
+	if tail = r.Tail(100); len(tail) != 8 {
+		t.Fatalf("Tail beyond retention returned %d events", len(tail))
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	// Meaningful under -race: writers on several labels sharing one ring
+	// while readers snapshot, tail and merge metrics concurrently.
+	base := New(Config{Node: "n1", Size: 64})
+	derived := base.Derive("n1/global")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	record := func(r *Recorder, peer types.NodeID) {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			now := time.Duration(i) * time.Microsecond
+			r.AppendDispatch(now, 1, peer, types.Index(i), 1, uint64(i))
+			pid := tpid(string(peer), uint64(i))
+			r.SpanStart(now, pid, 1)
+			r.SpanStage(now+1, pid, StageCommit, types.Index(i))
+			r.SpanEnd(now+2, pid, types.Index(i))
+		}
+	}
+	wg.Add(2)
+	go record(base, "n2")
+	go record(derived, "n3")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			_ = base.Snapshot()
+			_ = derived.Tail(5)
+			m := make(map[string]uint64)
+			base.MergeMetrics(m, "")
+			derived.MergeMetrics(m, "global.")
+			_ = base.Len()
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	s := base.Snapshot()
+	if len(s) != 64 {
+		t.Fatalf("ring holds %d events, want full 64", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Seq != s[i-1].Seq+1 {
+			t.Fatalf("snapshot seqs not contiguous at %d: %d after %d", i, s[i].Seq, s[i-1].Seq)
+		}
+	}
+}
+
+func TestDisabledRecorderZeroAlloc(t *testing.T) {
+	// The disabled path must compile down to a nil check: no allocation,
+	// no lock. BenchmarkProposal-class regressions start here.
+	var r *Recorder
+	pid := tpid("n1", 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.RoleChange(0, 1, types.RoleLeader, "n1")
+		r.ElectionStart(0, 1)
+		r.ElectionWon(0, 1, 3)
+		r.Vote(0, 1, "n2", true)
+		r.AppendDispatch(0, 1, "n2", 1, 1, 1)
+		r.AppendAck(0, 1, "n2", 1, 1)
+		r.AppendReject(0, 1, "n2", 1)
+		r.SnapStreamStart(0, 1, "n2", 1)
+		r.SnapChunk(0, "n2", 1, 0, false)
+		r.SnapChunkRecv(0, "n2", 1, 0)
+		r.SnapResume(0, "n2", 1, 0)
+		r.SnapInstall(0, 1, 0)
+		r.ReadStamp(0, 1, 1)
+		r.ReadConfirm(0, 1)
+		r.ReadServe(0, 1, 1, true)
+		r.SessionOpen(0, 1)
+		r.SessionExpire(0, 0)
+		r.BatchPropose(0, pid, 1)
+		r.GlobalOrder(0, 1, 1)
+		r.Replay(0, 1, 1)
+		r.SpanStart(0, pid, 1)
+		r.SpanStage(0, pid, StageCommit, 1)
+		r.SpanEnd(0, pid, 1)
+		r.SpanAbandon(pid)
+		_ = r.Snapshot()
+		_ = r.Tail(8)
+		_ = r.Len()
+		_ = r.Label()
+		_ = r.Derive("x")
+		r.MergeMetrics(nil, "")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestDeriveSharesRingAndSequence(t *testing.T) {
+	base := New(Config{Node: "n1", Size: 16})
+	global := base.Derive("n1/global")
+	base.ElectionStart(1*time.Millisecond, 1)
+	global.GlobalOrder(2*time.Millisecond, 1, 1)
+	base.ElectionWon(3*time.Millisecond, 1, 3)
+	s := base.Snapshot()
+	if len(s) != 3 {
+		t.Fatalf("shared ring holds %d events, want 3", len(s))
+	}
+	if s[0].Node != "n1" || s[1].Node != "n1/global" || s[2].Node != "n1" {
+		t.Fatalf("labels = %q %q %q", s[0].Node, s[1].Node, s[2].Node)
+	}
+	if s[0].Seq != 0 || s[1].Seq != 1 || s[2].Seq != 2 {
+		t.Fatalf("sequence space not shared: %d %d %d", s[0].Seq, s[1].Seq, s[2].Seq)
+	}
+	if got := global.Snapshot(); len(got) != 3 {
+		t.Fatalf("derived snapshot sees %d events, want the same ring (3)", len(got))
+	}
+}
+
+func TestSpanStagesFeedHistograms(t *testing.T) {
+	r := New(Config{Node: "n1"})
+	pid := tpid("c", 7)
+	r.SpanStart(0, pid, 2)
+	r.SpanStage(2*time.Millisecond, pid, StageAppend, 5)
+	r.SpanStage(3*time.Millisecond, pid, StageReplicate, 5)
+	r.SpanStage(9*time.Millisecond, pid, StageQuorum, 5)
+	r.SpanStage(10*time.Millisecond, pid, StageCommit, 5)
+	r.SpanEnd(11*time.Millisecond, pid, 5)
+
+	m := make(map[string]uint64)
+	r.MergeMetrics(m, "")
+	for _, k := range []string{
+		"hist.stage_append.count",
+		"hist.stage_replicate.count",
+		"hist.stage_quorum.count",
+		"hist.stage_commit.count",
+		"hist.stage_apply.count",
+		"hist.stage_total.count",
+	} {
+		if m[k] != 1 {
+			t.Fatalf("%s = %d, want 1 (have %v)", k, m[k], m)
+		}
+	}
+	// Stage gaps measure since the previous stamp: quorum took 6ms, so it
+	// lands above the 5ms bucket; append (2ms) lands at or below it.
+	if m["hist.stage_quorum.le.5ms"] != 0 {
+		t.Fatalf("quorum 6ms gap counted in le.5ms bucket")
+	}
+	if m["hist.stage_append.le.5ms"] != 1 {
+		t.Fatalf("append 2ms gap missing from le.5ms bucket")
+	}
+	if m["hist.stage_total.sum_us"] != 11000 {
+		t.Fatalf("total sum_us = %d, want 11000", m["hist.stage_total.sum_us"])
+	}
+	// The ring carries the stage stamps as events too.
+	var stages []string
+	for _, e := range r.Snapshot() {
+		if e.Type == EvStage {
+			stages = append(stages, Stage(e.Arg).String())
+		}
+	}
+	want := "propose append replicate quorum commit apply"
+	if got := strings.Join(stages, " "); got != want {
+		t.Fatalf("stage events = %q, want %q", got, want)
+	}
+}
+
+func TestAbandonedSpanNotObserved(t *testing.T) {
+	r := New(Config{Node: "n1"})
+	pid := tpid("c", 1)
+	r.SpanStart(0, pid, 1)
+	r.SpanStage(time.Millisecond, pid, StageAppend, 3)
+	r.SpanAbandon(pid)
+	r.SpanEnd(2*time.Millisecond, pid, 3) // too late: span is gone
+	m := make(map[string]uint64)
+	r.MergeMetrics(m, "")
+	if got := m["hist.stage_total.count"]; got != 0 {
+		t.Fatalf("abandoned span observed %d times", got)
+	}
+}
+
+// slowHandler captures slog records for assertion.
+type slowHandler struct {
+	mu      sync.Mutex
+	records []map[string]string
+}
+
+func (h *slowHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *slowHandler) Handle(_ context.Context, rec slog.Record) error {
+	attrs := map[string]string{"msg": rec.Message}
+	rec.Attrs(func(a slog.Attr) bool {
+		attrs[a.Key] = a.Value.String()
+		return true
+	})
+	h.mu.Lock()
+	h.records = append(h.records, attrs)
+	h.mu.Unlock()
+	return nil
+}
+func (h *slowHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *slowHandler) WithGroup(string) slog.Handler      { return h }
+
+func TestSlowOpThresholdLogs(t *testing.T) {
+	h := &slowHandler{}
+	r := New(Config{Node: "n1", SlowOp: 10 * time.Millisecond, Logger: slog.New(h)})
+	r.SetPeersFunc(func() []types.NodeID { return []types.NodeID{"n2", "n3"} })
+
+	// Under threshold: silent.
+	fast := tpid("c", 1)
+	r.SpanStart(0, fast, 1)
+	r.SpanEnd(5*time.Millisecond, fast, 1)
+	if len(h.records) != 0 {
+		t.Fatalf("fast proposal logged: %v", h.records)
+	}
+
+	// Over threshold: one report naming proposal, term and peers.
+	slow := tpid("c", 2)
+	r.SpanStart(0, slow, 3)
+	r.SpanStage(18*time.Millisecond, slow, StageCommit, 9)
+	r.SpanEnd(20*time.Millisecond, slow, 9)
+	if len(h.records) != 1 {
+		t.Fatalf("slow proposal produced %d log records, want 1", len(h.records))
+	}
+	got := h.records[0]
+	if got["proposal"] != slow.String() {
+		t.Fatalf("log names proposal %q, want %q", got["proposal"], slow.String())
+	}
+	if got["term"] != "3" || got["index"] != "9" {
+		t.Fatalf("log term/index = %q/%q", got["term"], got["index"])
+	}
+	if got["peers"] != "n2,n3" {
+		t.Fatalf("log peers = %q", got["peers"])
+	}
+	// The ring carries a slow-op marker too.
+	var found bool
+	for _, e := range r.Snapshot() {
+		if e.Type == EvSlowOp && e.PID == slow {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no EvSlowOp event in the ring")
+	}
+}
+
+func TestMergeOrdersAcrossNodes(t *testing.T) {
+	a := New(Config{Node: "a", Size: 8})
+	b := New(Config{Node: "b", Size: 8})
+	a.ElectionStart(3*time.Millisecond, 1)
+	b.ElectionStart(1*time.Millisecond, 1)
+	a.ElectionWon(5*time.Millisecond, 1, 2)
+	b.RoleChange(3*time.Millisecond, 1, types.RoleFollower, "a")
+	merged := Merge(a.Snapshot(), b.Snapshot())
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events, want 4", len(merged))
+	}
+	wantOrder := []string{"b", "a", "b", "a"} // 1ms, 3ms (a<b tie on node), 3ms, 5ms
+	for i, e := range merged {
+		if e.Node != wantOrder[i] {
+			t.Fatalf("merged[%d] from %q, want %q (full: %s)", i, e.Node, wantOrder[i], Format(merged))
+		}
+	}
+	text := Format(merged)
+	if !strings.Contains(text, "election.start") || !strings.Contains(text, "election.won") {
+		t.Fatalf("Format output missing event names:\n%s", text)
+	}
+}
+
+func TestEventJSONSelfDescribing(t *testing.T) {
+	e := Event{Seq: 4, At: time.Millisecond, Node: "n1", Type: EvAppendAck, Peer: "n2"}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"type":"append.ack"`) {
+		t.Fatalf("type not rendered by name: %s", s)
+	}
+	if strings.Contains(s, `"pid"`) {
+		t.Fatalf("zero PID not omitted: %s", s)
+	}
+	withPID := Event{Type: EvStage, PID: tpid("c", 9)}
+	if b, err = json.Marshal(withPID); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"pid"`) {
+		t.Fatalf("non-zero PID dropped: %s", b)
+	}
+}

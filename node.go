@@ -102,6 +102,12 @@ type Options struct {
 	// must be consumed, or commit delivery stalls (consensus itself keeps
 	// running).
 	CommitBuffer int
+	// Trace, when set, enables the protocol flight recorder: typed events
+	// (elections, per-peer appends, snapshot streams, reads, sessions) in
+	// a fixed-size ring plus per-proposal stage latency histograms and
+	// slow-op logging. Retrieve with Recorder, serve with ServeDebug. Nil
+	// disables recording at negligible cost.
+	Trace *TraceOptions
 }
 
 // ErrStopped is returned by operations on a stopped node.
@@ -165,6 +171,7 @@ func NewNode(opts Options) (*Node, error) {
 		SessionTTL:               opts.SessionTTL,
 		DisableFastTrack:         opts.DisableFastTrack,
 		Rand:                     rand.New(rand.NewSource(seed)),
+		Recorder:                 newRecorder(opts.ID, opts.Trace),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)

@@ -51,6 +51,7 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		MaxSnapshotChunk:    opts.MaxSnapshotChunk,
 		SessionTTL:          opts.SessionTTL,
 		Rand:                rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),
+		Recorder:            newRecorder(opts.ID, opts.Trace),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
