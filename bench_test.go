@@ -160,7 +160,7 @@ func benchNodes() []types.NodeID {
 // cluster, the leader and one follower.
 func readBenchCluster(b *testing.B, kind harness.Kind, seed int64) (*harness.Cluster, types.NodeID, types.NodeID) {
 	b.Helper()
-	c, err := harness.NewCluster(harness.Options{Kind: kind, Nodes: benchNodes(), Seed: seed})
+	c, err := harness.NewCluster(harness.Options{Kind: kind, Nodes: benchNodes(), Seed: seed, Audit: harness.AuditOff})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -195,7 +195,8 @@ func readBenchCraft(b *testing.B, seed int64) (*harness.CraftCluster, types.Node
 			{ID: "cA", Sites: []types.NodeID{"a1", "a2", "a3"}, Region: "us-east-1"},
 			{ID: "cB", Sites: []types.NodeID{"b1", "b2", "b3"}, Region: "eu-west-1"},
 		},
-		Seed: seed,
+		Seed:  seed,
+		Audit: harness.AuditOff,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -278,6 +279,10 @@ func BenchmarkProposalTracing(b *testing.B) {
 				Nodes: benchNodes(),
 				Seed:  42,
 				Trace: traced,
+				// AuditOff in both arms: "off" pins the recorder-free
+				// fast path, and "on" stays a pure recording-cost
+				// measurement rather than recording + invariant checking.
+				Audit: harness.AuditOff,
 			})
 			if err != nil {
 				b.Fatal(err)

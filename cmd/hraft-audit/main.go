@@ -1,0 +1,155 @@
+// Command hraft-audit replays flight-recorder dumps through the streaming
+// safety auditor and reports every consensus-invariant violation found —
+// the offline half of the online checks the harness runs in-process.
+//
+//	hraft-audit dump1.trace.jsonl dump2.trace.jsonl
+//	hraft-audit $HRAFT_TRACE_DIR            # every dump in a directory
+//	curl -s host:7070/debug/hraft/trace?format=json | hraft-audit -
+//
+// Each argument is a file, a directory (scanned non-recursively for
+// *.jsonl and *.json dumps), or "-" for stdin. Accepted formats are the
+// JSONL dumps the harness writes next to its text dumps, a JSON array of
+// events, and the {"node":..., "events":[...]} object served by
+// /debug/hraft/trace?format=json. All inputs are merged into one
+// time-ordered stream before auditing, so dumps from different nodes of
+// one run check cross-node invariants (committed-prefix agreement,
+// election safety, lease disjointness), not just per-node ones.
+//
+// Exit status: 0 when the stream is clean, 1 on violations or usage
+// errors. With -v each violation's event window is printed too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/hraft-io/hraft/internal/audit"
+	"github.com/hraft-io/hraft/internal/trace"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print each violation's event window")
+	maxViolations := flag.Int("max-violations", 128, "retain at most this many violation reports")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hraft-audit [-v] <dump.jsonl|dir|-> ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+	if err := run(flag.Args(), *verbose, *maxViolations); err != nil {
+		fmt.Fprintln(os.Stderr, "hraft-audit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, verbose bool, maxViolations int) error {
+	var streams [][]trace.Event
+	total := 0
+	for _, arg := range args {
+		sources, err := expand(arg)
+		if err != nil {
+			return err
+		}
+		for _, src := range sources {
+			events, err := load(src)
+			if err != nil {
+				return err
+			}
+			if len(events) == 0 {
+				fmt.Printf("%-8s %s (no events)\n", "empty", src)
+				continue
+			}
+			fmt.Printf("%-8d %s\n", len(events), src)
+			streams = append(streams, events)
+			total += len(events)
+		}
+	}
+	if total == 0 {
+		return fmt.Errorf("no events in any input")
+	}
+
+	aud := audit.New(audit.Options{MaxViolations: maxViolations})
+	aud.ObserveAll(trace.Merge(streams...))
+
+	report := aud.Snapshot()
+	if report.Clean {
+		fmt.Printf("clean: %d events, no invariant violations\n", report.EventsChecked)
+		return nil
+	}
+	fmt.Printf("FAIL: %d events, %d violation(s)\n", report.EventsChecked, len(report.Violations))
+	keys := make([]string, 0, len(report.Counts))
+	for k := range report.Counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-40s %d\n", strings.TrimPrefix(k, audit.MetricPrefix), report.Counts[k])
+	}
+	for i, v := range report.Violations {
+		fmt.Printf("\n[%d] %s\n", i+1, v.Error())
+		if verbose {
+			fmt.Println(v.Report())
+		}
+	}
+	os.Exit(1)
+	return nil
+}
+
+// expand resolves one argument into dump sources: "-" stays stdin, a
+// directory becomes its *.json/*.jsonl entries, anything else is a file.
+func expand(arg string) ([]string, error) {
+	if arg == "-" {
+		return []string{arg}, nil
+	}
+	fi, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		return []string{arg}, nil
+	}
+	entries, err := os.ReadDir(arg)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if name := e.Name(); strings.HasSuffix(name, ".jsonl") || strings.HasSuffix(name, ".json") {
+			out = append(out, filepath.Join(arg, name))
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no *.json or *.jsonl dumps", arg)
+	}
+	return out, nil
+}
+
+func load(src string) ([]trace.Event, error) {
+	var data []byte
+	var err error
+	if src == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	events, err := trace.ParseEvents(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", src, err)
+	}
+	return events, nil
+}

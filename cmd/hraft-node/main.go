@@ -16,9 +16,14 @@
 // With -debug-addr the node serves its full observability surface on one
 // mux: Prometheus metrics at /metrics, a JSON status snapshot (role, term,
 // peer progress, lease, trace tail) at /debug/hraft/status, the formatted
-// flight-recorder ring at /debug/hraft/trace, and net/http/pprof under
-// /debug/pprof/. Sending SIGQUIT (ctrl-\) prints the trace tail to stderr
-// without stopping the node.
+// flight-recorder ring at /debug/hraft/trace (?format=json for the shape
+// hraft-audit replays), the online safety auditor's report at
+// /debug/hraft/audit, and net/http/pprof under /debug/pprof/. Adding
+// -debug-peers (id=host:port pairs naming the other nodes' debug servers)
+// also serves /debug/hraft/cluster: every node's status fetched and
+// aggregated into leader agreement, commit spread and per-node lag.
+// Sending SIGQUIT (ctrl-\) prints the trace tail to stderr without
+// stopping the node.
 package main
 
 import (
@@ -57,6 +62,7 @@ func run() error {
 		maxInfl = flag.Int("max-inflight-bytes", 0, "per-follower byte budget for outstanding AppendEntries payloads (0 = 1 MiB default)")
 		metrics = flag.String("metrics", "", "serve Prometheus text metrics at this addr (e.g. 127.0.0.1:9090; empty = off)")
 		dbgAddr = flag.String("debug-addr", "", "serve metrics, /debug/hraft/status and pprof at this addr (empty = off; implies -trace)")
+		dbgPeer = flag.String("debug-peers", "", "comma-separated id=host:port pairs naming the other nodes' -debug-addr servers; enables the /debug/hraft/cluster roll-up")
 		doTrace = flag.Bool("trace", false, "enable the protocol flight recorder (SIGQUIT prints the trace tail)")
 		slowOp  = flag.Duration("slow-op", 0, "log proposals whose commit takes longer than this (0 = off; implies -trace)")
 		quiet   = flag.Bool("quiet", false, "suppress per-commit output")
@@ -142,12 +148,28 @@ func run() error {
 		fmt.Printf("metrics at http://%s/metrics\n", maddr)
 	}
 	if *dbgAddr != "" {
-		daddr, stopDebug, derr := hraft.ServeDebug(*dbgAddr, *id, node)
+		var dbgOpts []hraft.DebugOption
+		if *dbgPeer != "" {
+			peerDbg := make(map[string]string)
+			for _, pair := range strings.Split(*dbgPeer, ",") {
+				pair = strings.TrimSpace(pair)
+				if pair == "" {
+					continue
+				}
+				name, addr, ok := strings.Cut(pair, "=")
+				if !ok {
+					return fmt.Errorf("bad debug peer %q (want id=host:port)", pair)
+				}
+				peerDbg[name] = addr
+			}
+			dbgOpts = append(dbgOpts, hraft.WithPeers(peerDbg))
+		}
+		daddr, stopDebug, derr := hraft.ServeDebug(*dbgAddr, *id, node, dbgOpts...)
 		if derr != nil {
 			return derr
 		}
 		defer stopDebug()
-		fmt.Printf("debug at http://%s/debug/hraft/status (metrics, trace and pprof alongside)\n", daddr)
+		fmt.Printf("debug at http://%s/debug/hraft/status (metrics, trace, audit and pprof alongside)\n", daddr)
 	}
 	if traceOpts != nil {
 		// SIGQUIT (ctrl-\) dumps the flight-recorder tail without killing

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/core/craft"
 	"github.com/hraft-io/hraft/internal/runtime"
 	"github.com/hraft-io/hraft/internal/types"
@@ -101,6 +102,7 @@ type CRaftOptions struct {
 type CRaftNode struct {
 	host          *runtime.Host
 	cn            *craft.Node
+	aud           *audit.Auditor
 	commits       chan Entry
 	globalCommits chan Entry
 	proposalWaiters
@@ -119,6 +121,7 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 		opts.Storage = NewMemoryStorage()
 	}
 	seed := mixSeed(opts.Seed, opts.ID)
+	rec, aud := newRecorder(opts.ID, opts.Trace)
 	cn, err := craft.New(craft.Config{
 		ID:                       opts.ID,
 		Cluster:                  opts.Cluster,
@@ -139,7 +142,7 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 		MaxInflightBatches:       opts.MaxInflightBatches,
 		SessionTTL:               opts.SessionTTL,
 		Rand:                     rand.New(rand.NewSource(seed)),
-		Recorder:                 newRecorder(opts.ID, opts.Trace),
+		Recorder:                 rec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -150,6 +153,7 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 	}
 	n := &CRaftNode{
 		cn:              cn,
+		aud:             aud,
 		commits:         make(chan Entry, buf),
 		globalCommits:   make(chan Entry, buf),
 		proposalWaiters: newProposalWaiters(),
@@ -212,6 +216,7 @@ func (n *CRaftNode) Commits() <-chan Entry { return n.commits }
 func (n *CRaftNode) Metrics() map[string]uint64 {
 	var m map[string]uint64
 	n.host.Do(func(_ time.Duration, _ runtime.Machine) { m = n.cn.Metrics() })
+	n.aud.MergeMetrics(m)
 	return m
 }
 

@@ -6,9 +6,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/runtime"
 	"github.com/hraft-io/hraft/internal/trace"
 )
@@ -51,19 +55,34 @@ type TraceEvent = trace.Event
 // the retained ring (oldest first) and are safe from any goroutine.
 type TraceRecorder = trace.Recorder
 
-// newRecorder builds the internal recorder from public options (nil
-// options = recording disabled = nil recorder).
-func newRecorder(id NodeID, o *TraceOptions) *trace.Recorder {
+// newRecorder builds the internal recorder from public options, with the
+// streaming safety auditor attached to its event stream (nil options =
+// recording disabled = nil recorder and auditor).
+func newRecorder(id NodeID, o *TraceOptions) (*trace.Recorder, *audit.Auditor) {
 	if o == nil {
-		return nil
+		return nil, nil
 	}
-	return trace.New(trace.Config{
+	rec := trace.New(trace.Config{
 		Node:   string(id),
 		Size:   o.Size,
 		SlowOp: o.SlowOp,
 		Logger: o.Logger,
 	})
+	aud := audit.New(audit.Options{})
+	aud.AttachTo(rec)
+	return rec, aud
 }
+
+// AuditReport is a point-in-time summary of the node's online safety
+// auditor: whether any consensus invariant (election safety, committed
+// prefix agreement, watermark monotonicity, lease disjointness, session
+// exactly-once) was violated, with per-invariant counters and the
+// violating event windows. Served as JSON at /debug/hraft/audit; the
+// counters also surface in Metrics as audit.violations.<invariant>.
+type AuditReport = audit.Report
+
+// AuditViolation is one invariant breach in an AuditReport.
+type AuditViolation = audit.Violation
 
 // MergeTraces combines ring snapshots from several nodes into one
 // time-ordered sequence (ties broken by node label, then sequence
@@ -159,6 +178,11 @@ func (n *Node) DebugStatus(traceTail int) DebugStatus {
 // was set). Safe from any goroutine.
 func (n *Node) Recorder() *TraceRecorder { return n.fr.Recorder() }
 
+// AuditReport snapshots the node's online safety auditor (trivially clean
+// when tracing — and with it auditing — is disabled). Safe from any
+// goroutine.
+func (n *Node) AuditReport() AuditReport { return n.aud.Snapshot() }
+
 // DebugStatus snapshots the node's debug state; traceTail bounds the
 // flight-recorder events included (0 = none).
 func (n *RaftNode) DebugStatus(traceTail int) DebugStatus {
@@ -185,6 +209,11 @@ func (n *RaftNode) DebugStatus(traceTail int) DebugStatus {
 // Recorder returns the node's flight recorder (nil unless Options.Trace
 // was set). Safe from any goroutine.
 func (n *RaftNode) Recorder() *TraceRecorder { return n.rn.Recorder() }
+
+// AuditReport snapshots the node's online safety auditor (trivially clean
+// when tracing — and with it auditing — is disabled). Safe from any
+// goroutine.
+func (n *RaftNode) AuditReport() AuditReport { return n.aud.Snapshot() }
 
 // DebugStatus snapshots the site's debug state across both consensus
 // layers; traceTail bounds the flight-recorder events included (0 =
@@ -222,6 +251,11 @@ func (n *CRaftNode) DebugStatus(traceTail int) DebugStatus {
 // CRaftOptions.Trace was set). Safe from any goroutine.
 func (n *CRaftNode) Recorder() *TraceRecorder { return n.cn.Recorder() }
 
+// AuditReport snapshots the site's online safety auditor, which watches
+// both consensus layers (trivially clean when tracing — and with it
+// auditing — is disabled). Safe from any goroutine.
+func (n *CRaftNode) AuditReport() AuditReport { return n.aud.Snapshot() }
+
 // StatusSource is anything serving a DebugStatus; Node, RaftNode and
 // CRaftNode all qualify.
 type StatusSource interface {
@@ -233,17 +267,54 @@ type StatusSource interface {
 // defaultTraceTail is the status endpoint's default ?trace= value.
 const defaultTraceTail = 64
 
+// DebugOption customizes the debug surface built by DebugHandler,
+// NewDebugMux and ServeDebug.
+type DebugOption func(*debugConfig)
+
+type debugConfig struct {
+	peers   map[string]string
+	timeout time.Duration
+}
+
+// WithPeers enables the /debug/hraft/cluster endpoint: a cluster-wide
+// status roll-up assembled by fetching every listed peer's
+// /debug/hraft/status. Keys are node IDs, values the base URL of that
+// peer's debug server ("host:port" or "http://host:port" — the
+// /debug/hraft path is appended). The serving node's own status is
+// always included; list only the other nodes.
+func WithPeers(peers map[string]string) DebugOption {
+	return func(c *debugConfig) { c.peers = peers }
+}
+
+// WithPeerTimeout bounds each peer status fetch for
+// /debug/hraft/cluster (default 2s). Unreachable peers are reported,
+// not fatal.
+func WithPeerTimeout(d time.Duration) DebugOption {
+	return func(c *debugConfig) { c.timeout = d }
+}
+
 // DebugHandler returns an http.Handler exposing a node's debug surface:
 //
-//	/debug/hraft/status  consensus state as DebugStatus JSON; ?trace=N
-//	                     sets the flight-recorder tail length (default 64,
-//	                     0 disables)
-//	/debug/hraft/trace   the full retained flight-recorder ring as text
-//	                     (one event per line, oldest first)
-//	/debug/pprof/...     the standard Go runtime profiles
+//	/debug/hraft/status   consensus state as DebugStatus JSON; ?trace=N
+//	                      sets the flight-recorder tail length (default
+//	                      64, 0 disables)
+//	/debug/hraft/trace    the full retained flight-recorder ring as text
+//	                      (one event per line, oldest first);
+//	                      ?format=json serves the machine-readable shape
+//	                      hraft-audit replays
+//	/debug/hraft/audit    the online safety auditor's report as JSON
+//	                      (AuditReport)
+//	/debug/hraft/cluster  with WithPeers: every peer's status fetched and
+//	                      aggregated — leader agreement, commit spread,
+//	                      per-peer lag (DebugCluster)
+//	/debug/pprof/...      the standard Go runtime profiles
 //
 // Mount it next to MetricsHandler (or use ServeDebug, which mounts both).
-func DebugHandler(src StatusSource) http.Handler {
+func DebugHandler(src StatusSource, opts ...DebugOption) http.Handler {
+	cfg := debugConfig{timeout: 2 * time.Second}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/hraft/status", func(w http.ResponseWriter, r *http.Request) {
 		tail := defaultTraceTail
@@ -260,17 +331,58 @@ func DebugHandler(src StatusSource) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(src.DebugStatus(tail))
 	})
-	mux.HandleFunc("/debug/hraft/trace", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		var events []TraceEvent
+	mux.HandleFunc("/debug/hraft/trace", func(w http.ResponseWriter, r *http.Request) {
+		var rec *TraceRecorder
 		if rs, ok := src.(interface{ Recorder() *TraceRecorder }); ok {
-			events = rs.Recorder().Snapshot()
+			rec = rs.Recorder()
 		}
+		events := rec.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			if events == nil {
+				events = []TraceEvent{}
+			}
+			doc := struct {
+				Node   string       `json:"node"`
+				Events []TraceEvent `json:"events"`
+			}{rec.Label(), events}
+			// Compact (single-line) JSON: the wrapper shape
+			// trace.ParseEvents — and so hraft-audit — reads back.
+			data, err := json.Marshal(doc)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if len(events) == 0 {
 			_, _ = w.Write([]byte("(tracing disabled or no events)\n"))
 			return
 		}
 		_, _ = w.Write([]byte(FormatTrace(events)))
+	})
+	mux.HandleFunc("/debug/hraft/audit", func(w http.ResponseWriter, _ *http.Request) {
+		ar, ok := src.(interface{ AuditReport() AuditReport })
+		if !ok {
+			http.Error(w, "audit report not supported by this node type", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ar.AuditReport())
+	})
+	mux.HandleFunc("/debug/hraft/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		if len(cfg.peers) == 0 {
+			http.Error(w, "no peers configured (start with WithPeers)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(clusterStatus(src, cfg))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -278,6 +390,149 @@ func DebugHandler(src StatusSource) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// DebugClusterPeer is one node's row in the /debug/hraft/cluster
+// roll-up: its own view of the consensus state, plus its lag behind the
+// furthest-committed peer. Unreachable peers carry only Error.
+type DebugClusterPeer struct {
+	Node        string `json:"node"`
+	URL         string `json:"url,omitempty"`
+	Error       string `json:"error,omitempty"`
+	Role        string `json:"role,omitempty"`
+	Term        uint64 `json:"term,omitempty"`
+	Leader      string `json:"leader,omitempty"`
+	CommitIndex uint64 `json:"commit_index"`
+	// Lag is the highest commit index seen across reachable peers minus
+	// this peer's.
+	Lag uint64 `json:"lag"`
+}
+
+// DebugCluster is the document served at /debug/hraft/cluster: every
+// peer's status (the serving node first) and the cross-node aggregates a
+// failover investigation reaches for — do the nodes agree on a leader,
+// how far apart are their commit indexes, who lags.
+type DebugCluster struct {
+	Peers       []DebugClusterPeer `json:"peers"`
+	Reachable   int                `json:"reachable"`
+	Unreachable int                `json:"unreachable"`
+	// Leaders lists every node currently claiming leadership (itself, not
+	// hearsay). More than one entry is normal mid-election across terms;
+	// the safety auditor checks the per-term invariant.
+	Leaders []string `json:"leaders,omitempty"`
+	// LeaderAgreement is true when every reachable peer names the same
+	// non-empty leader.
+	LeaderAgreement bool   `json:"leader_agreement"`
+	MaxTerm         uint64 `json:"max_term"`
+	// CommitSpread is max minus min commit index across reachable peers.
+	CommitSpread uint64 `json:"commit_spread"`
+}
+
+// clusterStatus assembles the /debug/hraft/cluster document: the local
+// status directly, every configured peer over HTTP (concurrently, each
+// bounded by the configured timeout).
+func clusterStatus(src StatusSource, cfg debugConfig) DebugCluster {
+	local := src.DebugStatus(0)
+	rows := make([]DebugClusterPeer, 1+len(cfg.peers))
+	rows[0] = DebugClusterPeer{
+		Node:        local.Node,
+		Role:        local.Role,
+		Term:        local.Term,
+		Leader:      local.Leader,
+		CommitIndex: local.CommitIndex,
+	}
+	ids := make([]string, 0, len(cfg.peers))
+	for id := range cfg.peers {
+		if id == local.Node {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	client := &http.Client{Timeout: cfg.timeout}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(row int, id, base string) {
+			defer wg.Done()
+			rows[row] = fetchPeerStatus(client, id, base)
+		}(1+i, id, cfg.peers[id])
+	}
+	wg.Wait()
+	rows = rows[:1+len(ids)]
+
+	out := DebugCluster{Peers: rows, LeaderAgreement: true}
+	var minCommit, maxCommit uint64
+	first := true
+	leaderView := ""
+	for _, p := range rows {
+		if p.Error != "" {
+			out.Unreachable++
+			continue
+		}
+		out.Reachable++
+		if p.Role == "leader" {
+			out.Leaders = append(out.Leaders, p.Node)
+		}
+		if p.Term > out.MaxTerm {
+			out.MaxTerm = p.Term
+		}
+		if first {
+			minCommit, maxCommit = p.CommitIndex, p.CommitIndex
+			leaderView = p.Leader
+			first = false
+		} else {
+			if p.CommitIndex < minCommit {
+				minCommit = p.CommitIndex
+			}
+			if p.CommitIndex > maxCommit {
+				maxCommit = p.CommitIndex
+			}
+			if p.Leader != leaderView {
+				out.LeaderAgreement = false
+			}
+		}
+	}
+	if leaderView == "" || first {
+		out.LeaderAgreement = false
+	}
+	out.CommitSpread = maxCommit - minCommit
+	for i := range out.Peers {
+		if out.Peers[i].Error == "" {
+			out.Peers[i].Lag = maxCommit - out.Peers[i].CommitIndex
+		}
+	}
+	return out
+}
+
+// fetchPeerStatus pulls one peer's /debug/hraft/status (trace suppressed)
+// and reduces it to a roll-up row.
+func fetchPeerStatus(client *http.Client, id, base string) DebugClusterPeer {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimSuffix(base, "/") + "/debug/hraft/status?trace=0"
+	row := DebugClusterPeer{Node: id, URL: url}
+	resp, err := client.Get(url)
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		row.Error = "status " + resp.Status
+		return row
+	}
+	var s DebugStatus
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		row.Error = "decode: " + err.Error()
+		return row
+	}
+	row.Role = s.Role
+	row.Term = s.Term
+	row.Leader = s.Leader
+	row.CommitIndex = s.CommitIndex
+	return row
 }
 
 // DebugSource is the combined surface ServeDebug mounts: Prometheus
@@ -290,15 +545,16 @@ type DebugSource interface {
 
 // ServeDebug serves the full observability surface on one address in a
 // background goroutine: /metrics (Prometheus text format, see
-// MetricsHandler), /debug/hraft/status, /debug/hraft/trace and
-// /debug/pprof. It returns the bound address (useful with ":0") and a
-// shutdown func.
-func ServeDebug(addr, node string, src DebugSource) (string, func() error, error) {
+// MetricsHandler), /debug/hraft/status, /debug/hraft/trace,
+// /debug/hraft/audit, /debug/pprof and — with WithPeers —
+// /debug/hraft/cluster. It returns the bound address (useful with ":0")
+// and a shutdown func.
+func ServeDebug(addr, node string, src DebugSource, opts ...DebugOption) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	mux := NewDebugMux(node, src)
+	mux := NewDebugMux(node, src, opts...)
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
@@ -306,9 +562,9 @@ func ServeDebug(addr, node string, src DebugSource) (string, func() error, error
 
 // NewDebugMux builds the mux ServeDebug serves — /metrics plus the debug
 // endpoints — for embedding into an existing HTTP server.
-func NewDebugMux(node string, src DebugSource) *http.ServeMux {
+func NewDebugMux(node string, src DebugSource, opts ...DebugOption) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(node, src))
-	mux.Handle("/debug/", DebugHandler(src))
+	mux.Handle("/debug/", DebugHandler(src, opts...))
 	return mux
 }

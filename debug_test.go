@@ -1,0 +1,153 @@
+package hraft
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/audit"
+	"github.com/hraft-io/hraft/internal/trace"
+)
+
+// stubDebugSource serves canned state through the debug surface.
+type stubDebugSource struct {
+	status DebugStatus
+	rec    *TraceRecorder
+	report AuditReport
+}
+
+func (s *stubDebugSource) DebugStatus(int) DebugStatus { return s.status }
+func (s *stubDebugSource) Recorder() *TraceRecorder    { return s.rec }
+func (s *stubDebugSource) AuditReport() AuditReport    { return s.report }
+
+// TestDebugHandlerAuditEndpoint pins /debug/hraft/audit: the auditor's
+// report served as JSON, violations and all.
+func TestDebugHandlerAuditEndpoint(t *testing.T) {
+	src := &stubDebugSource{report: AuditReport{
+		Clean:         false,
+		EventsChecked: 42,
+		Counts:        map[string]uint64{audit.MetricPrefix + audit.InvElectionSafety: 1},
+		Violations: []AuditViolation{{
+			Invariant: audit.InvElectionSafety,
+			Detail:    "two leaders in term 3",
+			Event:     TraceEvent{Type: trace.EvElectionWon, Node: "n2", Term: 3},
+		}},
+	}}
+	rec := httptest.NewRecorder()
+	DebugHandler(src).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/audit", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var got AuditReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+	}
+	if got.Clean || got.EventsChecked != 42 || len(got.Violations) != 1 ||
+		got.Violations[0].Invariant != audit.InvElectionSafety {
+		t.Fatalf("report round-trip = %+v", got)
+	}
+
+	// A source without an auditor (plain StatusSource) 404s rather than
+	// serving a fake clean report.
+	bare := struct{ StatusSource }{src}
+	rec = httptest.NewRecorder()
+	DebugHandler(bare).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/audit", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("auditless source served status %d, want 404", rec.Code)
+	}
+}
+
+// TestDebugHandlerTraceJSON pins /debug/hraft/trace?format=json: the
+// response is the {"node":..., "events":[...]} shape trace.ParseEvents —
+// and therefore hraft-audit reading from a pipe — accepts.
+func TestDebugHandlerTraceJSON(t *testing.T) {
+	r := trace.New(trace.Config{Node: "n1", Size: 16})
+	r.ElectionStart(1*time.Millisecond, 2)
+	r.ElectionWon(2*time.Millisecond, 2, "n1", 3)
+	src := &stubDebugSource{rec: r}
+
+	rec := httptest.NewRecorder()
+	DebugHandler(src).ServeHTTP(rec,
+		httptest.NewRequest(http.MethodGet, "/debug/hraft/trace?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	events, err := trace.ParseEvents(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("ParseEvents rejects the response: %v\n%s", err, rec.Body.String())
+	}
+	if len(events) != 2 || events[0].Type != trace.EvElectionStart || events[1].Node != "n1" {
+		t.Fatalf("events round-trip = %+v", events)
+	}
+
+	// The plain endpoint still serves text.
+	rec = httptest.NewRecorder()
+	DebugHandler(src).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text endpoint content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "election.won") {
+		t.Fatalf("text dump missing events:\n%s", rec.Body.String())
+	}
+}
+
+// TestDebugHandlerClusterEndpoint pins /debug/hraft/cluster: peer
+// statuses fetched over HTTP and folded into the leader-agreement /
+// commit-spread / per-peer-lag roll-up, with unreachable peers reported
+// rather than fatal.
+func TestDebugHandlerClusterEndpoint(t *testing.T) {
+	peer := httptest.NewServer(DebugHandler(&stubDebugSource{status: DebugStatus{
+		Node: "n2", Role: "follower", Term: 3, Leader: "n1", CommitIndex: 8,
+	}}))
+	defer peer.Close()
+
+	local := &stubDebugSource{status: DebugStatus{
+		Node: "n1", Role: "leader", Term: 3, Leader: "n1", CommitIndex: 10,
+	}}
+	h := DebugHandler(local, WithPeers(map[string]string{
+		"n2": peer.URL,
+		"n3": "127.0.0.1:1", // nothing listens here
+	}), WithPeerTimeout(500*time.Millisecond))
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/cluster", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var got DebugCluster
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+	}
+	if got.Reachable != 2 || got.Unreachable != 1 {
+		t.Fatalf("reachable/unreachable = %d/%d, want 2/1", got.Reachable, got.Unreachable)
+	}
+	if !got.LeaderAgreement || len(got.Leaders) != 1 || got.Leaders[0] != "n1" {
+		t.Fatalf("leader roll-up = agreement=%v leaders=%v", got.LeaderAgreement, got.Leaders)
+	}
+	if got.MaxTerm != 3 || got.CommitSpread != 2 {
+		t.Fatalf("max term %d spread %d, want 3 and 2", got.MaxTerm, got.CommitSpread)
+	}
+	if len(got.Peers) != 3 || got.Peers[0].Node != "n1" {
+		t.Fatalf("peers = %+v (serving node must come first)", got.Peers)
+	}
+	lag := map[string]uint64{}
+	for _, p := range got.Peers {
+		lag[p.Node] = p.Lag
+		if p.Node == "n3" && p.Error == "" {
+			t.Fatalf("unreachable peer carries no error: %+v", p)
+		}
+	}
+	if lag["n1"] != 0 || lag["n2"] != 2 {
+		t.Fatalf("lags = %v, want n1=0 n2=2", lag)
+	}
+
+	// Without WithPeers the endpoint 404s.
+	rec = httptest.NewRecorder()
+	DebugHandler(local).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/cluster", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("peerless cluster endpoint served %d, want 404", rec.Code)
+	}
+}

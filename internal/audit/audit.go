@@ -1,0 +1,494 @@
+// Package audit is the streaming cluster-wide safety auditor: it consumes
+// the flight-recorder event stream of every node in a cluster (live via
+// trace.Recorder.Attach, or offline via ObserveAll over a merged dump) and
+// continuously checks the consensus invariants the paper's correctness
+// argument rests on:
+//
+//   - election-safety: at most one leader identity per (group, term). The
+//     identity compared is the event's Peer (the winner's protocol self),
+//     not the recording label — at the C-Raft global level two different
+//     sites of one cluster may legitimately win the same global term,
+//     because the cluster is the member.
+//   - lease-disjoint: no two distinct identities hold overlapping serving
+//     leases in one group's timeline. A lease dies with a step-down (the
+//     cores discard the lease manager), a revoke event, a reboot, or a
+//     crash reported through NodeDown.
+//   - committed-prefix: any two commits at the same (group, index) carry
+//     the same entry identity digest — the cross-node agreement check.
+//   - term-monotonic / commit-monotonic / apply-monotonic: per recording
+//     instance, the term, commit index and applied index never move
+//     backwards within a boot epoch. EvBoot opens a new epoch (a rebooted
+//     node legitimately recommits from its snapshot boundary).
+//   - snapshot-boundary: a compaction boundary never exceeds the commit
+//     index at compaction time.
+//   - session-exactly-once: a (session, seq) pair applies at exactly one
+//     log index per group; observing it at a second index means a
+//     duplicate commit slipped past the session registry.
+//
+// The auditor keeps a bounded window of recent events and attaches a copy
+// to every violation, so a failure report carries the narrative leading up
+// to it, not just the verdict. It is sans-io and deterministic: feeding the
+// same event sequence always yields the same violations.
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/trace"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Invariant names, as reported in violations and metric keys.
+const (
+	InvElectionSafety  = "election-safety"
+	InvLeaseDisjoint   = "lease-disjoint"
+	InvCommittedPrefix = "committed-prefix"
+	InvTermMonotonic   = "term-monotonic"
+	InvCommitMonotonic = "commit-monotonic"
+	InvApplyMonotonic  = "apply-monotonic"
+	InvSnapshotBound   = "snapshot-boundary"
+	InvSessionOnce     = "session-exactly-once"
+)
+
+// MetricPrefix is the key prefix violation counters are exposed under in
+// Metrics maps ("audit.violations.<invariant>").
+const MetricPrefix = "audit.violations."
+
+// Violation is one detected invariant breach.
+type Violation struct {
+	// Invariant names the broken invariant (the Inv* constants).
+	Invariant string `json:"invariant"`
+	// Detail is the human-readable specifics (who, which term/index).
+	Detail string `json:"detail"`
+	// Event is the event that completed the violation.
+	Event trace.Event `json:"event"`
+	// Window is a copy of the most recent events up to and including
+	// Event — the narrative leading into the breach.
+	Window []trace.Event `json:"window,omitempty"`
+}
+
+// Error renders the violation as one line; Violation satisfies error so
+// harness plumbing can surface it directly.
+func (v Violation) Error() string {
+	return fmt.Sprintf("audit: %s violation: %s", v.Invariant, v.Detail)
+}
+
+// Report renders the violation with its formatted event window.
+func (v Violation) Report() string {
+	s := v.Error()
+	if len(v.Window) > 0 {
+		s += fmt.Sprintf("\nevent window (%d events, oldest first):\n%s", len(v.Window), trace.Format(v.Window))
+	}
+	return s
+}
+
+// Report is a point-in-time audit summary (the /debug/hraft/audit and
+// hraft-audit replay shape).
+type Report struct {
+	// Clean is true when no invariant has been violated.
+	Clean bool `json:"clean"`
+	// EventsChecked counts events observed so far.
+	EventsChecked uint64 `json:"events_checked"`
+	// Counts maps "audit.violations.<invariant>" to its violation count.
+	Counts map[string]uint64 `json:"counts,omitempty"`
+	// Violations lists every breach in detection order.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Options parametrizes an Auditor.
+type Options struct {
+	// WindowSize bounds the recent-event window attached to violations
+	// (0 = 64).
+	WindowSize int
+	// OnViolation, when set, runs synchronously on every violation, after
+	// it is recorded. A strict harness panics here so the violating test
+	// fails loudly at the violating event.
+	OnViolation func(Violation)
+	// MaxViolations bounds the retained violation list (0 = 128); the
+	// counters keep counting past it.
+	MaxViolations int
+}
+
+type groupTerm struct {
+	group string
+	term  types.Term
+}
+
+type groupIndex struct {
+	group string
+	index types.Index
+}
+
+type groupSess struct {
+	group        string
+	session, seq uint64
+}
+
+type leaderRec struct {
+	identity types.NodeID
+	node     string
+}
+
+type commitRec struct {
+	digest uint64
+	node   string
+}
+
+type sessRec struct {
+	index types.Index
+	node  string
+}
+
+// nodeState is the per-recording-instance watermark set, keyed by the
+// event's Node label (one label per consensus instance: "a1" and
+// "a1/global" are audited separately).
+type nodeState struct {
+	term    types.Term
+	commit  types.Index
+	applied types.Index
+
+	leaseHolder types.NodeID
+	leaseUntil  time.Duration
+	leaseActive bool
+	group       string // group of the instance's last lease event
+}
+
+// Auditor streams events and accumulates violations. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use —
+// recorders on several goroutines may share one auditor.
+type Auditor struct {
+	mu      sync.Mutex
+	opts    Options
+	checked uint64
+
+	window []trace.Event // ring, wseq total appended
+	wseq   uint64
+
+	nodes     map[string]*nodeState
+	leaders   map[groupTerm]leaderRec
+	committed map[groupIndex]commitRec
+	sessions  map[groupSess]sessRec
+
+	counts     map[string]uint64
+	violations []Violation
+	dropped    uint64
+}
+
+// New builds an auditor.
+func New(opts Options) *Auditor {
+	if opts.WindowSize <= 0 {
+		opts.WindowSize = 64
+	}
+	if opts.MaxViolations <= 0 {
+		opts.MaxViolations = 128
+	}
+	return &Auditor{
+		opts:      opts,
+		window:    make([]trace.Event, 0, opts.WindowSize),
+		nodes:     make(map[string]*nodeState),
+		leaders:   make(map[groupTerm]leaderRec),
+		committed: make(map[groupIndex]commitRec),
+		sessions:  make(map[groupSess]sessRec),
+		counts:    make(map[string]uint64),
+	}
+}
+
+// Observe feeds one event. Its signature matches trace.Recorder.Attach, so
+// `rec.Attach(aud.Observe)` wires a node in live. Nil-safe.
+func (a *Auditor) Observe(e trace.Event) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.observeLocked(e)
+}
+
+// ObserveAll replays a (typically merged, time-ordered) event slice — the
+// offline entry point. Nil-safe.
+func (a *Auditor) ObserveAll(events []trace.Event) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range events {
+		a.observeLocked(e)
+	}
+}
+
+// AttachTo subscribes the auditor to a recorder's event stream: sugar for
+// r.Attach(a.Observe), nil-safe on both sides. The auditor then observes
+// every event of every recorder sharing r's ring, in recording order.
+func (a *Auditor) AttachTo(r *trace.Recorder) {
+	if a == nil || r == nil {
+		return
+	}
+	r.Attach(a.Observe)
+}
+
+// NodeDown tells the auditor a recording instance crashed or was torn
+// down outside the event stream (the harness feeds crash transitions
+// here): its serving lease, if any, dies with it. A later EvBoot from the
+// same label opens a fresh epoch. Nil-safe.
+func (a *Auditor) NodeDown(label string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ns, ok := a.nodes[label]; ok {
+		ns.leaseActive = false
+	}
+}
+
+func (a *Auditor) observeLocked(e trace.Event) {
+	a.checked++
+	if len(a.window) < cap(a.window) {
+		a.window = append(a.window, e)
+	} else {
+		a.window[a.wseq%uint64(cap(a.window))] = e
+	}
+	a.wseq++
+
+	ns := a.nodes[e.Node]
+	if ns == nil {
+		ns = &nodeState{}
+		a.nodes[e.Node] = ns
+	}
+
+	// Term monotonicity, on events that carry the instance's CURRENT term
+	// (EvVote and EvStage may legitimately carry older terms: a vote for a
+	// past round, a span opened in a previous term).
+	switch e.Type {
+	case trace.EvRoleChange, trace.EvElectionStart, trace.EvElectionWon,
+		trace.EvAppendDispatch, trace.EvAppendAck, trace.EvAppendReject,
+		trace.EvSnapStreamStart, trace.EvCommitEntry:
+		if e.Term < ns.term {
+			a.violate(e, InvTermMonotonic, fmt.Sprintf(
+				"%s term went backwards: %d after %d", e.Node, e.Term, ns.term))
+		} else {
+			ns.term = e.Term
+		}
+	}
+
+	switch e.Type {
+	case trace.EvBoot:
+		// New epoch: the instance restarts from durable state, recommits
+		// from its restored commit index, and cannot be serving a lease.
+		ns.term = e.Term
+		ns.commit = e.Index
+		ns.applied = e.Index
+		ns.leaseActive = false
+
+	case trace.EvRoleChange:
+		if types.Role(e.Arg) != types.RoleLeader {
+			// Step-down discards the lease manager wholesale; no revoke
+			// event is recorded, so the role transition is the lease's
+			// death certificate.
+			ns.leaseActive = false
+		}
+
+	case trace.EvElectionWon:
+		id := identity(e)
+		key := groupTerm{group: e.Group, term: e.Term}
+		if prev, ok := a.leaders[key]; ok {
+			if prev.identity != id {
+				a.violate(e, InvElectionSafety, fmt.Sprintf(
+					"group %q term %d has two leaders: %s (on %s) and %s (on %s)",
+					e.Group, e.Term, prev.identity, prev.node, id, e.Node))
+			}
+		} else {
+			a.leaders[key] = leaderRec{identity: id, node: e.Node}
+		}
+
+	case trace.EvLeaseExtend:
+		id := identity(e)
+		until := time.Duration(e.Arg)
+		for label, other := range a.nodes {
+			if label == e.Node || !other.leaseActive || other.group != e.Group {
+				continue
+			}
+			if other.leaseHolder != id && other.leaseUntil > e.At {
+				a.violate(e, InvLeaseDisjoint, fmt.Sprintf(
+					"group %q: %s (on %s) extended a lease to %s while %s (on %s) holds one to %s",
+					e.Group, id, e.Node, until, other.leaseHolder, label, other.leaseUntil))
+			}
+		}
+		if !ns.leaseActive || until > ns.leaseUntil {
+			ns.leaseUntil = until
+		}
+		ns.leaseHolder = id
+		ns.leaseActive = true
+		ns.group = e.Group
+
+	case trace.EvLeaseRevoke:
+		ns.leaseActive = false
+
+	case trace.EvCommitEntry:
+		if e.Index <= ns.commit {
+			a.violate(e, InvCommitMonotonic, fmt.Sprintf(
+				"%s commit index went backwards: %d at or below %d without a reboot",
+				e.Node, e.Index, ns.commit))
+		} else {
+			ns.commit = e.Index
+		}
+		key := groupIndex{group: e.Group, index: e.Index}
+		if prev, ok := a.committed[key]; ok {
+			if prev.digest != e.Arg {
+				a.violate(e, InvCommittedPrefix, fmt.Sprintf(
+					"group %q index %d: %s committed digest %016x but %s committed %016x",
+					e.Group, e.Index, prev.node, prev.digest, e.Node, e.Arg))
+			}
+		} else {
+			a.committed[key] = commitRec{digest: e.Arg, node: e.Node}
+		}
+
+	case trace.EvSnapInstall:
+		// An installed snapshot fast-forwards both watermarks to its
+		// boundary: the instance now holds state through it.
+		if e.Index > ns.commit {
+			ns.commit = e.Index
+		}
+		if e.Index > ns.applied {
+			ns.applied = e.Index
+		}
+
+	case trace.EvCompact:
+		if e.Index > types.Index(e.Arg) {
+			a.violate(e, InvSnapshotBound, fmt.Sprintf(
+				"%s compacted at boundary %d beyond its commit index %d",
+				e.Node, e.Index, e.Arg))
+		}
+
+	case trace.EvApplySession:
+		if e.Index <= ns.applied {
+			a.violate(e, InvApplyMonotonic, fmt.Sprintf(
+				"%s applied index %d at or below %d without a reboot",
+				e.Node, e.Index, ns.applied))
+		} else {
+			ns.applied = e.Index
+		}
+		key := groupSess{group: e.Group, session: e.Arg, seq: e.Arg2}
+		if prev, ok := a.sessions[key]; ok {
+			if prev.index != e.Index {
+				a.violate(e, InvSessionOnce, fmt.Sprintf(
+					"group %q session %d seq %d applied twice: at index %d (on %s) and index %d (on %s)",
+					e.Group, e.Arg, e.Arg2, prev.index, prev.node, e.Index, e.Node))
+			}
+		} else {
+			a.sessions[key] = sessRec{index: e.Index, node: e.Node}
+		}
+	}
+}
+
+// identity resolves the protocol identity an event speaks for: its Peer
+// (the self the core stamped), falling back to the recording label.
+func identity(e trace.Event) types.NodeID {
+	if e.Peer != types.None {
+		return e.Peer
+	}
+	return types.NodeID(e.Node)
+}
+
+func (a *Auditor) violate(e trace.Event, invariant, detail string) {
+	a.counts[MetricPrefix+invariant]++
+	v := Violation{Invariant: invariant, Detail: detail, Event: e, Window: a.windowCopy()}
+	if len(a.violations) < a.opts.MaxViolations {
+		a.violations = append(a.violations, v)
+	} else {
+		a.dropped++
+	}
+	if a.opts.OnViolation != nil {
+		a.opts.OnViolation(v)
+	}
+}
+
+// windowCopy snapshots the recent-event ring, oldest first.
+func (a *Auditor) windowCopy() []trace.Event {
+	if len(a.window) < cap(a.window) {
+		return append([]trace.Event(nil), a.window...)
+	}
+	n := uint64(cap(a.window))
+	out := make([]trace.Event, 0, n)
+	start := a.wseq % n
+	out = append(out, a.window[start:]...)
+	out = append(out, a.window[:start]...)
+	return out
+}
+
+// Violations returns every retained violation in detection order. Nil-safe.
+func (a *Auditor) Violations() []Violation {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.violations...)
+}
+
+// Err returns the first violation as an error, or nil when clean. Nil-safe.
+func (a *Auditor) Err() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.violations) == 0 {
+		return nil
+	}
+	return a.violations[0]
+}
+
+// EventsChecked returns the number of events observed. Nil-safe.
+func (a *Auditor) EventsChecked() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checked
+}
+
+// Metrics returns the violation counters ("audit.violations.<invariant>").
+// Nil-safe.
+func (a *Auditor) Metrics() map[string]uint64 {
+	out := make(map[string]uint64)
+	a.MergeMetrics(out)
+	return out
+}
+
+// MergeMetrics folds the violation counters into dst. Nil-safe.
+func (a *Auditor) MergeMetrics(dst map[string]uint64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for k, v := range a.counts {
+		dst[k] += v
+	}
+}
+
+// Snapshot returns the full audit report. Nil-safe (reports clean).
+func (a *Auditor) Snapshot() Report {
+	if a == nil {
+		return Report{Clean: true}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r := Report{
+		Clean:         len(a.violations) == 0 && a.dropped == 0,
+		EventsChecked: a.checked,
+		Violations:    append([]Violation(nil), a.violations...),
+	}
+	if len(a.counts) > 0 {
+		r.Counts = make(map[string]uint64, len(a.counts))
+		for k, v := range a.counts {
+			r.Counts[k] = v
+		}
+	}
+	return r
+}

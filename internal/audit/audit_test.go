@@ -1,0 +1,345 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/trace"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// won builds an election-won event: node's instance claims leadership of
+// group in term, speaking as identity id.
+func won(at time.Duration, node, group string, term types.Term, id types.NodeID) trace.Event {
+	return trace.Event{At: at, Node: node, Group: group, Type: trace.EvElectionWon, Term: term, Peer: id}
+}
+
+// commit builds a commit event for (group, index) with the given digest.
+func commit(at time.Duration, node, group string, term types.Term, index types.Index, digest uint64) trace.Event {
+	return trace.Event{At: at, Node: node, Group: group, Type: trace.EvCommitEntry, Term: term, Index: index, Arg: digest}
+}
+
+// lease builds a lease-extend event: holder id on node serves group until
+// the given deadline.
+func lease(at time.Duration, node, group string, id types.NodeID, until time.Duration) trace.Event {
+	return trace.Event{At: at, Node: node, Group: group, Type: trace.EvLeaseExtend, Peer: id, Arg: uint64(until)}
+}
+
+// applySess builds a session-scoped apply of (session, seq) at index.
+func applySess(at time.Duration, node, group string, index types.Index, session, seq uint64) trace.Event {
+	return trace.Event{At: at, Node: node, Group: group, Type: trace.EvApplySession, Index: index, Arg: session, Arg2: seq}
+}
+
+// expectViolation replays events and asserts exactly one violation of the
+// named invariant, returning it.
+func expectViolation(t *testing.T, invariant string, events []trace.Event) Violation {
+	t.Helper()
+	a := New(Options{})
+	a.ObserveAll(events)
+	vs := a.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("want exactly one violation, got %d: %v", len(vs), vs)
+	}
+	if vs[0].Invariant != invariant {
+		t.Fatalf("violation names %q, want %q (%s)", vs[0].Invariant, invariant, vs[0].Detail)
+	}
+	if got := a.Metrics()[MetricPrefix+invariant]; got != 1 {
+		t.Fatalf("counter %s%s = %d, want 1", MetricPrefix, invariant, got)
+	}
+	if a.Snapshot().Clean {
+		t.Fatal("report still claims clean")
+	}
+	return vs[0]
+}
+
+// expectClean replays events and asserts no violation at all.
+func expectClean(t *testing.T, events []trace.Event) {
+	t.Helper()
+	a := New(Options{})
+	a.ObserveAll(events)
+	if vs := a.Violations(); len(vs) != 0 {
+		t.Fatalf("clean stream produced violations: %v", vs)
+	}
+	if r := a.Snapshot(); !r.Clean || r.EventsChecked != uint64(len(events)) {
+		t.Fatalf("report = %+v, want clean with %d events checked", r, len(events))
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestElectionSafety(t *testing.T) {
+	// Two different identities winning one (group, term) is the canonical
+	// split-brain.
+	v := expectViolation(t, InvElectionSafety, []trace.Event{
+		won(1*time.Millisecond, "n1", "", 3, "n1"),
+		won(2*time.Millisecond, "n2", "", 3, "n2"),
+	})
+	if !strings.Contains(v.Detail, "term 3") {
+		t.Fatalf("detail does not name the term: %s", v.Detail)
+	}
+
+	// Different terms: fine.
+	expectClean(t, []trace.Event{
+		won(1*time.Millisecond, "n1", "", 3, "n1"),
+		won(2*time.Millisecond, "n2", "", 4, "n2"),
+	})
+	// Different groups: fine.
+	expectClean(t, []trace.Event{
+		won(1*time.Millisecond, "a1", "local/cA", 3, "a1"),
+		won(2*time.Millisecond, "b1", "local/cB", 3, "b1"),
+	})
+	// One identity observed winning on two recording instances: at the
+	// C-Raft global level two sites of one cluster speak for the same
+	// member, so identity — not the recording label — is what must be
+	// unique.
+	expectClean(t, []trace.Event{
+		won(1*time.Millisecond, "a1/global", "global", 3, "cA"),
+		won(2*time.Millisecond, "a2/global", "global", 3, "cA"),
+	})
+}
+
+func TestLeaseDisjointness(t *testing.T) {
+	// n2 grants itself a lease while n1's is still running.
+	v := expectViolation(t, InvLeaseDisjoint, []trace.Event{
+		lease(10*time.Millisecond, "n1", "", "n1", 100*time.Millisecond),
+		lease(50*time.Millisecond, "n2", "", "n2", 150*time.Millisecond),
+	})
+	if !strings.Contains(v.Detail, "n1") || !strings.Contains(v.Detail, "n2") {
+		t.Fatalf("detail does not name both holders: %s", v.Detail)
+	}
+
+	// The old lease expired before the new grant: disjoint.
+	expectClean(t, []trace.Event{
+		lease(10*time.Millisecond, "n1", "", "n1", 100*time.Millisecond),
+		lease(200*time.Millisecond, "n2", "", "n2", 300*time.Millisecond),
+	})
+	// The old holder revoked first.
+	expectClean(t, []trace.Event{
+		lease(10*time.Millisecond, "n1", "", "n1", 100*time.Millisecond),
+		{At: 20 * time.Millisecond, Node: "n1", Type: trace.EvLeaseRevoke, Peer: "n1"},
+		lease(50*time.Millisecond, "n2", "", "n2", 150*time.Millisecond),
+	})
+	// The old holder stepped down (role change is the lease's death
+	// certificate; the cores record no revoke on step-down).
+	expectClean(t, []trace.Event{
+		lease(10*time.Millisecond, "n1", "", "n1", 100*time.Millisecond),
+		{At: 20 * time.Millisecond, Node: "n1", Type: trace.EvRoleChange, Term: 2, Arg: uint64(types.RoleFollower)},
+		lease(50*time.Millisecond, "n2", "", "n2", 150*time.Millisecond),
+	})
+	// Same holder extending on another recording instance: one identity,
+	// no overlap.
+	expectClean(t, []trace.Event{
+		lease(10*time.Millisecond, "a1/global", "global", "cA", 100*time.Millisecond),
+		lease(50*time.Millisecond, "a2/global", "global", "cA", 150*time.Millisecond),
+	})
+	// Different groups may overlap freely.
+	expectClean(t, []trace.Event{
+		lease(10*time.Millisecond, "a1", "local/cA", "a1", 100*time.Millisecond),
+		lease(50*time.Millisecond, "b1", "local/cB", "b1", 150*time.Millisecond),
+	})
+}
+
+func TestLeaseDiesWithNodeDown(t *testing.T) {
+	a := New(Options{})
+	a.Observe(lease(10*time.Millisecond, "n1", "", "n1", 100*time.Millisecond))
+	a.NodeDown("n1")
+	a.Observe(lease(50*time.Millisecond, "n2", "", "n2", 150*time.Millisecond))
+	if vs := a.Violations(); len(vs) != 0 {
+		t.Fatalf("lease survived NodeDown: %v", vs)
+	}
+}
+
+func TestCommittedPrefixAgreement(t *testing.T) {
+	v := expectViolation(t, InvCommittedPrefix, []trace.Event{
+		commit(1*time.Millisecond, "n1", "", 2, 7, 0xaaaa),
+		commit(2*time.Millisecond, "n2", "", 2, 7, 0xbbbb),
+	})
+	if !strings.Contains(v.Detail, "index 7") {
+		t.Fatalf("detail does not name the index: %s", v.Detail)
+	}
+
+	// Replicas committing the same digest at one index is the normal case.
+	expectClean(t, []trace.Event{
+		commit(1*time.Millisecond, "n1", "", 2, 7, 0xaaaa),
+		commit(2*time.Millisecond, "n2", "", 2, 7, 0xaaaa),
+	})
+	// Same index in different groups is unrelated.
+	expectClean(t, []trace.Event{
+		commit(1*time.Millisecond, "a1", "local/cA", 2, 7, 0xaaaa),
+		commit(2*time.Millisecond, "b1", "local/cB", 2, 7, 0xbbbb),
+	})
+}
+
+func TestTermMonotonicity(t *testing.T) {
+	expectViolation(t, InvTermMonotonic, []trace.Event{
+		{At: 1 * time.Millisecond, Node: "n1", Type: trace.EvRoleChange, Term: 5, Arg: uint64(types.RoleFollower)},
+		{At: 2 * time.Millisecond, Node: "n1", Type: trace.EvAppendDispatch, Term: 3, Peer: "n2", Index: 1},
+	})
+
+	// A vote for an older round is legitimate (EvVote carries the
+	// requested term, not the instance's current one).
+	expectClean(t, []trace.Event{
+		{At: 1 * time.Millisecond, Node: "n1", Type: trace.EvRoleChange, Term: 5, Arg: uint64(types.RoleFollower)},
+		{At: 2 * time.Millisecond, Node: "n1", Type: trace.EvVote, Term: 3, Peer: "n2"},
+	})
+	// Terms may regress across a reboot: durable state rewinds to what
+	// was persisted.
+	expectClean(t, []trace.Event{
+		{At: 1 * time.Millisecond, Node: "n1", Type: trace.EvRoleChange, Term: 5, Arg: uint64(types.RoleFollower)},
+		{At: 2 * time.Millisecond, Node: "n1", Type: trace.EvBoot, Term: 4, Index: 0},
+		{At: 3 * time.Millisecond, Node: "n1", Type: trace.EvRoleChange, Term: 4, Arg: uint64(types.RoleFollower)},
+	})
+	// Terms are per recording instance, not per process: "n1" at term 5
+	// and "n1/global" at term 2 coexist.
+	expectClean(t, []trace.Event{
+		{At: 1 * time.Millisecond, Node: "n1", Type: trace.EvRoleChange, Term: 5, Arg: uint64(types.RoleFollower)},
+		{At: 2 * time.Millisecond, Node: "n1/global", Type: trace.EvRoleChange, Term: 2, Arg: uint64(types.RoleFollower)},
+	})
+}
+
+func TestCommitMonotonicity(t *testing.T) {
+	expectViolation(t, InvCommitMonotonic, []trace.Event{
+		commit(1*time.Millisecond, "n1", "", 2, 5, 0xaaaa),
+		commit(2*time.Millisecond, "n1", "", 2, 5, 0xaaaa), // same index again
+	})
+
+	// A reboot opens a fresh epoch: recommitting above the restored
+	// commit base is recovery, not regression.
+	expectClean(t, []trace.Event{
+		commit(1*time.Millisecond, "n1", "", 2, 5, 0xaaaa),
+		{At: 2 * time.Millisecond, Node: "n1", Type: trace.EvBoot, Term: 2, Index: 3},
+		commit(3*time.Millisecond, "n1", "", 2, 4, 0xcccc),
+		commit(4*time.Millisecond, "n1", "", 2, 5, 0xaaaa),
+	})
+}
+
+func TestApplyMonotonicity(t *testing.T) {
+	expectViolation(t, InvApplyMonotonic, []trace.Event{
+		applySess(1*time.Millisecond, "n1", "", 5, 1, 1),
+		applySess(2*time.Millisecond, "n1", "", 4, 1, 2),
+	})
+
+	// An installed snapshot fast-forwards the applied watermark; applies
+	// resume above its boundary.
+	expectClean(t, []trace.Event{
+		applySess(1*time.Millisecond, "n1", "", 5, 1, 1),
+		{At: 2 * time.Millisecond, Node: "n1", Type: trace.EvSnapInstall, Index: 9},
+		applySess(3*time.Millisecond, "n1", "", 10, 1, 2),
+	})
+}
+
+func TestSnapshotBoundary(t *testing.T) {
+	expectViolation(t, InvSnapshotBound, []trace.Event{
+		{At: 1 * time.Millisecond, Node: "n1", Type: trace.EvCompact, Index: 10, Arg: 8},
+	})
+	expectClean(t, []trace.Event{
+		{At: 1 * time.Millisecond, Node: "n1", Type: trace.EvCompact, Index: 8, Arg: 10},
+		{At: 2 * time.Millisecond, Node: "n1", Type: trace.EvCompact, Index: 10, Arg: 10},
+	})
+}
+
+func TestSessionExactlyOnce(t *testing.T) {
+	// One (session, seq) landing at two different indexes means a retry
+	// slipped past the dedup registry and committed twice.
+	v := expectViolation(t, InvSessionOnce, []trace.Event{
+		applySess(1*time.Millisecond, "n1", "", 3, 7, 1),
+		applySess(2*time.Millisecond, "n2", "", 5, 7, 1),
+	})
+	if !strings.Contains(v.Detail, "session 7") {
+		t.Fatalf("detail does not name the session: %s", v.Detail)
+	}
+
+	// Every replica applying the same entry at the same index is the
+	// normal replicated-apply case.
+	expectClean(t, []trace.Event{
+		applySess(1*time.Millisecond, "n1", "", 3, 7, 1),
+		applySess(2*time.Millisecond, "n2", "", 3, 7, 1),
+		applySess(3*time.Millisecond, "n1", "", 4, 7, 2),
+	})
+}
+
+func TestViolationWindowAndCallback(t *testing.T) {
+	var fired []Violation
+	a := New(Options{WindowSize: 4, OnViolation: func(v Violation) { fired = append(fired, v) }})
+	// Enough traffic to wrap the 4-event window before the violation.
+	for i := 0; i < 6; i++ {
+		a.Observe(commit(time.Duration(i)*time.Millisecond, "n1", "", 1, types.Index(i+1), uint64(i)))
+	}
+	bad := commit(9*time.Millisecond, "n2", "", 1, 6, 0xdead) // n1 committed digest 5 there
+	a.Observe(bad)
+
+	if len(fired) != 1 {
+		t.Fatalf("OnViolation fired %d times, want 1", len(fired))
+	}
+	v := fired[0]
+	if v.Invariant != InvCommittedPrefix {
+		t.Fatalf("violation = %q", v.Invariant)
+	}
+	if len(v.Window) != 4 {
+		t.Fatalf("window carries %d events, want the bounded 4", len(v.Window))
+	}
+	last := v.Window[len(v.Window)-1]
+	if last.Node != bad.Node || last.Index != bad.Index {
+		t.Fatalf("window does not end at the violating event: %+v", last)
+	}
+	for i := 1; i < len(v.Window); i++ {
+		if v.Window[i].At < v.Window[i-1].At {
+			t.Fatalf("window out of order: %v", v.Window)
+		}
+	}
+	if rep := v.Report(); !strings.Contains(rep, "event window (4 events") {
+		t.Fatalf("Report omits the window:\n%s", rep)
+	}
+}
+
+func TestMaxViolationsBoundsListNotCounts(t *testing.T) {
+	a := New(Options{MaxViolations: 2})
+	for i := 0; i < 5; i++ {
+		// Each iteration re-commits index 1 with a fresh digest: one
+		// committed-prefix violation (against the first digest) and, after
+		// the first iteration, one commit-monotonic violation each.
+		a.Observe(commit(time.Duration(i)*time.Millisecond, "n1", "", 1, 1, uint64(0x100+i)))
+	}
+	if got := len(a.Violations()); got != 2 {
+		t.Fatalf("retained %d violations, want the bounded 2", got)
+	}
+	m := a.Metrics()
+	if m[MetricPrefix+InvCommittedPrefix] != 4 || m[MetricPrefix+InvCommitMonotonic] != 4 {
+		t.Fatalf("counters stopped at the retention bound: %v", m)
+	}
+	if a.Snapshot().Clean {
+		t.Fatal("report claims clean with dropped violations")
+	}
+}
+
+func TestNilAuditorIsInert(t *testing.T) {
+	var a *Auditor
+	a.Observe(trace.Event{Type: trace.EvElectionWon})
+	a.ObserveAll([]trace.Event{{Type: trace.EvElectionWon}})
+	a.AttachTo(nil)
+	a.NodeDown("n1")
+	if a.Violations() != nil || a.Err() != nil || a.EventsChecked() != 0 {
+		t.Fatal("nil auditor not inert")
+	}
+	if r := a.Snapshot(); !r.Clean {
+		t.Fatalf("nil auditor report = %+v", r)
+	}
+	a.MergeMetrics(nil) // must not panic
+}
+
+func TestAttachToRecorderStreams(t *testing.T) {
+	rec := trace.New(trace.Config{Node: "n1", Size: 16})
+	a := New(Options{})
+	a.AttachTo(rec)
+	rec.ElectionWon(1*time.Millisecond, 3, "n1", 2)
+	rec.ElectionWon(2*time.Millisecond, 3, "n2", 2) // second winner, same term
+	if a.EventsChecked() != 2 {
+		t.Fatalf("auditor observed %d events, want 2", a.EventsChecked())
+	}
+	vs := a.Violations()
+	if len(vs) != 1 || vs[0].Invariant != InvElectionSafety {
+		t.Fatalf("violations = %v", vs)
+	}
+}

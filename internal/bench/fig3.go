@@ -110,6 +110,7 @@ func fig3Trial(opts Fig3Options, kind harness.Kind, lossPct float64, seed int64)
 		LossProb:          lossPct / 100,
 		HeartbeatInterval: opts.Heartbeat,
 		DisableFastTrack:  opts.DisableFastTrack,
+		Audit:             harness.AuditOff,
 	})
 	if err != nil {
 		return nil, err

@@ -149,6 +149,7 @@ func fig5RaftTrial(opts Fig5Options, n int, seed int64) (float64, error) {
 		ElectionTimeoutMin: time.Second,
 		ElectionTimeoutMax: 2 * time.Second,
 		ProposalTimeout:    3 * time.Second,
+		Audit:              harness.AuditOff,
 	})
 	if err != nil {
 		return 0, err
@@ -186,6 +187,7 @@ func fig5CraftTrial(opts Fig5Options, n int, seed int64) (float64, error) {
 		Clusters:  specs,
 		Seed:      seed,
 		BatchSize: opts.BatchSize,
+		Audit:     harness.AuditOff,
 	})
 	if err != nil {
 		return 0, err

@@ -101,7 +101,7 @@ func ReadSweep(opts ReadOptions) ([]ReadRow, error) {
 // total lease-read time, total proposal time.
 func readTrialFlat(opts ReadOptions, kind harness.Kind, seed int64) ([]time.Duration, time.Duration, time.Duration, error) {
 	c, err := harness.NewCluster(harness.Options{
-		Kind: kind, Nodes: siteNames(5), Seed: seed,
+		Kind: kind, Nodes: siteNames(5), Seed: seed, Audit: harness.AuditOff,
 	})
 	if err != nil {
 		return nil, 0, 0, err
@@ -174,7 +174,8 @@ func readTrialCraft(opts ReadOptions, seed int64) ([]time.Duration, time.Duratio
 			{ID: "cA", Sites: []types.NodeID{"a1", "a2", "a3"}, Region: "us-east-1"},
 			{ID: "cB", Sites: []types.NodeID{"b1", "b2", "b3"}, Region: "eu-west-1"},
 		},
-		Seed: seed,
+		Seed:  seed,
+		Audit: harness.AuditOff,
 	})
 	if err != nil {
 		return nil, 0, 0, err

@@ -55,7 +55,14 @@ type Node struct {
 	cfg Config
 
 	local  *fastraft.Node
-	global *fastraft.Node // nil unless this site currently leads its cluster
+	global *fastraft.Node  // nil unless this site currently leads its cluster
+	gRec   *trace.Recorder // the global instance's derived recorder (nil with it)
+	// gsRec records the site's authoritative view of the global log: the
+	// commit stream replayed from externalized deltas. The live global
+	// instance's own commits are provisional (see startGlobal) and are not
+	// recorded; this stream is what cross-site agreement is audited on.
+	gsRec    *trace.Recorder
+	gsBooted bool // first replayed commit this lifetime emits a boot epoch
 
 	// Replayed global state, rebuilt from committed GlobalState entries in
 	// the local log. This is the recovery source for successor leaders.
@@ -137,6 +144,12 @@ func New(cfg Config) (*Node, error) {
 		metrics:        stats.NewCounters(),
 		globalBase:     make(map[string]uint64),
 	}
+	// Group-stamp the site recorder so cross-site audit tooling can tell
+	// which consensus group an event belongs to: intra-cluster events from
+	// different clusters at the same log index are unrelated.
+	cfg.Recorder.SetGroup("local/" + string(cfg.Cluster))
+	n.gsRec = cfg.Recorder.Derive(cfg.Recorder.Label() + "/gstate")
+	n.gsRec.SetGroup("global")
 	// The local instance snapshots through the craft node: the replayed
 	// global state and batching position ARE this site's application state,
 	// so C-Raft recovery survives a compacted local log. A stored snapshot
@@ -496,6 +509,11 @@ func (n *Node) startGlobal(now time.Duration) {
 	if err := store.SetHardState(storage.HardState{Term: n.gTerm, VotedFor: n.gVote}); err != nil {
 		panic(fmt.Sprintf("craft %s: seed global storage: %v", n.cfg.ID, err))
 	}
+	// The derived recorder shares the site recorder's ring, so local and
+	// global events interleave into one narrative per site; the "global"
+	// group marks events of the inter-cluster instance for audit tooling.
+	gRec := n.cfg.Recorder.Derive(n.cfg.Recorder.Label() + "/global")
+	gRec.SetGroup("global")
 	idxs := make([]types.Index, 0, len(n.gLog))
 	for idx := range n.gLog {
 		idxs = append(idxs, idx)
@@ -521,14 +539,13 @@ func (n *Node) startGlobal(now time.Duration) {
 		DisableFastTrack:    n.cfg.DisableFastTrack,
 		Rand:                n.cfg.Rand,
 		Layer:               types.LayerGlobal,
-		// The derived recorder shares the site recorder's ring, so local
-		// and global events interleave into one narrative per site.
-		Recorder: n.cfg.Recorder.Derive(n.cfg.Recorder.Label() + "/global"),
+		Recorder:            gRec,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("craft %s: start global instance: %v", n.cfg.ID, err))
 	}
 	n.global = g
+	n.gRec = gRec
 	// New leadership era for delta sequencing.
 	n.deltaSeq = 0
 	n.deltaOrdinal = 0
@@ -575,7 +592,14 @@ func (n *Node) stopGlobal() {
 	for k, v := range n.global.Metrics() {
 		n.globalBase[k] += v
 	}
+	// The discarded instance may hold a live leader lease; record the
+	// revocation so audit tooling does not carry a phantom lease for this
+	// site past the teardown.
+	if n.global.Role() == types.RoleLeader {
+		n.gRec.LeaseRevoke(n.now, n.cfg.Cluster)
+	}
 	n.global = nil
+	n.gRec = nil
 	n.held = nil
 	n.deltaPids = make(map[types.ProposalID]uint64)
 	n.deltaCommitted = make(map[uint64]bool)

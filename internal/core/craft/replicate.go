@@ -157,12 +157,20 @@ func (n *Node) applyDelta(d types.GlobalStateDelta) {
 		n.trackBatch(ge)
 	}
 	if d.CommitIndex > n.gCommit {
+		if !n.gsBooted {
+			// After a restart the replay re-runs from the restored commit
+			// base; the boot epoch tells audit tooling the rewind is a
+			// recovery, not a commit-index regression.
+			n.gsBooted = true
+			n.gsRec.Boot(n.now, n.gTerm, n.gCommit)
+		}
 		for i := n.gCommit + 1; i <= d.CommitIndex; i++ {
 			ge, ok := n.gLog[i]
 			if !ok {
 				panic(fmt.Sprintf("craft %s: replayed commit %d missing from global log", n.cfg.ID, i))
 			}
 			n.globalCommitted = append(n.globalCommitted, ge.Clone())
+			n.gsRec.CommitEntry(n.now, n.gTerm, ge)
 		}
 		n.gCommit = d.CommitIndex
 	}

@@ -209,8 +209,11 @@ func (n *Node) handleProposeLocally(m types.ProposeEntry) {
 			return
 		}
 	}
-	// Duplicate handling by proposal ID (same-process retries).
-	if existing := n.log.FindProposal(pid); existing != 0 {
+	// Duplicate handling by proposal ID (same-process retries). The match
+	// must agree on the payload: a restarted proposer's reset sequence
+	// counter can reuse the PID for a brand-new proposal, which must insert
+	// fresh rather than be answered with the old entry's index.
+	if existing := n.log.FindProposalFor(pid, m.Entry.Data); existing != 0 {
 		if existing <= n.commitIndex {
 			// Already committed: notify the proposer directly.
 			n.send(pid.Proposer, types.CommitNotify{PID: pid, Index: existing})
@@ -274,9 +277,10 @@ func (n *Node) onVoteEntry(from types.NodeID, m types.VoteEntry) {
 
 func (n *Node) recordVote(from types.NodeID, m types.VoteEntry) {
 	pid := m.Entry.PID
-	if idx := n.log.FindProposal(pid); idx != 0 && idx <= n.commitIndex {
+	if idx := n.log.FindProposalFor(pid, m.Entry.Data); idx != 0 && idx <= n.commitIndex {
 		// Voted-for proposal already committed elsewhere: tell its
-		// proposer, don't tally.
+		// proposer, don't tally. Payload-checked so a vote for a fresh
+		// proposal under a reused PID still tallies.
 		n.send(pid.Proposer, types.CommitNotify{PID: pid, Index: idx})
 		return
 	}
@@ -437,6 +441,15 @@ func (n *Node) commitTo(k types.Index) {
 			delete(n.appendedAt, i)
 		}
 		n.rec.SpanStage(n.now, e.PID, trace.StageCommit, i)
+		if n.cfg.Layer != types.LayerGlobal {
+			// A C-Raft global instance's commit is provisional until the
+			// delta externalizing it commits in the cluster's local log: a
+			// local-leader crash can roll the global member back behind
+			// this point. The authoritative global commit stream is the
+			// replay (craft records it per site); auditing these would
+			// flag that legitimate rollback as a committed-prefix breach.
+			n.rec.CommitEntry(n.now, n.term, e)
+		}
 		if n.applySessionCommit(e) {
 			// Session duplicate (or expired-session proposal): the slot
 			// commits but the entry is withheld from the state machine;

@@ -411,11 +411,14 @@ func (n *Node) NextDeadline() time.Duration {
 }
 
 // armBootGrace anchors the post-restart vote-refusal window at the
-// site's first post-boot activity.
+// site's first post-boot activity. It doubles as the boot marker in the
+// flight recorder: the EvBoot event opens a new epoch for the safety
+// auditor (recommits from the restored commit index are legitimate).
 func (n *Node) armBootGrace(now time.Duration) {
 	if n.bootGraceArm {
 		n.bootGraceArm = false
 		n.bootGraceUntil = now + n.cfg.ElectionTimeoutMin
+		n.rec.Boot(now, n.term, n.commitIndex)
 	}
 }
 
@@ -714,7 +717,7 @@ func (n *Node) maybeWinElection() {
 // becomeLeader installs leader state and runs the paper's recovery
 // algorithm over the self-approved entries gathered during the election.
 func (n *Node) becomeLeader() {
-	n.rec.ElectionWon(n.now, n.term, len(n.votes))
+	n.rec.ElectionWon(n.now, n.term, n.cfg.ID, len(n.votes))
 	n.rec.RoleChange(n.now, n.term, types.RoleLeader, n.cfg.ID)
 	n.role = types.RoleLeader
 	n.leaderID = n.cfg.ID

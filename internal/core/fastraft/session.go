@@ -86,6 +86,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 			n.answerProposer(e.PID, cached, false)
 			return true
 		}
+		n.rec.ApplySession(n.now, e.Index, uint64(e.Session), e.SessionSeq)
 		return false
 	default:
 		return false

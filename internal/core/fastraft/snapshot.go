@@ -69,6 +69,7 @@ func (n *Node) maybeCompact() {
 		panic(fmt.Sprintf("fastraft %s: truncate storage prefix: %v", n.cfg.ID, err))
 	}
 	n.snap = snap
+	n.rec.Compact(n.now, point, n.commitIndex)
 }
 
 // sendSnapshotTo streams the latest snapshot to a follower whose

@@ -1,0 +1,20 @@
+package harness
+
+import "github.com/hraft-io/hraft/internal/audit"
+
+// newAuditor builds a cluster's safety auditor for the given mode: nil for
+// AuditOff, collect-only for AuditRecord, and panic-on-violation for
+// AuditStrict so the violating test fails at the violating event with the
+// event window in the panic message.
+func newAuditor(mode AuditMode) *audit.Auditor {
+	switch mode {
+	case AuditOff:
+		return nil
+	case AuditRecord:
+		return audit.New(audit.Options{})
+	default: // AuditStrict
+		return audit.New(audit.Options{OnViolation: func(v audit.Violation) {
+			panic("harness: " + v.Report())
+		}})
+	}
+}

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/audit"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// TestAuditorDetectsSeededElectionViolation seeds a split-brain into an
+// otherwise healthy cluster by injecting a forged election-won event for
+// the current term from a second identity, and checks the attached
+// auditor names the broken invariant and carries the event window leading
+// into it. AuditRecord keeps the auditor in collect mode so the test can
+// inspect the report instead of dying in the strict panic.
+func TestAuditorDetectsSeededElectionViolation(t *testing.T) {
+	c, err := NewCluster(Options{
+		Kind:  KindFastRaft,
+		Nodes: ids("n1", "n2", "n3"),
+		Seed:  7,
+		Audit: AuditRecord,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	leader, ok := c.WaitForLeader(5 * time.Second)
+	if !ok {
+		t.Fatal("no leader")
+	}
+	if _, err := c.RunProposals(leader, 3, c.Sched.Now()+30*time.Second); err != nil {
+		t.Fatalf("proposals: %v", err)
+	}
+	if vs := c.Audit.Violations(); len(vs) != 0 {
+		t.Fatalf("healthy run already flagged: %v", vs)
+	}
+
+	// Forge a second winner of the leader's current term on another
+	// node's recorder — exactly what a real split-brain would record.
+	term := c.Host(leader).machine.Term()
+	var other *Host
+	for id, h := range c.Hosts() {
+		if id != leader {
+			other = h
+			break
+		}
+	}
+	other.rec.ElectionWon(c.Sched.Now(), term, other.id, 2)
+
+	vs := c.Audit.Violations()
+	if len(vs) != 1 {
+		t.Fatalf("seeded violation produced %d reports, want 1: %v", len(vs), vs)
+	}
+	v := vs[0]
+	if v.Invariant != audit.InvElectionSafety {
+		t.Fatalf("violation names %q, want %q", v.Invariant, audit.InvElectionSafety)
+	}
+	if !strings.Contains(v.Detail, string(leader)) || !strings.Contains(v.Detail, string(other.id)) {
+		t.Fatalf("detail does not name both leaders: %s", v.Detail)
+	}
+	if len(v.Window) == 0 {
+		t.Fatal("violation carries no event window")
+	}
+	last := v.Window[len(v.Window)-1]
+	if last.Node != string(other.id) || last.Term != term {
+		t.Fatalf("window does not end at the forged event: %+v", last)
+	}
+	if got := c.Audit.Metrics()[audit.MetricPrefix+audit.InvElectionSafety]; got != 1 {
+		t.Fatalf("violation counter = %d, want 1", got)
+	}
+}
+
+// TestAuditorStrictModePanics pins the default harness behavior: under
+// AuditStrict (the zero value) a violation panics immediately with the
+// full report, so the violating test dies at the violating event rather
+// than failing some assertion later.
+func TestAuditorStrictModePanics(t *testing.T) {
+	c, err := NewCluster(Options{
+		Kind:  KindFastRaft,
+		Nodes: ids("n1", "n2", "n3"),
+		Seed:  7,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	leader, ok := c.WaitForLeader(5 * time.Second)
+	if !ok {
+		t.Fatal("no leader")
+	}
+	term := c.Host(leader).machine.Term()
+	var other *Host
+	for id, h := range c.Hosts() {
+		if id != leader {
+			other = h
+			break
+		}
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("strict auditor did not panic on a seeded violation")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, audit.InvElectionSafety) || !strings.Contains(msg, "event window") {
+			t.Fatalf("panic message missing invariant or window:\n%v", r)
+		}
+	}()
+	other.rec.ElectionWon(c.Sched.Now(), term, other.id, 2)
+}
+
+// TestAuditorSeededCraftGlobalViolation seeds a committed-prefix breach
+// into the C-Raft global group: two sites recording different entry
+// identities committed at one global index. The auditor must attribute
+// it to the shared "global" group even though the events come from
+// different sites' rings.
+func TestAuditorSeededCraftGlobalViolation(t *testing.T) {
+	c, err := NewCraftCluster(CraftOptions{
+		Clusters: twoClusterSpecs(),
+		Seed:     3,
+		Audit:    AuditRecord,
+	})
+	if err != nil {
+		t.Fatalf("NewCraftCluster: %v", err)
+	}
+	if !c.WaitForLeaders(60 * time.Second) {
+		t.Fatal("clusters did not elect leaders")
+	}
+	if vs := c.Audit.Violations(); len(vs) != 0 {
+		t.Fatalf("healthy run already flagged: %v", vs)
+	}
+
+	// Two sites disagreeing about what committed at a (far-future, so no
+	// legitimate commit collides) global index.
+	ga := c.Host("a1").rec.Derive("a1/forged")
+	ga.SetGroup("global")
+	gb := c.Host("b1").rec.Derive("b1/forged")
+	gb.SetGroup("global")
+	now := c.Sched.Now()
+	ga.CommitEntry(now, 1, types.Entry{Index: 1 << 20, Kind: types.KindNormal, Data: []byte("x")})
+	gb.CommitEntry(now+time.Millisecond, 1, types.Entry{Index: 1 << 20, Kind: types.KindNormal, Data: []byte("y")})
+
+	var found bool
+	for _, v := range c.Audit.Violations() {
+		if v.Invariant == audit.InvCommittedPrefix && strings.Contains(v.Detail, `group "global"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("seeded global digest conflict not attributed to committed-prefix in group global: %v",
+			c.Audit.Violations())
+	}
+}

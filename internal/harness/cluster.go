@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/core/fastraft"
 	"github.com/hraft-io/hraft/internal/raft"
 	"github.com/hraft-io/hraft/internal/simnet"
@@ -35,6 +36,22 @@ func (k Kind) String() string {
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
 }
+
+// AuditMode selects how a cluster runs the online safety auditor.
+type AuditMode int
+
+const (
+	// AuditStrict (the zero value: every harness test audits by default)
+	// attaches the auditor to every node's event stream and panics on the
+	// first invariant violation, with the violating event window in the
+	// report — the failing test points at the exact breach.
+	AuditStrict AuditMode = iota
+	// AuditRecord attaches the auditor but only collects violations, for
+	// tests that seed deliberate violations and inspect the report.
+	AuditRecord
+	// AuditOff disables auditing (benchmarks pin the recorder-free path).
+	AuditOff
+)
 
 // Options configures a simulated flat cluster.
 type Options struct {
@@ -89,6 +106,12 @@ type Options struct {
 	// Crash/Restart so a node's ring spans its whole simulated lifetime.
 	// Dump with MergedTrace or DumpTraceOnFailure.
 	Trace bool
+	// TraceRing overrides the per-node recorder ring capacity (0 = the
+	// trace package default, or $HRAFT_TRACE_RING when set).
+	TraceRing int
+	// Audit selects the safety-auditor mode; the zero value is strict
+	// auditing, so every cluster is audited unless a test opts out.
+	Audit AuditMode
 }
 
 // Host binds one consensus node to the simulated network, keeping its
@@ -157,6 +180,9 @@ type Cluster struct {
 	// Timeline records leadership changes, configuration changes and
 	// churn events for scenario output.
 	Timeline *Timeline
+	// Audit is the streaming safety auditor attached to every node's
+	// recorder (nil when Options.Audit is AuditOff).
+	Audit *audit.Auditor
 
 	hosts map[types.NodeID]*Host
 	rng   *rand.Rand
@@ -182,6 +208,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		hosts:     make(map[types.NodeID]*Host),
 		rng:       rand.New(rand.NewSource(opts.Seed + 1)),
 	}
+	c.Audit = newAuditor(opts.Audit)
 	bootstrap := types.NewConfig(opts.Nodes...)
 	for _, id := range opts.Nodes {
 		if _, err := c.addHost(id, bootstrap); err != nil {
@@ -202,8 +229,9 @@ func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error
 		resolved:     make(map[types.ProposalID]types.Index),
 		readDone:     make(map[uint64]types.ReadDone),
 	}
-	if c.opts.Trace {
-		h.rec = trace.New(trace.Config{Node: string(id)})
+	if c.opts.Trace || c.Audit != nil {
+		h.rec = trace.New(trace.Config{Node: string(id), Size: c.opts.TraceRing})
+		c.Audit.AttachTo(h.rec)
 	}
 	m, err := c.makeMachine(id, bootstrap, h.store, h.rec)
 	if err != nil {
@@ -509,6 +537,7 @@ func (c *Cluster) Crash(id types.NodeID) {
 		h.wake = nil
 	}
 	c.Net.Unregister(id)
+	c.Audit.NodeDown(string(id))
 	c.Timeline.Crash(c.Sched.Now(), id)
 }
 

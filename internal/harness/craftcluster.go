@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/core/craft"
 	"github.com/hraft-io/hraft/internal/simnet"
 	"github.com/hraft-io/hraft/internal/stats"
@@ -70,6 +71,12 @@ type CraftOptions struct {
 	// layers share one ring per site); recorders survive Crash/Restart.
 	// Dump with MergedTrace or DumpTraceOnFailure.
 	Trace bool
+	// TraceRing overrides the per-site recorder ring capacity (0 = the
+	// trace package default, or $HRAFT_TRACE_RING when set).
+	TraceRing int
+	// Audit selects the safety-auditor mode; the zero value is strict
+	// auditing, so every deployment is audited unless a test opts out.
+	Audit AuditMode
 }
 
 // GlobalCommit records one global-log entry commit observation.
@@ -151,6 +158,10 @@ type CraftCluster struct {
 	GlobalCommits []GlobalCommit
 	// Timeline records leadership and churn events at both levels.
 	Timeline *Timeline
+	// Audit is the streaming safety auditor attached to every site's
+	// recorder — local and global layers alike, since the layers share one
+	// ring per site (nil when CraftOptions.Audit is AuditOff).
+	Audit *audit.Auditor
 
 	hosts         map[types.NodeID]*CraftHost
 	specs         []ClusterSpec
@@ -185,6 +196,7 @@ func NewCraftCluster(opts CraftOptions) (*CraftCluster, error) {
 		globalSeen:    make(map[types.Index]bool),
 		rng:           rand.New(rand.NewSource(opts.Seed + 2)),
 	}
+	c.Audit = newAuditor(opts.Audit)
 	globalIDs := make([]types.NodeID, len(opts.Clusters))
 	for i, spec := range opts.Clusters {
 		globalIDs[i] = spec.ID
@@ -212,8 +224,9 @@ func (c *CraftCluster) addSite(spec ClusterSpec, site types.NodeID, globalBootst
 		resolved:     make(map[types.ProposalID]types.Index),
 		readDone:     make(map[uint64]types.ReadDone),
 	}
-	if c.opts.Trace {
-		h.rec = trace.New(trace.Config{Node: string(site)})
+	if c.opts.Trace || c.Audit != nil {
+		h.rec = trace.New(trace.Config{Node: string(site), Size: c.opts.TraceRing})
+		c.Audit.AttachTo(h.rec)
 	}
 	node, err := c.makeNode(spec, site, globalBootstrap, h.store, h.rec)
 	if err != nil {
@@ -538,6 +551,9 @@ func (c *CraftCluster) Crash(id types.NodeID) {
 		h.wake = nil
 	}
 	c.Net.Unregister(id)
+	// Both layers' recording instances die with the site.
+	c.Audit.NodeDown(string(id))
+	c.Audit.NodeDown(string(id) + "/global")
 	if c.endpointOwner[h.clust] == h.id {
 		delete(c.endpointOwner, h.clust)
 		c.Net.Unregister(h.clust)

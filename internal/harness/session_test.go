@@ -138,6 +138,79 @@ func TestSessionlessRetryWindowDedups(t *testing.T) {
 	}
 }
 
+// TestRestartedProposerFreshProposalCommits pins the flip side of the
+// retry window: after a crash-restart resets the proposer's in-memory
+// sequence counter, its first proposal reuses a ProposalID that other
+// nodes still remember in the compacted window — but it carries NEW bytes,
+// so it is a fresh proposal, not a retry. It must commit at a fresh index
+// and apply, rather than be acknowledged with the old entry's index and
+// silently dropped.
+func TestRestartedProposerFreshProposalCommits(t *testing.T) {
+	const threshold = 8
+	c, err := NewCluster(Options{
+		Kind:              KindFastRaft,
+		Nodes:             fiveNodes(),
+		Seed:              17,
+		SnapshotThreshold: threshold,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.WaitForLeader(5 * time.Second); !ok {
+		t.Fatal("no leader")
+	}
+	const proposer = types.NodeID("n3")
+	const observer = types.NodeID("n1")
+	newPayload := []byte("post-restart-write")
+	counts := countApplies(c, newPayload)
+
+	pid, err := c.Propose(proposer, []byte("pre-crash-write"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstIdx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+30*time.Second)
+	if !ok || firstIdx == 0 {
+		t.Fatalf("first proposal did not commit (idx=%d ok=%v)", firstIdx, ok)
+	}
+
+	// Push every node's compaction boundary past the committed entry so the
+	// old mapping lives in the retry window, then crash-restart the
+	// proposer to reset its sequence counter.
+	if _, err := c.RunProposals("n2", 3*threshold, c.Sched.Now()+120*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	if fr := c.Host(proposer).Machine().(*fastraft.Node); fr.SnapshotIndex() < firstIdx {
+		t.Fatalf("scenario broken: boundary %d below entry %d", fr.SnapshotIndex(), firstIdx)
+	}
+	c.Crash(proposer)
+	c.RunFor(2 * time.Second)
+	if err := c.Restart(proposer); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+
+	// Same ProposalID as the pre-crash write, different bytes.
+	pid, err = c.Propose(proposer, newPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshIdx, ok := c.AwaitResolution(proposer, pid, c.Sched.Now()+60*time.Second)
+	if !ok || freshIdx == 0 {
+		t.Fatalf("fresh proposal did not commit (idx=%d ok=%v)", freshIdx, ok)
+	}
+	if freshIdx == firstIdx {
+		t.Fatalf("fresh proposal acknowledged with the old entry's index %d (lost write)", firstIdx)
+	}
+	c.RunFor(2 * time.Second)
+	if got := *counts[observer]; got != 1 {
+		t.Fatalf("observer applied the fresh payload %d times, want 1", got)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDoubleCommitWhenWindowEvicted documents the hazard that remains for
 // sessionless proposals: once enough later traffic is compacted, the retry
 // window evicts the original PID and the retried proposal commits (and

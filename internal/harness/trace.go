@@ -81,7 +81,9 @@ type TraceSource interface {
 // logs the cluster's merged, time-ordered event dump — every node's
 // elections, appends, snapshot streams and proposal stages interleaved.
 // With HRAFT_TRACE_DIR set, the dump is also written to
-// $HRAFT_TRACE_DIR/<test-name>.trace for artifact collection in CI.
+// $HRAFT_TRACE_DIR/<test-name>.trace for artifact collection in CI, plus a
+// machine-readable <test-name>.trace.jsonl twin that hraft-audit can
+// replay offline.
 func DumpTraceOnFailure(t TB, src TraceSource) {
 	t.Cleanup(func() {
 		if !t.Failed() {
@@ -106,6 +108,14 @@ func DumpTraceOnFailure(t TB, src TraceSource) {
 				return
 			}
 			t.Logf("harness: trace dump written to %s", path)
+			jsonl, err := trace.FormatJSONL(events)
+			if err != nil {
+				t.Logf("harness: encode trace dump: %v", err)
+				return
+			}
+			if err := os.WriteFile(path+".jsonl", jsonl, 0o644); err != nil {
+				t.Logf("harness: write trace dump: %v", err)
+			}
 		}
 	})
 }

@@ -23,6 +23,7 @@
 package logstore
 
 import (
+	"bytes"
 	"container/list"
 	"errors"
 	"fmt"
@@ -71,8 +72,11 @@ type Log struct {
 	// once the committed entry is snapshotted away, byPID no longer knows
 	// it and the retry would commit a second time. The window keeps the
 	// most recently compacted mappings findable so such retries still
-	// resolve to the original index. Best-effort only (bounded, not
-	// restart-safe): sessions remain the exactly-once mechanism.
+	// resolve to the original index. Each mapping carries a payload digest:
+	// a restarted proposer's sequence counter resets, so a reused pid with
+	// different bytes is a fresh proposal, not a retry. Best-effort only
+	// (bounded, not restart-safe): sessions remain the exactly-once
+	// mechanism.
 	compacted pidWindow
 	// compactedHits counts FindProposal answers served from the window;
 	// each one is a duplicate commit avoided.
@@ -103,21 +107,23 @@ type pidWindow struct {
 }
 
 type pidMapping struct {
-	pid types.ProposalID
-	idx types.Index
+	pid    types.ProposalID
+	idx    types.Index
+	digest uint64
 }
 
-func (w *pidWindow) add(pid types.ProposalID, idx types.Index) {
+func (w *pidWindow) add(pid types.ProposalID, idx types.Index, digest uint64) {
 	if w.byPID == nil {
 		w.byPID = make(map[types.ProposalID]*list.Element)
 		w.order = list.New()
 	}
 	if el, ok := w.byPID[pid]; ok {
-		el.Value.(*pidMapping).idx = idx
+		m := el.Value.(*pidMapping)
+		m.idx, m.digest = idx, digest
 		w.order.MoveToFront(el)
 		return
 	}
-	w.byPID[pid] = w.order.PushFront(&pidMapping{pid: pid, idx: idx})
+	w.byPID[pid] = w.order.PushFront(&pidMapping{pid: pid, idx: idx, digest: digest})
 	if w.order.Len() > compactedWindowSize {
 		oldest := w.order.Back()
 		w.order.Remove(oldest)
@@ -125,13 +131,25 @@ func (w *pidWindow) add(pid types.ProposalID, idx types.Index) {
 	}
 }
 
-func (w *pidWindow) get(pid types.ProposalID) (types.Index, bool) {
+func (w *pidWindow) get(pid types.ProposalID) (types.Index, uint64, bool) {
 	el, ok := w.byPID[pid]
 	if !ok {
-		return 0, false
+		return 0, 0, false
 	}
 	w.order.MoveToFront(el)
-	return el.Value.(*pidMapping).idx, true
+	m := el.Value.(*pidMapping)
+	return m.idx, m.digest, true
+}
+
+// payloadDigest is FNV-1a over an entry's payload: the window's way to
+// tell a genuine retry (same pid, same bytes) from a fresh proposal whose
+// restarted proposer reused the pid.
+func payloadDigest(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
 }
 
 func (w *pidWindow) len() int {
@@ -235,7 +253,32 @@ func (l *Log) FindProposal(pid types.ProposalID) types.Index {
 	if idx := l.byPID[pid]; idx != 0 {
 		return idx
 	}
-	if idx, ok := l.compacted.get(pid); ok {
+	if idx, _, ok := l.compacted.get(pid); ok {
+		l.compactedHits++
+		return idx
+	}
+	return 0
+}
+
+// FindProposalFor is FindProposal for de-duplication decisions: it only
+// reports a match when the stored payload equals data. A proposer's
+// in-memory sequence counter resets on restart, so a reused ProposalID can
+// name a brand-new proposal — answering it with the old entry's index
+// would acknowledge a write that never committed. Retained entries compare
+// payloads directly; windowed mappings compare the digest captured at
+// compaction. Callers reasoning about entries already placed in the log
+// (recovery, decide) keep using FindProposal.
+func (l *Log) FindProposalFor(pid types.ProposalID, data []byte) types.Index {
+	if pid.IsZero() {
+		return 0
+	}
+	if idx := l.byPID[pid]; idx != 0 {
+		if e := l.at(idx); e != nil && bytes.Equal(e.Data, data) {
+			return idx
+		}
+		return 0
+	}
+	if idx, digest, ok := l.compacted.get(pid); ok && digest == payloadDigest(data) {
 		l.compactedHits++
 		return idx
 	}
@@ -358,14 +401,34 @@ func (l *Log) CompactTo(idx types.Index, term types.Term) error {
 		return fmt.Errorf("%w: compact to %d beyond leader prefix %d", ErrCompacted, idx, l.lastLeader)
 	}
 	l.base, l.baseIndex = l.ConfigAt(idx)
+	digests := l.capturePIDDigests(idx)
 	l.entries = append([]*types.Entry(nil), l.entries[idx-l.snapIndex:]...)
 	l.snapIndex = idx
 	l.snapTerm = term
 	if l.lastIndex < idx {
 		l.lastIndex = idx
 	}
-	l.dropCompactedPIDs()
+	l.dropCompactedPIDs(digests)
 	return nil
+}
+
+// capturePIDDigests records the payload digest of every tracked proposal at
+// or below boundary, while its entry is still retained. Compaction paths
+// call it just before dropping the prefix so the retry window can later
+// distinguish genuine retries from reused proposal IDs.
+func (l *Log) capturePIDDigests(boundary types.Index) map[types.ProposalID]uint64 {
+	var digests map[types.ProposalID]uint64
+	for pid, idx := range l.byPID {
+		if idx <= boundary {
+			if e := l.at(idx); e != nil {
+				if digests == nil {
+					digests = make(map[types.ProposalID]uint64)
+				}
+				digests[pid] = payloadDigest(e.Data)
+			}
+		}
+	}
+	return digests
 }
 
 // dropCompactedPIDs moves proposal mappings that point at or below the
@@ -374,11 +437,11 @@ func (l *Log) CompactTo(idx types.Index, term types.Term) error {
 // every windowed mapping refers to a committed entry — truncated or
 // overwritten (never-committed) entries are removed outright by remove()
 // and never enter the window.
-func (l *Log) dropCompactedPIDs() {
+func (l *Log) dropCompactedPIDs(digests map[types.ProposalID]uint64) {
 	for pid, idx := range l.byPID {
 		if idx <= l.snapIndex {
 			delete(l.byPID, pid)
-			l.compacted.add(pid, idx)
+			l.compacted.add(pid, idx, digests[pid])
 		}
 	}
 }
@@ -407,6 +470,7 @@ func (l *Log) InstallSnapshot(meta types.SnapshotMeta) error {
 		return fmt.Errorf("%w: install snapshot %d at or below boundary %d",
 			ErrCompacted, meta.LastIndex, l.snapIndex)
 	}
+	digests := l.capturePIDDigests(meta.LastIndex)
 	if meta.LastIndex <= types.Index(len(l.entries))+l.snapIndex {
 		// Boundary inside the retained range: drop the covered prefix.
 		l.entries = append([]*types.Entry(nil), l.entries[meta.LastIndex-l.snapIndex:]...)
@@ -426,7 +490,7 @@ func (l *Log) InstallSnapshot(meta types.SnapshotMeta) error {
 	l.base = meta.Config.Clone()
 	l.baseIndex = meta.ConfigIndex
 	l.recomputeConfig()
-	l.dropCompactedPIDs()
+	l.dropCompactedPIDs(digests)
 	return nil
 }
 

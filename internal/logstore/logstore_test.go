@@ -2,6 +2,7 @@ package logstore
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -646,5 +647,87 @@ func TestRestoreSnapshot(t *testing.T) {
 	}
 	if err := l2.AppendLeader(8, leaderEntry(4, "q", 1)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFindProposalForVerifiesPayload: de-duplication must not trust the
+// ProposalID alone. A proposer's in-memory sequence counter resets on
+// restart, so a reused pid carrying different bytes is a brand-new proposal
+// — both the retained map and the compacted retry window must refuse the
+// match (otherwise the fresh proposal is acknowledged with the old entry's
+// index and the write is silently lost), while a genuine retry with the
+// same bytes still resolves.
+func TestFindProposalForVerifiesPayload(t *testing.T) {
+	l := New(types.NewConfig("a", "b", "c"))
+	for i := 1; i <= 10; i++ {
+		e := types.Entry{
+			Kind: types.KindNormal,
+			PID:  pid("p", uint64(i)),
+			Data: []byte(fmt.Sprintf("payload-%d", i)),
+			Term: 1,
+		}
+		if err := l.AppendLeader(types.Index(i), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retained entries compare payloads directly.
+	if idx := l.FindProposalFor(pid("p", 8), []byte("payload-8")); idx != 8 {
+		t.Fatalf("retained genuine retry = %d, want 8", idx)
+	}
+	if idx := l.FindProposalFor(pid("p", 8), []byte("fresh-proposal")); idx != 0 {
+		t.Fatalf("retained reused pid resolved to %d, want 0", idx)
+	}
+	// Windowed mappings compare the digest captured before compaction
+	// dropped the entries.
+	if err := l.CompactTo(6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if idx := l.FindProposalFor(pid("p", 3), []byte("payload-3")); idx != 3 {
+		t.Fatalf("windowed genuine retry = %d, want 3", idx)
+	}
+	if hits := l.CompactedPIDHits(); hits != 1 {
+		t.Fatalf("window hits = %d, want 1", hits)
+	}
+	if idx := l.FindProposalFor(pid("p", 3), []byte("fresh-proposal")); idx != 0 {
+		t.Fatalf("windowed reused pid resolved to %d, want 0", idx)
+	}
+	if hits := l.CompactedPIDHits(); hits != 1 {
+		t.Fatalf("digest mismatch counted as a window hit (%d)", hits)
+	}
+	// The unverified lookup keeps answering for log machinery that reasons
+	// about entries already placed in the log.
+	if idx := l.FindProposal(pid("p", 3)); idx != 3 {
+		t.Fatalf("FindProposal = %d, want 3", idx)
+	}
+	if idx := l.FindProposalFor(types.ProposalID{}, nil); idx != 0 {
+		t.Fatalf("zero pid resolved to %d", idx)
+	}
+}
+
+// TestInstallSnapshotWindowKeepsDigests: the InstallSnapshot path moves pid
+// mappings into the retry window the same way CompactTo does, so it must
+// capture payload digests before dropping the covered prefix too.
+func TestInstallSnapshotWindowKeepsDigests(t *testing.T) {
+	l := New(types.NewConfig("a", "b", "c"))
+	for i := 1; i <= 4; i++ {
+		e := types.Entry{
+			Kind: types.KindNormal,
+			PID:  pid("p", uint64(i)),
+			Data: []byte(fmt.Sprintf("payload-%d", i)),
+			Term: 1,
+		}
+		if err := l.AppendLeader(types.Index(i), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := types.SnapshotMeta{LastIndex: 3, LastTerm: 1, Config: types.NewConfig("a", "b", "c")}
+	if err := l.InstallSnapshot(meta); err != nil {
+		t.Fatal(err)
+	}
+	if idx := l.FindProposalFor(pid("p", 2), []byte("payload-2")); idx != 2 {
+		t.Fatalf("windowed genuine retry = %d, want 2", idx)
+	}
+	if idx := l.FindProposalFor(pid("p", 2), []byte("other-bytes")); idx != 0 {
+		t.Fatalf("windowed reused pid resolved to %d, want 0", idx)
 	}
 }

@@ -479,11 +479,14 @@ func (n *Node) submit(e types.Entry) {
 }
 
 // armBootGrace anchors the post-restart vote-refusal window at the
-// node's first post-boot activity.
+// node's first post-boot activity. It doubles as the boot marker in the
+// flight recorder: the EvBoot event opens a new epoch for the safety
+// auditor (recommits from the restored commit index are legitimate).
 func (n *Node) armBootGrace(now time.Duration) {
 	if n.bootGraceArm {
 		n.bootGraceArm = false
 		n.bootGraceUntil = now + n.cfg.ElectionTimeoutMin
+		n.rec.Boot(now, n.term, n.commitIndex)
 	}
 }
 
@@ -705,7 +708,7 @@ func (n *Node) maybeWinElection() {
 }
 
 func (n *Node) becomeLeader() {
-	n.rec.ElectionWon(n.now, n.term, len(n.votes))
+	n.rec.ElectionWon(n.now, n.term, n.cfg.ID, len(n.votes))
 	n.rec.RoleChange(n.now, n.term, types.RoleLeader, n.cfg.ID)
 	n.role = types.RoleLeader
 	n.leaderID = n.cfg.ID
@@ -759,8 +762,11 @@ func (n *Node) leaderAppend(e types.Entry) {
 			return
 		}
 	}
+	// A match must agree on the payload: a restarted proposer's reset
+	// sequence counter can reuse the PID for a brand-new proposal, which
+	// must append fresh rather than be answered with the old entry's index.
 	if !e.PID.IsZero() {
-		if idx := n.log.FindProposal(e.PID); idx != 0 {
+		if idx := n.log.FindProposalFor(e.PID, e.Data); idx != 0 {
 			if idx <= n.commitIndex {
 				n.queueNotify(e.PID, idx)
 			}
@@ -827,6 +833,7 @@ func (n *Node) commitTo(k types.Index) {
 			delete(n.appendedAt, i)
 		}
 		n.rec.SpanStage(n.now, e.PID, trace.StageCommit, i)
+		n.rec.CommitEntry(n.now, n.term, e)
 		if n.applySessionCommit(e) {
 			// Session duplicate (or expired-session proposal): the slot
 			// commits but the entry is withheld from the state machine.
@@ -875,6 +882,7 @@ func (n *Node) applySessionCommit(e types.Entry) (skip bool) {
 			n.answerProposer(e.PID, cached)
 			return true
 		}
+		n.rec.ApplySession(n.now, e.Index, uint64(e.Session), e.SessionSeq)
 		return false
 	default:
 		return false
@@ -1188,6 +1196,7 @@ func (n *Node) maybeCompact() {
 		panic(fmt.Sprintf("raft %s: truncate storage prefix: %v", n.cfg.ID, err))
 	}
 	n.snap = snap
+	n.rec.Compact(n.now, point, n.commitIndex)
 }
 
 // sendSnapshotTo streams the current snapshot to a follower whose log

@@ -209,6 +209,10 @@ func (m *Manager) StampRound(now time.Duration) uint64 {
 		m.counters.Inc(CounterBatchesExpired)
 		if m.leaseUntil != 0 {
 			m.RevokeLease()
+			// Recorded here rather than inside RevokeLease: this is the
+			// only revocation site with a clock (SetMembership has none,
+			// and step-down discards the manager without calling it).
+			m.cfg.Recorder.LeaseRevoke(now, m.cfg.Self)
 		}
 	}
 	m.nextCtx++
@@ -257,7 +261,7 @@ func (m *Manager) confirmFront(now time.Duration) {
 		if len(b.reads) > 0 {
 			m.cfg.Recorder.ReadConfirm(now, b.id)
 		}
-		m.extendLease(b)
+		m.extendLease(now, b)
 	}
 }
 
@@ -281,7 +285,7 @@ func (m *Manager) ackCount(id uint64) int {
 // srtt deration is the clock-skew/delivery-delay margin — with no samples
 // the full window applies, which is correct on the deterministic simulator
 // and conservative enough for same-order drift in real deployments.
-func (m *Manager) extendLease(b batch) {
+func (m *Manager) extendLease(now time.Duration, b batch) {
 	margin := time.Duration(0)
 	if m.cfg.RTT != nil {
 		for peer, ctx := range m.acked {
@@ -300,6 +304,7 @@ func (m *Manager) extendLease(b batch) {
 	if until := b.sentAt + window; until > m.leaseUntil {
 		m.leaseUntil = until
 		m.counters.Inc(CounterLeaseExtends)
+		m.cfg.Recorder.LeaseExtend(now, m.cfg.Self, until)
 	}
 }
 

@@ -25,7 +25,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -101,7 +103,33 @@ const (
 	// EvSlowOp: a proposal exceeded the slow-op threshold. PID = the
 	// proposal, Index = commit index, Arg = total microseconds.
 	EvSlowOp
+	// EvBoot: the instance (re)started from durable state. Term = the
+	// restored term, Index = the restored commit index (the snapshot
+	// boundary when one was restored). The epoch marker: per-node
+	// commit/apply monotonicity restarts here, because a rebooted node
+	// legitimately recommits from its snapshot boundary.
+	EvBoot
+	// EvCommitEntry: the commit index covered the entry at Index. Arg = a
+	// 64-bit digest of the entry's identity (EntryDigest) — the cross-node
+	// committed-prefix agreement key.
+	EvCommitEntry
+	// EvApplySession: a session-scoped entry applied (not a duplicate).
+	// Index = log index, Arg = session ID, Arg2 = session sequence.
+	EvApplySession
+	// EvLeaseExtend: the leader extended its serving lease. Peer = the
+	// leaseholder identity (the cluster at the C-Raft global level), Arg =
+	// the lease deadline in nanoseconds of node-monotonic time.
+	EvLeaseExtend
+	// EvLeaseRevoke: the leader dropped its lease. Peer = the holder.
+	EvLeaseRevoke
+	// EvCompact: the log was compacted. Index = the new snapshot boundary,
+	// Arg = the commit index at compaction time (the boundary must never
+	// exceed it).
+	EvCompact
 )
+
+// evMaxType is the highest defined event type (decode tables).
+const evMaxType = EvCompact
 
 // String names the event type.
 func (t EventType) String() string {
@@ -150,10 +178,32 @@ func (t EventType) String() string {
 		return "stage"
 	case EvSlowOp:
 		return "slow_op"
+	case EvBoot:
+		return "boot"
+	case EvCommitEntry:
+		return "commit.entry"
+	case EvApplySession:
+		return "session.apply"
+	case EvLeaseExtend:
+		return "lease.extend"
+	case EvLeaseRevoke:
+		return "lease.revoke"
+	case EvCompact:
+		return "compact"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
 }
+
+// eventTypeNames maps the wire names String/MarshalJSON emit back to
+// event types, for decoding offline dumps.
+var eventTypeNames = func() map[string]EventType {
+	m := make(map[string]EventType, int(evMaxType))
+	for t := EvRoleChange; t <= evMaxType; t++ {
+		m[t.String()] = t
+	}
+	return m
+}()
 
 // Event is one recorded protocol event. Events are fixed-size values: the
 // ring pre-allocates its storage and recording never allocates.
@@ -164,6 +214,10 @@ type Event struct {
 	At time.Duration `json:"at"`
 	// Node labels the recording instance ("n1", "n1/global", ...).
 	Node string `json:"node"`
+	// Group names the log this instance participates in ("" = the flat
+	// cluster log; C-Raft stamps "local/<cluster>" and "global"), so
+	// merged dumps stay self-describing for group-scoped invariants.
+	Group string `json:"group,omitempty"`
 	// Type discriminates the event.
 	Type EventType `json:"type"`
 	// Term is the recording node's term at the event.
@@ -193,6 +247,25 @@ func (e Event) MarshalJSON() ([]byte, error) {
 		aux.PID = &e.PID
 	}
 	return json.Marshal(aux)
+}
+
+// UnmarshalJSON decodes the MarshalJSON form (event type by name), so
+// offline tools can replay dumped traces.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	type alias Event // sheds the methods, avoiding recursion
+	aux := struct {
+		*alias
+		Type string `json:"type"`
+	}{alias: (*alias)(e)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	t, ok := eventTypeNames[aux.Type]
+	if !ok {
+		return fmt.Errorf("trace: unknown event type %q", aux.Type)
+	}
+	e.Type = t
+	return nil
 }
 
 // String renders the event as one human-readable line (without the node
@@ -258,6 +331,18 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s index=%d term=%d", Stage(e.Arg), e.PID, e.Index, e.Term)
 	case EvSlowOp:
 		return fmt.Sprintf("SLOW %s index=%d term=%d total=%s", e.PID, e.Index, e.Term, time.Duration(e.Arg)*time.Microsecond)
+	case EvBoot:
+		return fmt.Sprintf("boot term=%d commit=%d", e.Term, e.Index)
+	case EvCommitEntry:
+		return fmt.Sprintf("committed index=%d digest=%016x", e.Index, e.Arg)
+	case EvApplySession:
+		return fmt.Sprintf("session apply index=%d session=%d seq=%d", e.Index, e.Arg, e.Arg2)
+	case EvLeaseExtend:
+		return fmt.Sprintf("lease extended holder=%s until=%s", e.Peer, time.Duration(e.Arg))
+	case EvLeaseRevoke:
+		return fmt.Sprintf("lease revoked holder=%s", e.Peer)
+	case EvCompact:
+		return fmt.Sprintf("compacted boundary=%d commit=%d", e.Index, e.Arg)
 	default:
 		return e.Type.String()
 	}
@@ -336,11 +421,13 @@ const defaultSpanCap = 4096
 // ring is the shared event storage behind one or more Recorder labels. One
 // mutex guards everything — events, spans and histograms — because the
 // writers (the consensus goroutine) and readers (debug endpoints, harness
-// dumps) are different goroutines.
+// dumps) are different goroutines. Sinks live on the ring so a sink
+// attached through any label observes every label sharing it.
 type ring struct {
-	mu  sync.Mutex
-	buf []Event
-	seq uint64
+	mu    sync.Mutex
+	buf   []Event
+	seq   uint64
+	sinks []func(Event)
 }
 
 // Config parametrizes a Recorder.
@@ -348,7 +435,12 @@ type Config struct {
 	// Node labels this recorder's events ("n1"; C-Raft derives "n1/global"
 	// etc. via Derive).
 	Node string
-	// Size is the ring capacity in events (0 = 4096).
+	// Group names the log this recorder's instance participates in
+	// (stamped on every event; see Event.Group). Usually left empty and
+	// set later via SetGroup by the owning core.
+	Group string
+	// Size is the ring capacity in events (0 = the HRAFT_TRACE_RING
+	// environment variable, or 4096 when that is unset too).
 	Size int
 	// SlowOp, when non-zero, logs any proposal whose propose→apply span
 	// meets the threshold through Logger, naming the proposal, term, index,
@@ -365,6 +457,7 @@ type Config struct {
 type Recorder struct {
 	r     *ring
 	label string
+	group string
 	slow  time.Duration
 	log   *slog.Logger
 	// peersFn, when set, names the current peer set in slow-op reports
@@ -381,6 +474,9 @@ type Recorder struct {
 func New(cfg Config) *Recorder {
 	size := cfg.Size
 	if size <= 0 {
+		size = RingSizeFromEnv()
+	}
+	if size <= 0 {
 		size = defaultSize
 	}
 	logger := cfg.Logger
@@ -390,12 +486,29 @@ func New(cfg Config) *Recorder {
 	rec := &Recorder{
 		r:     &ring{buf: make([]Event, size)},
 		label: cfg.Node,
+		group: cfg.Group,
 		slow:  cfg.SlowOp,
 		log:   logger,
 		spans: make(map[types.ProposalID]*span),
 	}
 	rec.initHists()
 	return rec
+}
+
+// RingSizeFromEnv returns the ring capacity requested through the
+// HRAFT_TRACE_RING environment variable (0 = unset or invalid). Long
+// torture-style runs raise it so the pre-violation window is not lost to
+// ring wraparound at the 4096-event default.
+func RingSizeFromEnv() int {
+	v := os.Getenv("HRAFT_TRACE_RING")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		return 0
+	}
+	return n
 }
 
 func (r *Recorder) initHists() {
@@ -417,12 +530,47 @@ func (r *Recorder) Derive(label string) *Recorder {
 	d := &Recorder{
 		r:     r.r,
 		label: label,
+		group: r.group,
 		slow:  r.slow,
 		log:   r.log,
 		spans: make(map[types.ProposalID]*span),
 	}
 	d.initHists()
 	return d
+}
+
+// SetGroup names the log group stamped on this recorder's subsequent
+// events (see Event.Group). The owning core calls it once at construction;
+// nil-safe.
+func (r *Recorder) SetGroup(group string) {
+	if r == nil {
+		return
+	}
+	r.r.mu.Lock()
+	r.group = group
+	r.r.mu.Unlock()
+}
+
+// Group returns the recorder's log-group tag ("" when disabled or untagged).
+func (r *Recorder) Group() string {
+	if r == nil {
+		return ""
+	}
+	return r.group
+}
+
+// Attach subscribes fn to every event recorded into this recorder's ring —
+// including events from recorders Derive'd from it, which share the ring.
+// fn runs synchronously under the ring lock, in recording order: it must
+// be fast and must not call back into any recorder sharing the ring.
+// Nil-safe (attaching to the disabled recorder is a no-op).
+func (r *Recorder) Attach(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.r.mu.Lock()
+	r.r.sinks = append(r.r.sinks, fn)
+	r.r.mu.Unlock()
 }
 
 // Label returns the recorder's node label ("" when disabled).
@@ -444,19 +592,25 @@ func (r *Recorder) SetPeersFunc(f func() []types.NodeID) {
 	r.r.mu.Unlock()
 }
 
-// record appends one event under the lock. Callers fill everything but Seq
-// and Node.
+// record appends one event under the lock. Callers fill everything but
+// Seq, Node and Group. The deferred unlock matters: a strict-mode audit
+// sink may panic out of recordLocked, and the ring must stay usable for
+// the post-mortem dump.
 func (r *Recorder) record(e Event) {
 	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
 	r.recordLocked(e)
-	r.r.mu.Unlock()
 }
 
 func (r *Recorder) recordLocked(e Event) {
 	e.Seq = r.r.seq
 	e.Node = r.label
+	e.Group = r.group
 	r.r.buf[r.r.seq%uint64(len(r.r.buf))] = e
 	r.r.seq++
+	for _, fn := range r.r.sinks {
+		fn(e)
+	}
 }
 
 // Snapshot copies the ring's retained events in recording order (oldest
@@ -547,12 +701,16 @@ func (r *Recorder) Vote(now time.Duration, term types.Term, peer types.NodeID, g
 	r.record(Event{At: now, Type: EvVote, Term: term, Peer: peer, Arg: g})
 }
 
-// ElectionWon records an election win with the counted votes.
-func (r *Recorder) ElectionWon(now time.Duration, term types.Term, votes int) {
+// ElectionWon records an election win with the counted votes. self is the
+// winner's protocol identity (at the C-Raft global level that is the
+// cluster, not the site) — the key election-safety auditing compares on,
+// since two sites of one cluster may legitimately win the same global
+// term.
+func (r *Recorder) ElectionWon(now time.Duration, term types.Term, self types.NodeID, votes int) {
 	if r == nil {
 		return
 	}
-	r.record(Event{At: now, Type: EvElectionWon, Term: term, Arg: uint64(votes)})
+	r.record(Event{At: now, Type: EvElectionWon, Term: term, Peer: self, Arg: uint64(votes)})
 }
 
 // AppendDispatch records one AppendEntries transmission to peer.
@@ -691,6 +849,91 @@ func (r *Recorder) Replay(now time.Duration, era, seq uint64) {
 	r.record(Event{At: now, Type: EvReplay, Arg: era, Arg2: seq})
 }
 
+// Boot records a (re)start from durable state: the epoch marker that
+// resets per-node monotonicity auditing (a rebooted node recommits from
+// its snapshot boundary).
+func (r *Recorder) Boot(now time.Duration, term types.Term, commit types.Index) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvBoot, Term: term, Index: commit})
+}
+
+// CommitEntry records the commit index covering e, keyed by the entry's
+// identity digest so committed-prefix agreement is checkable across nodes
+// and offline.
+func (r *Recorder) CommitEntry(now time.Duration, term types.Term, e types.Entry) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvCommitEntry, Term: term, Index: e.Index, PID: e.PID, Arg: EntryDigest(e)})
+}
+
+// ApplySession records a non-duplicate session-scoped apply.
+func (r *Recorder) ApplySession(now time.Duration, index types.Index, session, seq uint64) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvApplySession, Index: index, Arg: session, Arg2: seq})
+}
+
+// LeaseExtend records the serving lease pushed out to until. self is the
+// leaseholder's protocol identity (the cluster at the C-Raft global
+// level).
+func (r *Recorder) LeaseExtend(now time.Duration, self types.NodeID, until time.Duration) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvLeaseExtend, Peer: self, Arg: uint64(until)})
+}
+
+// LeaseRevoke records the lease dropped before its deadline.
+func (r *Recorder) LeaseRevoke(now time.Duration, self types.NodeID) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvLeaseRevoke, Peer: self})
+}
+
+// Compact records a log compaction: boundary must never exceed the commit
+// index at compaction time.
+func (r *Recorder) Compact(now time.Duration, boundary types.Index, commit types.Index) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: now, Type: EvCompact, Index: boundary, Arg: uint64(commit)})
+}
+
+// EntryDigest summarizes an entry's identity as a 64-bit FNV-1a digest
+// over (Kind, PID, Session, SessionSeq, Data) — the same identity notion
+// the harness SafetyChecker compares, so two nodes committing different
+// values at one index digest apart. Term and Approval are excluded: they
+// are leader-stamped bookkeeping, not proposal identity.
+func EntryDigest(e types.Entry) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	byteIn := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	wordIn := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			byteIn(byte(v >> (8 * i)))
+		}
+	}
+	byteIn(byte(e.Kind))
+	for i := 0; i < len(e.PID.Proposer); i++ {
+		byteIn(e.PID.Proposer[i])
+	}
+	wordIn(e.PID.Seq)
+	wordIn(uint64(e.Session))
+	wordIn(e.SessionSeq)
+	for _, b := range e.Data {
+		byteIn(b)
+	}
+	return h
+}
+
 // --- Proposal lifecycle spans ------------------------------------------------
 
 // SpanStart opens a lifecycle span for pid, stamping StagePropose. A full
@@ -743,10 +986,50 @@ func (r *Recorder) SpanEnd(now time.Duration, pid types.ProposalID, index types.
 	if r == nil || pid.IsZero() {
 		return
 	}
+	slow, peers, term, stamps, stamped, total := r.spanEndLocked(now, pid, index)
+	if !slow {
+		return
+	}
+	attrs := []any{
+		"node", r.label,
+		"proposal", pid.String(),
+		"term", uint64(term),
+		"index", uint64(index),
+		"total", total,
+	}
+	p := stamps[StagePropose]
+	for s := StageAppend; s < numStages; s++ {
+		if stamped&(1<<s) == 0 {
+			continue
+		}
+		gap := stamps[s] - p
+		if gap < 0 {
+			gap = 0
+		}
+		attrs = append(attrs, s.String(), gap)
+		if stamps[s] > p {
+			p = stamps[s]
+		}
+	}
+	if len(peers) > 0 {
+		names := make([]string, len(peers))
+		for i, id := range peers {
+			names[i] = string(id)
+		}
+		attrs = append(attrs, "peers", strings.Join(names, ","))
+	}
+	r.log.Warn("hraft: slow proposal", attrs...)
+}
+
+// spanEndLocked is SpanEnd's under-lock half: it folds the span into the
+// histograms and reports whether a slow-op log line is due. The deferred
+// unlock keeps the ring usable if a strict-mode audit sink panics out of
+// recordLocked.
+func (r *Recorder) spanEndLocked(now time.Duration, pid types.ProposalID, index types.Index) (slow bool, peers []types.NodeID, term types.Term, stamps [numStages]time.Duration, stamped uint8, total time.Duration) {
 	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
 	sp, ok := r.spans[pid]
 	if !ok {
-		r.r.mu.Unlock()
 		return
 	}
 	delete(r.spans, pid)
@@ -770,53 +1053,17 @@ func (r *Recorder) SpanEnd(now time.Duration, pid types.ProposalID, index types.
 			prev = sp.at[s]
 		}
 	}
-	total := now - sp.at[StagePropose]
+	total = now - sp.at[StagePropose]
 	r.total.Observe(total)
 
-	slow := r.slow > 0 && total >= r.slow
-	var peers []types.NodeID
+	slow = r.slow > 0 && total >= r.slow
 	if slow {
 		r.recordLocked(Event{At: now, Type: EvSlowOp, Term: sp.term, PID: pid, Index: index, Arg: uint64(total / time.Microsecond)})
 		if r.peersFn != nil {
 			peers = r.peersFn()
 		}
 	}
-	term := sp.term
-	stamps := sp.at
-	stamped := sp.stamped
-	r.r.mu.Unlock()
-
-	if slow {
-		attrs := []any{
-			"node", r.label,
-			"proposal", pid.String(),
-			"term", uint64(term),
-			"index", uint64(index),
-			"total", total,
-		}
-		p := stamps[StagePropose]
-		for s := StageAppend; s < numStages; s++ {
-			if stamped&(1<<s) == 0 {
-				continue
-			}
-			gap := stamps[s] - p
-			if gap < 0 {
-				gap = 0
-			}
-			attrs = append(attrs, s.String(), gap)
-			if stamps[s] > p {
-				p = stamps[s]
-			}
-		}
-		if len(peers) > 0 {
-			names := make([]string, len(peers))
-			for i, id := range peers {
-				names[i] = string(id)
-			}
-			attrs = append(attrs, "peers", strings.Join(names, ","))
-		}
-		r.log.Warn("hraft: slow proposal", attrs...)
-	}
+	return slow, peers, sp.term, sp.at, sp.stamped, total
 }
 
 // SpanAbandon forgets a span without observing it (proposal failed or the
@@ -851,6 +1098,67 @@ func Merge(snapshots ...[]Event) []Event {
 		return a.Seq < b.Seq
 	})
 	return out
+}
+
+// FormatJSONL renders events as JSON lines (one event object per line) —
+// the machine-readable dump shape ParseEvents reads back.
+func FormatJSONL(events []Event) ([]byte, error) {
+	var b strings.Builder
+	enc := json.NewEncoder(&b)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return nil, err
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+// ParseEvents decodes a dumped trace in any of the shapes the tooling
+// produces: JSON lines (the harness .jsonl artifact), a JSON array, or a
+// {"events": [...]} object (the /debug/hraft/trace?format=json response).
+func ParseEvents(data []byte) ([]Event, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return nil, nil
+	}
+	switch trimmed[0] {
+	case '[':
+		var out []Event
+		if err := json.Unmarshal([]byte(trimmed), &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case '{':
+		// One object per line (JSONL), or a single wrapper object.
+		if i := strings.IndexByte(trimmed, '\n'); i < 0 {
+			var wrapper struct {
+				Events []Event `json:"events"`
+			}
+			if err := json.Unmarshal([]byte(trimmed), &wrapper); err == nil && wrapper.Events != nil {
+				return wrapper.Events, nil
+			}
+			var one Event
+			if err := json.Unmarshal([]byte(trimmed), &one); err != nil {
+				return nil, err
+			}
+			return []Event{one}, nil
+		}
+		var out []Event
+		for ln, line := range strings.Split(trimmed, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			var e Event
+			if err := json.Unmarshal([]byte(line), &e); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			out = append(out, e)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("trace: unrecognized dump format (want JSON lines, array, or object)")
+	}
 }
 
 // Format renders events one per line: timestamp, node label, description.

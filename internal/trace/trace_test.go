@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"log/slog"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -112,7 +113,7 @@ func TestDisabledRecorderZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() {
 		r.RoleChange(0, 1, types.RoleLeader, "n1")
 		r.ElectionStart(0, 1)
-		r.ElectionWon(0, 1, 3)
+		r.ElectionWon(0, 1, "n1", 3)
 		r.Vote(0, 1, "n2", true)
 		r.AppendDispatch(0, 1, "n2", 1, 1, 1)
 		r.AppendAck(0, 1, "n2", 1, 1)
@@ -151,7 +152,7 @@ func TestDeriveSharesRingAndSequence(t *testing.T) {
 	global := base.Derive("n1/global")
 	base.ElectionStart(1*time.Millisecond, 1)
 	global.GlobalOrder(2*time.Millisecond, 1, 1)
-	base.ElectionWon(3*time.Millisecond, 1, 3)
+	base.ElectionWon(3*time.Millisecond, 1, "n1", 3)
 	s := base.Snapshot()
 	if len(s) != 3 {
 		t.Fatalf("shared ring holds %d events, want 3", len(s))
@@ -298,7 +299,7 @@ func TestMergeOrdersAcrossNodes(t *testing.T) {
 	b := New(Config{Node: "b", Size: 8})
 	a.ElectionStart(3*time.Millisecond, 1)
 	b.ElectionStart(1*time.Millisecond, 1)
-	a.ElectionWon(5*time.Millisecond, 1, 2)
+	a.ElectionWon(5*time.Millisecond, 1, "a", 2)
 	b.RoleChange(3*time.Millisecond, 1, types.RoleFollower, "a")
 	merged := Merge(a.Snapshot(), b.Snapshot())
 	if len(merged) != 4 {
@@ -313,6 +314,184 @@ func TestMergeOrdersAcrossNodes(t *testing.T) {
 	text := Format(merged)
 	if !strings.Contains(text, "election.start") || !strings.Contains(text, "election.won") {
 		t.Fatalf("Format output missing event names:\n%s", text)
+	}
+}
+
+// TestMergeDeterministicTieBreak pins the merge ordering contract the
+// offline auditor depends on: same-timestamp ties break by node label,
+// then sequence number, so merging the same snapshots in any argument
+// order yields an identical stream.
+func TestMergeDeterministicTieBreak(t *testing.T) {
+	a := New(Config{Node: "a", Size: 8})
+	b := New(Config{Node: "b", Size: 8})
+	at := 2 * time.Millisecond
+	a.ElectionStart(at, 1)
+	a.ElectionWon(at, 1, "a", 2) // same node, same instant: seq breaks the tie
+	b.ElectionStart(at, 1)
+	b.RoleChange(at, 1, types.RoleFollower, "a")
+	want := Merge(a.Snapshot(), b.Snapshot())
+	if len(want) != 4 {
+		t.Fatalf("merged %d events, want 4", len(want))
+	}
+	for i, e := range want {
+		wantNode := "a"
+		if i >= 2 {
+			wantNode = "b"
+		}
+		if e.Node != wantNode || e.Seq != uint64(i%2) {
+			t.Fatalf("merged[%d] = node %q seq %d, want node %q seq %d (label then seq breaks ties)",
+				i, e.Node, e.Seq, wantNode, i%2)
+		}
+	}
+	for _, got := range [][]Event{
+		Merge(b.Snapshot(), a.Snapshot()),
+		Merge(nil, b.Snapshot(), nil, a.Snapshot()),
+	} {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge order depends on argument order:\ngot  %v\nwant %v", got, want)
+		}
+	}
+}
+
+// TestRingSizeFromEnv pins the HRAFT_TRACE_RING contract: a positive
+// value becomes the default ring capacity for recorders built without an
+// explicit Size, an explicit Size always wins, and unset or garbage
+// values fall back silently.
+func TestRingSizeFromEnv(t *testing.T) {
+	t.Setenv("HRAFT_TRACE_RING", "32")
+	if got := RingSizeFromEnv(); got != 32 {
+		t.Fatalf("RingSizeFromEnv = %d, want 32", got)
+	}
+	r := New(Config{Node: "n1"}) // Size 0: the env supplies the default
+	for i := 0; i < 100; i++ {
+		r.ElectionStart(time.Duration(i), types.Term(i))
+	}
+	if s := r.Snapshot(); len(s) != 32 {
+		t.Fatalf("env-sized ring retains %d events, want 32", len(s))
+	}
+	explicit := New(Config{Node: "n1", Size: 8})
+	for i := 0; i < 100; i++ {
+		explicit.ElectionStart(time.Duration(i), types.Term(i))
+	}
+	if s := explicit.Snapshot(); len(s) != 8 {
+		t.Fatalf("explicit Size overridden by env: ring retains %d, want 8", len(s))
+	}
+	for _, bad := range []string{"", "bogus", "-3", "0"} {
+		t.Setenv("HRAFT_TRACE_RING", bad)
+		if got := RingSizeFromEnv(); got != 0 {
+			t.Fatalf("RingSizeFromEnv(%q) = %d, want 0", bad, got)
+		}
+	}
+}
+
+// TestParseEventsFormats pins that every dump shape the tooling produces
+// round-trips through ParseEvents: the harness JSONL artifact, a plain
+// JSON array, and the {"node":..., "events":[...]} object the debug
+// endpoint serves.
+func TestParseEventsFormats(t *testing.T) {
+	r := New(Config{Node: "n1", Size: 8, Group: "local/cA"})
+	r.ElectionStart(1*time.Millisecond, 1)
+	r.ElectionWon(2*time.Millisecond, 1, "n1", 2)
+	r.CommitEntry(3*time.Millisecond, 1, types.Entry{Index: 1, Data: []byte("x")})
+	want := r.Snapshot()
+
+	jsonl, err := FormatJSONL(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapper, err := json.Marshal(struct {
+		Node   string  `json:"node"`
+		Events []Event `json:"events"`
+	}{"n1", want})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"jsonl": jsonl, "array": arr, "wrapper": wrapper,
+	} {
+		got, err := ParseEvents(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s round-trip mismatch:\ngot  %+v\nwant %+v", name, got, want)
+		}
+	}
+	if got, err := ParseEvents(nil); err != nil || got != nil {
+		t.Fatalf("empty input = (%v, %v), want (nil, nil)", got, err)
+	}
+	if _, err := ParseEvents([]byte("not json")); err == nil {
+		t.Fatal("garbage input parsed without error")
+	}
+}
+
+// TestAttachSinkSeesSharedRing pins the auditor subscription point: an
+// attached sink observes every event recorded through the base recorder
+// and every recorder Derive'd from it, in recording order, with group
+// stamps intact.
+func TestAttachSinkSeesSharedRing(t *testing.T) {
+	base := New(Config{Node: "n1", Size: 8})
+	base.SetGroup("local/cA")
+	global := base.Derive("n1/global")
+	global.SetGroup("global")
+
+	var seen []Event
+	base.Attach(func(e Event) { seen = append(seen, e) })
+
+	base.ElectionStart(1*time.Millisecond, 1)
+	global.ElectionStart(2*time.Millisecond, 1)
+	base.ElectionWon(3*time.Millisecond, 1, "n1", 2)
+
+	if len(seen) != 3 {
+		t.Fatalf("sink saw %d events, want 3", len(seen))
+	}
+	wantNodes := []string{"n1", "n1/global", "n1"}
+	wantGroups := []string{"local/cA", "global", "local/cA"}
+	for i, e := range seen {
+		if e.Node != wantNodes[i] || e.Group != wantGroups[i] {
+			t.Fatalf("seen[%d] = node %q group %q, want node %q group %q",
+				i, e.Node, e.Group, wantNodes[i], wantGroups[i])
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("seen[%d] seq = %d, want %d (recording order)", i, e.Seq, i)
+		}
+	}
+	// Attaching to the disabled recorder is a no-op, not a panic.
+	var nilRec *Recorder
+	nilRec.Attach(func(Event) { t.Fatal("sink on disabled recorder fired") })
+	nilRec.ElectionStart(0, 1)
+}
+
+// TestEntryDigestIdentity pins the digest's identity notion: it covers
+// what the proposal is (kind, proposer, session, payload) and ignores
+// leader-stamped bookkeeping (term, approval), matching the harness
+// SafetyChecker's equality.
+func TestEntryDigestIdentity(t *testing.T) {
+	base := types.Entry{
+		Kind: types.KindNormal, Index: 5, Term: 2,
+		PID: tpid("c", 9), Data: []byte("payload"),
+	}
+	same := base.Clone()
+	same.Term = 7 // a later leader re-stamps the term; identity unchanged
+	if EntryDigest(base) != EntryDigest(same) {
+		t.Fatal("digest depends on term")
+	}
+	for name, mutate := range map[string]func(*types.Entry){
+		"data":        func(e *types.Entry) { e.Data = []byte("other") },
+		"pid":         func(e *types.Entry) { e.PID = tpid("c", 10) },
+		"kind":        func(e *types.Entry) { e.Kind = types.KindNoop },
+		"session":     func(e *types.Entry) { e.Session = 3 },
+		"session_seq": func(e *types.Entry) { e.SessionSeq = 4 },
+	} {
+		diff := base.Clone()
+		mutate(&diff)
+		if EntryDigest(base) == EntryDigest(diff) {
+			t.Fatalf("digest ignores %s", name)
+		}
 	}
 }
 

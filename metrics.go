@@ -6,11 +6,15 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/hraft-io/hraft/internal/audit"
 )
 
 // publishMu serializes the check-then-publish pair below; expvar itself
@@ -71,10 +75,15 @@ type metricFamily struct {
 // "<base>.sum_us") become proper _bucket{le=...}/_count/_sum series with le
 // and the sum both in seconds (the unit Prometheus tooling like
 // histogram_quantile expects) and buckets in ascending le order, counters
-// and gauges plain samples. When src also implements PeerStatusSource,
-// per-peer replication gauges (hraft_peer_*{node,peer}) ride along. Keys
-// are sanitized (non-alphanumerics to underscores) and families emitted in
-// sorted order so scrapes are diff-stable.
+// and gauges plain samples. The online safety auditor's
+// "audit.violations.<invariant>" counters collapse into one
+// invariant-labeled hraft_audit_violations family (alert on it being
+// nonzero). When src also implements PeerStatusSource, per-peer
+// replication gauges (hraft_peer_*{node,peer}) ride along, and every
+// scrape includes process-level context: hraft_build_info, uptime,
+// goroutine count and heap gauges. Keys are sanitized (non-alphanumerics
+// to underscores) and families emitted in sorted order so scrapes are
+// diff-stable.
 func MetricsHandler(node string, src MetricSource) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -129,6 +138,15 @@ func MetricsHandler(node string, src MetricSource) http.Handler {
 				f := family(name, "histogram", histogramHelp(base))
 				f.lines = append(f.lines, fmt.Sprintf("%s_sum{node=%q} %s", name, node,
 					strconv.FormatFloat(float64(v)/1e6, 'g', -1, 64)))
+			case strings.HasPrefix(k, audit.MetricPrefix):
+				// The online safety auditor's per-invariant violation
+				// counters become one labeled family, so a single alert rule
+				// (hraft_audit_violations > 0) covers every invariant.
+				f := family("hraft_audit_violations", "counter",
+					"Consensus-invariant violations detected by the online safety auditor.")
+				f.lines = append(f.lines, fmt.Sprintf(
+					"hraft_audit_violations{node=%q,invariant=%q} %d",
+					node, strings.TrimPrefix(k, audit.MetricPrefix), v))
 			case strings.Contains(k, "gauge."):
 				// "gauge." prefixed keys (possibly under a C-Raft "local."/
 				// "global." section) are point-in-time values.
@@ -155,6 +173,7 @@ func MetricsHandler(node string, src MetricSource) http.Handler {
 		if ps, ok := src.(PeerStatusSource); ok {
 			appendPeerFamilies(fams, node, ps.PeerStatus())
 		}
+		appendRuntimeFamilies(fams, node)
 		names := make([]string, 0, len(fams))
 		for name := range fams {
 			names = append(names, name)
@@ -211,6 +230,58 @@ func appendPeerFamilies(fams map[string]*metricFamily, node string, peers []Peer
 		add("hraft_peer_state", "Replication state of the peer (1 = the labeled state).",
 			fmt.Sprintf("hraft_peer_state{node=%q,peer=%q,state=%q} 1", node, p.ID, p.State))
 	}
+}
+
+// processStart anchors hraft_process_uptime_seconds.
+var processStart = time.Now()
+
+// moduleVersion is the hraft module version baked into the binary
+// ("(devel)" for source builds, "unknown" without build info).
+var moduleVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
+}()
+
+// appendRuntimeFamilies adds the process-level context every consensus
+// dashboard ends up needing next to the protocol counters: what build is
+// running, for how long, and whether the process itself (goroutines,
+// heap) — rather than the protocol — is the thing misbehaving.
+func appendRuntimeFamilies(fams map[string]*metricFamily, node string) {
+	add := func(name, typ, help, line string) {
+		f, ok := fams[name]
+		if !ok {
+			f = &metricFamily{typ: typ, help: help}
+			fams[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+	add("hraft_build_info", "gauge",
+		"Build metadata; the value is always 1.",
+		fmt.Sprintf("hraft_build_info{node=%q,go_version=%q,version=%q} 1",
+			node, runtime.Version(), moduleVersion))
+	add("hraft_process_uptime_seconds", "gauge",
+		"Seconds since this process's metrics surface was initialized.",
+		fmt.Sprintf("hraft_process_uptime_seconds{node=%q} %s", node,
+			strconv.FormatFloat(time.Since(processStart).Seconds(), 'g', -1, 64)))
+	add("hraft_goroutines", "gauge",
+		"Live goroutines in the process.",
+		fmt.Sprintf("hraft_goroutines{node=%q} %d", node, runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	add("hraft_heap_alloc_bytes", "gauge",
+		"Bytes of allocated, still-reachable heap objects.",
+		fmt.Sprintf("hraft_heap_alloc_bytes{node=%q} %d", node, ms.HeapAlloc))
+	add("hraft_heap_sys_bytes", "gauge",
+		"Heap bytes obtained from the OS.",
+		fmt.Sprintf("hraft_heap_sys_bytes{node=%q} %d", node, ms.HeapSys))
+	add("hraft_heap_objects", "gauge",
+		"Live heap objects.",
+		fmt.Sprintf("hraft_heap_objects{node=%q} %d", node, ms.HeapObjects))
+	add("hraft_gc_cycles_total", "counter",
+		"Completed garbage-collection cycles.",
+		fmt.Sprintf("hraft_gc_cycles_total{node=%q} %d", node, ms.NumGC))
 }
 
 // sanitizeMetric maps a counter key onto the Prometheus metric-name

@@ -3,6 +3,7 @@ package hraft
 import (
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -112,6 +113,65 @@ func TestMetricsHandlerMetadata(t *testing.T) {
 		if ti < 0 || ti > li {
 			t.Fatalf("sample %q not preceded by its TYPE metadata", line)
 		}
+	}
+}
+
+// TestMetricsHandlerAuditFamily pins the auditor exposition: the flat
+// "audit.violations.<invariant>" counters collapse into one
+// invariant-labeled family with a single metadata block, so one alert
+// rule covers every invariant.
+func TestMetricsHandlerAuditFamily(t *testing.T) {
+	src := staticMetrics{
+		"audit.violations.election-safety":  2,
+		"audit.violations.committed-prefix": 1,
+	}
+	rec := httptest.NewRecorder()
+	MetricsHandler("n1", src).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE hraft_audit_violations counter",
+		`hraft_audit_violations{node="n1",invariant="election-safety"} 2`,
+		`hraft_audit_violations{node="n1",invariant="committed-prefix"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if n := strings.Count(body, "# TYPE hraft_audit_violations counter"); n != 1 {
+		t.Fatalf("audit family metadata emitted %d times:\n%s", n, body)
+	}
+	// The flat keys must not also render as per-invariant families.
+	if strings.Contains(body, "hraft_audit_violations_election_safety") {
+		t.Fatalf("audit key leaked as an unlabeled family:\n%s", body)
+	}
+}
+
+// TestMetricsHandlerRuntimeFamilies pins the process-level context every
+// scrape carries: build info (value fixed at 1), uptime, goroutine count
+// and heap gauges.
+func TestMetricsHandlerRuntimeFamilies(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler("n1", staticMetrics{}).ServeHTTP(rec,
+		httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE hraft_build_info gauge",
+		`hraft_build_info{node="n1",go_version="` + runtime.Version() + `"`,
+		"# TYPE hraft_process_uptime_seconds gauge",
+		`hraft_process_uptime_seconds{node="n1"} `,
+		"# TYPE hraft_goroutines gauge",
+		`hraft_goroutines{node="n1"} `,
+		"# TYPE hraft_heap_alloc_bytes gauge",
+		`hraft_heap_alloc_bytes{node="n1"} `,
+		"# TYPE hraft_heap_objects gauge",
+		"# TYPE hraft_gc_cycles_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, `"} 1`) || !strings.Contains(body, "hraft_build_info{") {
+		t.Fatalf("build info sample malformed:\n%s", body)
 	}
 }
 

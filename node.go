@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/core/fastraft"
 	"github.com/hraft-io/hraft/internal/runtime"
 	"github.com/hraft-io/hraft/internal/types"
@@ -134,6 +135,7 @@ func mixSeed(seed int64, id NodeID) int64 {
 type Node struct {
 	host    *runtime.Host
 	fr      *fastraft.Node
+	aud     *audit.Auditor
 	commits chan Entry
 	proposalWaiters
 	readWaiters
@@ -151,6 +153,7 @@ func NewNode(opts Options) (*Node, error) {
 		opts.Storage = NewMemoryStorage()
 	}
 	seed := mixSeed(opts.Seed, opts.ID)
+	rec, aud := newRecorder(opts.ID, opts.Trace)
 	fr, err := fastraft.New(fastraft.Config{
 		ID:                       opts.ID,
 		Bootstrap:                types.NewConfig(opts.Peers...),
@@ -171,7 +174,7 @@ func NewNode(opts Options) (*Node, error) {
 		SessionTTL:               opts.SessionTTL,
 		DisableFastTrack:         opts.DisableFastTrack,
 		Rand:                     rand.New(rand.NewSource(seed)),
-		Recorder:                 newRecorder(opts.ID, opts.Trace),
+		Recorder:                 rec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -182,6 +185,7 @@ func NewNode(opts Options) (*Node, error) {
 	}
 	n := &Node{
 		fr:              fr,
+		aud:             aud,
 		commits:         make(chan Entry, buf),
 		proposalWaiters: newProposalWaiters(),
 		readWaiters:     newReadWaiters(),
@@ -264,6 +268,7 @@ func (n *Node) Commits() <-chan Entry { return n.commits }
 func (n *Node) Metrics() map[string]uint64 {
 	var m map[string]uint64
 	n.host.Do(func(_ time.Duration, _ runtime.Machine) { m = n.fr.Metrics() })
+	n.aud.MergeMetrics(m)
 	return m
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/raft"
 	"github.com/hraft-io/hraft/internal/runtime"
 	"github.com/hraft-io/hraft/internal/types"
@@ -18,6 +19,7 @@ import (
 type RaftNode struct {
 	host    *runtime.Host
 	rn      *raft.Node
+	aud     *audit.Auditor
 	commits chan Entry
 	proposalWaiters
 	readWaiters
@@ -35,6 +37,7 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 	if opts.Storage == nil {
 		opts.Storage = NewMemoryStorage()
 	}
+	rec, aud := newRecorder(opts.ID, opts.Trace)
 	rn, err := raft.New(raft.Config{
 		ID:                  opts.ID,
 		Bootstrap:           types.NewConfig(opts.Peers...),
@@ -51,7 +54,7 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 		MaxSnapshotChunk:    opts.MaxSnapshotChunk,
 		SessionTTL:          opts.SessionTTL,
 		Rand:                rand.New(rand.NewSource(mixSeed(opts.Seed, opts.ID))),
-		Recorder:            newRecorder(opts.ID, opts.Trace),
+		Recorder:            rec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hraft: %w", err)
@@ -62,6 +65,7 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 	}
 	n := &RaftNode{
 		rn:              rn,
+		aud:             aud,
 		commits:         make(chan Entry, buf),
 		proposalWaiters: newProposalWaiters(),
 		readWaiters:     newReadWaiters(),
@@ -118,6 +122,7 @@ func (n *RaftNode) Commits() <-chan Entry { return n.commits }
 func (n *RaftNode) Metrics() map[string]uint64 {
 	var m map[string]uint64
 	n.host.Do(func(_ time.Duration, _ runtime.Machine) { m = n.rn.Metrics() })
+	n.aud.MergeMetrics(m)
 	return m
 }
 
