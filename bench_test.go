@@ -12,10 +12,13 @@
 package hraft_test
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
+	hraft "github.com/hraft-io/hraft"
 	"github.com/hraft-io/hraft/internal/bench"
 	"github.com/hraft-io/hraft/internal/harness"
 	"github.com/hraft-io/hraft/internal/logstore"
@@ -476,5 +479,108 @@ func BenchmarkTallyDecide(b *testing.B) {
 		if _, ok := t.Decide(1, cfg, nil); !ok {
 			b.Fatal("no decision")
 		}
+	}
+}
+
+// --- Raw-speed hot path (group commit, zero-alloc codec, apply pipeline) ----
+
+// BenchmarkCodecAppendEncodeAppendEntries is the steady-state encode path:
+// AppendEnvelope into a reused buffer, as the UDP transport sends. The
+// allocation count is pinned in CI (hraft-benchcmp): the reused-buffer
+// encode must stay allocation-free.
+func BenchmarkCodecAppendEncodeAppendEntries(b *testing.B) {
+	env := sampleAppendEntries()
+	buf, err := types.AppendEnvelope(nil, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = types.AppendEnvelope(buf[:0], env)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline measures end-to-end committed entries/s on a real
+// single-node group over the file-backed segmented WAL: Propose → WAL
+// append → fsync → commit → apply pipeline → resolution, on wall time
+// with real disk syncs.
+//
+// The sync variant fsyncs inline on every mutation (the classic
+// one-write-one-fsync storage); the group variants run the group-commit
+// flusher in eager mode, so the proposals in flight share fsyncs while
+// every commit still waits for durability. batch is the number of
+// concurrent closed-loop proposers.
+func BenchmarkPipeline(b *testing.B) {
+	const entriesPerTrial = 240 // divisible by every batch size below
+	payload := []byte("pipeline-benchmark-payload")
+
+	run := func(b *testing.B, opt hraft.WALOptions, batch int) {
+		store, err := hraft.OpenWALOptions(b.TempDir()+"/wal", opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := hraft.NewInProcNetwork(1)
+		node, err := hraft.NewNode(hraft.Options{
+			ID:                "n1",
+			Peers:             []hraft.NodeID{"n1"},
+			Transport:         net.Endpoint("n1"),
+			Storage:           store,
+			HeartbeatInterval: 10 * time.Millisecond,
+			Seed:              1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			node.Stop()
+			net.Close()
+		}()
+		go func() {
+			for range node.Commits() {
+			}
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for node.Role() != hraft.Leader {
+			if time.Now().After(deadline) {
+				b.Fatal("single node never became leader")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for g := 0; g < batch; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for j := 0; j < entriesPerTrial/batch; j++ {
+						if _, err := node.Propose(context.Background(), payload); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(entriesPerTrial*b.N)/b.Elapsed().Seconds(), "entries/s")
+	}
+
+	b.Run("sync/batch=1", func(b *testing.B) {
+		run(b, hraft.WALOptions{}, 1)
+	})
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("group/batch=%d", batch), func(b *testing.B) {
+			// Negative SyncWindow = eager flusher: natural batching under
+			// concurrency without added latency.
+			run(b, hraft.WALOptions{GroupCommit: true, SyncWindow: -1}, batch)
+		})
 	}
 }

@@ -11,6 +11,13 @@
 // custom metrics are paper-figure quantities measured on virtual time, so
 // they are stable across CI hardware; ns/op is ignored for exactly that
 // reason.
+//
+// Allocation counts are hardware-independent and gated tighter: every
+// benchmark reporting allocs/op in both runs fails on any increase beyond
+// -max-alloc-regress (default 1.1x), the reused-buffer encode path is
+// pinned to at most -max-encode-allocs (default 3) absolutely, and the
+// group-commit pipeline benchmark must beat its one-fsync-per-entry
+// variant by at least -min-group-speedup (default 3x) within the same run.
 package main
 
 import (
@@ -116,11 +123,14 @@ func throughputChecks() []check {
 
 func run() error {
 	var (
-		in         = flag.String("in", "bench.out", "captured `go test -bench` output")
-		out        = flag.String("out", "", "write the parsed snapshot to this JSON file")
-		baseline   = flag.String("baseline", "", "previous BENCH_pr*.json to compare against")
-		maxRegress = flag.Float64("max-regress", 2.0, "fail when a throughput metric drops by more than this factor")
-		pr         = flag.Int("pr", 4, "PR number recorded in the snapshot")
+		in              = flag.String("in", "bench.out", "captured `go test -bench` output")
+		out             = flag.String("out", "", "write the parsed snapshot to this JSON file")
+		baseline        = flag.String("baseline", "", "previous BENCH_pr*.json to compare against")
+		maxRegress      = flag.Float64("max-regress", 2.0, "fail when a throughput metric drops by more than this factor")
+		maxAllocRegress = flag.Float64("max-alloc-regress", 1.1, "fail when a benchmark's allocs/op grows by more than this factor")
+		maxEncodeAllocs = flag.Float64("max-encode-allocs", 3, "absolute allocs/op ceiling for the reused-buffer AppendEntries encode")
+		minGroupSpeedup = flag.Float64("min-group-speedup", 3.0, "required same-run entries/s ratio of BenchmarkPipeline group/batch=64 over sync/batch=1")
+		pr              = flag.Int("pr", 4, "PR number recorded in the snapshot")
 	)
 	flag.Parse()
 
@@ -147,6 +157,26 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+	}
+
+	// Same-run gates: these compare quantities within the fresh output, so
+	// they hold even without a baseline file.
+	if v, ok := results["BenchmarkCodecAppendEncodeAppendEntries"]["allocs/op"]; ok {
+		if v > *maxEncodeAllocs {
+			return fmt.Errorf("reused-buffer AppendEntries encode allocates %.0f/op (ceiling %.0f)",
+				v, *maxEncodeAllocs)
+		}
+		fmt.Printf("ok encode allocs pinned: %.0f/op (ceiling %.0f)\n", v, *maxEncodeAllocs)
+	}
+	grouped, gok := results["BenchmarkPipeline/group/batch=64"]["entries/s"]
+	ungrouped, uok := results["BenchmarkPipeline/sync/batch=1"]["entries/s"]
+	if gok && uok && ungrouped > 0 {
+		if grouped < ungrouped**minGroupSpeedup {
+			return fmt.Errorf("group commit pipeline only %.1fx over per-entry fsync (need %.1fx): %.0f vs %.0f entries/s",
+				grouped/ungrouped, *minGroupSpeedup, grouped, ungrouped)
+		}
+		fmt.Printf("ok group-commit speedup: %.1fx (%.0f vs %.0f entries/s)\n",
+			grouped/ungrouped, grouped, ungrouped)
 	}
 
 	if *baseline == "" {
@@ -187,12 +217,38 @@ func run() error {
 			fmt.Printf("ok %s %s: %.3f -> %.3f\n", c.bench, c.metric, base, cur)
 		}
 	}
+	// Allocation regression gate: allocs/op is deterministic for a given
+	// code path, so any benchmark reporting it in both runs is compared.
+	// The factor leaves room only for benchmarks whose allocation count is
+	// amortized across iterations (pooling warm-up).
+	allocFailed := 0
+	allocCompared := 0
+	for name, metrics := range results {
+		cur, ok := metrics["allocs/op"]
+		if !ok || benchDoc == nil {
+			continue
+		}
+		base, ok := lookup(benchDoc, name+".allocs/op")
+		if !ok {
+			continue
+		}
+		allocCompared++
+		if cur > base**maxAllocRegress && cur > base+1 {
+			allocFailed++
+			fmt.Printf("ALLOC REGRESSION %s: %.0f -> %.0f allocs/op (>%.2fx growth)\n",
+				name, base, cur, *maxAllocRegress)
+		}
+	}
 	if compared == 0 {
 		return fmt.Errorf("no comparable throughput metrics between %s and %s", *in, *baseline)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d throughput metric(s) regressed more than %.1fx", failed, *maxRegress)
 	}
+	if allocFailed > 0 {
+		return fmt.Errorf("%d benchmark(s) grew allocs/op more than %.2fx", allocFailed, *maxAllocRegress)
+	}
 	fmt.Printf("throughput within %.1fx of baseline (%d metrics compared)\n", *maxRegress, compared)
+	fmt.Printf("allocations within %.2fx of baseline (%d benchmarks compared)\n", *maxAllocRegress, allocCompared)
 	return nil
 }

@@ -50,22 +50,27 @@ func main() {
 
 func run() error {
 	var (
-		id      = flag.String("id", "", "node ID (required)")
-		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address")
-		peers   = flag.String("peers", "", "comma-separated id=addr pairs (including this node)")
-		join    = flag.Bool("join", false, "join an existing group instead of bootstrapping")
-		walPath = flag.String("wal", "", "write-ahead log path (default: in-memory)")
-		loss    = flag.Float64("loss", 0, "injected send-side message loss probability [0,1)")
-		hb      = flag.Duration("heartbeat", 100*time.Millisecond, "leader heartbeat interval")
-		snapN   = flag.Int("snapshot-threshold", 0, "compact the log every N committed entries (0 = never)")
-		chunk   = flag.Int("snapshot-chunk", 0, "stream snapshot transfers in chunks of at most this many bytes (0 = one message)")
-		maxInfl = flag.Int("max-inflight-bytes", 0, "per-follower byte budget for outstanding AppendEntries payloads (0 = 1 MiB default)")
-		metrics = flag.String("metrics", "", "serve Prometheus text metrics at this addr (e.g. 127.0.0.1:9090; empty = off)")
-		dbgAddr = flag.String("debug-addr", "", "serve metrics, /debug/hraft/status and pprof at this addr (empty = off; implies -trace)")
-		dbgPeer = flag.String("debug-peers", "", "comma-separated id=host:port pairs naming the other nodes' -debug-addr servers; enables the /debug/hraft/cluster roll-up")
-		doTrace = flag.Bool("trace", false, "enable the protocol flight recorder (SIGQUIT prints the trace tail)")
-		slowOp  = flag.Duration("slow-op", 0, "log proposals whose commit takes longer than this (0 = off; implies -trace)")
-		quiet   = flag.Bool("quiet", false, "suppress per-commit output")
+		id       = flag.String("id", "", "node ID (required)")
+		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address")
+		peers    = flag.String("peers", "", "comma-separated id=addr pairs (including this node)")
+		join     = flag.Bool("join", false, "join an existing group instead of bootstrapping")
+		walPath  = flag.String("wal", "", "write-ahead log path (default: in-memory)")
+		walGC    = flag.Bool("wal-group-commit", false, "batch concurrent WAL writes into one fsync; acks wait for durability")
+		walWin   = flag.Duration("wal-sync-window", 0, "max time a write waits for its fsync batch (0 = 2ms default, negative = eager)")
+		walSyncB = flag.Int("wal-sync-bytes", 0, "flush the fsync batch early past this many buffered bytes (0 = 256 KiB default)")
+		walSegB  = flag.Int("wal-segment-bytes", 0, "seal WAL segments past this size (0 = 4 MiB default)")
+		applyQ   = flag.Int("apply-queue", 0, "commit→apply pipeline depth in output batches (0 = 256 default)")
+		loss     = flag.Float64("loss", 0, "injected send-side message loss probability [0,1)")
+		hb       = flag.Duration("heartbeat", 100*time.Millisecond, "leader heartbeat interval")
+		snapN    = flag.Int("snapshot-threshold", 0, "compact the log every N committed entries (0 = never)")
+		chunk    = flag.Int("snapshot-chunk", 0, "stream snapshot transfers in chunks of at most this many bytes (0 = one message)")
+		maxInfl  = flag.Int("max-inflight-bytes", 0, "per-follower byte budget for outstanding AppendEntries payloads (0 = 1 MiB default)")
+		metrics  = flag.String("metrics", "", "serve Prometheus text metrics at this addr (e.g. 127.0.0.1:9090; empty = off)")
+		dbgAddr  = flag.String("debug-addr", "", "serve metrics, /debug/hraft/status and pprof at this addr (empty = off; implies -trace)")
+		dbgPeer  = flag.String("debug-peers", "", "comma-separated id=host:port pairs naming the other nodes' -debug-addr servers; enables the /debug/hraft/cluster roll-up")
+		doTrace  = flag.Bool("trace", false, "enable the protocol flight recorder (SIGQUIT prints the trace tail)")
+		slowOp   = flag.Duration("slow-op", 0, "log proposals whose commit takes longer than this (0 = off; implies -trace)")
+		quiet    = flag.Bool("quiet", false, "suppress per-commit output")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -99,7 +104,12 @@ func run() error {
 
 	store := hraft.NewMemoryStorage()
 	if *walPath != "" {
-		store, err = hraft.OpenWAL(*walPath)
+		store, err = hraft.OpenWALOptions(*walPath, hraft.WALOptions{
+			GroupCommit:  *walGC,
+			SyncWindow:   *walWin,
+			SyncBytes:    *walSyncB,
+			SegmentBytes: *walSegB,
+		})
 		if err != nil {
 			return err
 		}
@@ -133,6 +143,7 @@ func run() error {
 		Snapshotter:       snapshotter,
 		MaxSnapshotChunk:  *chunk,
 		MaxInflightBytes:  *maxInfl,
+		ApplyQueueSize:    *applyQ,
 		Trace:             traceOpts,
 	})
 	if err != nil {

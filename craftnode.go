@@ -88,6 +88,9 @@ type CRaftOptions struct {
 	OnGlobalCommit func(Entry)
 	// CommitBuffer sizes the commit channels (default 1024).
 	CommitBuffer int
+	// ApplyQueueSize bounds the commit→apply pipeline in drained output
+	// batches (0 = a 256-batch default); see Options.ApplyQueueSize.
+	ApplyQueueSize int
 	// Trace, when set, enables the protocol flight recorder across both
 	// consensus layers: local and global events (elections, appends,
 	// snapshot streams, batching, global ordering, replay) share one ring
@@ -172,9 +175,12 @@ func NewCRaftNode(opts CRaftOptions) (*CRaftNode, error) {
 			}
 			n.globalCommits <- e
 		},
-		OnResolve:  n.resolve,
-		OnReadDone: n.resolveRead,
+		OnResolve:      n.resolve,
+		OnReadDone:     n.resolveRead,
+		ApplyQueueSize: opts.ApplyQueueSize,
+		Recorder:       rec,
 	})
+	wireDurability(n.host, opts.Storage, rec)
 	return n, nil
 }
 

@@ -138,8 +138,24 @@ func ListenUDP(id NodeID, addr string) (*UDPTransport, error) {
 func NewMemoryStorage() Storage { return storage.NewMemory() }
 
 // OpenWAL opens (or creates) file-backed stable storage at path, with
-// CRC-framed records and torn-tail recovery.
+// CRC-framed records, fixed-size segments and torn-tail recovery. Fully
+// synchronous: every mutation is fsynced before returning. Use
+// OpenWALOptions to enable group commit.
 func OpenWAL(path string) (Storage, error) { return storage.OpenWAL(path) }
+
+// WALOptions tunes the segmented write-ahead log: group-commit fsync
+// batching (with its latency/size window), segment size, and the
+// fsync-batch observer.
+type WALOptions = storage.WALOptions
+
+// OpenWALOptions opens (or creates) file-backed stable storage at path
+// with explicit tuning. With WALOptions.GroupCommit set, concurrent
+// mutations share one buffered write + one fsync and the node gates its
+// outputs on durability (acknowledgments are sent only once the entries
+// they cover are on disk).
+func OpenWALOptions(path string, opt WALOptions) (Storage, error) {
+	return storage.OpenWALOptions(path, opt)
+}
 
 // DecodeBatch parses a Batch from an EntryBatch entry's Data.
 func DecodeBatch(data []byte) (Batch, error) { return types.DecodeBatch(data) }

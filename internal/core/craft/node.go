@@ -433,6 +433,16 @@ func (n *Node) Tick(now time.Duration) {
 	n.pump(now)
 }
 
+// SyncDone forwards a storage durability advance to the local instance
+// (the global instance runs on in-memory storage and never defers), then
+// pumps: released local outputs may trigger replay or batching. No-op with
+// synchronous storage.
+func (n *Node) SyncDone(now time.Duration, durableLSN uint64) {
+	n.now = now
+	n.local.SyncDone(now, durableLSN)
+	n.pump(now)
+}
+
 // NextDeadline reports the earliest instant either level needs Tick.
 func (n *Node) NextDeadline() time.Duration {
 	d := n.local.NextDeadline()

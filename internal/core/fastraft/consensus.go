@@ -220,8 +220,10 @@ func (n *Node) handleProposeLocally(m types.ProposeEntry) {
 			return
 		}
 		// Already inserted but uncommitted: re-vote for its current slot
-		// (handles lost vote messages on re-proposals).
-		n.voteFor(existing)
+		// (handles lost vote messages on re-proposals). The vote waits for
+		// the insert's record to be durable; voteFor re-reads the slot at
+		// release time, so voting for whatever occupies it then is safe.
+		n.acts.After(n.gate, func() { n.voteFor(existing) })
 		return
 	}
 	idx := m.Index
@@ -238,7 +240,11 @@ func (n *Node) handleProposeLocally(m types.ProposeEntry) {
 		}
 		n.persistEntry(idx)
 	}
-	n.voteFor(idx)
+	// A vote is a durability promise — "I hold this entry" — so with group
+	// commit it is deferred until the insert's record is on disk. A follower
+	// vote rides the gated outbox anyway; the leader's own vote feeding its
+	// tally directly is what this defers.
+	n.acts.After(n.gate, func() { n.voteFor(idx) })
 }
 
 // voteFor sends (or locally applies, on the leader) a vote for the current
@@ -328,7 +334,6 @@ func (n *Node) decideLoop() {
 		for _, v := range d.WinnerVoters {
 			n.progress.Ensure(v, n.commitIndex+1).RecordFastMatch(k)
 		}
-		n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 		// Re-sequence losers on the classic track.
 		for _, loser := range d.Losers {
 			if !loser.PID.IsZero() && n.proposalDecided(loser.PID) {
@@ -370,7 +375,7 @@ func (n *Node) appendLeaderEntryAt(idx types.Index, e types.Entry) {
 	n.persistEntry(idx)
 	n.appendedAt[idx] = n.now
 	n.rec.SpanStage(n.now, e.PID, trace.StageAppend, idx)
-	n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
+	n.recordSelfDurable()
 	if e.Kind == types.KindConfig {
 		n.onConfigChangedAsLeader()
 	}

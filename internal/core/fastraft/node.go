@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/durable"
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
 	"github.com/hraft-io/hraft/internal/readpath"
@@ -133,6 +134,23 @@ type Node struct {
 	// TakeChangedEntries, for C-Raft's global state replication.
 	changed []types.Entry
 
+	// Durability gating (group-commit storage only; see internal/durable).
+	// gate is nil for synchronous storage and every queue passes through.
+	// The Take* drains tag each batch with the storage LSN it depends on and
+	// release only the durable prefix; acts defers this node's internal
+	// self-acknowledgements — its own votes and its own match index — so it
+	// never counts a contribution toward an election or a commit before the
+	// records behind that contribution are on disk. ReadDone is deliberately
+	// not gated: read resolutions depend only on quorum state that is gated
+	// at its source, and coupling them to unrelated pending writes would put
+	// an fsync on the lease-read fast path.
+	gate       *durable.Gate
+	acts       durable.Acts
+	outboxQ    durable.Queue[types.Envelope]
+	committedQ durable.Queue[types.Entry]
+	resolvedQ  durable.Queue[types.Resolution]
+	changedQ   durable.Queue[types.Entry]
+
 	// snap is the latest snapshot (zero if none): the recovery base loaded
 	// from storage, produced by local compaction, or installed by the
 	// leader. The leader ships it to followers that fell behind the
@@ -220,6 +238,7 @@ func New(cfg Config) (*Node, error) {
 		term:        hs.Term,
 		votedFor:    hs.VotedFor,
 		log:         log,
+		gate:        durable.NewGate(cfg.Storage),
 		role:        types.RoleFollower,
 		pending:     make(map[types.ProposalID]*pendingProposal),
 		sessions:    session.New(),
@@ -349,33 +368,76 @@ func (n *Node) Sessions() *session.Registry { return n.sessions }
 // Entry returns a copy of the log entry at idx.
 func (n *Node) Entry(idx types.Index) (types.Entry, bool) { return n.log.Get(idx) }
 
-// TakeOutbox drains messages to send.
+// TakeOutbox drains messages to send. With group-commit storage only the
+// durable prefix is released; the rest follows after SyncDone.
 func (n *Node) TakeOutbox() []types.Envelope {
-	out := n.outbox
+	n.outboxQ.Hold(n.gate.Tag(), n.outbox)
 	n.outbox = nil
-	return out
+	return n.outboxQ.Release(n.gate.Durable(), nil)
 }
 
-// TakeCommitted drains newly committed entries, in log order.
+// TakeCommitted drains newly committed entries, in log order. With
+// group-commit storage only the durable prefix is released.
 func (n *Node) TakeCommitted() []types.Entry {
-	out := n.committed
+	n.committedQ.Hold(n.gate.Tag(), n.committed)
 	n.committed = nil
-	return out
+	return n.committedQ.Release(n.gate.Durable(), nil)
 }
 
-// TakeResolved drains resolutions of locally originated proposals.
+// TakeResolved drains resolutions of locally originated proposals. With
+// group-commit storage only the durable prefix is released.
 func (n *Node) TakeResolved() []types.Resolution {
-	out := n.resolved
+	n.resolvedQ.Hold(n.gate.Tag(), n.resolved)
 	n.resolved = nil
-	return out
+	return n.resolvedQ.Release(n.gate.Durable(), nil)
 }
 
 // TakeChangedEntries drains the entries inserted or overwritten since the
-// last call, used by C-Raft to build global state deltas.
+// last call, used by C-Raft to build global state deltas. With group-commit
+// storage only the durable prefix is released.
 func (n *Node) TakeChangedEntries() []types.Entry {
-	out := n.changed
+	n.changedQ.Hold(n.gate.Tag(), n.changed)
 	n.changed = nil
-	return out
+	return n.changedQ.Release(n.gate.Durable(), nil)
+}
+
+// SyncDone advances the durability horizon after a storage sync: deferred
+// self-acknowledgements run (possibly winning an election), held outputs
+// become releasable at the next Take*, and a leader re-evaluates decisions
+// and commits that were waiting on its own records.
+func (n *Node) SyncDone(now time.Duration, durableLSN uint64) {
+	n.now = now
+	if !n.acts.Run(durableLSN) {
+		return
+	}
+	if n.role != types.RoleLeader {
+		return
+	}
+	n.decideLoop()
+	if n.role != types.RoleLeader {
+		return
+	}
+	n.advanceClassicCommit()
+	if n.role != types.RoleLeader {
+		return
+	}
+	n.reads.Flush(n.now)
+}
+
+// recordSelfDurable counts the leader's own log head toward replication
+// quorums only once every record behind it is on disk. The head and term
+// are captured now; by the time the records are durable the node may have
+// stepped down or advanced terms, in which case the stale self-ack is
+// dropped (RecordSelf is monotonic, so replaying a lower head is harmless
+// but a cross-term replay would seed a fresh tracker).
+func (n *Node) recordSelfDurable() {
+	idx := n.log.LastLeaderIndex()
+	term := n.term
+	n.acts.After(n.gate, func() {
+		if n.role == types.RoleLeader && n.term == term && n.progress != nil {
+			n.progress.RecordSelf(n.cfg.ID, idx)
+		}
+	})
 }
 
 // HardState returns the node's persistent term and vote (C-Raft replicates
@@ -625,10 +687,8 @@ func (n *Node) startElection() {
 	n.votedFor = n.cfg.ID
 	n.persistHardState()
 	n.leaderID = types.None
-	n.votes = map[types.NodeID]bool{n.cfg.ID: true}
-	n.recoveryVotes = map[types.NodeID][]types.Entry{
-		n.cfg.ID: n.log.SelfApproved(),
-	}
+	n.votes = map[types.NodeID]bool{}
+	n.recoveryVotes = map[types.NodeID][]types.Entry{}
 	n.resetElectionTimer()
 	n.rec.ElectionStart(n.now, n.term)
 	n.rec.RoleChange(n.now, n.term, types.RoleCandidate, types.None)
@@ -642,7 +702,18 @@ func (n *Node) startElection() {
 	for _, peer := range cfg.Others(n.cfg.ID) {
 		n.send(peer, req)
 	}
-	n.maybeWinElection()
+	// The candidate's own vote counts only once the term/vote record is on
+	// disk: a crash before then would restart the site in the old term, and
+	// a tallied-but-lost self-vote could elect a leader a quorum never
+	// durably endorsed. With synchronous storage this runs inline.
+	term := n.term
+	n.acts.After(n.gate, func() {
+		if n.role == types.RoleCandidate && n.term == term {
+			n.votes[n.cfg.ID] = true
+			n.recoveryVotes[n.cfg.ID] = n.log.SelfApproved()
+			n.maybeWinElection()
+		}
+	})
 }
 
 func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
@@ -763,9 +834,9 @@ func (n *Node) becomeLeader() {
 	n.readMgr = n.newReadManager()
 	n.readMgr.SetMembership(cfg.Members)
 	n.recoverDecide()
-	// Establish a commit point in the new term.
+	// Establish a commit point in the new term (the append defers the
+	// leader's own match until the entry is durable).
 	n.appendLeaderEntry(types.Entry{Kind: types.KindNoop})
-	n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 	// Reads cannot be vouched for below this term's no-op: commitIndex may
 	// understate what previous leaders committed until it commits.
 	n.readFloor = n.log.LastLeaderIndex()
@@ -803,7 +874,6 @@ func (n *Node) recoverDecide() {
 				n.progress.Ensure(v, n.commitIndex+1).RecordFastMatch(k)
 			}
 		}
-		n.progress.RecordSelf(n.cfg.ID, n.log.LastLeaderIndex())
 		if !n.cfg.DisableFastTrack &&
 			k == n.commitIndex+1 &&
 			n.log.Term(k) == n.term &&

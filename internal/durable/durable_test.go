@@ -1,0 +1,157 @@
+package durable
+
+import (
+	"testing"
+
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// gstore returns a group-commit memory store with n accepted-but-unsynced
+// mutations.
+func gstore(t *testing.T, n int) *storage.GroupedMemory {
+	t.Helper()
+	g := storage.NewGroupedMemory(storage.NewMemory())
+	for i := 0; i < n; i++ {
+		if err := g.AppendEntry(types.Entry{Index: types.Index(i + 1), Term: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewGateNilForSynchronousStorage(t *testing.T) {
+	if g := NewGate(storage.NewMemory()); g != nil {
+		t.Fatalf("expected nil gate for plain memory storage, got %v", g)
+	}
+	var g *Gate
+	if g.Tag() != 0 {
+		t.Fatal("nil gate Tag should be 0")
+	}
+	if g.Durable() != ^uint64(0) {
+		t.Fatal("nil gate Durable should be the max horizon")
+	}
+	if !g.Open(12345) {
+		t.Fatal("nil gate should be open for every tag")
+	}
+}
+
+func TestGateTracksStore(t *testing.T) {
+	s := gstore(t, 3)
+	g := NewGate(s)
+	if g == nil {
+		t.Fatal("expected a gate over group-commit storage")
+	}
+	if g.Tag() != 3 || g.Durable() != 0 {
+		t.Fatalf("Tag=%d Durable=%d, want 3/0", g.Tag(), g.Durable())
+	}
+	if g.Open(1) {
+		t.Fatal("tag 1 must not be open before Sync")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Open(3) {
+		t.Fatal("tag 3 must be open after Sync")
+	}
+}
+
+func TestQueueReleasesDurablePrefixInOrder(t *testing.T) {
+	var q Queue[int]
+	q.Hold(1, []int{10, 11})
+	q.Hold(2, nil) // empty batches are dropped
+	q.Hold(3, []int{30})
+	q.Hold(5, []int{50})
+
+	if got := q.Release(0, nil); len(got) != 0 {
+		t.Fatalf("nothing durable yet, got %v", got)
+	}
+	got := q.Release(3, nil)
+	want := []int{10, 11, 30}
+	if len(got) != len(want) {
+		t.Fatalf("Release(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Release(3) = %v, want %v", got, want)
+		}
+	}
+	if !q.Pending() {
+		t.Fatal("tag-5 batch should still be held")
+	}
+	if got := q.Release(5, nil); len(got) != 1 || got[0] != 50 {
+		t.Fatalf("Release(5) = %v, want [50]", got)
+	}
+	if q.Pending() {
+		t.Fatal("queue should be drained")
+	}
+}
+
+func TestActsRunInlineWithNilGate(t *testing.T) {
+	var a Acts
+	ran := false
+	a.After(nil, func() { ran = true })
+	if !ran {
+		t.Fatal("nil gate must run the action inline")
+	}
+	if a.Pending() {
+		t.Fatal("nothing should be queued")
+	}
+}
+
+func TestActsDeferUntilDurable(t *testing.T) {
+	s := gstore(t, 2)
+	g := NewGate(s)
+	var a Acts
+	order := []int{}
+	a.After(g, func() { order = append(order, 1) }) // tag 2
+	if err := s.AppendEntry(types.Entry{Index: 3, Term: 1}); err != nil {
+		t.Fatal(err)
+	}
+	a.After(g, func() { order = append(order, 2) }) // tag 3
+	if len(order) != 0 {
+		t.Fatal("actions ran before durability")
+	}
+	if a.Run(0) {
+		t.Fatal("Run(0) should report nothing ran")
+	}
+	if !a.Run(2) || len(order) != 1 || order[0] != 1 {
+		t.Fatalf("Run(2) should run only the tag-2 action, order=%v", order)
+	}
+	if !a.Run(3) || len(order) != 2 || order[1] != 2 {
+		t.Fatalf("Run(3) should run the tag-3 action, order=%v", order)
+	}
+	if a.Pending() {
+		t.Fatal("no actions should remain")
+	}
+}
+
+// A deferred action may itself defer further work (a released self-vote
+// wins an election whose no-op append defers the leader's self-match).
+// Actions queued during Run for a not-yet-durable tag must survive to the
+// next Run instead of being dropped or executed early.
+func TestActsReentrantAfterDuringRun(t *testing.T) {
+	s := gstore(t, 1)
+	g := NewGate(s)
+	var a Acts
+	var ran []string
+	a.After(g, func() {
+		ran = append(ran, "first")
+		if err := s.AppendEntry(types.Entry{Index: 2, Term: 1}); err != nil {
+			t.Fatal(err)
+		}
+		a.After(g, func() { ran = append(ran, "second") }) // tag 2, not durable
+	})
+	if !a.Run(1) {
+		t.Fatal("tag-1 action should run")
+	}
+	if len(ran) != 1 || ran[0] != "first" {
+		t.Fatalf("only the first action should have run, got %v", ran)
+	}
+	if !a.Pending() {
+		t.Fatal("the reentrantly queued action must still be pending")
+	}
+	if !a.Run(2) || len(ran) != 2 || ran[1] != "second" {
+		t.Fatalf("Run(2) should run the reentrant action, got %v", ran)
+	}
+}

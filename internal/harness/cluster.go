@@ -112,6 +112,16 @@ type Options struct {
 	// Audit selects the safety-auditor mode; the zero value is strict
 	// auditing, so every cluster is audited unless a test opts out.
 	Audit AuditMode
+	// GroupCommit runs every node on group-commit storage: mutations are
+	// acknowledged immediately but buffer until a virtual-time fsync window
+	// closes, and a Crash loses whatever had not synced — exactly like a
+	// real machine losing its page cache. The cores' durability gates
+	// (internal/durable) must therefore hold outputs correctly, which the
+	// strict auditor checks across crash-restart.
+	GroupCommit bool
+	// SyncWindow is the virtual-time group-commit flush interval
+	// (0 = 2ms, matching storage.WALOptions).
+	SyncWindow time.Duration
 }
 
 // Host binds one consensus node to the simulated network, keeping its
@@ -121,6 +131,10 @@ type Host struct {
 	id      types.NodeID
 	machine Machine
 	store   *storage.Memory
+	// gstore wraps store with deferred durability when Options.GroupCommit
+	// is set (nil otherwise); syncTimer is the armed fsync-window close.
+	gstore    *storage.GroupedMemory
+	syncTimer *simnet.Timer
 	// bootstrap is the node's static initial configuration, reused on
 	// restarts (the stable-storage log takes precedence once it contains
 	// configuration entries).
@@ -159,6 +173,15 @@ func (h *Host) Resolved(pid types.ProposalID) (types.Index, bool) {
 
 // ID returns the hosted node's identity.
 func (h *Host) ID() types.NodeID { return h.id }
+
+// storage returns the store machines are built over: the group-commit
+// wrapper when enabled, the plain synchronous Memory otherwise.
+func (h *Host) storage() storage.Storage {
+	if h.gstore != nil {
+		return h.gstore
+	}
+	return h.store
+}
 
 // Machine returns the hosted state machine.
 func (h *Host) Machine() Machine { return h.machine }
@@ -229,11 +252,14 @@ func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error
 		resolved:     make(map[types.ProposalID]types.Index),
 		readDone:     make(map[uint64]types.ReadDone),
 	}
+	if c.opts.GroupCommit {
+		h.gstore = storage.NewGroupedMemory(h.store)
+	}
 	if c.opts.Trace || c.Audit != nil {
 		h.rec = trace.New(trace.Config{Node: string(id), Size: c.opts.TraceRing})
 		c.Audit.AttachTo(h.rec)
 	}
-	m, err := c.makeMachine(id, bootstrap, h.store, h.rec)
+	m, err := c.makeMachine(id, bootstrap, h.storage(), h.rec)
 	if err != nil {
 		return nil, err
 	}
@@ -336,6 +362,35 @@ func (c *Cluster) drain(h *Host) {
 		h.readDone[d.ID] = d
 	}
 	c.schedule(h)
+	c.armSync(h)
+}
+
+// syncWindow is the virtual-time group-commit flush interval.
+func (c *Cluster) syncWindow() time.Duration {
+	if c.opts.SyncWindow > 0 {
+		return c.opts.SyncWindow
+	}
+	return 2 * time.Millisecond
+}
+
+// armSync schedules the fsync-window close for a host with unsynced
+// buffered mutations; when it fires the buffered records become durable
+// and the machine's gated outputs release.
+func (c *Cluster) armSync(h *Host) {
+	if h.gstore == nil || !h.alive || !h.gstore.Pending() || h.syncTimer != nil {
+		return
+	}
+	h.syncTimer = c.Sched.At(c.Sched.Now()+c.syncWindow(), func() {
+		h.syncTimer = nil
+		if !h.alive {
+			return
+		}
+		if err := h.gstore.Sync(); err != nil {
+			panic(fmt.Sprintf("harness: sync %s: %v", h.id, err))
+		}
+		h.machine.SyncDone(c.Sched.Now(), h.gstore.DurableLSN())
+		c.drain(h)
+	})
 }
 
 // schedule re-arms the host's wake timer from the machine's next deadline.
@@ -536,6 +591,14 @@ func (c *Cluster) Crash(id types.NodeID) {
 		h.wake.Cancel()
 		h.wake = nil
 	}
+	if h.syncTimer != nil {
+		h.syncTimer.Cancel()
+		h.syncTimer = nil
+	}
+	if h.gstore != nil {
+		// Power loss: everything inside the open fsync window is gone.
+		h.gstore.Crash()
+	}
 	c.Net.Unregister(id)
 	c.Audit.NodeDown(string(id))
 	c.Timeline.Crash(c.Sched.Now(), id)
@@ -550,7 +613,7 @@ func (c *Cluster) Restart(id types.NodeID) error {
 	if h.alive {
 		return fmt.Errorf("harness: node %s already running", id)
 	}
-	m, err := c.makeMachine(id, h.bootstrap, h.store, h.rec)
+	m, err := c.makeMachine(id, h.bootstrap, h.storage(), h.rec)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// newGroupCommitCluster builds a cluster whose nodes run on group-commit
+// storage: writes become durable only when the virtual-time fsync window
+// fires, and Crash drops everything inside the open window (power loss).
+// The strict auditor is attached by default, so any commit that leaned on
+// a lost write fails the test.
+func newGroupCommitCluster(t *testing.T, kind Kind, seed int64, loss float64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Options{
+		Kind:        kind,
+		Nodes:       fiveNodes(),
+		Seed:        seed,
+		LossProb:    loss,
+		GroupCommit: true,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	return c
+}
+
+func testGroupCommitCommitsProposals(t *testing.T, kind Kind) {
+	c := newGroupCommitCluster(t, kind, 11, 0)
+	leader, ok := c.WaitForLeader(5 * time.Second)
+	if !ok {
+		t.Fatal("no leader elected under group commit")
+	}
+	if _, err := c.RunProposals(leader, 20, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaftGroupCommitCommitsProposals(t *testing.T) {
+	testGroupCommitCommitsProposals(t, KindRaft)
+}
+
+func TestFastRaftGroupCommitCommitsProposals(t *testing.T) {
+	testGroupCommitCommitsProposals(t, KindFastRaft)
+}
+
+// testGroupCommitCrashRestart crashes the leader mid-window (losing its
+// unsynced writes), checks the survivors elect a new leader and keep
+// committing, then restarts the crashed node and checks it rejoins
+// without contradicting any commit it acknowledged before the crash.
+func testGroupCommitCrashRestart(t *testing.T, kind Kind, seed int64) {
+	c := newGroupCommitCluster(t, kind, seed, 0)
+	leader, ok := c.WaitForLeader(5 * time.Second)
+	if !ok {
+		t.Fatal("no leader elected under group commit")
+	}
+	if _, err := c.RunProposals(leader, 10, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep a proposal stream going so the crash lands while writes are
+	// still inside an open fsync window on the leader.
+	p, err := c.StartProposer(ProposerOptions{Node: leader})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Millisecond)
+	p.Stop()
+	c.Crash(leader)
+
+	next, ok := c.WaitForLeader(10 * time.Second)
+	if !ok {
+		t.Fatal("no leader elected after crashing the old one")
+	}
+	if next == leader {
+		t.Fatalf("crashed node %s still reported as leader", leader)
+	}
+	if _, err := c.RunProposals(next, 10, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.Restart(leader); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunProposals(next, 10, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ok = c.RunUntil(func() bool {
+		return c.Host(leader).machine.CommitIndex() > 0
+	}, 10*time.Second)
+	if !ok {
+		t.Fatal("restarted node never caught up")
+	}
+	if err := c.CommitsAgree(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Safety.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaftGroupCommitCrashRestart(t *testing.T) {
+	testGroupCommitCrashRestart(t, KindRaft, 21)
+}
+
+func TestFastRaftGroupCommitCrashRestart(t *testing.T) {
+	testGroupCommitCrashRestart(t, KindFastRaft, 22)
+}
+
+// TestGroupCommitLossySweep runs the crash/restart scenario across seeds
+// under message loss: durability gating must hold even when acks are
+// arbitrarily delayed and retried.
+func TestGroupCommitLossySweep(t *testing.T) {
+	for _, kind := range []Kind{KindRaft, KindFastRaft} {
+		for seed := int64(30); seed < 34; seed++ {
+			c := newGroupCommitCluster(t, kind, seed, 0.05)
+			leader, ok := c.WaitForLeader(20 * time.Second)
+			if !ok {
+				t.Fatalf("kind=%v seed=%d: no leader", kind, seed)
+			}
+			if _, err := c.RunProposals(leader, 10, 30*time.Second); err != nil {
+				t.Fatalf("kind=%v seed=%d: %v", kind, seed, err)
+			}
+			c.Crash(leader)
+			next, ok := c.WaitForLeader(30 * time.Second)
+			if !ok {
+				t.Fatalf("kind=%v seed=%d: no leader after crash", kind, seed)
+			}
+			if _, err := c.RunProposals(next, 10, 30*time.Second); err != nil {
+				t.Fatalf("kind=%v seed=%d: %v", kind, seed, err)
+			}
+			if err := c.Restart(leader); err != nil {
+				t.Fatalf("kind=%v seed=%d: %v", kind, seed, err)
+			}
+			c.RunFor(time.Second)
+			if err := c.Safety.Err(); err != nil {
+				t.Fatalf("kind=%v seed=%d: %v", kind, seed, err)
+			}
+		}
+	}
+}

@@ -47,4 +47,7 @@ type Machine interface {
 	Read(now time.Duration, c types.ReadConsistency) uint64
 	// TakeReadDone drains resolved reads.
 	TakeReadDone() []types.ReadDone
+	// SyncDone advances the node's storage durability horizon (a no-op
+	// with synchronous storage; see internal/durable).
+	SyncDone(now time.Duration, durableLSN uint64)
 }

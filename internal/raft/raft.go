@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/durable"
 	"github.com/hraft-io/hraft/internal/logstore"
 	"github.com/hraft-io/hraft/internal/quorum"
 	"github.com/hraft-io/hraft/internal/readpath"
@@ -173,6 +174,18 @@ type Node struct {
 	committed []types.Entry
 	resolved  []types.Resolution
 
+	// Durability gating (group-commit storage only; see internal/durable).
+	// gate is nil for synchronous storage and every queue passes through.
+	// The Take* drains tag each batch with the storage LSN it depends on and
+	// release only the durable prefix; acts defers this node's internal
+	// self-acknowledgements — its own election vote and its own match index
+	// — until the records behind them are on disk.
+	gate       *durable.Gate
+	acts       durable.Acts
+	outboxQ    durable.Queue[types.Envelope]
+	committedQ durable.Queue[types.Entry]
+	resolvedQ  durable.Queue[types.Resolution]
+
 	// snap is the latest snapshot (zero if none); the leader ships it to
 	// followers that fell behind the compacted prefix. snapEnc caches its
 	// wire encoding for chunked transfers; snapRecv reassembles chunked
@@ -256,6 +269,7 @@ func New(cfg Config) (*Node, error) {
 		term:        hs.Term,
 		votedFor:    hs.VotedFor,
 		log:         log,
+		gate:        durable.NewGate(cfg.Storage),
 		role:        types.RoleFollower,
 		pending:     make(map[types.ProposalID]*pendingProposal),
 		sessions:    session.New(),
@@ -364,25 +378,58 @@ func (n *Node) PeerStatus() []replica.PeerStatus {
 	return n.progress.Status()
 }
 
-// TakeOutbox drains messages to send.
+// TakeOutbox drains messages to send. With group-commit storage only the
+// durable prefix is released; the rest follows after SyncDone.
 func (n *Node) TakeOutbox() []types.Envelope {
-	out := n.outbox
+	n.outboxQ.Hold(n.gate.Tag(), n.outbox)
 	n.outbox = nil
-	return out
+	return n.outboxQ.Release(n.gate.Durable(), nil)
 }
 
-// TakeCommitted drains newly committed entries, in log order.
+// TakeCommitted drains newly committed entries, in log order. With
+// group-commit storage only the durable prefix is released.
 func (n *Node) TakeCommitted() []types.Entry {
-	out := n.committed
+	n.committedQ.Hold(n.gate.Tag(), n.committed)
 	n.committed = nil
-	return out
+	return n.committedQ.Release(n.gate.Durable(), nil)
 }
 
-// TakeResolved drains resolutions of locally originated proposals.
+// TakeResolved drains resolutions of locally originated proposals. With
+// group-commit storage only the durable prefix is released.
 func (n *Node) TakeResolved() []types.Resolution {
-	out := n.resolved
+	n.resolvedQ.Hold(n.gate.Tag(), n.resolved)
 	n.resolved = nil
-	return out
+	return n.resolvedQ.Release(n.gate.Durable(), nil)
+}
+
+// SyncDone advances the durability horizon after a storage sync: deferred
+// self-acknowledgements run (possibly winning an election), held outputs
+// become releasable at the next Take*, and a leader re-evaluates commits
+// that were waiting on its own appends. With synchronous storage nothing is
+// ever deferred and this is a no-op.
+func (n *Node) SyncDone(now time.Duration, durableLSN uint64) {
+	n.now = now
+	if !n.acts.Run(durableLSN) {
+		return
+	}
+	if n.role != types.RoleLeader {
+		return
+	}
+	n.advanceCommit()
+	n.reads.Flush(n.now)
+}
+
+// recordSelfDurable counts the leader's own log head toward the commit
+// quorum only once every record behind it is on disk. Head and term are
+// captured now; a stale self-ack from a finished leadership is dropped.
+func (n *Node) recordSelfDurable() {
+	idx := n.log.LastIndex()
+	term := n.term
+	n.acts.After(n.gate, func() {
+		if n.role == types.RoleLeader && n.term == term && n.progress != nil {
+			n.progress.RecordSelf(n.cfg.ID, idx)
+		}
+	})
 }
 
 // NextDeadline returns the earliest future instant at which the node needs
@@ -625,7 +672,7 @@ func (n *Node) startElection() {
 	n.votedFor = n.cfg.ID
 	n.persistHardState()
 	n.leaderID = types.None
-	n.votes = map[types.NodeID]bool{n.cfg.ID: true}
+	n.votes = map[types.NodeID]bool{}
 	// Every role transition releases the snapshot-encoding cache: a
 	// candidate that immediately wins would otherwise inherit (and pin)
 	// its previous leadership's encoded image.
@@ -642,7 +689,17 @@ func (n *Node) startElection() {
 	for _, peer := range cfg.Others(n.cfg.ID) {
 		n.send(peer, req)
 	}
-	n.maybeWinElection()
+	// The candidate's own vote counts only once the term/vote record is on
+	// disk: a crash before then would restart the node in the old term, and
+	// a tallied-but-lost self-vote could elect a leader a quorum never
+	// durably endorsed. With synchronous storage this runs inline.
+	term := n.term
+	n.acts.After(n.gate, func() {
+		if n.role == types.RoleCandidate && n.term == term {
+			n.votes[n.cfg.ID] = true
+			n.maybeWinElection()
+		}
+	})
 }
 
 func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
@@ -732,7 +789,7 @@ func (n *Node) becomeLeader() {
 		MaxResendTimeout: n.cfg.ElectionTimeoutMin,
 	}, n.metrics)
 	n.progress.Reset(cfg.Members, n.log.LastIndex()+1)
-	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
+	n.recordSelfDurable()
 	// The read manager shares the tracker's srtt estimates for lease
 	// deration and the node's counter set for observability.
 	n.readMgr = n.newReadManager()
@@ -783,7 +840,7 @@ func (n *Node) leaderAppend(e types.Entry) {
 	n.persistEntry(stored)
 	n.appendedAt[idx] = n.now
 	n.rec.SpanStage(n.now, e.PID, trace.StageAppend, idx)
-	n.progress.RecordSelf(n.cfg.ID, n.log.LastIndex())
+	n.recordSelfDurable()
 }
 
 func (n *Node) onClientPropose(from types.NodeID, m types.ClientPropose) {

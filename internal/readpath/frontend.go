@@ -34,6 +34,17 @@ type Frontend struct {
 	remoteKeys map[remoteReadKey]uint64
 	pending    map[uint64]*pendingRead
 	done       []types.ReadDone
+
+	// inFlight is true while a forwarded batch awaits its ReadReply: reads
+	// arriving meanwhile queue up (pending, sent=false) and ship together
+	// when the reply lands — one ReadRequest per leader round-trip instead
+	// of one per read.
+	inFlight bool
+	// replyQ buffers leader-side resolutions per origin within one entry
+	// point, so reads resolving together (a ReadIndex batch confirming, a
+	// forwarded batch served off a valid lease) coalesce into one
+	// ReadReply message.
+	replyQ map[types.NodeID][]types.ReadResult
 }
 
 // NodeView is the slice of core state the frontend needs, as closures so
@@ -84,6 +95,9 @@ type remoteReadKey struct {
 type pendingRead struct {
 	consistency types.ReadConsistency
 	deadline    time.Duration
+	// sent marks the read as part of an already-forwarded batch; unsent
+	// reads ship on the next flush (reply received, or retry deadline).
+	sent bool
 }
 
 // NewFrontend builds a frontend. seqStart seeds the token sequence (draw
@@ -102,6 +116,7 @@ func NewFrontend(nv NodeView, seqStart uint64, counters *stats.Counters, rec *tr
 		origins:    make(map[uint64]readOrigin),
 		remoteKeys: make(map[remoteReadKey]uint64),
 		pending:    make(map[uint64]*pendingRead),
+		replyQ:     make(map[types.NodeID][]types.ReadResult),
 	}
 }
 
@@ -127,7 +142,7 @@ func (f *Frontend) Read(now time.Duration, c types.ReadConsistency) uint64 {
 		return id
 	}
 	f.pending[id] = &pendingRead{consistency: c, deadline: now + f.nv.RetryTimeout}
-	f.forward(id, c)
+	f.flushForwards()
 	return id
 }
 
@@ -149,11 +164,56 @@ func (f *Frontend) EachDeadline(visit func(time.Duration)) {
 	}
 }
 
-// forward ships a pending read to the current leader, if known.
-func (f *Frontend) forward(id uint64, c types.ReadConsistency) {
-	if leader := f.nv.LeaderID(); leader != types.None && leader != f.nv.Self {
+// flushForwards ships every not-yet-sent pending read to the leader in a
+// single ReadRequest — unless a batch is already in flight, in which case
+// the reads wait and ride the next round-trip (or their retry deadline).
+func (f *Frontend) flushForwards() {
+	if f.inFlight || len(f.pending) == 0 {
+		return
+	}
+	leader := f.nv.LeaderID()
+	if leader == types.None || leader == f.nv.Self {
+		return
+	}
+	var ids []uint64
+	for id, p := range f.pending {
+		if !p.sent {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	specs := make([]types.ReadSpec, 0, len(ids))
+	for _, id := range ids {
+		p := f.pending[id]
+		p.sent = true
 		f.counters.Inc(CounterForwarded)
-		f.nv.Send(leader, types.ReadRequest{ID: id, Consistency: c})
+		specs = append(specs, types.ReadSpec{ID: id, Consistency: p.consistency})
+	}
+	f.nv.Send(leader, types.ReadRequest{Reads: specs})
+	f.inFlight = true
+}
+
+// queueReply buffers one remote resolution; flushReplies ships the per-
+// origin batches at the end of the entry point that produced them.
+func (f *Frontend) queueReply(origin types.NodeID, r types.ReadResult) {
+	f.replyQ[origin] = append(f.replyQ[origin], r)
+}
+
+func (f *Frontend) flushReplies() {
+	if len(f.replyQ) == 0 {
+		return
+	}
+	origins := make([]types.NodeID, 0, len(f.replyQ))
+	for o := range f.replyQ {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		f.nv.Send(o, types.ReadReply{Results: f.replyQ[o]})
+		delete(f.replyQ, o)
 	}
 }
 
@@ -192,7 +252,7 @@ func (f *Frontend) finish(o readOrigin, idx types.Index, ok bool, now time.Durat
 		f.done = append(f.done, types.ReadDone{ID: o.id, Index: idx, OK: ok})
 		return
 	}
-	f.nv.Send(o.origin, types.ReadReply{ID: o.id, Index: idx, OK: ok})
+	f.queueReply(o.origin, types.ReadResult{ID: o.id, Index: idx, OK: ok})
 }
 
 // Flush releases confirmed reads the commit index has caught up to. The
@@ -211,6 +271,7 @@ func (f *Frontend) Flush(now time.Duration) {
 		}
 		f.finish(o, d.Index, d.OK, now)
 	}
+	f.flushReplies()
 }
 
 // FailLeaderReads fails every leader-side read on step-down: local reads
@@ -231,10 +292,11 @@ func (f *Frontend) FailLeaderReads(now time.Duration) {
 			}
 			continue
 		}
-		f.nv.Send(o.origin, types.ReadReply{ID: o.id, OK: false})
+		f.queueReply(o.origin, types.ReadResult{ID: o.id, OK: false})
 	}
 	f.origins = make(map[uint64]readOrigin)
 	f.remoteKeys = make(map[remoteReadKey]uint64)
+	f.flushReplies()
 }
 
 // Retry re-forwards due pending reads (leader unknown at issue time, lost
@@ -252,6 +314,7 @@ func (f *Frontend) Retry(now time.Duration) {
 		}
 	}
 	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	refresh := false
 	for _, id := range due {
 		p := f.pending[id]
 		if isLeader {
@@ -259,8 +322,15 @@ func (f *Frontend) Retry(now time.Duration) {
 			f.serve(readOrigin{origin: f.nv.Self, id: id, consistency: p.consistency}, now)
 			continue
 		}
+		// A due read's batch (if any) is lost or was refused: clear its
+		// sent mark and let one fresh batch carry every due read.
 		p.deadline = now + f.nv.RetryTimeout
-		f.forward(id, p.consistency)
+		p.sent = false
+		refresh = true
+	}
+	if refresh {
+		f.inFlight = false
+		f.flushForwards()
 	}
 }
 
@@ -268,43 +338,56 @@ func (f *Frontend) Retry(now time.Duration) {
 // cannot (the origin retries toward the then-current leader).
 func (f *Frontend) OnReadRequest(from types.NodeID, m types.ReadRequest, now time.Duration) {
 	if !f.nv.IsLeader() || f.nv.Manager() == nil {
-		f.nv.Send(from, types.ReadReply{ID: m.ID, OK: false})
+		for _, spec := range m.Reads {
+			f.queueReply(from, types.ReadResult{ID: spec.ID, OK: false})
+		}
+		f.flushReplies()
 		return
 	}
-	c := m.Consistency
-	if c == 0 || c == types.ReadStale {
-		// Stale reads are served locally by the origin and never forwarded;
-		// treat anything nonsensical as a full ReadIndex read.
-		c = types.ReadLinearizable
+	for _, spec := range m.Reads {
+		c := spec.Consistency
+		if c == 0 || c == types.ReadStale {
+			// Stale reads are served locally by the origin and never
+			// forwarded; treat anything nonsensical as a full ReadIndex
+			// read.
+			c = types.ReadLinearizable
+		}
+		if tok, dup := f.remoteKeys[remoteReadKey{from, spec.ID}]; dup {
+			// A retry supersedes the original registration: re-record at
+			// the current commit index instead of answering with the old
+			// one. That is always correct for the retrying caller (a later
+			// index serves an earlier read a fortiori) and it closes a
+			// stale-read hole — an origin that restarted and recycled its
+			// ID space (deterministic seeds replay the Rand-drawn offset)
+			// must not be answered at an index recorded before writes it
+			// has since observed. The orphaned token releases into a zero
+			// origin, which finish drops.
+			delete(f.origins, tok)
+			delete(f.remoteKeys, remoteReadKey{from, spec.ID})
+		}
+		f.serve(readOrigin{origin: from, id: spec.ID, consistency: c}, now)
 	}
-	if tok, dup := f.remoteKeys[remoteReadKey{from, m.ID}]; dup {
-		// A retry supersedes the original registration: re-record at the
-		// current commit index instead of answering with the old one. That
-		// is always correct for the retrying caller (a later index serves
-		// an earlier read a fortiori) and it closes a stale-read hole — an
-		// origin that restarted and recycled its ID space (deterministic
-		// seeds replay the Rand-drawn offset) must not be answered at an
-		// index recorded before writes it has since observed. The orphaned
-		// token releases into a zero origin, which finish drops.
-		delete(f.origins, tok)
-		delete(f.remoteKeys, remoteReadKey{from, m.ID})
-	}
-	f.serve(readOrigin{origin: from, id: m.ID, consistency: c}, now)
+	f.flushReplies()
 }
 
-// OnReadReply resolves a forwarded read.
+// OnReadReply resolves a forwarded batch, then ships the reads that queued
+// up while it was in flight.
 func (f *Frontend) OnReadReply(m types.ReadReply, now time.Duration) {
-	p, ok := f.pending[m.ID]
-	if !ok {
-		return // duplicate or late reply
+	for _, r := range m.Results {
+		p, ok := f.pending[r.ID]
+		if !ok {
+			continue // duplicate or late result
+		}
+		if r.OK {
+			delete(f.pending, r.ID)
+			f.done = append(f.done, types.ReadDone{ID: r.ID, Index: r.Index, OK: true})
+			f.rec.ReadServe(now, r.ID, r.Index, true)
+			continue
+		}
+		// The responder could not serve it (deposed or not leader): retry
+		// soon, by when a fresh leader may be known.
+		p.deadline = now + f.nv.RetrySoon
 	}
-	if m.OK {
-		delete(f.pending, m.ID)
-		f.done = append(f.done, types.ReadDone{ID: m.ID, Index: m.Index, OK: true})
-		f.rec.ReadServe(now, m.ID, m.Index, true)
-		return
-	}
-	// The responder could not serve it (deposed or not leader): retry soon,
-	// by when a fresh leader may be known.
-	p.deadline = now + f.nv.RetrySoon
+	f.inFlight = false
+	f.flushForwards()
 }

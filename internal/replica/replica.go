@@ -739,7 +739,13 @@ func (t *Tracker) budgetEntries(p *Progress, lv LogView, lo, hi types.Index) ([]
 	// one slab of entries is cloned beyond what ships.
 	const fetchSlab = 256
 	remaining := t.cfg.MaxInflightBytes - p.bytesInFlight
-	var out []types.Entry
+	hint := int(hi - lo + 1)
+	if hint > fetchSlab {
+		hint = fetchSlab
+	}
+	// The batch slice is pool-recycled: serializing transports return it
+	// via types.RecycleEnvelope once the message is on the wire.
+	out := types.GetEntries(hint)
 	size := 0
 	for lo <= hi {
 		slabHi := lo + fetchSlab - 1

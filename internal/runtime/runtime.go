@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -56,6 +57,14 @@ type Reader interface {
 	TakeReadDone() []types.ReadDone
 }
 
+// Synced is implemented by machines whose outputs gate on storage
+// durability (group-commit storage): the host forwards fsync completions
+// through NotifyDurable so deferred outputs release.
+type Synced interface {
+	// SyncDone advances the machine's durability horizon.
+	SyncDone(now time.Duration, durableLSN uint64)
+}
+
 // Transport moves envelopes between hosts.
 type Transport interface {
 	// Send dispatches one envelope asynchronously. Implementations may
@@ -69,17 +78,25 @@ type Transport interface {
 	Close() error
 }
 
-// event is a machine output handed to the callback dispatcher.
+// event is one drained output batch riding the apply pipeline; at is its
+// enqueue instant (hist.apply_lag input).
 type event struct {
 	committed []types.Entry
 	global    []types.Entry
 	resolved  []types.Resolution
 	reads     []types.ReadDone
+	at        time.Time
 }
+
+// DefaultApplyQueue is the apply-pipeline depth (drained output batches
+// buffered between the consensus goroutine and the callback dispatcher)
+// when Callbacks.ApplyQueueSize is zero.
+const DefaultApplyQueue = 256
 
 // Host runs one Machine on wall-clock time over a Transport. All machine
 // access is serialized by the host's mutex; output callbacks run on a
-// single dispatcher goroutine in output order.
+// single dispatcher goroutine in output order, decoupled from the
+// consensus goroutine by a bounded apply pipeline.
 type Host struct {
 	mu      sync.Mutex
 	machine Machine
@@ -88,17 +105,19 @@ type Host struct {
 	timer   *time.Timer
 	stopped bool
 
-	evMu     sync.Mutex
-	evQueue  []event
-	evNotify chan struct{}
+	evCh     chan event
 	evDone   chan struct{}
+	stopOnce sync.Once
 
 	cb Callbacks
 }
 
 // Callbacks observe a host's machine outputs. All callbacks run on a
 // single dispatcher goroutine, in output order, never holding the host
-// lock.
+// lock. The commit→apply pipeline between the consensus goroutine and the
+// dispatcher is bounded: when the application cannot keep up, the
+// consensus goroutine blocks on the full queue (backpressure) instead of
+// buffering unboundedly.
 type Callbacks struct {
 	// OnCommit observes every committed entry, in commit order.
 	OnCommit func(types.Entry)
@@ -108,18 +127,28 @@ type Callbacks struct {
 	OnResolve func(types.Resolution)
 	// OnReadDone observes resolved linearizable reads.
 	OnReadDone func(types.ReadDone)
+	// ApplyQueueSize bounds the apply pipeline in drained output batches
+	// (0 = DefaultApplyQueue).
+	ApplyQueueSize int
+	// Recorder, when set, observes the pipeline's enqueue→dispatch delay
+	// (hist.apply_lag).
+	Recorder *trace.Recorder
 }
 
 // NewHost starts hosting the machine: delivery begins immediately and the
 // first tick is scheduled.
 func NewHost(machine Machine, tr Transport, cb Callbacks) *Host {
+	size := cb.ApplyQueueSize
+	if size <= 0 {
+		size = DefaultApplyQueue
+	}
 	h := &Host{
-		machine:  machine,
-		tr:       tr,
-		start:    time.Now(),
-		evNotify: make(chan struct{}, 1),
-		evDone:   make(chan struct{}),
-		cb:       cb,
+		machine: machine,
+		tr:      tr,
+		start:   time.Now(),
+		evCh:    make(chan event, size),
+		evDone:  make(chan struct{}),
+		cb:      cb,
 	}
 	go h.dispatch()
 	tr.SetHandler(h.deliver)
@@ -129,43 +158,34 @@ func NewHost(machine Machine, tr Transport, cb Callbacks) *Host {
 	return h
 }
 
-// dispatch delivers queued machine outputs to the callbacks, in order.
+// dispatch delivers pipelined machine outputs to the callbacks, in order.
 func (h *Host) dispatch() {
 	for {
+		var ev event
 		select {
-		case <-h.evNotify:
+		case ev = <-h.evCh:
 		case <-h.evDone:
 			return
 		}
-		for {
-			h.evMu.Lock()
-			queue := h.evQueue
-			h.evQueue = nil
-			h.evMu.Unlock()
-			if len(queue) == 0 {
-				break
+		h.cb.Recorder.ApplyLag(time.Since(ev.at))
+		if h.cb.OnCommit != nil {
+			for _, e := range ev.committed {
+				h.cb.OnCommit(e)
 			}
-			for _, ev := range queue {
-				if h.cb.OnCommit != nil {
-					for _, e := range ev.committed {
-						h.cb.OnCommit(e)
-					}
-				}
-				if h.cb.OnGlobalCommit != nil {
-					for _, e := range ev.global {
-						h.cb.OnGlobalCommit(e)
-					}
-				}
-				if h.cb.OnResolve != nil {
-					for _, r := range ev.resolved {
-						h.cb.OnResolve(r)
-					}
-				}
-				if h.cb.OnReadDone != nil {
-					for _, r := range ev.reads {
-						h.cb.OnReadDone(r)
-					}
-				}
+		}
+		if h.cb.OnGlobalCommit != nil {
+			for _, e := range ev.global {
+				h.cb.OnGlobalCommit(e)
+			}
+		}
+		if h.cb.OnResolve != nil {
+			for _, r := range ev.resolved {
+				h.cb.OnResolve(r)
+			}
+		}
+		if h.cb.OnReadDone != nil {
+			for _, r := range ev.reads {
+				h.cb.OnReadDone(r)
 			}
 		}
 	}
@@ -201,8 +221,12 @@ func (h *Host) Propose(data []byte) types.ProposalID {
 }
 
 // Stop halts the host: no more ticks or deliveries. The transport is
-// closed.
+// closed. Events still in the apply pipeline are dropped, as before: a
+// stopping application no longer observes commits. evDone closes before
+// the lock is taken so a consensus goroutine blocked on a full pipeline
+// unblocks and releases the lock.
 func (h *Host) Stop() {
+	h.stopOnce.Do(func() { close(h.evDone) })
 	h.mu.Lock()
 	if h.stopped {
 		h.mu.Unlock()
@@ -213,8 +237,26 @@ func (h *Host) Stop() {
 		h.timer.Stop()
 	}
 	h.mu.Unlock()
-	close(h.evDone)
 	_ = h.tr.Close()
+}
+
+// NotifyDurable forwards a storage durability advance to the machine (when
+// it gates on durability) and drains any outputs that released. It is safe
+// to call from a storage flusher goroutine: the WAL invokes its completion
+// callback without internal locks held.
+func (h *Host) NotifyDurable(durableLSN uint64) {
+	s, ok := h.machine.(Synced)
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	if h.stopped {
+		h.mu.Unlock()
+		return
+	}
+	s.SyncDone(h.now(), durableLSN)
+	h.drainLocked()
+	h.mu.Unlock()
 }
 
 func (h *Host) deliver(env types.Envelope) {
@@ -272,13 +314,15 @@ func (h *Host) drainLocked() {
 	if len(committed)+len(resolved)+len(global)+len(reads) == 0 {
 		return
 	}
-	h.evMu.Lock()
-	h.evQueue = append(h.evQueue, event{
+	// Bounded handoff: a full pipeline blocks the consensus goroutine until
+	// the dispatcher catches up (or the host stops). The dispatcher never
+	// takes h.mu, so it always drains.
+	ev := event{
 		committed: committed, global: global, resolved: resolved, reads: reads,
-	})
-	h.evMu.Unlock()
+		at: time.Now(),
+	}
 	select {
-	case h.evNotify <- struct{}{}:
-	default:
+	case h.evCh <- ev:
+	case <-h.evDone:
 	}
 }

@@ -282,3 +282,59 @@ func Throughput(count int, window time.Duration) float64 {
 	}
 	return float64(count) / window.Seconds()
 }
+
+// SizeHist is TimingHist's dimensionless sibling: a fixed-bound cumulative
+// histogram of counts (batch sizes, queue depths). It merges under the
+// same key scheme — "<name>.le.<bound>", "<name>.le.inf", "<name>.count"
+// and "<name>.sum". Not safe for concurrent use.
+type SizeHist struct {
+	name   string
+	bounds []uint64
+	counts []uint64
+	sum    uint64
+	count  uint64
+}
+
+// NewSizeHist builds a histogram with the given ascending upper bounds.
+func NewSizeHist(name string, bounds ...uint64) *SizeHist {
+	return &SizeHist{name: name, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// DefaultSizeBounds cover batch sizes from single-record fsyncs through
+// deeply amortized batches.
+func DefaultSizeBounds() []uint64 {
+	return []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+}
+
+// Observe adds one sample.
+func (h *SizeHist) Observe(v uint64) {
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			break
+		}
+	}
+	if len(h.bounds) == 0 || v > h.bounds[len(h.bounds)-1] {
+		h.counts[len(h.counts)-1]++
+	}
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *SizeHist) Count() uint64 { return h.count }
+
+// MergeInto folds the histogram into a flat counter snapshot under
+// prefix+name, buckets cumulative (see TimingHist.MergeInto).
+func (h *SizeHist) MergeInto(dst map[string]uint64, prefix string) {
+	base := prefix + h.name
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		dst[fmt.Sprintf("%s.le.%d", base, b)] = cum
+	}
+	cum += h.counts[len(h.counts)-1]
+	dst[base+".le.inf"] = cum
+	dst[base+".count"] = h.count
+	dst[base+".sum"] = h.sum
+}

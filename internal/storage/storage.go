@@ -28,7 +28,10 @@ type HardState struct {
 }
 
 // Storage is the stable-storage interface the consensus cores write
-// through. Implementations must make each call durable before returning.
+// through. Implementations must make each call durable before returning —
+// unless they also implement Grouped with GroupCommit() true, in which case
+// appends may be acknowledged from a buffer and the caller must gate
+// everything externally visible on the durability horizon (DurableLSN).
 type Storage interface {
 	// SetHardState durably records term and vote.
 	SetHardState(hs HardState) error
@@ -53,6 +56,47 @@ type Storage interface {
 	LoadSnapshot() (types.Snapshot, bool, error)
 	// Close releases resources. The store must remain loadable afterwards.
 	Close() error
+}
+
+// Grouped extends Storage with group commit: mutations are acknowledged
+// from a buffer and made durable in batches (one buffered write + one fsync
+// per batch). Every mutation is assigned a log sequence number (LSN);
+// DurableLSN reports how far the fsync horizon has advanced. The consensus
+// cores hold everything externally visible — outbound messages, committed
+// entries, resolutions, their own vote/match self-acknowledgements — until
+// the records they depend on are durable, so the ack-after-fsync contract
+// of classic storage is preserved end to end while fsyncs amortize across
+// concurrent proposals.
+type Grouped interface {
+	Storage
+	// GroupCommit reports whether the store is actually deferring
+	// durability. Implementations that expose LSNs but sync inline (for
+	// uniformity) return false and need no gating.
+	GroupCommit() bool
+	// LastLSN returns the LSN of the most recently accepted mutation (0 if
+	// none yet).
+	LastLSN() uint64
+	// DurableLSN returns the highest LSN known durable. Always ≤ LastLSN;
+	// equal when nothing is pending.
+	DurableLSN() uint64
+	// OnDurable registers a callback invoked (from the store's flush
+	// context, without internal locks held) after each batch becomes
+	// durable, with the new durable LSN. At most one callback is retained.
+	OnDurable(fn func(lsn uint64))
+	// Sync forces everything pending durable and blocks until
+	// DurableLSN == LastLSN (or a write error, which is returned and
+	// sticky).
+	Sync() error
+}
+
+// AsGrouped returns s as a group-commit store when it both implements
+// Grouped and actually defers durability; nil otherwise (the caller then
+// treats every mutation as durable on return, as before).
+func AsGrouped(s Storage) Grouped {
+	if g, ok := s.(Grouped); ok && g.GroupCommit() {
+		return g
+	}
+	return nil
 }
 
 // Memory is an in-memory Storage. Its zero value is not usable; call

@@ -1,13 +1,18 @@
 package storage
 
 import (
+	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
+	"syscall"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/hraft-io/hraft/internal/types"
 )
@@ -22,6 +27,18 @@ func entry(idx types.Index, term types.Term, payload string) types.Entry {
 		Approval: types.ApprovedLeader, PID: pid("p", uint64(idx)),
 		Data: []byte(payload),
 	}
+}
+
+// activeSegment returns the path of the WAL's active (highest-sequence)
+// segment file; zero-padded names make lexical order numeric order.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	sort.Strings(names)
+	return names[len(names)-1]
 }
 
 // storageScenario exercises any Storage implementation identically.
@@ -107,8 +124,8 @@ func TestWALTornTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate a torn write: append garbage that looks like a partial
-	// record.
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	// record to the active segment.
+	f, err := os.OpenFile(activeSegment(t, path), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,13 +212,14 @@ func TestWALCorruptMiddleStopsReplayAtCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Close()
-	// Flip a byte inside the second record's body.
-	data, err := os.ReadFile(path)
+	// Flip a byte inside the second record's body (in the active segment).
+	seg := activeSegment(t, path)
+	data, err := os.ReadFile(seg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)-2] ^= 0xFF
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	w2, err := OpenWAL(path)
@@ -312,7 +330,7 @@ func TestWALTornTailAcrossCompactionBoundary(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the tail: a partial record after the compacted log's appends.
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f, err := os.OpenFile(activeSegment(t, path), os.O_APPEND|os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -389,7 +407,7 @@ func TestWALSnapshotMarkerWithoutSidecarIsCorrupt(t *testing.T) {
 	}
 }
 
-func TestWALInterruptedRotationLeavesLogIntact(t *testing.T) {
+func TestWALInterruptedSaveLeavesLogIntact(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "rot.wal")
 	w, err := OpenWAL(path)
 	if err != nil {
@@ -397,21 +415,25 @@ func TestWALInterruptedRotationLeavesLogIntact(t *testing.T) {
 	}
 	snapshotScenario(t, w)
 	w.Close()
-	// Simulate a crash mid-rotation: a partial rewrite temp file exists.
-	if err := os.WriteFile(path+".rewrite", []byte("partial"), 0o644); err != nil {
-		t.Fatal(err)
+	// Simulate crashes mid-save: partial manifest and sidecar temp files.
+	for _, tmp := range []string{manifestPath(path) + ".tmp", snapPath(path) + ".tmp"} {
+		if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	w2, err := OpenWAL(path)
 	if err != nil {
-		t.Fatalf("stale rewrite temp must be ignored, got %v", err)
+		t.Fatalf("stale save temps must be ignored, got %v", err)
 	}
 	defer w2.Close()
 	_, entries, _ := w2.Load()
 	if len(entries) != 5 {
-		t.Fatalf("entries after ignored rotation temp: %v", entries)
+		t.Fatalf("entries after ignored save temps: %v", entries)
 	}
-	if _, err := os.Stat(path + ".rewrite"); !os.IsNotExist(err) {
-		t.Fatal("stale rewrite temp not removed")
+	for _, tmp := range []string{manifestPath(path) + ".tmp", snapPath(path) + ".tmp"} {
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Fatalf("stale temp %s not removed", tmp)
+		}
 	}
 }
 
@@ -492,4 +514,504 @@ func TestQuickWALMatchesMemory(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// smallSegOpts makes segments roll quickly so tests exercise multi-segment
+// layouts with few appends.
+func smallSegOpts() WALOptions { return WALOptions{SegmentBytes: 256} }
+
+// TestWALCompactionDoesNotRewriteRetainedSegments is the O(dropped) claim:
+// dropping a prefix unlinks whole sealed segments and never touches (let
+// alone rewrites) the retained ones — their inode and mtime are unchanged.
+func TestWALCompactionDoesNotRewriteRetainedSegments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg.wal")
+	w, err := OpenWALOptions(path, smallSegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Index(1); i <= 40; i++ {
+		if err := w.AppendEntry(entry(i, 1, "payload-payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed, _ := w.SegmentCount()
+	if sealed < 3 {
+		t.Fatalf("want >=3 sealed segments, got %d", sealed)
+	}
+
+	man, ok, err := readManifest(path)
+	if err != nil || !ok {
+		t.Fatalf("manifest: ok=%v err=%v", ok, err)
+	}
+	// Compact up to the first sealed segment's last index: exactly that
+	// segment is droppable, everything after must be byte-identical.
+	bound := man.Segments[0].Last
+	type fileID struct {
+		ino   uint64
+		mtime time.Time
+		size  int64
+	}
+	before := map[uint64]fileID{}
+	for _, s := range man.Segments[1:] {
+		fi, err := os.Stat(filepath.Join(path, segName(s.Seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := fi.Sys().(*syscall.Stat_t)
+		before[s.Seq] = fileID{ino: st.Ino, mtime: fi.ModTime(), size: fi.Size()}
+	}
+
+	if err := w.SaveSnapshot(snap(bound, 1, "s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.TruncatePrefix(bound); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(path, segName(man.Segments[0].Seq))); !os.IsNotExist(err) {
+		t.Fatalf("dropped segment still on disk: %v", err)
+	}
+	for seq, id := range before {
+		fi, err := os.Stat(filepath.Join(path, segName(seq)))
+		if err != nil {
+			t.Fatalf("retained segment %d gone: %v", seq, err)
+		}
+		st := fi.Sys().(*syscall.Stat_t)
+		if st.Ino != id.ino || !fi.ModTime().Equal(id.mtime) || fi.Size() != id.size {
+			t.Fatalf("retained segment %d was rewritten: ino %d->%d mtime %v->%v size %d->%d",
+				seq, id.ino, st.Ino, id.mtime, fi.ModTime(), id.size, fi.Size())
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWALOptions(path, smallSegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	_, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != int(40-bound) || entries[0].Index != bound+1 {
+		t.Fatalf("post-compaction reopen: %d entries, first %v", len(entries), entries[0].Index)
+	}
+}
+
+// TestWALCrashBetweenSealAndManifest: the sealed segment exists on disk but
+// the manifest update never landed. Recovery must adopt it (and the newer
+// active segment) and lose nothing.
+func TestWALCrashBetweenSealAndManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seal.wal")
+	w, err := OpenWALOptions(path, smallSegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Index(1); i <= 30; i++ {
+		if err := w.AppendEntry(entry(i, 1, "payload-payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, ok, err := readManifest(path)
+	if err != nil || !ok || len(man.Segments) < 2 {
+		t.Fatalf("need >=2 sealed segments: ok=%v err=%v segs=%d", ok, err, len(man.Segments))
+	}
+	// Rewind the manifest one seal, as if the crash hit after the new
+	// active segment was created but before the manifest rewrite.
+	man.Segments = man.Segments[:len(man.Segments)-1]
+	data, _ := json.Marshal(man)
+	if err := os.WriteFile(manifestPath(path), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWALOptions(path, smallSegOpts())
+	if err != nil {
+		t.Fatalf("recovery from pre-manifest crash: %v", err)
+	}
+	defer w2.Close()
+	_, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 30 {
+		t.Fatalf("entries lost across seal crash: %d", len(entries))
+	}
+	// The adopted segment must have been re-listed.
+	man2, _, err := readManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man2.Segments) < len(man.Segments)+1 {
+		t.Fatalf("adopted segment not resealed: %d -> %d", len(man.Segments), len(man2.Segments))
+	}
+}
+
+// TestWALCompactionCrashBeforeUnlink: the manifest already dropped the
+// segments but the files survive (compaction racing a crash, e.g. during
+// snapshot install). Recovery garbage-collects the orphans below the floor.
+func TestWALCompactionCrashBeforeUnlink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "orph.wal")
+	w, err := OpenWALOptions(path, smallSegOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Index(1); i <= 30; i++ {
+		if err := w.AppendEntry(entry(i, 1, "payload-payload-payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man, ok, err := readManifest(path)
+	if err != nil || !ok || len(man.Segments) < 2 {
+		t.Fatalf("need >=2 sealed segments: ok=%v err=%v segs=%d", ok, err, len(man.Segments))
+	}
+	// Snapshot covering the first segment, then hand-write the
+	// post-compaction manifest while leaving the file on disk.
+	bound := man.Segments[0].Last
+	if err := writeSnapshotFile(snapPath(path), snap(bound, 1, "s")); err != nil {
+		t.Fatal(err)
+	}
+	orphan := man.Segments[0].Seq
+	man.Segments = man.Segments[1:]
+	man.Floor = man.Segments[0].Seq
+	data, _ := json.Marshal(man)
+	if err := os.WriteFile(manifestPath(path), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWALOptions(path, smallSegOpts())
+	if err != nil {
+		t.Fatalf("recovery with orphan segment: %v", err)
+	}
+	defer w2.Close()
+	if _, err := os.Stat(filepath.Join(path, segName(orphan))); !os.IsNotExist(err) {
+		t.Fatal("orphan segment below floor not collected")
+	}
+	_, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != int(30-bound) || entries[0].Index != bound+1 {
+		t.Fatalf("recovered entries: %d, first %v", len(entries), entries[0].Index)
+	}
+}
+
+// TestWALGroupCommitHorizon: acknowledged-but-unsynced mutations sit above
+// the durable horizon until Sync; the OnDurable callback reports progress.
+func TestWALGroupCommitHorizon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.wal")
+	w, err := OpenWALOptions(path, WALOptions{GroupCommit: true, SyncWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var notified uint64
+	w.OnDurable(func(lsn uint64) { notified = lsn })
+	if err := w.SetHardState(HardState{Term: 1, VotedFor: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.Index(1); i <= 3; i++ {
+		if err := w.AppendEntry(entry(i, 1, "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.LastLSN() != 4 {
+		t.Fatalf("LastLSN = %d, want 4", w.LastLSN())
+	}
+	if d := w.DurableLSN(); d == w.LastLSN() {
+		t.Fatalf("durable horizon %d caught up without a sync (window is 1h)", d)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.DurableLSN() != 4 || notified != 4 {
+		t.Fatalf("after Sync: durable=%d notified=%d", w.DurableLSN(), notified)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	hs, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 1 || len(entries) != 3 {
+		t.Fatalf("grouped state lost: hs=%+v entries=%d", hs, len(entries))
+	}
+}
+
+// TestWALGroupCommitScenarios: the full Storage contract holds under group
+// commit (eager flushing), including reopen by a synchronous WAL.
+func TestWALGroupCommitScenarios(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gcs.wal")
+	w, err := OpenWALOptions(path, WALOptions{GroupCommit: true, SyncWindow: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storageScenario(t, w)
+	snapshotScenario(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	got, ok, err := w2.LoadSnapshot()
+	if err != nil || !ok || got.Meta.LastIndex != 6 {
+		t.Fatalf("reopen snapshot: ok=%v err=%v snap=%v", ok, err, got)
+	}
+	_, entries, err := w2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 || entries[0].Index != 7 {
+		t.Fatalf("reopen entries: %v", entries)
+	}
+}
+
+// TestGroupedMemoryCrashDropsUnsynced: the harness storage model loses
+// exactly the unsynced suffix on a crash.
+func TestGroupedMemoryCrashDropsUnsynced(t *testing.T) {
+	m := NewMemory()
+	g := NewGroupedMemory(m)
+	if err := g.AppendEntry(entry(1, 1, "durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AppendEntry(entry(2, 1, "lost")); err != nil {
+		t.Fatal(err)
+	}
+	if g.LastLSN() != 2 || g.DurableLSN() != 1 {
+		t.Fatalf("lsns: last=%d durable=%d", g.LastLSN(), g.DurableLSN())
+	}
+	g.Crash()
+	if g.LastLSN() != 1 {
+		t.Fatalf("crash did not rewind accepted horizon: %d", g.LastLSN())
+	}
+	_, entries, err := g.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || string(entries[0].Data) != "durable" {
+		t.Fatalf("post-crash state: %v", entries)
+	}
+}
+
+// writeOldSingleFileWAL lays down a pre-segment (single-file) WAL at path.
+// encode renders one entry body at that format's entry layout.
+func writeOldSingleFileWAL(t *testing.T, path string, ver byte, hs HardState, entries []types.Entry, encode func(types.Entry) []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := writeRecord(f, []byte{recFormat, ver}); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRecord(f, hardStateBody(hs)); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if err := writeRecord(f, append([]byte{recEntry}, encode(e)...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// encodeEntryV2 renders the pre-SessionAck entry layout that format-2
+// single-file WALs recorded.
+func encodeEntryV2(e types.Entry) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(e.Index))
+	b = binary.AppendUvarint(b, uint64(e.Term))
+	b = append(b, byte(e.Kind), byte(e.Approval))
+	b = binary.AppendUvarint(b, uint64(len(e.PID.Proposer)))
+	b = append(b, e.PID.Proposer...)
+	b = binary.AppendUvarint(b, e.PID.Seq)
+	b = binary.AppendUvarint(b, uint64(e.Session))
+	b = binary.AppendUvarint(b, e.SessionSeq)
+	b = binary.AppendUvarint(b, uint64(len(e.Data)))
+	b = append(b, e.Data...)
+	b = append(b, 0) // no config
+	return b
+}
+
+func testWALMigration(t *testing.T, ver byte, encode func(types.Entry) []byte) {
+	path := filepath.Join(t.TempDir(), "old.wal")
+	es := []types.Entry{entry(1, 1, "one"), entry(2, 1, "two"), entry(3, 2, "three")}
+	writeOldSingleFileWAL(t, path, ver, HardState{Term: 2, VotedFor: "n2"}, es, encode)
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("migration open: %v", err)
+	}
+	hs, entries, err := w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Term != 2 || hs.VotedFor != "n2" {
+		t.Fatalf("migrated hard state: %+v", hs)
+	}
+	if len(entries) != 3 || string(entries[2].Data) != "three" || entries[2].Term != 2 {
+		t.Fatalf("migrated entries: %v", entries)
+	}
+	// The WAL is now a directory; the old artifacts are gone; appends work.
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		t.Fatalf("migrated WAL not a directory: %v %v", fi, err)
+	}
+	for _, leftover := range []string{path + ".old", path + ".snap", path + ".migrating"} {
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Fatalf("migration leftover %s", leftover)
+		}
+	}
+	if err := w.AppendEntry(entry(4, 2, "post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	_, entries, _ = w2.Load()
+	if len(entries) != 4 {
+		t.Fatalf("post-migration reopen: %v", entries)
+	}
+}
+
+func TestWALMigratesV3SingleFile(t *testing.T) {
+	testWALMigration(t, 3, func(e types.Entry) []byte { return types.AppendEntryTo(nil, e) })
+}
+
+func TestWALMigratesV2SingleFile(t *testing.T) {
+	testWALMigration(t, 2, encodeEntryV2)
+}
+
+// TestWALMigrationWithSnapshotSidecar: the old sidecar moves into the
+// directory and stale prefix entries are dropped during migration.
+func TestWALMigrationWithSnapshotSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "olds.wal")
+	es := []types.Entry{entry(1, 1, "stale"), entry(2, 1, "stale"), entry(3, 2, "live")}
+	writeOldSingleFileWAL(t, path, 3, HardState{Term: 2, VotedFor: "n1"}, es,
+		func(e types.Entry) []byte { return types.AppendEntryTo(nil, e) })
+	if err := writeSnapshotFile(path+".snap", snap(2, 1, "state@2")); err != nil {
+		t.Fatal(err)
+	}
+	// Old layout: the marker record follows the sidecar write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := types.Snapshot{Meta: snap(2, 1, "").Meta}
+	if err := writeRecord(f, append([]byte{recSnapshot}, types.EncodeSnapshot(marker)...)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatalf("migration with snapshot: %v", err)
+	}
+	defer w.Close()
+	got, ok, err := w.LoadSnapshot()
+	if err != nil || !ok || got.Meta.LastIndex != 2 || string(got.Data) != "state@2" {
+		t.Fatalf("migrated snapshot: ok=%v err=%v %v", ok, err, got)
+	}
+	_, entries, _ := w.Load()
+	if len(entries) != 1 || entries[0].Index != 3 {
+		t.Fatalf("stale prefix survived migration: %v", entries)
+	}
+	if _, err := os.Stat(path + ".snap"); !os.IsNotExist(err) {
+		t.Fatal("old sidecar not removed")
+	}
+}
+
+// TestWALMigrationCrashPoints drives recovery through each interruption
+// window of the rename dance.
+func TestWALMigrationCrashPoints(t *testing.T) {
+	build := func(t *testing.T) (dir, path string) {
+		dir = t.TempDir()
+		path = filepath.Join(dir, "node.wal")
+		writeOldSingleFileWAL(t, path, 3, HardState{Term: 1, VotedFor: "a"},
+			[]types.Entry{entry(1, 1, "v")},
+			func(e types.Entry) []byte { return types.AppendEntryTo(nil, e) })
+		return dir, path
+	}
+	check := func(t *testing.T, path string) {
+		t.Helper()
+		w, err := OpenWAL(path)
+		if err != nil {
+			t.Fatalf("crash-point recovery: %v", err)
+		}
+		defer w.Close()
+		hs, entries, err := w.Load()
+		if err != nil || hs.Term != 1 || len(entries) != 1 {
+			t.Fatalf("recovered state: hs=%+v entries=%v err=%v", hs, entries, err)
+		}
+		for _, leftover := range []string{path + ".old", path + ".migrating"} {
+			if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+				t.Fatalf("leftover %s", leftover)
+			}
+		}
+	}
+
+	t.Run("partial-build", func(t *testing.T) {
+		_, path := build(t)
+		// Crash mid-build: a junk .migrating directory next to the intact
+		// old file. The build must restart from scratch.
+		if err := os.MkdirAll(path+".migrating", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(path+".migrating", "00000001.seg"), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, path)
+	})
+
+	t.Run("between-renames", func(t *testing.T) {
+		_, path := build(t)
+		// Run the build for real, then freeze the state between the two
+		// renames: original stashed at .old, built dir still at .migrating.
+		hs, entries, snap, haveSnap, err := replaySingleFile(path, path+".snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := buildMigrationDir(path+".migrating", hs, entries, snap, haveSnap); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(path, path+".old"); err != nil {
+			t.Fatal(err)
+		}
+		check(t, path)
+	})
+
+	t.Run("before-cleanup", func(t *testing.T) {
+		_, path := build(t)
+		hs, entries, snap, haveSnap, err := replaySingleFile(path, path+".snap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := buildMigrationDir(path+".migrating", hs, entries, snap, haveSnap); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(path, path+".old"); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(path+".migrating", path); err != nil {
+			t.Fatal(err)
+		}
+		check(t, path)
+	})
 }

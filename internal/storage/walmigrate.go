@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// Migration from the pre-segment single-file WAL (format versions 2 and 3)
+// to the segmented directory layout (version 4).
+//
+// The old layout was one CRC-framed record file at <path> plus a snapshot
+// sidecar at <path>.snap. Migration replays the file (tolerating a torn
+// tail, as the old open did), then builds a complete directory next to it
+// and swaps it in with a two-rename dance that is recoverable at any crash
+// point:
+//
+//	build   <path>.migrating/   (segment 1 + MANIFEST + snap, all fsynced)
+//	rename  <path>        -> <path>.old
+//	rename  <path>.migrating -> <path>
+//	remove  <path>.snap, <path>.old
+//
+// On open, the leftovers identify the crash point: a .migrating directory
+// next to a still-regular <path> means the build was interrupted (redo from
+// scratch); a missing <path> with both .migrating and .old means the crash
+// hit between the renames (finish the second); a directory <path> with
+// .old still present means only the cleanup remains.
+
+// migrateIfNeeded converts a single-file WAL at path to the segmented
+// layout, and finishes or unwinds a previously interrupted migration. It is
+// a no-op when path is absent or already a directory with no leftovers.
+func migrateIfNeeded(path string) error {
+	mig := path + ".migrating"
+	old := path + ".old"
+	oldSnap := path + ".snap"
+
+	fi, err := os.Stat(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if _, merr := os.Stat(mig); merr == nil {
+			if _, oerr := os.Stat(old); oerr == nil {
+				// Crashed between the two renames: the built directory is
+				// complete, install it.
+				if err := os.Rename(mig, path); err != nil {
+					return fmt.Errorf("storage: finish wal migration: %w", err)
+				}
+				if err := syncDir(path); err != nil {
+					return fmt.Errorf("storage: sync wal parent: %w", err)
+				}
+				return removeMigrationLeftovers(oldSnap, old)
+			}
+			// A build directory with no original to migrate: stale debris.
+			if err := os.RemoveAll(mig); err != nil {
+				return fmt.Errorf("storage: remove stale migration: %w", err)
+			}
+		}
+		return nil
+	case err != nil:
+		return fmt.Errorf("storage: stat wal: %w", err)
+	case fi.IsDir():
+		if _, oerr := os.Stat(old); oerr == nil {
+			// Migration completed through the second rename; only the
+			// cleanup was interrupted.
+			return removeMigrationLeftovers(oldSnap, old)
+		}
+		return nil
+	}
+
+	// path is a regular file: an old single-file WAL. Any partial build is
+	// stale (it may reflect an older file state); rebuild from scratch.
+	if err := os.RemoveAll(mig); err != nil {
+		return fmt.Errorf("storage: remove stale migration: %w", err)
+	}
+	hs, entries, snap, haveSnap, err := replaySingleFile(path, oldSnap)
+	if err != nil {
+		return err
+	}
+	if err := buildMigrationDir(mig, hs, entries, snap, haveSnap); err != nil {
+		os.RemoveAll(mig)
+		return err
+	}
+	if err := os.Rename(path, old); err != nil {
+		return fmt.Errorf("storage: stash old wal: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return fmt.Errorf("storage: sync wal parent: %w", err)
+	}
+	if err := os.Rename(mig, path); err != nil {
+		return fmt.Errorf("storage: install migrated wal: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return fmt.Errorf("storage: sync wal parent: %w", err)
+	}
+	return removeMigrationLeftovers(oldSnap, old)
+}
+
+// removeMigrationLeftovers drops the old sidecar before the stashed file:
+// the stash is the marker that cleanup is still owed, so it must go last.
+func removeMigrationLeftovers(oldSnap, old string) error {
+	if err := os.Remove(oldSnap); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("storage: remove old wal sidecar: %w", err)
+	}
+	if err := os.Remove(old); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("storage: remove old wal: %w", err)
+	}
+	return nil
+}
+
+// replaySingleFile reads an old-format WAL file and its sidecar, repairing
+// a torn tail by stopping at the first invalid frame (matching the old
+// open's behavior).
+func replaySingleFile(path, sidecar string) (HardState, []types.Entry, types.Snapshot, bool, error) {
+	var hs HardState
+	var snapMeta types.SnapshotMeta
+	entries := make(map[types.Index]types.Entry)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return hs, nil, types.Snapshot{}, false, fmt.Errorf("storage: read wal: %w", err)
+	}
+	off := 0
+	var ver byte
+	first := true
+	for {
+		if len(data)-off < 8 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || int(n) > len(data)-off-8 {
+			break
+		}
+		body := data[off+8 : off+8+int(n)]
+		if crc32.Checksum(body, crcTable) != sum {
+			break
+		}
+		if first {
+			if len(body) != 2 || body[0] != recFormat {
+				return hs, nil, types.Snapshot{}, false, fmt.Errorf(
+					"%w: log predates format versioning; remove the WAL (and its .snap sidecar) to start fresh",
+					ErrCorrupt)
+			}
+			ver = body[1]
+			if ver < oldestMigratable || ver >= walFormatVersion {
+				return hs, nil, types.Snapshot{}, false, fmt.Errorf(
+					"%w: single-file wal format version %d, this build migrates versions %d-%d; remove the WAL (and its .snap sidecar) or migrate it",
+					ErrCorrupt, ver, oldestMigratable, walFormatVersion-1)
+			}
+			first = false
+		}
+		switch body[0] {
+		case recFormat:
+			// validated above
+		case recHardState:
+			r := body[1:]
+			term, n := binary.Uvarint(r)
+			if n <= 0 {
+				return hs, nil, types.Snapshot{}, false, ErrCorrupt
+			}
+			hs = HardState{Term: types.Term(term), VotedFor: types.NodeID(r[n:])}
+		case recEntry:
+			e, err := types.DecodeEntryAt(body[1:], entryLayoutFor(ver))
+			if err != nil {
+				return hs, nil, types.Snapshot{}, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			entries[e.Index] = e
+		case recTruncate:
+			idx, n := binary.Uvarint(body[1:])
+			if n <= 0 {
+				return hs, nil, types.Snapshot{}, false, ErrCorrupt
+			}
+			for i := range entries {
+				if i > types.Index(idx) {
+					delete(entries, i)
+				}
+			}
+		case recSnapshot:
+			snap, err := types.DecodeSnapshot(body[1:])
+			if err != nil {
+				return hs, nil, types.Snapshot{}, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			if snap.Meta.LastIndex >= snapMeta.LastIndex {
+				snapMeta = snap.Meta
+			}
+		default:
+			return hs, nil, types.Snapshot{}, false, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, body[0])
+		}
+		off += 8 + int(n)
+	}
+
+	snap, haveSnap, err := readSnapshotFile(sidecar)
+	if err != nil {
+		return hs, nil, types.Snapshot{}, false, err
+	}
+	if !haveSnap && snapMeta.LastIndex != 0 {
+		return hs, nil, types.Snapshot{}, false, fmt.Errorf(
+			"%w: snapshot marker at %d but no sidecar", ErrCorrupt, snapMeta.LastIndex)
+	}
+	if haveSnap && snap.Meta.LastIndex < snapMeta.LastIndex {
+		return hs, nil, types.Snapshot{}, false, fmt.Errorf(
+			"%w: sidecar snapshot %d older than marker %d", ErrCorrupt, snap.Meta.LastIndex, snapMeta.LastIndex)
+	}
+	out := make([]types.Entry, 0, len(entries))
+	for _, e := range entries {
+		if haveSnap && e.Index <= snap.Meta.LastIndex {
+			continue
+		}
+		out = append(out, e)
+	}
+	sortEntries(out)
+	return hs, out, snap, haveSnap, nil
+}
+
+// buildMigrationDir writes a complete segmented WAL directory at dir:
+// segment 1 carrying the migrated state (entries re-encoded at the current
+// layout), an empty manifest, and the snapshot sidecar. Everything is
+// fsynced before returning.
+func buildMigrationDir(dir string, hs HardState, entries []types.Entry, snap types.Snapshot, haveSnap bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: create migration dir: %w", err)
+	}
+	if haveSnap {
+		if err := writeSnapshotFile(snapPath(dir), snap); err != nil {
+			return err
+		}
+	}
+	var buf []byte
+	buf = appendFrame(buf, []byte{recFormat, walFormatVersion})
+	buf = appendFrame(buf, hardStateBody(hs))
+	if haveSnap {
+		marker := types.Snapshot{Meta: snap.Meta}
+		buf = appendFrame(buf, append([]byte{recSnapshot}, types.EncodeSnapshot(marker)...))
+	}
+	for _, e := range entries {
+		body := append([]byte{recEntry}, types.AppendEntryTo(nil, e)...)
+		buf = appendFrame(buf, body)
+	}
+	f, err := os.OpenFile(segPathIn(dir, 1), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: create migrated segment: %w", err)
+	}
+	_, werr := f.Write(buf)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("storage: write migrated segment: %w", werr)
+	}
+	tmpW := &WAL{dir: dir, floor: 1}
+	if err := tmpW.writeManifestLocked(); err != nil {
+		return err
+	}
+	return syncDir(segPathIn(dir, 1))
+}
+
+func segPathIn(dir string, seq uint64) string {
+	return filepath.Join(dir, segName(seq))
+}

@@ -126,10 +126,14 @@ const (
 	// Arg = the commit index at compaction time (the boundary must never
 	// exceed it).
 	EvCompact
+	// EvFsyncBatch: one group-commit batch became durable. Arg = records
+	// in the batch, Arg2 = bytes written. Its distribution also feeds the
+	// hist.fsync_batch_size histogram.
+	EvFsyncBatch
 )
 
 // evMaxType is the highest defined event type (decode tables).
-const evMaxType = EvCompact
+const evMaxType = EvFsyncBatch
 
 // String names the event type.
 func (t EventType) String() string {
@@ -190,6 +194,8 @@ func (t EventType) String() string {
 		return "lease.revoke"
 	case EvCompact:
 		return "compact"
+	case EvFsyncBatch:
+		return "fsync.batch"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
 	}
@@ -343,6 +349,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("lease revoked holder=%s", e.Peer)
 	case EvCompact:
 		return fmt.Sprintf("compacted boundary=%d commit=%d", e.Index, e.Arg)
+	case EvFsyncBatch:
+		return fmt.Sprintf("fsync batch records=%d bytes=%d", e.Arg, e.Arg2)
 	default:
 		return e.Type.String()
 	}
@@ -468,6 +476,11 @@ type Recorder struct {
 	spanFIFO []types.ProposalID
 	hists    [numStages]*stats.TimingHist
 	total    *stats.TimingHist
+	// fsyncSize distributes group-commit batch sizes (records per fsync);
+	// applyLag distributes commit→apply hand-off delay through the
+	// runtime's apply pipeline.
+	fsyncSize *stats.SizeHist
+	applyLag  *stats.TimingHist
 }
 
 // New builds an enabled recorder.
@@ -516,6 +529,8 @@ func (r *Recorder) initHists() {
 		r.hists[i] = stats.NewTimingHist(histNames[i], stats.DefaultLatencyBounds()...)
 	}
 	r.total = stats.NewTimingHist("hist.stage_total", stats.DefaultLatencyBounds()...)
+	r.fsyncSize = stats.NewSizeHist("hist.fsync_batch_size", stats.DefaultSizeBounds()...)
+	r.applyLag = stats.NewTimingHist("hist.apply_lag", stats.DefaultLatencyBounds()...)
 }
 
 // Derive returns a recorder sharing this one's ring (and sequence space)
@@ -668,6 +683,12 @@ func (r *Recorder) MergeMetrics(dst map[string]uint64, prefix string) {
 	}
 	if r.total.Count() > 0 {
 		r.total.MergeInto(dst, prefix)
+	}
+	if r.fsyncSize.Count() > 0 {
+		r.fsyncSize.MergeInto(dst, prefix)
+	}
+	if r.applyLag.Count() > 0 {
+		r.applyLag.MergeInto(dst, prefix)
 	}
 }
 
@@ -902,6 +923,31 @@ func (r *Recorder) Compact(now time.Duration, boundary types.Index, commit types
 		return
 	}
 	r.record(Event{At: now, Type: EvCompact, Index: boundary, Arg: uint64(commit)})
+}
+
+// FsyncBatch records one durable group-commit batch (records and bytes it
+// carried) and feeds the batch-size histogram. Unlike the span methods it
+// is called from the storage flush goroutine, so the histogram update
+// shares the ring lock.
+func (r *Recorder) FsyncBatch(now time.Duration, records, bytes int) {
+	if r == nil {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	r.fsyncSize.Observe(uint64(records))
+	r.recordLocked(Event{At: now, Type: EvFsyncBatch, Arg: uint64(records), Arg2: uint64(bytes)})
+}
+
+// ApplyLag feeds the commit→apply pipeline delay histogram (no ring event:
+// it fires once per delivered commit batch and would drown the narrative).
+func (r *Recorder) ApplyLag(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	r.applyLag.Observe(d)
 }
 
 // EntryDigest summarizes an entry's identity as a 64-bit FNV-1a digest

@@ -28,17 +28,22 @@ const (
 	// checksum (Check) to InstallSnapshot. Version 5 added the read-batch
 	// ID (ReadCtx) to AppendEntries and AppendEntriesResp plus the
 	// ReadRequest/ReadReply message pair (linearizable read subsystem).
-	wireVersion = 5
+	// Version 6 made ReadRequest/ReadReply vector messages: a forwarding
+	// follower coalesces every queued read into one ReadRequest per leader
+	// round-trip, and the leader batches the resolutions it releases
+	// together into one ReadReply.
+	wireVersion = 6
 	// wireVersionMin is the oldest frame version this decoder accepts: v2
 	// frames (no chunk fields) decode as whole-image transfers, v3 frames
 	// (no ack/continuation fields) and v4 frames (no read-batch fields)
-	// decode with those features zero, so a v5 node understands everything
-	// older senders emit — a v4 responder simply never confirms read
-	// batches. Note the compatibility is one-directional — this encoder
-	// always writes v5, which older decoders reject as a bad frame — so
-	// mixed clusters need the upgraded side rolled out last on the decode
-	// path. Unknown versions are rejected loudly as ErrBadFrame rather
-	// than misdecoded.
+	// decode with those features zero, and v5 singleton ReadRequest/
+	// ReadReply frames decode as one-element batches, so a v6 node
+	// understands everything older senders emit — a v4 responder simply
+	// never confirms read batches. Note the compatibility is
+	// one-directional — this encoder always writes v6, which older
+	// decoders reject as a bad frame — so mixed clusters need the upgraded
+	// side rolled out last on the decode path. Unknown versions are
+	// rejected loudly as ErrBadFrame rather than misdecoded.
 	wireVersionMin = 2
 )
 
@@ -67,15 +72,24 @@ var ErrBadFrame = errors.New("types: bad frame")
 
 // EncodeEnvelope serializes an envelope into a fresh buffer.
 func EncodeEnvelope(env Envelope) ([]byte, error) {
-	var w writer
-	var hdr [3]byte
-	binary.BigEndian.PutUint16(hdr[:2], wireMagic)
-	hdr[2] = wireVersion
-	w.buf = append(w.buf, hdr[:]...)
+	return AppendEnvelope(nil, env)
+}
+
+// AppendEnvelope serializes an envelope onto buf (which may be nil or a
+// recycled buffer) and returns the extended slice. With a reused buffer of
+// sufficient capacity the encode performs zero heap allocations; transports
+// on the send hot path keep one scratch buffer per sender goroutine and
+// re-encode into it.
+func AppendEnvelope(buf []byte, env Envelope) ([]byte, error) {
 	tag, err := msgTag(env.Msg)
 	if err != nil {
 		return nil, err
 	}
+	w := writer{buf: buf}
+	var hdr [3]byte
+	binary.BigEndian.PutUint16(hdr[:2], wireMagic)
+	hdr[2] = wireVersion
+	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, tag)
 	w.str(string(env.From))
 	w.str(string(env.To))
@@ -231,12 +245,18 @@ func encodeBody(w *writer, m Message) {
 		w.u64(v.Offset)
 		w.u64(v.Round)
 	case ReadRequest:
-		w.u64(v.ID)
-		w.buf = append(w.buf, byte(v.Consistency))
+		w.u64(uint64(len(v.Reads)))
+		for _, s := range v.Reads {
+			w.u64(s.ID)
+			w.buf = append(w.buf, byte(s.Consistency))
+		}
 	case ReadReply:
-		w.u64(v.ID)
-		w.u64(uint64(v.Index))
-		w.bool(v.OK)
+		w.u64(uint64(len(v.Results)))
+		for _, res := range v.Results {
+			w.u64(res.ID)
+			w.u64(uint64(res.Index))
+			w.bool(res.OK)
+		}
 	}
 }
 
@@ -267,6 +287,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 		n := r.u64()
 		if r.err == nil && n > uint64(len(r.buf)) {
 			return nil, ErrBadFrame
+		}
+		if n > 0 && r.err == nil {
+			v.Entries = GetEntries(int(n))
 		}
 		for i := uint64(0); i < n && r.err == nil; i++ {
 			v.Entries = append(v.Entries, r.entry())
@@ -365,21 +388,49 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 		return v, r.err
 	case tagReadRequest:
 		var v ReadRequest
-		v.ID = r.u64()
-		if r.err == nil {
-			if r.off >= len(r.buf) {
-				r.err = ErrBadFrame
-			} else {
-				v.Consistency = ReadConsistency(r.buf[r.off])
-				r.off++
+		n := uint64(1)
+		if r.ver >= 6 {
+			n = r.u64()
+			if r.err == nil && n > uint64(len(r.buf)) {
+				return nil, ErrBadFrame
+			}
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			// v5 senders carry exactly one (ID, Consistency) pair; the
+			// vector layout repeats it.
+			var s ReadSpec
+			s.ID = r.u64()
+			if r.err == nil {
+				if r.off >= len(r.buf) {
+					r.err = ErrBadFrame
+				} else {
+					s.Consistency = ReadConsistency(r.buf[r.off])
+					r.off++
+				}
+			}
+			if r.err == nil {
+				v.Reads = append(v.Reads, s)
 			}
 		}
 		return v, r.err
 	case tagReadReply:
 		var v ReadReply
-		v.ID = r.u64()
-		v.Index = Index(r.u64())
-		v.OK = r.bool()
+		n := uint64(1)
+		if r.ver >= 6 {
+			n = r.u64()
+			if r.err == nil && n > uint64(len(r.buf)) {
+				return nil, ErrBadFrame
+			}
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			var res ReadResult
+			res.ID = r.u64()
+			res.Index = Index(r.u64())
+			res.OK = r.bool()
+			if r.err == nil {
+				v.Results = append(v.Results, res)
+			}
+		}
 		return v, r.err
 	default:
 		return nil, fmt.Errorf("types: unknown message tag %d: %w", tag, ErrBadFrame)
@@ -536,6 +587,29 @@ func EncodeEntry(e Entry) []byte {
 	var w writer
 	w.entry(e)
 	return w.buf
+}
+
+// AppendEntryTo serializes a single log entry onto buf and returns the
+// extended slice. With a reused buffer of sufficient capacity the encode is
+// allocation-free; the WAL record writer encodes every record through one
+// scratch buffer this way.
+func AppendEntryTo(buf []byte, e Entry) []byte {
+	w := writer{buf: buf}
+	w.entry(e)
+	return w.buf
+}
+
+// DecodeEntryAt parses an entry encoded under the given frame version: 0 is
+// the current unversioned layout (EncodeEntry output), 3 is the layout
+// before SessionAck was added. The WAL uses it to migrate logs recorded
+// under older format versions.
+func DecodeEntryAt(data []byte, ver uint8) (Entry, error) {
+	r := reader{buf: data, ver: ver}
+	e := r.entry()
+	if r.err != nil {
+		return Entry{}, fmt.Errorf("types: decode entry (layout v%d): %w", ver, r.err)
+	}
+	return e, nil
 }
 
 // uvarintLen returns the encoded size of v as an unsigned varint.

@@ -69,10 +69,16 @@ func sampleMessages() []Message {
 			Boundary: 100, Offset: 8192, Data: []byte{0x01}, Done: true},
 		InstallSnapshotReply{Term: 12, LastIndex: 100, Round: 4},
 		InstallSnapshotReply{Term: 13, LastIndex: 3, Boundary: 100, Offset: 4608, Round: 6},
-		ReadRequest{ID: 7, Consistency: ReadLinearizable},
-		ReadRequest{ID: 8, Consistency: ReadLeaseBased},
-		ReadReply{ID: 7, Index: 99, OK: true},
-		ReadReply{ID: 8},
+		ReadRequest{Reads: []ReadSpec{{ID: 7, Consistency: ReadLinearizable}}},
+		ReadRequest{Reads: []ReadSpec{
+			{ID: 8, Consistency: ReadLeaseBased},
+			{ID: 9, Consistency: ReadLinearizable},
+		}},
+		ReadReply{Results: []ReadResult{{ID: 7, Index: 99, OK: true}}},
+		ReadReply{Results: []ReadResult{
+			{ID: 8},
+			{ID: 9, Index: 100, OK: true},
+		}},
 	}
 }
 
@@ -464,7 +470,7 @@ func TestDecodeEnvelopeRejectsUnknownVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ver := range []byte{0, 1, 6, 9, 255} {
+	for _, ver := range []byte{0, 1, 7, 9, 255} {
 		bad := append([]byte(nil), buf...)
 		bad[2] = ver
 		if _, err := DecodeEnvelope(bad); err == nil {

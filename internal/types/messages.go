@@ -303,12 +303,8 @@ type InstallSnapshotReply struct {
 // MsgName implements Message.
 func (InstallSnapshotReply) MsgName() string { return "InstallSnapshotReply" }
 
-// ReadRequest forwards a linearizable (or lease) read from the node that
-// received it to the leader, which runs it through its read path and
-// answers with a ReadReply. The request writes nothing to the log; a lost
-// request or reply is simply re-sent under the same ID (duplicates are
-// coalesced leader-side).
-type ReadRequest struct {
+// ReadSpec names one forwarded read inside a ReadRequest batch.
+type ReadSpec struct {
 	// ID is the origin's read token, echoed in the reply.
 	ID uint64
 	// Consistency is the requested read mode (stale reads are served
@@ -316,19 +312,38 @@ type ReadRequest struct {
 	Consistency ReadConsistency
 }
 
+// ReadRequest forwards linearizable (or lease) reads from the node that
+// received them to the leader, which runs them through its read path and
+// answers with a ReadReply. The origin coalesces every read queued while a
+// round-trip is in flight into the next request, so one message covers a
+// whole batch. Requests write nothing to the log; lost requests or replies
+// are re-sent under the same IDs (duplicates are coalesced leader-side).
+type ReadRequest struct {
+	// Reads are the forwarded reads, oldest first.
+	Reads []ReadSpec
+}
+
 // MsgName implements Message.
 func (ReadRequest) MsgName() string { return "ReadRequest" }
 
-// ReadReply answers a ReadRequest once the leader's read path released the
-// read.
-type ReadReply struct {
-	// ID echoes ReadRequest.ID.
+// ReadResult resolves one forwarded read inside a ReadReply batch.
+type ReadResult struct {
+	// ID echoes the ReadSpec.ID.
 	ID uint64
 	// Index is the linearization index (valid when OK).
 	Index Index
 	// OK is false when the responder could not serve the read (not leader,
 	// or deposed while the read was pending); the origin retries.
 	OK bool
+}
+
+// ReadReply answers forwarded reads once the leader's read path released
+// them. Reads from one origin that resolve together are batched into one
+// reply.
+type ReadReply struct {
+	// Results resolve the forwarded reads (not necessarily all of one
+	// request: ReadIndex reads in a batch may resolve across rounds).
+	Results []ReadResult
 }
 
 // MsgName implements Message.
@@ -382,8 +397,14 @@ func CloneMessage(m Message) Message {
 			v.Data = append([]byte(nil), v.Data...)
 		}
 		return v
+	case ReadRequest:
+		v.Reads = append([]ReadSpec(nil), v.Reads...)
+		return v
+	case ReadReply:
+		v.Results = append([]ReadResult(nil), v.Results...)
+		return v
 	case CommitNotify, JoinRequest, JoinRedirect, JoinAccepted, LeaveRequest,
-		InstallSnapshotReply, ReadRequest, ReadReply:
+		InstallSnapshotReply:
 		return v
 	default:
 		return m

@@ -1,0 +1,62 @@
+package types
+
+import "sync"
+
+// Pooled entry slices for the replication hot path.
+//
+// Every AppendEntries message carries an []Entry that previously lived for
+// exactly one encode (or one decode + handler call) before becoming garbage.
+// The pool recycles those backing arrays. Only the slice itself is pooled —
+// the Data payloads inside the entries are never reused, so an entry copied
+// out of a pooled slice (as the cores do when installing entries into their
+// logs) stays valid after the slice is recycled.
+//
+// Recycling is strictly opt-in and only valid for owners that serialize the
+// message: a transport that hands the live Entries slice to another goroutine
+// or process-local peer (the in-proc harness transports) must NOT recycle.
+// The UDP transport recycles after encoding on send and after the handler
+// returns on receive.
+
+var entryPool = sync.Pool{
+	New: func() any { s := make([]Entry, 0, 32); return &s },
+}
+
+// GetEntries returns an empty entry slice with capacity for at least the
+// hint (pool-recycled when possible). Callers append into it and may pass
+// the filled slice through an Envelope; see RecycleEnvelope for give-back.
+func GetEntries(hint int) []Entry {
+	p := entryPool.Get().(*[]Entry)
+	s := (*p)[:0]
+	if cap(s) < hint {
+		s = make([]Entry, 0, hint)
+	}
+	return s
+}
+
+// RecycleEntries returns a slice obtained from GetEntries (or any
+// single-owner entry slice) to the pool. Elements are zeroed first so the
+// pool does not pin Data payloads or Config memberships.
+func RecycleEntries(es []Entry) {
+	if cap(es) == 0 {
+		return
+	}
+	es = es[:cap(es)]
+	for i := range es {
+		es[i] = Entry{}
+	}
+	es = es[:0]
+	entryPool.Put(&es)
+}
+
+// RecycleEnvelope returns the recyclable parts of a message to the pools.
+// Call it only when this goroutine is the envelope's last owner (after
+// encoding it onto the wire, or after a decode handler returned) — never on
+// an envelope delivered by reference to an in-process peer.
+func RecycleEnvelope(env Envelope) {
+	switch m := env.Msg.(type) {
+	case AppendEntries:
+		RecycleEntries(m.Entries)
+	case RequestVoteResp:
+		RecycleEntries(m.SelfApproved)
+	}
+}

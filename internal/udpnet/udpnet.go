@@ -24,6 +24,12 @@ const MaxDatagram = 60 * 1024
 // ErrTooLarge reports an envelope exceeding MaxDatagram.
 var ErrTooLarge = errors.New("udpnet: message exceeds datagram size")
 
+// encBufs recycles encode scratch buffers across Send calls so the steady
+// state allocates neither the buffer nor the datagram copy.
+var encBufs = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
 // Transport is a runtime.Transport over a UDP socket.
 type Transport struct {
 	id   types.NodeID
@@ -83,7 +89,9 @@ func (t *Transport) SetLoss(p float64) {
 	t.lossMu.Unlock()
 }
 
-// Send implements runtime.Transport.
+// Send implements runtime.Transport. Ownership of the envelope's pooled
+// parts (entry slices) transfers to the transport: they are recycled once
+// the datagram is encoded, so callers must not retain or re-send them.
 func (t *Transport) Send(env types.Envelope) error {
 	t.lossMu.Lock()
 	drop := t.loss > 0 && t.rng.Float64() < t.loss
@@ -101,21 +109,32 @@ func (t *Transport) Send(env types.Envelope) error {
 	if !ok {
 		return nil // unknown peer: drop, like a lost datagram
 	}
-	buf, err := types.EncodeEnvelope(env)
+	bp := encBufs.Get().(*[]byte)
+	buf, err := types.AppendEnvelope((*bp)[:0], env)
 	if err != nil {
+		encBufs.Put(bp)
 		return fmt.Errorf("udpnet: encode: %w", err)
 	}
+	*bp = buf[:0]
 	if len(buf) > MaxDatagram {
+		encBufs.Put(bp)
 		return ErrTooLarge
 	}
-	if _, err := t.conn.WriteToUDP(buf, addr); err != nil {
+	// The envelope is on the wire; this transport serializes, so it is the
+	// last owner and returns the pooled message parts.
+	types.RecycleEnvelope(env)
+	_, werr := t.conn.WriteToUDP(buf, addr)
+	encBufs.Put(bp)
+	if werr != nil {
 		// Transient send errors are message loss.
 		return nil
 	}
 	return nil
 }
 
-// SetHandler implements runtime.Transport.
+// SetHandler implements runtime.Transport. The handler must not retain
+// the envelope's entry slices past its return: the transport recycles
+// them (entry Data payloads stay valid — only the slices are reused).
 func (t *Transport) SetHandler(h func(types.Envelope)) {
 	t.mu.Lock()
 	t.h = h
@@ -152,6 +171,10 @@ func (t *Transport) readLoop() {
 		if h != nil {
 			h(env)
 		}
+		// The handler has returned and the cores copy entries out of the
+		// message before installing them; the decode-side pooled slices
+		// can go back.
+		types.RecycleEnvelope(env)
 	}
 }
 

@@ -35,21 +35,31 @@ func pair(t *testing.T) (*Transport, *Transport) {
 func TestUDPRoundTrip(t *testing.T) {
 	a, b := pair(t)
 	got := make(chan types.Envelope, 1)
-	b.SetHandler(func(env types.Envelope) { got <- env })
-	want := types.Envelope{
-		From: "a", To: "b", Layer: types.LayerLocal,
-		Msg: types.AppendEntries{
-			Term: 3, LeaderID: "a", LeaderCommit: 7, Round: 9,
-			Entries: []types.Entry{{
-				Index: 1, Term: 3, Kind: types.KindNormal,
-				Approval: types.ApprovedLeader,
-				PID:      types.ProposalID{Proposer: "a", Seq: 1},
-				Data:     []byte("over-the-wire"),
-			}},
-		},
-	}
-	// UDP may drop; retry a few times like the protocols do.
+	// The transport recycles entry slices after the handler returns, so a
+	// handler that hands the envelope to another goroutine must clone them
+	// (the runtime's synchronous handler does not need to).
+	b.SetHandler(func(env types.Envelope) {
+		if ae, ok := env.Msg.(types.AppendEntries); ok {
+			ae.Entries = types.CloneEntries(ae.Entries)
+			env.Msg = ae
+		}
+		got <- env
+	})
+	// Send consumes the envelope's entry slices; build a fresh one per
+	// attempt. UDP may drop; retry a few times like the protocols do.
 	for i := 0; i < 10; i++ {
+		want := types.Envelope{
+			From: "a", To: "b", Layer: types.LayerLocal,
+			Msg: types.AppendEntries{
+				Term: 3, LeaderID: "a", LeaderCommit: 7, Round: 9,
+				Entries: []types.Entry{{
+					Index: 1, Term: 3, Kind: types.KindNormal,
+					Approval: types.ApprovedLeader,
+					PID:      types.ProposalID{Proposer: "a", Seq: 1},
+					Data:     []byte("over-the-wire"),
+				}},
+			},
+		}
 		if err := a.Send(want); err != nil {
 			t.Fatal(err)
 		}

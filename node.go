@@ -10,6 +10,8 @@ import (
 	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/core/fastraft"
 	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/storage"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -103,6 +105,11 @@ type Options struct {
 	// must be consumed, or commit delivery stalls (consensus itself keeps
 	// running).
 	CommitBuffer int
+	// ApplyQueueSize bounds the commit→apply pipeline between the
+	// consensus goroutine and the callback dispatcher, in drained output
+	// batches (0 = a 256-batch default). A full pipeline applies
+	// backpressure to consensus instead of buffering unboundedly.
+	ApplyQueueSize int
 	// Trace, when set, enables the protocol flight recorder: typed events
 	// (elections, per-peer appends, snapshot streams, reads, sessions) in
 	// a fixed-size ring plus per-proposal stage latency histograms and
@@ -197,10 +204,37 @@ func NewNode(opts Options) (*Node, error) {
 			}
 			n.commits <- e
 		},
-		OnResolve:  n.resolve,
-		OnReadDone: n.resolveRead,
+		OnResolve:      n.resolve,
+		OnReadDone:     n.resolveRead,
+		ApplyQueueSize: opts.ApplyQueueSize,
+		Recorder:       rec,
 	})
+	wireDurability(n.host, opts.Storage, rec)
 	return n, nil
+}
+
+// wireDurability connects group-commit storage to a host: fsync
+// completions flow back through NotifyDurable so durability-gated machine
+// outputs release, and (when tracing) each durable batch feeds the
+// hist.fsync_batch_size histogram. A no-op for synchronous storage.
+func wireDurability(host *runtime.Host, s Storage, rec *trace.Recorder) {
+	g := storage.AsGrouped(s)
+	if g == nil {
+		return
+	}
+	g.OnDurable(host.NotifyDurable)
+	if rec == nil {
+		return
+	}
+	type fsyncObservable interface {
+		SetFsyncObserver(func(records, bytes int, took time.Duration))
+	}
+	if fo, ok := s.(fsyncObservable); ok {
+		start := time.Now()
+		fo.SetFsyncObserver(func(records, bytes int, _ time.Duration) {
+			rec.FsyncBatch(time.Since(start), records, bytes)
+		})
+	}
 }
 
 // ID returns the node's identity.

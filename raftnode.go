@@ -77,9 +77,12 @@ func NewRaftNode(opts Options) (*RaftNode, error) {
 			}
 			n.commits <- e
 		},
-		OnResolve:  n.resolve,
-		OnReadDone: n.resolveRead,
+		OnResolve:      n.resolve,
+		OnReadDone:     n.resolveRead,
+		ApplyQueueSize: opts.ApplyQueueSize,
+		Recorder:       rec,
 	})
+	wireDurability(n.host, opts.Storage, rec)
 	return n, nil
 }
 
