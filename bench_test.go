@@ -584,3 +584,106 @@ func BenchmarkPipeline(b *testing.B) {
 		})
 	}
 }
+
+// --- Shard scaling: aggregate throughput across groups ----------------------
+
+// BenchmarkShardScaling multiplexes N single-member consensus groups in one
+// process over one shared group-commit WAL and drives one sequential
+// proposer per group. A single group's throughput is bounded by its commit
+// round trip (append → fsync → resolve); independent groups overlap those
+// round trips while the shared flusher folds their appends into common
+// fsyncs, so aggregate entries/s should scale near-linearly with the group
+// count until fsync bandwidth saturates. hraft-benchcmp gates 8-group ≥ 2x
+// single-group on the same run.
+func BenchmarkShardScaling(b *testing.B) {
+	const entriesPerGroup = 24
+	payload := []byte("shard-scaling-benchmark-payload")
+
+	// Fixed-width hex starts keep lexicographic order numeric: group i owns
+	// keys prefixed by its index, group 0 owns the bottom of the keyspace.
+	specs := func(n int) ([]hraft.ShardGroup, []string) {
+		groups := make([]hraft.ShardGroup, n)
+		keys := make([]string, n)
+		for i := 0; i < n; i++ {
+			start := ""
+			if i > 0 {
+				start = fmt.Sprintf("%02x", i)
+			}
+			groups[i] = hraft.ShardGroup{ID: hraft.GroupID(fmt.Sprintf("g%02x", i)), Start: start}
+			keys[i] = fmt.Sprintf("%02x-key", i)
+		}
+		return groups, keys
+	}
+
+	run := func(b *testing.B, n int) {
+		groups, keys := specs(n)
+		stores, meta, err := hraft.OpenShardWAL(b.TempDir()+"/wal",
+			hraft.WALOptions{GroupCommit: true, SyncWindow: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		net := hraft.NewInProcNetwork(1)
+		node, err := hraft.NewShardNode(hraft.ShardOptions{
+			ID:                "p1",
+			Peers:             []hraft.NodeID{"p1"},
+			Groups:            groups,
+			Transport:         net.Endpoint("p1"),
+			Storage:           stores,
+			Meta:              meta,
+			HeartbeatInterval: 10 * time.Millisecond,
+			Seed:              1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			node.Stop()
+			net.Close()
+		}()
+		go func() {
+			for range node.Commits() {
+			}
+		}()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			leaders := 0
+			for _, g := range node.ShardStatus() {
+				if g.Role == "leader" {
+					leaders++
+				}
+			}
+			if leaders == n {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("only %d/%d groups elected a leader", leaders, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for g := 0; g < n; g++ {
+				wg.Add(1)
+				go func(key string) {
+					defer wg.Done()
+					for j := 0; j < entriesPerGroup; j++ {
+						if _, err := node.Propose(context.Background(), key, payload); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(keys[g])
+			}
+			wg.Wait()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n*entriesPerGroup*b.N)/b.Elapsed().Seconds(), "entries/s")
+		b.ReportMetric(float64(n), "groups")
+	}
+
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("groups=%d", n), func(b *testing.B) { run(b, n) })
+	}
+}

@@ -13,6 +13,19 @@
 // instead of bootstrapping membership from -peers. Use -loss to inject
 // message loss like the paper's tc experiments.
 //
+// With -groups the process runs many consensus groups multiplexed over the
+// same UDP endpoint and (with -wal) one shared group-commit WAL directory:
+//
+//	hraft-node -id p1 -listen 127.0.0.1:7101 -peers p1=...,p2=...,p3=... \
+//	    -groups g-a,g-m -range g-m=m -wal /tmp/p1.wal -wal-group-commit
+//
+// -groups names the groups; -range assigns each group its inclusive key
+// lower bound (unlisted groups own the bottom of the keyspace). Stdin
+// lines route by key: "key=value" proposes the line in the group owning
+// "key", "? key" reads it linearizably ("?l" lease, "?s" stale, "?f"
+// follower-local), and "!split daughter pivot" / "!merge group" /
+// "!transfer group target" / "!ranges" drive the shard lifecycle.
+//
 // With -debug-addr the node serves its full observability surface on one
 // mux: Prometheus metrics at /metrics, a JSON status snapshot (role, term,
 // peer progress, lease, trace tail) at /debug/hraft/status, the formatted
@@ -71,6 +84,8 @@ func run() error {
 		doTrace  = flag.Bool("trace", false, "enable the protocol flight recorder (SIGQUIT prints the trace tail)")
 		slowOp   = flag.Duration("slow-op", 0, "log proposals whose commit takes longer than this (0 = off; implies -trace)")
 		quiet    = flag.Bool("quiet", false, "suppress per-commit output")
+		groupsF  = flag.String("groups", "", "comma-separated group IDs: run a sharded node multiplexing these groups (empty = single group)")
+		rangesF  = flag.String("range", "", "comma-separated gid=start pairs assigning each group its inclusive key lower bound (unlisted groups start at the bottom)")
 	)
 	flag.Parse()
 	if *id == "" {
@@ -100,6 +115,27 @@ func run() error {
 			}
 		}
 		members = append(members, hraft.NodeID(name))
+	}
+
+	if *groupsF != "" {
+		if *join {
+			return fmt.Errorf("-join is not supported with -groups")
+		}
+		return runShard(shardParams{
+			id: hraft.NodeID(*id), tr: tr, members: members,
+			groups: *groupsF, ranges: *rangesF,
+			walPath: *walPath,
+			walOpts: hraft.WALOptions{
+				GroupCommit:  *walGC,
+				SyncWindow:   *walWin,
+				SyncBytes:    *walSyncB,
+				SegmentBytes: *walSegB,
+			},
+			applyQ: *applyQ, hb: *hb, snapN: *snapN, chunk: *chunk,
+			metrics: *metrics, dbgAddr: *dbgAddr, dbgPeer: *dbgPeer,
+			doTrace: *doTrace || *dbgAddr != "" || *slowOp > 0, slowOp: *slowOp,
+			quiet: *quiet,
+		})
 	}
 
 	store := hraft.NewMemoryStorage()
@@ -265,7 +301,8 @@ func run() error {
 }
 
 // readConsistency maps the interactive read syntax onto a consistency
-// mode: "?" linearizable, "?l" lease-based, "?s" stale.
+// mode: "?" linearizable, "?l" lease-based, "?s" stale, "?f"
+// follower-local.
 func readConsistency(line string) (hraft.ReadConsistency, bool) {
 	switch line {
 	case "?":
@@ -274,9 +311,255 @@ func readConsistency(line string) (hraft.ReadConsistency, bool) {
 		return hraft.ReadLeaseBased, true
 	case "?s":
 		return hraft.ReadStale, true
+	case "?f":
+		return hraft.ReadFollowerLocal, true
 	default:
 		return 0, false
 	}
+}
+
+// shardParams carries the parsed flags into the sharded-node path.
+type shardParams struct {
+	id      hraft.NodeID
+	tr      *hraft.UDPTransport
+	members []hraft.NodeID
+	groups  string
+	ranges  string
+	walPath string
+	walOpts hraft.WALOptions
+	applyQ  int
+	hb      time.Duration
+	snapN   int
+	chunk   int
+	metrics string
+	dbgAddr string
+	dbgPeer string
+	doTrace bool
+	slowOp  time.Duration
+	quiet   bool
+}
+
+// parseShardGroups turns -groups/-range into the initial range table. Every
+// group named in -range owns the keys from its start; the one group left
+// unlisted owns the bottom of the keyspace.
+func parseShardGroups(groups, ranges string) ([]hraft.ShardGroup, error) {
+	starts := make(map[string]string)
+	for _, pair := range strings.Split(ranges, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		gid, start, ok := strings.Cut(pair, "=")
+		if !ok || gid == "" || start == "" {
+			return nil, fmt.Errorf("bad -range entry %q (want gid=start)", pair)
+		}
+		if _, dup := starts[gid]; dup {
+			return nil, fmt.Errorf("group %q listed twice in -range", gid)
+		}
+		starts[gid] = start
+	}
+	var specs []hraft.ShardGroup
+	seen := make(map[string]bool)
+	for _, gid := range strings.Split(groups, ",") {
+		gid = strings.TrimSpace(gid)
+		if gid == "" {
+			continue
+		}
+		if seen[gid] {
+			return nil, fmt.Errorf("group %q listed twice in -groups", gid)
+		}
+		seen[gid] = true
+		specs = append(specs, hraft.ShardGroup{ID: hraft.GroupID(gid), Start: starts[gid]})
+		delete(starts, gid)
+	}
+	if len(starts) > 0 {
+		for gid := range starts {
+			return nil, fmt.Errorf("-range names group %q missing from -groups", gid)
+		}
+	}
+	return specs, nil
+}
+
+// parseDebugPeers turns -debug-peers into the id -> host:port map.
+func parseDebugPeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad debug peer %q (want id=host:port)", pair)
+		}
+		peers[name] = addr
+	}
+	return peers, nil
+}
+
+// runShard runs the process as a sharded node: many consensus groups over
+// the one UDP endpoint, lines routed to groups by key.
+func runShard(p shardParams) error {
+	specs, err := parseShardGroups(p.groups, p.ranges)
+	if err != nil {
+		return err
+	}
+	opts := hraft.ShardOptions{
+		ID:                p.id,
+		Peers:             p.members,
+		Groups:            specs,
+		Transport:         p.tr,
+		HeartbeatInterval: p.hb,
+		SnapshotThreshold: p.snapN,
+		MaxSnapshotChunk:  p.chunk,
+		ApplyQueueSize:    p.applyQ,
+	}
+	if p.walPath != "" {
+		stores, meta, werr := hraft.OpenShardWAL(p.walPath, p.walOpts)
+		if werr != nil {
+			return werr
+		}
+		opts.Storage = stores
+		opts.Meta = meta
+	}
+	if p.doTrace {
+		opts.Trace = &hraft.TraceOptions{SlowOp: p.slowOp}
+	}
+	node, err := hraft.NewShardNode(opts)
+	if err != nil {
+		return err
+	}
+	defer node.Stop()
+	fmt.Printf("sharded node %s: %d groups\n", p.id, len(specs))
+	for _, r := range node.Ranges() {
+		fmt.Printf("  [%q, ...) -> %s\n", r.Start, r.Group)
+	}
+	if p.metrics != "" {
+		maddr, stopMetrics, merr := hraft.ServeMetrics(p.metrics, string(p.id), node)
+		if merr != nil {
+			return merr
+		}
+		defer stopMetrics()
+		fmt.Printf("metrics at http://%s/metrics\n", maddr)
+	}
+	if p.dbgAddr != "" {
+		var dbgOpts []hraft.DebugOption
+		if p.dbgPeer != "" {
+			peerDbg, perr := parseDebugPeers(p.dbgPeer)
+			if perr != nil {
+				return perr
+			}
+			dbgOpts = append(dbgOpts, hraft.WithPeers(peerDbg))
+		}
+		daddr, stopDebug, derr := hraft.ServeDebug(p.dbgAddr, string(p.id), node, dbgOpts...)
+		if derr != nil {
+			return derr
+		}
+		defer stopDebug()
+		fmt.Printf("debug at http://%s/debug/hraft/shards (status, metrics, trace, audit and pprof alongside)\n", daddr)
+	}
+
+	go func() {
+		for c := range node.Commits() {
+			if p.quiet {
+				continue
+			}
+			switch c.Entry.Kind {
+			case hraft.EntryNormal:
+				fmt.Printf("[%s commit %d] %s\n", c.Group, c.Entry.Index, c.Entry.Data)
+			case hraft.EntryConfig:
+				fmt.Printf("[%s config %d] members=%v\n", c.Group, c.Entry.Index, c.Entry.Config)
+			}
+		}
+	}()
+
+	fmt.Println(`lines route by key ("key=value" routes by key); "? key" = linearizable read, "?l"/"?s"/"?f" = lease/stale/follower-local; "!split daughter pivot", "!merge group", "!transfer group target", "!ranges"; ctrl-d to exit`)
+	scanner := bufio.NewScanner(os.Stdin)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		start := time.Now()
+		shardCommand(ctx, node, line, start)
+		cancel()
+	}
+	return scanner.Err()
+}
+
+// shardCommand executes one interactive line against a sharded node.
+func shardCommand(ctx context.Context, node *hraft.ShardNode, line string, start time.Time) {
+	fields := strings.Fields(line)
+	if c, isRead := readConsistency(fields[0]); isRead {
+		if len(fields) != 2 {
+			fmt.Printf("usage: %s <key>\n", fields[0])
+			return
+		}
+		key := fields[1]
+		idx, err := node.ReadWith(ctx, key, c)
+		if err != nil {
+			fmt.Printf("read failed: %v\n", err)
+			return
+		}
+		fmt.Printf("read (%s) %s linearized at %s index %d in %v\n",
+			c, key, node.Route(key), idx, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	switch fields[0] {
+	case "!ranges":
+		for _, r := range node.Ranges() {
+			fmt.Printf("  [%q, ...) -> %s\n", r.Start, r.Group)
+		}
+		return
+	case "!split":
+		if len(fields) != 3 {
+			fmt.Println("usage: !split <daughter> <pivot>")
+			return
+		}
+		idx, err := node.Split(ctx, hraft.GroupID(fields[1]), fields[2])
+		if err != nil {
+			fmt.Printf("split failed: %v\n", err)
+			return
+		}
+		fmt.Printf("split committed at index %d: keys >= %q now route to %s\n", idx, fields[2], fields[1])
+		return
+	case "!merge":
+		if len(fields) != 2 {
+			fmt.Println("usage: !merge <group>")
+			return
+		}
+		idx, err := node.Merge(ctx, hraft.GroupID(fields[1]))
+		if err != nil {
+			fmt.Printf("merge failed: %v\n", err)
+			return
+		}
+		fmt.Printf("merge committed at index %d: %s folded into its left neighbor\n", idx, fields[1])
+		return
+	case "!transfer":
+		if len(fields) != 3 {
+			fmt.Println("usage: !transfer <group> <target>")
+			return
+		}
+		if !node.TransferLeader(hraft.GroupID(fields[1]), hraft.NodeID(fields[2])) {
+			fmt.Printf("transfer refused: this process does not lead %s, or %s is not a member\n", fields[1], fields[2])
+			return
+		}
+		fmt.Printf("leadership of %s moving to %s\n", fields[1], fields[2])
+		return
+	}
+	// A proposal: route by the part before '=' (the whole line otherwise).
+	key := line
+	if k, _, ok := strings.Cut(line, "="); ok {
+		key = k
+	}
+	idx, err := node.Propose(ctx, key, []byte(line))
+	if err != nil {
+		fmt.Printf("propose failed: %v\n", err)
+		return
+	}
+	fmt.Printf("committed in %s at index %d in %v\n",
+		node.Route(key), idx, time.Since(start).Round(time.Millisecond))
 }
 
 // lineLog is the node's state machine when snapshotting is enabled: the

@@ -304,6 +304,8 @@ func WithPeerTimeout(d time.Duration) DebugOption {
 //	                      hraft-audit replays
 //	/debug/hraft/audit    the online safety auditor's report as JSON
 //	                      (AuditReport)
+//	/debug/hraft/shards   sharded nodes only: every live group's range,
+//	                      role, term and commit progress (GroupStatus)
 //	/debug/hraft/cluster  with WithPeers: every peer's status fetched and
 //	                      aggregated — leader agreement, commit spread,
 //	                      per-peer lag (DebugCluster)
@@ -373,6 +375,23 @@ func DebugHandler(src StatusSource, opts ...DebugOption) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(ar.AuditReport())
+	})
+	mux.HandleFunc("/debug/hraft/shards", func(w http.ResponseWriter, _ *http.Request) {
+		ss, ok := src.(interface{ ShardStatus() []GroupStatus })
+		if !ok {
+			http.Error(w, "not a sharded node", http.StatusNotFound)
+			return
+		}
+		groups := ss.ShardStatus()
+		if groups == nil {
+			groups = []GroupStatus{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Groups []GroupStatus `json:"groups"`
+		}{groups})
 	})
 	mux.HandleFunc("/debug/hraft/cluster", func(w http.ResponseWriter, _ *http.Request) {
 		if len(cfg.peers) == 0 {

@@ -119,6 +119,52 @@ func TestPublicAPILinearizableAndLeaseReads(t *testing.T) {
 	}
 }
 
+func TestPublicAPIFollowerLocalReads(t *testing.T) {
+	_, nodes, _ := startCluster(t, 5, 11)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	wIdx, err := nodes[0].Propose(ctx, []byte("flw"))
+	if err != nil {
+		t.Fatalf("Propose: %v", err)
+	}
+	// Find a follower: a follower-local read confirms an index with the
+	// leader, waits for the follower's own commit index to cover it, and
+	// resolves — the caller then serves from follower-local state.
+	var follower *hraft.Node
+	for _, n := range nodes {
+		if n.Role() != hraft.Leader && n.Leader() != "" {
+			follower = n
+			break
+		}
+	}
+	if follower == nil {
+		t.Fatal("no settled follower found")
+	}
+	rIdx, err := follower.ReadWith(ctx, hraft.ReadFollowerLocal)
+	if err != nil {
+		t.Fatalf("follower-local read: %v", err)
+	}
+	if rIdx < wIdx {
+		t.Fatalf("read index %d below committed write %d", rIdx, wIdx)
+	}
+	if follower.CommitIndex() < rIdx {
+		t.Fatalf("resolved at %d beyond local commit %d: not locally servable",
+			rIdx, follower.CommitIndex())
+	}
+	if follower.Metrics()["readpath.reads_follower_local"] == 0 {
+		t.Fatal("reads_follower_local counter did not move")
+	}
+	// On the leader the mode degenerates to a plain linearizable read.
+	for _, n := range nodes {
+		if n.Role() == hraft.Leader {
+			if _, err := n.ReadWith(ctx, hraft.ReadFollowerLocal); err != nil {
+				t.Fatalf("leader-side follower-local read: %v", err)
+			}
+			break
+		}
+	}
+}
+
 func TestPublicAPISessionExactlyOnce(t *testing.T) {
 	_, nodes, _ := startCluster(t, 3, 9)
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)

@@ -608,6 +608,9 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 		}
 		if k > n.commitIndex {
 			n.commitTo(k)
+			// Local commit advanced: held follower-local reads whose
+			// confirmed index is now covered can be served.
+			n.reads.Flush(n.now)
 		}
 	}
 	resp.Success = true

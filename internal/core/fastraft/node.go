@@ -85,6 +85,11 @@ type Node struct {
 	// join request to return").
 	sawVoteResp     bool
 	lonelyElections int
+
+	// pendingTransfer marks the next election as leadership-transfer
+	// (started on a TimeoutNow order): its RequestVote carries Transfer so
+	// voters skip election stickiness.
+	pendingTransfer bool
 	rejoining       bool
 
 	// leader state.
@@ -543,6 +548,8 @@ func (n *Node) Step(now time.Duration, env types.Envelope) {
 		n.reads.OnReadRequest(env.From, m, n.now)
 	case types.ReadReply:
 		n.reads.OnReadReply(m, n.now)
+	case types.TimeoutNow:
+		n.onTimeoutNow(env.From, m)
 	default:
 		// Ignore unknown message types.
 	}
@@ -651,6 +658,8 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 const lonelyElectionLimit = 3
 
 func (n *Node) startElection() {
+	transfer := n.pendingTransfer
+	n.pendingTransfer = false
 	cfg := n.Config()
 	if !cfg.Contains(n.cfg.ID) {
 		n.resetElectionTimer()
@@ -698,6 +707,7 @@ func (n *Node) startElection() {
 		// Fast Raft: only leader-approved entries count for up-to-dateness.
 		LastLogIndex: n.log.LastLeaderIndex(),
 		LastLogTerm:  n.log.LastLeaderTerm(),
+		Transfer:     transfer,
 	}
 	for _, peer := range cfg.Others(n.cfg.ID) {
 		n.send(peer, req)
@@ -716,6 +726,40 @@ func (n *Node) startElection() {
 	})
 }
 
+// TransferLeader orders a leadership handoff to target: the leader kills
+// its own read lease (and suppresses re-arming for a full election-timeout
+// span, since transfer elections bypass the stickiness the lease depends
+// on), then sends TimeoutNow so the target starts an election immediately.
+// A lost order is harmless — this node simply keeps leading. Reports
+// whether the order was sent.
+func (n *Node) TransferLeader(target types.NodeID) bool {
+	if n.role != types.RoleLeader || target == n.cfg.ID || !n.Config().Contains(target) {
+		return false
+	}
+	if n.readMgr != nil {
+		n.readMgr.SuppressLease(n.now + n.cfg.ElectionTimeoutMax)
+	}
+	n.send(target, types.TimeoutNow{Term: n.term})
+	return true
+}
+
+// onTimeoutNow starts a transfer election on the leader's order: this site
+// campaigns for the next term with RequestVote.Transfer set so voters skip
+// election stickiness. Stale orders (lower term) are ignored.
+func (n *Node) onTimeoutNow(from types.NodeID, m types.TimeoutNow) {
+	if m.Term < n.term || n.role == types.RoleLeader {
+		return
+	}
+	if !n.Config().Contains(n.cfg.ID) {
+		return
+	}
+	if m.Term > n.term {
+		n.becomeFollower(m.Term, types.None)
+	}
+	n.pendingTransfer = true
+	n.startElection()
+}
+
 func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
 	// Election stickiness (the lease-read safety premise): a follower that
 	// has heard from a live leader within the minimum election timeout
@@ -724,18 +768,25 @@ func (n *Node) onRequestVote(from types.NodeID, m types.RequestVote) {
 	// a leader whose lease quorum is still fresh. The refusal is answered
 	// at our own (lower) term so the candidate's lonely-election accounting
 	// still sees a response.
-	if m.Term >= n.term && n.role == types.RoleFollower &&
-		n.leaderID != types.None && n.lastLeaderContact != 0 &&
-		n.now-n.lastLeaderContact < n.cfg.ElectionTimeoutMin {
-		n.send(from, types.RequestVoteResp{Term: n.term})
-		return
-	}
-	// Post-restart grace: the stickiness state above is volatile, so a
-	// voter restarted inside a lease window it helped establish would
-	// otherwise grant immediately (see bootGraceArm).
-	if m.Term >= n.term && n.now < n.bootGraceUntil {
-		n.send(from, types.RequestVoteResp{Term: n.term})
-		return
+	// Transfer elections bypass both refusals below: the old leader ordered
+	// the handoff (TimeoutNow), so "a fresh leader exists" is exactly why
+	// the vote must be granted, not refused. Lease safety holds because the
+	// ordering leader stops extending its lease the moment it observes the
+	// higher term the transfer election starts.
+	if !m.Transfer {
+		if m.Term >= n.term && n.role == types.RoleFollower &&
+			n.leaderID != types.None && n.lastLeaderContact != 0 &&
+			n.now-n.lastLeaderContact < n.cfg.ElectionTimeoutMin {
+			n.send(from, types.RequestVoteResp{Term: n.term})
+			return
+		}
+		// Post-restart grace: the stickiness state above is volatile, so a
+		// voter restarted inside a lease window it helped establish would
+		// otherwise grant immediately (see bootGraceArm).
+		if m.Term >= n.term && n.now < n.bootGraceUntil {
+			n.send(from, types.RequestVoteResp{Term: n.term})
+			return
+		}
 	}
 	if m.Term > n.term {
 		// Sites that receive RequestVote immediately move to the new term.

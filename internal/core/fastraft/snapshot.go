@@ -163,6 +163,9 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 		return
 	}
 	n.installSnapshot(snap)
+	// The commit index jumped to the snapshot boundary: held follower-local
+	// reads whose confirmed index is now covered can be served.
+	n.reads.Flush(n.now)
 	n.metrics.Inc(replica.CounterInstalls)
 	n.installHist.Observe(n.now - n.installStart)
 	n.rec.SnapInstall(n.now, snap.Meta.LastIndex, n.now-n.installStart)

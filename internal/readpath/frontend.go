@@ -98,6 +98,12 @@ type pendingRead struct {
 	// sent marks the read as part of an already-forwarded batch; unsent
 	// reads ship on the next flush (reply received, or retry deadline).
 	sent bool
+	// held marks a follower-local read whose index the leader confirmed
+	// (confirmedIdx) but the local commit index has not reached yet; it
+	// resolves from Flush once commit catches up, or re-forwards if the
+	// deadline passes first.
+	held         bool
+	confirmedIdx types.Index
 }
 
 // NewFrontend builds a frontend. seqStart seeds the token sequence (draw
@@ -255,10 +261,12 @@ func (f *Frontend) finish(o readOrigin, idx types.Index, ok bool, now time.Durat
 	f.queueReply(o.origin, types.ReadResult{ID: o.id, Index: idx, OK: ok})
 }
 
-// Flush releases confirmed reads the commit index has caught up to. The
+// Flush releases confirmed reads the commit index has caught up to — the
+// Manager's leader-side queue and the follower-local holds alike. The
 // cores call it after commit advancement and after folding heartbeat
 // acks.
 func (f *Frontend) Flush(now time.Duration) {
+	f.releaseHeld(now)
 	mgr := f.nv.Manager()
 	if mgr == nil {
 		return
@@ -323,9 +331,12 @@ func (f *Frontend) Retry(now time.Duration) {
 			continue
 		}
 		// A due read's batch (if any) is lost or was refused: clear its
-		// sent mark and let one fresh batch carry every due read.
+		// sent mark and let one fresh batch carry every due read. A held
+		// follower-local read whose catch-up stalled re-confirms from
+		// scratch the same way.
 		p.deadline = now + f.nv.RetryTimeout
 		p.sent = false
+		p.held = false
 		refresh = true
 	}
 	if refresh {
@@ -370,6 +381,30 @@ func (f *Frontend) OnReadRequest(from types.NodeID, m types.ReadRequest, now tim
 	f.flushReplies()
 }
 
+// releaseHeld resolves follower-local reads whose confirmed index the
+// local commit index has reached: the state machine here now covers every
+// write the read must observe, so the follower serves it locally.
+func (f *Frontend) releaseHeld(now time.Duration) {
+	if len(f.pending) == 0 {
+		return
+	}
+	commit := f.nv.CommitIndex()
+	var due []uint64
+	for id, p := range f.pending {
+		if p.held && p.confirmedIdx <= commit {
+			due = append(due, id)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
+	for _, id := range due {
+		idx := f.pending[id].confirmedIdx
+		delete(f.pending, id)
+		f.counters.Inc(CounterFollowerReads)
+		f.done = append(f.done, types.ReadDone{ID: id, Index: idx, OK: true})
+		f.rec.ReadServe(now, id, idx, true)
+	}
+}
+
 // OnReadReply resolves a forwarded batch, then ships the reads that queued
 // up while it was in flight.
 func (f *Frontend) OnReadReply(m types.ReadReply, now time.Duration) {
@@ -379,7 +414,21 @@ func (f *Frontend) OnReadReply(m types.ReadReply, now time.Duration) {
 			continue // duplicate or late result
 		}
 		if r.OK {
+			if p.consistency == types.ReadFollowerLocal && f.nv.CommitIndex() < r.Index {
+				// The leader vouched for r.Index but this node's log has not
+				// caught up: hold the read until the local commit index
+				// covers it (releaseHeld), so the caller may serve it from
+				// local state. The refreshed deadline re-forwards it if the
+				// catch-up stalls (a later confirmed index is still correct).
+				p.held = true
+				p.confirmedIdx = r.Index
+				p.deadline = now + f.nv.RetryTimeout
+				continue
+			}
 			delete(f.pending, r.ID)
+			if p.consistency == types.ReadFollowerLocal {
+				f.counters.Inc(CounterFollowerReads)
+			}
 			f.done = append(f.done, types.ReadDone{ID: r.ID, Index: r.Index, OK: true})
 			f.rec.ReadServe(now, r.ID, r.Index, true)
 			continue

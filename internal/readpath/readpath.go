@@ -78,6 +78,10 @@ const (
 	// CounterReadsFailed counts reads failed back to their callers
 	// (step-down with reads in flight).
 	CounterReadsFailed = "readpath.reads_failed"
+	// CounterFollowerReads counts follower-local reads served from the
+	// receiving node's state machine after its commit index covered the
+	// leader-confirmed index (incremented on the origin side).
+	CounterFollowerReads = "readpath.reads_follower_local"
 )
 
 // Config parametrizes a Manager.
@@ -136,7 +140,10 @@ type Manager struct {
 	batches    []batch // stamped, unconfirmed, ascending by id
 	confirmed  []read  // confirmed, awaiting commitIndex >= index
 	leaseUntil time.Duration
-	counters   *stats.Counters
+	// suppressUntil blocks lease extensions while a leadership transfer is
+	// in flight (see SuppressLease).
+	suppressUntil time.Duration
+	counters      *stats.Counters
 }
 
 // NewManager builds a manager. counters may be shared with the owning node
@@ -286,6 +293,13 @@ func (m *Manager) ackCount(id uint64) int {
 // the full window applies, which is correct on the deterministic simulator
 // and conservative enough for same-order drift in real deployments.
 func (m *Manager) extendLease(now time.Duration, b batch) {
+	if now < m.suppressUntil {
+		// A leadership transfer is in flight: heartbeat acks arriving
+		// between the TimeoutNow order and the successor's election must
+		// not re-arm the lease, or a stale read could be served after the
+		// successor commits (see Node.TransferLeader).
+		return
+	}
 	margin := time.Duration(0)
 	if m.cfg.RTT != nil {
 		for peer, ctx := range m.acked {
@@ -324,6 +338,18 @@ func (m *Manager) RevokeLease() {
 		m.counters.Inc(CounterLeaseRevokes)
 	}
 	m.leaseUntil = 0
+}
+
+// SuppressLease revokes the lease and refuses extensions until the given
+// instant. Leadership transfer uses it to keep the window between the
+// TimeoutNow order and the successor's election lease-free: transfer
+// elections bypass the stickiness that normally guarantees no rival leader
+// exists inside a lease window.
+func (m *Manager) SuppressLease(until time.Duration) {
+	m.RevokeLease()
+	if until > m.suppressUntil {
+		m.suppressUntil = until
+	}
 }
 
 // Release pops every confirmed read whose linearization index the commit

@@ -65,6 +65,39 @@ type Synced interface {
 	SyncDone(now time.Duration, durableLSN uint64)
 }
 
+// GroupEntry is a committed entry attributed to its consensus group, for
+// multi-group (sharded) machines.
+type GroupEntry struct {
+	Group types.GroupID
+	Entry types.Entry
+}
+
+// GroupResolution is a proposal resolution attributed to its group.
+type GroupResolution struct {
+	Group      types.GroupID
+	Resolution types.Resolution
+}
+
+// GroupRead is a resolved read attributed to its group.
+type GroupRead struct {
+	Group types.GroupID
+	Done  types.ReadDone
+}
+
+// GroupOutputs is implemented by machines multiplexing several consensus
+// groups (shard.Manager): outputs carry the group they belong to, so the
+// host can dispatch each group's commits to the right state-machine slice.
+// Such machines return nothing from the flat Take* drains.
+type GroupOutputs interface {
+	// TakeGroupCommitted drains newly committed entries across all groups,
+	// each tagged with its group, in per-group commit order.
+	TakeGroupCommitted() []GroupEntry
+	// TakeGroupResolved drains local proposal resolutions across groups.
+	TakeGroupResolved() []GroupResolution
+	// TakeGroupReadDone drains resolved reads across groups.
+	TakeGroupReadDone() []GroupRead
+}
+
 // Transport moves envelopes between hosts.
 type Transport interface {
 	// Send dispatches one envelope asynchronously. Implementations may
@@ -85,7 +118,13 @@ type event struct {
 	global    []types.Entry
 	resolved  []types.Resolution
 	reads     []types.ReadDone
-	at        time.Time
+
+	// Group-attributed outputs (multi-group machines only).
+	gCommitted []GroupEntry
+	gResolved  []GroupResolution
+	gReads     []GroupRead
+
+	at time.Time
 }
 
 // DefaultApplyQueue is the apply-pipeline depth (drained output batches
@@ -127,6 +166,13 @@ type Callbacks struct {
 	OnResolve func(types.Resolution)
 	// OnReadDone observes resolved linearizable reads.
 	OnReadDone func(types.ReadDone)
+	// OnGroupCommit observes committed entries of multi-group machines,
+	// tagged with their group, in per-group commit order.
+	OnGroupCommit func(types.GroupID, types.Entry)
+	// OnGroupResolve observes proposal resolutions of multi-group machines.
+	OnGroupResolve func(types.GroupID, types.Resolution)
+	// OnGroupReadDone observes resolved reads of multi-group machines.
+	OnGroupReadDone func(types.GroupID, types.ReadDone)
 	// ApplyQueueSize bounds the apply pipeline in drained output batches
 	// (0 = DefaultApplyQueue).
 	ApplyQueueSize int
@@ -186,6 +232,21 @@ func (h *Host) dispatch() {
 		if h.cb.OnReadDone != nil {
 			for _, r := range ev.reads {
 				h.cb.OnReadDone(r)
+			}
+		}
+		if h.cb.OnGroupCommit != nil {
+			for _, ge := range ev.gCommitted {
+				h.cb.OnGroupCommit(ge.Group, ge.Entry)
+			}
+		}
+		if h.cb.OnGroupResolve != nil {
+			for _, gr := range ev.gResolved {
+				h.cb.OnGroupResolve(gr.Group, gr.Resolution)
+			}
+		}
+		if h.cb.OnGroupReadDone != nil {
+			for _, gr := range ev.gReads {
+				h.cb.OnGroupReadDone(gr.Group, gr.Done)
 			}
 		}
 	}
@@ -299,6 +360,14 @@ func (h *Host) drainLocked() {
 	if rd, ok := h.machine.(Reader); ok {
 		reads = rd.TakeReadDone()
 	}
+	var gCommitted []GroupEntry
+	var gResolved []GroupResolution
+	var gReads []GroupRead
+	if gm, ok := h.machine.(GroupOutputs); ok {
+		gCommitted = gm.TakeGroupCommitted()
+		gResolved = gm.TakeGroupResolved()
+		gReads = gm.TakeGroupReadDone()
+	}
 	if d := h.machine.NextDeadline(); d > 0 {
 		wait := d - h.now()
 		if wait < 0 {
@@ -311,7 +380,8 @@ func (h *Host) drainLocked() {
 			h.timer.Reset(wait)
 		}
 	}
-	if len(committed)+len(resolved)+len(global)+len(reads) == 0 {
+	if len(committed)+len(resolved)+len(global)+len(reads)+
+		len(gCommitted)+len(gResolved)+len(gReads) == 0 {
 		return
 	}
 	// Bounded handoff: a full pipeline blocks the consensus goroutine until
@@ -319,6 +389,7 @@ func (h *Host) drainLocked() {
 	// takes h.mu, so it always drains.
 	ev := event{
 		committed: committed, global: global, resolved: resolved, reads: reads,
+		gCommitted: gCommitted, gResolved: gResolved, gReads: gReads,
 		at: time.Now(),
 	}
 	select {

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -73,15 +74,31 @@ const (
 	// format version, so logs written with an older entry encoding are
 	// migrated (or rejected) instead of misdecoded.
 	recFormat byte = 5
+	// Group-prefixed record kinds (format version 5): the same mutations as
+	// above, carrying the ID of the consensus group they belong to. A shard
+	// manager multiplexes many groups over one WAL directory; their records
+	// interleave in the shared segments (and the shared group-commit
+	// buffer, so one fsync covers every group's batch) and are demultiplexed
+	// by this prefix on replay.
+	recGroupHardState byte = 6
+	recGroupEntry     byte = 7
+	recGroupTruncate  byte = 8
+	recGroupSnapshot  byte = 9
 )
 
 // walFormatVersion is the current on-disk format: 2 added the session
 // fields to the entry encoding, 3 added the session-ack field, 4 moved the
-// log from a single rewritten file to segmented directories. Version 2 and
-// 3 single-file logs are migrated in place on open (entries re-encoded at
-// the current layout); version 1 logs (no format record) predate
-// versioning and are rejected.
-const walFormatVersion = 4
+// log from a single rewritten file to segmented directories, 5 added the
+// group-prefixed record kinds and the per-group segment metadata for
+// multi-group (sharded) processes. Version 4 directories open unchanged
+// (they simply contain no group records); version 2 and 3 single-file logs
+// are migrated in place on open (entries re-encoded at the current layout);
+// version 1 logs (no format record) predate versioning and are rejected.
+const walFormatVersion = 5
+
+// oldestDirFormat is the oldest segmented-directory format openable without
+// migration.
+const oldestDirFormat = 4
 
 // oldestMigratable is the oldest single-file format migrateIfNeeded can
 // re-encode.
@@ -137,6 +154,10 @@ type segMeta struct {
 	// clamped when TruncateSuffix drops a suffix: compaction may delete
 	// the segment once Last falls inside the snapshot.
 	Last types.Index `json:"last"`
+	// GLast is Last per consensus group for segments carrying group
+	// records: a multi-group segment is droppable only once every group's
+	// compaction boundary covers its slice of that group's log.
+	GLast map[types.GroupID]types.Index `json:"glast,omitempty"`
 }
 
 // manifest is the JSON document naming the sealed segments.
@@ -159,16 +180,28 @@ type WAL struct {
 	snap     types.Snapshot
 	snapMeta types.SnapshotMeta
 
+	// Per-group replayed state for multi-group (sharded) processes; see
+	// Group. The flat fields above are the "" namespace and stay fully
+	// independent of it.
+	groups map[types.GroupID]*WALGroup
+
 	// Segment state.
-	sealed     []segMeta // ascending seq
-	floor      uint64
-	active     *os.File
-	activeSeq  uint64
-	activeSize int64
-	activeLast types.Index
+	sealed      []segMeta // ascending seq
+	floor       uint64
+	active      *os.File
+	activeSeq   uint64
+	activeSize  int64
+	activeLast  types.Index
+	activeGLast map[types.GroupID]types.Index
+	// prefixFloor is the flat namespace's last TruncatePrefix boundary,
+	// used alongside every group's floor to decide segment droppability.
+	prefixFloor types.Index
 
 	// Scratch buffers (reused across records; guarded by mu).
 	recBuf []byte
+	// replayGLast collects per-group entry maxima while replaySegment runs
+	// (recovery only).
+	replayGLast map[types.GroupID]types.Index
 
 	// Group commit.
 	lastLSN   uint64
@@ -178,11 +211,14 @@ type WAL struct {
 	pendFirst time.Time
 	force     bool
 	onDurable func(uint64)
-	syncErr   error
-	closed    bool
-	kick      chan struct{}
-	flushDone chan struct{}
-	cond      *sync.Cond
+	// groupDurable holds per-group durability callbacks (see
+	// walGroup.OnDurable); all fire with the shared LSN after each batch.
+	groupDurable map[types.GroupID]func(uint64)
+	syncErr      error
+	closed       bool
+	kick         chan struct{}
+	flushDone    chan struct{}
+	cond         *sync.Cond
 }
 
 // segName renders a segment file name.
@@ -216,12 +252,19 @@ func OpenWALOptions(path string, opt WALOptions) (*WAL, error) {
 	// referenced, so drop them.
 	_ = os.Remove(manifestPath(path) + ".tmp")
 	_ = os.Remove(snapPath(path) + ".tmp")
+	if tmps, err := filepath.Glob(filepath.Join(path, "snap-*.tmp")); err == nil {
+		for _, t := range tmps {
+			_ = os.Remove(t)
+		}
+	}
 
 	w := &WAL{
-		dir:     path,
-		opt:     opt,
-		entries: make(map[types.Index]types.Entry),
-		floor:   1,
+		dir:         path,
+		opt:         opt,
+		entries:     make(map[types.Index]types.Entry),
+		groups:      make(map[types.GroupID]*WALGroup),
+		activeGLast: make(map[types.GroupID]types.Index),
+		floor:       1,
 	}
 	w.cond = sync.NewCond(&w.mu)
 	man, haveMan, err := readManifest(path)
@@ -265,9 +308,9 @@ func readManifest(dir string) (manifest, bool, error) {
 	if err := json.Unmarshal(data, &man); err != nil {
 		return manifest{}, false, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
 	}
-	if man.Version != walFormatVersion {
-		return manifest{}, false, fmt.Errorf("%w: manifest format version %d, this build reads %d",
-			ErrCorrupt, man.Version, walFormatVersion)
+	if man.Version < oldestDirFormat || man.Version > walFormatVersion {
+		return manifest{}, false, fmt.Errorf("%w: manifest format version %d, this build reads %d..%d",
+			ErrCorrupt, man.Version, oldestDirFormat, walFormatVersion)
 	}
 	sort.Slice(man.Segments, func(i, j int) bool { return man.Segments[i].Seq < man.Segments[j].Seq })
 	return man, true, nil
@@ -337,7 +380,11 @@ func (w *WAL) recoverSegments() error {
 		if !last {
 			// Sealed in spirit — the crash interrupted the manifest
 			// update; finish it.
-			w.sealed = append(w.sealed, segMeta{Seq: seq, Last: segMax})
+			meta := segMeta{Seq: seq, Last: segMax}
+			if len(w.replayGLast) > 0 {
+				meta.GLast = w.replayGLast
+			}
+			w.sealed = append(w.sealed, meta)
 			dirty = true
 			continue
 		}
@@ -362,6 +409,7 @@ func (w *WAL) recoverSegments() error {
 			return fmt.Errorf("storage: seek active segment: %w", err)
 		}
 		w.active, w.activeSeq, w.activeSize, w.activeLast = f, seq, validLen, segMax
+		w.activeGLast = w.replayGLast
 	}
 	if w.active == nil {
 		// Fresh directory, or the crash hit between sealing and creating
@@ -404,6 +452,7 @@ func (w *WAL) replaySegment(seq uint64, strict bool) (int64, types.Index, error)
 	var segMax types.Index
 	var ver byte
 	first := true
+	w.replayGLast = make(map[types.GroupID]types.Index)
 	for {
 		if len(data)-off < 8 {
 			break // clean end or torn header
@@ -497,9 +546,79 @@ func (w *WAL) apply(body []byte, ver byte) (types.Index, error) {
 			w.snapMeta = snap.Meta
 		}
 		return 0, nil
+	case recGroupHardState, recGroupEntry, recGroupTruncate, recGroupSnapshot:
+		return 0, w.applyGroup(body, ver)
 	default:
 		return 0, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, body[0])
 	}
+}
+
+// applyGroup dispatches one replayed group-prefixed record body. Group
+// entries never count toward the flat namespace's segment maxima; they
+// feed replayGLast instead.
+func (w *WAL) applyGroup(body []byte, ver byte) error {
+	kind := body[0]
+	r := body[1:]
+	glen, n := binary.Uvarint(r)
+	if n <= 0 || glen > uint64(len(r)-n) {
+		return ErrCorrupt
+	}
+	gid := types.GroupID(r[n : n+int(glen)])
+	if gid == "" {
+		return fmt.Errorf("%w: group record with empty group", ErrCorrupt)
+	}
+	rest := r[n+int(glen):]
+	g := w.ensureGroupLocked(gid)
+	switch kind {
+	case recGroupHardState:
+		term, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		g.hs = HardState{Term: types.Term(term), VotedFor: types.NodeID(rest[n:])}
+	case recGroupEntry:
+		e, err := types.DecodeEntryAt(rest, entryLayoutFor(ver))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		g.entries[e.Index] = e
+		if e.Index > w.replayGLast[gid] {
+			w.replayGLast[gid] = e.Index
+		}
+	case recGroupTruncate:
+		idx, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return ErrCorrupt
+		}
+		for i := range g.entries {
+			if i > types.Index(idx) {
+				delete(g.entries, i)
+			}
+		}
+		if w.replayGLast[gid] > types.Index(idx) {
+			w.replayGLast[gid] = types.Index(idx)
+		}
+	case recGroupSnapshot:
+		snap, err := types.DecodeSnapshot(rest)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if snap.Meta.LastIndex >= g.snapMeta.LastIndex {
+			g.snapMeta = snap.Meta
+		}
+	}
+	return nil
+}
+
+// ensureGroupLocked returns the group's state, creating it on first sight
+// (replay or first Group call).
+func (w *WAL) ensureGroupLocked(gid types.GroupID) *WALGroup {
+	g, ok := w.groups[gid]
+	if !ok {
+		g = &WALGroup{w: w, id: gid, entries: make(map[types.Index]types.Entry)}
+		w.groups[gid] = g
+	}
+	return g
 }
 
 // entryLayoutFor maps a WAL format version to the entry wire layout it
@@ -513,8 +632,10 @@ func entryLayoutFor(walVer byte) uint8 {
 }
 
 // writeBootstrap stamps a fresh segment with the format record, the current
-// hard state and the current snapshot marker, fsyncs it and fsyncs the
-// directory. Returns the bytes written.
+// hard state and the current snapshot marker — for the flat namespace and
+// for every known group — fsyncs it and fsyncs the directory, so any
+// suffix of segments is self-contained for every group. Returns the bytes
+// written.
 func (w *WAL) writeBootstrap(f *os.File) (int64, error) {
 	var buf []byte
 	buf = appendFrame(buf, []byte{recFormat, walFormatVersion})
@@ -522,6 +643,20 @@ func (w *WAL) writeBootstrap(f *os.File) (int64, error) {
 	if w.snapMeta.LastIndex != 0 {
 		marker := types.Snapshot{Meta: w.snapMeta}
 		buf = appendFrame(buf, append([]byte{recSnapshot}, types.EncodeSnapshot(marker)...))
+	}
+	// Deterministic group order keeps bootstrap bytes reproducible.
+	gids := make([]types.GroupID, 0, len(w.groups))
+	for gid := range w.groups {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		g := w.groups[gid]
+		buf = appendFrame(buf, groupBody(recGroupHardState, gid, hardStateBody(g.hs)[1:]))
+		if g.snapMeta.LastIndex != 0 {
+			marker := types.Snapshot{Meta: g.snapMeta}
+			buf = appendFrame(buf, groupBody(recGroupSnapshot, gid, types.EncodeSnapshot(marker)))
+		}
 	}
 	if _, err := f.Write(buf); err != nil {
 		return 0, fmt.Errorf("storage: bootstrap segment: %w", err)
@@ -573,9 +708,10 @@ func (w *WAL) writeManifestLocked() error {
 	return nil
 }
 
-// loadSidecar resolves the recovery-base snapshot after replay. The sidecar
-// wins over the marker (it may be one save ahead); a marker without a
-// loadable sidecar means the compacted prefix is unrecoverable.
+// loadSidecar resolves the recovery-base snapshot after replay, for the
+// flat namespace and for every group. The sidecar wins over the marker (it
+// may be one save ahead); a marker without a loadable sidecar means the
+// compacted prefix is unrecoverable.
 func (w *WAL) loadSidecar() error {
 	snap, ok, err := readSnapshotFile(snapPath(w.dir))
 	if err != nil {
@@ -586,22 +722,71 @@ func (w *WAL) loadSidecar() error {
 			return fmt.Errorf("%w: snapshot marker at %d but no sidecar",
 				ErrCorrupt, w.snapMeta.LastIndex)
 		}
-		return nil
+	} else {
+		if snap.Meta.LastIndex < w.snapMeta.LastIndex {
+			return fmt.Errorf("%w: sidecar snapshot %d older than marker %d",
+				ErrCorrupt, snap.Meta.LastIndex, w.snapMeta.LastIndex)
+		}
+		w.snap = snap
+		// The snapshot re-seeds the compaction boundary lost at restart.
+		w.prefixFloor = snap.Meta.LastIndex
+		// Entries covered by the snapshot may survive in the log when the
+		// process died between the snapshot save and the compaction; they
+		// are stale, not corrupt.
+		for i := range w.entries {
+			if i <= snap.Meta.LastIndex {
+				delete(w.entries, i)
+			}
+		}
 	}
-	if snap.Meta.LastIndex < w.snapMeta.LastIndex {
-		return fmt.Errorf("%w: sidecar snapshot %d older than marker %d",
-			ErrCorrupt, snap.Meta.LastIndex, w.snapMeta.LastIndex)
+	// A group whose every record was compacted away can still be named by a
+	// sidecar (the marker flush may have been lost to a crash the sidecar
+	// write survived); adopt such groups so their snapshots are not
+	// orphaned.
+	sidecars, err := filepath.Glob(filepath.Join(w.dir, "snap-*"))
+	if err != nil {
+		return fmt.Errorf("storage: list group sidecars: %w", err)
 	}
-	w.snap = snap
-	// Entries covered by the snapshot may survive in the log when the
-	// process died between the snapshot save and the compaction; they are
-	// stale, not corrupt.
-	for i := range w.entries {
-		if i <= snap.Meta.LastIndex {
-			delete(w.entries, i)
+	for _, path := range sidecars {
+		name := filepath.Base(path)
+		raw, err := hex.DecodeString(name[len("snap-"):])
+		if err != nil || len(raw) == 0 {
+			continue // not a group sidecar (e.g. a stray temp)
+		}
+		w.ensureGroupLocked(types.GroupID(raw))
+	}
+	for gid, g := range w.groups {
+		snap, ok, err := readSnapshotFile(groupSnapPath(w.dir, gid))
+		if err != nil {
+			return fmt.Errorf("group %q: %w", gid, err)
+		}
+		if !ok {
+			if g.snapMeta.LastIndex != 0 {
+				return fmt.Errorf("%w: group %q snapshot marker at %d but no sidecar",
+					ErrCorrupt, gid, g.snapMeta.LastIndex)
+			}
+			continue
+		}
+		if snap.Meta.LastIndex < g.snapMeta.LastIndex {
+			return fmt.Errorf("%w: group %q sidecar snapshot %d older than marker %d",
+				ErrCorrupt, gid, snap.Meta.LastIndex, g.snapMeta.LastIndex)
+		}
+		g.snap = snap
+		g.snapMeta = snap.Meta
+		g.floorIdx = snap.Meta.LastIndex
+		for i := range g.entries {
+			if i <= snap.Meta.LastIndex {
+				delete(g.entries, i)
+			}
 		}
 	}
 	return nil
+}
+
+// groupSnapPath names a group's snapshot sidecar. The group ID is
+// hex-encoded so arbitrary IDs map to safe, collision-free file names.
+func groupSnapPath(dir string, gid types.GroupID) string {
+	return filepath.Join(dir, "snap-"+hex.EncodeToString([]byte(gid)))
 }
 
 // readSnapshotFile reads a framed snapshot file; ok=false when absent. A
@@ -757,9 +942,14 @@ func (w *WAL) maybeRollLocked() error {
 		f.Close()
 		return err
 	}
-	w.sealed = append(w.sealed, segMeta{Seq: w.activeSeq, Last: w.activeLast})
+	meta := segMeta{Seq: w.activeSeq, Last: w.activeLast}
+	if len(w.activeGLast) > 0 {
+		meta.GLast = w.activeGLast
+	}
+	w.sealed = append(w.sealed, meta)
 	old := w.active
 	w.active, w.activeSeq, w.activeSize, w.activeLast = f, seq, n, 0
+	w.activeGLast = make(map[types.GroupID]types.Index)
 	old.Close()
 	return w.writeManifestLocked()
 }
@@ -823,6 +1013,10 @@ func (w *WAL) flusher() {
 				}
 			}
 			cb := w.onDurable
+			var gcbs []func(uint64)
+			for _, fn := range w.groupDurable {
+				gcbs = append(gcbs, fn)
+			}
 			obs := w.opt.FsyncObserver
 			w.cond.Broadcast()
 			w.mu.Unlock()
@@ -832,6 +1026,11 @@ func (w *WAL) flusher() {
 				}
 				if cb != nil {
 					cb(lsn)
+				}
+				// Every group shares the LSN space, so one batch advances
+				// every group's durability horizon at once.
+				for _, fn := range gcbs {
+					fn(lsn)
 				}
 			}
 		}
@@ -857,6 +1056,16 @@ func hardStateBody(hs HardState) []byte {
 	body = binary.AppendUvarint(body, uint64(hs.Term))
 	body = append(body, hs.VotedFor...)
 	return body
+}
+
+// groupBody assembles a group-prefixed record: kind, group length + bytes,
+// then the kind-specific payload.
+func groupBody(kind byte, gid types.GroupID, rest []byte) []byte {
+	body := make([]byte, 0, 2+len(gid)+len(rest))
+	body = append(body, kind)
+	body = binary.AppendUvarint(body, uint64(len(gid)))
+	body = append(body, gid...)
+	return append(body, rest...)
 }
 
 // AppendEntry implements Storage. The record is encoded into a reused
@@ -948,10 +1157,39 @@ func (w *WAL) TruncatePrefix(idx types.Index) error {
 			delete(w.entries, i)
 		}
 	}
+	if idx > w.prefixFloor {
+		w.prefixFloor = idx
+	}
+	return w.dropCoveredLocked()
+}
+
+// segCoveredLocked reports whether every namespace's compaction boundary
+// covers the sealed segment: the flat prefix floor over its Last, and each
+// group's floor over its slice of that group's log. Records that carry no
+// entries (hard state, markers) never hold a segment — later bootstraps
+// re-stamp them.
+func (w *WAL) segCoveredLocked(s segMeta) bool {
+	if s.Last > w.prefixFloor {
+		return false
+	}
+	for gid, last := range s.GLast {
+		g, ok := w.groups[gid]
+		if !ok || last > g.floorIdx {
+			return false
+		}
+	}
+	return true
+}
+
+// dropCoveredLocked unlinks sealed segments wholly covered by every
+// namespace's compaction boundary. Manifest first: recovery treats on-disk
+// segments below the floor as orphans, so a crash between the manifest write
+// and the unlinks only leaves garbage that the next open collects.
+func (w *WAL) dropCoveredLocked() error {
 	keep := w.sealed[:0]
 	var drop []uint64
 	for _, s := range w.sealed {
-		if s.Last <= idx {
+		if w.segCoveredLocked(s) {
 			drop = append(drop, s.Seq)
 		} else {
 			keep = append(keep, s)
@@ -965,9 +1203,6 @@ func (w *WAL) TruncatePrefix(idx types.Index) error {
 	if len(w.sealed) > 0 && w.sealed[0].Seq < w.floor {
 		w.floor = w.sealed[0].Seq
 	}
-	// Manifest first: recovery treats on-disk segments below the floor as
-	// orphans, so a crash between the manifest write and the unlinks only
-	// leaves garbage that the next open collects.
 	if err := w.writeManifestLocked(); err != nil {
 		return err
 	}

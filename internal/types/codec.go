@@ -31,8 +31,11 @@ const (
 	// Version 6 made ReadRequest/ReadReply vector messages: a forwarding
 	// follower coalesces every queued read into one ReadRequest per leader
 	// round-trip, and the leader batches the resolutions it releases
-	// together into one ReadReply.
-	wireVersion = 6
+	// together into one ReadReply. Version 7 added the group tag to the
+	// envelope header (multi-group sharding: v6 frames decode with Group
+	// empty), the ShardBatch cross-group coalescing message, the TimeoutNow
+	// leadership-transfer order and the Transfer flag on RequestVote.
+	wireVersion = 7
 	// wireVersionMin is the oldest frame version this decoder accepts: v2
 	// frames (no chunk fields) decode as whole-image transfers, v3 frames
 	// (no ack/continuation fields) and v4 frames (no read-batch fields)
@@ -65,6 +68,8 @@ const (
 	tagInstallSnapshotReply
 	tagReadRequest
 	tagReadReply
+	tagTimeoutNow
+	tagShardBatch
 )
 
 // ErrBadFrame reports a datagram that is not a valid hraft frame.
@@ -94,7 +99,11 @@ func AppendEnvelope(buf []byte, env Envelope) ([]byte, error) {
 	w.str(string(env.From))
 	w.str(string(env.To))
 	w.buf = append(w.buf, byte(env.Layer))
+	w.str(string(env.Group))
 	encodeBody(&w, env.Msg)
+	if w.err != nil {
+		return nil, w.err
+	}
 	return w.buf, nil
 }
 
@@ -120,6 +129,9 @@ func DecodeEnvelope(data []byte) (Envelope, error) {
 			env.Layer = Layer(r.buf[r.off])
 			r.off++
 		}
+	}
+	if ver >= 7 {
+		env.Group = GroupID(r.str())
 	}
 	msg, err := decodeBody(&r, tag)
 	if err != nil {
@@ -166,6 +178,10 @@ func msgTag(m Message) (uint8, error) {
 		return tagReadRequest, nil
 	case ReadReply:
 		return tagReadReply, nil
+	case TimeoutNow:
+		return tagTimeoutNow, nil
+	case ShardBatch:
+		return tagShardBatch, nil
 	default:
 		return 0, fmt.Errorf("types: unknown message type %T", m)
 	}
@@ -209,6 +225,7 @@ func encodeBody(w *writer, m Message) {
 		w.str(string(v.CandidateID))
 		w.u64(uint64(v.LastLogIndex))
 		w.u64(uint64(v.LastLogTerm))
+		w.bool(v.Transfer)
 	case RequestVoteResp:
 		w.u64(uint64(v.Term))
 		w.bool(v.Granted)
@@ -256,6 +273,24 @@ func encodeBody(w *writer, m Message) {
 			w.u64(res.ID)
 			w.u64(uint64(res.Index))
 			w.bool(res.OK)
+		}
+	case TimeoutNow:
+		w.u64(uint64(v.Term))
+	case ShardBatch:
+		w.u64(uint64(len(v.Frames)))
+		for _, f := range v.Frames {
+			if _, nested := f.Msg.(ShardBatch); nested {
+				w.err = fmt.Errorf("types: nested ShardBatch: %w", ErrBadFrame)
+				return
+			}
+			tag, err := msgTag(f.Msg)
+			if err != nil {
+				w.err = err
+				return
+			}
+			w.str(string(f.Group))
+			w.buf = append(w.buf, byte(f.Layer), tag)
+			encodeBody(w, f.Msg)
 		}
 	}
 }
@@ -321,6 +356,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 		v.CandidateID = NodeID(r.str())
 		v.LastLogIndex = Index(r.u64())
 		v.LastLogTerm = Term(r.u64())
+		if r.ver >= 7 {
+			v.Transfer = r.bool()
+		}
 		return v, r.err
 	case tagRequestVoteResp:
 		var v RequestVoteResp
@@ -432,14 +470,57 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 			}
 		}
 		return v, r.err
+	case tagTimeoutNow:
+		var v TimeoutNow
+		v.Term = Term(r.u64())
+		return v, r.err
+	case tagShardBatch:
+		var v ShardBatch
+		n := r.u64()
+		if r.err == nil && n > uint64(len(r.buf)) {
+			return nil, ErrBadFrame
+		}
+		if n > 0 && r.err == nil {
+			v.Frames = make([]ShardFrame, 0, n)
+		}
+		for i := uint64(0); i < n && r.err == nil; i++ {
+			var f ShardFrame
+			f.Group = GroupID(r.str())
+			if r.err == nil {
+				if r.off+2 > len(r.buf) {
+					r.err = ErrBadFrame
+					break
+				}
+				f.Layer = Layer(r.buf[r.off])
+				inner := r.buf[r.off+1]
+				r.off += 2
+				if inner == tagShardBatch {
+					// Batches never nest; a nested tag is a corrupt or
+					// hostile frame, not a recursion invitation.
+					return nil, ErrBadFrame
+				}
+				msg, err := decodeBody(r, inner)
+				if err != nil {
+					return nil, err
+				}
+				f.Msg = msg
+			}
+			if r.err == nil {
+				v.Frames = append(v.Frames, f)
+			}
+		}
+		return v, r.err
 	default:
 		return nil, fmt.Errorf("types: unknown message tag %d: %w", tag, ErrBadFrame)
 	}
 }
 
-// writer accumulates the encoded form. The zero value is ready to use.
+// writer accumulates the encoded form. The zero value is ready to use. err
+// latches the first nested-encode failure (an unknown message type inside a
+// ShardBatch frame); the fixed-layout primitives themselves cannot fail.
 type writer struct {
 	buf []byte
+	err error
 }
 
 func (w *writer) u64(v uint64) {

@@ -79,12 +79,23 @@ func sampleMessages() []Message {
 			{ID: 8},
 			{ID: 9, Index: 100, OK: true},
 		}},
+		RequestVote{Term: 8, CandidateID: "heir", LastLogIndex: 10, LastLogTerm: 3,
+			Transfer: true},
+		TimeoutNow{Term: 8},
+		ShardBatch{},
+		ShardBatch{Frames: []ShardFrame{
+			{Group: "g-a", Layer: LayerLocal, Msg: AppendEntries{Term: 9, LeaderID: "lead",
+				PrevLogIndex: 8, PrevLogTerm: 7, Entries: es[1:3], LeaderCommit: 6, Round: 2}},
+			{Group: "g-b", Layer: LayerLocal, Msg: VoteEntry{Term: 3, Index: 5,
+				Entry: es[1], CommitIndex: 4}},
+			{Group: "", Layer: LayerGlobal, Msg: TimeoutNow{Term: 4}},
+		}},
 	}
 }
 
 func TestEnvelopeRoundTripAllMessages(t *testing.T) {
 	for _, msg := range sampleMessages() {
-		env := Envelope{From: "a", To: "b", Layer: LayerGlobal, Msg: msg}
+		env := Envelope{From: "a", To: "b", Layer: LayerGlobal, Group: "g7", Msg: msg}
 		buf, err := EncodeEnvelope(env)
 		if err != nil {
 			t.Fatalf("%s: encode: %v", msg.MsgName(), err)
@@ -120,6 +131,15 @@ func normalize(env Envelope) Envelope {
 		env.Msg = m
 	case InstallSnapshot:
 		m.Snapshot = canonSnapshot(m.Snapshot)
+		env.Msg = m
+	case ShardBatch:
+		if len(m.Frames) == 0 {
+			m.Frames = nil
+		}
+		for i, f := range m.Frames {
+			inner := normalize(Envelope{Msg: f.Msg})
+			m.Frames[i].Msg = inner.Msg
+		}
 		env.Msg = m
 	}
 	return env
@@ -379,6 +399,101 @@ func TestDecodeV3FramesUnderV4(t *testing.T) {
 	}
 }
 
+// encodeV6Envelope hand-encodes a frame in the v6 layout (no group tag in
+// the envelope header, no transfer flag on RequestVote) so the v7 decoder's
+// backward compatibility can be pinned without keeping an old encoder
+// around.
+func encodeV6Envelope(t *testing.T, env Envelope) []byte {
+	t.Helper()
+	var w writer
+	w.buf = append(w.buf, 0xC4, 0xAF, 6)
+	tag, err := msgTag(env.Msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.buf = append(w.buf, tag)
+	w.str(string(env.From))
+	w.str(string(env.To))
+	w.buf = append(w.buf, byte(env.Layer))
+	switch v := env.Msg.(type) {
+	case RequestVote:
+		w.u64(uint64(v.Term))
+		w.str(string(v.CandidateID))
+		w.u64(uint64(v.LastLogIndex))
+		w.u64(uint64(v.LastLogTerm))
+	case AppendEntries:
+		w.u64(uint64(v.Term))
+		w.str(string(v.LeaderID))
+		w.u64(uint64(v.PrevLogIndex))
+		w.u64(uint64(v.PrevLogTerm))
+		w.u64(uint64(len(v.Entries)))
+		for i := range v.Entries {
+			w.entry(v.Entries[i])
+		}
+		w.u64(uint64(v.LeaderCommit))
+		w.u64(v.Round)
+		w.u64(v.ReadCtx)
+	default:
+		t.Fatalf("encodeV6Envelope: unsupported %T", env.Msg)
+	}
+	return w.buf
+}
+
+// TestDecodeV6FramesUnderV7 pins decode compatibility with v6 senders:
+// ungrouped frames decode with Group empty (the flat single-group
+// namespace) and votes without the transfer flag decode as ordinary
+// elections.
+func TestDecodeV6FramesUnderV7(t *testing.T) {
+	rv := RequestVote{Term: 4, CandidateID: "cand", LastLogIndex: 10, LastLogTerm: 3}
+	got, err := DecodeEnvelope(encodeV6Envelope(t, Envelope{From: "c", To: "v", Layer: LayerLocal, Msg: rv}))
+	if err != nil {
+		t.Fatalf("v6 RequestVote rejected: %v", err)
+	}
+	if got.Group != "" {
+		t.Fatalf("v6 frame decoded with group %q", got.Group)
+	}
+	if m := got.Msg.(RequestVote); m.Transfer || m.Term != 4 || m.CandidateID != "cand" {
+		t.Fatalf("v6 RequestVote misdecoded: %+v", got.Msg)
+	}
+
+	ae := AppendEntries{Term: 9, LeaderID: "lead", PrevLogIndex: 8, PrevLogTerm: 7,
+		Entries: []Entry{{Index: 9, Term: 9, Kind: KindNormal, Approval: ApprovedLeader,
+			PID: ProposalID{Proposer: "p", Seq: 2}, Data: []byte("v6")}},
+		LeaderCommit: 6, Round: 11, ReadCtx: 42}
+	got, err = DecodeEnvelope(encodeV6Envelope(t, Envelope{From: "l", To: "f", Layer: LayerLocal, Msg: ae}))
+	if err != nil {
+		t.Fatalf("v6 AppendEntries rejected: %v", err)
+	}
+	if m := got.Msg.(AppendEntries); got.Group != "" || m.ReadCtx != 42 ||
+		len(m.Entries) != 1 || string(m.Entries[0].Data) != "v6" {
+		t.Fatalf("v6 AppendEntries misdecoded: %+v", got.Msg)
+	}
+}
+
+// TestDecodeShardBatchRejectsNesting pins the no-recursion contract: a
+// frame claiming to contain a ShardBatch inside a ShardBatch is rejected.
+func TestDecodeShardBatchRejectsNesting(t *testing.T) {
+	if _, err := EncodeEnvelope(Envelope{From: "a", To: "b", Layer: LayerLocal,
+		Msg: ShardBatch{Frames: []ShardFrame{{Group: "g", Layer: LayerLocal,
+			Msg: ShardBatch{}}}}}); err == nil {
+		t.Fatal("nested ShardBatch encoded without error")
+	}
+	// Hand-build the hostile frame the encoder refuses to produce.
+	var w writer
+	w.buf = append(w.buf, 0xC4, 0xAF, 7, tagShardBatch)
+	w.str("a")
+	w.str("b")
+	w.buf = append(w.buf, byte(LayerLocal))
+	w.str("") // group
+	w.u64(1)  // one frame
+	w.str("g")
+	w.buf = append(w.buf, byte(LayerLocal), tagShardBatch)
+	w.u64(0)
+	if _, err := DecodeEnvelope(w.buf); err == nil {
+		t.Fatal("nested ShardBatch decoded without error")
+	}
+}
+
 // TestEntryWireSizeMatchesEncoding pins the size function the byte-budget
 // flow control uses to the actual encoder output.
 // encodeV4Envelope hand-encodes an AppendEntries/AppendEntriesResp frame
@@ -470,7 +585,7 @@ func TestDecodeEnvelopeRejectsUnknownVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ver := range []byte{0, 1, 7, 9, 255} {
+	for _, ver := range []byte{0, 1, 8, 9, 255} {
 		bad := append([]byte(nil), buf...)
 		bad[2] = ver
 		if _, err := DecodeEnvelope(bad); err == nil {

@@ -34,6 +34,16 @@ const (
 	// Data carries a clock advance and TTL (see internal/session), and
 	// every replica expires the same sessions when it applies the entry.
 	KindSessionExpire
+	// KindShardSplit is a shard-manager lifecycle entry committed in a
+	// parent group: on apply, every member's manager creates the daughter
+	// group named in the payload and moves the upper key range to it.
+	// Defined here (with the other wire kinds) but interpreted only by
+	// internal/shard; the cores replicate it like any data entry.
+	KindShardSplit
+	// KindShardMerge is a shard-manager lifecycle entry committed in the
+	// retiring (right) group: on apply, the left neighbor named in the
+	// payload absorbs the group's key range.
+	KindShardMerge
 )
 
 // String names the kind for logs and tests.
@@ -53,6 +63,10 @@ func (k EntryKind) String() string {
 		return "sessionopen"
 	case KindSessionExpire:
 		return "sessionexpire"
+	case KindShardSplit:
+		return "shardsplit"
+	case KindShardMerge:
+		return "shardmerge"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -17,6 +17,12 @@ type NodeID string
 // None is the zero NodeID, used where "no node" is meant (e.g. votedFor).
 const None NodeID = ""
 
+// GroupID names one consensus group inside a multi-group (sharded) process.
+// The empty GroupID is the flat single-group namespace every pre-shard
+// deployment lives in; shard managers assign non-empty IDs and the codec
+// tags frames with them (wire v7).
+type GroupID string
+
 // Term is a Raft term number. Terms increase monotonically; each term has
 // at most one leader.
 type Term uint64

@@ -41,12 +41,19 @@ type Envelope struct {
 	To NodeID
 	// Layer selects the consensus level the message belongs to.
 	Layer Layer
+	// Group names the consensus group the message belongs to in a
+	// multi-group (sharded) process; empty for flat single-group
+	// deployments (wire v7 — v6 frames decode with Group empty).
+	Group GroupID
 	// Msg is the payload.
 	Msg Message
 }
 
 // String renders the envelope for traces.
 func (e Envelope) String() string {
+	if e.Group != "" {
+		return fmt.Sprintf("%s->%s %s/%s %s", e.From, e.To, e.Layer, e.Group, e.Msg.MsgName())
+	}
 	return fmt.Sprintf("%s->%s %s %s", e.From, e.To, e.Layer, e.Msg.MsgName())
 }
 
@@ -167,6 +174,12 @@ type RequestVote struct {
 	LastLogIndex Index
 	// LastLogTerm is the term of that entry.
 	LastLogTerm Term
+	// Transfer marks an election started on a leader's TimeoutNow order
+	// (leadership transfer). Voters skip the election-stickiness check for
+	// transfer elections: the old leader is known-live and stepping aside
+	// deliberately, so refusing "a fresh leader exists" votes would make
+	// every transfer time out (wire v7; zero from older senders).
+	Transfer bool
 }
 
 // MsgName implements Message.
@@ -349,6 +362,42 @@ type ReadReply struct {
 // MsgName implements Message.
 func (ReadReply) MsgName() string { return "ReadReply" }
 
+// TimeoutNow is the leadership-transfer order: a leader that wants to hand
+// off sends it to the chosen successor, which immediately starts an election
+// for the next term with RequestVote.Transfer set (so voters skip election
+// stickiness). Lost orders are harmless — the old leader keeps leading.
+type TimeoutNow struct {
+	// Term is the sender's term; orders from stale leaders are ignored.
+	Term Term
+}
+
+// MsgName implements Message.
+func (TimeoutNow) MsgName() string { return "TimeoutNow" }
+
+// ShardFrame is one group's message inside a ShardBatch: the payload of a
+// single-group envelope minus the From/To routing, which the outer batch
+// envelope carries once for every frame.
+type ShardFrame struct {
+	// Group names the consensus group the frame belongs to.
+	Group GroupID
+	// Layer selects the consensus level within the group.
+	Layer Layer
+	// Msg is the payload.
+	Msg Message
+}
+
+// ShardBatch coalesces the outbound frames of many consensus groups headed
+// to the same destination process into one datagram: a shard manager drains
+// every group's outbox per tick window and packs all frames sharing a
+// destination under one envelope (wire v7). Batches never nest.
+type ShardBatch struct {
+	// Frames are the coalesced messages, in per-group send order.
+	Frames []ShardFrame
+}
+
+// MsgName implements Message.
+func (ShardBatch) MsgName() string { return "ShardBatch" }
+
 // Compile-time check that all message types satisfy Message.
 var (
 	_ Message = ProposeEntry{}
@@ -367,6 +416,8 @@ var (
 	_ Message = InstallSnapshotReply{}
 	_ Message = ReadRequest{}
 	_ Message = ReadReply{}
+	_ Message = TimeoutNow{}
+	_ Message = ShardBatch{}
 )
 
 // CloneMessage deep-copies a message so transports never alias node state.
@@ -403,8 +454,16 @@ func CloneMessage(m Message) Message {
 	case ReadReply:
 		v.Results = append([]ReadResult(nil), v.Results...)
 		return v
+	case ShardBatch:
+		frames := make([]ShardFrame, len(v.Frames))
+		for i, f := range v.Frames {
+			f.Msg = CloneMessage(f.Msg)
+			frames[i] = f
+		}
+		v.Frames = frames
+		return v
 	case CommitNotify, JoinRequest, JoinRedirect, JoinAccepted, LeaveRequest,
-		InstallSnapshotReply:
+		InstallSnapshotReply, TimeoutNow:
 		return v
 	default:
 		return m

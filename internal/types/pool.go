@@ -53,10 +53,18 @@ func RecycleEntries(es []Entry) {
 // encoding it onto the wire, or after a decode handler returned) — never on
 // an envelope delivered by reference to an in-process peer.
 func RecycleEnvelope(env Envelope) {
-	switch m := env.Msg.(type) {
+	recycleMessage(env.Msg)
+}
+
+func recycleMessage(m Message) {
+	switch v := m.(type) {
 	case AppendEntries:
-		RecycleEntries(m.Entries)
+		RecycleEntries(v.Entries)
 	case RequestVoteResp:
-		RecycleEntries(m.SelfApproved)
+		RecycleEntries(v.SelfApproved)
+	case ShardBatch:
+		for _, f := range v.Frames {
+			recycleMessage(f.Msg)
+		}
 	}
 }

@@ -22,6 +22,14 @@ const (
 	// whichever node received it, leader or not. It may lag arbitrarily
 	// behind the cluster; it never blocks and needs no quorum.
 	ReadStale
+	// ReadFollowerLocal serves the read from the RECEIVING node's state
+	// machine, linearizably: the node obtains a quorum-confirmed index from
+	// the leader (the usual ReadIndex handshake), then holds the read until
+	// its own commit index reaches that index. The leader round costs the
+	// same as ReadLinearizable, but the data never moves — the follower
+	// answers from local state, so large reads skip the leader entirely.
+	// On the leader it degenerates to ReadLinearizable.
+	ReadFollowerLocal
 )
 
 // String names the consistency mode.
@@ -33,6 +41,8 @@ func (c ReadConsistency) String() string {
 		return "lease"
 	case ReadStale:
 		return "stale"
+	case ReadFollowerLocal:
+		return "follower-local"
 	default:
 		return fmt.Sprintf("consistency(%d)", uint8(c))
 	}

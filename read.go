@@ -13,8 +13,9 @@ import (
 
 // ReadConsistency selects how strongly a Read is ordered against writes:
 // ReadLinearizable (quorum-confirmed ReadIndex), ReadLeaseBased
-// (clock-free within the leader lease, falling back to ReadIndex) or
-// ReadStale (local commit index, no confirmation).
+// (clock-free within the leader lease, falling back to ReadIndex),
+// ReadStale (local commit index, no confirmation) or ReadFollowerLocal
+// (leader-confirmed index, served from the receiving node's state).
 type ReadConsistency = types.ReadConsistency
 
 // Read consistency modes.
@@ -30,6 +31,13 @@ const (
 	ReadLeaseBased = types.ReadLeaseBased
 	// ReadStale answers immediately from whichever node got the read.
 	ReadStale = types.ReadStale
+	// ReadFollowerLocal is linearizable like ReadLinearizable but served by
+	// the node that received the read: it obtains a quorum-confirmed index
+	// from the leader, then resolves once its OWN commit index covers that
+	// index — apply through the returned index and answer from local state.
+	// The confirmation round is the same, but the read's data never crosses
+	// to the leader, so bulky scans spread across followers.
+	ReadFollowerLocal = types.ReadFollowerLocal
 )
 
 // PeerStatus is a snapshot of one peer's replication progress as tracked

@@ -22,6 +22,11 @@ type SessionID = types.SessionID
 // session and decide for itself whether to re-submit.
 var ErrSessionExpired = errors.New("hraft: session expired or response no longer cached")
 
+// errProposalAborted reports that a submit callback declined to propose;
+// callers that can abort (ShardNode.Split/Merge) replace it with the
+// specific validation error.
+var errProposalAborted = errors.New("hraft: proposal aborted before submission")
+
 // Session is a client-session handle providing exactly-once proposal
 // semantics: proposals carry a (SessionID, sequence) identity that
 // survives node restarts and log compaction, so a retry whose original
@@ -168,10 +173,18 @@ func (w *proposalWaiters) await(ctx context.Context, host *runtime.Host, submit 
 	var pid ProposalID
 	host.Do(func(now time.Duration, _ runtime.Machine) {
 		pid = submit(now)
+		if pid == (ProposalID{}) {
+			return
+		}
 		w.mu.Lock()
 		w.waiters[pid] = ch
 		w.mu.Unlock()
 	})
+	// A zero ID means submit aborted before proposing (e.g. an invalid
+	// shard split); nothing will ever resolve it.
+	if pid == (ProposalID{}) {
+		return 0, errProposalAborted
+	}
 	select {
 	case idx := <-ch:
 		return idx, nil

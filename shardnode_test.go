@@ -1,0 +1,257 @@
+package hraft_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	hraft "github.com/hraft-io/hraft"
+)
+
+// shardOptions returns aggressive timers so real-time sharded tests finish
+// quickly. Two initial groups: keys < "m" in g-a, keys >= "m" in g-m.
+func shardOptions(id hraft.NodeID, peers []hraft.NodeID, tr hraft.Transport, seed int64) hraft.ShardOptions {
+	return hraft.ShardOptions{
+		ID:    id,
+		Peers: peers,
+		Groups: []hraft.ShardGroup{
+			{ID: "g-a", Start: ""},
+			{ID: "g-m", Start: "m"},
+		},
+		Transport:          tr,
+		HeartbeatInterval:  10 * time.Millisecond,
+		ElectionTimeoutMin: 40 * time.Millisecond,
+		ElectionTimeoutMax: 80 * time.Millisecond,
+		ProposalTimeout:    100 * time.Millisecond,
+		RetireDrain:        50 * time.Millisecond,
+		Seed:               seed,
+	}
+}
+
+// shardCommitLog drains one ShardNode's commit stream into a per-group map.
+type shardCommitLog struct {
+	mu   sync.Mutex
+	seen map[hraft.GroupID][]string
+}
+
+func drainShardCommits(n *hraft.ShardNode) *shardCommitLog {
+	l := &shardCommitLog{seen: make(map[hraft.GroupID][]string)}
+	go func() {
+		for c := range n.Commits() {
+			if c.Entry.Kind != hraft.EntryNormal || len(c.Entry.Data) == 0 {
+				continue
+			}
+			l.mu.Lock()
+			l.seen[c.Group] = append(l.seen[c.Group], string(c.Entry.Data))
+			l.mu.Unlock()
+		}
+	}()
+	return l
+}
+
+func (l *shardCommitLog) count(gid hraft.GroupID, want string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, s := range l.seen[gid] {
+		if s == want {
+			n++
+		}
+	}
+	return n
+}
+
+func startShardCluster(t *testing.T, n int, seed int64) ([]*hraft.ShardNode, []*shardCommitLog) {
+	t.Helper()
+	net := hraft.NewInProcNetwork(seed)
+	peers := make([]hraft.NodeID, n)
+	for i := range peers {
+		peers[i] = hraft.NodeID(fmt.Sprintf("p%d", i+1))
+	}
+	nodes := make([]*hraft.ShardNode, n)
+	logs := make([]*shardCommitLog, n)
+	for i, id := range peers {
+		node, err := hraft.NewShardNode(shardOptions(id, peers, net.Endpoint(id), seed+int64(i)))
+		if err != nil {
+			t.Fatalf("NewShardNode(%s): %v", id, err)
+		}
+		nodes[i] = node
+		logs[i] = drainShardCommits(node)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		net.Close()
+	})
+	return nodes, logs
+}
+
+// waitShard polls cond until it holds or the deadline passes.
+func waitShard(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestShardNodePublicAPI(t *testing.T) {
+	nodes, logs := startShardCluster(t, 3, 21)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Keys route by range and commit exactly once in the owning group, on
+	// every process.
+	if gid := nodes[0].Route("apple"); gid != "g-a" {
+		t.Fatalf(`Route("apple") = %q, want g-a`, gid)
+	}
+	if gid := nodes[0].Route("melon"); gid != "g-m" {
+		t.Fatalf(`Route("melon") = %q, want g-m`, gid)
+	}
+	if _, err := nodes[0].Propose(ctx, "apple", []byte("apple=1")); err != nil {
+		t.Fatalf("propose apple: %v", err)
+	}
+	if _, err := nodes[1].Propose(ctx, "melon", []byte("melon=1")); err != nil {
+		t.Fatalf("propose melon: %v", err)
+	}
+	for i, l := range logs {
+		i, l := i, l
+		waitShard(t, 10*time.Second, fmt.Sprintf("process %d to apply both writes", i), func() bool {
+			return l.count("g-a", "apple=1") == 1 && l.count("g-m", "melon=1") == 1
+		})
+		if n := l.count("g-m", "apple=1"); n != 0 {
+			t.Fatalf("process %d applied apple=1 in g-m %d times", i, n)
+		}
+	}
+
+	// A linearizable read barrier resolves per group, from any process.
+	wIdx, err := nodes[2].Propose(ctx, "melon", []byte("melon=2"))
+	if err != nil {
+		t.Fatalf("propose melon=2: %v", err)
+	}
+	rIdx, err := nodes[0].Read(ctx, "melon")
+	if err != nil {
+		t.Fatalf("read melon: %v", err)
+	}
+	if rIdx < wIdx {
+		t.Fatalf("read index %d below committed write %d", rIdx, wIdx)
+	}
+
+	// Splitting g-a at "g" creates g-g on every process and re-routes keys.
+	if _, err := nodes[0].Split(ctx, "g-g", "g"); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	for i, n := range nodes {
+		i, n := i, n
+		waitShard(t, 10*time.Second, fmt.Sprintf("process %d to open g-g", i), func() bool {
+			return len(n.Ranges()) == 3 && n.Route("grape") == "g-g"
+		})
+	}
+	if _, err := nodes[1].Propose(ctx, "grape", []byte("grape=1")); err != nil {
+		t.Fatalf("propose grape: %v", err)
+	}
+	for i, l := range logs {
+		i, l := i, l
+		waitShard(t, 10*time.Second, fmt.Sprintf("process %d to apply grape=1", i), func() bool {
+			return l.count("g-g", "grape=1") == 1
+		})
+	}
+
+	// A stale split (duplicate daughter) is rejected before proposing.
+	if _, err := nodes[0].Split(ctx, "g-g", "h"); err == nil {
+		t.Fatal("duplicate split did not fail")
+	}
+
+	// ShardStatus reports every live group with its range start.
+	st := nodes[0].ShardStatus()
+	if len(st) != 3 {
+		t.Fatalf("ShardStatus reported %d groups, want 3", len(st))
+	}
+	starts := make(map[hraft.GroupID]string)
+	for _, g := range st {
+		starts[g.Group] = g.Start
+	}
+	if starts["g-g"] != "g" || starts["g-m"] != "m" || starts["g-a"] != "" {
+		t.Fatalf("ShardStatus starts wrong: %v", starts)
+	}
+
+	// The shard multiplexing counters surface through Metrics.
+	m := nodes[0].Metrics()
+	if m["shard.proposals_routed"] == 0 {
+		t.Fatalf("shard.proposals_routed = 0; metrics: %v", m)
+	}
+	if m["shard.gauge.groups"] != 3 {
+		t.Fatalf("shard.gauge.groups = %d, want 3", m["shard.gauge.groups"])
+	}
+}
+
+// TestShardNodeWALRestartRecoversRouting runs one sharded process over a
+// real shared WAL: a split survives a stop/reopen through the routing
+// journal, and every group's log replays from the shared segments.
+func TestShardNodeWALRestartRecoversRouting(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "p1.wal")
+	net := hraft.NewInProcNetwork(3)
+	defer net.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	start := func() (*hraft.ShardNode, *shardCommitLog) {
+		groups, meta, err := hraft.OpenShardWAL(walPath, hraft.WALOptions{})
+		if err != nil {
+			t.Fatalf("OpenShardWAL: %v", err)
+		}
+		opts := shardOptions("p1", []hraft.NodeID{"p1"}, net.Endpoint("p1"), 3)
+		opts.Storage = groups
+		opts.Meta = meta
+		node, err := hraft.NewShardNode(opts)
+		if err != nil {
+			t.Fatalf("NewShardNode: %v", err)
+		}
+		return node, drainShardCommits(node)
+	}
+
+	node, _ := start()
+	if _, err := node.Propose(ctx, "apple", []byte("apple=1")); err != nil {
+		t.Fatalf("propose apple: %v", err)
+	}
+	if _, err := node.Propose(ctx, "melon", []byte("melon=1")); err != nil {
+		t.Fatalf("propose melon: %v", err)
+	}
+	if _, err := node.Split(ctx, "g-t", "t"); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	waitShard(t, 10*time.Second, "g-t to open", func() bool {
+		return node.Route("tiger") == "g-t"
+	})
+	if _, err := node.Propose(ctx, "tiger", []byte("tiger=1")); err != nil {
+		t.Fatalf("propose tiger: %v", err)
+	}
+	node.Stop()
+
+	node2, log2 := start()
+	defer node2.Stop()
+	// The routing journal restores the split before any consensus runs.
+	if got := len(node2.Ranges()); got != 3 {
+		t.Fatalf("restarted node has %d ranges, want 3", got)
+	}
+	if gid := node2.Route("tiger"); gid != "g-t" {
+		t.Fatalf(`restarted Route("tiger") = %q, want g-t`, gid)
+	}
+	// Every group's pre-restart writes replay from the shared WAL.
+	waitShard(t, 10*time.Second, "restart replay", func() bool {
+		return log2.count("g-a", "apple=1") == 1 &&
+			log2.count("g-m", "melon=1") == 1 &&
+			log2.count("g-t", "tiger=1") == 1
+	})
+	if _, err := node2.Propose(ctx, "apricot", []byte("apricot=1")); err != nil {
+		t.Fatalf("propose after restart: %v", err)
+	}
+}
