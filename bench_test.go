@@ -267,24 +267,28 @@ func perSecond(count int, elapsed time.Duration) float64 {
 // on the proposal hot path: "off" is the default configuration, where
 // every record call is a single nil check (allocation-freedom is pinned by
 // TestDisabledRecorderZeroAlloc); "on" records the full event and span
-// stream into each node's ring. The simulation runs on virtual time, so
-// any ns/op difference between the two is pure recording overhead.
+// stream into each node's ring; "sampled" additionally mints a wire-
+// propagated trace ID for every proposal, so each one pays the hop
+// recording on every node it touches plus the trace varint on the wire.
+// The simulation runs on virtual time, so any ns/op difference between
+// the arms is pure recording/propagation overhead.
 func BenchmarkProposalTracing(b *testing.B) {
 	const perIter = 10
-	for _, traced := range []bool{false, true} {
-		name := "off"
-		if traced {
-			name = "on"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, arm := range []struct {
+		name   string
+		traced bool
+		sample int
+	}{{"off", false, 0}, {"on", true, 0}, {"sampled", true, 1}} {
+		b.Run(arm.name, func(b *testing.B) {
 			c, err := harness.NewCluster(harness.Options{
-				Kind:  harness.KindFastRaft,
-				Nodes: benchNodes(),
-				Seed:  42,
-				Trace: traced,
-				// AuditOff in both arms: "off" pins the recorder-free
-				// fast path, and "on" stays a pure recording-cost
-				// measurement rather than recording + invariant checking.
+				Kind:        harness.KindFastRaft,
+				Nodes:       benchNodes(),
+				Seed:        42,
+				Trace:       arm.traced,
+				TraceSample: arm.sample,
+				// AuditOff in every arm: "off" pins the recorder-free
+				// fast path, and the others stay pure recording-cost
+				// measurements rather than recording + invariant checking.
 				Audit: harness.AuditOff,
 			})
 			if err != nil {

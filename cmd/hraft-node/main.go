@@ -82,6 +82,7 @@ func run() error {
 		dbgAddr  = flag.String("debug-addr", "", "serve metrics, /debug/hraft/status and pprof at this addr (empty = off; implies -trace)")
 		dbgPeer  = flag.String("debug-peers", "", "comma-separated id=host:port pairs naming the other nodes' -debug-addr servers; enables the /debug/hraft/cluster roll-up")
 		doTrace  = flag.Bool("trace", false, "enable the protocol flight recorder (SIGQUIT prints the trace tail)")
+		sampleN  = flag.Int("trace-sample", 0, "mint a wire-propagated trace ID for every Nth proposal/read originating here (0 = off; implies -trace)")
 		slowOp   = flag.Duration("slow-op", 0, "log proposals whose commit takes longer than this (0 = off; implies -trace)")
 		quiet    = flag.Bool("quiet", false, "suppress per-commit output")
 		groupsF  = flag.String("groups", "", "comma-separated group IDs: run a sharded node multiplexing these groups (empty = single group)")
@@ -133,7 +134,8 @@ func run() error {
 			},
 			applyQ: *applyQ, hb: *hb, snapN: *snapN, chunk: *chunk,
 			metrics: *metrics, dbgAddr: *dbgAddr, dbgPeer: *dbgPeer,
-			doTrace: *doTrace || *dbgAddr != "" || *slowOp > 0, slowOp: *slowOp,
+			doTrace: *doTrace || *dbgAddr != "" || *slowOp > 0 || *sampleN > 0,
+			slowOp:  *slowOp, sampleN: *sampleN,
 			quiet: *quiet,
 		})
 	}
@@ -166,8 +168,8 @@ func run() error {
 		snapshotter = lines
 	}
 	var traceOpts *hraft.TraceOptions
-	if *doTrace || *dbgAddr != "" || *slowOp > 0 {
-		traceOpts = &hraft.TraceOptions{SlowOp: *slowOp}
+	if *doTrace || *dbgAddr != "" || *slowOp > 0 || *sampleN > 0 {
+		traceOpts = &hraft.TraceOptions{SlowOp: *slowOp, SampleRate: *sampleN}
 	}
 	node, err := hraft.NewNode(hraft.Options{
 		ID:                hraft.NodeID(*id),
@@ -336,6 +338,7 @@ type shardParams struct {
 	dbgPeer string
 	doTrace bool
 	slowOp  time.Duration
+	sampleN int
 	quiet   bool
 }
 
@@ -423,7 +426,7 @@ func runShard(p shardParams) error {
 		opts.Meta = meta
 	}
 	if p.doTrace {
-		opts.Trace = &hraft.TraceOptions{SlowOp: p.slowOp}
+		opts.Trace = &hraft.TraceOptions{SlowOp: p.slowOp, SampleRate: p.sampleN}
 	}
 	node, err := hraft.NewShardNode(opts)
 	if err != nil {

@@ -1,0 +1,213 @@
+// Command hraft-trace assembles wire-propagated causal traces from
+// flight-recorder dumps and renders each sampled operation's cross-node
+// journey — propose, forward, append, replicate, acks, commit, apply —
+// as an indented per-hop latency tree.
+//
+//	hraft-trace dump1.trace.jsonl dump2.trace.jsonl
+//	hraft-trace $HRAFT_TRACE_DIR                    # every dump in a directory
+//	hraft-trace -url host1:7070 -url host2:7070    # live debug endpoints
+//	curl -s host:7070/debug/hraft/trace?format=json | hraft-trace -
+//
+// Each argument is a file, a directory (scanned non-recursively for
+// *.jsonl and *.json dumps), or "-" for stdin; -url fetches a node's
+// /debug/hraft/trace?format=json (repeatable). Accepted formats are the
+// JSONL dumps the harness writes, a JSON array of events, and the
+// {"node":..., "events":[...]} object the debug endpoint serves. All
+// inputs are merged into one time-ordered stream before assembly, so
+// dumps from different nodes of one run stitch into single trees.
+//
+// With -trace <hex-id> only that trace is rendered; -json emits the
+// assembled trees as JSON instead of text. Exit status: 0 when at least
+// one trace assembled, 1 on usage errors or when no input carries any
+// sampled trace context (enable TraceOptions.SampleRate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/trace"
+)
+
+// urlList collects repeatable -url flags.
+type urlList []string
+
+func (u *urlList) String() string     { return strings.Join(*u, ",") }
+func (u *urlList) Set(v string) error { *u = append(*u, v); return nil }
+
+func main() {
+	var urls urlList
+	flag.Var(&urls, "url", "fetch a live node's /debug/hraft/trace?format=json (repeatable)")
+	traceID := flag.String("trace", "", "render only this trace (hex ID)")
+	asJSON := flag.Bool("json", false, "emit assembled trees as JSON")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-URL fetch timeout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hraft-trace [-url host:port]... [-trace <hex-id>] [-json] [<dump.jsonl|dir|->...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 && len(urls) == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+	out, err := run(flag.Args(), urls, *traceID, *asJSON, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hraft-trace:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+// run loads every source, assembles the merged stream into trace trees
+// and renders them; factored from main so tests drive it directly.
+func run(args []string, urls []string, traceID string, asJSON bool, timeout time.Duration) (string, error) {
+	var streams [][]trace.Event
+	for _, arg := range args {
+		sources, err := expand(arg)
+		if err != nil {
+			return "", err
+		}
+		for _, src := range sources {
+			events, err := load(src)
+			if err != nil {
+				return "", err
+			}
+			if len(events) > 0 {
+				streams = append(streams, events)
+			}
+		}
+	}
+	client := &http.Client{Timeout: timeout}
+	for _, u := range urls {
+		events, err := fetch(client, u)
+		if err != nil {
+			return "", err
+		}
+		if len(events) > 0 {
+			streams = append(streams, events)
+		}
+	}
+	trees := trace.AssembleTraces(trace.Merge(streams...))
+	if traceID != "" {
+		id, err := parseTraceID(traceID)
+		if err != nil {
+			return "", err
+		}
+		filtered := trees[:0]
+		for _, t := range trees {
+			if t.ID == id {
+				filtered = append(filtered, t)
+			}
+		}
+		trees = filtered
+		if len(trees) == 0 {
+			return "", fmt.Errorf("no events for trace %016x in any input", id)
+		}
+	}
+	if len(trees) == 0 {
+		return "", fmt.Errorf("no sampled trace context in any input (set TraceOptions.SampleRate)")
+	}
+	if asJSON {
+		data, err := json.MarshalIndent(trees, "", "  ")
+		if err != nil {
+			return "", err
+		}
+		return string(data) + "\n", nil
+	}
+	return trace.FormatTrees(trees), nil
+}
+
+// parseTraceID accepts the %016x rendering used everywhere (an optional
+// 0x prefix is tolerated).
+func parseTraceID(s string) (uint64, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "0x")
+	var id uint64
+	if _, err := fmt.Sscanf(s, "%x", &id); err != nil || id == 0 {
+		return 0, fmt.Errorf("invalid trace ID %q (expect non-zero hex)", s)
+	}
+	return id, nil
+}
+
+// fetch pulls one live node's ring via its debug endpoint.
+func fetch(client *http.Client, base string) ([]trace.Event, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimSuffix(base, "/") + "/debug/hraft/trace?format=json"
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	events, err := trace.ParseEvents(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return events, nil
+}
+
+// expand resolves one argument into dump sources: "-" stays stdin, a
+// directory becomes its *.json/*.jsonl entries, anything else is a file.
+func expand(arg string) ([]string, error) {
+	if arg == "-" {
+		return []string{arg}, nil
+	}
+	fi, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !fi.IsDir() {
+		return []string{arg}, nil
+	}
+	entries, err := os.ReadDir(arg)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if name := e.Name(); strings.HasSuffix(name, ".jsonl") || strings.HasSuffix(name, ".json") {
+			out = append(out, filepath.Join(arg, name))
+		}
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no *.json or *.jsonl dumps", arg)
+	}
+	return out, nil
+}
+
+func load(src string) ([]trace.Event, error) {
+	var data []byte
+	var err error
+	if src == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return nil, err
+	}
+	events, err := trace.ParseEvents(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", src, err)
+	}
+	return events, nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hraft-io/hraft/internal/harness"
+	"github.com/hraft-io/hraft/internal/trace"
+	"github.com/hraft-io/hraft/internal/types"
+)
+
+// sampledDump runs a 3-node cluster with every proposal sampled, proposes
+// once from a follower, and writes each node's ring as a JSONL dump into
+// dir — the same per-run artifact layout a $HRAFT_TRACE_DIR collection
+// produces.
+func sampledDump(t *testing.T, dir string) {
+	t.Helper()
+	c, err := harness.NewCluster(harness.Options{
+		Kind:        harness.KindRaft,
+		Nodes:       []types.NodeID{"n1", "n2", "n3"},
+		Seed:        21,
+		Trace:       true,
+		TraceSample: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	leader, ok := c.WaitForLeader(5 * time.Second)
+	if !ok {
+		t.Fatal("no leader")
+	}
+	var follower types.NodeID
+	for _, id := range []types.NodeID{"n1", "n2", "n3"} {
+		if id != leader {
+			follower = id
+			break
+		}
+	}
+	pid, err := c.Propose(follower, []byte("dumped-op"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.AwaitResolution(follower, pid, c.Sched.Now()+30*time.Second); !ok {
+		t.Fatalf("proposal %s never resolved", pid)
+	}
+	c.RunFor(2 * time.Second)
+	for _, id := range []types.NodeID{"n1", "n2", "n3"} {
+		data, err := trace.FormatJSONL(c.TraceSnapshot(id))
+		if err != nil {
+			t.Fatalf("encode %s: %v", id, err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s.trace.jsonl", id))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunRendersClusterDump is the acceptance path: hraft-trace pointed at
+// a directory of per-node dumps stitches them into one tree naming every
+// node with per-hop latency attribution.
+func TestRunRendersClusterDump(t *testing.T) {
+	dir := t.TempDir()
+	sampledDump(t, dir)
+	out, err := run([]string{dir}, nil, "", false, time.Second)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.HasPrefix(out, "trace ") {
+		t.Fatalf("unexpected rendering:\n%s", out)
+	}
+	// The proposal's tree spans all three nodes on one header line.
+	if !strings.Contains(out, "nodes=n1,n2,n3") {
+		t.Fatalf("no tree spans all 3 nodes:\n%s", out)
+	}
+	for _, want := range []string{"hop forward", "hop append", "hop replicate", "hop ack", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, out)
+		}
+	}
+
+	// -trace filters to exactly one tree; an unknown ID is an error.
+	id := strings.Fields(out)[1]
+	one, err := run([]string{dir}, nil, id, false, time.Second)
+	if err != nil {
+		t.Fatalf("run -trace %s: %v", id, err)
+	}
+	if n := strings.Count(one, "trace "); n != 1 {
+		t.Fatalf("-trace %s rendered %d trees:\n%s", id, n, one)
+	}
+	if _, err := run([]string{dir}, nil, "deadbeefdeadbeef", false, time.Second); err == nil {
+		t.Fatal("unknown trace ID did not error")
+	}
+
+	// -json emits the assembled trees as JSON.
+	jsonOut, err := run([]string{dir}, nil, "", true, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonOut, `"nodes"`) || !strings.Contains(jsonOut, `"root"`) {
+		t.Fatalf("JSON output suspect:\n%s", jsonOut)
+	}
+}
+
+func TestRunRejectsTracelessInput(t *testing.T) {
+	dir := t.TempDir()
+	// A dump with events but no trace context (sampling off).
+	if err := os.WriteFile(filepath.Join(dir, "plain.jsonl"),
+		[]byte(`{"seq":1,"at":1000,"node":"n1","type":"role","arg":2}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := run([]string{dir}, nil, "", false, time.Second)
+	if err == nil || !strings.Contains(err.Error(), "SampleRate") {
+		t.Fatalf("traceless input error suspect: %v", err)
+	}
+}
+
+func TestParseTraceID(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"00ab54a98ceb1f0a", 0xab54a98ceb1f0a, true},
+		{"0xab54a98ceb1f0a", 0xab54a98ceb1f0a, true},
+		{" ab54a98ceb1f0a ", 0xab54a98ceb1f0a, true},
+		{"0", 0, false},
+		{"not-hex", 0, false},
+		{"", 0, false},
+	} {
+		got, err := parseTraceID(tc.in)
+		if tc.ok != (err == nil) || got != tc.want {
+			t.Errorf("parseTraceID(%q) = %x, %v; want %x ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

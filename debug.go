@@ -14,6 +14,7 @@ import (
 
 	"github.com/hraft-io/hraft/internal/audit"
 	"github.com/hraft-io/hraft/internal/runtime"
+	"github.com/hraft-io/hraft/internal/stats"
 	"github.com/hraft-io/hraft/internal/trace"
 )
 
@@ -45,6 +46,14 @@ type TraceOptions struct {
 	SlowOp time.Duration
 	// Logger receives slow-op reports (nil = slog.Default()).
 	Logger *slog.Logger
+	// SampleRate enables wire-propagated causal tracing: every
+	// SampleRate-th proposal or read minted on this node gets a TraceID
+	// that rides the wire (entries, reads, snapshot chunks) and is
+	// recorded as hop events on every node it touches — assemble the
+	// cross-node trees with AssembleTraces, /debug/hraft/trace?trace=<id>
+	// or cmd/hraft-trace. 0 disables sampling (the default: zero trace
+	// bytes on the wire, encode paths unchanged); 1 samples everything.
+	SampleRate int
 }
 
 // TraceEvent is one recorded protocol event: monotonic sequence number,
@@ -63,10 +72,11 @@ func newRecorder(id NodeID, o *TraceOptions) (*trace.Recorder, *audit.Auditor) {
 		return nil, nil
 	}
 	rec := trace.New(trace.Config{
-		Node:   string(id),
-		Size:   o.Size,
-		SlowOp: o.SlowOp,
-		Logger: o.Logger,
+		Node:       string(id),
+		Size:       o.Size,
+		SlowOp:     o.SlowOp,
+		Logger:     o.Logger,
+		SampleRate: o.SampleRate,
 	})
 	aud := audit.New(audit.Options{})
 	aud.AttachTo(rec)
@@ -90,6 +100,33 @@ type AuditViolation = audit.Violation
 func MergeTraces(snapshots ...[]TraceEvent) []TraceEvent {
 	return trace.Merge(snapshots...)
 }
+
+// TraceTree is one sampled operation's assembled cross-node journey: the
+// causally ordered spans a wire-propagated TraceID left on every node it
+// touched (see TraceOptions.SampleRate and AssembleTraces).
+type TraceTree = trace.TraceTree
+
+// TraceSpan is one node of a TraceTree: a trace-stamped event plus the
+// latency gap since its causal parent.
+type TraceSpan = trace.TraceSpan
+
+// AssembleTraces groups merged events by trace ID and builds one causally
+// ordered tree per sampled operation — propose, forward, append,
+// replicate, acks, commit, apply across every node, with per-hop
+// latencies. Feed it MergeTraces output (or a single ring snapshot for a
+// one-node view).
+func AssembleTraces(events []TraceEvent) []*TraceTree {
+	return trace.AssembleTraces(events)
+}
+
+// FormatTraceTrees renders assembled traces as indented per-hop latency
+// breakdowns, one block per trace.
+func FormatTraceTrees(trees []*TraceTree) string { return trace.FormatTrees(trees) }
+
+// RollingStats is a sliding-window rate/latency aggregate over roughly
+// the last 16 seconds — the live complement of the cumulative hist.*
+// metrics, served per consensus group in DebugTop.
+type RollingStats = stats.RollingSnapshot
 
 // FormatTrace renders events one per line: timestamp, node label, event
 // type, details.
@@ -338,6 +375,54 @@ func DebugHandler(src StatusSource, opts ...DebugOption) http.Handler {
 		if rs, ok := src.(interface{ Recorder() *TraceRecorder }); ok {
 			rec = rs.Recorder()
 		}
+		if v := r.URL.Query().Get("trace"); v != "" {
+			// One sampled trace, assembled into its causal tree.
+			id, err := strconv.ParseUint(v, 16, 64)
+			if err != nil || id == 0 {
+				http.Error(w, "trace must be a non-zero hex trace ID", http.StatusBadRequest)
+				return
+			}
+			for _, t := range AssembleTraces(rec.Snapshot()) {
+				if t.ID == id {
+					w.Header().Set("Content-Type", "application/json")
+					enc := json.NewEncoder(w)
+					enc.SetIndent("", "  ")
+					_ = enc.Encode(t)
+					return
+				}
+			}
+			http.Error(w, "no events for that trace ID in the retained ring", http.StatusNotFound)
+			return
+		}
+		if v := r.URL.Query().Get("since"); v != "" {
+			// Incremental cursor: events with Seq >= since, plus how many
+			// the ring overwrote past the cursor. Pollers resume at next.
+			since, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "since must be a non-negative integer sequence number", http.StatusBadRequest)
+				return
+			}
+			events, dropped := rec.SnapshotSince(since)
+			next := since + dropped + uint64(len(events))
+			if events == nil {
+				events = []TraceEvent{}
+			}
+			doc := struct {
+				Node    string       `json:"node"`
+				Since   uint64       `json:"since"`
+				Next    uint64       `json:"next"`
+				Dropped uint64       `json:"dropped"`
+				Events  []TraceEvent `json:"events"`
+			}{rec.Label(), since, next, dropped, events}
+			data, err := json.Marshal(doc)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+			return
+		}
 		events := rec.Snapshot()
 		if r.URL.Query().Get("format") == "json" {
 			if events == nil {
@@ -403,12 +488,170 @@ func DebugHandler(src StatusSource, opts ...DebugOption) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(clusterStatus(src, cfg))
 	})
+	mux.HandleFunc("/debug/hraft/top", func(w http.ResponseWriter, _ *http.Request) {
+		ts, ok := src.(interface{ DebugTop() DebugTop })
+		if !ok {
+			http.Error(w, "live stats not supported by this node type", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ts.DebugTop())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// DebugTopGroup is one consensus group's row in DebugTop: the group's
+// consensus view plus its sliding-window proposal aggregates.
+type DebugTopGroup struct {
+	// Group names the consensus group (empty for single-group nodes).
+	Group       string `json:"group,omitempty"`
+	Role        string `json:"role"`
+	Term        uint64 `json:"term"`
+	Leader      string `json:"leader,omitempty"`
+	CommitIndex uint64 `json:"commit_index"`
+	LastIndex   uint64 `json:"last_index"`
+	// CommitLag is LastIndex minus CommitIndex: appended-but-uncommitted
+	// depth, the first thing to climb when replication stalls.
+	CommitLag uint64 `json:"commit_lag"`
+	// Proposals is the group's propose→apply window: rate plus p50/p99
+	// over roughly the last 16 seconds.
+	Proposals RollingStats `json:"proposals"`
+}
+
+// DebugTop is the document served as JSON at /debug/hraft/top: per-group
+// live rate/latency aggregates plus process-wide durability stats — the
+// one-poll shape cmd/hraft-top renders into a cluster console.
+type DebugTop struct {
+	Node   string          `json:"node"`
+	Groups []DebugTopGroup `json:"groups"`
+	// FsyncBatchAvg is the mean records-per-fsync since start (group
+	// commit effectiveness; 0 = no fsyncs observed or async storage).
+	FsyncBatchAvg float64 `json:"fsync_batch_avg,omitempty"`
+	// TraceDropped counts flight-recorder events overwritten past a
+	// /debug/hraft/trace?since= poller's cursor (cumulative).
+	TraceDropped uint64 `json:"trace_events_dropped,omitempty"`
+}
+
+// pickLive selects the group's sliding-window snapshot from a recorder's
+// LiveStats map: the exact group key when present, otherwise the busiest
+// window (rings shared across derived labels aggregate under one key).
+func pickLive(live map[string]RollingStats, group string) RollingStats {
+	if s, ok := live[group]; ok {
+		return s
+	}
+	keys := make([]string, 0, len(live))
+	for k := range live {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var best RollingStats
+	for _, k := range keys {
+		if live[k].Count > best.Count {
+			best = live[k]
+		}
+	}
+	return best
+}
+
+// fillTopMetrics folds the cumulative metrics DebugTop surfaces (fsync
+// batch effectiveness, trace-ring drop accounting) into the document.
+func fillTopMetrics(t *DebugTop, m map[string]uint64) {
+	var sum, count uint64
+	for k, v := range m {
+		switch {
+		case strings.HasSuffix(k, "hist.fsync_batch_size.sum"):
+			sum += v
+		case strings.HasSuffix(k, "hist.fsync_batch_size.count"):
+			count += v
+		case strings.HasSuffix(k, "trace.events_dropped"):
+			t.TraceDropped += v
+		}
+	}
+	if count > 0 {
+		t.FsyncBatchAvg = float64(sum) / float64(count)
+	}
+}
+
+// DebugTop snapshots the node's live rate/latency aggregates (served at
+// /debug/hraft/top). Safe from any goroutine.
+func (n *Node) DebugTop() DebugTop {
+	var t DebugTop
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		g := DebugTopGroup{
+			Role:        n.fr.Role().String(),
+			Term:        uint64(n.fr.Term()),
+			Leader:      string(n.fr.LeaderID()),
+			CommitIndex: uint64(n.fr.CommitIndex()),
+			LastIndex:   uint64(n.fr.LastIndex()),
+		}
+		g.CommitLag = g.LastIndex - g.CommitIndex
+		g.Proposals = pickLive(n.fr.Recorder().LiveStats(now), n.fr.Recorder().Group())
+		t = DebugTop{Node: string(n.fr.ID()), Groups: []DebugTopGroup{g}}
+	})
+	fillTopMetrics(&t, n.Metrics())
+	return t
+}
+
+// DebugTop snapshots the node's live rate/latency aggregates (served at
+// /debug/hraft/top). Safe from any goroutine.
+func (n *RaftNode) DebugTop() DebugTop {
+	var t DebugTop
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		g := DebugTopGroup{
+			Role:        n.rn.Role().String(),
+			Term:        uint64(n.rn.Term()),
+			Leader:      string(n.rn.LeaderID()),
+			CommitIndex: uint64(n.rn.CommitIndex()),
+			LastIndex:   uint64(n.rn.LastIndex()),
+		}
+		g.CommitLag = g.LastIndex - g.CommitIndex
+		g.Proposals = pickLive(n.rn.Recorder().LiveStats(now), n.rn.Recorder().Group())
+		t = DebugTop{Node: string(n.rn.ID()), Groups: []DebugTopGroup{g}}
+	})
+	fillTopMetrics(&t, n.Metrics())
+	return t
+}
+
+// DebugTop snapshots the site's live rate/latency aggregates across both
+// consensus layers (served at /debug/hraft/top). Safe from any goroutine.
+func (n *CRaftNode) DebugTop() DebugTop {
+	var t DebugTop
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		live := n.cn.Recorder().LiveStats(now)
+		local := DebugTopGroup{
+			Group:       "local",
+			Role:        n.cn.Role().String(),
+			Term:        uint64(n.cn.Term()),
+			Leader:      string(n.cn.LeaderID()),
+			CommitIndex: uint64(n.cn.CommitIndex()),
+			LastIndex:   uint64(n.cn.LocalLastIndex()),
+			Proposals:   pickLive(live, "local"),
+		}
+		local.CommitLag = local.LastIndex - local.CommitIndex
+		t = DebugTop{Node: string(n.cn.ID()), Groups: []DebugTopGroup{local}}
+		if n.cn.IsGlobalMember() {
+			global := DebugTopGroup{
+				Group:       "global",
+				Role:        n.cn.GlobalRole().String(),
+				Term:        uint64(n.cn.GlobalTerm()),
+				CommitIndex: uint64(n.cn.GlobalCommitIndex()),
+				// The replayed global log has no last-index view here; lag
+				// stays 0 and LastIndex mirrors the commit point.
+				LastIndex: uint64(n.cn.GlobalCommitIndex()),
+				Proposals: pickLive(live, "global"),
+			}
+			t.Groups = append(t.Groups, global)
+		}
+	})
+	fillTopMetrics(&t, n.Metrics())
+	return t
 }
 
 // DebugClusterPeer is one node's row in the /debug/hraft/cluster

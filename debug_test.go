@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -149,5 +150,143 @@ func TestDebugHandlerClusterEndpoint(t *testing.T) {
 	DebugHandler(local).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/cluster", nil))
 	if rec.Code != http.StatusNotFound {
 		t.Fatalf("peerless cluster endpoint served %d, want 404", rec.Code)
+	}
+}
+
+// TestDebugHandlerTraceSinceCursor pins /debug/hraft/trace?since=<seq>:
+// incremental fetches return only events at or after the cursor plus the
+// next cursor to poll from, and a wrapped ring reports the drop count
+// instead of silently skipping.
+func TestDebugHandlerTraceSinceCursor(t *testing.T) {
+	r := trace.New(trace.Config{Node: "n1", Size: 16})
+	r.ElectionStart(1*time.Millisecond, 2)
+	r.ElectionWon(2*time.Millisecond, 2, "n1", 3)
+	r.ElectionStart(3*time.Millisecond, 4)
+	h := DebugHandler(&stubDebugSource{rec: r})
+
+	get := func(url string) (struct {
+		Node    string       `json:"node"`
+		Since   uint64       `json:"since"`
+		Next    uint64       `json:"next"`
+		Dropped uint64       `json:"dropped"`
+		Events  []TraceEvent `json:"events"`
+	}, int) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+		var doc struct {
+			Node    string       `json:"node"`
+			Since   uint64       `json:"since"`
+			Next    uint64       `json:"next"`
+			Dropped uint64       `json:"dropped"`
+			Events  []TraceEvent `json:"events"`
+		}
+		if rec.Code == http.StatusOK {
+			if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+				t.Fatalf("decode %s: %v\n%s", url, err, rec.Body.String())
+			}
+		}
+		return doc, rec.Code
+	}
+
+	full, code := get("/debug/hraft/trace?since=0")
+	if code != http.StatusOK || len(full.Events) != 3 || full.Dropped != 0 {
+		t.Fatalf("since=0: code=%d events=%d dropped=%d", code, len(full.Events), full.Dropped)
+	}
+	// Resume from the second event's sequence number: only the tail comes
+	// back, and next advances past the last event.
+	cursor := full.Events[1].Seq
+	part, _ := get("/debug/hraft/trace?since=" + strconv.FormatUint(cursor, 10))
+	if len(part.Events) != 2 || part.Events[0].Seq != cursor {
+		t.Fatalf("since=%d returned %+v", cursor, part.Events)
+	}
+	if want := cursor + uint64(len(part.Events)); part.Next != want {
+		t.Fatalf("next = %d, want %d", part.Next, want)
+	}
+	// Polling from next is empty until something new is recorded.
+	empty, _ := get("/debug/hraft/trace?since=" + strconv.FormatUint(part.Next, 10))
+	if len(empty.Events) != 0 || empty.Next != part.Next {
+		t.Fatalf("poll at next=%d returned %d events, next=%d", part.Next, len(empty.Events), empty.Next)
+	}
+
+	// Garbage cursors are a 400, not a panic.
+	if _, code := get("/debug/hraft/trace?since=banana"); code != http.StatusBadRequest {
+		t.Fatalf("bad cursor served %d, want 400", code)
+	}
+}
+
+// TestDebugHandlerTraceTree pins /debug/hraft/trace?trace=<hex-id>: one
+// sampled operation's assembled causal tree served as JSON, 404 for IDs
+// the ring no longer holds.
+func TestDebugHandlerTraceTree(t *testing.T) {
+	const tid = 0xAB54A98CEB1F0A
+	r := trace.New(trace.Config{Node: "n1", Size: 16})
+	r.TraceHop(1*time.Millisecond, tid, trace.HopForward, "n2", 0)
+	r.TraceHop(2*time.Millisecond, tid, trace.HopAppend, "", 7)
+	r.TraceHop(3*time.Millisecond, 0xFEED, trace.HopAppend, "", 8) // another trace
+	h := DebugHandler(&stubDebugSource{rec: r})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/trace?trace=00ab54a98ceb1f0a", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var tree TraceTree
+	if err := json.Unmarshal(rec.Body.Bytes(), &tree); err != nil {
+		t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+	}
+	if tree.ID != tid || tree.Root == nil || len(tree.Root.Children) != 1 ||
+		tree.Root.Children[0].Event.Index != 7 {
+		t.Fatalf("tree round-trip = %+v", tree)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/trace?trace=deadbeef", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace served %d, want 404", rec.Code)
+	}
+}
+
+// topDebugSource adds the live-stats surface to the stub.
+type topDebugSource struct {
+	stubDebugSource
+	top DebugTop
+}
+
+func (s *topDebugSource) DebugTop() DebugTop { return s.top }
+
+// TestDebugHandlerTopEndpoint pins /debug/hraft/top: the per-group live
+// aggregates served as JSON, 404 for node types without the surface.
+func TestDebugHandlerTopEndpoint(t *testing.T) {
+	src := &topDebugSource{top: DebugTop{
+		Node: "n1",
+		Groups: []DebugTopGroup{{
+			Group: "g0", Role: "leader", Term: 3, Leader: "n1",
+			CommitIndex: 41, LastIndex: 44, CommitLag: 3,
+			Proposals: RollingStats{Window: 16 * time.Second, Count: 320,
+				RatePerSec: 20, P50: 2 * time.Millisecond, P99: 9 * time.Millisecond},
+		}},
+		FsyncBatchAvg: 4.5,
+		TraceDropped:  7,
+	}}
+	rec := httptest.NewRecorder()
+	DebugHandler(src).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/top", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var got DebugTop
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+	}
+	if got.Node != "n1" || len(got.Groups) != 1 || got.Groups[0].CommitLag != 3 ||
+		got.Groups[0].Proposals.P99 != 9*time.Millisecond ||
+		got.FsyncBatchAvg != 4.5 || got.TraceDropped != 7 {
+		t.Fatalf("top round-trip = %+v", got)
+	}
+
+	// A source without live stats 404s.
+	rec = httptest.NewRecorder()
+	DebugHandler(&stubDebugSource{}).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/hraft/top", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("statless source served %d, want 404", rec.Code)
 	}
 }

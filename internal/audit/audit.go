@@ -67,12 +67,20 @@ type Violation struct {
 	// Window is a copy of the most recent events up to and including
 	// Event — the narrative leading into the breach.
 	Window []trace.Event `json:"window,omitempty"`
+	// TraceID is the offending proposal's sampled trace context (0 =
+	// unsampled), lifted from the completing event so the breach can be
+	// cross-referenced with its assembled cross-node trace.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // Error renders the violation as one line; Violation satisfies error so
 // harness plumbing can surface it directly.
 func (v Violation) Error() string {
-	return fmt.Sprintf("audit: %s violation: %s", v.Invariant, v.Detail)
+	s := fmt.Sprintf("audit: %s violation: %s", v.Invariant, v.Detail)
+	if v.TraceID != 0 {
+		s += fmt.Sprintf(" trace=%016x", v.TraceID)
+	}
+	return s
 }
 
 // Report renders the violation with its formatted event window.
@@ -395,7 +403,7 @@ func identity(e trace.Event) types.NodeID {
 
 func (a *Auditor) violate(e trace.Event, invariant, detail string) {
 	a.counts[MetricPrefix+invariant]++
-	v := Violation{Invariant: invariant, Detail: detail, Event: e, Window: a.windowCopy()}
+	v := Violation{Invariant: invariant, Detail: detail, Event: e, Window: a.windowCopy(), TraceID: e.Trace}
 	if len(a.violations) < a.opts.MaxViolations {
 		a.violations = append(a.violations, v)
 	} else {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -79,7 +80,8 @@ func (n *Node) drainLocal(now time.Duration) bool {
 		}
 		switch e.Kind {
 		case types.KindNormal:
-			n.appLog = append(n.appLog, types.BatchItem{PID: e.PID, Data: e.Data})
+			n.appLog = append(n.appLog, types.BatchItem{PID: e.PID, Data: e.Data, Trace: e.TraceID})
+			n.cfg.Recorder.TraceHop(now, e.TraceID, trace.HopBatch, "", e.Index)
 			if n.oldestWait == 0 && len(n.appLog) > n.batchedItems {
 				n.oldestWait = now
 			}
@@ -171,6 +173,16 @@ func (n *Node) applyDelta(d types.GlobalStateDelta) {
 			}
 			n.globalCommitted = append(n.globalCommitted, ge.Clone())
 			n.gsRec.CommitEntry(n.now, n.gTerm, ge)
+			// Sampled batches carry their first traced item's context; the
+			// replay hop decodes only such batches (the common, unsampled
+			// case skips the decode entirely).
+			if ge.TraceID != 0 && ge.Kind == types.KindBatch {
+				if b, err := types.DecodeBatch(ge.Data); err == nil {
+					for _, it := range b.Items {
+						n.cfg.Recorder.TraceHop(n.now, it.Trace, trace.HopReplay, "", i)
+					}
+				}
+			}
 		}
 		n.gCommit = d.CommitIndex
 	}
@@ -193,6 +205,9 @@ func (n *Node) trackBatch(ge types.Entry) {
 		n.batchedItems += len(b.Items)
 		if b.Seq >= n.nextBatchSeq {
 			n.nextBatchSeq = b.Seq + 1
+		}
+		for _, it := range b.Items {
+			n.cfg.Recorder.TraceHop(n.now, it.Trace, trace.HopGlobalOrder, "", ge.Index)
 		}
 	}
 	n.ourBatches[b.Seq] = batchRecord{entry: ge.Clone(), items: len(b.Items)}
@@ -254,6 +269,14 @@ func (n *Node) proposeBatch(now time.Duration, size int) {
 	n.batchedItems += size
 	b := types.Batch{Cluster: n.cfg.Cluster, Seq: seq, Items: items}
 	entry := types.Entry{Kind: types.KindBatch, Data: types.EncodeBatch(b)}
+	// The batch entry itself travels under the first traced item's context,
+	// so the global-level journey joins that item's tree.
+	for _, it := range items {
+		if it.Trace != 0 {
+			entry.TraceID = it.Trace
+			break
+		}
+	}
 	pid := types.ProposalID{Proposer: n.cfg.Cluster, Seq: seq}
 	n.ourBatches[seq] = batchRecord{entry: entry.Clone(), items: size}
 	n.global.ProposeEntryPID(now, entry, pid)

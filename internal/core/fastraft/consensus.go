@@ -47,13 +47,16 @@ func (n *Node) ProposeEntryPID(now time.Duration, e types.Entry, pid types.Propo
 		return pid
 	}
 	e.PID = pid
+	if e.TraceID == 0 {
+		e.TraceID = n.rec.MintTrace()
+	}
 	p := &pendingProposal{
 		entry:    e.Clone(),
 		deadline: now + n.cfg.ProposalTimeout,
 		size:     types.EntryWireSize(e),
 	}
 	n.pending[pid] = p
-	n.rec.SpanStart(now, pid, n.term)
+	n.rec.SpanStart(now, pid, n.term, e.TraceID)
 	if !n.proposalWindowOpen(p) {
 		p.queued = true
 		n.proposalQueue = append(n.proposalQueue, pid)
@@ -239,6 +242,7 @@ func (n *Node) handleProposeLocally(m types.ProposeEntry) {
 			panic(fmt.Sprintf("fastraft %s: insert self: %v", n.cfg.ID, err))
 		}
 		n.persistEntry(idx)
+		n.rec.TraceHop(n.now, e.TraceID, trace.HopReplicate, e.PID.Proposer, idx)
 	}
 	// A vote is a durability promise — "I hold this entry" — so with group
 	// commit it is deferred until the insert's record is on disk. A follower
@@ -294,6 +298,7 @@ func (n *Node) recordVote(from types.NodeID, m types.VoteEntry) {
 		return // stale index
 	}
 	n.tally.AddVote(m.Index, from, m.Entry)
+	n.rec.TraceHop(n.now, m.Entry.TraceID, trace.HopAck, from, m.Index)
 	// Paper: reset the voter's nextIndex from its reported commit index so
 	// AppendEntries re-converges its log with the (possibly new) leader.
 	// The tracker ignores the reset while a snapshot transfer is pending —
@@ -375,6 +380,10 @@ func (n *Node) appendLeaderEntryAt(idx types.Index, e types.Entry) {
 	n.persistEntry(idx)
 	n.appendedAt[idx] = n.now
 	n.rec.SpanStage(n.now, e.PID, trace.StageAppend, idx)
+	if e.TraceID != 0 {
+		n.rec.TraceHop(n.now, e.TraceID, trace.HopAppend, "", idx)
+		n.rec.TraceAppendIndex(idx, e.TraceID)
+	}
 	n.recordSelfDurable()
 	if e.Kind == types.KindConfig {
 		n.onConfigChangedAsLeader()
@@ -474,6 +483,7 @@ func (n *Node) commitTo(k types.Index) {
 		}
 	}
 	n.commitIndex = k
+	n.rec.TraceCommitted(k)
 }
 
 // observeCommitted resolves local proposals and reacts to configuration
@@ -657,12 +667,14 @@ func (n *Node) applyLeaderEntry(e types.Entry) {
 			panic(fmt.Sprintf("fastraft %s: overwrite: %v", n.cfg.ID, err))
 		}
 		n.persistEntry(idx)
+		n.rec.TraceHop(n.now, e.TraceID, trace.HopReplicate, n.leaderID, idx)
 		return
 	}
 	if err := n.log.AppendLeader(idx, e); err != nil {
 		panic(fmt.Sprintf("fastraft %s: follower append: %v", n.cfg.ID, err))
 	}
 	n.persistEntry(idx)
+	n.rec.TraceHop(n.now, e.TraceID, trace.HopReplicate, n.leaderID, idx)
 }
 
 func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp) {
@@ -686,6 +698,7 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 		if n.rec != nil && m.MatchIndex > pr.Match() {
 			n.rec.AppendAck(n.now, m.Term, from, m.MatchIndex, m.Round)
 		}
+		n.rec.TraceAck(n.now, from, m.MatchIndex)
 		pr.AckAppend(m.MatchIndex, n.now)
 	}
 	// Any same-term response confirms leadership at the round's dispatch

@@ -188,6 +188,11 @@ type Node struct {
 	// restarts the clock instead of inheriting the dead stream's start.
 	installBoundary types.Index
 	installCheck    uint32
+	// snapStreamTrace (leader) and installTrace (follower) carry the
+	// sampled trace context of an in-flight snapshot stream, so every
+	// chunk and the final install land in the same trace tree.
+	snapStreamTrace map[types.NodeID]uint64
+	installTrace    uint64
 
 	// Linearizable read state (see read.go and internal/readpath). reads
 	// is the node-lifetime frontend; readMgr is leader-only, like the
@@ -854,6 +859,7 @@ func (n *Node) becomeLeader() {
 	// previous term is never pinned or streamed.
 	n.snapEnc.Release()
 	n.appendedAt = make(map[types.Index]time.Duration)
+	n.snapStreamTrace = make(map[types.NodeID]uint64)
 	n.progress = replica.NewTracker(replica.Config{
 		MaxInflight:      n.cfg.MaxInflightAppends,
 		MaxInflightBytes: n.cfg.MaxInflightBytes,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/hraft-io/hraft/internal/replica"
+	"github.com/hraft-io/hraft/internal/trace"
 	"github.com/hraft-io/hraft/internal/types"
 )
 
@@ -82,15 +83,29 @@ func (n *Node) sendSnapshotTo(to types.NodeID) bool {
 	msgs := n.progress.SnapshotMessages(to, n.snap, enc, check,
 		n.term, n.cfg.ID, n.aeRound, n.now)
 	for _, m := range msgs {
-		if n.rec != nil {
-			b := m.Boundary
-			if b == 0 {
-				b = n.snap.Meta.LastIndex
-			}
-			if m.Offset == 0 {
+		b := m.Boundary
+		if b == 0 {
+			b = n.snap.Meta.LastIndex
+		}
+		if m.Offset == 0 {
+			if n.rec != nil {
 				n.rec.SnapStreamStart(n.now, n.term, to, b)
 			}
+			// Mint one trace per stream; every chunk and the follower's
+			// install share it.
+			if tid := n.rec.MintTrace(); tid != 0 && n.snapStreamTrace != nil {
+				n.snapStreamTrace[to] = tid
+			}
+		}
+		if n.snapStreamTrace != nil {
+			m.Trace = n.snapStreamTrace[to]
+		}
+		if n.rec != nil {
 			n.rec.SnapChunk(n.now, to, b, m.Offset, m.Done)
+			n.rec.TraceHop(n.now, m.Trace, trace.HopSnapChunk, to, b)
+		}
+		if m.Done {
+			delete(n.snapStreamTrace, to)
 		}
 		n.send(to, m)
 	}
@@ -124,6 +139,10 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	n.lastLeaderContact = n.now
 	n.lonelyElections = 0
 	n.resetElectionTimer()
+	if m.Trace != 0 {
+		n.installTrace = m.Trace
+		n.rec.TraceHop(n.now, m.Trace, trace.HopSnapChunk, from, boundary)
+	}
 	if boundary <= n.commitIndex {
 		// Already have this prefix (duplicate or raced AppendEntries); just
 		// tell the leader where we are.
@@ -169,6 +188,8 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	n.metrics.Inc(replica.CounterInstalls)
 	n.installHist.Observe(n.now - n.installStart)
 	n.rec.SnapInstall(n.now, snap.Meta.LastIndex, n.now-n.installStart)
+	n.rec.TraceHop(n.now, n.installTrace, trace.HopSnapInstall, from, snap.Meta.LastIndex)
+	n.installTrace = 0
 	n.installStart = 0
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)

@@ -109,6 +109,9 @@ type Options struct {
 	// TraceRing overrides the per-node recorder ring capacity (0 = the
 	// trace package default, or $HRAFT_TRACE_RING when set).
 	TraceRing int
+	// TraceSample samples every Nth proposal/read with a wire-propagated
+	// trace ID (0 = no sampling); requires Trace.
+	TraceSample int
 	// Audit selects the safety-auditor mode; the zero value is strict
 	// auditing, so every cluster is audited unless a test opts out.
 	Audit AuditMode
@@ -256,7 +259,7 @@ func (c *Cluster) addHost(id types.NodeID, bootstrap types.Config) (*Host, error
 		h.gstore = storage.NewGroupedMemory(h.store)
 	}
 	if c.opts.Trace || c.Audit != nil {
-		h.rec = trace.New(trace.Config{Node: string(id), Size: c.opts.TraceRing})
+		h.rec = trace.New(trace.Config{Node: string(id), Size: c.opts.TraceRing, SampleRate: c.opts.TraceSample})
 		c.Audit.AttachTo(h.rec)
 	}
 	m, err := c.makeMachine(id, bootstrap, h.storage(), h.rec)

@@ -74,6 +74,9 @@ type CraftOptions struct {
 	// TraceRing overrides the per-site recorder ring capacity (0 = the
 	// trace package default, or $HRAFT_TRACE_RING when set).
 	TraceRing int
+	// TraceSample samples every Nth proposal/read with a wire-propagated
+	// trace ID (0 = no sampling); requires Trace.
+	TraceSample int
 	// Audit selects the safety-auditor mode; the zero value is strict
 	// auditing, so every deployment is audited unless a test opts out.
 	Audit AuditMode
@@ -225,7 +228,7 @@ func (c *CraftCluster) addSite(spec ClusterSpec, site types.NodeID, globalBootst
 		readDone:     make(map[uint64]types.ReadDone),
 	}
 	if c.opts.Trace || c.Audit != nil {
-		h.rec = trace.New(trace.Config{Node: string(site), Size: c.opts.TraceRing})
+		h.rec = trace.New(trace.Config{Node: string(site), Size: c.opts.TraceRing, SampleRate: c.opts.TraceSample})
 		c.Audit.AttachTo(h.rec)
 	}
 	node, err := c.makeNode(spec, site, globalBootstrap, h.store, h.rec)

@@ -211,6 +211,11 @@ type Node struct {
 	// restarts the clock instead of inheriting the dead stream's start.
 	installBoundary types.Index
 	installCheck    uint32
+	// snapStreamTrace (leader) and installTrace (follower) carry the
+	// sampled trace context of an in-flight snapshot stream, so every
+	// chunk and the final install land in the same trace tree.
+	snapStreamTrace map[types.NodeID]uint64
+	installTrace    uint64
 
 	// Linearizable read state (see read.go and internal/readpath). reads
 	// is the node-lifetime frontend; readMgr is leader-only, like the
@@ -461,8 +466,9 @@ func (n *Node) Propose(now time.Duration, data []byte) types.ProposalID {
 	n.proposalSeq++
 	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
 	e := types.Entry{Kind: types.KindNormal, PID: pid, Data: append([]byte(nil), data...)}
+	e.TraceID = n.rec.MintTrace()
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
-	n.rec.SpanStart(now, pid, n.term)
+	n.rec.SpanStart(now, pid, n.term, e.TraceID)
 	n.submit(e)
 	return pid
 }
@@ -478,8 +484,9 @@ func (n *Node) OpenSession(now time.Duration) types.ProposalID {
 	n.proposalSeq++
 	pid := types.ProposalID{Proposer: n.cfg.ID, Seq: n.proposalSeq}
 	e := types.Entry{Kind: types.KindSessionOpen, PID: pid}
+	e.TraceID = n.rec.MintTrace()
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
-	n.rec.SpanStart(now, pid, n.term)
+	n.rec.SpanStart(now, pid, n.term, e.TraceID)
 	n.submit(e)
 	return pid
 }
@@ -506,8 +513,9 @@ func (n *Node) ProposeSession(now time.Duration, sid types.SessionID, seq, ack u
 		SessionAck: ack,
 		Data:       append([]byte(nil), data...),
 	}
+	e.TraceID = n.rec.MintTrace()
 	n.pending[pid] = &pendingProposal{entry: e, deadline: now + n.cfg.ProposalTimeout}
-	n.rec.SpanStart(now, pid, n.term)
+	n.rec.SpanStart(now, pid, n.term, e.TraceID)
 	n.submit(e)
 	return pid
 }
@@ -520,6 +528,7 @@ func (n *Node) submit(e types.Entry) {
 		return
 	}
 	if n.leaderID != types.None && n.leaderID != n.cfg.ID {
+		n.rec.TraceHop(n.now, e.TraceID, trace.HopForward, n.leaderID, 0)
 		n.send(n.leaderID, types.ClientPropose{Entry: e.Clone()})
 	}
 	// Leader unknown: the retry timer will re-submit.
@@ -654,6 +663,7 @@ func (n *Node) becomeFollower(term types.Term, leader types.NodeID) {
 	n.progress = nil
 	n.snapEnc.Release()
 	n.appendedAt = nil
+	n.snapStreamTrace = nil
 	n.notifyQueue = nil
 	n.tickDeadline = 0
 	n.resetElectionTimer()
@@ -778,6 +788,7 @@ func (n *Node) becomeLeader() {
 	// previous term is never pinned or streamed.
 	n.snapEnc.Release()
 	n.appendedAt = make(map[types.Index]time.Duration)
+	n.snapStreamTrace = make(map[types.NodeID]uint64)
 	cfg := n.Config()
 	n.progress = replica.NewTracker(replica.Config{
 		MaxInflight:      n.cfg.MaxInflightAppends,
@@ -840,6 +851,10 @@ func (n *Node) leaderAppend(e types.Entry) {
 	n.persistEntry(stored)
 	n.appendedAt[idx] = n.now
 	n.rec.SpanStage(n.now, e.PID, trace.StageAppend, idx)
+	if e.TraceID != 0 && n.rec != nil {
+		n.rec.TraceHop(n.now, e.TraceID, trace.HopAppend, "", idx)
+		n.rec.TraceAppendIndex(idx, e.TraceID)
+	}
 	n.recordSelfDurable()
 }
 
@@ -904,6 +919,9 @@ func (n *Node) commitTo(k types.Index) {
 		}
 	}
 	n.commitIndex = k
+	if n.rec != nil {
+		n.rec.TraceCommitted(k)
+	}
 }
 
 // applySessionCommit folds one committed entry into the session registry,
@@ -1138,6 +1156,7 @@ func (n *Node) onAppendEntries(from types.NodeID, m types.AppendEntries) {
 		}
 		stored, _ := n.log.Get(e.Index)
 		n.persistEntry(stored)
+		n.rec.TraceHop(n.now, e.TraceID, trace.HopReplicate, from, e.Index)
 	}
 	match := m.PrevLogIndex + types.Index(len(m.Entries))
 	if m.LeaderCommit > n.commitIndex {
@@ -1175,6 +1194,7 @@ func (n *Node) onAppendEntriesResp(from types.NodeID, m types.AppendEntriesResp)
 		if n.rec != nil && m.MatchIndex > pr.Match() {
 			n.rec.AppendAck(n.now, m.Term, from, m.MatchIndex, m.Round)
 		}
+		n.rec.TraceAck(n.now, from, m.MatchIndex)
 		pr.AckAppend(m.MatchIndex, n.now)
 	}
 	// Any same-term response confirms leadership at the round's dispatch
@@ -1266,15 +1286,29 @@ func (n *Node) sendSnapshotTo(peer types.NodeID) bool {
 	msgs := n.progress.SnapshotMessages(peer, n.snap, enc, check,
 		n.term, n.cfg.ID, n.aeRound, n.now)
 	for _, m := range msgs {
-		if n.rec != nil {
-			b := m.Boundary
-			if b == 0 {
-				b = n.snap.Meta.LastIndex
-			}
-			if m.Offset == 0 {
+		b := m.Boundary
+		if b == 0 {
+			b = n.snap.Meta.LastIndex
+		}
+		if m.Offset == 0 {
+			if n.rec != nil {
 				n.rec.SnapStreamStart(n.now, n.term, peer, b)
 			}
+			// Mint one trace per stream; every chunk and the follower's
+			// install share it.
+			if tid := n.rec.MintTrace(); tid != 0 && n.snapStreamTrace != nil {
+				n.snapStreamTrace[peer] = tid
+			}
+		}
+		if n.snapStreamTrace != nil {
+			m.Trace = n.snapStreamTrace[peer]
+		}
+		if n.rec != nil {
 			n.rec.SnapChunk(n.now, peer, b, m.Offset, m.Done)
+			n.rec.TraceHop(n.now, m.Trace, trace.HopSnapChunk, peer, b)
+		}
+		if m.Done {
+			delete(n.snapStreamTrace, peer)
 		}
 		n.send(peer, m)
 	}
@@ -1303,6 +1337,10 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	n.leaderID = m.LeaderID
 	n.lastLeaderContact = n.now
 	n.resetElectionTimer()
+	if m.Trace != 0 {
+		n.installTrace = m.Trace
+		n.rec.TraceHop(n.now, m.Trace, trace.HopSnapChunk, from, boundary)
+	}
 	if boundary <= n.commitIndex {
 		// Already have this prefix; just tell the leader where we are.
 		resp.LastIndex = n.commitIndex
@@ -1362,6 +1400,8 @@ func (n *Node) onInstallSnapshot(from types.NodeID, m types.InstallSnapshot) {
 	n.metrics.Inc(replica.CounterInstalls)
 	n.installHist.Observe(n.now - n.installStart)
 	n.rec.SnapInstall(n.now, snap.Meta.LastIndex, n.now-n.installStart)
+	n.rec.TraceHop(n.now, n.installTrace, trace.HopSnapInstall, from, snap.Meta.LastIndex)
+	n.installTrace = 0
 	n.installStart = 0
 	resp.LastIndex = snap.Meta.LastIndex
 	n.send(from, resp)

@@ -82,6 +82,10 @@ type readOrigin struct {
 	origin      types.NodeID
 	id          uint64
 	consistency types.ReadConsistency
+	// trace is the read's sampled trace context (0 = unsampled): minted at
+	// the origin, carried on the ReadSpec when forwarded, echoed on the
+	// ReadResult.
+	trace uint64
 }
 
 // remoteReadKey de-duplicates retried ReadRequests.
@@ -104,6 +108,9 @@ type pendingRead struct {
 	// deadline passes first.
 	held         bool
 	confirmedIdx types.Index
+	// trace is the sampled trace context minted when the read was issued
+	// (0 = unsampled).
+	trace uint64
 }
 
 // NewFrontend builds a frontend. seqStart seeds the token sequence (draw
@@ -136,19 +143,20 @@ func (f *Frontend) Read(now time.Duration, c types.ReadConsistency) uint64 {
 	}
 	f.seq++
 	id := f.seq
+	tid := f.rec.MintTrace()
 	if c == types.ReadStale {
 		f.counters.Inc(CounterStaleReads)
 		idx := f.nv.CommitIndex()
 		f.done = append(f.done, types.ReadDone{ID: id, Index: idx, OK: true})
-		f.rec.ReadServe(now, id, idx, true)
+		f.rec.ReadServe(now, id, idx, true, tid)
 		return id
 	}
 	if f.nv.IsLeader() && f.nv.Manager() != nil {
-		f.serve(readOrigin{origin: f.nv.Self, id: id, consistency: c}, now)
+		f.serve(readOrigin{origin: f.nv.Self, id: id, consistency: c, trace: tid}, now)
 		return id
 	}
-	f.pending[id] = &pendingRead{consistency: c, deadline: now + f.nv.RetryTimeout}
-	f.flushForwards()
+	f.pending[id] = &pendingRead{consistency: c, deadline: now + f.nv.RetryTimeout, trace: tid}
+	f.flushForwards(now)
 	return id
 }
 
@@ -173,7 +181,7 @@ func (f *Frontend) EachDeadline(visit func(time.Duration)) {
 // flushForwards ships every not-yet-sent pending read to the leader in a
 // single ReadRequest — unless a batch is already in flight, in which case
 // the reads wait and ride the next round-trip (or their retry deadline).
-func (f *Frontend) flushForwards() {
+func (f *Frontend) flushForwards(now time.Duration) {
 	if f.inFlight || len(f.pending) == 0 {
 		return
 	}
@@ -196,7 +204,10 @@ func (f *Frontend) flushForwards() {
 		p := f.pending[id]
 		p.sent = true
 		f.counters.Inc(CounterForwarded)
-		specs = append(specs, types.ReadSpec{ID: id, Consistency: p.consistency})
+		specs = append(specs, types.ReadSpec{ID: id, Consistency: p.consistency, Trace: p.trace})
+		if p.trace != 0 {
+			f.rec.TraceHop(now, p.trace, trace.HopReadForward, leader, 0)
+		}
 	}
 	f.nv.Send(leader, types.ReadRequest{Reads: specs})
 	f.inFlight = true
@@ -253,12 +264,12 @@ func (f *Frontend) serve(o readOrigin, now time.Duration) {
 // finish resolves one read toward its origin (a zero origin — a
 // superseded registration — is dropped by the core's send guard).
 func (f *Frontend) finish(o readOrigin, idx types.Index, ok bool, now time.Duration) {
-	f.rec.ReadServe(now, o.id, idx, ok)
+	f.rec.ReadServe(now, o.id, idx, ok, o.trace)
 	if o.origin == f.nv.Self {
 		f.done = append(f.done, types.ReadDone{ID: o.id, Index: idx, OK: ok})
 		return
 	}
-	f.queueReply(o.origin, types.ReadResult{ID: o.id, Index: idx, OK: ok})
+	f.queueReply(o.origin, types.ReadResult{ID: o.id, Index: idx, OK: ok, Trace: o.trace})
 }
 
 // Flush releases confirmed reads the commit index has caught up to — the
@@ -341,7 +352,7 @@ func (f *Frontend) Retry(now time.Duration) {
 	}
 	if refresh {
 		f.inFlight = false
-		f.flushForwards()
+		f.flushForwards(now)
 	}
 }
 
@@ -363,6 +374,9 @@ func (f *Frontend) OnReadRequest(from types.NodeID, m types.ReadRequest, now tim
 			// read.
 			c = types.ReadLinearizable
 		}
+		if spec.Trace != 0 {
+			f.rec.TraceHop(now, spec.Trace, trace.HopReadServe, from, 0)
+		}
 		if tok, dup := f.remoteKeys[remoteReadKey{from, spec.ID}]; dup {
 			// A retry supersedes the original registration: re-record at
 			// the current commit index instead of answering with the old
@@ -376,7 +390,7 @@ func (f *Frontend) OnReadRequest(from types.NodeID, m types.ReadRequest, now tim
 			delete(f.origins, tok)
 			delete(f.remoteKeys, remoteReadKey{from, spec.ID})
 		}
-		f.serve(readOrigin{origin: from, id: spec.ID, consistency: c}, now)
+		f.serve(readOrigin{origin: from, id: spec.ID, consistency: c, trace: spec.Trace}, now)
 	}
 	f.flushReplies()
 }
@@ -397,11 +411,11 @@ func (f *Frontend) releaseHeld(now time.Duration) {
 	}
 	sort.Slice(due, func(i, j int) bool { return due[i] < due[j] })
 	for _, id := range due {
-		idx := f.pending[id].confirmedIdx
+		p := f.pending[id]
 		delete(f.pending, id)
 		f.counters.Inc(CounterFollowerReads)
-		f.done = append(f.done, types.ReadDone{ID: id, Index: idx, OK: true})
-		f.rec.ReadServe(now, id, idx, true)
+		f.done = append(f.done, types.ReadDone{ID: id, Index: p.confirmedIdx, OK: true})
+		f.rec.ReadServe(now, id, p.confirmedIdx, true, p.trace)
 	}
 }
 
@@ -430,7 +444,7 @@ func (f *Frontend) OnReadReply(m types.ReadReply, now time.Duration) {
 				f.counters.Inc(CounterFollowerReads)
 			}
 			f.done = append(f.done, types.ReadDone{ID: r.ID, Index: r.Index, OK: true})
-			f.rec.ReadServe(now, r.ID, r.Index, true)
+			f.rec.ReadServe(now, r.ID, r.Index, true, p.trace)
 			continue
 		}
 		// The responder could not serve it (deposed or not leader): retry
@@ -438,5 +452,5 @@ func (f *Frontend) OnReadReply(m types.ReadReply, now time.Duration) {
 		p.deadline = now + f.nv.RetrySoon
 	}
 	f.inFlight = false
-	f.flushForwards()
+	f.flushForwards(now)
 }

@@ -1,0 +1,140 @@
+package stats
+
+import "time"
+
+// RollingWindow is the span the sliding-window aggregates cover: long
+// enough that a console polling every second or two sees stable rates,
+// short enough that a stall shows up within a few refreshes.
+const RollingWindow = 16 * time.Second
+
+// rollingBuckets is the number of time slices the window rotates through;
+// each slice covers RollingWindow / rollingBuckets.
+const rollingBuckets = 16
+
+// RollingSnapshot is one point-in-time view of a sliding window: the
+// observation rate and latency percentiles over (at most) the last
+// RollingWindow of caller time.
+type RollingSnapshot struct {
+	// Window is the span the snapshot covers.
+	Window time.Duration `json:"window"`
+	// Count is the number of observations inside the window.
+	Count uint64 `json:"count"`
+	// RatePerSec is Count divided by the window span.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// P50 and P99 are bucket-resolved latency percentiles over the window
+	// (upper bucket bounds, the same resolution the cumulative
+	// hist.stage_* histograms export).
+	P50 time.Duration `json:"p50"`
+	P99 time.Duration `json:"p99"`
+}
+
+// rollSlice is one time slice of the window: an observation count, a
+// latency sum, and per-bound counts sharing DefaultLatencyBounds.
+type rollSlice struct {
+	start  time.Duration
+	count  uint64
+	counts []uint64
+}
+
+// Rolling is a sliding-window latency aggregator: observations land in
+// fixed time slices that age out as caller time advances, so Snapshot
+// reflects only the recent past — the live complement of the cumulative
+// TimingHist. Time is caller-passed (virtual on the simulator). Like the
+// other types in this package it is not safe for concurrent use; the
+// trace recorder serializes access under its ring lock.
+type Rolling struct {
+	bounds []time.Duration
+	slices [rollingBuckets]rollSlice
+}
+
+// NewRolling builds an empty window over DefaultLatencyBounds.
+func NewRolling() *Rolling {
+	r := &Rolling{bounds: DefaultLatencyBounds()}
+	for i := range r.slices {
+		r.slices[i].counts = make([]uint64, len(r.bounds)+1)
+		r.slices[i].start = -1
+	}
+	return r
+}
+
+// sliceFor rotates to and returns the slice covering now, resetting it if
+// it last covered an older rotation of the wheel.
+func (r *Rolling) sliceFor(now time.Duration) *rollSlice {
+	width := RollingWindow / rollingBuckets
+	n := now / width
+	s := &r.slices[int(n)%rollingBuckets]
+	start := n * width
+	if s.start != start {
+		s.start = start
+		s.count = 0
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+	}
+	return s
+}
+
+// Observe records one observation of d at caller time now.
+func (r *Rolling) Observe(now, d time.Duration) {
+	s := r.sliceFor(now)
+	s.count++
+	i := 0
+	for i < len(r.bounds) && d > r.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+}
+
+// Snapshot aggregates the slices still inside the window ending at now.
+func (r *Rolling) Snapshot(now time.Duration) RollingSnapshot {
+	// Rotate the current slice so a long-idle wheel does not resurface
+	// stale observations under a recycled slot.
+	r.sliceFor(now)
+	floor := now - RollingWindow
+	total := make([]uint64, len(r.bounds)+1)
+	var count uint64
+	for i := range r.slices {
+		s := &r.slices[i]
+		if s.start < 0 || s.start+RollingWindow/rollingBuckets <= floor || s.start > now {
+			continue
+		}
+		count += s.count
+		for j, c := range s.counts {
+			total[j] += c
+		}
+	}
+	snap := RollingSnapshot{Window: RollingWindow, Count: count}
+	if now < RollingWindow {
+		snap.Window = now
+	}
+	if snap.Window > 0 {
+		snap.RatePerSec = float64(count) / snap.Window.Seconds()
+	}
+	snap.P50 = r.quantile(total, count, 0.50)
+	snap.P99 = r.quantile(total, count, 0.99)
+	return snap
+}
+
+// quantile resolves a percentile to the upper bound of the bucket the
+// nearest-rank observation falls in (the overflow bucket reports the top
+// bound — the histogram cannot see past it).
+func (r *Rolling) quantile(counts []uint64, count uint64, q float64) time.Duration {
+	if count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i < len(r.bounds) {
+				return r.bounds[i]
+			}
+			return r.bounds[len(r.bounds)-1]
+		}
+	}
+	return r.bounds[len(r.bounds)-1]
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TraceSpan is one node of an assembled trace tree: a trace-stamped event
+// plus the causal gap since its parent and the hops it caused.
+type TraceSpan struct {
+	// Event is the underlying ring event (EvTraceHop, EvStage,
+	// EvCommitEntry, EvReadServe, EvSlowOp — anything trace-stamped).
+	Event Event `json:"event"`
+	// Gap is this span's latency attribution: the time since its causal
+	// parent (0 at the root). Cross-node gaps include the wire flight
+	// time, since every node records on its own (simulated-global or NTP-
+	// comparable) clock.
+	Gap time.Duration `json:"gap"`
+	// Children are the spans this one causally precedes, in time order.
+	Children []*TraceSpan `json:"children,omitempty"`
+}
+
+// TraceTree is one sampled operation's assembled cross-node journey.
+type TraceTree struct {
+	// ID is the trace ID every span shares.
+	ID uint64 `json:"id"`
+	// Root is the origin span (the earliest event recorded for the ID).
+	Root *TraceSpan `json:"root"`
+	// Nodes lists every node label that contributed a span, sorted.
+	Nodes []string `json:"nodes"`
+	// Start and Total bound the journey (first event time, last minus
+	// first).
+	Start time.Duration `json:"start"`
+	Total time.Duration `json:"total"`
+}
+
+// AssembleTraces groups merged (Merge-ordered) events by trace ID and
+// builds one causally-ordered tree per trace. Parenthood is assigned by
+// the hop structure actually recorded: an event's parent is the previous
+// event of the same trace on the same node when there is one (local
+// program order), otherwise the latest earlier event of the trace on any
+// node (the cross-node hop that caused it). Events with Trace == 0 are
+// ignored. Trees come back sorted by start time.
+func AssembleTraces(events []Event) []*TraceTree {
+	byTrace := make(map[uint64][]Event)
+	var order []uint64
+	for _, e := range events {
+		if e.Trace == 0 {
+			continue
+		}
+		if _, ok := byTrace[e.Trace]; !ok {
+			order = append(order, e.Trace)
+		}
+		byTrace[e.Trace] = append(byTrace[e.Trace], e)
+	}
+	trees := make([]*TraceTree, 0, len(order))
+	for _, id := range order {
+		trees = append(trees, assembleOne(id, byTrace[id]))
+	}
+	sort.SliceStable(trees, func(i, j int) bool { return trees[i].Start < trees[j].Start })
+	return trees
+}
+
+// assembleOne builds the tree for one trace's events (already in merged
+// time order, but re-sorted defensively for raw per-node snapshots).
+func assembleOne(id uint64, events []Event) *TraceTree {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	spans := make([]*TraceSpan, len(events))
+	lastOnNode := make(map[string]*TraceSpan)
+	nodes := make(map[string]bool)
+	var root, latest *TraceSpan
+	for i, e := range events {
+		sp := &TraceSpan{Event: e}
+		spans[i] = sp
+		nodes[e.Node] = true
+		parent := lastOnNode[e.Node]
+		if parent == nil {
+			parent = latest
+		}
+		if parent != nil {
+			sp.Gap = e.At - parent.Event.At
+			parent.Children = append(parent.Children, sp)
+		} else {
+			root = sp
+		}
+		lastOnNode[e.Node] = sp
+		if latest == nil || e.At >= latest.Event.At {
+			latest = sp
+		}
+	}
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := &TraceTree{ID: id, Root: root, Nodes: names}
+	if len(events) > 0 {
+		t.Start = events[0].At
+		t.Total = events[len(events)-1].At - events[0].At
+	}
+	return t
+}
+
+// Walk visits every span of the tree depth-first in causal order.
+func (t *TraceTree) Walk(visit func(depth int, s *TraceSpan)) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	var rec func(int, *TraceSpan)
+	rec = func(depth int, s *TraceSpan) {
+		visit(depth, s)
+		for _, c := range s.Children {
+			rec(depth+1, c)
+		}
+	}
+	rec(0, t.Root)
+}
+
+// FormatTree renders one assembled trace as an indented per-hop latency
+// breakdown:
+//
+//	trace 8f3a... 3 nodes total=1.2ms
+//	  0s        n2           stage propose ...
+//	    +301µs  n1           hop append index=4
+//	      +98µs n3           hop replicate index=4
+func FormatTree(t *TraceTree) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x nodes=%s total=%s\n", t.ID, strings.Join(t.Nodes, ","), t.Total)
+	t.Walk(func(depth int, s *TraceSpan) {
+		gap := "0s"
+		if depth > 0 {
+			gap = "+" + s.Gap.String()
+		}
+		fmt.Fprintf(&b, "%s%-10s %-14s %s\n",
+			strings.Repeat("  ", depth+1), gap, s.Event.Node, s.Event.String())
+	})
+	return b.String()
+}
+
+// FormatTrees renders every tree, blank-line separated.
+func FormatTrees(trees []*TraceTree) string {
+	parts := make([]string, len(trees))
+	for i, t := range trees {
+		parts[i] = FormatTree(t)
+	}
+	return strings.Join(parts, "\n")
+}

@@ -130,10 +130,17 @@ const (
 	// in the batch, Arg2 = bytes written. Its distribution also feeds the
 	// hist.fsync_batch_size histogram.
 	EvFsyncBatch
+	// EvTraceHop: a sampled proposal/read/snapshot crossed a protocol hop
+	// on this node. Trace = the trace ID, Arg = the hop kind (HopKind),
+	// Peer = the other party when the hop has one, Index = the log
+	// position involved. Hops are the cross-node glue: each node a traced
+	// operation touches records them into its own ring, and
+	// AssembleTraces stitches the merged rings back into one causal tree.
+	EvTraceHop
 )
 
 // evMaxType is the highest defined event type (decode tables).
-const evMaxType = EvFsyncBatch
+const evMaxType = EvTraceHop
 
 // String names the event type.
 func (t EventType) String() string {
@@ -196,8 +203,79 @@ func (t EventType) String() string {
 		return "compact"
 	case EvFsyncBatch:
 		return "fsync.batch"
+	case EvTraceHop:
+		return "trace.hop"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(t))
+	}
+}
+
+// HopKind names the protocol hop an EvTraceHop event records.
+type HopKind uint8
+
+// Hop kinds. The per-stage EvStage events (origin node) and EvCommitEntry
+// (every node, trace-stamped) carry the rest of the journey; these cover
+// the transitions the span machinery cannot see because they happen on
+// nodes that never opened the span.
+const (
+	// HopForward: a non-leader forwarded the proposal to Peer (the leader).
+	HopForward HopKind = iota + 1
+	// HopAppend: the leader appended the traced entry at Index.
+	HopAppend
+	// HopReplicate: a follower appended the traced entry at Index into its
+	// own log (received from Peer when known).
+	HopReplicate
+	// HopAck: Peer acknowledged replication of the traced entry at Index
+	// back to the leader.
+	HopAck
+	// HopReadForward: a follower forwarded the traced read to Peer.
+	HopReadForward
+	// HopReadServe: the read resolved at linearization Index (Arg2-free;
+	// the companion EvReadServe event carries ok/failed).
+	HopReadServe
+	// HopBatch: C-Raft packed the traced entry into a global batch.
+	HopBatch
+	// HopGlobalOrder: the traced batch committed in the global order at
+	// Index (the global log index).
+	HopGlobalOrder
+	// HopReplay: C-Raft replayed the traced entry out of a globally
+	// ordered batch into the local delivery stream.
+	HopReplay
+	// HopSnapChunk: a snapshot chunk of the traced stream arrived from
+	// Peer (Index = boundary).
+	HopSnapChunk
+	// HopSnapInstall: the traced snapshot stream installed at boundary
+	// Index.
+	HopSnapInstall
+)
+
+// String names the hop kind.
+func (h HopKind) String() string {
+	switch h {
+	case HopForward:
+		return "forward"
+	case HopAppend:
+		return "append"
+	case HopReplicate:
+		return "replicate"
+	case HopAck:
+		return "ack"
+	case HopReadForward:
+		return "read.forward"
+	case HopReadServe:
+		return "read.serve"
+	case HopBatch:
+		return "batch"
+	case HopGlobalOrder:
+		return "global_order"
+	case HopReplay:
+		return "replay"
+	case HopSnapChunk:
+		return "snap.chunk"
+	case HopSnapInstall:
+		return "snap.install"
+	default:
+		return fmt.Sprintf("hop(%d)", uint8(h))
 	}
 }
 
@@ -234,6 +312,10 @@ type Event struct {
 	Index types.Index `json:"index,omitempty"`
 	// PID is the proposal involved, when the event has one.
 	PID types.ProposalID `json:"pid,omitempty"`
+	// Trace is the sampled trace ID this event belongs to (0 = untraced).
+	// Stamped on EvTraceHop always, and on EvStage/EvSlowOp/EvCommitEntry/
+	// EvReadServe when the operation was sampled.
+	Trace uint64 `json:"trace,omitempty"`
 	// Arg and Arg2 carry type-specific payloads (see the EventType docs).
 	Arg  uint64 `json:"arg,omitempty"`
 	Arg2 uint64 `json:"arg2,omitempty"`
@@ -351,6 +433,15 @@ func (e Event) String() string {
 		return fmt.Sprintf("compacted boundary=%d commit=%d", e.Index, e.Arg)
 	case EvFsyncBatch:
 		return fmt.Sprintf("fsync batch records=%d bytes=%d", e.Arg, e.Arg2)
+	case EvTraceHop:
+		s := fmt.Sprintf("hop %s trace=%016x", HopKind(e.Arg), e.Trace)
+		if e.Peer != types.None {
+			s += fmt.Sprintf(" peer=%s", e.Peer)
+		}
+		if e.Index != 0 {
+			s += fmt.Sprintf(" index=%d", e.Index)
+		}
+		return s
 	default:
 		return e.Type.String()
 	}
@@ -416,6 +507,9 @@ type span struct {
 	at      [numStages]time.Duration
 	stamped uint8
 	term    types.Term
+	// trace is the sampled trace ID bound at SpanStart (0 = unsampled);
+	// every EvStage/EvSlowOp event the span emits carries it.
+	trace uint64
 }
 
 // defaultSize is the ring capacity when Config.Size is unset: enough to
@@ -436,6 +530,18 @@ type ring struct {
 	buf   []Event
 	seq   uint64
 	sinks []func(Event)
+	// mints counts MintTrace calls across every recorder sharing the ring
+	// (the deterministic every-Nth sampler state).
+	mints uint64
+	// dropped accumulates events an incremental reader (SnapshotSince)
+	// lost to ring wraparound; lastDropped is the most recent gap — the
+	// counter/gauge pair behind trace.events_dropped.
+	dropped     uint64
+	lastDropped uint64
+	// rolling holds the per-group sliding-window aggregates over completed
+	// proposal spans (rate/p50/p99 for the live /debug/hraft/top plane),
+	// keyed by the recorder group label at span end.
+	rolling map[string]*stats.Rolling
 }
 
 // Config parametrizes a Recorder.
@@ -456,6 +562,13 @@ type Config struct {
 	SlowOp time.Duration
 	// Logger receives slow-op reports (nil = slog.Default()).
 	Logger *slog.Logger
+	// SampleRate enables wire-propagated causal tracing: every SampleRate-th
+	// proposal/read minted through this recorder gets a TraceID that rides
+	// the wire (codec v8) and is recorded as hop events on every node it
+	// touches. 0 disables sampling (no trace context on the wire); 1
+	// samples everything. The sampler is a deterministic counter, not a
+	// random draw, so simulated runs trace reproducibly.
+	SampleRate int
 }
 
 // Recorder records protocol events into a ring and tracks proposal
@@ -471,6 +584,15 @@ type Recorder struct {
 	// peersFn, when set, names the current peer set in slow-op reports
 	// (evaluated only on the slow path).
 	peersFn func() []types.NodeID
+
+	// sampleEvery is the mint period (Config.SampleRate; 0 = minting off).
+	sampleEvery uint64
+	// labelHash seeds minted trace IDs so two origins minting the same
+	// counter value still produce distinct IDs.
+	labelHash uint64
+	// traced tracks the leader-side sampled entries awaiting per-peer
+	// replication acks (HopAck attribution); bounded by tracedCap.
+	traced []tracedEntry
 
 	spans    map[types.ProposalID]*span
 	spanFIFO []types.ProposalID
@@ -497,15 +619,28 @@ func New(cfg Config) *Recorder {
 		logger = slog.Default()
 	}
 	rec := &Recorder{
-		r:     &ring{buf: make([]Event, size)},
-		label: cfg.Node,
-		group: cfg.Group,
-		slow:  cfg.SlowOp,
-		log:   logger,
-		spans: make(map[types.ProposalID]*span),
+		r:           &ring{buf: make([]Event, size), rolling: make(map[string]*stats.Rolling)},
+		label:       cfg.Node,
+		group:       cfg.Group,
+		slow:        cfg.SlowOp,
+		log:         logger,
+		spans:       make(map[types.ProposalID]*span),
+		labelHash:   fnvString(cfg.Node),
+		sampleEvery: uint64(max(cfg.SampleRate, 0)),
 	}
 	rec.initHists()
 	return rec
+}
+
+// fnvString is FNV-1a over a string (trace-ID seeding).
+func fnvString(s string) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
 }
 
 // RingSizeFromEnv returns the ring capacity requested through the
@@ -543,12 +678,14 @@ func (r *Recorder) Derive(label string) *Recorder {
 		return nil
 	}
 	d := &Recorder{
-		r:     r.r,
-		label: label,
-		group: r.group,
-		slow:  r.slow,
-		log:   r.log,
-		spans: make(map[types.ProposalID]*span),
+		r:           r.r,
+		label:       label,
+		group:       r.group,
+		slow:        r.slow,
+		log:         r.log,
+		spans:       make(map[types.ProposalID]*span),
+		labelHash:   fnvString(label),
+		sampleEvery: r.sampleEvery,
 	}
 	d.initHists()
 	return d
@@ -647,6 +784,40 @@ func (r *Recorder) Snapshot() []Event {
 	return out
 }
 
+// SnapshotSince returns the retained events with Seq >= since, oldest
+// first, plus the number of events the ring overwrote past the caller's
+// cursor (0 when the cursor is still inside the retained window). The
+// drop count also feeds the cumulative trace.events_dropped counter and
+// its last-gap gauge, so silent wraparound shows up in Metrics() and
+// Prometheus. Pollers resume with since = lastEvent.Seq+1. Nil-safe.
+func (r *Recorder) SnapshotSince(since uint64) ([]Event, uint64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	n := uint64(len(r.r.buf))
+	var floor uint64
+	if r.r.seq > n {
+		floor = r.r.seq - n
+	}
+	var dropped uint64
+	if since < floor {
+		dropped = floor - since
+		r.r.dropped += dropped
+		r.r.lastDropped = dropped
+		since = floor
+	}
+	if since >= r.r.seq {
+		return nil, dropped
+	}
+	out := make([]Event, 0, r.r.seq-since)
+	for s := since; s < r.r.seq; s++ {
+		out = append(out, r.r.buf[s%n])
+	}
+	return out, dropped
+}
+
 // Tail returns the newest k retained events, oldest first.
 func (r *Recorder) Tail(k int) []Event {
 	s := r.Snapshot()
@@ -689,6 +860,10 @@ func (r *Recorder) MergeMetrics(dst map[string]uint64, prefix string) {
 	}
 	if r.applyLag.Count() > 0 {
 		r.applyLag.MergeInto(dst, prefix)
+	}
+	if r.r.dropped > 0 {
+		dst[prefix+"trace.events_dropped"] = r.r.dropped
+		dst[prefix+"trace.gauge.events_dropped_last"] = r.r.lastDropped
 	}
 }
 
@@ -818,8 +993,9 @@ func (r *Recorder) ReadConfirm(now time.Duration, ctx uint64) {
 	r.record(Event{At: now, Type: EvReadConfirm, Arg: ctx})
 }
 
-// ReadServe records a read resolution.
-func (r *Recorder) ReadServe(now time.Duration, token uint64, index types.Index, ok bool) {
+// ReadServe records a read resolution. tid is the read's sampled trace ID
+// (0 = unsampled).
+func (r *Recorder) ReadServe(now time.Duration, token uint64, index types.Index, ok bool, tid uint64) {
 	if r == nil {
 		return
 	}
@@ -827,7 +1003,7 @@ func (r *Recorder) ReadServe(now time.Duration, token uint64, index types.Index,
 	if ok {
 		o = 1
 	}
-	r.record(Event{At: now, Type: EvReadServe, Arg: token, Index: index, Arg2: o})
+	r.record(Event{At: now, Type: EvReadServe, Arg: token, Index: index, Trace: tid, Arg2: o})
 }
 
 // SessionOpen records a session registration apply.
@@ -887,7 +1063,7 @@ func (r *Recorder) CommitEntry(now time.Duration, term types.Term, e types.Entry
 	if r == nil {
 		return
 	}
-	r.record(Event{At: now, Type: EvCommitEntry, Term: term, Index: e.Index, PID: e.PID, Arg: EntryDigest(e)})
+	r.record(Event{At: now, Type: EvCommitEntry, Term: term, Index: e.Index, PID: e.PID, Trace: e.TraceID, Arg: EntryDigest(e)})
 }
 
 // ApplySession records a non-duplicate session-scoped apply.
@@ -980,12 +1156,161 @@ func EntryDigest(e types.Entry) uint64 {
 	return h
 }
 
+// --- Wire-propagated causal tracing ------------------------------------------
+
+// tracedEntry is one leader-side sampled entry awaiting per-peer
+// replication acks, so classic-Raft AppendEntriesResp messages (which name
+// only a match index, not the entries) attribute HopAck events to the
+// right trace.
+type tracedEntry struct {
+	index types.Index
+	tid   uint64
+	acked map[types.NodeID]bool
+}
+
+// tracedCap bounds the leader-side traced-entry table; sampled entries are
+// sparse by construction, so overflow means a stuck window — drop oldest.
+const tracedCap = 256
+
+// MintTrace draws the next trace ID from the deterministic every-Nth
+// sampler: 0 (unsampled — no wire bytes, no hop events) unless this is the
+// SampleRate-th mint since the last sampled one. IDs mix the recorder's
+// label hash with a ring-wide counter, so concurrent origins never
+// collide. Nil-safe: the disabled recorder never samples.
+func (r *Recorder) MintTrace() uint64 {
+	if r == nil || r.sampleEvery == 0 {
+		return 0
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	r.r.mints++
+	if r.r.mints%r.sampleEvery != 0 {
+		return 0
+	}
+	const prime = 1099511628211
+	id := (r.labelHash ^ r.r.mints) * prime
+	if id == 0 {
+		id = prime
+	}
+	return id
+}
+
+// Sampling reports whether this recorder mints trace IDs at all — the
+// cores use it to skip per-entry bookkeeping entirely when tracing is off.
+func (r *Recorder) Sampling() bool {
+	return r != nil && r.sampleEvery > 0
+}
+
+// TraceHop records one hop of a sampled operation's journey across the
+// cluster. No-op when tid is 0 (the unsampled fast path costs one compare)
+// or the recorder is disabled.
+func (r *Recorder) TraceHop(now time.Duration, tid uint64, hop HopKind, peer types.NodeID, index types.Index) {
+	if r == nil || tid == 0 {
+		return
+	}
+	r.record(Event{At: now, Type: EvTraceHop, Trace: tid, Arg: uint64(hop), Peer: peer, Index: index})
+}
+
+// TraceAppendIndex registers a sampled entry the leader just appended at
+// index, so subsequent per-peer acks attribute to its trace (TraceAck).
+// No-op for tid 0.
+func (r *Recorder) TraceAppendIndex(index types.Index, tid uint64) {
+	if r == nil || tid == 0 {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	for i := range r.traced {
+		if r.traced[i].index == index {
+			r.traced[i].tid = tid
+			return
+		}
+	}
+	if len(r.traced) >= tracedCap {
+		r.traced = r.traced[1:]
+	}
+	r.traced = append(r.traced, tracedEntry{index: index, tid: tid, acked: make(map[types.NodeID]bool)})
+}
+
+// TraceAck records a HopAck for every registered traced entry the peer's
+// acknowledged match index newly covers (each peer acks each traced entry
+// once).
+func (r *Recorder) TraceAck(now time.Duration, peer types.NodeID, match types.Index) {
+	if r == nil || len(r.traced) == 0 {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	for i := range r.traced {
+		t := &r.traced[i]
+		if t.index > match || t.acked[peer] {
+			continue
+		}
+		t.acked[peer] = true
+		r.recordLocked(Event{At: now, Type: EvTraceHop, Trace: t.tid, Arg: uint64(HopAck), Peer: peer, Index: t.index})
+	}
+}
+
+// TraceCommitted retires traced entries the commit index has covered (their
+// replication story is complete; later acks are catch-up noise).
+func (r *Recorder) TraceCommitted(commit types.Index) {
+	if r == nil || len(r.traced) == 0 {
+		return
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	kept := r.traced[:0]
+	for _, t := range r.traced {
+		if t.index > commit {
+			kept = append(kept, t)
+		}
+	}
+	r.traced = kept
+}
+
+// --- Live sliding-window aggregates ------------------------------------------
+
+// LiveStats snapshots the per-group sliding-window proposal aggregates
+// (rate, p50, p99 over the last stats.RollingWindow) across every recorder
+// sharing this ring. Keys are group labels ("" = the flat cluster log).
+// Nil-safe (returns nil).
+func (r *Recorder) LiveStats(now time.Duration) map[string]stats.RollingSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.r.mu.Lock()
+	defer r.r.mu.Unlock()
+	if len(r.r.rolling) == 0 {
+		return nil
+	}
+	out := make(map[string]stats.RollingSnapshot, len(r.r.rolling))
+	for g, roll := range r.r.rolling {
+		out[g] = roll.Snapshot(now)
+	}
+	return out
+}
+
+// observeRollingLocked feeds one completed proposal span into the group's
+// sliding window. Caller holds the ring lock.
+func (r *Recorder) observeRollingLocked(now, total time.Duration) {
+	if r.r.rolling == nil {
+		return
+	}
+	roll, ok := r.r.rolling[r.group]
+	if !ok {
+		roll = stats.NewRolling()
+		r.r.rolling[r.group] = roll
+	}
+	roll.Observe(now, total)
+}
+
 // --- Proposal lifecycle spans ------------------------------------------------
 
-// SpanStart opens a lifecycle span for pid, stamping StagePropose. A full
-// span table drops the oldest span (its proposal is likely stuck or
-// forgotten) rather than the new one.
-func (r *Recorder) SpanStart(now time.Duration, pid types.ProposalID, term types.Term) {
+// SpanStart opens a lifecycle span for pid, stamping StagePropose. tid
+// binds the proposal's sampled trace ID (0 = unsampled) to every stage
+// event the span emits. A full span table drops the oldest span (its
+// proposal is likely stuck or forgotten) rather than the new one.
+func (r *Recorder) SpanStart(now time.Duration, pid types.ProposalID, term types.Term, tid uint64) {
 	if r == nil || pid.IsZero() {
 		return
 	}
@@ -999,12 +1324,12 @@ func (r *Recorder) SpanStart(now time.Duration, pid types.ProposalID, term types
 		r.spanFIFO = r.spanFIFO[1:]
 		delete(r.spans, victim)
 	}
-	sp := &span{term: term}
+	sp := &span{term: term, trace: tid}
 	sp.at[StagePropose] = now
 	sp.stamped = 1 << StagePropose
 	r.spans[pid] = sp
 	r.spanFIFO = append(r.spanFIFO, pid)
-	r.recordLocked(Event{At: now, Type: EvStage, Term: term, PID: pid, Arg: uint64(StagePropose)})
+	r.recordLocked(Event{At: now, Type: EvStage, Term: term, PID: pid, Trace: tid, Arg: uint64(StagePropose)})
 }
 
 // SpanStage stamps a lifecycle stage on pid's span (first stamp wins;
@@ -1022,7 +1347,7 @@ func (r *Recorder) SpanStage(now time.Duration, pid types.ProposalID, stage Stag
 	}
 	sp.at[stage] = now
 	sp.stamped |= 1 << stage
-	r.recordLocked(Event{At: now, Type: EvStage, Term: sp.term, PID: pid, Index: index, Arg: uint64(stage)})
+	r.recordLocked(Event{At: now, Type: EvStage, Term: sp.term, PID: pid, Trace: sp.trace, Index: index, Arg: uint64(stage)})
 }
 
 // SpanEnd stamps StageApply, folds the stage gaps into the hist.stage_*
@@ -1032,7 +1357,7 @@ func (r *Recorder) SpanEnd(now time.Duration, pid types.ProposalID, index types.
 	if r == nil || pid.IsZero() {
 		return
 	}
-	slow, peers, term, stamps, stamped, total := r.spanEndLocked(now, pid, index)
+	slow, peers, term, stamps, stamped, total, tid := r.spanEndLocked(now, pid, index)
 	if !slow {
 		return
 	}
@@ -1042,6 +1367,9 @@ func (r *Recorder) SpanEnd(now time.Duration, pid types.ProposalID, index types.
 		"term", uint64(term),
 		"index", uint64(index),
 		"total", total,
+	}
+	if tid != 0 {
+		attrs = append(attrs, "trace", fmt.Sprintf("%016x", tid))
 	}
 	p := stamps[StagePropose]
 	for s := StageAppend; s < numStages; s++ {
@@ -1071,7 +1399,7 @@ func (r *Recorder) SpanEnd(now time.Duration, pid types.ProposalID, index types.
 // histograms and reports whether a slow-op log line is due. The deferred
 // unlock keeps the ring usable if a strict-mode audit sink panics out of
 // recordLocked.
-func (r *Recorder) spanEndLocked(now time.Duration, pid types.ProposalID, index types.Index) (slow bool, peers []types.NodeID, term types.Term, stamps [numStages]time.Duration, stamped uint8, total time.Duration) {
+func (r *Recorder) spanEndLocked(now time.Duration, pid types.ProposalID, index types.Index) (slow bool, peers []types.NodeID, term types.Term, stamps [numStages]time.Duration, stamped uint8, total time.Duration, tid uint64) {
 	r.r.mu.Lock()
 	defer r.r.mu.Unlock()
 	sp, ok := r.spans[pid]
@@ -1081,7 +1409,7 @@ func (r *Recorder) spanEndLocked(now time.Duration, pid types.ProposalID, index 
 	delete(r.spans, pid)
 	sp.at[StageApply] = now
 	sp.stamped |= 1 << StageApply
-	r.recordLocked(Event{At: now, Type: EvStage, Term: sp.term, PID: pid, Index: index, Arg: uint64(StageApply)})
+	r.recordLocked(Event{At: now, Type: EvStage, Term: sp.term, PID: pid, Trace: sp.trace, Index: index, Arg: uint64(StageApply)})
 
 	// Stage gap = time since the previous stamped stage, clamped at zero
 	// (Fast Raft's proposer broadcast can stamp replicate before append).
@@ -1101,15 +1429,16 @@ func (r *Recorder) spanEndLocked(now time.Duration, pid types.ProposalID, index 
 	}
 	total = now - sp.at[StagePropose]
 	r.total.Observe(total)
+	r.observeRollingLocked(now, total)
 
 	slow = r.slow > 0 && total >= r.slow
 	if slow {
-		r.recordLocked(Event{At: now, Type: EvSlowOp, Term: sp.term, PID: pid, Index: index, Arg: uint64(total / time.Microsecond)})
+		r.recordLocked(Event{At: now, Type: EvSlowOp, Term: sp.term, PID: pid, Trace: sp.trace, Index: index, Arg: uint64(total / time.Microsecond)})
 		if r.peersFn != nil {
 			peers = r.peersFn()
 		}
 	}
-	return slow, peers, sp.term, sp.at, sp.stamped, total
+	return slow, peers, sp.term, sp.at, sp.stamped, total, sp.trace
 }
 
 // SpanAbandon forgets a span without observing it (proposal failed or the

@@ -71,7 +71,7 @@ func TestConcurrentRecordAndSnapshot(t *testing.T) {
 			now := time.Duration(i) * time.Microsecond
 			r.AppendDispatch(now, 1, peer, types.Index(i), 1, uint64(i))
 			pid := tpid(string(peer), uint64(i))
-			r.SpanStart(now, pid, 1)
+			r.SpanStart(now, pid, 1, 0)
 			r.SpanStage(now+1, pid, StageCommit, types.Index(i))
 			r.SpanEnd(now+2, pid, types.Index(i))
 		}
@@ -125,13 +125,13 @@ func TestDisabledRecorderZeroAlloc(t *testing.T) {
 		r.SnapInstall(0, 1, 0)
 		r.ReadStamp(0, 1, 1)
 		r.ReadConfirm(0, 1)
-		r.ReadServe(0, 1, 1, true)
+		r.ReadServe(0, 1, 1, true, 0)
 		r.SessionOpen(0, 1)
 		r.SessionExpire(0, 0)
 		r.BatchPropose(0, pid, 1)
 		r.GlobalOrder(0, 1, 1)
 		r.Replay(0, 1, 1)
-		r.SpanStart(0, pid, 1)
+		r.SpanStart(0, pid, 1, 0)
 		r.SpanStage(0, pid, StageCommit, 1)
 		r.SpanEnd(0, pid, 1)
 		r.SpanAbandon(pid)
@@ -171,7 +171,7 @@ func TestDeriveSharesRingAndSequence(t *testing.T) {
 func TestSpanStagesFeedHistograms(t *testing.T) {
 	r := New(Config{Node: "n1"})
 	pid := tpid("c", 7)
-	r.SpanStart(0, pid, 2)
+	r.SpanStart(0, pid, 2, 0)
 	r.SpanStage(2*time.Millisecond, pid, StageAppend, 5)
 	r.SpanStage(3*time.Millisecond, pid, StageReplicate, 5)
 	r.SpanStage(9*time.Millisecond, pid, StageQuorum, 5)
@@ -219,7 +219,7 @@ func TestSpanStagesFeedHistograms(t *testing.T) {
 func TestAbandonedSpanNotObserved(t *testing.T) {
 	r := New(Config{Node: "n1"})
 	pid := tpid("c", 1)
-	r.SpanStart(0, pid, 1)
+	r.SpanStart(0, pid, 1, 0)
 	r.SpanStage(time.Millisecond, pid, StageAppend, 3)
 	r.SpanAbandon(pid)
 	r.SpanEnd(2*time.Millisecond, pid, 3) // too late: span is gone
@@ -258,7 +258,7 @@ func TestSlowOpThresholdLogs(t *testing.T) {
 
 	// Under threshold: silent.
 	fast := tpid("c", 1)
-	r.SpanStart(0, fast, 1)
+	r.SpanStart(0, fast, 1, 0)
 	r.SpanEnd(5*time.Millisecond, fast, 1)
 	if len(h.records) != 0 {
 		t.Fatalf("fast proposal logged: %v", h.records)
@@ -266,7 +266,7 @@ func TestSlowOpThresholdLogs(t *testing.T) {
 
 	// Over threshold: one report naming proposal, term and peers.
 	slow := tpid("c", 2)
-	r.SpanStart(0, slow, 3)
+	r.SpanStart(0, slow, 3, 0)
 	r.SpanStage(18*time.Millisecond, slow, StageCommit, 9)
 	r.SpanEnd(20*time.Millisecond, slow, 9)
 	if len(h.records) != 1 {

@@ -9,6 +9,10 @@ type BatchItem struct {
 	PID ProposalID
 	// Data is the application payload.
 	Data []byte
+	// Trace is the item's sampled trace context (0 = unsampled), carried
+	// from the local entry so replay on every site can record the
+	// batch→global-order→replay hops against the origin's trace.
+	Trace uint64
 }
 
 // Batch is the payload of a KindBatch global-log entry: a run of locally
@@ -30,7 +34,12 @@ func (b Batch) String() string {
 	return fmt.Sprintf("batch{%s #%d n=%d}", b.Cluster, b.Seq, len(b.Items))
 }
 
-// EncodeBatch serializes a batch for embedding in an Entry's Data.
+// EncodeBatch serializes a batch for embedding in an Entry's Data. Trace
+// contexts of sampled items ride in a trailing (item index, trace ID)
+// section, present only when at least one item is sampled: unsampled
+// batches encode byte-identically to the pre-trace layout, and decoders
+// of old payloads (global logs persisted before the section existed) see
+// an empty tail.
 func EncodeBatch(b Batch) []byte {
 	var w writer
 	w.str(string(b.Cluster))
@@ -40,6 +49,12 @@ func EncodeBatch(b Batch) []byte {
 		w.str(string(it.PID.Proposer))
 		w.u64(it.PID.Seq)
 		w.bytes(it.Data)
+	}
+	for i, it := range b.Items {
+		if it.Trace != 0 {
+			w.u64(uint64(i))
+			w.u64(it.Trace)
+		}
 	}
 	return w.buf
 }
@@ -60,6 +75,17 @@ func DecodeBatch(data []byte) (Batch, error) {
 		it.PID.Seq = r.u64()
 		it.Data = r.bytes()
 		b.Items = append(b.Items, it)
+	}
+	// Trailing trace section (absent in pre-trace payloads).
+	for r.err == nil && r.off < len(data) {
+		i := r.u64()
+		tid := r.u64()
+		if r.err == nil {
+			if i >= uint64(len(b.Items)) {
+				return Batch{}, fmt.Errorf("types: batch trace index %d out of range", i)
+			}
+			b.Items[i].Trace = tid
+		}
 	}
 	if r.err != nil {
 		return Batch{}, fmt.Errorf("types: decode batch: %w", r.err)

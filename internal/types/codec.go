@@ -35,7 +35,13 @@ const (
 	// envelope header (multi-group sharding: v6 frames decode with Group
 	// empty), the ShardBatch cross-group coalescing message, the TimeoutNow
 	// leadership-transfer order and the Transfer flag on RequestVote.
-	wireVersion = 7
+	// Version 8 added optional trace-context propagation: a sampled
+	// TraceID rides entries, read specs/results and snapshot chunks behind
+	// a presence bit (wireTraceFlag) stolen from an existing small-valued
+	// byte, so unsampled v8 bodies are byte-identical to v7 bodies — zero
+	// trace-context bytes and zero extra allocations on the unsampled
+	// path. v6/v7 frames decode with TraceID zero.
+	wireVersion = 8
 	// wireVersionMin is the oldest frame version this decoder accepts: v2
 	// frames (no chunk fields) decode as whole-image transfers, v3 frames
 	// (no ack/continuation fields) and v4 frames (no read-batch fields)
@@ -49,6 +55,15 @@ const (
 	// rejected loudly as ErrBadFrame rather than misdecoded.
 	wireVersionMin = 2
 )
+
+// wireTraceFlag marks a trace-context varint following the byte it is set
+// on: the entry Kind byte, a ReadSpec's Consistency byte, a ReadResult's
+// OK byte, or an InstallSnapshot's Done byte. All four fields use fewer
+// than 7 bits of their byte, so stealing the top bit keeps unsampled
+// encodes byte-identical to the v7 layout. Encoders set it only when the
+// TraceID is nonzero; decoders reject it on pre-v8 frames (legitimate old
+// senders never set it).
+const wireTraceFlag = 0x80
 
 // Message type tags. The values are part of the wire format; never reorder.
 const (
@@ -253,7 +268,17 @@ func encodeBody(w *writer, m Message) {
 		w.u64(v.Offset)
 		w.bytes(v.Data)
 		w.u64(uint64(v.Check))
-		w.bool(v.Done)
+		var done byte
+		if v.Done {
+			done = 1
+		}
+		if v.Trace != 0 {
+			done |= wireTraceFlag
+		}
+		w.buf = append(w.buf, done)
+		if v.Trace != 0 {
+			w.u64(v.Trace)
+		}
 		w.u64(v.Round)
 	case InstallSnapshotReply:
 		w.u64(uint64(v.Term))
@@ -265,14 +290,31 @@ func encodeBody(w *writer, m Message) {
 		w.u64(uint64(len(v.Reads)))
 		for _, s := range v.Reads {
 			w.u64(s.ID)
-			w.buf = append(w.buf, byte(s.Consistency))
+			c := byte(s.Consistency)
+			if s.Trace != 0 {
+				c |= wireTraceFlag
+			}
+			w.buf = append(w.buf, c)
+			if s.Trace != 0 {
+				w.u64(s.Trace)
+			}
 		}
 	case ReadReply:
 		w.u64(uint64(len(v.Results)))
 		for _, res := range v.Results {
 			w.u64(res.ID)
 			w.u64(uint64(res.Index))
-			w.bool(res.OK)
+			var ok byte
+			if res.OK {
+				ok = 1
+			}
+			if res.Trace != 0 {
+				ok |= wireTraceFlag
+			}
+			w.buf = append(w.buf, ok)
+			if res.Trace != 0 {
+				w.u64(res.Trace)
+			}
 		}
 	case TimeoutNow:
 		w.u64(uint64(v.Term))
@@ -406,7 +448,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 			if r.ver >= 4 {
 				v.Check = uint32(r.u64())
 			}
-			v.Done = r.bool()
+			done, trace := r.flaggedByte()
+			v.Done = done != 0
+			v.Trace = trace
 		} else {
 			// v2 sender: always a whole-image transfer.
 			v.Boundary = v.Snapshot.Meta.LastIndex
@@ -438,14 +482,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 			// vector layout repeats it.
 			var s ReadSpec
 			s.ID = r.u64()
-			if r.err == nil {
-				if r.off >= len(r.buf) {
-					r.err = ErrBadFrame
-				} else {
-					s.Consistency = ReadConsistency(r.buf[r.off])
-					r.off++
-				}
-			}
+			c, trace := r.flaggedByte()
+			s.Consistency = ReadConsistency(c)
+			s.Trace = trace
 			if r.err == nil {
 				v.Reads = append(v.Reads, s)
 			}
@@ -464,7 +503,9 @@ func decodeBody(r *reader, tag uint8) (Message, error) {
 			var res ReadResult
 			res.ID = r.u64()
 			res.Index = Index(r.u64())
-			res.OK = r.bool()
+			ok, trace := r.flaggedByte()
+			res.OK = ok != 0
+			res.Trace = trace
 			if r.err == nil {
 				v.Results = append(v.Results, res)
 			}
@@ -548,7 +589,14 @@ func (w *writer) str(s string) {
 func (w *writer) entry(e Entry) {
 	w.u64(uint64(e.Index))
 	w.u64(uint64(e.Term))
-	w.buf = append(w.buf, byte(e.Kind), byte(e.Approval))
+	kind := byte(e.Kind)
+	if e.TraceID != 0 {
+		kind |= wireTraceFlag
+	}
+	w.buf = append(w.buf, kind, byte(e.Approval))
+	if e.TraceID != 0 {
+		w.u64(e.TraceID)
+	}
 	w.str(string(e.PID.Proposer))
 	w.u64(e.PID.Seq)
 	w.u64(uint64(e.Session))
@@ -602,6 +650,30 @@ func (r *reader) bool() bool {
 	return b != 0
 }
 
+// flaggedByte reads one raw byte that may carry wireTraceFlag plus the
+// trace-context varint behind it (frame v8+, or the unversioned layouts).
+// Returns the byte with the flag cleared and the trace ID (0 when absent).
+// The flag on a pre-v8 frame is a corrupt frame, not a feature.
+func (r *reader) flaggedByte() (byte, uint64) {
+	if r.err != nil {
+		return 0, 0
+	}
+	if r.off >= len(r.buf) {
+		r.err = ErrBadFrame
+		return 0, 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b&wireTraceFlag == 0 {
+		return b, 0
+	}
+	if r.ver != 0 && r.ver < 8 {
+		r.err = ErrBadFrame
+		return 0, 0
+	}
+	return b &^ wireTraceFlag, r.u64()
+}
+
 func (r *reader) bytes() []byte {
 	n := r.u64()
 	if r.err != nil {
@@ -633,9 +705,21 @@ func (r *reader) entry() Entry {
 			r.err = ErrBadFrame
 			return e
 		}
-		e.Kind = EntryKind(r.buf[r.off])
+		kind := r.buf[r.off]
 		e.Approval = Approval(r.buf[r.off+1])
 		r.off += 2
+		if kind&wireTraceFlag != 0 {
+			// Trace context joined the entry layout with frame v8 (the
+			// unversioned WAL layout carries it unconditionally behind the
+			// same bit; pre-v8 WALs never set it).
+			if r.ver != 0 && r.ver < 8 {
+				r.err = ErrBadFrame
+				return e
+			}
+			kind &^= wireTraceFlag
+			e.TraceID = r.u64()
+		}
+		e.Kind = EntryKind(kind)
 	}
 	e.PID.Proposer = NodeID(r.str())
 	e.PID.Seq = r.u64()
@@ -708,6 +792,9 @@ func uvarintLen(v uint64) int {
 // keep it in lockstep with writer.entry.
 func EntryWireSize(e Entry) int {
 	n := uvarintLen(uint64(e.Index)) + uvarintLen(uint64(e.Term)) + 2 // kind, approval
+	if e.TraceID != 0 {
+		n += uvarintLen(e.TraceID)
+	}
 	n += uvarintLen(uint64(len(e.PID.Proposer))) + len(e.PID.Proposer)
 	n += uvarintLen(e.PID.Seq)
 	n += uvarintLen(uint64(e.Session)) + uvarintLen(e.SessionSeq) + uvarintLen(e.SessionAck)

@@ -31,6 +31,9 @@ func sampleEntries() []Entry {
 			PID: ProposalID{Proposer: "n2", Seq: 10}},
 		{Index: 7, Term: 2, Kind: KindSessionExpire, Approval: ApprovedLeader,
 			Data: []byte{0x80, 0x08, 0x10}},
+		{Index: 12, Term: 4, Kind: KindNormal, Approval: ApprovedSelf,
+			PID:     ProposalID{Proposer: "n1", Seq: 13},
+			TraceID: 0xDEADBEEFCAFE, Data: []byte("traced")},
 	}
 }
 
@@ -81,6 +84,19 @@ func sampleMessages() []Message {
 		}},
 		RequestVote{Term: 8, CandidateID: "heir", LastLogIndex: 10, LastLogTerm: 3,
 			Transfer: true},
+		AppendEntries{Term: 10, LeaderID: "lead", PrevLogIndex: 11, PrevLogTerm: 9,
+			Entries: es[10:], LeaderCommit: 11, Round: 13},
+		ReadRequest{Reads: []ReadSpec{
+			{ID: 10, Consistency: ReadLinearizable, Trace: 0xAB54A98CEB1F0A},
+			{ID: 11, Consistency: ReadLeaseBased},
+		}},
+		ReadReply{Results: []ReadResult{
+			{ID: 10, Index: 101, OK: true, Trace: 0xAB54A98CEB1F0A},
+			{ID: 11, Index: 102, OK: true},
+		}},
+		InstallSnapshot{Term: 14, LeaderID: "lead", Round: 8,
+			Boundary: 120, Offset: 4096, Data: []byte{0x2A}, Done: true,
+			Trace: 0xFEEDFACE},
 		TimeoutNow{Term: 8},
 		ShardBatch{},
 		ShardBatch{Frames: []ShardFrame{
@@ -585,7 +601,7 @@ func TestDecodeEnvelopeRejectsUnknownVersions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, ver := range []byte{0, 1, 8, 9, 255} {
+	for _, ver := range []byte{0, 1, 9, 10, 255} {
 		bad := append([]byte(nil), buf...)
 		bad[2] = ver
 		if _, err := DecodeEnvelope(bad); err == nil {

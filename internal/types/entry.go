@@ -132,6 +132,14 @@ type Entry struct {
 	Data []byte
 	// Config is set iff Kind == KindConfig.
 	Config *Config
+	// TraceID is the sampled causal-trace context minted at the origin
+	// node (0 = unsampled, which is the default and costs zero wire
+	// bytes). It rides the entry across forwards, replication, snapshots
+	// and C-Raft batch hops so every node records the proposal's journey
+	// into its flight recorder. Pure observability: it is excluded from
+	// proposal identity (SameProposal) and from the auditor's entry
+	// digest.
+	TraceID uint64
 }
 
 // Clone returns a deep copy of the entry. Entries are cloned whenever they

@@ -287,6 +287,11 @@ type InstallSnapshot struct {
 	Check uint32
 	// Done marks the final chunk (always true in legacy mode).
 	Done bool
+	// Trace is the stream's sampled trace context (0 = unsampled): minted
+	// when the leader opens the stream, constant across its chunks, so a
+	// follower's catch-up-by-snapshot shows up in the cross-node trace
+	// tree.
+	Trace uint64
 	// Round numbers the heartbeat round, matching AppendEntries.Round for
 	// silent-leave accounting.
 	Round uint64
@@ -323,6 +328,9 @@ type ReadSpec struct {
 	// Consistency is the requested read mode (stale reads are served
 	// locally and never forwarded).
 	Consistency ReadConsistency
+	// Trace is the read's sampled trace context (0 = unsampled), minted at
+	// the origin and echoed back in the ReadResult.
+	Trace uint64
 }
 
 // ReadRequest forwards linearizable (or lease) reads from the node that
@@ -348,6 +356,8 @@ type ReadResult struct {
 	// OK is false when the responder could not serve the read (not leader,
 	// or deposed while the read was pending); the origin retries.
 	OK bool
+	// Trace echoes the ReadSpec.Trace (0 = unsampled).
+	Trace uint64
 }
 
 // ReadReply answers forwarded reads once the leader's read path released

@@ -156,10 +156,11 @@ func NewShardNode(opts ShardOptions) (*ShardNode, error) {
 				// One recorder per group: events are group-tagged and lease
 				// auditing tracks each group's timeline separately.
 				rec = trace.New(trace.Config{
-					Node:   string(opts.ID) + "/" + string(gid),
-					Size:   opts.Trace.Size,
-					SlowOp: opts.Trace.SlowOp,
-					Logger: opts.Trace.Logger,
+					Node:       string(opts.ID) + "/" + string(gid),
+					Size:       opts.Trace.Size,
+					SlowOp:     opts.Trace.SlowOp,
+					Logger:     opts.Trace.Logger,
+					SampleRate: opts.Trace.SampleRate,
 				})
 				rec.SetGroup(string(gid))
 				aud.AttachTo(rec)
@@ -390,6 +391,35 @@ func (n *ShardNode) DebugStatus(traceTail int) DebugStatus {
 		}
 	})
 	return ds
+}
+
+// DebugTop snapshots every live group's rate/latency aggregates (served
+// at /debug/hraft/top): one row per group, each fed by that group's own
+// recorder's sliding window. Safe from any goroutine.
+func (n *ShardNode) DebugTop() DebugTop {
+	var t DebugTop
+	n.host.Do(func(now time.Duration, _ runtime.Machine) {
+		t = DebugTop{Node: string(n.mgr.ID())}
+		for _, gid := range n.mgr.Groups() {
+			core := n.mgr.Group(gid)
+			if core == nil {
+				continue
+			}
+			g := DebugTopGroup{
+				Group:       string(gid),
+				Role:        core.Role().String(),
+				Term:        uint64(core.Term()),
+				Leader:      string(core.LeaderID()),
+				CommitIndex: uint64(core.CommitIndex()),
+				LastIndex:   uint64(core.LastIndex()),
+			}
+			g.CommitLag = g.LastIndex - g.CommitIndex
+			g.Proposals = pickLive(core.Recorder().LiveStats(now), string(gid))
+			t.Groups = append(t.Groups, g)
+		}
+	})
+	fillTopMetrics(&t, n.Metrics())
+	return t
 }
 
 // Metrics merges every group's core counters (summed) with the shard.*
